@@ -1,0 +1,96 @@
+//! E7 — encoding ablation (§3.3.1 vs §3.3.2): variable renaming
+//! (xBMC 1.0) against the auxiliary-location-variable encoding
+//! (xBMC 0.1) on copy chains and branchy programs. The aux encoding's
+//! per-step full-state copy is the blowup the paper abandoned it for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use php_front::parse_source;
+use webssari_bench::{branchy_program, chain_program};
+use webssari_ir::{abstract_interpret, filter_program, AiProgram, FilterOptions, Prelude};
+use xbmc::{CheckOptions, EncoderKind, Xbmc};
+
+fn ai_of(src: &str) -> AiProgram {
+    let ast = parse_source(src).expect("workload parses");
+    let f = filter_program(
+        &ast,
+        src,
+        "bench.php",
+        &Prelude::standard(),
+        &FilterOptions::default(),
+    );
+    abstract_interpret(&f)
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encodings/chain");
+    for n in [8usize, 16, 32] {
+        let ai = ai_of(&chain_program(n));
+        group.bench_with_input(BenchmarkId::new("renaming", n), &ai, |b, ai| {
+            b.iter(|| {
+                let r = Xbmc::new(ai).check_all();
+                assert_eq!(r.violated_assertions, 1);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("aux_variable", n), &ai, |b, ai| {
+            b.iter(|| {
+                let r = Xbmc::with_options(
+                    ai,
+                    CheckOptions {
+                        encoder: EncoderKind::AuxVariable,
+                        ..CheckOptions::default()
+                    },
+                )
+                .check_all();
+                assert_eq!(r.violated_assertions, 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_branchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encodings/branchy");
+    for k in [4usize, 8] {
+        let ai = ai_of(&branchy_program(k));
+        group.bench_with_input(BenchmarkId::new("renaming", k), &ai, |b, ai| {
+            b.iter(|| {
+                let r = Xbmc::new(ai).check_all();
+                // All paths with at least one tainting branch violate.
+                assert_eq!(r.counterexamples.len(), (1 << k) - 1);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("aux_variable", k), &ai, |b, ai| {
+            b.iter(|| {
+                let r = Xbmc::with_options(
+                    ai,
+                    CheckOptions {
+                        encoder: EncoderKind::AuxVariable,
+                        ..CheckOptions::default()
+                    },
+                )
+                .check_all();
+                assert_eq!(r.violated_assertions, 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_only(c: &mut Criterion) {
+    // Isolate formula construction cost (no solving).
+    let mut group = c.benchmark_group("encodings/encode_only");
+    let lattice = taint_lattice::TwoPoint::new();
+    for n in [16usize, 64] {
+        let ai = ai_of(&chain_program(n));
+        group.bench_with_input(BenchmarkId::new("renaming", n), &ai, |b, ai| {
+            b.iter(|| xbmc::renaming::encode(ai, &lattice).formula.num_clauses())
+        });
+        group.bench_with_input(BenchmarkId::new("aux_variable", n), &ai, |b, ai| {
+            b.iter(|| xbmc::aux_encoding::encode(ai, &lattice).formula.num_clauses())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_branchy, bench_encode_only);
+criterion_main!(benches);

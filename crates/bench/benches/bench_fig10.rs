@@ -1,0 +1,61 @@
+//! E1 — the Figure 10 pipeline benchmark: full verification of
+//! calibrated projects from the paper's table (TS analysis, BMC with
+//! all-counterexample enumeration, and minimal-fixing-set grouping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corpus::{figure10_profiles, generate_project};
+use webssari_core::Verifier;
+
+fn bench_single_projects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/project");
+    group.sample_size(10);
+    for name in ["PHP Helpdesk", "GBook MX", "phpLDAPadmin", "PHP Support Tickets"] {
+        let profile = figure10_profiles()
+            .into_iter()
+            .find(|p| p.name == name)
+            .expect("profile exists");
+        let project = generate_project(&profile);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name.replace(' ', "_")),
+            &project,
+            |b, project| {
+                let verifier = Verifier::new();
+                b.iter(|| {
+                    let report = verifier.verify_project(&project.sources);
+                    assert_eq!(report.ts_errors(), project.expected_ts);
+                    assert_eq!(report.bmc_groups(), project.expected_bmc);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table_slice(c: &mut Criterion) {
+    // Ten projects end to end — a representative slice of the table
+    // (the full 38 run in the fig10_table binary).
+    let mut group = c.benchmark_group("fig10/slice");
+    group.sample_size(10);
+    let projects: Vec<_> = figure10_profiles()
+        .iter()
+        .take(10)
+        .map(generate_project)
+        .collect();
+    group.bench_function("first_10_projects", |b| {
+        let verifier = Verifier::new();
+        b.iter(|| {
+            let mut ts = 0usize;
+            let mut bmc = 0usize;
+            for p in &projects {
+                let report = verifier.verify_project(&p.sources);
+                ts += report.ts_errors();
+                bmc += report.bmc_groups();
+            }
+            assert!(ts >= bmc);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_projects, bench_table_slice);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! E6/E8 — counterexample-analysis benchmarks: replacement-set
+//! construction, the greedy set-cover heuristic vs the exact
+//! branch-and-bound minimum, and the end-to-end Figure 7 (PHP
+//! Surveyor) fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fixes::MisInstance;
+use php_front::parse_source;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use webssari_bench::surveyor_like;
+use webssari_core::Verifier;
+use webssari_ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
+use xbmc::Xbmc;
+
+fn random_mis(num_sets: usize, universe: usize, max_len: usize, seed: u64) -> MisInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MisInstance::from_sets((0..num_sets).map(|_| {
+        let len = rng.random_range(1..=max_len);
+        (0..len)
+            .map(|_| rng.random_range(0..universe))
+            .collect::<Vec<_>>()
+    }))
+}
+
+fn bench_greedy_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixes/mis");
+    for (sets, universe) in [(20usize, 12usize), (60, 20), (200, 40)] {
+        let inst = random_mis(sets, universe, 4, 0x515 + sets as u64);
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{sets}sets")),
+            &inst,
+            |b, inst| b.iter(|| inst.greedy().len()),
+        );
+        if sets <= 60 {
+            group.bench_with_input(
+                BenchmarkId::new("exact", format!("{sets}sets")),
+                &inst,
+                |b, inst| b.iter(|| inst.exact().len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_surveyor_fanout(c: &mut Criterion) {
+    // Figure 7 / §3.3.3: one root cause, k symptoms. TS inserts k
+    // guards; the BMC plan always reduces to 1.
+    let mut group = c.benchmark_group("fixes/surveyor_fanout");
+    for k in [4usize, 16, 64] {
+        let src = surveyor_like(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &src, |b, src| {
+            b.iter(|| {
+                let report = Verifier::new().verify_source(src, "surveyor.php").unwrap();
+                assert_eq!(report.ts_instrumentations(), k);
+                assert_eq!(report.bmc_instrumentations(), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_from_counterexamples(c: &mut Criterion) {
+    // Isolate the counterexample-analysis stage: reuse one BMC result.
+    let mut group = c.benchmark_group("fixes/plan_only");
+    for k in [16usize, 64] {
+        let src = surveyor_like(k);
+        let ast = parse_source(&src).unwrap();
+        let f = filter_program(
+            &ast,
+            &src,
+            "s.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        let ai = abstract_interpret(&f);
+        let result = Xbmc::new(&ai).check_all();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &result.counterexamples,
+            |b, cxs| {
+                b.iter(|| {
+                    let plan = fixes::minimal_fixing_set(cxs);
+                    assert_eq!(plan.num_patches(), 1);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_vs_exact,
+    bench_surveyor_fanout,
+    bench_plan_from_counterexamples
+);
+criterion_main!(benches);

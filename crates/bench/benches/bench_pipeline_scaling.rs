@@ -1,0 +1,70 @@
+//! E10 — end-to-end scaling: verification wall time as a function of
+//! program size, for the web-application program shapes the corpus is
+//! made of. The paper's implicit claim is that BMC is practical at
+//! 1.14M-statement scale; the series here show near-linear growth for
+//! corpus-shaped files.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webssari_bench::{chain_program, surveyor_like};
+use webssari_core::Verifier;
+
+fn bench_chain_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/copy_chain");
+    for n in [16usize, 64, 256] {
+        let src = chain_program(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
+            let verifier = Verifier::new();
+            b.iter(|| {
+                let report = verifier.verify_source(src, "chain.php").unwrap();
+                assert!(!report.is_safe());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fanout_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/fanout");
+    for k in [8usize, 32, 128] {
+        let src = surveyor_like(k);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &src, |b, src| {
+            let verifier = Verifier::new();
+            b.iter(|| {
+                let report = verifier.verify_source(src, "fanout.php").unwrap();
+                assert_eq!(report.bmc_instrumentations(), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_safe_bulk(c: &mut Criterion) {
+    // Mostly-clean files: the common case across the 230-project
+    // corpus (161 projects have nothing to report).
+    let mut group = c.benchmark_group("scaling/safe_bulk");
+    for n in [200usize, 1000] {
+        let mut src = String::from("<?php\n");
+        for i in 0..n {
+            src.push_str(&format!("$a{i} = 'v{i}';\necho $a{i};\n"));
+        }
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
+            let verifier = Verifier::new();
+            b.iter(|| {
+                let report = verifier.verify_source(src, "bulk.php").unwrap();
+                assert!(report.is_safe());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain_scaling,
+    bench_fanout_scaling,
+    bench_safe_bulk
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E9 — SAT substrate benchmarks: the CDCL solver (the reproduction's
+//! ZChaff stand-in) on standard hard and easy instance families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sat::Solver;
+use webssari_bench::{pigeonhole, random_3sat};
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/pigeonhole");
+    for (m, n) in [(5usize, 4usize), (6, 5), (7, 6)] {
+        let f = pigeonhole(m, n);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &f, |b, f| {
+            b.iter(|| {
+                let mut s = Solver::from_formula(f);
+                assert!(s.solve().is_unsat());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_3sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/random3sat");
+    for n in [50usize, 100, 150] {
+        let clauses = (n as f64 * 4.26) as usize;
+        let f = random_3sat(n, clauses, 0xBEEF + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
+            b.iter(|| {
+                let mut s = Solver::from_formula(f);
+                let _ = s.solve();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unit_heavy(c: &mut Criterion) {
+    // BMC formulas are dominated by unit propagation through guarded
+    // equalities; an implication ladder models that profile.
+    let mut group = c.benchmark_group("sat/implication_ladder");
+    for n in [1_000usize, 10_000] {
+        let mut f = cnf::CnfFormula::new();
+        f.add_lits([cnf::Var::new(0).positive()]);
+        for i in 0..n {
+            f.add_lits([
+                cnf::Var::new(i).negative(),
+                cnf::Var::new(i + 1).positive(),
+            ]);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
+            b.iter(|| {
+                let mut s = Solver::from_formula(f);
+                assert!(s.solve().is_sat());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_enumeration(c: &mut Criterion) {
+    // The xBMC loop: repeated solve + blocking clause.
+    let mut group = c.benchmark_group("sat/enumerate_models");
+    for n in [8usize, 12] {
+        let mut f = cnf::CnfFormula::new();
+        // n free variables: 2^n models over an always-true formula with
+        // one clause to declare them.
+        let lits: Vec<cnf::Lit> = (0..n).map(|i| cnf::Var::new(i).positive()).collect();
+        f.add_lits(lits.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
+            b.iter(|| {
+                let mut s = Solver::from_formula(f);
+                let mut count = 0usize;
+                while let sat::SatResult::Sat(m) = s.solve() {
+                    count += 1;
+                    let blocking: Vec<cnf::Lit> = (0..n)
+                        .map(|v| {
+                            let var = cnf::Var::new(v);
+                            cnf::Lit::new(var, !m.value(var))
+                        })
+                        .collect();
+                    s.add_clause(blocking);
+                }
+                assert_eq!(count, (1usize << n) - 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pigeonhole,
+    bench_random_3sat,
+    bench_unit_heavy,
+    bench_incremental_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerates the §5 corpus statistics (experiment E2): 230 projects,
+//! 11,848 files, 1,140,091 statements, 69 vulnerable projects, 515
+//! vulnerable files.
+//!
+//! ```text
+//! cargo run --release -p webssari-bench --bin corpus_stats            # small scale
+//! cargo run --release -p webssari-bench --bin corpus_stats -- --full  # paper scale
+//! cargo run --release -p webssari-bench --bin corpus_stats -- --full --verify
+//! ```
+//!
+//! `--verify` additionally runs the whole pipeline over every project
+//! (slow at full scale) and reports measured vulnerable projects.
+
+use std::time::Instant;
+
+use corpus::{Corpus, CorpusScale};
+use webssari_bench::verify_corpus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let verify = args.iter().any(|a| a == "--verify");
+    let scale = if full {
+        CorpusScale::Full
+    } else {
+        CorpusScale::Small
+    };
+    println!("Generating the 230-project corpus ({scale:?} scale)…");
+    let start = Instant::now();
+    let corpus = Corpus::sourceforge_230(scale);
+    let gen_time = start.elapsed();
+    let statements: usize = corpus.projects.iter().map(|p| p.num_statements).sum();
+    println!("generation time:        {gen_time:.2?}");
+    println!(
+        "projects:               {:>9}   (paper: 230)",
+        corpus.projects.len()
+    );
+    println!(
+        "files:                  {:>9}   (paper: 11,848)",
+        corpus.num_files()
+    );
+    println!("statements:             {statements:>9}   (paper: 1,140,091)");
+    println!(
+        "vulnerable projects:    {:>9}   (paper: 69)",
+        corpus.expected_vulnerable_projects()
+    );
+    let vulnerable_files: usize = corpus
+        .projects
+        .iter()
+        .map(|p| p.expected_vulnerable_files)
+        .sum();
+    println!("vulnerable files:       {vulnerable_files:>9}   (paper: 515)");
+    let acknowledged: usize = corpus
+        .projects
+        .iter()
+        .filter(|p| corpus::figure10_profiles().iter().any(|f| f.name == p.name))
+        .map(|p| p.expected_ts)
+        .sum();
+    println!("acknowledged TS errors: {acknowledged:>9}   (paper: 980)");
+    if verify {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        println!("\nVerifying every project with {threads} threads…");
+        let start = Instant::now();
+        let rows = verify_corpus(&corpus, threads);
+        let elapsed = start.elapsed();
+        let vulnerable = rows.iter().filter(|r| r.bmc > 0).count();
+        let ts: usize = rows.iter().map(|r| r.ts).sum();
+        let bmc: usize = rows.iter().map(|r| r.bmc).sum();
+        println!("measured vulnerable projects: {vulnerable}   (expected 69)");
+        println!("measured TS errors:           {ts}");
+        println!("measured BMC groups:          {bmc}");
+        println!("verification time:            {elapsed:.2?}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Regenerates the §3.3.1-vs-§3.3.2 comparison (experiment E7): the
+//! auxiliary-variable encoding (xBMC 0.1) encodes each assignment with
+//! `2·|X|` type vectors and blows up; variable renaming (xBMC 1.0) uses
+//! 2 per assignment. The paper reports "frequent system breakdowns"
+//! for xBMC 0.1 — this harness prints CNF sizes and verification times
+//! for both on growing copy-chain programs.
+//!
+//! ```text
+//! cargo run --release -p webssari-bench --bin encoding_blowup
+//! ```
+
+use std::time::Instant;
+
+use php_front::parse_source;
+use webssari_bench::{branchy_program, chain_program};
+use webssari_ir::{abstract_interpret, filter_program, AiProgram, FilterOptions, Prelude};
+use xbmc::{aux_encoding, renaming, CheckOptions, EncoderKind, Xbmc};
+
+fn ai_of(src: &str) -> AiProgram {
+    let prelude = Prelude::standard();
+    let ast = parse_source(src).expect("workload parses");
+    let f = filter_program(&ast, src, "bench.php", &prelude, &FilterOptions::default());
+    abstract_interpret(&f)
+}
+
+fn row(label: &str, ai: &AiProgram) {
+    let lattice = taint_lattice::TwoPoint::new();
+    let ren = renaming::encode(ai, &lattice);
+    let aux = aux_encoding::encode(ai, &lattice);
+    let (rv, rc) = (ren.formula.num_vars(), ren.formula.num_clauses());
+    let (av, ac) = (aux.formula.num_vars(), aux.formula.num_clauses());
+    let t0 = Instant::now();
+    let r1 = Xbmc::new(ai).check_all();
+    let ren_time = t0.elapsed();
+    let t1 = Instant::now();
+    let r2 = Xbmc::with_options(
+        ai,
+        CheckOptions {
+            encoder: EncoderKind::AuxVariable,
+            ..CheckOptions::default()
+        },
+    )
+    .check_all();
+    let aux_time = t1.elapsed();
+    assert_eq!(
+        r1.violated_assertions, r2.violated_assertions,
+        "encodings must agree"
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>10.2?} {:>10.2?} {:>7.1}x",
+        label,
+        rv,
+        rc,
+        av,
+        ac,
+        ren_time,
+        aux_time,
+        ac as f64 / rc.max(1) as f64,
+    );
+}
+
+fn main() {
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "workload", "ren vars", "ren clauses", "aux vars", "aux clauses", "ren time", "aux time", "blowup"
+    );
+    println!("-- straight-line copy chains (renaming constant-folds these) --");
+    for n in [4usize, 8, 16, 32, 64] {
+        let ai = ai_of(&chain_program(n));
+        row(&format!("chain-{n}"), &ai);
+    }
+    println!("-- branchy programs (nondeterministic guards defeat folding) --");
+    for k in [2usize, 4, 6, 8] {
+        let ai = ai_of(&branchy_program(k));
+        row(&format!("branch-{k}"), &ai);
+    }
+    println!("\nThe aux/renaming clause ratio grows with program size: the");
+    println!("auxiliary-variable encoding copies the whole state (2·|X| type");
+    println!("vectors) every step, which is why the paper abandoned xBMC 0.1.");
+}

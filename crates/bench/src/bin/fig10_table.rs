@@ -1,0 +1,46 @@
+//! Regenerates Figure 10 (experiments E1 and E3): per-project TS vs
+//! BMC error counts over the 38 acknowledged projects, plus the 41.0%
+//! instrumentation-reduction headline.
+//!
+//! ```text
+//! cargo run --release -p webssari-bench --bin fig10_table
+//! ```
+
+use std::time::Instant;
+
+use corpus::Corpus;
+use webssari_bench::{render_fig10, verify_corpus};
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    println!("Generating the 38 acknowledged projects of Figure 10…");
+    let corpus = Corpus::figure10();
+    println!(
+        "{} projects, {} files. Verifying with {} threads…\n",
+        corpus.projects.len(),
+        corpus.num_files(),
+        threads
+    );
+    let start = Instant::now();
+    let rows = verify_corpus(&corpus, threads);
+    let elapsed = start.elapsed();
+    print!("{}", render_fig10(&rows));
+    let mismatches: Vec<_> = rows
+        .iter()
+        .filter(|r| r.ts != r.expected_ts || r.bmc != r.expected_bmc)
+        .collect();
+    if mismatches.is_empty() {
+        println!("\nAll 38 rows match the paper's table.");
+    } else {
+        println!("\nMISMATCHED ROWS:");
+        for r in mismatches {
+            println!(
+                "  {}: measured {}/{} vs paper {}/{}",
+                r.name, r.ts, r.bmc, r.expected_ts, r.expected_bmc
+            );
+        }
+    }
+    println!("Total verification time: {elapsed:.2?}");
+}

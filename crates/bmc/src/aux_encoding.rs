@@ -1,0 +1,447 @@
+//! xBMC 0.1: the auxiliary-location-variable encoding (§3.3.1).
+//!
+//! "A naïve but conceptually straightforward solution was to add an
+//! auxiliary variable l to record program lines. […] initial experiments
+//! revealed frequent system breakdowns, primarily due to inefficiently
+//! encoding each assignment using 2·|X| variables."
+//!
+//! The abstract interpretation is flattened into a control-flow graph
+//! whose nodes are single commands; the state is the location register
+//! plus *every* variable's type vector, and the transition relation is
+//! unrolled for `k` steps (the program diameter). Every step allocates a
+//! fresh copy of the whole state and frames the unassigned variables —
+//! exactly the `2·|X|`-per-assignment cost the paper abandoned. Kept as
+//! a faithful ablation for the encoding-blowup experiment (E7).
+
+use cnf::{CnfFormula, FormulaBuilder, Lit};
+use taint_lattice::Lattice;
+use webssari_ir::{AiCmd, AiProgram, AssertId, BranchId, Site, VarId};
+
+use crate::typevec::TypeVec;
+
+struct AssertMeta {
+    id: AssertId,
+    func: String,
+    site: Site,
+    vars: Vec<VarId>,
+    bound: taint_lattice::Elem,
+    strict: bool,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Assign {
+        var: VarId,
+        base: taint_lattice::Elem,
+        deps: Vec<VarId>,
+        mask: Option<taint_lattice::Elem>,
+        succ: usize,
+    },
+    Assert {
+        index: usize,
+        succ: usize,
+    },
+    Branch {
+        branch: BranchId,
+        then_succ: usize,
+        else_succ: usize,
+    },
+    Halt,
+}
+
+/// An encoded assertion in the auxiliary-variable encoding.
+#[derive(Clone, Debug)]
+pub struct AuxAssert {
+    /// Assertion id.
+    pub id: AssertId,
+    /// SOC function name.
+    pub func: String,
+    /// SOC call site.
+    pub site: Site,
+    /// True iff the assertion is violated at some step.
+    pub violated: Lit,
+    /// Per checked variable: true iff it violates the bound at the step
+    /// where the assertion executes.
+    pub var_violations: Vec<(VarId, Lit)>,
+}
+
+/// The unrolled CFG encoding.
+#[derive(Debug)]
+pub struct AuxEncoding {
+    /// The transition-relation constraints, unrolled `num_steps` times.
+    pub formula: CnfFormula,
+    /// Encoded assertions in program order.
+    pub asserts: Vec<AuxAssert>,
+    /// Number of unrolled steps `k` (the program diameter).
+    pub num_steps: usize,
+    /// Number of CFG nodes.
+    pub num_nodes: usize,
+    /// Bits in the location register.
+    pub loc_bits: usize,
+    nodes: Vec<Node>,
+    /// `locs[i]` is the location register at step `i` (length
+    /// `num_steps + 1`).
+    locs: Vec<Vec<Lit>>,
+    num_branches: usize,
+    entry: usize,
+}
+
+impl AuxEncoding {
+    /// Decodes the branch decisions taken on a model's path.
+    ///
+    /// Branch nodes not visited on the path decode to `false`.
+    pub fn decode_branches(&self, model: &sat::Model) -> Vec<bool> {
+        let mut branches = vec![false; self.num_branches];
+        let mut loc = self.entry;
+        for step in 0..self.num_steps {
+            let next = self.decode_loc(model, step + 1);
+            if let Node::Branch {
+                branch, then_succ, ..
+            } = &self.nodes[loc]
+            {
+                branches[branch.0 as usize] = next == *then_succ;
+            }
+            loc = next;
+        }
+        branches
+    }
+
+    fn decode_loc(&self, model: &sat::Model, step: usize) -> usize {
+        let mut v = 0usize;
+        for (i, &bit) in self.locs[step].iter().enumerate() {
+            if model.lit_value(bit) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+}
+
+/// Flattens and encodes an AI program with the auxiliary-variable
+/// scheme.
+pub fn encode(ai: &AiProgram, lattice: &impl Lattice) -> AuxEncoding {
+    // ---- flatten to a CFG --------------------------------------------
+    let mut nodes = vec![Node::Halt];
+    let mut assert_meta: Vec<AssertMeta> = Vec::new();
+    let entry = build(&ai.cmds, 0, &mut nodes, &mut assert_meta);
+    let num_nodes = nodes.len();
+    let loc_bits = (usize::BITS - (num_nodes.max(2) - 1).leading_zeros()) as usize;
+    let num_steps = ai.diameter();
+
+    // ---- unroll -------------------------------------------------------
+    let mut b = FormulaBuilder::new();
+    let bottom = lattice.bottom();
+    let num_vars = ai.vars.len();
+
+    let fresh_loc = |b: &mut FormulaBuilder| -> Vec<Lit> {
+        (0..loc_bits).map(|_| b.fresh_lit()).collect()
+    };
+    let mut locs: Vec<Vec<Lit>> = Vec::with_capacity(num_steps + 1);
+    let loc0 = fresh_loc(&mut b);
+    b.assert_const(&loc0, entry);
+    locs.push(loc0);
+
+    let mut types: Vec<TypeVec> = (0..num_vars)
+        .map(|_| TypeVec::constant(&mut b, lattice, bottom))
+        .collect();
+
+    // Per assertion: violation literals accumulated over steps.
+    let mut assert_viols: Vec<Vec<Lit>> = vec![Vec::new(); assert_meta.len()];
+    let mut assert_var_viols: Vec<Vec<(VarId, Vec<Lit>)>> = assert_meta
+        .iter()
+        .map(|m| m.vars.iter().map(|v| (*v, Vec::new())).collect())
+        .collect();
+
+    for _step in 0..num_steps {
+        let next_loc = fresh_loc(&mut b);
+        // Fresh copy of the whole state: the 2·|X| cost.
+        let next_types: Vec<TypeVec> =
+            (0..num_vars).map(|_| TypeVec::fresh(&mut b, lattice)).collect();
+        let mut validity = Vec::with_capacity(num_nodes);
+        for (n, node) in nodes.iter().enumerate() {
+            let cur_loc = locs.last().expect("at least step 0").clone();
+            let at_n = b.equals_const(&cur_loc, n);
+            validity.push(at_n);
+            match node {
+                Node::Assign {
+                    var,
+                    base,
+                    deps,
+                    mask,
+                    succ,
+                } => {
+                    let operands: Vec<TypeVec> =
+                        deps.iter().map(|d| types[d.index()].clone()).collect();
+                    let mut rhs = TypeVec::join_all(&mut b, lattice, *base, &operands);
+                    if let Some(m) = mask {
+                        let keep = TypeVec::constant(&mut b, lattice, *m);
+                        rhs = rhs.meet(&mut b, lattice, &keep);
+                    }
+                    guarded_loc(&mut b, at_n, &next_loc, *succ);
+                    b.guarded_equal(at_n, next_types[var.index()].bits(), rhs.bits());
+                    for v in 0..num_vars {
+                        if v != var.index() {
+                            b.guarded_equal(at_n, next_types[v].bits(), types[v].bits());
+                        }
+                    }
+                }
+                Node::Assert { index, succ } => {
+                    let meta = &assert_meta[*index];
+                    guarded_loc(&mut b, at_n, &next_loc, *succ);
+                    for v in 0..num_vars {
+                        b.guarded_equal(at_n, next_types[v].bits(), types[v].bits());
+                    }
+                    let mut any = Vec::new();
+                    for (slot, v) in meta.vars.iter().enumerate() {
+                        let ok = if meta.strict {
+                            types[v.index()].lt_bound(&mut b, lattice, meta.bound)
+                        } else {
+                            types[v.index()].le_bound(&mut b, lattice, meta.bound)
+                        };
+                        let viol = b.and(at_n, !ok);
+                        any.push(viol);
+                        assert_var_viols[*index][slot].1.push(viol);
+                    }
+                    let viol_here = b.or_all(any);
+                    assert_viols[*index].push(viol_here);
+                }
+                Node::Branch {
+                    then_succ,
+                    else_succ,
+                    ..
+                } => {
+                    let then_eq = b.equals_const(&next_loc, *then_succ);
+                    let else_eq = b.equals_const(&next_loc, *else_succ);
+                    let either = b.or(then_eq, else_eq);
+                    b.add_clause([!at_n, either]);
+                    for v in 0..num_vars {
+                        b.guarded_equal(at_n, next_types[v].bits(), types[v].bits());
+                    }
+                }
+                Node::Halt => {
+                    guarded_loc(&mut b, at_n, &next_loc, n);
+                    for v in 0..num_vars {
+                        b.guarded_equal(at_n, next_types[v].bits(), types[v].bits());
+                    }
+                }
+            }
+        }
+        // The location register always holds a real node.
+        b.add_clause(validity);
+        locs.push(next_loc);
+        types = next_types;
+    }
+
+    let mut asserts: Vec<AuxAssert> = assert_meta
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let violated = b.or_all(assert_viols[i].clone());
+            let var_violations = assert_var_viols[i]
+                .iter()
+                .map(|(v, lits)| (*v, b.or_all(lits.clone())))
+                .collect();
+            AuxAssert {
+                id: m.id,
+                func: m.func.clone(),
+                site: m.site.clone(),
+                violated,
+                var_violations,
+            }
+        })
+        .collect();
+    // `build` walks commands in reverse, so restore program order.
+    asserts.sort_by_key(|a| a.id);
+
+    AuxEncoding {
+        formula: b.into_formula(),
+        asserts,
+        num_steps,
+        num_nodes,
+        loc_bits,
+        nodes,
+        locs,
+        num_branches: ai.num_branches,
+        entry,
+    }
+}
+
+fn guarded_loc(b: &mut FormulaBuilder, guard: Lit, loc: &[Lit], value: usize) {
+    for (i, &bit) in loc.iter().enumerate() {
+        let lit = if value >> i & 1 == 1 { bit } else { !bit };
+        b.add_clause([!guard, lit]);
+    }
+}
+
+fn build(
+    cmds: &[AiCmd],
+    cont: usize,
+    nodes: &mut Vec<Node>,
+    assert_meta: &mut Vec<AssertMeta>,
+) -> usize {
+    let mut next = cont;
+    for c in cmds.iter().rev() {
+        match c {
+            AiCmd::Assign {
+                var,
+                base,
+                deps,
+                mask,
+                ..
+            } => {
+                nodes.push(Node::Assign {
+                    var: *var,
+                    base: *base,
+                    deps: deps.clone(),
+                    mask: *mask,
+                    succ: next,
+                });
+                next = nodes.len() - 1;
+            }
+            AiCmd::Assert {
+                id,
+                vars,
+                bound,
+                strict,
+                func,
+                site,
+            } => {
+                assert_meta.push(AssertMeta {
+                    id: *id,
+                    func: func.clone(),
+                    site: site.clone(),
+                    vars: vars.clone(),
+                    bound: *bound,
+                    strict: *strict,
+                });
+                nodes.push(Node::Assert {
+                    index: assert_meta.len() - 1,
+                    succ: next,
+                });
+                next = nodes.len() - 1;
+            }
+            AiCmd::If {
+                branch,
+                then_cmds,
+                else_cmds,
+                ..
+            } => {
+                let t = build(then_cmds, next, nodes, assert_meta);
+                let e = build(else_cmds, next, nodes, assert_meta);
+                nodes.push(Node::Branch {
+                    branch: *branch,
+                    then_succ: t,
+                    else_succ: e,
+                });
+                next = nodes.len() - 1;
+            }
+            // Figure 5: stop contributes `true`.
+            AiCmd::Stop { .. } => {}
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_front::parse_source;
+    use sat::{SatResult, Solver};
+    use taint_lattice::TwoPoint;
+    use webssari_ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
+
+    fn ai_of(src: &str) -> AiProgram {
+        let ast = parse_source(src).expect("parse");
+        let f = filter_program(
+            &ast,
+            src,
+            "t.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        abstract_interpret(&f)
+    }
+
+    #[test]
+    fn straight_line_violation_found() {
+        let ai = ai_of("<?php $x = $_GET['a']; echo $x;");
+        let enc = encode(&ai, &TwoPoint::new());
+        assert_eq!(enc.asserts.len(), 1);
+        let mut s = Solver::from_formula(&enc.formula);
+        assert!(s.solve_with_assumptions(&[enc.asserts[0].violated]).is_sat());
+    }
+
+    #[test]
+    fn sanitized_program_is_safe() {
+        let ai = ai_of("<?php $x = htmlspecialchars($_GET['a']); echo $x;");
+        let enc = encode(&ai, &TwoPoint::new());
+        let mut s = Solver::from_formula(&enc.formula);
+        assert!(s
+            .solve_with_assumptions(&[enc.asserts[0].violated])
+            .is_unsat());
+    }
+
+    #[test]
+    fn branch_decisions_decode_from_path() {
+        let ai = ai_of("<?php $x = 'ok'; if ($c) { $x = $_GET['a']; } echo $x;");
+        let enc = encode(&ai, &TwoPoint::new());
+        let mut s = Solver::from_formula(&enc.formula);
+        match s.solve_with_assumptions(&[enc.asserts[0].violated]) {
+            SatResult::Sat(m) => {
+                let branches = enc.decode_branches(&m);
+                assert_eq!(branches, vec![true]);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_renaming_on_violated_set() {
+        let srcs = [
+            "<?php $x = $_GET['a']; echo $x;",
+            "<?php $x = 'ok'; echo $x;",
+            "<?php if ($c) { $x = $_GET['a']; } else { $x = 'ok'; } echo $x; mysql_query($x);",
+            "<?php $a = $_GET['q']; $b = htmlspecialchars($a); echo $b; echo $a;",
+            "<?php while ($c) { $x = $_GET['p']; } echo $x;",
+        ];
+        let l = TwoPoint::new();
+        for src in srcs {
+            let ai = ai_of(src);
+            let aux = encode(&ai, &l);
+            let ren = crate::renaming::encode(&ai, &l);
+            assert_eq!(aux.asserts.len(), ren.asserts.len(), "{src}");
+            for (a, r) in aux.asserts.iter().zip(&ren.asserts) {
+                let mut sa = Solver::from_formula(&aux.formula);
+                let mut sr = Solver::from_formula(&ren.formula);
+                let va = sa.solve_with_assumptions(&[a.violated]).is_sat();
+                let vr = sr.solve_with_assumptions(&[r.violated]).is_sat();
+                assert_eq!(va, vr, "encodings disagree on {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn formula_is_larger_than_renaming() {
+        // The whole point of §3.3.2: the aux encoding blows up.
+        let src = "<?php $a = $_GET['q']; $b = $a; $c = $b; $d = $c; $e = $d; echo $e;";
+        let ai = ai_of(src);
+        let l = TwoPoint::new();
+        let aux = encode(&ai, &l);
+        let ren = crate::renaming::encode(&ai, &l);
+        assert!(
+            aux.formula.num_clauses() > 2 * ren.formula.num_clauses(),
+            "aux {} vs renaming {}",
+            aux.formula.num_clauses(),
+            ren.formula.num_clauses()
+        );
+    }
+
+    #[test]
+    fn steps_equal_diameter() {
+        let ai = ai_of("<?php $a = 1; $b = 2; echo $q;");
+        let enc = encode(&ai, &TwoPoint::new());
+        assert_eq!(enc.num_steps, ai.diameter());
+        assert!(enc.num_nodes >= 3);
+        assert!(enc.loc_bits >= 2);
+    }
+}

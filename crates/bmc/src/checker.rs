@@ -1,0 +1,547 @@
+use sat::{SatResult, Solver};
+use taint_lattice::{Lattice, TwoPoint};
+use webssari_ir::AiProgram;
+
+use crate::aux_encoding;
+use crate::renaming;
+use crate::trace::{replay_trace, Counterexample};
+
+/// Which encoding the checker uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EncoderKind {
+    /// xBMC 1.0 — variable renaming (§3.3.2). The default.
+    #[default]
+    Renaming,
+    /// xBMC 0.1 — auxiliary location variable (§3.3.1). Ablation only:
+    /// it reports one counterexample per violated assertion instead of
+    /// enumerating all of them.
+    AuxVariable,
+}
+
+/// Options for [`Xbmc`].
+#[derive(Clone, Debug)]
+pub struct CheckOptions {
+    /// Encoding to use.
+    pub encoder: EncoderKind,
+    /// Build a fresh solver per assertion (the paper's formulation of
+    /// `Bᵢ`) instead of reusing one incremental solver. Semantically
+    /// identical; the incremental mode is faster and is the default.
+    pub fresh_solver_per_assert: bool,
+    /// Upper bound on enumerated counterexamples per assertion; the
+    /// result notes when an assertion was truncated.
+    pub max_counterexamples_per_assert: usize,
+    /// When set, every assertion that *holds* is certified: the solver
+    /// emits a DRAT refutation of `Bᵢ = C(c, g) ∧ ¬assertᵢ`, checkable
+    /// with [`sat::Proof::verify_refutation`] against
+    /// [`CheckResult::certified_formula`]. "Soundness guarantees the
+    /// absence of bugs" — with a machine-checkable witness.
+    pub certify: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            encoder: EncoderKind::Renaming,
+            fresh_solver_per_assert: false,
+            max_counterexamples_per_assert: 1024,
+            certify: false,
+        }
+    }
+}
+
+/// Work counters for one verification run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct XbmcStats {
+    /// CNF variables in the encoded program.
+    pub cnf_vars: usize,
+    /// CNF clauses in the encoded program.
+    pub cnf_clauses: usize,
+    /// SAT solver invocations.
+    pub sat_calls: usize,
+    /// Assertions whose enumeration hit the per-assert cap.
+    pub truncated_assertions: usize,
+}
+
+/// The outcome of checking every assertion of an AI program.
+#[derive(Clone, Debug, Default)]
+pub struct CheckResult {
+    /// All counterexamples, grouped by assertion in program order and
+    /// sorted by branch assignment within each assertion.
+    pub counterexamples: Vec<Counterexample>,
+    /// Number of assertions checked.
+    pub checked_assertions: usize,
+    /// Number of assertions with at least one counterexample.
+    pub violated_assertions: usize,
+    /// Work counters.
+    pub stats: XbmcStats,
+    /// DRAT refutations of `Bᵢ` for every assertion that holds, when
+    /// [`CheckOptions::certify`] was set.
+    pub certificates: Vec<Certificate>,
+    /// The program constraints the certificates refer to (present only
+    /// when certifying).
+    pub certified_formula: Option<cnf::CnfFormula>,
+}
+
+/// A machine-checkable witness that one assertion holds: a DRAT
+/// refutation of `Bᵢ = C(c, g) ∧ ¬assertᵢ`.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// The certified assertion.
+    pub assert_id: webssari_ir::AssertId,
+    /// The violation literal whose unit clause, conjoined with
+    /// [`CheckResult::certified_formula`], the proof refutes.
+    pub violated: cnf::Lit,
+    /// The refutation.
+    pub proof: sat::Proof,
+}
+
+impl Certificate {
+    /// Independently re-checks this certificate against the program
+    /// constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`sat::ProofError`] if the proof does not
+    /// check.
+    pub fn verify(&self, program_formula: &cnf::CnfFormula) -> Result<(), sat::ProofError> {
+        let mut f = program_formula.clone();
+        f.add_lits([self.violated]);
+        self.proof.verify_refutation(&f)
+    }
+}
+
+impl CheckResult {
+    /// Whether the program satisfies every assertion — the *soundness
+    /// guarantee* case: "soundness guarantees the absence of bugs".
+    pub fn is_safe(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+
+    /// The certificate for one assertion, if it was certified.
+    pub fn certificate(&self, id: webssari_ir::AssertId) -> Option<&Certificate> {
+        self.certificates.iter().find(|c| c.assert_id == id)
+    }
+
+    /// Re-checks every certificate against the certified formula,
+    /// returning how many were verified.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing certificate's assert id and error.
+    pub fn verify_certificates(
+        &self,
+    ) -> Result<usize, (webssari_ir::AssertId, sat::ProofError)> {
+        let Some(formula) = &self.certified_formula else {
+            return Ok(0);
+        };
+        for c in &self.certificates {
+            c.verify(formula).map_err(|e| (c.assert_id, e))?;
+        }
+        Ok(self.certificates.len())
+    }
+}
+
+/// The bounded model checker.
+///
+/// See the crate docs for the algorithm; [`Xbmc::check_all`] runs the
+/// per-assertion counterexample enumeration over the two-point taint
+/// lattice.
+#[derive(Debug)]
+pub struct Xbmc<'a> {
+    ai: &'a AiProgram,
+    options: CheckOptions,
+}
+
+impl<'a> Xbmc<'a> {
+    /// Creates a checker with default options.
+    pub fn new(ai: &'a AiProgram) -> Self {
+        Xbmc {
+            ai,
+            options: CheckOptions::default(),
+        }
+    }
+
+    /// Creates a checker with explicit options.
+    pub fn with_options(ai: &'a AiProgram, options: CheckOptions) -> Self {
+        Xbmc { ai, options }
+    }
+
+    /// Checks every assertion over the standard two-point taint lattice.
+    pub fn check_all(&self) -> CheckResult {
+        self.check_all_with(&TwoPoint::new())
+    }
+
+    /// Checks every assertion over an explicit lattice.
+    pub fn check_all_with(&self, lattice: &impl Lattice) -> CheckResult {
+        match self.options.encoder {
+            EncoderKind::Renaming => self.check_renaming(lattice),
+            EncoderKind::AuxVariable => self.check_aux(lattice),
+        }
+    }
+
+    fn check_renaming(&self, lattice: &impl Lattice) -> CheckResult {
+        let enc = renaming::encode(self.ai, lattice);
+        let mut result = CheckResult {
+            checked_assertions: enc.asserts.len(),
+            ..CheckResult::default()
+        };
+        result.stats.cnf_vars = enc.formula.num_vars();
+        result.stats.cnf_clauses = enc.formula.num_clauses();
+        let mut shared_solver = if self.options.fresh_solver_per_assert {
+            None
+        } else {
+            Some(Solver::from_formula(&enc.formula))
+        };
+        // One free selector variable per assertion scopes its blocking
+        // clauses: they only bite while that assertion is being
+        // enumerated (the selector is assumed true), and are inert
+        // afterwards (the solver may set the selector false).
+        let selector_base = enc.formula.num_vars();
+        for (ai_idx, a) in enc.asserts.iter().enumerate() {
+            let selector = cnf::Var::new(selector_base + ai_idx).positive();
+            let mut solver_storage;
+            let solver: &mut Solver = match shared_solver.as_mut() {
+                Some(s) => s,
+                None => {
+                    solver_storage = Solver::from_formula(&enc.formula);
+                    &mut solver_storage
+                }
+            };
+            let mut found: Vec<Counterexample> = Vec::new();
+            loop {
+                if found.len() >= self.options.max_counterexamples_per_assert {
+                    result.stats.truncated_assertions += 1;
+                    break;
+                }
+                result.stats.sat_calls += 1;
+                match solver.solve_with_assumptions(&[selector, a.violated]) {
+                    SatResult::Sat(model) => {
+                        // Branch values, with branches outside Bᵢ's BN
+                        // normalized to false.
+                        let mut branches = vec![false; self.ai.num_branches];
+                        for b in &a.relevant_branches {
+                            branches[b.0 as usize] =
+                                model.lit_value(enc.branch_lits[b.0 as usize]);
+                        }
+                        let violating_vars = a
+                            .var_violations
+                            .iter()
+                            .filter(|(_, l)| model.lit_value(*l))
+                            .map(|(v, _)| *v)
+                            .collect();
+                        found.push(Counterexample {
+                            assert_id: a.id,
+                            func: a.func.clone(),
+                            site: a.site.clone(),
+                            violating_vars,
+                            trace: replay_trace(self.ai, &branches, a.id),
+                            branches,
+                        });
+                        // Negate this counterexample's BN values:
+                        // Bᵢʲ⁺¹ = Bᵢʲ ∧ Nᵢʲ (scoped by the violation
+                        // literal in the incremental solver).
+                        let mut blocking: Vec<cnf::Lit> = a
+                            .relevant_branches
+                            .iter()
+                            .map(|b| {
+                                let lit = enc.branch_lits[b.0 as usize];
+                                if model.lit_value(lit) {
+                                    !lit
+                                } else {
+                                    lit
+                                }
+                            })
+                            .collect();
+                        blocking.push(!selector);
+                        solver.add_clause(blocking);
+                    }
+                    SatResult::Unsat => break,
+                    SatResult::Unknown => break,
+                }
+            }
+            if !found.is_empty() {
+                result.violated_assertions += 1;
+            } else if self.options.certify {
+                // The assertion holds: certify Bᵢ's unsatisfiability
+                // with a DRAT refutation from a fresh solver in which
+                // the violation literal is a unit clause.
+                let mut prover = Solver::from_formula(&enc.formula);
+                prover.start_proof();
+                prover.add_clause([a.violated]);
+                result.stats.sat_calls += 1;
+                let res = prover.solve();
+                debug_assert!(res.is_unsat(), "enumeration said Bᵢ is unsat");
+                if let Some(proof) = prover.take_proof() {
+                    if proof.proves_unsat() {
+                        result.certificates.push(Certificate {
+                            assert_id: a.id,
+                            violated: a.violated,
+                            proof,
+                        });
+                    }
+                }
+            }
+            found.sort_by(|a, b| a.branches.cmp(&b.branches));
+            result.counterexamples.extend(found);
+        }
+        if self.options.certify {
+            result.certified_formula = Some(enc.formula.clone());
+        }
+        result
+    }
+
+    fn check_aux(&self, lattice: &impl Lattice) -> CheckResult {
+        let enc = aux_encoding::encode(self.ai, lattice);
+        let mut result = CheckResult {
+            checked_assertions: enc.asserts.len(),
+            ..CheckResult::default()
+        };
+        result.stats.cnf_vars = enc.formula.num_vars();
+        result.stats.cnf_clauses = enc.formula.num_clauses();
+        let mut solver = Solver::from_formula(&enc.formula);
+        for a in &enc.asserts {
+            result.stats.sat_calls += 1;
+            if let SatResult::Sat(model) = solver.solve_with_assumptions(&[a.violated]) {
+                result.violated_assertions += 1;
+                let branches = enc.decode_branches(&model);
+                let violating_vars = a
+                    .var_violations
+                    .iter()
+                    .filter(|(_, l)| model.lit_value(*l))
+                    .map(|(v, _)| *v)
+                    .collect();
+                result.counterexamples.push(Counterexample {
+                    assert_id: a.id,
+                    func: a.func.clone(),
+                    site: a.site.clone(),
+                    violating_vars,
+                    trace: replay_trace(self.ai, &branches, a.id),
+                    branches,
+                });
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_front::parse_source;
+    use webssari_ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
+
+    fn ai_of(src: &str) -> AiProgram {
+        let ast = parse_source(src).expect("parse");
+        let f = filter_program(
+            &ast,
+            src,
+            "t.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        abstract_interpret(&f)
+    }
+
+    #[test]
+    fn safe_program_has_no_counterexamples() {
+        let ai = ai_of("<?php $x = htmlspecialchars($_GET['a']); echo $x;");
+        let r = Xbmc::new(&ai).check_all();
+        assert!(r.is_safe());
+        assert_eq!(r.checked_assertions, 1);
+        assert_eq!(r.violated_assertions, 0);
+    }
+
+    #[test]
+    fn unconditional_violation_yields_one_counterexample() {
+        let ai = ai_of("<?php $x = $_GET['a']; echo $x;");
+        let r = Xbmc::new(&ai).check_all();
+        assert_eq!(r.counterexamples.len(), 1);
+        assert_eq!(r.violated_assertions, 1);
+        assert_eq!(r.counterexamples[0].func, "echo");
+    }
+
+    #[test]
+    fn enumeration_finds_every_violating_path() {
+        // Two independent tainting branches feeding one sink: paths
+        // (T,T), (T,F), (F,T) violate; (F,F) does not.
+        let ai = ai_of(
+            "<?php $x = 'ok'; if ($a) { $x = $_GET['p']; } if ($b) { $x = $x . $_GET['q']; } echo $x;",
+        );
+        let r = Xbmc::new(&ai).check_all();
+        let paths: Vec<Vec<bool>> =
+            r.counterexamples.iter().map(|c| c.branches.clone()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                vec![false, true],
+                vec![true, false],
+                vec![true, true],
+            ]
+        );
+    }
+
+    #[test]
+    fn fresh_solver_mode_matches_incremental() {
+        let src = "<?php $x = 'ok'; if ($a) { $x = $_GET['p']; } echo $x; if ($b) { mysql_query($x); }";
+        let ai = ai_of(src);
+        let inc = Xbmc::new(&ai).check_all();
+        let fresh = Xbmc::with_options(
+            &ai,
+            CheckOptions {
+                fresh_solver_per_assert: true,
+                ..CheckOptions::default()
+            },
+        )
+        .check_all();
+        let key = |r: &CheckResult| {
+            r.counterexamples
+                .iter()
+                .map(|c| (c.assert_id, c.branches.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&inc), key(&fresh));
+    }
+
+    #[test]
+    fn counterexample_cap_truncates() {
+        // 3 irrelevant branches around the sink → 8 violating paths.
+        let ai = ai_of(
+            "<?php $x = $_GET['p']; if ($a) { $u = 1; } if ($b) { $v = 2; } if ($c) { $w = 3; } echo $x;",
+        );
+        let capped = Xbmc::with_options(
+            &ai,
+            CheckOptions {
+                max_counterexamples_per_assert: 2,
+                ..CheckOptions::default()
+            },
+        )
+        .check_all();
+        assert_eq!(capped.counterexamples.len(), 2);
+        assert_eq!(capped.stats.truncated_assertions, 1);
+    }
+
+    #[test]
+    fn aux_encoder_agrees_on_violated_assertions() {
+        let src =
+            "<?php $x = 'ok'; if ($c) { $x = $_GET['a']; } echo $x; $y = 'safe'; echo $y;";
+        let ai = ai_of(src);
+        let ren = Xbmc::new(&ai).check_all();
+        let aux = Xbmc::with_options(
+            &ai,
+            CheckOptions {
+                encoder: EncoderKind::AuxVariable,
+                ..CheckOptions::default()
+            },
+        )
+        .check_all();
+        assert_eq!(ren.violated_assertions, aux.violated_assertions);
+        assert_eq!(ren.checked_assertions, aux.checked_assertions);
+        // The aux path's single counterexample must be a genuine one.
+        assert_eq!(aux.counterexamples.len(), 1);
+        assert_eq!(aux.counterexamples[0].branches, vec![true]);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let ai = ai_of("<?php $x = $_GET['a']; echo $x;");
+        let r = Xbmc::new(&ai).check_all();
+        assert!(r.stats.cnf_vars > 0);
+        assert!(r.stats.cnf_clauses > 0);
+        assert!(r.stats.sat_calls >= 2); // one sat + one unsat
+    }
+
+    #[test]
+    fn traces_accompany_counterexamples() {
+        let ai = ai_of("<?php $a = $_GET['x']; $b = $a; mysql_query($b);");
+        let r = Xbmc::new(&ai).check_all();
+        assert_eq!(r.counterexamples.len(), 1);
+        let cx = &r.counterexamples[0];
+        assert_eq!(cx.trace.len(), 3); // _GET init, $a, $b
+        assert_eq!(cx.violating_vars.len(), 1);
+        assert_eq!(ai.vars.name(cx.violating_vars[0]), "b");
+    }
+}
+
+#[cfg(test)]
+mod certify_tests {
+    use super::*;
+    use php_front::parse_source;
+    use webssari_ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
+
+    fn ai_of(src: &str) -> webssari_ir::AiProgram {
+        let ast = parse_source(src).expect("parse");
+        let f = filter_program(
+            &ast,
+            src,
+            "t.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        abstract_interpret(&f)
+    }
+
+    fn certifying() -> CheckOptions {
+        CheckOptions {
+            certify: true,
+            ..CheckOptions::default()
+        }
+    }
+
+    #[test]
+    fn holding_assertions_get_verified_certificates() {
+        let ai = ai_of(
+            "<?php $a = htmlspecialchars($_GET['x']); echo $a; $b = intval($_GET['y']); mysql_query(\"LIMIT $b\");",
+        );
+        let r = Xbmc::with_options(&ai, certifying()).check_all();
+        assert!(r.is_safe());
+        assert_eq!(r.certificates.len(), 2);
+        assert_eq!(r.verify_certificates().unwrap(), 2);
+    }
+
+    #[test]
+    fn violated_assertions_are_not_certified() {
+        let ai = ai_of("<?php $x = $_GET['a']; echo $x; echo 'safe' . $ok;");
+        let r = Xbmc::with_options(&ai, certifying()).check_all();
+        assert_eq!(r.violated_assertions, 1);
+        // Only the second (holding) assertion is certified.
+        assert_eq!(r.certificates.len(), 1);
+        assert!(r.certificate(webssari_ir::AssertId(0)).is_none());
+        assert!(r.certificate(webssari_ir::AssertId(1)).is_some());
+        assert_eq!(r.verify_certificates().unwrap(), 1);
+    }
+
+    #[test]
+    fn branchy_safe_program_certifies() {
+        let ai = ai_of(
+            "<?php $x = 'ok'; if ($c) { $x = intval($_GET['n']); } else { $x = 'other'; } echo $x; mysql_query($x);",
+        );
+        let r = Xbmc::with_options(&ai, certifying()).check_all();
+        assert!(r.is_safe());
+        assert_eq!(r.verify_certificates().unwrap(), 2);
+    }
+
+    #[test]
+    fn tampered_certificate_fails_verification() {
+        let ai = ai_of("<?php $a = 'clean'; echo $a;");
+        let mut r = Xbmc::with_options(&ai, certifying()).check_all();
+        assert_eq!(r.certificates.len(), 1);
+        // Point the certificate at the wrong literal: it must no longer
+        // refute.
+        let cert = &mut r.certificates[0];
+        cert.violated = !cert.violated;
+        let formula = r.certified_formula.clone().unwrap();
+        // Either the proof fails outright or it no longer ends with a
+        // derivable empty clause.
+        assert!(r.certificates[0].verify(&formula).is_err());
+    }
+
+    #[test]
+    fn certification_off_by_default() {
+        let ai = ai_of("<?php $a = 'clean'; echo $a;");
+        let r = Xbmc::new(&ai).check_all();
+        assert!(r.certificates.is_empty());
+        assert!(r.certified_formula.is_none());
+        assert_eq!(r.verify_certificates().unwrap(), 0);
+    }
+}

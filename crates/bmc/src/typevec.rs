@@ -1,0 +1,360 @@
+//! Bit-vector encoding of lattice elements in CNF.
+//!
+//! A safety type `t ∈ T` is encoded as `⌈log₂|T|⌉` CNF literals, LSB
+//! first. For the two-point taint lattice that is a single "tainted"
+//! bit, and joins are plain ORs; for larger lattices the join circuit is
+//! generated from the lattice's join table.
+
+use cnf::{FormulaBuilder, Lit};
+use taint_lattice::{Elem, Lattice};
+
+/// A lattice element encoded as CNF literals (LSB first).
+///
+/// # Examples
+///
+/// ```
+/// use cnf::FormulaBuilder;
+/// use taint_lattice::{Lattice, TwoPoint};
+/// use xbmc::TypeVec;
+///
+/// let l = TwoPoint::new();
+/// let mut b = FormulaBuilder::new();
+/// let tainted = TypeVec::constant(&mut b, &l, TwoPoint::TAINTED);
+/// let clean = TypeVec::constant(&mut b, &l, TwoPoint::UNTAINTED);
+/// let joined = tainted.join(&mut b, &l, &clean);
+/// assert_eq!(joined.bits().len(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeVec {
+    bits: Vec<Lit>,
+}
+
+impl TypeVec {
+    /// A fresh unconstrained type vector.
+    pub fn fresh(builder: &mut FormulaBuilder, lattice: &impl Lattice) -> Self {
+        let bits = (0..lattice.bits()).map(|_| builder.fresh_lit()).collect();
+        TypeVec { bits }
+    }
+
+    /// The constant vector for a lattice element.
+    pub fn constant(builder: &mut FormulaBuilder, lattice: &impl Lattice, e: Elem) -> Self {
+        let t = builder.lit_true();
+        let f = !t;
+        let bits = (0..lattice.bits())
+            .map(|i| if e.index() >> i & 1 == 1 { t } else { f })
+            .collect();
+        TypeVec { bits }
+    }
+
+    /// The underlying literals, LSB first.
+    pub fn bits(&self) -> &[Lit] {
+        &self.bits
+    }
+
+    /// A literal true iff this vector equals element `e`.
+    pub fn equals_elem(&self, builder: &mut FormulaBuilder, e: Elem) -> Lit {
+        builder.equals_const(&self.bits, e.index())
+    }
+
+    /// A literal true iff `self < bound` in the lattice (the assertion
+    /// predicate `t_x < τ_r`).
+    pub fn lt_bound(&self, builder: &mut FormulaBuilder, lattice: &impl Lattice, bound: Elem) -> Lit {
+        let sats: Vec<Lit> = lattice
+            .elems()
+            .into_iter()
+            .filter(|&e| lattice.lt(e, bound))
+            .map(|e| self.equals_elem(builder, e))
+            .collect();
+        builder.or_all(sats)
+    }
+
+    /// A literal true iff `self ≤ bound` in the lattice — the non-strict
+    /// precondition used by multi-class policies ("carries no forbidden
+    /// taint kind" = `t ≤ allowed-set`).
+    pub fn le_bound(&self, builder: &mut FormulaBuilder, lattice: &impl Lattice, bound: Elem) -> Lit {
+        let sats: Vec<Lit> = lattice
+            .elems()
+            .into_iter()
+            .filter(|&e| lattice.leq(e, bound))
+            .map(|e| self.equals_elem(builder, e))
+            .collect();
+        builder.or_all(sats)
+    }
+
+    /// A vector equivalent to `self ⊓ other` (used by kind-specific
+    /// sanitizers, which *remove* taint kinds by meeting with the kept
+    /// set).
+    pub fn meet(
+        &self,
+        builder: &mut FormulaBuilder,
+        lattice: &impl Lattice,
+        other: &TypeVec,
+    ) -> TypeVec {
+        if lattice.bits() == 1 && lattice.len() == 2 {
+            // Two-point fast path: meet is AND.
+            let bit = builder.and(self.bits[0], other.bits[0]);
+            return TypeVec { bits: vec![bit] };
+        }
+        let out = TypeVec::fresh(builder, lattice);
+        for ea in lattice.elems() {
+            for eb in lattice.elems() {
+                let ja = self.equals_elem(builder, ea);
+                let jb = other.equals_elem(builder, eb);
+                let guard = builder.and(ja, jb);
+                let result = lattice.meet(ea, eb);
+                for (i, &bit) in out.bits.iter().enumerate() {
+                    let want = result.index() >> i & 1 == 1;
+                    let lit = if want { bit } else { !bit };
+                    builder.add_clause([!guard, lit]);
+                }
+            }
+        }
+        out
+    }
+
+    /// A vector equivalent to `self ⊔ other`.
+    pub fn join(
+        &self,
+        builder: &mut FormulaBuilder,
+        lattice: &impl Lattice,
+        other: &TypeVec,
+    ) -> TypeVec {
+        if lattice.bits() == 1 && lattice.len() == 2 {
+            // Two-point fast path: join is OR.
+            let bit = builder.or(self.bits[0], other.bits[0]);
+            return TypeVec { bits: vec![bit] };
+        }
+        // General case: table-driven. out = join(a, b) via
+        // (a = ea ∧ b = eb) → out = join(ea, eb).
+        let out = TypeVec::fresh(builder, lattice);
+        for ea in lattice.elems() {
+            for eb in lattice.elems() {
+                let ja = self.equals_elem(builder, ea);
+                let jb = other.equals_elem(builder, eb);
+                let guard = builder.and(ja, jb);
+                let result = lattice.join(ea, eb);
+                for (i, &bit) in out.bits.iter().enumerate() {
+                    let want = result.index() >> i & 1 == 1;
+                    let lit = if want { bit } else { !bit };
+                    builder.add_clause([!guard, lit]);
+                }
+            }
+        }
+        out
+    }
+
+    /// A vector equivalent to the join of a constant base and the given
+    /// vectors (the right-hand side `base ⊔ ⊔ t_d` of an AI assignment).
+    pub fn join_all(
+        builder: &mut FormulaBuilder,
+        lattice: &impl Lattice,
+        base: Elem,
+        operands: &[TypeVec],
+    ) -> TypeVec {
+        let mut acc = TypeVec::constant(builder, lattice, base);
+        for op in operands {
+            acc = acc.join(builder, lattice, op);
+        }
+        acc
+    }
+
+    /// Constrains `self = cond ? a : b` (the guarded-assignment
+    /// multiplexer of Figure 5).
+    pub fn define_ite(
+        builder: &mut FormulaBuilder,
+        cond: Lit,
+        a: &TypeVec,
+        b: &TypeVec,
+    ) -> TypeVec {
+        assert_eq!(a.bits.len(), b.bits.len(), "type vectors must have equal width");
+        let bits = a
+            .bits
+            .iter()
+            .zip(&b.bits)
+            .map(|(&ta, &tb)| builder.ite(cond, ta, tb))
+            .collect();
+        TypeVec { bits }
+    }
+
+    /// Decodes the element this vector takes in a model.
+    pub fn decode(&self, model: &sat::Model) -> Elem {
+        let mut idx = 0usize;
+        for (i, &bit) in self.bits.iter().enumerate() {
+            if model.lit_value(bit) {
+                idx |= 1 << i;
+            }
+        }
+        Elem::new(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat::{SatResult, Solver};
+    use taint_lattice::{Chain, Powerset, TwoPoint};
+
+    /// Exhaustively checks the join circuit against the lattice's join
+    /// for every pair of elements.
+    fn check_join_circuit(lattice: &impl Lattice) {
+        for a in lattice.elems() {
+            for b in lattice.elems() {
+                let mut builder = FormulaBuilder::new();
+                let va = TypeVec::constant(&mut builder, lattice, a);
+                let vb = TypeVec::constant(&mut builder, lattice, b);
+                let j = va.join(&mut builder, lattice, &vb);
+                let expected = lattice.join(a, b);
+                let is_expected = j.equals_elem(&mut builder, expected);
+                builder.assert_lit(is_expected);
+                let f = builder.into_formula();
+                let mut s = Solver::from_formula(&f);
+                assert!(
+                    s.solve().is_sat(),
+                    "join({a:?},{b:?}) should be {expected:?}"
+                );
+                // And the negation must be unsat: the circuit is a function.
+                let mut builder = FormulaBuilder::new();
+                let va = TypeVec::constant(&mut builder, lattice, a);
+                let vb = TypeVec::constant(&mut builder, lattice, b);
+                let j = va.join(&mut builder, lattice, &vb);
+                let is_expected = j.equals_elem(&mut builder, expected);
+                builder.assert_lit(!is_expected);
+                let f = builder.into_formula();
+                let mut s = Solver::from_formula(&f);
+                assert!(
+                    s.solve().is_unsat(),
+                    "join({a:?},{b:?}) must be uniquely {expected:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_point_join_circuit() {
+        check_join_circuit(&TwoPoint::new());
+    }
+
+    #[test]
+    fn chain_join_circuit() {
+        check_join_circuit(&Chain::new(3));
+        check_join_circuit(&Chain::new(4));
+    }
+
+    #[test]
+    fn powerset_join_circuit() {
+        check_join_circuit(&Powerset::new(vec!["xss".into(), "sqli".into()]));
+    }
+
+    #[test]
+    fn lt_bound_predicate() {
+        let l = Chain::new(3);
+        for e in l.elems() {
+            for bound in l.elems() {
+                let mut builder = FormulaBuilder::new();
+                let v = TypeVec::constant(&mut builder, &l, e);
+                let p = v.lt_bound(&mut builder, &l, bound);
+                builder.assert_lit(p);
+                let f = builder.into_formula();
+                let mut s = Solver::from_formula(&f);
+                assert_eq!(
+                    s.solve().is_sat(),
+                    l.lt(e, bound),
+                    "lt_bound({e:?},{bound:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ite_selects_by_condition() {
+        let l = TwoPoint::new();
+        let mut builder = FormulaBuilder::new();
+        let cond = builder.fresh_lit();
+        let a = TypeVec::constant(&mut builder, &l, TwoPoint::TAINTED);
+        let b = TypeVec::constant(&mut builder, &l, TwoPoint::UNTAINTED);
+        let out = TypeVec::define_ite(&mut builder, cond, &a, &b);
+        builder.assert_lit(cond);
+        let is_tainted = out.equals_elem(&mut builder, TwoPoint::TAINTED);
+        builder.assert_lit(is_tainted);
+        let f = builder.into_formula();
+        assert!(Solver::from_formula(&f).solve().is_sat());
+    }
+
+    #[test]
+    fn decode_reads_model() {
+        let l = Chain::new(4);
+        let mut builder = FormulaBuilder::new();
+        let v = TypeVec::fresh(&mut builder, &l);
+        let target = Elem::new(2);
+        let eq = v.equals_elem(&mut builder, target);
+        builder.assert_lit(eq);
+        let f = builder.into_formula();
+        match Solver::from_formula(&f).solve() {
+            SatResult::Sat(m) => assert_eq!(v.decode(&m), target),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    fn check_meet_circuit(lattice: &impl Lattice) {
+        for a in lattice.elems() {
+            for b in lattice.elems() {
+                let mut builder = FormulaBuilder::new();
+                let va = TypeVec::constant(&mut builder, lattice, a);
+                let vb = TypeVec::constant(&mut builder, lattice, b);
+                let m = va.meet(&mut builder, lattice, &vb);
+                let expected = lattice.meet(a, b);
+                let is_expected = m.equals_elem(&mut builder, expected);
+                builder.assert_lit(!is_expected);
+                let f = builder.into_formula();
+                assert!(
+                    Solver::from_formula(&f).solve().is_unsat(),
+                    "meet({a:?},{b:?}) must be uniquely {expected:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn meet_circuits_match_lattice_meet() {
+        check_meet_circuit(&TwoPoint::new());
+        check_meet_circuit(&Chain::new(4));
+        check_meet_circuit(&Powerset::new(vec!["xss".into(), "sqli".into()]));
+    }
+
+    #[test]
+    fn le_bound_predicate() {
+        let l = Powerset::new(vec!["xss".into(), "sqli".into()]);
+        for e in l.elems() {
+            for bound in l.elems() {
+                let mut builder = FormulaBuilder::new();
+                let v = TypeVec::constant(&mut builder, &l, e);
+                let p = v.le_bound(&mut builder, &l, bound);
+                builder.assert_lit(p);
+                let f = builder.into_formula();
+                assert_eq!(
+                    Solver::from_formula(&f).solve().is_sat(),
+                    l.leq(e, bound),
+                    "le_bound({e:?},{bound:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_all_folds() {
+        let l = TwoPoint::new();
+        let mut builder = FormulaBuilder::new();
+        let clean = TypeVec::constant(&mut builder, &l, TwoPoint::UNTAINTED);
+        let dirty = TypeVec::constant(&mut builder, &l, TwoPoint::TAINTED);
+        let j = TypeVec::join_all(
+            &mut builder,
+            &l,
+            TwoPoint::UNTAINTED,
+            &[clean, dirty],
+        );
+        let is_tainted = j.equals_elem(&mut builder, TwoPoint::TAINTED);
+        builder.assert_lit(is_tainted);
+        let f = builder.into_formula();
+        assert!(Solver::from_formula(&f).solve().is_sat());
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests: the bounded model checker agrees with exhaustive
+//! path enumeration on random abstract interpretations, and both
+//! encodings agree with each other.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use taint_lattice::{Lattice, TwoPoint};
+use webssari_ir::ai::reference;
+use webssari_ir::{AiCmd, AiProgram, AssertId, BranchId, Site, VarId, VarTable};
+use xbmc::{CheckOptions, EncoderKind, Xbmc};
+
+const NUM_VARS: usize = 4;
+
+/// Command shapes without ids; ids are assigned in a pre-order pass,
+/// matching the translator in `webssari-ir`.
+#[derive(Clone, Debug)]
+enum Proto {
+    Assign { var: usize, base: bool, deps: Vec<usize> },
+    Assert { vars: Vec<usize> },
+    If { then_cmds: Vec<Proto>, else_cmds: Vec<Proto> },
+    Stop,
+}
+
+fn proto_strategy() -> impl Strategy<Value = Vec<Proto>> {
+    let leaf = prop_oneof![
+        (
+            0..NUM_VARS,
+            any::<bool>(),
+            prop::collection::vec(0..NUM_VARS, 0..3)
+        )
+            .prop_map(|(var, base, deps)| Proto::Assign { var, base, deps }),
+        prop::collection::vec(0..NUM_VARS, 1..3).prop_map(|vars| Proto::Assert { vars }),
+        Just(Proto::Stop),
+    ];
+    let cmd = leaf.prop_recursive(3, 16, 4, |inner| {
+        (
+            prop::collection::vec(inner.clone(), 0..3),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(then_cmds, else_cmds)| Proto::If {
+                then_cmds,
+                else_cmds,
+            })
+    });
+    prop::collection::vec(cmd, 1..6)
+}
+
+fn materialize(protos: &[Proto]) -> AiProgram {
+    let mut vars = VarTable::new();
+    for i in 0..NUM_VARS {
+        vars.intern(&format!("x{i}"));
+    }
+    let mut next_branch = 0u32;
+    let mut next_assert = 0u32;
+    let cmds = build(protos, &mut next_branch, &mut next_assert);
+    let num_assertions = next_assert as usize;
+    let p = AiProgram::from_parts(vars, cmds, next_branch as usize);
+    assert_eq!(p.num_assertions(), num_assertions);
+    p
+}
+
+fn build(protos: &[Proto], next_branch: &mut u32, next_assert: &mut u32) -> Vec<AiCmd> {
+    let l = TwoPoint::new();
+    protos
+        .iter()
+        .map(|p| match p {
+            Proto::Assign { var, base, deps } => AiCmd::Assign {
+                var: VarId::from_index(*var),
+                mask: None,
+                base: if *base { l.top() } else { l.bottom() },
+                deps: {
+                    let mut d: Vec<VarId> =
+                        deps.iter().map(|&i| VarId::from_index(i)).collect();
+                    d.sort_unstable();
+                    d.dedup();
+                    d
+                },
+                site: Site::synthetic("prop.php", "assign"),
+            },
+            Proto::Assert { vars } => {
+                let id = AssertId(*next_assert);
+                *next_assert += 1;
+                let mut vs: Vec<VarId> = vars.iter().map(|&i| VarId::from_index(i)).collect();
+                vs.sort_unstable();
+                vs.dedup();
+                AiCmd::Assert {
+                    id,
+                    vars: vs,
+                    bound: l.top(),
+                    strict: true,
+                    func: "echo".into(),
+                    site: Site::synthetic("prop.php", "assert"),
+                }
+            }
+            Proto::If {
+                then_cmds,
+                else_cmds,
+            } => {
+                let branch = BranchId(*next_branch);
+                *next_branch += 1;
+                let t = build(then_cmds, next_branch, next_assert);
+                let e = build(else_cmds, next_branch, next_assert);
+                AiCmd::If {
+                    branch,
+                    then_cmds: t,
+                    else_cmds: e,
+                    site: Site::synthetic("prop.php", "if"),
+                }
+            }
+            Proto::Stop => AiCmd::Stop {
+                site: Site::synthetic("prop.php", "stop"),
+            },
+        })
+        .collect()
+}
+
+/// Branches seen (pre-order) before each assertion — the per-assertion
+/// `BN` used for counterexample identity.
+fn relevant_branches(p: &AiProgram) -> Vec<(AssertId, Vec<usize>)> {
+    fn walk(
+        cmds: &[AiCmd],
+        seen: &mut Vec<usize>,
+        out: &mut Vec<(AssertId, Vec<usize>)>,
+    ) {
+        for c in cmds {
+            match c {
+                AiCmd::Assert { id, .. } => out.push((*id, seen.clone())),
+                AiCmd::If {
+                    branch,
+                    then_cmds,
+                    else_cmds,
+                    ..
+                } => {
+                    seen.push(branch.0 as usize);
+                    walk(then_cmds, seen, out);
+                    walk(else_cmds, seen, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&p.cmds, &mut Vec::new(), &mut out);
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The model checker's counterexample set equals exhaustive path
+    /// enumeration, projected onto each assertion's relevant branches.
+    #[test]
+    fn bmc_matches_exhaustive_reference(protos in proto_strategy()) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 8);
+        let l = TwoPoint::new();
+        let result = Xbmc::new(&p).check_all();
+
+        // Expected: violating full assignments, projected.
+        let reference_paths = reference::all_violating_paths(&p, &l);
+        let relevant = relevant_branches(&p);
+        let mut expected: BTreeSet<(u32, Vec<bool>)> = BTreeSet::new();
+        for (id, paths) in &reference_paths {
+            let rel = &relevant.iter().find(|(i, _)| i == id).unwrap().1;
+            for path in paths {
+                let mut projected = vec![false; p.num_branches];
+                for &b in rel {
+                    projected[b] = path[b];
+                }
+                expected.insert((id.0, projected));
+            }
+        }
+        let actual: BTreeSet<(u32, Vec<bool>)> = result
+            .counterexamples
+            .iter()
+            .map(|c| (c.assert_id.0, c.branches.clone()))
+            .collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Every reported counterexample reproduces under the reference
+    /// interpreter with exactly the reported violating variables.
+    #[test]
+    fn counterexamples_replay_concretely(protos in proto_strategy()) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 8);
+        let l = TwoPoint::new();
+        for cx in Xbmc::new(&p).check_all().counterexamples {
+            let violations = reference::run_path(&p, &l, &cx.branches, false);
+            let found = violations.iter().find(|v| v.assert_id == cx.assert_id)
+                .expect("counterexample must reproduce");
+            let mut got = cx.violating_vars.clone();
+            got.sort_unstable();
+            let mut want = found.violating_vars.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// The aux-variable encoding (xBMC 0.1) and the renaming encoding
+    /// (xBMC 1.0) agree on which assertions are violated.
+    #[test]
+    fn encodings_agree_on_violated_assertions(protos in proto_strategy()) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 5 && p.num_commands() <= 24);
+        let ren = Xbmc::new(&p).check_all();
+        let aux = Xbmc::with_options(
+            &p,
+            CheckOptions { encoder: EncoderKind::AuxVariable, ..CheckOptions::default() },
+        )
+        .check_all();
+        let ren_ids: BTreeSet<u32> =
+            ren.counterexamples.iter().map(|c| c.assert_id.0).collect();
+        let aux_ids: BTreeSet<u32> =
+            aux.counterexamples.iter().map(|c| c.assert_id.0).collect();
+        prop_assert_eq!(ren_ids, aux_ids);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests over a *multi-bit* lattice: random AI programs on the
+//! powerset lattice of two taint kinds, with masked (sanitizing)
+//! assignments and non-strict bounds — exercising the table-driven
+//! join/meet circuits and `≤`-mode assertions against the reference
+//! interpreter.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use taint_lattice::{Elem, Powerset};
+use webssari_ir::ai::reference;
+use webssari_ir::{AiCmd, AiProgram, AssertId, BranchId, Site, VarId, VarTable};
+use xbmc::{CheckOptions, EncoderKind, Xbmc};
+
+const NUM_VARS: usize = 3;
+
+fn lattice() -> Powerset {
+    Powerset::new(vec!["xss".into(), "sqli".into()])
+}
+
+#[derive(Clone, Debug)]
+enum Proto {
+    Assign {
+        var: usize,
+        base: usize,
+        deps: Vec<usize>,
+        mask: Option<usize>,
+    },
+    Assert {
+        vars: Vec<usize>,
+        bound: usize,
+        strict: bool,
+    },
+    If {
+        then_cmds: Vec<Proto>,
+        else_cmds: Vec<Proto>,
+    },
+}
+
+fn proto_strategy() -> impl Strategy<Value = Vec<Proto>> {
+    let elem = 0usize..4; // 2^2 lattice elements
+    let leaf = prop_oneof![
+        (
+            0..NUM_VARS,
+            elem.clone(),
+            prop::collection::vec(0..NUM_VARS, 0..3),
+            prop::option::of(elem.clone()),
+        )
+            .prop_map(|(var, base, deps, mask)| Proto::Assign {
+                var,
+                base,
+                deps,
+                mask
+            }),
+        (
+            prop::collection::vec(0..NUM_VARS, 1..3),
+            elem,
+            any::<bool>()
+        )
+            .prop_map(|(vars, bound, strict)| Proto::Assert {
+                vars,
+                bound,
+                strict
+            }),
+    ];
+    let cmd = leaf.prop_recursive(2, 12, 3, |inner| {
+        (
+            prop::collection::vec(inner.clone(), 0..3),
+            prop::collection::vec(inner, 0..2),
+        )
+            .prop_map(|(then_cmds, else_cmds)| Proto::If {
+                then_cmds,
+                else_cmds,
+            })
+    });
+    prop::collection::vec(cmd, 1..6)
+}
+
+fn build(protos: &[Proto], next_branch: &mut u32, next_assert: &mut u32) -> Vec<AiCmd> {
+    protos
+        .iter()
+        .map(|p| match p {
+            Proto::Assign {
+                var,
+                base,
+                deps,
+                mask,
+            } => AiCmd::Assign {
+                var: VarId::from_index(*var),
+                base: Elem::new(*base),
+                deps: {
+                    let mut d: Vec<VarId> =
+                        deps.iter().map(|&i| VarId::from_index(i)).collect();
+                    d.sort_unstable();
+                    d.dedup();
+                    d
+                },
+                mask: mask.map(Elem::new),
+                site: Site::synthetic("mc.php", "assign"),
+            },
+            Proto::Assert {
+                vars,
+                bound,
+                strict,
+            } => {
+                let id = AssertId(*next_assert);
+                *next_assert += 1;
+                let mut vs: Vec<VarId> =
+                    vars.iter().map(|&i| VarId::from_index(i)).collect();
+                vs.sort_unstable();
+                vs.dedup();
+                AiCmd::Assert {
+                    id,
+                    vars: vs,
+                    bound: Elem::new(*bound),
+                    strict: *strict,
+                    func: "sink".into(),
+                    site: Site::synthetic("mc.php", "assert"),
+                }
+            }
+            Proto::If {
+                then_cmds,
+                else_cmds,
+            } => {
+                let branch = BranchId(*next_branch);
+                *next_branch += 1;
+                let t = build(then_cmds, next_branch, next_assert);
+                let e = build(else_cmds, next_branch, next_assert);
+                AiCmd::If {
+                    branch,
+                    then_cmds: t,
+                    else_cmds: e,
+                    site: Site::synthetic("mc.php", "if"),
+                }
+            }
+        })
+        .collect()
+}
+
+fn materialize(protos: &[Proto]) -> AiProgram {
+    let mut vars = VarTable::new();
+    for i in 0..NUM_VARS {
+        vars.intern(&format!("x{i}"));
+    }
+    let mut next_branch = 0u32;
+    let mut next_assert = 0u32;
+    let cmds = build(protos, &mut next_branch, &mut next_assert);
+    AiProgram::from_parts(vars, cmds, next_branch as usize)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Renaming-encoded BMC over the powerset lattice agrees with
+    /// exhaustive path enumeration on which (assertion, path) pairs
+    /// violate.
+    #[test]
+    fn multiclass_bmc_matches_reference(protos in proto_strategy()) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 6);
+        let l = lattice();
+        let result = Xbmc::new(&p).check_all_with(&l);
+        let expected: BTreeSet<u32> = reference::all_violating_paths(&p, &l)
+            .into_iter()
+            .map(|(id, _)| id.0)
+            .collect();
+        let mut actual: BTreeSet<u32> = BTreeSet::new();
+        for cx in &result.counterexamples {
+            actual.insert(cx.assert_id.0);
+            // Each counterexample must replay concretely.
+            let violations = reference::run_path(&p, &l, &cx.branches, false);
+            let found = violations
+                .iter()
+                .find(|v| v.assert_id == cx.assert_id)
+                .expect("counterexample must reproduce");
+            let mut got = cx.violating_vars.clone();
+            got.sort_unstable();
+            let mut want = found.violating_vars.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Both encoders agree on verdicts over the multi-bit lattice too.
+    #[test]
+    fn multiclass_encoders_agree(protos in proto_strategy()) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 4 && p.num_commands() <= 14);
+        let l = lattice();
+        let ren = Xbmc::new(&p).check_all_with(&l);
+        let aux = Xbmc::with_options(
+            &p,
+            CheckOptions { encoder: EncoderKind::AuxVariable, ..CheckOptions::default() },
+        )
+        .check_all_with(&l);
+        let ren_ids: BTreeSet<u32> =
+            ren.counterexamples.iter().map(|c| c.assert_id.0).collect();
+        let aux_ids: BTreeSet<u32> =
+            aux.counterexamples.iter().map(|c| c.assert_id.0).collect();
+        prop_assert_eq!(ren_ids, aux_ids);
+    }
+
+    /// Certification works over the multi-bit lattice: holding
+    /// assertions get refutations that an independent checker accepts.
+    #[test]
+    fn multiclass_certificates_verify(protos in proto_strategy()) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 5);
+        let l = lattice();
+        let result = Xbmc::with_options(
+            &p,
+            CheckOptions { certify: true, ..CheckOptions::default() },
+        )
+        .check_all_with(&l);
+        let holding = result.checked_assertions - result.violated_assertions;
+        prop_assert_eq!(result.certificates.len(), holding);
+        prop_assert_eq!(result.verify_certificates().unwrap(), holding);
+    }
+}

@@ -1,0 +1,181 @@
+use std::fmt;
+use std::ops::Deref;
+
+use crate::Lit;
+
+/// A disjunction of literals.
+///
+/// Clauses are normalized at construction: literals are sorted and
+/// deduplicated, and a clause containing both `x` and `¬x` is marked as a
+/// tautology.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{Clause, Var};
+///
+/// let x = Var::new(0).positive();
+/// let y = Var::new(1).positive();
+/// let c = Clause::new(vec![y, x, x]);
+/// assert_eq!(c.len(), 2);
+/// assert!(!c.is_tautology());
+/// assert!(Clause::new(vec![x, !x]).is_tautology());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Clause {
+    lits: Vec<Lit>,
+    tautology: bool,
+}
+
+impl Clause {
+    /// Creates a normalized clause from the given literals.
+    pub fn new(mut lits: Vec<Lit>) -> Self {
+        lits.sort_unstable();
+        lits.dedup();
+        let tautology = lits.windows(2).any(|w| w[0].var() == w[1].var());
+        Clause { lits, tautology }
+    }
+
+    /// The clause's literals, sorted and deduplicated.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of (distinct) literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the clause is empty (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Whether the clause contains a variable and its negation.
+    pub fn is_tautology(&self) -> bool {
+        self.tautology
+    }
+
+    /// Whether the clause has exactly one literal.
+    pub fn is_unit(&self) -> bool {
+        self.lits.len() == 1
+    }
+
+    /// Evaluates the clause under a full assignment.
+    ///
+    /// Returns `None` if some literal mentions a variable outside the
+    /// assignment's range.
+    pub fn eval(&self, assignment: &[bool]) -> Option<bool> {
+        let mut value = false;
+        for &l in &self.lits {
+            value |= l.eval(assignment)?;
+        }
+        Some(value)
+    }
+}
+
+impl Deref for Clause {
+    type Target = [Lit];
+
+    fn deref(&self) -> &[Lit] {
+        &self.lits
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        Clause::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Clause[")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lits.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::new(Var::new(i), pos)
+    }
+
+    #[test]
+    fn normalization_sorts_and_dedups() {
+        let c = Clause::new(vec![lit(2, true), lit(0, false), lit(2, true)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lits()[0].var().index(), 0);
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(Clause::new(vec![lit(1, true), lit(1, false)]).is_tautology());
+        assert!(!Clause::new(vec![lit(1, true), lit(2, false)]).is_tautology());
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let c = Clause::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.eval(&[]), Some(false));
+        assert_eq!(c.to_string(), "⊥");
+    }
+
+    #[test]
+    fn unit_detection() {
+        assert!(Clause::new(vec![lit(0, true)]).is_unit());
+        assert!(!Clause::new(vec![lit(0, true), lit(1, true)]).is_unit());
+    }
+
+    #[test]
+    fn eval_is_disjunction() {
+        let c = Clause::new(vec![lit(0, true), lit(1, false)]);
+        assert_eq!(c.eval(&[false, false]), Some(true));
+        assert_eq!(c.eval(&[false, true]), Some(false));
+        assert_eq!(c.eval(&[true]), None);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: Clause = [lit(1, true), lit(0, true)].into_iter().collect();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn deref_exposes_slice() {
+        let c = Clause::new(vec![lit(0, true), lit(1, true)]);
+        assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let c = Clause::new(vec![lit(0, true), lit(1, false)]);
+        assert_eq!(c.to_string(), "x0 ∨ ¬x1");
+        assert!(format!("{c:?}").contains("Clause"));
+    }
+}

@@ -1,0 +1,245 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The interchange format lets the reproduction's formulas be checked
+//! against external SAT solvers, and lets standard benchmark instances
+//! (pigeonhole, random 3-SAT) be loaded into the `sat` crate's tests.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::{Clause, CnfFormula, Lit};
+
+/// Errors produced while parsing a DIMACS file.
+#[derive(Debug)]
+pub enum DimacsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A token was not a valid integer.
+    BadToken {
+        /// 1-based line of the bad token.
+        line: usize,
+        /// The offending token text.
+        token: String,
+    },
+    /// The `p cnf <vars> <clauses>` header is malformed.
+    BadHeader {
+        /// 1-based line of the header.
+        line: usize,
+    },
+    /// A clause was not terminated by `0` before end of input.
+    UnterminatedClause,
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::Io(e) => write!(f, "i/o error reading dimacs: {e}"),
+            DimacsError::BadToken { line, token } => {
+                write!(f, "invalid literal token {token:?} on line {line}")
+            }
+            DimacsError::BadHeader { line } => write!(f, "malformed dimacs header on line {line}"),
+            DimacsError::UnterminatedClause => write!(f, "last clause is not terminated by 0"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DimacsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DimacsError {
+    fn from(e: io::Error) -> Self {
+        DimacsError::Io(e)
+    }
+}
+
+/// Parses a DIMACS CNF document from a reader.
+///
+/// Comment lines (`c …`) and the problem line (`p cnf V C`) are accepted
+/// anywhere before the clauses; the declared variable count is honored
+/// even if no clause mentions the highest variable.
+///
+/// # Errors
+///
+/// Returns a [`DimacsError`] on I/O failure or malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::parse_dimacs;
+///
+/// let text = "c example\np cnf 3 2\n1 -3 0\n2 3 -1 0\n";
+/// let f = parse_dimacs(text.as_bytes())?;
+/// assert_eq!(f.num_vars(), 3);
+/// assert_eq!(f.num_clauses(), 2);
+/// # Ok::<(), cnf::DimacsError>(())
+/// ```
+pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, DimacsError> {
+    let mut formula = CnfFormula::new();
+    let mut declared_vars = 0usize;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            let fmt_ok = parts.next() == Some("cnf");
+            let vars = parts.next().and_then(|t| t.parse::<usize>().ok());
+            let clauses = parts.next().and_then(|t| t.parse::<usize>().ok());
+            match (fmt_ok, vars, clauses) {
+                (true, Some(v), Some(_)) => declared_vars = v,
+                _ => return Err(DimacsError::BadHeader { line: lineno + 1 }),
+            }
+            continue;
+        }
+        for token in line.split_whitespace() {
+            let code: i64 = token.parse().map_err(|_| DimacsError::BadToken {
+                line: lineno + 1,
+                token: token.to_owned(),
+            })?;
+            if code == 0 {
+                formula.add_clause(Clause::new(std::mem::take(&mut current)));
+            } else {
+                current.push(Lit::from_dimacs(code));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError::UnterminatedClause);
+    }
+    if declared_vars > 0 {
+        formula.ensure_var(crate::Var::new(declared_vars - 1));
+    }
+    Ok(formula)
+}
+
+/// Writes a formula in DIMACS CNF format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{parse_dimacs, write_dimacs, CnfFormula, Var};
+///
+/// let mut f = CnfFormula::new();
+/// f.add_lits([Var::new(0).positive(), Var::new(1).negative()]);
+/// let mut out = Vec::new();
+/// write_dimacs(&mut out, &f)?;
+/// let back = parse_dimacs(&out[..]).unwrap();
+/// assert_eq!(back.num_clauses(), 1);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_dimacs<W: Write>(writer: &mut W, formula: &CnfFormula) -> io::Result<()> {
+    writeln!(
+        writer,
+        "p cnf {} {}",
+        formula.num_vars(),
+        formula.num_clauses()
+    )?;
+    for clause in formula.clauses() {
+        for lit in clause.lits() {
+            write!(writer, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    #[test]
+    fn parse_simple() {
+        let f = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n".as_bytes()).unwrap();
+        assert_eq!(f.num_vars(), 2);
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.eval(&[false, true]), Some(true));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let f = parse_dimacs("c hi\n\nc there\np cnf 1 1\n1 0\n".as_bytes()).unwrap();
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn multi_line_clause() {
+        let f = parse_dimacs("p cnf 3 1\n1 2\n3 0\n".as_bytes()).unwrap();
+        assert_eq!(f.num_clauses(), 1);
+        assert_eq!(f.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn header_declares_unused_vars() {
+        let f = parse_dimacs("p cnf 10 1\n1 0\n".as_bytes()).unwrap();
+        assert_eq!(f.num_vars(), 10);
+    }
+
+    #[test]
+    fn bad_header_is_an_error() {
+        let err = parse_dimacs("p sat 3 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DimacsError::BadHeader { line: 1 }));
+    }
+
+    #[test]
+    fn bad_token_is_an_error() {
+        let err = parse_dimacs("p cnf 1 1\n1 frog 0\n".as_bytes()).unwrap_err();
+        match err {
+            DimacsError::BadToken { line, token } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "frog");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_clause_is_an_error() {
+        let err = parse_dimacs("p cnf 2 1\n1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DimacsError::UnterminatedClause));
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let mut f = CnfFormula::new();
+        f.add_lits([Var::new(0).positive(), Var::new(2).negative()]);
+        f.add_lits([Var::new(1).negative()]);
+        let mut buf = Vec::new();
+        write_dimacs(&mut buf, &f).unwrap();
+        let g = parse_dimacs(&buf[..]).unwrap();
+        assert_eq!(f.num_vars(), g.num_vars());
+        assert_eq!(f.num_clauses(), g.num_clauses());
+        for bits in 0u8..8 {
+            let m: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(f.eval(&m), g.eval(&m));
+        }
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs: Vec<DimacsError> = vec![
+            DimacsError::BadHeader { line: 3 },
+            DimacsError::UnterminatedClause,
+            DimacsError::BadToken {
+                line: 1,
+                token: "z".into(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

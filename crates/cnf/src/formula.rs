@@ -1,0 +1,267 @@
+use std::fmt;
+
+use crate::{Clause, Lit, Var};
+
+/// A CNF formula: a conjunction of [`Clause`]s over variables
+/// `0..num_vars`.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{Clause, CnfFormula, Var};
+///
+/// let x = Var::new(0).positive();
+/// let y = Var::new(1).positive();
+/// let mut f = CnfFormula::new();
+/// f.add_clause(Clause::new(vec![x, y]));
+/// f.add_clause(Clause::new(vec![!x, y]));
+/// assert_eq!(f.num_clauses(), 2);
+/// assert_eq!(f.eval(&[false, true]), Some(true));
+/// assert_eq!(f.eval(&[true, false]), Some(false));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct CnfFormula {
+    clauses: Vec<Clause>,
+    num_vars: usize,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula (trivially true, no variables).
+    pub fn new() -> Self {
+        CnfFormula::default()
+    }
+
+    /// Creates an empty formula that already declares `num_vars`
+    /// variables.
+    pub fn with_vars(num_vars: usize) -> Self {
+        CnfFormula {
+            clauses: Vec::new(),
+            num_vars,
+        }
+    }
+
+    /// Adds a clause, growing the variable count as needed.
+    ///
+    /// Tautological clauses are kept (the solver skips them); callers
+    /// that want them dropped should filter on [`Clause::is_tautology`].
+    pub fn add_clause(&mut self, clause: Clause) {
+        for l in clause.lits() {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Convenience: adds a clause from raw literals.
+    pub fn add_lits(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.add_clause(lits.into_iter().collect());
+    }
+
+    /// Declares that variables up to `var` (inclusive) exist even if no
+    /// clause mentions them.
+    pub fn ensure_var(&mut self, var: Var) {
+        self.num_vars = self.num_vars.max(var.index() + 1);
+    }
+
+    /// The clauses of the formula.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total number of literal occurrences (a standard size measure for
+    /// encodings; used by the encoding-blowup experiment E7).
+    pub fn num_lits(&self) -> usize {
+        self.clauses.iter().map(|c| c.len()).sum()
+    }
+
+    /// Whether the formula has no clauses (trivially satisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Evaluates the formula under a full assignment.
+    ///
+    /// Returns `None` if the assignment covers fewer variables than the
+    /// formula mentions.
+    pub fn eval(&self, assignment: &[bool]) -> Option<bool> {
+        let mut value = true;
+        for c in &self.clauses {
+            value &= c.eval(assignment)?;
+        }
+        Some(value)
+    }
+
+    /// Iterates over all satisfying assignments by brute force.
+    ///
+    /// Only usable for small formulas; the SAT-solver tests use it as a
+    /// ground-truth oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 24 variables.
+    pub fn brute_force_models(&self) -> Vec<Vec<bool>> {
+        assert!(
+            self.num_vars <= 24,
+            "brute force is limited to 24 variables"
+        );
+        let n = self.num_vars;
+        let mut models = Vec::new();
+        for bits in 0u64..(1u64 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if self.eval(&assignment) == Some(true) {
+                models.push(assignment);
+            }
+        }
+        models
+    }
+
+    /// Whether some assignment satisfies the formula, by brute force.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 24 variables.
+    pub fn brute_force_satisfiable(&self) -> bool {
+        assert!(
+            self.num_vars <= 24,
+            "brute force is limited to 24 variables"
+        );
+        let n = self.num_vars;
+        (0u64..(1u64 << n)).any(|bits| {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            self.eval(&assignment) == Some(true)
+        })
+    }
+}
+
+impl Extend<Clause> for CnfFormula {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for c in iter {
+            self.add_clause(c);
+        }
+    }
+}
+
+impl FromIterator<Clause> for CnfFormula {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        let mut f = CnfFormula::new();
+        f.extend(iter);
+        f
+    }
+}
+
+impl fmt::Debug for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CnfFormula({} vars, {} clauses)",
+            self.num_vars,
+            self.clauses.len()
+        )
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "({c})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: usize, pos: bool) -> Lit {
+        Lit::new(Var::new(i), pos)
+    }
+
+    #[test]
+    fn empty_formula_is_true() {
+        let f = CnfFormula::new();
+        assert_eq!(f.eval(&[]), Some(true));
+        assert!(f.is_empty());
+        assert_eq!(f.to_string(), "⊤");
+    }
+
+    #[test]
+    fn num_vars_tracks_clauses() {
+        let mut f = CnfFormula::new();
+        f.add_lits([lit(4, true)]);
+        assert_eq!(f.num_vars(), 5);
+        f.ensure_var(Var::new(9));
+        assert_eq!(f.num_vars(), 10);
+    }
+
+    #[test]
+    fn eval_is_conjunction() {
+        let mut f = CnfFormula::new();
+        f.add_lits([lit(0, true), lit(1, true)]);
+        f.add_lits([lit(0, false)]);
+        assert_eq!(f.eval(&[false, true]), Some(true));
+        assert_eq!(f.eval(&[true, true]), Some(false));
+    }
+
+    #[test]
+    fn brute_force_finds_all_models() {
+        // (x0 ∨ x1) ∧ ¬x0 has exactly one model: x0=F, x1=T.
+        let mut f = CnfFormula::new();
+        f.add_lits([lit(0, true), lit(1, true)]);
+        f.add_lits([lit(0, false)]);
+        let models = f.brute_force_models();
+        assert_eq!(models, vec![vec![false, true]]);
+        assert!(f.brute_force_satisfiable());
+    }
+
+    #[test]
+    fn unsat_brute_force() {
+        let mut f = CnfFormula::new();
+        f.add_lits([lit(0, true)]);
+        f.add_lits([lit(0, false)]);
+        assert!(!f.brute_force_satisfiable());
+        assert!(f.brute_force_models().is_empty());
+    }
+
+    #[test]
+    fn num_lits_counts_occurrences() {
+        let mut f = CnfFormula::new();
+        f.add_lits([lit(0, true), lit(1, true)]);
+        f.add_lits([lit(2, false)]);
+        assert_eq!(f.num_lits(), 3);
+    }
+
+    #[test]
+    fn collect_from_clauses() {
+        let f: CnfFormula = vec![
+            Clause::new(vec![lit(0, true)]),
+            Clause::new(vec![lit(1, false)]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.num_vars(), 2);
+    }
+
+    #[test]
+    fn debug_shows_sizes() {
+        let mut f = CnfFormula::new();
+        f.add_lits([lit(0, true)]);
+        assert_eq!(format!("{f:?}"), "CnfFormula(1 vars, 1 clauses)");
+    }
+}

@@ -1,0 +1,41 @@
+//! Boolean variables, literals, clauses, CNF formulas, a Tseitin-style
+//! circuit-to-CNF builder, and DIMACS I/O.
+//!
+//! In the paper's pipeline (§3.3), the constraint-generation procedure
+//! `C(c, g)` produces a Boolean formula `Bi` per assertion; `CNF(Bi)`
+//! transforms it into conjunctive normal form which is then handed to the
+//! SAT solver (ZChaff in the paper, the `sat` crate here). This crate is
+//! that `CNF(·)` layer: downstream encoders build circuits through
+//! [`FormulaBuilder`]'s gate methods, which introduce fresh definition
+//! variables and emit the standard Tseitin clauses.
+//!
+//! # Examples
+//!
+//! ```
+//! use cnf::FormulaBuilder;
+//!
+//! let mut b = FormulaBuilder::new();
+//! let x = b.fresh_lit();
+//! let y = b.fresh_lit();
+//! let gate = b.and(x, y);
+//! b.assert_lit(gate);
+//! let f = b.into_formula();
+//! // Only assignments setting both x and y (and the gate output) satisfy f.
+//! assert!(f.eval(&[true, true, true]).unwrap());
+//! assert!(!f.eval(&[true, false, false]).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod clause;
+mod dimacs;
+mod formula;
+mod lit;
+
+pub use builder::FormulaBuilder;
+pub use clause::Clause;
+pub use dimacs::{parse_dimacs, write_dimacs, DimacsError};
+pub use formula::CnfFormula;
+pub use lit::{Lit, Var};

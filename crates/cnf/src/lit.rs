@@ -1,0 +1,218 @@
+use std::fmt;
+use std::ops::Not;
+
+/// A Boolean variable, indexed from 0.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::Var;
+///
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.positive().var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates the variable with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX / 2` (the literal encoding
+    /// reserves one bit for polarity).
+    pub fn new(index: usize) -> Self {
+        let idx = u32::try_from(index).expect("variable index overflows u32");
+        assert!(idx <= u32::MAX / 2, "variable index too large for literal encoding");
+        Var(idx)
+    }
+
+    /// The variable's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Internally encoded MiniSat-style as `2 * var + polarity_bit`, so
+/// literals are cheap to copy, hash, and use as array indices.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{Lit, Var};
+///
+/// let x = Var::new(0).positive();
+/// assert!(x.is_positive());
+/// assert_eq!((!x).var(), x.var());
+/// assert!((!x).is_negative());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal over `var`, positive if `polarity` is true.
+    pub fn new(var: Var, polarity: bool) -> Self {
+        Lit(var.0 * 2 + u32::from(!polarity))
+    }
+
+    /// Creates a literal from a DIMACS-style nonzero integer
+    /// (`3` means x2 positive with 1-based numbering; `-3` its negation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is zero.
+    pub fn from_dimacs(code: i64) -> Self {
+        assert!(code != 0, "DIMACS literal code must be nonzero");
+        let var = Var::new((code.unsigned_abs() - 1) as usize);
+        Lit::new(var, code > 0)
+    }
+
+    /// The DIMACS integer for this literal (1-based, sign = polarity).
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().index() as i64 + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 / 2)
+    }
+
+    /// Whether this is the positive literal of its variable.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Whether this is the negative literal of its variable.
+    pub fn is_negative(self) -> bool {
+        !self.is_positive()
+    }
+
+    /// The literal's dense code (`2 * var + sign`), usable as an index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::code`].
+    pub fn from_code(code: usize) -> Self {
+        Lit(u32::try_from(code).expect("literal code overflows u32"))
+    }
+
+    /// Evaluates the literal under a full assignment
+    /// (`assignment[v]` is the value of variable `v`).
+    ///
+    /// Returns `None` if the variable is out of the assignment's range.
+    pub fn eval(self, assignment: &[bool]) -> Option<bool> {
+        assignment
+            .get(self.var().index())
+            .map(|&v| v == self.is_positive())
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lit({})", self.to_dimacs())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_round_trip() {
+        let v = Var::new(5);
+        assert!(v.positive().is_positive());
+        assert!(v.negative().is_negative());
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Var::new(7).positive();
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        for code in [1i64, -1, 5, -42] {
+            assert_eq!(Lit::from_dimacs(code).to_dimacs(), code);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        let l = Var::new(9).negative();
+        assert_eq!(Lit::from_code(l.code()), l);
+    }
+
+    #[test]
+    fn eval_respects_polarity() {
+        let x = Var::new(0).positive();
+        assert_eq!(x.eval(&[true]), Some(true));
+        assert_eq!((!x).eval(&[true]), Some(false));
+        assert_eq!(x.eval(&[]), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let x = Var::new(2).positive();
+        assert_eq!(x.to_string(), "x2");
+        assert_eq!((!x).to_string(), "¬x2");
+        assert_eq!(format!("{x:?}"), "Lit(3)");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: the Tseitin builder's gates agree with Boolean
+//! semantics on every model, and DIMACS round-trips preserve formulas.
+
+use cnf::{parse_dimacs, write_dimacs, Clause, CnfFormula, FormulaBuilder, Lit, Var};
+use proptest::prelude::*;
+
+/// A random Boolean expression over a fixed set of input variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Input(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, inputs: &[bool]) -> bool {
+        match self {
+            Expr::Input(i) => inputs[*i],
+            Expr::Not(a) => !a.eval(inputs),
+            Expr::And(a, b) => a.eval(inputs) && b.eval(inputs),
+            Expr::Or(a, b) => a.eval(inputs) || b.eval(inputs),
+            Expr::Xor(a, b) => a.eval(inputs) != b.eval(inputs),
+            Expr::Ite(c, t, e) => {
+                if c.eval(inputs) {
+                    t.eval(inputs)
+                } else {
+                    e.eval(inputs)
+                }
+            }
+        }
+    }
+
+    fn encode(&self, b: &mut FormulaBuilder, inputs: &[Lit]) -> Lit {
+        match self {
+            Expr::Input(i) => inputs[*i],
+            Expr::Not(a) => !a.encode(b, inputs),
+            Expr::And(x, y) => {
+                let (lx, ly) = (x.encode(b, inputs), y.encode(b, inputs));
+                b.and(lx, ly)
+            }
+            Expr::Or(x, y) => {
+                let (lx, ly) = (x.encode(b, inputs), y.encode(b, inputs));
+                b.or(lx, ly)
+            }
+            Expr::Xor(x, y) => {
+                let (lx, ly) = (x.encode(b, inputs), y.encode(b, inputs));
+                b.xor(lx, ly)
+            }
+            Expr::Ite(c, t, e) => {
+                let lc = c.encode(b, inputs);
+                let lt = t.encode(b, inputs);
+                let le = e.encode(b, inputs);
+                b.ite(lc, lt, le)
+            }
+        }
+    }
+}
+
+const NUM_INPUTS: usize = 4;
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NUM_INPUTS).prop_map(Expr::Input);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+proptest! {
+    /// Tseitin encoding is *equisatisfiable and faithful*: for every
+    /// assignment of the inputs there is exactly one extension to the
+    /// definition variables, and the output literal's value equals the
+    /// expression's value.
+    #[test]
+    fn tseitin_encoding_is_faithful(expr in expr_strategy()) {
+        let mut b = FormulaBuilder::new();
+        let inputs: Vec<Lit> = (0..NUM_INPUTS).map(|_| b.fresh_lit()).collect();
+        let out = expr.encode(&mut b, &inputs);
+        let f = b.into_formula();
+        prop_assume!(f.num_vars() <= 24);
+        let models = f.brute_force_models();
+        // Every input combination appears in at least one model, and in
+        // every model the output matches direct evaluation.
+        let mut seen = [false; 1 << NUM_INPUTS];
+        for m in &models {
+            let ivals: Vec<bool> = inputs.iter().map(|l| l.eval(m).unwrap()).collect();
+            let idx = ivals.iter().enumerate().map(|(i, &v)| usize::from(v) << i).sum::<usize>();
+            seen[idx] = true;
+            prop_assert_eq!(out.eval(m).unwrap(), expr.eval(&ivals));
+        }
+        prop_assert!(seen.iter().all(|&s| s), "encoding excludes some input assignment");
+    }
+
+    /// Asserting the output restricts models to exactly the expression's
+    /// satisfying inputs.
+    #[test]
+    fn asserted_output_restricts_models(expr in expr_strategy()) {
+        let mut b = FormulaBuilder::new();
+        let inputs: Vec<Lit> = (0..NUM_INPUTS).map(|_| b.fresh_lit()).collect();
+        let out = expr.encode(&mut b, &inputs);
+        b.assert_lit(out);
+        let f = b.into_formula();
+        prop_assume!(f.num_vars() <= 24);
+        let sat_inputs: std::collections::HashSet<Vec<bool>> = f
+            .brute_force_models()
+            .iter()
+            .map(|m| inputs.iter().map(|l| l.eval(m).unwrap()).collect())
+            .collect();
+        for bits in 0..(1u32 << NUM_INPUTS) {
+            let ivals: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(sat_inputs.contains(&ivals), expr.eval(&ivals));
+        }
+    }
+
+    /// DIMACS write → parse round trips preserve variable and clause
+    /// counts and semantics.
+    #[test]
+    fn dimacs_round_trip(clauses in prop::collection::vec(
+        prop::collection::vec((0usize..6, any::<bool>()), 1..5), 0..12)
+    ) {
+        let mut f = CnfFormula::new();
+        for c in &clauses {
+            f.add_clause(Clause::new(
+                c.iter().map(|&(v, pos)| Lit::new(Var::new(v), pos)).collect(),
+            ));
+        }
+        let mut buf = Vec::new();
+        write_dimacs(&mut buf, &f).unwrap();
+        let g = parse_dimacs(&buf[..]).unwrap();
+        prop_assert_eq!(f.num_clauses(), g.num_clauses());
+        prop_assert_eq!(f.num_vars(), g.num_vars());
+        let n = f.num_vars();
+        prop_assume!(n <= 12);
+        for bits in 0u32..(1 << n) {
+            let m: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(f.eval(&m), g.eval(&m));
+        }
+    }
+}

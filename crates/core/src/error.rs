@@ -1,0 +1,66 @@
+use std::fmt;
+
+use php_front::{IncludeError, ParseError};
+
+/// A failure while verifying a file or project.
+#[derive(Debug)]
+pub enum VerifyError {
+    /// The source failed to lex or parse.
+    Parse(ParseError),
+    /// Include resolution failed.
+    Include(IncludeError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Parse(e) => write!(f, "parse failed: {e}"),
+            VerifyError::Include(e) => write!(f, "include resolution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Parse(e) => Some(e),
+            VerifyError::Include(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for VerifyError {
+    fn from(e: ParseError) -> Self {
+        VerifyError::Parse(e)
+    }
+}
+
+impl From<IncludeError> for VerifyError {
+    fn from(e: IncludeError) -> Self {
+        VerifyError::Include(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_front::Span;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let e = VerifyError::Parse(ParseError::new("boom", Span::new(0, 1)));
+        assert!(e.to_string().contains("parse failed"));
+        let e = VerifyError::Include(IncludeError::MissingFile {
+            name: "x.php".into(),
+            included_from: None,
+        });
+        assert!(e.to_string().contains("include resolution failed"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error as _;
+        let e = VerifyError::Parse(ParseError::new("boom", Span::new(0, 1)));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,319 @@
+//! The instrumentor: automated patching with runtime guards.
+//!
+//! "For each variable involved in an insecure statement, it inserts a
+//! statement that secures the variable by treating it with a
+//! sanitization routine" (paper §4). Two modes reproduce the paper's
+//! comparison:
+//!
+//! * [`instrument_ts`] — the TS strategy: a guard **before every
+//!   vulnerable statement** (symptom), sanitizing the tainted arguments
+//!   right before the sensitive call.
+//! * [`instrument_bmc`] — the BMC strategy: a guard **at each root
+//!   cause's introduction point**, sanitizing the data "before it
+//!   propagates" — the minimal placement the counterexample analysis
+//!   enables. Introductions are patched by wrapping the tainting
+//!   assignment's right-hand side in the sanitizer (so assignments
+//!   inside loop conditions are handled correctly); untrusted channels
+//!   read directly are sanitized wholesale after the open tag.
+//!
+//! Guards call `webssari_sanitize()`, a routine the deployment prelude
+//! supplies (users may override it, §4).
+
+use std::collections::BTreeSet;
+
+use php_front::Span;
+
+use crate::report::FileReport;
+
+/// One runtime guard.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Instrumentation {
+    /// 1-based line the guard anchors to (insertion point, or the line
+    /// of the wrapped assignment).
+    pub after_line: u32,
+    /// The guarded variable.
+    pub var: String,
+    /// When present, the byte range of the assignment whose value is
+    /// wrapped in the sanitizer instead of inserting a new line.
+    pub wrap: Option<(u32, u32)>,
+}
+
+impl Instrumentation {
+    fn render_line(&self) -> String {
+        format!(
+            "${v} = webssari_sanitize(${v}); // WebSSARI runtime guard",
+            v = self.var
+        )
+    }
+}
+
+/// Computes and applies TS-mode guards: one sanitization per tainted
+/// argument, inserted before each vulnerable statement.
+///
+/// Returns the patched source and the guards inserted.
+pub fn instrument_ts(src: &str, report: &FileReport) -> (String, Vec<Instrumentation>) {
+    let mut guards = BTreeSet::new();
+    for err in &report.ts.errors {
+        if err.site.is_synthetic() {
+            continue;
+        }
+        for v in &err.violating_vars {
+            guards.insert(Instrumentation {
+                // Insert before the vulnerable statement.
+                after_line: err.site.line.saturating_sub(1),
+                var: report.ai.vars.name(*v).to_owned(),
+                wrap: None,
+            });
+        }
+    }
+    let guards: Vec<Instrumentation> = guards.into_iter().collect();
+    (apply(src, &guards), guards)
+}
+
+/// Computes and applies BMC-mode guards at the root causes.
+///
+/// Returns the patched source and the guards inserted.
+pub fn instrument_bmc(src: &str, report: &FileReport) -> (String, Vec<Instrumentation>) {
+    let fix: BTreeSet<_> = report.fix_plan.fix_vars.iter().copied().collect();
+    let mut guards = BTreeSet::new();
+    for cx in &report.bmc.counterexamples {
+        for step in &cx.trace {
+            if !fix.contains(&step.var) {
+                continue;
+            }
+            // An assignment of a pure ⊥ constant cannot introduce
+            // taint; sanitizing after it would be a no-op.
+            if step.deps.is_empty() && step.base.index() == 0 {
+                continue;
+            }
+            if step.site.is_synthetic() {
+                // The only synthetic introductions are UIC channel
+                // inits: sanitize the channel right after the open tag.
+                guards.insert(Instrumentation {
+                    after_line: 1,
+                    var: report.ai.vars.name(step.var).to_owned(),
+                    wrap: None,
+                });
+            } else {
+                guards.insert(Instrumentation {
+                    after_line: step.site.line,
+                    var: report.ai.vars.name(step.var).to_owned(),
+                    wrap: Some((step.site.span.start, step.site.span.end)),
+                });
+            }
+        }
+    }
+    let guards: Vec<Instrumentation> = guards.into_iter().collect();
+    (apply(src, &guards), guards)
+}
+
+fn apply(src: &str, guards: &[Instrumentation]) -> String {
+    // Phase 1: span wraps, applied right to left so offsets stay valid.
+    // Nested/overlapping spans keep only the innermost wrap.
+    let mut wraps: Vec<(u32, u32)> = guards.iter().filter_map(|g| g.wrap).collect();
+    wraps.sort_by_key(|&(s, e)| (std::cmp::Reverse(s), e));
+    let mut text = src.to_owned();
+    let mut applied: Vec<(u32, u32)> = Vec::new();
+    for (start, end) in wraps {
+        if applied
+            .iter()
+            .any(|&(s, e)| !(end <= s || e <= start))
+        {
+            continue; // overlaps an already-applied (inner) wrap
+        }
+        if let Some(rewritten) = wrap_assignment(&text[start as usize..end as usize]) {
+            text.replace_range(start as usize..end as usize, &rewritten);
+            applied.push((start, end));
+        }
+    }
+    // Phase 2: line insertions (wraps add no newlines, so line numbers
+    // in the original still address the same lines).
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = String::with_capacity(text.len() + guards.len() * 48);
+    for g in guards.iter().filter(|g| g.wrap.is_none() && g.after_line == 0) {
+        out.push_str(&g.render_line());
+        out.push('\n');
+    }
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(line);
+        out.push('\n');
+        let lineno = (i + 1) as u32;
+        for g in guards
+            .iter()
+            .filter(|g| g.wrap.is_none() && g.after_line == lineno)
+        {
+            out.push_str(&g.render_line());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Rewrites `$var = value` (the text of an assignment expression) into
+/// `$var = webssari_sanitize(value)`. Returns `None` when no plain
+/// top-level `=` is found (compound assignments are left alone).
+fn wrap_assignment(snippet: &str) -> Option<String> {
+    let bytes = snippet.as_bytes();
+    let mut depth = 0i32;
+    let mut quote: Option<u8> = None;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if let Some(q) = quote {
+            if b == b'\\' {
+                i += 2;
+                continue;
+            }
+            if b == q {
+                quote = None;
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'\'' | b'"' => quote = Some(b),
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'=' if depth == 0 => {
+                let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+                let next = bytes.get(i + 1).copied().unwrap_or(b' ');
+                let compound = matches!(prev, b'+' | b'-' | b'*' | b'/' | b'.' | b'%' | b'!' | b'<' | b'>' | b'=');
+                if !compound && next != b'=' {
+                    let lhs = snippet[..i].trim_end();
+                    let rhs = snippet[i + 1..].trim();
+                    if rhs.is_empty() {
+                        return None;
+                    }
+                    return Some(format!(
+                        "{lhs} = webssari_sanitize({rhs})"
+                    ));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+// Suppress an unused-import warning when Span is only used in field
+// types via tuples.
+const _: fn(Span) = |_| {};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Verifier;
+
+    fn report_of(src: &str) -> FileReport {
+        Verifier::new().verify_source(src, "f.php").unwrap()
+    }
+
+    #[test]
+    fn wrap_assignment_basic() {
+        assert_eq!(
+            wrap_assignment("$sid = $_GET['sid']").as_deref(),
+            Some("$sid = webssari_sanitize($_GET['sid'])")
+        );
+    }
+
+    #[test]
+    fn wrap_assignment_skips_equals_in_strings_and_comparisons() {
+        assert_eq!(
+            wrap_assignment("$q = \"a=b\" . $x").as_deref(),
+            Some("$q = webssari_sanitize(\"a=b\" . $x)")
+        );
+        assert_eq!(wrap_assignment("$a == $b"), None);
+        assert_eq!(wrap_assignment("$a .= $b"), None);
+    }
+
+    #[test]
+    fn ts_guards_every_symptom() {
+        let src = "<?php\n$sid = $_GET['sid'];\n$a = $sid;\nDoSQL($a);\n$b = $sid;\nDoSQL($b);\n";
+        let report = report_of(src);
+        let (patched, guards) = instrument_ts(src, &report);
+        assert_eq!(guards.len(), 2, "one guard per vulnerable statement");
+        assert_eq!(patched.matches("webssari_sanitize").count(), 2);
+        assert!(guards.iter().any(|g| g.var == "a"));
+        assert!(guards.iter().any(|g| g.var == "b"));
+    }
+
+    #[test]
+    fn bmc_guards_only_the_root_cause() {
+        let src = "<?php\n$sid = $_GET['sid'];\n$a = $sid;\nDoSQL($a);\n$b = $sid;\nDoSQL($b);\n";
+        let report = report_of(src);
+        let (patched, guards) = instrument_bmc(src, &report);
+        assert_eq!(guards.len(), 1, "one guard at the introduction of $sid");
+        assert_eq!(guards[0].var, "sid");
+        assert_eq!(guards[0].after_line, 2);
+        assert!(guards[0].wrap.is_some());
+        assert_eq!(patched.matches("webssari_sanitize").count(), 1);
+        assert!(patched.contains("$sid = webssari_sanitize($_GET['sid'])"));
+    }
+
+    #[test]
+    fn one_line_loop_condition_is_wrapped_in_place() {
+        // The Figure 2 idiom on a single line: inserting a guard after
+        // the line would land outside the loop; wrapping is correct.
+        let src = "<?php\n$r = mysql_query('SELECT s FROM t');\nwhile ($row = mysql_fetch_array($r)) { echo $row; }\n";
+        let report = report_of(src);
+        assert!(!report.is_safe());
+        let (patched, guards) = instrument_bmc(src, &report);
+        assert_eq!(guards.len(), 1);
+        assert!(patched.contains("while ($row = webssari_sanitize(mysql_fetch_array($r)))"));
+        let after = Verifier::new().verify_source(&patched, "f.php").unwrap();
+        assert!(after.is_safe(), "patched:\n{patched}");
+    }
+
+    #[test]
+    fn patched_source_reverifies_clean() {
+        let src = "<?php\n$sid = $_GET['sid'];\n$a = $sid;\nDoSQL($a);\n$b = $sid;\nDoSQL($b);\necho $sid;\n";
+        let report = report_of(src);
+        assert!(!report.is_safe());
+        let (patched, _) = instrument_bmc(src, &report);
+        let after = Verifier::new().verify_source(&patched, "f.php").unwrap();
+        assert!(after.is_safe(), "patched:\n{patched}\n{}", after.render_text());
+    }
+
+    #[test]
+    fn ts_patched_source_reverifies_clean() {
+        let src = "<?php\n$x = $_GET['q'];\necho $x;\nmysql_query($x);\n";
+        let report = report_of(src);
+        let (patched, guards) = instrument_ts(src, &report);
+        assert_eq!(guards.len(), 2);
+        let after = Verifier::new().verify_source(&patched, "f.php").unwrap();
+        assert!(after.is_safe(), "patched:\n{patched}");
+    }
+
+    #[test]
+    fn direct_channel_read_sanitizes_the_channel() {
+        let src = "<?php\necho $_GET['m'];\n";
+        let report = report_of(src);
+        let (patched, guards) = instrument_bmc(src, &report);
+        assert_eq!(guards.len(), 1);
+        assert_eq!(guards[0].var, "_GET");
+        assert!(guards[0].wrap.is_none());
+        let after = Verifier::new().verify_source(&patched, "f.php").unwrap();
+        assert!(after.is_safe(), "patched:\n{patched}");
+    }
+
+    #[test]
+    fn clean_file_gets_no_guards() {
+        let src = "<?php echo 'hello';";
+        let report = report_of(src);
+        let (patched, guards) = instrument_bmc(src, &report);
+        assert!(guards.is_empty());
+        assert_eq!(patched.trim_end(), src);
+    }
+
+    #[test]
+    fn benign_constant_reassignments_are_not_guarded() {
+        let src = "<?php\n$x = 'safe';\nif ($c) {\n$x = $_GET['q'];\n}\necho $x;\n";
+        let report = report_of(src);
+        let (patched, guards) = instrument_bmc(src, &report);
+        assert_eq!(guards.len(), 1, "only the tainting assignment is guarded");
+        assert_eq!(guards[0].after_line, 4);
+        let after = Verifier::new().verify_source(&patched, "f.php").unwrap();
+        assert!(after.is_safe());
+    }
+}

@@ -1,0 +1,457 @@
+use php_front::{parse_source, resolve_includes, IncludeError, SourceSet};
+use taint_lattice::{Lattice, Powerset, TwoPoint};
+use webssari_ir::{abstract_interpret_with, filter_program, FilterOptions, Prelude};
+use xbmc::{CheckOptions, Xbmc};
+
+/// Which information-flow policy (lattice + prelude pairing) a
+/// verifier runs.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+enum Policy {
+    /// The paper's two-point taint lattice.
+    #[default]
+    TwoPoint,
+    /// Multi-class taint over a powerset lattice of kinds.
+    MultiClass(Powerset),
+}
+
+
+use crate::error::VerifyError;
+use crate::report::{FileReport, ProjectReport, Vulnerability};
+
+/// Configures and builds a [`Verifier`].
+///
+/// # Examples
+///
+/// ```
+/// use webssari_core::VerifierBuilder;
+/// use webssari_ir::Prelude;
+///
+/// let verifier = VerifierBuilder::new()
+///     .prelude(Prelude::standard())
+///     .exact_fixing_set(true)
+///     .build();
+/// let report = verifier.verify_source("<?php echo 'hi';", "a.php")?;
+/// assert!(report.is_safe());
+/// # Ok::<(), webssari_core::VerifyError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct VerifierBuilder {
+    prelude: Option<Prelude>,
+    filter_options: FilterOptions,
+    check_options: CheckOptions,
+    exact_fixing_set: bool,
+    minimize_guard_lines: bool,
+    loop_unroll: usize,
+    policy: Policy,
+}
+
+impl VerifierBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        VerifierBuilder::default()
+    }
+
+    /// Replaces the prelude (UIC/SOC/sanitizer contracts).
+    pub fn prelude(mut self, prelude: Prelude) -> Self {
+        self.prelude = Some(prelude);
+        self
+    }
+
+    /// Switches to the multi-class taint policy: the powerset lattice
+    /// over `{xss, sqli, shell}` with kind-specific sanitizers. Unlike
+    /// the two-point policy, `echo addslashes($_GET[...])` is still
+    /// flagged (addslashes does not neutralize XSS) and
+    /// `mysql_query(htmlspecialchars(...))` is still SQL injection.
+    ///
+    /// Installs the matching [`Prelude::multiclass`] contracts; a
+    /// custom `prelude()` set earlier is replaced.
+    pub fn multiclass(mut self) -> Self {
+        let (lattice, prelude) = Prelude::multiclass();
+        self.policy = Policy::MultiClass(lattice);
+        self.prelude = Some(prelude);
+        self
+    }
+
+    /// Sets the filter options (function unfolding depth).
+    pub fn filter_options(mut self, options: FilterOptions) -> Self {
+        self.filter_options = options;
+        self
+    }
+
+    /// Sets the model-checker options (encoder, enumeration caps).
+    pub fn check_options(mut self, options: CheckOptions) -> Self {
+        self.check_options = options;
+        self
+    }
+
+    /// Uses the exact branch-and-bound minimal-fixing-set solver
+    /// instead of the greedy heuristic.
+    pub fn exact_fixing_set(mut self, exact: bool) -> Self {
+        self.exact_fixing_set = exact;
+        self
+    }
+
+    /// Minimizes the number of *inserted guard lines* instead of the
+    /// number of patched variables: each candidate variable is weighted
+    /// by how many tainting introduction points it has, and the
+    /// weighted set-cover greedy picks the cheapest effective fix. A
+    /// root cause introduced on two paths (`$sid` from `$_GET` *or*
+    /// `$_POST`) then loses to a single downstream chain variable when
+    /// that needs only one guard.
+    pub fn minimize_guard_lines(mut self, minimize: bool) -> Self {
+        self.minimize_guard_lines = minimize;
+        self
+    }
+
+    /// Emits machine-checkable DRAT certificates for every assertion
+    /// that holds (see [`xbmc::Certificate`]). The verified absence of
+    /// taint flows then rests only on the encoder and an independent
+    /// reverse-unit-propagation checker, not on the SAT solver.
+    pub fn certify(mut self, certify: bool) -> Self {
+        self.check_options.certify = certify;
+        self
+    }
+
+    /// Loop unrolling factor for the abstract interpretation. The
+    /// paper's Figure 4 rule is a single unfolding (`1`, the default);
+    /// larger factors catch multi-step propagation chains through loop
+    /// bodies at the cost of AI size (an extension, evaluated by the
+    /// ablation tests/benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unroll` is zero.
+    pub fn loop_unroll(mut self, unroll: usize) -> Self {
+        assert!(unroll >= 1, "loop unrolling factor must be at least 1");
+        self.loop_unroll = unroll;
+        self
+    }
+
+    /// Builds the verifier.
+    pub fn build(self) -> Verifier {
+        Verifier {
+            prelude: self.prelude.unwrap_or_default(),
+            filter_options: self.filter_options,
+            check_options: self.check_options,
+            exact_fixing_set: self.exact_fixing_set,
+            minimize_guard_lines: self.minimize_guard_lines,
+            loop_unroll: self.loop_unroll.max(1),
+            policy: self.policy,
+        }
+    }
+}
+
+/// The WebSSARI verification pipeline (Figure 9 of the paper): filter,
+/// abstract interpretation, renaming, constraint generation, SAT-based
+/// counterexample enumeration, and counterexample analysis.
+#[derive(Debug, Default)]
+pub struct Verifier {
+    prelude: Prelude,
+    filter_options: FilterOptions,
+    check_options: CheckOptions,
+    exact_fixing_set: bool,
+    minimize_guard_lines: bool,
+    loop_unroll: usize,
+    policy: Policy,
+}
+
+impl Verifier {
+    /// A verifier with the standard prelude and default options.
+    pub fn new() -> Self {
+        VerifierBuilder::new().build()
+    }
+
+    /// The active prelude.
+    pub fn prelude(&self) -> &Prelude {
+        &self.prelude
+    }
+
+    /// Verifies one PHP source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::Parse`] when the source is outside the
+    /// supported subset.
+    pub fn verify_source(&self, src: &str, file: &str) -> Result<FileReport, VerifyError> {
+        let program = parse_source(src)?;
+        Ok(self.verify_parsed(&program, src, file))
+    }
+
+    /// Verifies one file of a project, resolving its includes from the
+    /// source set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] on parse or include failures (dynamic
+    /// include paths fall back to analyzing the file alone).
+    pub fn verify_file(
+        &self,
+        sources: &SourceSet,
+        entry: &str,
+    ) -> Result<FileReport, VerifyError> {
+        let src = sources
+            .file(entry)
+            .ok_or_else(|| {
+                VerifyError::Include(IncludeError::MissingFile {
+                    name: entry.to_owned(),
+                    included_from: None,
+                })
+            })?
+            .to_owned();
+        let program = match resolve_includes(sources, entry) {
+            Ok(p) => p,
+            // Unresolvable includes (dynamic paths, files outside the
+            // set, cycles) degrade gracefully: verify the file in
+            // isolation instead of giving up. Parse errors in included
+            // files still abort, since they hide real code.
+            Err(
+                IncludeError::DynamicIncludePath { .. }
+                | IncludeError::MissingFile { .. }
+                | IncludeError::IncludeCycle(_),
+            ) => parse_source(&src)?,
+            Err(e) => return Err(e.into()),
+        };
+        Ok(self.verify_parsed(&program, &src, entry))
+    }
+
+    /// Verifies every file of a project as an entry point.
+    ///
+    /// Files that fail to parse are collected in
+    /// [`ProjectReport::failed_files`] rather than aborting the project,
+    /// matching how a batch corpus run must behave.
+    pub fn verify_project(&self, sources: &SourceSet) -> ProjectReport {
+        let mut report = ProjectReport::default();
+        for (name, _) in sources.iter() {
+            match self.verify_file(sources, name) {
+                Ok(f) => report.files.push(f),
+                Err(e) => report.failed_files.push((name.to_owned(), e.to_string())),
+            }
+        }
+        report
+    }
+
+    fn verify_parsed(
+        &self,
+        program: &php_front::ast::Program,
+        src: &str,
+        file: &str,
+    ) -> FileReport {
+        match &self.policy {
+            Policy::TwoPoint => {
+                self.verify_with_lattice(program, src, file, &TwoPoint::new())
+            }
+            Policy::MultiClass(lattice) => {
+                let lattice = lattice.clone();
+                self.verify_with_lattice(program, src, file, &lattice)
+            }
+        }
+    }
+
+    fn verify_with_lattice(
+        &self,
+        program: &php_front::ast::Program,
+        src: &str,
+        file: &str,
+        lattice: &impl Lattice,
+    ) -> FileReport {
+        let f = filter_program(program, src, file, &self.prelude, &self.filter_options);
+        let ai = abstract_interpret_with(&f, lattice, self.loop_unroll);
+        let ts = typestate::analyze(&ai, lattice);
+        let bmc = Xbmc::with_options(&ai, self.check_options.clone()).check_all_with(lattice);
+        // Replacement chains stop before channel variables: the patch
+        // sanitizes the program variable that read the channel, not the
+        // superglobal itself.
+        let channels: std::collections::BTreeSet<_> = ai
+            .vars
+            .iter()
+            .filter(|v| self.prelude.is_superglobal(ai.vars.name(*v)))
+            .collect();
+        let fix_plan = if self.minimize_guard_lines {
+            // Cost of a variable = number of distinct tainting
+            // introduction points (how many guard lines patching it
+            // needs); channel variables cost one top-of-file guard.
+            let mut intro_sites: std::collections::BTreeMap<
+                webssari_ir::VarId,
+                std::collections::BTreeSet<(String, u32)>,
+            > = std::collections::BTreeMap::new();
+            for cx in &bmc.counterexamples {
+                for step in &cx.trace {
+                    if step.deps.is_empty() && step.base.index() == 0 {
+                        continue; // pure ⊥ constant: never guarded
+                    }
+                    intro_sites
+                        .entry(step.var)
+                        .or_default()
+                        .insert((step.site.file.clone(), step.site.line));
+                }
+            }
+            fixes::minimal_fixing_set_weighted(&bmc.counterexamples, &channels, |v| {
+                intro_sites.get(&v).map_or(1.0, |s| s.len() as f64)
+            })
+        } else {
+            fixes::minimal_fixing_set_with(&bmc.counterexamples, &channels, self.exact_fixing_set)
+        };
+        // Build the grouped vulnerability report: one entry per root
+        // cause, listing the symptoms (sites) it explains.
+        let mut vulnerabilities = Vec::new();
+        for root in &fix_plan.fix_vars {
+            let asserts = &fix_plan.groups[root];
+            let mut symptoms = Vec::new();
+            let mut funcs = Vec::new();
+            let mut class = String::from("taint");
+            for cx in &bmc.counterexamples {
+                if !asserts.contains(&cx.assert_id) {
+                    continue;
+                }
+                let loc = cx.site.to_string();
+                if !symptoms.contains(&loc) {
+                    symptoms.push(loc);
+                }
+                if !funcs.contains(&cx.func) {
+                    funcs.push(cx.func.clone());
+                }
+                if let Some(spec) = self.prelude.soc(&cx.func) {
+                    class = spec.class.clone();
+                }
+            }
+            vulnerabilities.push(Vulnerability {
+                class,
+                root_var: ai.vars.name(*root).to_owned(),
+                symptoms,
+                funcs,
+            });
+        }
+        FileReport {
+            file: file.to_owned(),
+            num_statements: program.num_statements(),
+            ai,
+            ts,
+            bmc,
+            fix_plan,
+            vulnerabilities,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_php_support_tickets_stored_xss() {
+        // Figure 1: unsanitized $_POST values flow into an INSERT.
+        let src = r#"<?php
+$query = "INSERT INTO tickets_tickets VALUES('" . $_SESSION['username'] . "', '" . $_POST['ticketsubject'] . "', '" . $_POST['message'] . "')";
+$result = @mysql_query($query);
+"#;
+        let report = Verifier::new().verify_source(src, "submit.php").unwrap();
+        assert!(!report.is_safe());
+        assert_eq!(report.vulnerabilities[0].class, "sqli");
+    }
+
+    #[test]
+    fn figure2_display_tickets_stored_xss() {
+        // Figure 2: DB data echoed without sanitization.
+        let src = r#"<?php
+$query = "SELECT tickets_id, tickets_username, tickets_subject FROM tickets_tickets";
+$result = @mysql_query($query);
+while ($row = @mysql_fetch_array($result)) {
+    extract($row);
+    echo "$tickets_username<BR>$tickets_subject<BR><BR>";
+}
+"#;
+        let report = Verifier::new().verify_source(src, "view.php").unwrap();
+        assert!(!report.is_safe());
+        assert!(report.vulnerabilities.iter().any(|v| v.class == "xss"));
+    }
+
+    #[test]
+    fn figure3_ilias_referer_sql_injection() {
+        // Figure 3: $HTTP_REFERER flows into a SQL command.
+        let src = r#"<?php
+$sql = "INSERT INTO track_temp VALUES('$HTTP_REFERER');";
+mysql_query($sql);
+"#;
+        let report = Verifier::new().verify_source(src, "track.php").unwrap();
+        assert!(!report.is_safe());
+        assert_eq!(report.vulnerabilities[0].class, "sqli");
+        assert_eq!(report.ts_instrumentations(), 1);
+        assert_eq!(report.bmc_instrumentations(), 1);
+    }
+
+    #[test]
+    fn sanitized_code_verifies_clean() {
+        let src = r#"<?php
+$sid = intval($_GET['sid']);
+$q = "SELECT * FROM g WHERE sid=$sid";
+mysql_query($q);
+echo htmlspecialchars($_GET['msg']);
+"#;
+        let report = Verifier::new().verify_source(src, "safe.php").unwrap();
+        assert!(report.is_safe());
+        // The echo's only argument is a sanitizer call with no variable
+        // reads, so its precondition is vacuous and only the SQL query
+        // is asserted.
+        assert_eq!(report.bmc.checked_assertions, 1);
+    }
+
+    #[test]
+    fn project_verification_aggregates_files() {
+        let mut set = SourceSet::new();
+        set.add_file("lib.php", "<?php function esc($s) { return htmlspecialchars($s); }");
+        set.add_file(
+            "good.php",
+            "<?php include 'lib.php'; echo esc($_GET['m']);",
+        );
+        set.add_file("bad.php", "<?php echo $_GET['m'];");
+        set.add_file("broken.php", "<?php if (");
+        let report = Verifier::new().verify_project(&set);
+        assert_eq!(report.files.len(), 3);
+        assert_eq!(report.failed_files.len(), 1);
+        assert_eq!(report.vulnerable_files(), 1);
+        assert!(report.is_vulnerable());
+        assert_eq!(report.ts_errors(), 1);
+        assert_eq!(report.bmc_groups(), 1);
+        assert_eq!(report.reduction(), Some(0.0));
+    }
+
+    #[test]
+    fn dynamic_include_falls_back_to_isolated_analysis() {
+        let mut set = SourceSet::new();
+        set.add_file("page.php", "<?php include $theme; echo $_GET['x'];");
+        let report = Verifier::new().verify_project(&set);
+        assert_eq!(report.files.len(), 1);
+        assert!(!report.files[0].is_safe());
+    }
+
+    #[test]
+    fn missing_entry_file_errors() {
+        let err = Verifier::new()
+            .verify_file(&SourceSet::new(), "nope.php")
+            .unwrap_err();
+        assert!(matches!(err, VerifyError::Include(_)));
+    }
+
+    #[test]
+    fn exact_fixing_set_option() {
+        let src = "<?php $sid = $_GET['s']; $a = $sid; DoSQL($a); $b = $sid; DoSQL($b);";
+        let exact = VerifierBuilder::new()
+            .exact_fixing_set(true)
+            .build()
+            .verify_source(src, "f.php")
+            .unwrap();
+        let greedy = Verifier::new().verify_source(src, "f.php").unwrap();
+        assert_eq!(exact.bmc_instrumentations(), 1);
+        assert!(exact.bmc_instrumentations() <= greedy.bmc_instrumentations());
+    }
+
+    #[test]
+    fn reduction_is_none_when_clean() {
+        let mut set = SourceSet::new();
+        set.add_file("a.php", "<?php echo 'hello';");
+        let report = Verifier::new().verify_project(&set);
+        assert_eq!(report.reduction(), None);
+        assert_eq!(report.num_statements(), 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! The project generator.
+//!
+//! Calibration contract: running `webssari_core::Verifier::verify_project`
+//! over a generated project yields exactly `profile.ts_errors`
+//! TS-reported vulnerable statements and `profile.bmc_groups` BMC error
+//! groups. The generator achieves this by construction:
+//!
+//! * every BMC group is an independent *root cause* — a variable that
+//!   reads an untrusted channel (superglobal, `$HTTP_REFERER`, or a
+//!   database fetch) under a group-unique name;
+//! * every TS symptom is one sensitive-output statement whose tainted
+//!   argument chains back (through single-assignment copies) to exactly
+//!   its group's root, so the minimal fixing set has one element per
+//!   group;
+//! * filler code (sanitized flows, constant output, helper functions,
+//!   loops over trusted data) adds bulk and passing assertions but no
+//!   violations, and branchy filler is placed after the sinks so it
+//!   cannot inflate counterexample enumeration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use php_front::{parse_source, SourceSet};
+
+use crate::profiles::ProjectProfile;
+
+/// A generated project with its calibration expectations.
+#[derive(Clone, Debug)]
+pub struct GeneratedProject {
+    /// Project name.
+    pub name: String,
+    /// The profile this was generated from.
+    pub profile: ProjectProfile,
+    /// The PHP sources.
+    pub sources: SourceSet,
+    /// Expected TS error count when verified.
+    pub expected_ts: usize,
+    /// Expected BMC group count when verified.
+    pub expected_bmc: usize,
+    /// Expected number of vulnerable files.
+    pub expected_vulnerable_files: usize,
+    /// Total statements across files (each file parsed standalone).
+    pub num_statements: usize,
+}
+
+/// Generates a project from its profile. Deterministic in the seed.
+pub fn generate_project(profile: &ProjectProfile) -> GeneratedProject {
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let num_pages = profile.vuln_pages.max(1);
+
+    // Distribute groups over pages round-robin, then distribute the
+    // extra symptoms (ts - bmc) over groups.
+    let mut groups_per_page = vec![Vec::<usize>::new(); num_pages];
+    let mut symptoms = vec![1usize; profile.bmc_groups];
+    let extra = profile.ts_errors.saturating_sub(profile.bmc_groups);
+    for _ in 0..extra {
+        let g = rng.random_range(0..symptoms.len().max(1));
+        if let Some(s) = symptoms.get_mut(g) {
+            *s += 1;
+        }
+    }
+    for (g, _) in symptoms.iter().enumerate() {
+        groups_per_page[g % num_pages].push(g);
+    }
+
+    let mut sources = SourceSet::new();
+    sources.add_file("lib.php", lib_source());
+
+    let mut expected_vulnerable_files = 0usize;
+    for (page, group_ids) in groups_per_page.iter().enumerate() {
+        let mut body = String::from("<?php\ninclude 'lib.php';\n");
+        // Leading safe filler (straight-line only).
+        body.push_str(&safe_filler_straight(&mut rng, page));
+        for &g in group_ids {
+            body.push_str(&render_group(g, symptoms[g], &mut rng));
+        }
+        // Trailing filler may use branches and loops — after the sinks,
+        // so it cannot enlarge any assertion's path set.
+        body.push_str(&safe_filler_branchy(&mut rng, page));
+        if !group_ids.is_empty() {
+            expected_vulnerable_files += 1;
+        }
+        sources.add_file(format!("page{page:02}.php"), body);
+    }
+
+    // Create data files up to the total file target and spread the
+    // statement deficit across them (a data file may be empty — a bare
+    // `<?php` — when there is nothing left to pad).
+    let structural = num_pages + 1; // pages + lib
+    let data_files = profile.num_files.saturating_sub(structural);
+    let mut num_statements = count_statements(&sources);
+    let deficit = profile.statements_target.saturating_sub(num_statements);
+    if let (false, Some(per)) = (data_files == 0, deficit.checked_div(data_files)) {
+        let extra = deficit % data_files;
+        for idx in 0..data_files {
+            let n = per + usize::from(idx < extra);
+            let mut body = String::with_capacity(16 + n * 16);
+            body.push_str("<?php\n");
+            for i in 0..n {
+                body.push_str(&format!("$pad_{idx}_{i} = {i};\n"));
+            }
+            sources.add_file(format!("data{idx:04}.php"), body);
+        }
+        num_statements = count_statements(&sources);
+    } else if deficit > 0 {
+        // No data files budgeted: pad the last page (after its sinks).
+        let name = format!("page{:02}.php", num_pages - 1);
+        let mut body = sources.file(&name).expect("page exists").to_owned();
+        for i in 0..deficit {
+            body.push_str(&format!("$pagepad_{i} = {i};\n"));
+        }
+        sources.add_file(name, body);
+        num_statements = count_statements(&sources);
+    }
+
+    GeneratedProject {
+        name: profile.name.clone(),
+        profile: profile.clone(),
+        sources,
+        expected_ts: profile.ts_errors,
+        expected_bmc: profile.bmc_groups,
+        expected_vulnerable_files,
+        num_statements,
+    }
+}
+
+/// Counts statements per file (each file parsed standalone), matching
+/// the paper's corpus-size metric.
+pub fn count_statements(sources: &SourceSet) -> usize {
+    sources
+        .iter()
+        .map(|(_, src)| {
+            parse_source(src)
+                .map(|p| p.num_statements())
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+fn lib_source() -> String {
+    r#"<?php
+function esc($s) {
+    return htmlspecialchars($s);
+}
+function table_prefix($name) {
+    return 'app_' . $name;
+}
+function render_row($label, $value) {
+    echo esc($label);
+    echo ': ';
+    echo esc($value);
+}
+function quote_int($v) {
+    return intval($v);
+}
+"#
+    .to_owned()
+}
+
+/// One vulnerability group: a root-cause read plus `symptoms` sinks
+/// whose arguments chain back to it.
+fn render_group(g: usize, symptoms: usize, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    // Root-cause variants. All bind the group root `$src{g}`.
+    match rng.random_range(0..5u32) {
+        0 => out.push_str(&format!("$src{g} = $_GET['k{g}'];\n")),
+        1 => out.push_str(&format!("$src{g} = $_POST['field{g}'];\n")),
+        2 => out.push_str(&format!("$src{g} = $_COOKIE['pref{g}'];\n")),
+        3 => out.push_str(&format!("$src{g} = $HTTP_REFERER;\n")),
+        _ => {
+            out.push_str(&format!(
+                "$h{g} = mysql_query('SELECT c FROM t{g}');\n$src{g} = mysql_fetch_array($h{g});\n"
+            ));
+        }
+    }
+    for i in 0..symptoms {
+        match rng.random_range(0..4u32) {
+            // Stored-XSS shape: copy then echo.
+            0 => out.push_str(&format!("$out{g}_{i} = $src{g};\necho $out{g}_{i};\n")),
+            // SQL injection via interpolation.
+            1 => out.push_str(&format!(
+                "$q{g}_{i} = \"SELECT * FROM items WHERE ref='$src{g}' LIMIT {i}\";\nmysql_query($q{g}_{i});\n"
+            )),
+            // SQL injection via concatenation.
+            2 => out.push_str(&format!(
+                "$w{g}_{i} = 'DELETE FROM log WHERE tag=' . $src{g};\nDoSQL($w{g}_{i});\n"
+            )),
+            // Direct echo of the root.
+            _ => out.push_str(&format!("echo 'row: ', $src{g};\n")),
+        }
+    }
+    out
+}
+
+/// Straight-line safe code: constants, sanitized flows, trusted output.
+fn safe_filler_straight(rng: &mut StdRng, page: usize) -> String {
+    let mut out = String::new();
+    let n = rng.random_range(3..8u32);
+    for i in 0..n {
+        match rng.random_range(0..5u32) {
+            0 => out.push_str(&format!("$cfg_{page}_{i} = 'value{i}';\n")),
+            1 => out.push_str(&format!(
+                "$safe_{page}_{i} = esc($_GET['q{i}']);\necho $safe_{page}_{i};\n"
+            )),
+            2 => out.push_str(&format!(
+                "$id_{page}_{i} = intval($_GET['id{i}']);\n$sq_{page}_{i} = \"SELECT * FROM t WHERE id=$id_{page}_{i}\";\nmysql_query($sq_{page}_{i});\n"
+            )),
+            3 => out.push_str(&format!("echo 'static banner {page}/{i}';\n")),
+            _ => out.push_str(&format!(
+                "$sum_{page}_{i} = {i} + {page} * 3;\necho $sum_{page}_{i};\n"
+            )),
+        }
+    }
+    out
+}
+
+/// Branch/loop-bearing safe code, placed after all sinks.
+fn safe_filler_branchy(rng: &mut StdRng, page: usize) -> String {
+    let mut out = String::new();
+    let n = rng.random_range(1..4u32);
+    for i in 0..n {
+        match rng.random_range(0..3u32) {
+            0 => out.push_str(&format!(
+                "if ($mode_{page}_{i}) {{ echo 'mode on'; }} else {{ echo 'mode off'; }}\n"
+            )),
+            1 => out.push_str(&format!(
+                "for ($i{page}_{i} = 0; $i{page}_{i} < 3; $i{page}_{i}++) {{ echo $i{page}_{i}; }}\n"
+            )),
+            _ => out.push_str(&format!(
+                "$t_{page}_{i} = table_prefix('audit');\n$lq_{page}_{i} = \"SELECT * FROM $t_{page}_{i}\";\nmysql_query($lq_{page}_{i});\n"
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{figure10_profiles, ProjectProfile};
+    use webssari_core::Verifier;
+
+    fn profile(name: &str, ts: usize, bmc: usize, seed: u64) -> ProjectProfile {
+        ProjectProfile {
+            name: name.into(),
+            activity: 50,
+            ts_errors: ts,
+            bmc_groups: bmc,
+            seed,
+            num_files: 3,
+            vuln_pages: 2.min(bmc).max(usize::from(bmc > 0)),
+            statements_target: 0,
+        }
+    }
+
+    fn check_calibration(p: &ProjectProfile) {
+        let project = generate_project(p);
+        let report = Verifier::new().verify_project(&project.sources);
+        assert!(
+            report.failed_files.is_empty(),
+            "{}: generated PHP must parse: {:?}",
+            p.name,
+            report.failed_files
+        );
+        assert_eq!(
+            report.ts_errors(),
+            p.ts_errors,
+            "{}: TS calibration",
+            p.name
+        );
+        assert_eq!(
+            report.bmc_groups(),
+            p.bmc_groups,
+            "{}: BMC calibration",
+            p.name
+        );
+    }
+
+    #[test]
+    fn small_profiles_calibrate_exactly() {
+        for (ts, bmc, seed) in [(1, 1, 7), (4, 2, 8), (3, 3, 9), (10, 4, 10), (16, 1, 11)] {
+            check_calibration(&profile("test", ts, bmc, seed));
+        }
+    }
+
+    #[test]
+    fn clean_profile_generates_clean_project() {
+        let project = generate_project(&profile("clean", 0, 0, 12));
+        let report = Verifier::new().verify_project(&project.sources);
+        assert!(!report.is_vulnerable());
+        assert_eq!(report.ts_errors(), 0);
+    }
+
+    #[test]
+    fn figure10_sample_rows_calibrate() {
+        // A cross-section of the table, including the extremes:
+        // PHPCodeCabinet (25 = 25), Crafty Syntax (16 → 1).
+        let all = figure10_profiles();
+        for name in ["GBook MX", "PHPCodeCabinet", "Crafty Syntax Live Help", "PHP Helpdesk"] {
+            let p = all.iter().find(|p| p.name == name).unwrap();
+            check_calibration(p);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile("det", 5, 2, 42);
+        let a = generate_project(&p);
+        let b = generate_project(&p);
+        let srcs_a: Vec<_> = a.sources.iter().collect();
+        let srcs_b: Vec<_> = b.sources.iter().collect();
+        assert_eq!(srcs_a, srcs_b);
+    }
+
+    #[test]
+    fn statement_padding_hits_target() {
+        let mut p = profile("padded", 2, 1, 13);
+        p.statements_target = 1200;
+        let project = generate_project(&p);
+        assert!(
+            project.num_statements >= 1200,
+            "got {}",
+            project.num_statements
+        );
+        // Padding must not change the analysis results.
+        let report = Verifier::new().verify_project(&project.sources);
+        assert_eq!(report.ts_errors(), 2);
+        assert_eq!(report.bmc_groups(), 1);
+    }
+
+    #[test]
+    fn vulnerable_file_expectation_matches() {
+        let p = profile("vf", 6, 3, 21);
+        let project = generate_project(&p);
+        let report = Verifier::new().verify_project(&project.sources);
+        assert_eq!(report.vulnerable_files(), project.expected_vulnerable_files);
+    }
+}

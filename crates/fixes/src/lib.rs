@@ -1,0 +1,47 @@
+//! Counterexample analysis: from error traces to a minimal set of
+//! patch locations (paper §3.3.3–§3.3.4).
+//!
+//! For an error trace `r`, the *violating variables* `V_r` are the
+//! variables that appeared in the violated assertion. For each
+//! violating variable a *replacement set* `s_vα` is built by tracing
+//! backwards along the trace through single assignments with unique
+//! r-values (`vα = vβ` chains): by Lemma 1, sanitizing any variable in
+//! `s_vα` fixes `vα`'s contribution to the trace.
+//!
+//! Finding the smallest set of variables that intersects every
+//! replacement set is the **MINIMUM-INTERSECTING-SET** problem, which
+//! the paper proves NP-complete by reduction from VERTEX-COVER, and
+//! solves with Chvátal's greedy SET-COVER heuristic (approximation
+//! ratio `1 + ln |S|`). This crate implements the instance builder, the
+//! greedy solver, an exact branch-and-bound solver (used to validate
+//! the approximation bound in tests and benchmarks), and the
+//! vertex-cover reduction itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use fixes::MisInstance;
+//!
+//! // Three sinks all reachable only through the chain from element 0
+//! // (the PHP Surveyor `$sid` pattern): one patch suffices.
+//! let inst = MisInstance::from_sets(vec![
+//!     vec![0, 1], // s_{iquery}  = {sid, iquery}
+//!     vec![0, 2], // s_{i2query} = {sid, i2query}
+//!     vec![0, 3], // s_{fnquery} = {sid, fnquery}
+//! ]);
+//! assert_eq!(inst.greedy(), vec![0]);
+//! assert_eq!(inst.exact(), vec![0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mis;
+mod plan;
+pub mod vertex_cover;
+
+pub use mis::MisInstance;
+pub use plan::{
+    minimal_fixing_set, minimal_fixing_set_exact, minimal_fixing_set_weighted,
+    minimal_fixing_set_with, replacement_set, replacement_set_excluding, FixPlan,
+};

@@ -1,0 +1,391 @@
+//! The MINIMUM-INTERSECTING-SET problem and its solvers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A MINIMUM-INTERSECTING-SET instance: given a collection of sets
+/// `S = {S₁, …, Sₙ}` over a universe `V`, find a minimum `M ⊆ V` with
+/// `Sᵢ ∩ M ≠ ∅` for every `i` (Definition 2 of the paper).
+///
+/// Elements are `usize` ids; callers map their domain (program
+/// variables, graph vertices) onto ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MisInstance {
+    sets: Vec<BTreeSet<usize>>,
+}
+
+impl MisInstance {
+    /// Builds an instance from element lists. Empty input sets are
+    /// rejected (an empty set can never be intersected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any set is empty.
+    pub fn from_sets<I, S>(sets: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = usize>,
+    {
+        let sets: Vec<BTreeSet<usize>> = sets
+            .into_iter()
+            .map(|s| s.into_iter().collect::<BTreeSet<usize>>())
+            .collect();
+        assert!(
+            sets.iter().all(|s| !s.is_empty()),
+            "MIS constraint sets must be nonempty"
+        );
+        MisInstance { sets }
+    }
+
+    /// The constraint sets.
+    pub fn sets(&self) -> &[BTreeSet<usize>] {
+        &self.sets
+    }
+
+    /// Number of constraint sets (`|S|`).
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether there are no constraints (the empty set is a solution).
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// All distinct elements mentioned by the constraints.
+    pub fn universe(&self) -> BTreeSet<usize> {
+        self.sets.iter().flatten().copied().collect()
+    }
+
+    /// Whether `candidate` intersects every constraint set.
+    pub fn is_intersecting(&self, candidate: &[usize]) -> bool {
+        let c: BTreeSet<usize> = candidate.iter().copied().collect();
+        self.sets.iter().all(|s| !s.is_disjoint(&c))
+    }
+
+    /// Chvátal's greedy SET-COVER heuristic through the paper's
+    /// reduction (§3.3.4): each constraint set `Sᵢ` becomes a universe
+    /// element, each candidate variable `v` covers `{Sᵢ | v ∈ Sᵢ}`, and
+    /// the greedy rule repeatedly picks the variable covering the most
+    /// uncovered constraints. Guarantees a `1 + ln |S|` approximation.
+    ///
+    /// Returns the chosen elements in selection order; ties break toward
+    /// the smallest element id (deterministic).
+    pub fn greedy(&self) -> Vec<usize> {
+        let mut covers: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for (i, s) in self.sets.iter().enumerate() {
+            for &v in s {
+                covers.entry(v).or_default().insert(i);
+            }
+        }
+        let mut uncovered: BTreeSet<usize> = (0..self.sets.len()).collect();
+        let mut chosen = Vec::new();
+        while !uncovered.is_empty() {
+            let (&best, _) = covers
+                .iter()
+                .max_by_key(|(v, c)| (c.intersection(&uncovered).count(), std::cmp::Reverse(**v)))
+                .expect("uncovered nonempty implies a candidate exists");
+            chosen.push(best);
+            let newly: Vec<usize> = covers[&best]
+                .intersection(&uncovered)
+                .copied()
+                .collect();
+            for i in newly {
+                uncovered.remove(&i);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Exact minimum intersecting set by branch-and-bound on the
+    /// hitting-set formulation: pick an uncovered constraint, branch on
+    /// each of its elements, prune when the current size reaches the
+    /// best known. Exponential in the worst case — MIS is NP-complete —
+    /// but fine at the sizes the tests and benchmarks use.
+    pub fn exact(&self) -> Vec<usize> {
+        let mut best: Vec<usize> = self.greedy(); // upper bound
+        let mut current: Vec<usize> = Vec::new();
+        self.branch(&mut current, &mut best);
+        best.sort_unstable();
+        best
+    }
+
+    fn branch(&self, current: &mut Vec<usize>, best: &mut Vec<usize>) {
+        if current.len() >= best.len() {
+            return; // cannot improve
+        }
+        // First constraint not hit by `current`.
+        let chosen: BTreeSet<usize> = current.iter().copied().collect();
+        let Some(unhit) = self.sets.iter().find(|s| s.is_disjoint(&chosen)) else {
+            *best = current.clone();
+            return;
+        };
+        for &v in unhit {
+            current.push(v);
+            self.branch(current, best);
+            current.pop();
+        }
+    }
+
+    /// Weighted greedy: Chvátal's rule with per-element costs, picking
+    /// the element with the best cost-effectiveness (newly covered
+    /// constraints per unit cost) each round. With unit costs this is
+    /// exactly [`MisInstance::greedy`]; the `Hₙ` approximation
+    /// guarantee carries over to the weighted case.
+    ///
+    /// The paper reduces MIS "to the SET-COVER problem where all sets
+    /// have an equal cost"; the weighted generalization lets the patch
+    /// planner minimize real deployment cost (e.g. the number of guard
+    /// lines a variable needs) instead of the variable count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` returns a non-positive or non-finite value.
+    pub fn greedy_weighted(&self, cost: impl Fn(usize) -> f64) -> Vec<usize> {
+        let mut covers: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for (i, s) in self.sets.iter().enumerate() {
+            for &v in s {
+                covers.entry(v).or_default().insert(i);
+            }
+        }
+        for &v in covers.keys() {
+            let c = cost(v);
+            assert!(
+                c.is_finite() && c > 0.0,
+                "element costs must be positive and finite (got {c} for {v})"
+            );
+        }
+        let mut uncovered: BTreeSet<usize> = (0..self.sets.len()).collect();
+        let mut chosen = Vec::new();
+        while !uncovered.is_empty() {
+            let (&best, _) = covers
+                .iter()
+                .filter(|(_, c)| c.intersection(&uncovered).count() > 0)
+                .max_by(|(va, ca), (vb, cb)| {
+                    let ea = ca.intersection(&uncovered).count() as f64 / cost(**va);
+                    let eb = cb.intersection(&uncovered).count() as f64 / cost(**vb);
+                    ea.partial_cmp(&eb)
+                        .expect("finite effectiveness")
+                        .then(vb.cmp(va)) // tie-break toward smaller id
+                })
+                .expect("uncovered nonempty implies a candidate exists");
+            chosen.push(best);
+            let newly: Vec<usize> = covers[&best]
+                .intersection(&uncovered)
+                .copied()
+                .collect();
+            for i in newly {
+                uncovered.remove(&i);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Exact minimum-*cost* intersecting set by branch-and-bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` returns a non-positive or non-finite value.
+    pub fn exact_weighted(&self, cost: impl Fn(usize) -> f64) -> Vec<usize> {
+        let mut best: Vec<usize> = self.greedy_weighted(&cost);
+        let mut best_cost: f64 = best.iter().map(|&v| cost(v)).sum();
+        let mut current: Vec<usize> = Vec::new();
+        self.branch_weighted(&cost, &mut current, 0.0, &mut best, &mut best_cost);
+        best.sort_unstable();
+        best
+    }
+
+    fn branch_weighted(
+        &self,
+        cost: &impl Fn(usize) -> f64,
+        current: &mut Vec<usize>,
+        current_cost: f64,
+        best: &mut Vec<usize>,
+        best_cost: &mut f64,
+    ) {
+        if current_cost >= *best_cost {
+            return;
+        }
+        let chosen: BTreeSet<usize> = current.iter().copied().collect();
+        let Some(unhit) = self.sets.iter().find(|s| s.is_disjoint(&chosen)) else {
+            *best = current.clone();
+            *best_cost = current_cost;
+            return;
+        };
+        for &v in unhit {
+            current.push(v);
+            self.branch_weighted(cost, current, current_cost + cost(v), best, best_cost);
+            current.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_instance_needs_nothing() {
+        let inst = MisInstance::from_sets(Vec::<Vec<usize>>::new());
+        assert!(inst.is_empty());
+        assert!(inst.greedy().is_empty());
+        assert!(inst.exact().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_constraint_set_panics() {
+        let _ = MisInstance::from_sets(vec![vec![1], vec![]]);
+    }
+
+    #[test]
+    fn single_shared_element_wins() {
+        let inst = MisInstance::from_sets(vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
+        assert_eq!(inst.greedy(), vec![0]);
+        assert_eq!(inst.exact(), vec![0]);
+    }
+
+    #[test]
+    fn disjoint_sets_need_one_each() {
+        let inst = MisInstance::from_sets(vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(inst.greedy().len(), 3);
+        assert_eq!(inst.exact().len(), 3);
+    }
+
+    #[test]
+    fn greedy_result_is_always_intersecting() {
+        let inst = MisInstance::from_sets(vec![
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![4, 5],
+            vec![1, 5],
+        ]);
+        let g = inst.greedy();
+        assert!(inst.is_intersecting(&g));
+        let e = inst.exact();
+        assert!(inst.is_intersecting(&e));
+        assert!(e.len() <= g.len());
+    }
+
+    #[test]
+    fn classic_greedy_suboptimal_instance() {
+        // The standard set-cover trap: greedy may pick the big set
+        // first; exact finds the 2-element solution.
+        // Constraints are "columns": {a, x}, {a, y}, {b, x}, {b, y},
+        // plus a decoy element c in three of them.
+        let (a, b, c, x, y) = (0, 1, 2, 3, 4);
+        let inst = MisInstance::from_sets(vec![
+            vec![a, x, c],
+            vec![a, y, c],
+            vec![b, x, c],
+            vec![b, y],
+        ]);
+        let e = inst.exact();
+        assert!(inst.is_intersecting(&e));
+        assert_eq!(e.len(), 2); // {a,b} or {x,y}
+        let g = inst.greedy();
+        assert!(inst.is_intersecting(&g));
+        assert!(g.len() >= 2);
+    }
+
+    #[test]
+    fn exact_is_never_worse_than_greedy_randomized() {
+        // Deterministic xorshift instance generator.
+        let mut seed = 0xDEADBEEFCAFEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            let n_sets = (next() % 6 + 1) as usize;
+            let sets: Vec<Vec<usize>> = (0..n_sets)
+                .map(|_| {
+                    let len = (next() % 4 + 1) as usize;
+                    (0..len).map(|_| (next() % 8) as usize).collect()
+                })
+                .collect();
+            let inst = MisInstance::from_sets(sets);
+            let g = inst.greedy();
+            let e = inst.exact();
+            assert!(inst.is_intersecting(&g));
+            assert!(inst.is_intersecting(&e));
+            assert!(e.len() <= g.len());
+            // Chvátal bound: |greedy| ≤ (1 + ln|S|) · |opt|.
+            let bound = (1.0 + (inst.len() as f64).ln()) * e.len() as f64;
+            assert!(g.len() as f64 <= bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_greedy_with_unit_costs_matches_unweighted() {
+        let insts = [
+            MisInstance::from_sets(vec![vec![0, 1], vec![0, 2], vec![0, 3]]),
+            MisInstance::from_sets(vec![vec![0], vec![1], vec![2]]),
+            MisInstance::from_sets(vec![vec![1, 2], vec![2, 3], vec![3, 4], vec![1, 4]]),
+        ];
+        for inst in insts {
+            assert_eq!(inst.greedy_weighted(|_| 1.0), inst.greedy());
+        }
+    }
+
+    #[test]
+    fn weights_steer_the_choice() {
+        // {0} covers everything, but is expensive; {1, 2} is cheaper
+        // in total cost.
+        let inst = MisInstance::from_sets(vec![vec![0, 1], vec![0, 2]]);
+        let cost = |v: usize| if v == 0 { 5.0 } else { 1.0 };
+        let exact = inst.exact_weighted(cost);
+        assert_eq!(exact, vec![1, 2], "total cost 2 beats cost 5");
+        assert!(inst.is_intersecting(&exact));
+        // Unweighted exact still prefers the single element.
+        assert_eq!(inst.exact(), vec![0]);
+    }
+
+    #[test]
+    fn weighted_exact_never_costs_more_than_weighted_greedy() {
+        let mut seed = 0xFEED5EEDu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..40 {
+            let n_sets = (next() % 5 + 1) as usize;
+            let sets: Vec<Vec<usize>> = (0..n_sets)
+                .map(|_| {
+                    let len = (next() % 3 + 1) as usize;
+                    (0..len).map(|_| (next() % 6) as usize).collect()
+                })
+                .collect();
+            let inst = MisInstance::from_sets(sets);
+            let cost = |v: usize| 1.0 + (v % 3) as f64;
+            let g = inst.greedy_weighted(cost);
+            let e = inst.exact_weighted(cost);
+            assert!(inst.is_intersecting(&g));
+            assert!(inst.is_intersecting(&e));
+            let gc: f64 = g.iter().map(|&v| cost(v)).sum();
+            let ec: f64 = e.iter().map(|&v| cost(v)).sum();
+            assert!(ec <= gc + 1e-9, "exact {ec} vs greedy {gc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_costs_are_rejected() {
+        let inst = MisInstance::from_sets(vec![vec![0]]);
+        let _ = inst.greedy_weighted(|_| 0.0);
+    }
+
+    #[test]
+    fn universe_collects_all_elements() {
+        let inst = MisInstance::from_sets(vec![vec![5, 1], vec![2]]);
+        let u: Vec<usize> = inst.universe().into_iter().collect();
+        assert_eq!(u, vec![1, 2, 5]);
+        assert_eq!(inst.len(), 2);
+    }
+}

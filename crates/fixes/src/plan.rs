@@ -1,0 +1,375 @@
+//! From counterexample traces to patch plans.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use webssari_ir::{AssertId, VarId};
+use xbmc::{Counterexample, TraceStep};
+
+use crate::mis::MisInstance;
+
+/// Builds the replacement set `s_vα` of a violating variable by tracing
+/// backwards along the error trace, recursively adding variables that
+/// serve as unique r-values of single assignments (paper §3.3.3,
+/// Lemma 1).
+///
+/// The returned set always contains `v` itself and is ordered from the
+/// violating variable back to the root of the copy chain.
+pub fn replacement_set(trace: &[TraceStep], v: VarId) -> Vec<VarId> {
+    replacement_set_excluding(trace, v, &BTreeSet::new())
+}
+
+/// Like [`replacement_set`], but the chain is not *extended* with
+/// variables in `excluded` — used to keep patch points out of channel
+/// variables like `$_GET` (you sanitize the program variable that read
+/// the channel, not the channel itself). The violating variable `v`
+/// stays in the set even if excluded.
+pub fn replacement_set_excluding(
+    trace: &[TraceStep],
+    v: VarId,
+    excluded: &BTreeSet<VarId>,
+) -> Vec<VarId> {
+    let mut set = vec![v];
+    let mut current = v;
+    for step in trace.iter().rev() {
+        if step.var != current {
+            continue;
+        }
+        match step.copy_of {
+            Some(w) if !set.contains(&w) && !excluded.contains(&w) => {
+                set.push(w);
+                current = w;
+            }
+            _ => break,
+        }
+    }
+    set
+}
+
+/// A computed patch plan for a set of error traces.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FixPlan {
+    /// The chosen fixing set `V_R^m`: sanitize these variables (at
+    /// their introduction points) and every error trace is removed.
+    pub fix_vars: Vec<VarId>,
+    /// The naive fixing set `V_R^n` (all violating variables) — what
+    /// the TS algorithm would instrument.
+    pub naive_vars: Vec<VarId>,
+    /// Number of `(trace, violating variable)` constraints.
+    pub num_constraints: usize,
+    /// For each chosen variable, the assertions (symptoms) whose error
+    /// traces it repairs — the paper's error *groups*.
+    pub groups: BTreeMap<VarId, BTreeSet<AssertId>>,
+}
+
+impl FixPlan {
+    /// Number of runtime guards the plan inserts (`|V_R^m|`) — the
+    /// paper's "BMC-reported errors" column of Figure 10.
+    pub fn num_patches(&self) -> usize {
+        self.fix_vars.len()
+    }
+
+    /// Size of the naive fixing set (`|V_R^n|`).
+    pub fn num_naive(&self) -> usize {
+        self.naive_vars.len()
+    }
+}
+
+/// Computes a minimal fixing set with the greedy heuristic (the
+/// production configuration, §3.3.4).
+pub fn minimal_fixing_set(counterexamples: &[Counterexample]) -> FixPlan {
+    minimal_fixing_set_with(counterexamples, &BTreeSet::new(), false)
+}
+
+/// Computes the exact minimum fixing set by branch and bound — viable
+/// for small trace sets; used to measure the greedy gap.
+pub fn minimal_fixing_set_exact(counterexamples: &[Counterexample]) -> FixPlan {
+    minimal_fixing_set_with(counterexamples, &BTreeSet::new(), true)
+}
+
+/// Computes a fixing set with explicit chain-exclusion (channel
+/// variables) and solver choice.
+pub fn minimal_fixing_set_with(
+    counterexamples: &[Counterexample],
+    excluded: &BTreeSet<VarId>,
+    exact: bool,
+) -> FixPlan {
+    build_plan(counterexamples, excluded, move |inst, _| {
+        if exact {
+            inst.exact()
+        } else {
+            inst.greedy()
+        }
+    })
+}
+
+/// Computes a fixing set minimizing total *cost* instead of variable
+/// count, with the weighted greedy heuristic (an extension of the
+/// paper's equal-cost SET-COVER reduction, §3.3.4). The verifier uses
+/// this to minimize the number of inserted guard lines: a variable's
+/// cost is its number of tainting introduction points.
+pub fn minimal_fixing_set_weighted(
+    counterexamples: &[Counterexample],
+    excluded: &BTreeSet<VarId>,
+    cost: impl Fn(VarId) -> f64,
+) -> FixPlan {
+    build_plan(counterexamples, excluded, move |inst, vars| {
+        inst.greedy_weighted(|dense| cost(vars[dense]))
+    })
+}
+
+fn build_plan(
+    counterexamples: &[Counterexample],
+    excluded: &BTreeSet<VarId>,
+    choose: impl Fn(&MisInstance, &[VarId]) -> Vec<usize>,
+) -> FixPlan {
+    // One constraint per (trace, violating variable): its replacement
+    // set. Duplicate constraints collapse.
+    let mut constraints: Vec<(AssertId, Vec<VarId>)> = Vec::new();
+    let mut naive: BTreeSet<VarId> = BTreeSet::new();
+    for cx in counterexamples {
+        for &v in &cx.violating_vars {
+            naive.insert(v);
+            constraints.push((
+                cx.assert_id,
+                replacement_set_excluding(&cx.trace, v, excluded),
+            ));
+        }
+    }
+    if constraints.is_empty() {
+        return FixPlan::default();
+    }
+    // Intern VarIds densely for the MIS instance.
+    let mut ids: HashMap<VarId, usize> = HashMap::new();
+    let mut vars: Vec<VarId> = Vec::new();
+    let intern = |v: VarId, ids: &mut HashMap<VarId, usize>, vars: &mut Vec<VarId>| {
+        *ids.entry(v).or_insert_with(|| {
+            vars.push(v);
+            vars.len() - 1
+        })
+    };
+    // Intern each chain root-first: the greedy solver breaks ties
+    // toward smaller ids, which biases patches toward the introduction
+    // point ("repair where errors are initially introduced") rather
+    // than the symptom end of the chain.
+    let dense: Vec<(AssertId, Vec<usize>)> = constraints
+        .iter()
+        .map(|(a, s)| {
+            (
+                *a,
+                s.iter()
+                    .rev()
+                    .map(|&v| intern(v, &mut ids, &mut vars))
+                    .collect(),
+            )
+        })
+        .collect();
+    let instance = MisInstance::from_sets(dense.iter().map(|(_, s)| s.clone()));
+    let chosen = choose(&instance, &vars);
+    let chosen_vars: Vec<VarId> = chosen.iter().map(|&i| vars[i]).collect();
+    // Group symptoms under the fixing variables that repair them.
+    let chosen_set: BTreeSet<usize> = chosen.iter().copied().collect();
+    let mut groups: BTreeMap<VarId, BTreeSet<AssertId>> = BTreeMap::new();
+    for (assert_id, s) in &dense {
+        for &e in s {
+            if chosen_set.contains(&e) {
+                groups.entry(vars[e]).or_default().insert(*assert_id);
+            }
+        }
+    }
+    FixPlan {
+        fix_vars: chosen_vars,
+        naive_vars: naive.into_iter().collect(),
+        num_constraints: instance.len(),
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_front::parse_source;
+    use taint_lattice::{Lattice, TwoPoint};
+    use webssari_ir::ai::reference;
+    use webssari_ir::{
+        abstract_interpret, filter_program, AiCmd, AiProgram, FilterOptions, Prelude,
+    };
+    use xbmc::Xbmc;
+
+    fn ai_of(src: &str) -> AiProgram {
+        let ast = parse_source(src).expect("parse");
+        let f = filter_program(
+            &ast,
+            src,
+            "t.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        abstract_interpret(&f)
+    }
+
+    /// Channel variables (superglobals) excluded from chain expansion,
+    /// mirroring the production verifier.
+    fn channels(ai: &AiProgram) -> BTreeSet<webssari_ir::VarId> {
+        let prelude = Prelude::standard();
+        ai.vars
+            .iter()
+            .filter(|v| prelude.is_superglobal(ai.vars.name(*v)))
+            .collect()
+    }
+
+    fn plan_of(ai: &AiProgram, cxs: &[xbmc::Counterexample], exact: bool) -> FixPlan {
+        minimal_fixing_set_with(cxs, &channels(ai), exact)
+    }
+
+    /// The paper's Figure 7 (PHP Surveyor): one root cause, three
+    /// vulnerable statements — TS inserts 3 guards, BMC needs 1.
+    #[test]
+    fn php_surveyor_single_root_cause() {
+        let src = r#"<?php
+$sid = $_GET['sid'];
+$iq = "SELECT * FROM groups WHERE sid=$sid";
+DoSQL($iq);
+$i2q = "SELECT * FROM ans WHERE sid=$sid";
+DoSQL($i2q);
+$fnquery = "SELECT * FROM questions WHERE sid='$sid'";
+DoSQL($fnquery);
+"#;
+        let ai = ai_of(src);
+        let result = Xbmc::new(&ai).check_all();
+        assert_eq!(result.counterexamples.len(), 3);
+        let plan = plan_of(&ai, &result.counterexamples, false);
+        assert_eq!(plan.num_naive(), 3, "naive set = {{iq, i2q, fnquery}}");
+        assert_eq!(plan.num_patches(), 1, "one sanitization of $sid suffices");
+        assert_eq!(ai.vars.name(plan.fix_vars[0]), "sid");
+        // The single group repairs all three symptoms.
+        assert_eq!(plan.groups[&plan.fix_vars[0]].len(), 3);
+        // TS would have inserted 3.
+        let ts = typestate::analyze(&ai, &TwoPoint::new());
+        assert_eq!(ts.num_instrumentations(), 3);
+    }
+
+    #[test]
+    fn independent_sources_need_independent_patches() {
+        let src = r#"<?php
+$a = $_GET['a']; echo $a;
+$b = $_GET['b']; echo $b;
+"#;
+        let ai = ai_of(src);
+        let result = Xbmc::new(&ai).check_all();
+        let plan = plan_of(&ai, &result.counterexamples, false);
+        assert_eq!(plan.num_patches(), 2);
+    }
+
+    #[test]
+    fn empty_counterexamples_yield_empty_plan() {
+        let plan = minimal_fixing_set(&[]);
+        assert_eq!(plan.num_patches(), 0);
+        assert_eq!(plan.num_naive(), 0);
+    }
+
+    #[test]
+    fn replacement_set_follows_copy_chain() {
+        let src = "<?php $sid = $_GET['sid']; $a = $sid; $b = $a; echo $b;";
+        let ai = ai_of(src);
+        let result = Xbmc::new(&ai).check_all();
+        let cx = &result.counterexamples[0];
+        let b = ai.vars.lookup("b").unwrap();
+        let set = replacement_set_excluding(&cx.trace, b, &channels(&ai));
+        let names: Vec<&str> = set.iter().map(|v| ai.vars.name(*v)).collect();
+        assert_eq!(names, vec!["b", "a", "sid"]);
+        // Without exclusion the chain reaches the channel itself.
+        let full = replacement_set(&cx.trace, b);
+        let full_names: Vec<&str> = full.iter().map(|v| ai.vars.name(*v)).collect();
+        assert_eq!(full_names, vec!["b", "a", "sid", "_GET"]);
+    }
+
+    #[test]
+    fn replacement_chain_stops_at_join_assignments() {
+        // $b = $a . $x is not a single-unique-r-value assignment, so the
+        // chain must stop at $b.
+        let src = "<?php $a = $_GET['p']; $x = $_GET['q']; $b = $a . $x; echo $b;";
+        let ai = ai_of(src);
+        let result = Xbmc::new(&ai).check_all();
+        let b = ai.vars.lookup("b").unwrap();
+        let set = replacement_set(&result.counterexamples[0].trace, b);
+        assert_eq!(set, vec![b]);
+    }
+
+    #[test]
+    fn exact_is_never_larger_than_greedy() {
+        let src = r#"<?php
+$sid = $_GET['sid'];
+$q1 = $sid; DoSQL($q1);
+$q2 = $sid; DoSQL($q2);
+$other = $_GET['o']; echo $other;
+"#;
+        let ai = ai_of(src);
+        let result = Xbmc::new(&ai).check_all();
+        let greedy = plan_of(&ai, &result.counterexamples, false);
+        let exact = plan_of(&ai, &result.counterexamples, true);
+        assert!(exact.num_patches() <= greedy.num_patches());
+        assert_eq!(exact.num_patches(), 2); // $sid and $other
+    }
+
+    /// Lemma 2, executed: sanitizing the fixing set removes *every*
+    /// error trace. Sanitization is modeled by forcing every assignment
+    /// to a fix variable down to ⊥ and re-running all paths.
+    #[test]
+    fn fix_plan_is_semantically_effective() {
+        let srcs = [
+            "<?php $sid = $_GET['sid']; $a = $sid; DoSQL($a); $b = $sid; DoSQL($b);",
+            "<?php if ($c) { $x = $_GET['p']; } else { $x = $_GET['q']; } echo $x;",
+            "<?php $a = $_GET['p']; $b = $a . 'x'; echo $b; mysql_query($b);",
+            "<?php while ($r = mysql_fetch_array($h)) { echo $r; }",
+        ];
+        let l = TwoPoint::new();
+        for src in srcs {
+            let ai = ai_of(src);
+            let result = Xbmc::new(&ai).check_all();
+            assert!(!result.counterexamples.is_empty(), "{src}");
+            let plan = plan_of(&ai, &result.counterexamples, false);
+            let patched = sanitize(&ai, &plan.fix_vars, &l);
+            let remaining = reference::all_violating_paths(&patched, &l);
+            assert!(
+                remaining.is_empty(),
+                "fix plan must remove every trace for {src}"
+            );
+        }
+    }
+
+    /// Models the runtime guard: every assignment to a fix variable is
+    /// followed by sanitization, i.e. its result type becomes ⊥.
+    fn sanitize(ai: &AiProgram, fix_vars: &[VarId], lattice: &impl Lattice) -> AiProgram {
+        fn rewrite(cmds: &[AiCmd], fix: &BTreeSet<VarId>, bottom: taint_lattice::Elem) -> Vec<AiCmd> {
+            cmds.iter()
+                .map(|c| match c {
+                    AiCmd::Assign { var, site, .. } if fix.contains(var) => AiCmd::Assign {
+                        var: *var,
+                        base: bottom,
+                        deps: Vec::new(),
+                        mask: None,
+                        site: site.clone(),
+                    },
+                    AiCmd::If {
+                        branch,
+                        then_cmds,
+                        else_cmds,
+                        site,
+                    } => AiCmd::If {
+                        branch: *branch,
+                        then_cmds: rewrite(then_cmds, fix, bottom),
+                        else_cmds: rewrite(else_cmds, fix, bottom),
+                        site: site.clone(),
+                    },
+                    other => other.clone(),
+                })
+                .collect()
+        }
+        let fix: BTreeSet<VarId> = fix_vars.iter().copied().collect();
+        AiProgram::from_parts(
+            ai.vars.clone(),
+            rewrite(&ai.cmds, &fix, lattice.bottom()),
+            ai.num_branches,
+        )
+    }
+}

@@ -1,0 +1,142 @@
+//! The VERTEX-COVER → MINIMUM-INTERSECTING-SET reduction.
+//!
+//! The paper's NP-completeness proof (§3.3.4, Theorem) maps each edge
+//! `eᵢ = (v, v')` of a graph to the constraint set `Sᵢ = {v, v'}`: a
+//! minimum intersecting set of `{S₁, …, Sₙ}` is exactly a minimum vertex
+//! cover. This module implements the reduction and a brute-force vertex
+//! cover, used in tests to cross-validate the MIS solvers (and as the
+//! executable witness of the hardness construction).
+
+use crate::mis::MisInstance;
+
+/// An undirected graph given by its edge list over vertices `0..n`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Undirected edges `(u, v)` with `u, v < num_vertices`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates a graph, validating the edge endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range or a self-loop.
+    pub fn new(num_vertices: usize, edges: Vec<(usize, usize)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(u < num_vertices && v < num_vertices, "edge endpoint out of range");
+            assert_ne!(u, v, "self-loops have no 2-element constraint set");
+        }
+        Graph {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// The paper's reduction: one 2-element constraint set per edge.
+    pub fn to_mis(&self) -> MisInstance {
+        MisInstance::from_sets(self.edges.iter().map(|&(u, v)| vec![u, v]))
+    }
+
+    /// Brute-force minimum vertex cover (exponential; test sizes only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 20 vertices.
+    pub fn min_vertex_cover(&self) -> Vec<usize> {
+        assert!(self.num_vertices <= 20, "brute force limited to 20 vertices");
+        let n = self.num_vertices;
+        let mut best: Vec<usize> = (0..n).collect();
+        for mask in 0u32..(1 << n) {
+            let cover: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            if cover.len() >= best.len() {
+                continue;
+            }
+            if self
+                .edges
+                .iter()
+                .all(|&(u, v)| mask >> u & 1 == 1 || mask >> v & 1 == 1)
+            {
+                best = cover;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_needs_two_vertices() {
+        let g = Graph::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.min_vertex_cover().len(), 2);
+        assert_eq!(g.to_mis().exact().len(), 2);
+    }
+
+    #[test]
+    fn star_needs_only_the_center() {
+        let g = Graph::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(g.min_vertex_cover(), vec![0]);
+        assert_eq!(g.to_mis().exact(), vec![0]);
+        assert_eq!(g.to_mis().greedy(), vec![0]);
+    }
+
+    #[test]
+    fn reduction_preserves_optimum_on_random_graphs() {
+        let mut seed = 0x1234ABCDu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..30 {
+            let n = (next() % 7 + 2) as usize;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in u + 1..n {
+                    if next() % 3 == 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            let g = Graph::new(n, edges);
+            let vc = g.min_vertex_cover();
+            let mis = g.to_mis().exact();
+            assert_eq!(
+                vc.len(),
+                mis.len(),
+                "reduction must preserve the optimum size"
+            );
+            // The MIS solution must itself be a vertex cover.
+            let m: std::collections::BTreeSet<usize> = mis.into_iter().collect();
+            assert!(g.edges.iter().all(|&(u, v)| m.contains(&u) || m.contains(&v)));
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_empty_cover() {
+        let g = Graph::new(4, vec![]);
+        assert!(g.min_vertex_cover().is_empty());
+        assert!(g.to_mis().exact().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let _ = Graph::new(2, vec![(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let _ = Graph::new(2, vec![(1, 1)]);
+    }
+}

@@ -1,0 +1,703 @@
+//! Abstract interpretation: `F(p)` → `AI(F(p))` (paper §3.2, Figure 4).
+//!
+//! The AI consists of only `if` instructions, type assignments, and
+//! assertions:
+//!
+//! * `x = e`  →  `t_x = t_e`, where constants have type `⊥` and binary
+//!   combinations join;
+//! * `fi(X)`  →  `∀x ∈ X: t_x = τ` (already folded into expressions by
+//!   the filter);
+//! * `fo(X)`  →  `assert(X, τ_r)` meaning `∀x ∈ X: t_x < τ_r`;
+//! * `if e then c1 else c2` → a *nondeterministic* selection;
+//! * `while e do c` → `if b then AI(c)` — loops deconstruct into
+//!   selections, making the AI loop-free with a fixed program diameter.
+//!
+//! Per Figure 5 of the paper, `stop` contributes the constraint `true`
+//! (it is kept in the AI for reporting but does not prune paths). The
+//! `reference` interpreter exposes both semantics; the bounded model
+//! checker is validated against the paper's.
+
+use std::fmt;
+
+use taint_lattice::{Elem, Lattice, TwoPoint};
+
+use crate::fir::{FCmd, FProgram};
+use crate::site::Site;
+use crate::vartable::{VarId, VarTable};
+
+/// Identifies one nondeterministic branch decision (the boolean `b` of
+/// an AI `if`). The set of all branch variables is the paper's `BN`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BranchId(pub u32);
+
+/// Identifies one assertion, in program order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AssertId(pub u32);
+
+/// An AI command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AiCmd {
+    /// `t_var = (base ⊔ ⊔_{d ∈ deps} t_d) ⊓ mask`
+    Assign {
+        /// Assigned type variable.
+        var: VarId,
+        /// Constant part of the right-hand side.
+        base: Elem,
+        /// Joined type variables.
+        deps: Vec<VarId>,
+        /// Kinds kept after sanitization (`None` = no meet).
+        mask: Option<Elem>,
+        /// Source location.
+        site: Site,
+    },
+    /// `assert(∀v ∈ vars: t_v < bound)` (or `≤` when non-strict)
+    Assert {
+        /// Assertion id (program order).
+        id: AssertId,
+        /// Checked variables.
+        vars: Vec<VarId>,
+        /// Bound `τ_r`.
+        bound: Elem,
+        /// Strict (`<`, the paper's form) or non-strict (`≤`).
+        strict: bool,
+        /// The SOC whose precondition this is.
+        func: String,
+        /// Source location.
+        site: Site,
+    },
+    /// Nondeterministic selection.
+    If {
+        /// The branch decision variable `b ∈ BN`.
+        branch: BranchId,
+        /// Commands when the branch is taken.
+        then_cmds: Vec<AiCmd>,
+        /// Commands when it is not.
+        else_cmds: Vec<AiCmd>,
+        /// Source location.
+        site: Site,
+    },
+    /// `stop` (constraint `true` per Figure 5; kept for reports).
+    Stop {
+        /// Source location.
+        site: Site,
+    },
+}
+
+/// A loop-free abstract interpretation ready for bounded model checking.
+#[derive(Clone, Debug, Default)]
+pub struct AiProgram {
+    /// Interned variables (shared with the `F(p)` program).
+    pub vars: VarTable,
+    /// Top-level command sequence.
+    pub cmds: Vec<AiCmd>,
+    /// Number of nondeterministic branch variables (`|BN|`).
+    pub num_branches: usize,
+    num_assertions: usize,
+}
+
+impl AiProgram {
+    /// Assembles a program from hand-built commands (used by tests and
+    /// workload generators); the assertion count is recomputed.
+    pub fn from_parts(vars: VarTable, cmds: Vec<AiCmd>, num_branches: usize) -> Self {
+        let mut p = AiProgram {
+            vars,
+            cmds,
+            num_branches,
+            num_assertions: 0,
+        };
+        p.num_assertions = p.assertions().len();
+        p
+    }
+
+    /// Number of assertions.
+    pub fn num_assertions(&self) -> usize {
+        self.num_assertions
+    }
+
+    /// The program diameter: the length (in commands) of the longest
+    /// path. Loop-freeness makes this finite and fixed — the property
+    /// that lets BMC be sound *and* complete (paper §3.3).
+    pub fn diameter(&self) -> usize {
+        fn depth(cmds: &[AiCmd]) -> usize {
+            cmds.iter()
+                .map(|c| match c {
+                    AiCmd::If {
+                        then_cmds,
+                        else_cmds,
+                        ..
+                    } => 1 + depth(then_cmds).max(depth(else_cmds)),
+                    _ => 1,
+                })
+                .sum()
+        }
+        depth(&self.cmds)
+    }
+
+    /// Total number of commands.
+    pub fn num_commands(&self) -> usize {
+        fn count(cmds: &[AiCmd]) -> usize {
+            cmds.iter()
+                .map(|c| match c {
+                    AiCmd::If {
+                        then_cmds,
+                        else_cmds,
+                        ..
+                    } => 1 + count(then_cmds) + count(else_cmds),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.cmds)
+    }
+
+    /// All assertions in program order, with their sites.
+    pub fn assertions(&self) -> Vec<(&AiCmd, &Site)> {
+        fn walk<'a>(cmds: &'a [AiCmd], out: &mut Vec<(&'a AiCmd, &'a Site)>) {
+            for c in cmds {
+                match c {
+                    AiCmd::Assert { site, .. } => out.push((c, site)),
+                    AiCmd::If {
+                        then_cmds,
+                        else_cmds,
+                        ..
+                    } => {
+                        walk(then_cmds, out);
+                        walk(else_cmds, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.cmds, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for AiProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(
+            cmds: &[AiCmd],
+            vars: &VarTable,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            for c in cmds {
+                for _ in 0..depth {
+                    write!(f, "  ")?;
+                }
+                match c {
+                    AiCmd::Assign {
+                        var,
+                        base,
+                        deps,
+                        mask,
+                        ..
+                    } => {
+                        write!(f, "t[{}] = {base}", vars.name(*var))?;
+                        for d in deps {
+                            write!(f, " ⊔ t[{}]", vars.name(*d))?;
+                        }
+                        if let Some(m) = mask {
+                            write!(f, " ⊓ {m}")?;
+                        }
+                        writeln!(f, ";")?;
+                    }
+                    AiCmd::Assert {
+                        vars: vs,
+                        bound,
+                        strict,
+                        func,
+                        ..
+                    } => {
+                        let op = if *strict { "<" } else { "≤" };
+                        write!(f, "assert(")?;
+                        for (i, v) in vs.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "t[{}] {op} {bound}", vars.name(*v))?;
+                        }
+                        writeln!(f, ") // {func}")?;
+                    }
+                    AiCmd::If {
+                        branch,
+                        then_cmds,
+                        else_cmds,
+                        ..
+                    } => {
+                        writeln!(f, "if b{} then", branch.0)?;
+                        go(then_cmds, vars, depth + 1, f)?;
+                        if !else_cmds.is_empty() {
+                            for _ in 0..depth {
+                                write!(f, "  ")?;
+                            }
+                            writeln!(f, "else")?;
+                            go(else_cmds, vars, depth + 1, f)?;
+                        }
+                    }
+                    AiCmd::Stop { .. } => writeln!(f, "stop;")?,
+                }
+            }
+            Ok(())
+        }
+        go(&self.cmds, &self.vars, 0, f)
+    }
+}
+
+/// Translates `F(p)` into its abstract interpretation over the standard
+/// two-point lattice with the paper's single-unfolding loop rule.
+pub fn abstract_interpret(f: &FProgram) -> AiProgram {
+    abstract_interpret_with(f, &TwoPoint::new(), 1)
+}
+
+/// Translates `F(p)` with an explicit lattice and loop unrolling factor.
+///
+/// `unroll = 1` is Figure 4's rule (`while e do c` → `if b then AI(c)`);
+/// larger factors nest selections (`if b1 then (c; if b2 then (c; …))`),
+/// an extension evaluated by the ablation benchmarks.
+///
+/// # Panics
+///
+/// Panics if `unroll` is zero.
+pub fn abstract_interpret_with(
+    f: &FProgram,
+    lattice: &impl Lattice,
+    unroll: usize,
+) -> AiProgram {
+    assert!(unroll >= 1, "loop unrolling factor must be at least 1");
+    let mut cx = Translate {
+        lattice,
+        unroll,
+        next_branch: 0,
+        next_assert: 0,
+    };
+    let cmds = cx.go(&f.cmds);
+    AiProgram {
+        vars: f.vars.clone(),
+        cmds,
+        num_branches: cx.next_branch as usize,
+        num_assertions: cx.next_assert as usize,
+    }
+}
+
+struct Translate<'l, L: Lattice> {
+    lattice: &'l L,
+    unroll: usize,
+    next_branch: u32,
+    next_assert: u32,
+}
+
+impl<L: Lattice> Translate<'_, L> {
+    fn fresh_branch(&mut self) -> BranchId {
+        let b = BranchId(self.next_branch);
+        self.next_branch += 1;
+        b
+    }
+
+    fn go(&mut self, cmds: &[FCmd]) -> Vec<AiCmd> {
+        let mut out = Vec::with_capacity(cmds.len());
+        for c in cmds {
+            match c {
+                FCmd::Assign {
+                    var,
+                    expr,
+                    mask,
+                    site,
+                } => {
+                    let base = expr.const_base(self.lattice.bottom(), &|a, b| {
+                        self.lattice.join(a, b)
+                    });
+                    let mut deps = expr.vars();
+                    deps.sort_unstable();
+                    deps.dedup();
+                    out.push(AiCmd::Assign {
+                        var: *var,
+                        base,
+                        deps,
+                        mask: *mask,
+                        site: site.clone(),
+                    });
+                }
+                FCmd::Soc {
+                    func,
+                    args,
+                    bound,
+                    strict,
+                    site,
+                } => {
+                    let id = AssertId(self.next_assert);
+                    self.next_assert += 1;
+                    out.push(AiCmd::Assert {
+                        id,
+                        vars: args.clone(),
+                        bound: *bound,
+                        strict: *strict,
+                        func: func.clone(),
+                        site: site.clone(),
+                    });
+                }
+                FCmd::If {
+                    then_cmds,
+                    else_cmds,
+                    site,
+                } => {
+                    let branch = self.fresh_branch();
+                    let t = self.go(then_cmds);
+                    let e = self.go(else_cmds);
+                    out.push(AiCmd::If {
+                        branch,
+                        then_cmds: t,
+                        else_cmds: e,
+                        site: site.clone(),
+                    });
+                }
+                FCmd::While { body, site } => {
+                    out.push(self.unroll_loop(body, site, self.unroll));
+                }
+                FCmd::Stop { site } => out.push(AiCmd::Stop { site: site.clone() }),
+            }
+        }
+        out
+    }
+
+    fn unroll_loop(&mut self, body: &[FCmd], site: &Site, remaining: usize) -> AiCmd {
+        let branch = self.fresh_branch();
+        let mut then_cmds = self.go(body);
+        if remaining > 1 {
+            then_cmds.push(self.unroll_loop(body, site, remaining - 1));
+        }
+        AiCmd::If {
+            branch,
+            then_cmds,
+            else_cmds: Vec::new(),
+            site: site.clone(),
+        }
+    }
+}
+
+/// A concrete-path reference interpreter for AI programs.
+///
+/// This is the executable definition of the AI's semantics; the bounded
+/// model checker is property-tested against it.
+pub mod reference {
+    use super::*;
+
+    /// One assertion violation on a concrete path.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Violation {
+        /// Which assertion failed.
+        pub assert_id: AssertId,
+        /// The checked variables whose types violated the bound.
+        pub violating_vars: Vec<VarId>,
+    }
+
+    /// Runs the program along the path selected by `branches`
+    /// (`branches[b]` is the decision for [`BranchId`] `b`), returning
+    /// every assertion violation on that path.
+    ///
+    /// With `respect_stop = false` (the paper's Figure 5 semantics,
+    /// matched by the model checker), `stop` is a no-op; with `true`,
+    /// execution halts at `stop`.
+    pub fn run_path(
+        program: &AiProgram,
+        lattice: &impl Lattice,
+        branches: &[bool],
+        respect_stop: bool,
+    ) -> Vec<Violation> {
+        let mut types = vec![lattice.bottom(); program.vars.len()];
+        let mut violations = Vec::new();
+        let mut stopped = false;
+        run_cmds(
+            &program.cmds,
+            lattice,
+            branches,
+            respect_stop,
+            &mut types,
+            &mut violations,
+            &mut stopped,
+        );
+        violations
+    }
+
+    fn run_cmds(
+        cmds: &[AiCmd],
+        lattice: &impl Lattice,
+        branches: &[bool],
+        respect_stop: bool,
+        types: &mut [Elem],
+        violations: &mut Vec<Violation>,
+        stopped: &mut bool,
+    ) {
+        for c in cmds {
+            if *stopped {
+                return;
+            }
+            match c {
+                AiCmd::Assign {
+                    var,
+                    base,
+                    deps,
+                    mask,
+                    ..
+                } => {
+                    let mut t = *base;
+                    for d in deps {
+                        t = lattice.join(t, types[d.index()]);
+                    }
+                    if let Some(m) = mask {
+                        t = lattice.meet(t, *m);
+                    }
+                    types[var.index()] = t;
+                }
+                AiCmd::Assert {
+                    id,
+                    vars,
+                    bound,
+                    strict,
+                    ..
+                } => {
+                    let ok = |t: Elem| {
+                        if *strict {
+                            lattice.lt(t, *bound)
+                        } else {
+                            lattice.leq(t, *bound)
+                        }
+                    };
+                    let violating: Vec<VarId> = vars
+                        .iter()
+                        .copied()
+                        .filter(|v| !ok(types[v.index()]))
+                        .collect();
+                    if !violating.is_empty() {
+                        violations.push(Violation {
+                            assert_id: *id,
+                            violating_vars: violating,
+                        });
+                    }
+                }
+                AiCmd::If {
+                    branch,
+                    then_cmds,
+                    else_cmds,
+                    ..
+                } => {
+                    let taken = branches.get(branch.0 as usize).copied().unwrap_or(false);
+                    let side = if taken { then_cmds } else { else_cmds };
+                    run_cmds(
+                        side,
+                        lattice,
+                        branches,
+                        respect_stop,
+                        types,
+                        violations,
+                        stopped,
+                    );
+                }
+                AiCmd::Stop { .. } => {
+                    if respect_stop {
+                        *stopped = true;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enumerates every path (all `2^|BN|` branch assignments) and
+    /// returns, per assertion, the set of paths (as branch bit vectors)
+    /// on which it is violated. Ground truth for testing; exponential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has more than 20 branch variables.
+    pub fn all_violating_paths(
+        program: &AiProgram,
+        lattice: &impl Lattice,
+    ) -> Vec<(AssertId, Vec<Vec<bool>>)> {
+        assert!(
+            program.num_branches <= 20,
+            "exhaustive path enumeration limited to 20 branches"
+        );
+        let n = program.num_branches;
+        let mut per_assert: std::collections::BTreeMap<AssertId, Vec<Vec<bool>>> =
+            std::collections::BTreeMap::new();
+        for bits in 0u64..(1u64 << n) {
+            let branches: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            for v in run_path(program, lattice, &branches, false) {
+                per_assert
+                    .entry(v.assert_id)
+                    .or_default()
+                    .push(branches.clone());
+            }
+        }
+        per_assert.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{filter_program, FilterOptions};
+    use crate::prelude::Prelude;
+    use php_front::parse_source;
+
+    fn ai_of(src: &str) -> AiProgram {
+        let program = parse_source(src).expect("parse");
+        let f = filter_program(
+            &program,
+            src,
+            "t.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        abstract_interpret(&f)
+    }
+
+    #[test]
+    fn straight_line_taint_violates() {
+        let ai = ai_of("<?php $x = $_GET['a']; echo $x;");
+        assert_eq!(ai.num_assertions(), 1);
+        assert_eq!(ai.num_branches, 0);
+        let l = TwoPoint::new();
+        let v = reference::run_path(&ai, &l, &[], false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].violating_vars.len(), 1);
+    }
+
+    #[test]
+    fn sanitized_flow_is_safe() {
+        let ai = ai_of("<?php $x = htmlspecialchars($_GET['a']); echo $x;");
+        let l = TwoPoint::new();
+        assert!(reference::run_path(&ai, &l, &[], false).is_empty());
+    }
+
+    #[test]
+    fn branch_sensitive_violation() {
+        // Tainted only on the then-branch.
+        let ai = ai_of("<?php $x = 'safe'; if ($c) { $x = $_GET['a']; } echo $x;");
+        assert_eq!(ai.num_branches, 1);
+        let l = TwoPoint::new();
+        assert_eq!(reference::run_path(&ai, &l, &[true], false).len(), 1);
+        assert!(reference::run_path(&ai, &l, &[false], false).is_empty());
+    }
+
+    #[test]
+    fn figure6_shape_two_assertions() {
+        // Paper Figure 6: both branches echo, one tainted, one not.
+        let src = r#"<?php
+if (Nick) {
+    $tmp = $_GET['nick'];
+    echo htmlspecialchars_off($tmp);
+} else {
+    $tmp = "You are the " . $GuestCount . " guest";
+    echo $tmp;
+}"#;
+        let ai = ai_of(src);
+        assert_eq!(ai.num_assertions(), 2);
+        assert_eq!(ai.num_branches, 1);
+        let l = TwoPoint::new();
+        // Then-branch: tainted echo (htmlspecialchars_off is unknown,
+        // so taint propagates).
+        let v_then = reference::run_path(&ai, &l, &[true], false);
+        assert_eq!(v_then.len(), 1);
+        // Else-branch: $GuestCount is read but never assigned → ⊥.
+        let v_else = reference::run_path(&ai, &l, &[false], false);
+        assert!(v_else.is_empty());
+    }
+
+    #[test]
+    fn loop_unrolls_to_selection() {
+        let ai = ai_of("<?php while ($c) { $x = $_GET['a']; } echo $x;");
+        assert_eq!(ai.num_branches, 1);
+        let l = TwoPoint::new();
+        assert_eq!(reference::run_path(&ai, &l, &[true], false).len(), 1);
+        assert!(reference::run_path(&ai, &l, &[false], false).is_empty());
+    }
+
+    #[test]
+    fn two_step_propagation_needs_two_unrollings() {
+        // $b taints $a only after two iterations: the paper's single
+        // unfolding misses it, unroll = 2 catches it.
+        let src = "<?php $t = $_GET['x']; while ($c) { $a = $b; $b = $t; } echo $a;";
+        let program = parse_source(src).unwrap();
+        let f = filter_program(
+            &program,
+            src,
+            "t.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        let l = TwoPoint::new();
+        let ai1 = abstract_interpret_with(&f, &l, 1);
+        let all1 = reference::all_violating_paths(&ai1, &l);
+        assert!(all1.is_empty(), "single unfolding cannot see 2-step flow");
+        let ai2 = abstract_interpret_with(&f, &l, 2);
+        let all2 = reference::all_violating_paths(&ai2, &l);
+        assert_eq!(all2.len(), 1, "two unrollings expose the 2-step flow");
+    }
+
+    #[test]
+    fn stop_semantics_flag() {
+        let ai = ai_of("<?php $x = $_GET['a']; exit; echo $x;");
+        let l = TwoPoint::new();
+        // Paper semantics: stop is `true`, the echo is still checked.
+        assert_eq!(reference::run_path(&ai, &l, &[], false).len(), 1);
+        // Concrete semantics: execution halts at exit.
+        assert!(reference::run_path(&ai, &l, &[], true).is_empty());
+    }
+
+    #[test]
+    fn diameter_is_fixed_and_finite() {
+        let ai = ai_of("<?php if ($a) { $x = 1; $y = 2; } else { $z = 3; } echo $q;");
+        assert!(ai.diameter() >= 3);
+        assert!(ai.num_commands() >= 4);
+    }
+
+    #[test]
+    fn assertions_listed_in_program_order() {
+        let ai = ai_of("<?php echo $a; if ($c) { echo $b; } echo $d;");
+        let asserts = ai.assertions();
+        assert_eq!(asserts.len(), 3);
+        let ids: Vec<u32> = asserts
+            .iter()
+            .map(|(c, _)| match c {
+                AiCmd::Assert { id, .. } => id.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_renders_ai() {
+        let ai = ai_of("<?php $x = $_GET['a']; if ($c) { echo $x; }");
+        let text = ai.to_string();
+        assert!(text.contains("t[x] ="));
+        assert!(text.contains("if b0 then"));
+        assert!(text.contains("assert("));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_unroll_panics() {
+        let f = FProgram::default();
+        let _ = abstract_interpret_with(&f, &TwoPoint::new(), 0);
+    }
+
+    #[test]
+    fn all_violating_paths_groups_by_assertion() {
+        let ai = ai_of(
+            "<?php $x = 'a'; if ($c) { $x = $_GET['q']; } if ($d) { echo $x; } echo $x;",
+        );
+        let l = TwoPoint::new();
+        let all = reference::all_violating_paths(&ai, &l);
+        // Both echoes violate only when branch 0 (taint) is taken; the
+        // first additionally needs branch 1.
+        assert_eq!(all.len(), 2);
+        let (_, paths0) = &all[0];
+        let (_, paths1) = &all[1];
+        assert_eq!(paths0.len(), 1); // b0=true, b1=true
+        assert_eq!(paths1.len(), 2); // b0=true, b1 ∈ {true,false}
+    }
+}

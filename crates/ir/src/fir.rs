@@ -1,0 +1,338 @@
+//! The filtered command language `F(p)` (paper §3.2).
+//!
+//! ```text
+//! c ::= x := e | fi(X) | fo(X) | stop | if e then c1 else c2
+//!     | while e do c | c1 ; c2
+//! e ::= x | n | e1 ~ e2
+//! ```
+//!
+//! UIC calls are folded into expressions as constants of the channel's
+//! postcondition level (retrieving data *is* assigning it a type), and
+//! SOC calls appear as [`FCmd::Soc`] carrying their precondition bound.
+
+use std::fmt;
+
+use taint_lattice::Elem;
+
+use crate::site::Site;
+use crate::vartable::{VarId, VarTable};
+
+/// An information-flow expression: the safety type of the value is the
+/// join of a constant base level and the types of the read variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FExpr {
+    /// A constant of the given safety level (`t_n = ⊥` for literals;
+    /// UIC postcondition levels for untrusted channel reads).
+    Const(Elem),
+    /// A variable read (`t_x`).
+    Var(VarId),
+    /// A binary/interpolation combination: `t_{e1 ~ e2} = t_e1 ⊔ t_e2`.
+    Join(Vec<FExpr>),
+}
+
+impl FExpr {
+    /// All variables read by the expression.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            FExpr::Const(_) => {}
+            FExpr::Var(v) => out.push(*v),
+            FExpr::Join(parts) => {
+                for p in parts {
+                    p.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// The constant part of the expression: the join of all `Const`
+    /// levels, given the lattice join as a closure.
+    pub fn const_base(&self, bottom: Elem, join: &impl Fn(Elem, Elem) -> Elem) -> Elem {
+        match self {
+            FExpr::Const(e) => *e,
+            FExpr::Var(_) => bottom,
+            FExpr::Join(parts) => parts
+                .iter()
+                .map(|p| p.const_base(bottom, join))
+                .fold(bottom, join),
+        }
+    }
+}
+
+/// A filtered command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FCmd {
+    /// `x := e`, optionally meeting the result with a constant `mask`
+    /// (kind-specific sanitizers *remove* taint kinds:
+    /// `t_x = t_e ⊓ mask`).
+    Assign {
+        /// Assigned variable.
+        var: VarId,
+        /// Right-hand side.
+        expr: FExpr,
+        /// Kinds kept after sanitization (`None` = no masking).
+        mask: Option<Elem>,
+        /// Source location.
+        site: Site,
+    },
+    /// `fo(X)` — a sensitive output channel call whose precondition
+    /// requires `∀x ∈ X: t_x < bound`.
+    Soc {
+        /// The channel (function) name.
+        func: String,
+        /// Argument variables checked by the precondition.
+        args: Vec<VarId>,
+        /// The precondition's bound `τ_r`.
+        bound: Elem,
+        /// `true` for the paper's strict `t < τ_r`; `false` for the
+        /// non-strict `t ≤ τ_r` used by multi-class policies.
+        strict: bool,
+        /// Source location of the call.
+        site: Site,
+    },
+    /// `if e then c1 else c2` — the condition is treated as
+    /// nondeterministic (paper §3.2).
+    If {
+        /// Then-branch commands.
+        then_cmds: Vec<FCmd>,
+        /// Else-branch commands.
+        else_cmds: Vec<FCmd>,
+        /// Source location of the condition.
+        site: Site,
+    },
+    /// `while e do c` — deconstructed into a selection by `AI`.
+    While {
+        /// Loop-body commands.
+        body: Vec<FCmd>,
+        /// Source location of the loop header.
+        site: Site,
+    },
+    /// `stop` — terminates execution (`exit`, top-level `return`).
+    Stop {
+        /// Source location.
+        site: Site,
+    },
+}
+
+impl FCmd {
+    /// The command's source site.
+    pub fn site(&self) -> &Site {
+        match self {
+            FCmd::Assign { site, .. }
+            | FCmd::Soc { site, .. }
+            | FCmd::If { site, .. }
+            | FCmd::While { site, .. }
+            | FCmd::Stop { site } => site,
+        }
+    }
+}
+
+/// A filtered program: `F(p)`.
+#[derive(Clone, Debug, Default)]
+pub struct FProgram {
+    /// Interned variables.
+    pub vars: VarTable,
+    /// Top-level command sequence.
+    pub cmds: Vec<FCmd>,
+}
+
+impl FProgram {
+    /// Total number of commands, recursively.
+    pub fn num_commands(&self) -> usize {
+        fn count(cmds: &[FCmd]) -> usize {
+            cmds.iter()
+                .map(|c| {
+                    1 + match c {
+                        FCmd::If {
+                            then_cmds,
+                            else_cmds,
+                            ..
+                        } => count(then_cmds) + count(else_cmds),
+                        FCmd::While { body, .. } => count(body),
+                        _ => 0,
+                    }
+                })
+                .sum()
+        }
+        count(&self.cmds)
+    }
+
+    /// Number of SOC commands (potential assertion sites), recursively.
+    pub fn num_socs(&self) -> usize {
+        fn count(cmds: &[FCmd]) -> usize {
+            cmds.iter()
+                .map(|c| match c {
+                    FCmd::Soc { .. } => 1,
+                    FCmd::If {
+                        then_cmds,
+                        else_cmds,
+                        ..
+                    } => count(then_cmds) + count(else_cmds),
+                    FCmd::While { body, .. } => count(body),
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.cmds)
+    }
+}
+
+impl fmt::Display for FProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fmt_expr(e: &FExpr, vars: &VarTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                FExpr::Const(c) => write!(f, "const:{c}"),
+                FExpr::Var(v) => write!(f, "${}", vars.name(*v)),
+                FExpr::Join(parts) => {
+                    for (i, p) in parts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ~ ")?;
+                        }
+                        fmt_expr(p, vars, f)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        fn fmt_cmds(
+            cmds: &[FCmd],
+            vars: &VarTable,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            for c in cmds {
+                for _ in 0..depth {
+                    write!(f, "  ")?;
+                }
+                match c {
+                    FCmd::Assign { var, expr, mask, .. } => {
+                        write!(f, "${} := ", vars.name(*var))?;
+                        fmt_expr(expr, vars, f)?;
+                        if let Some(m) = mask {
+                            write!(f, " ⊓ {m}")?;
+                        }
+                        writeln!(f, ";")?;
+                    }
+                    FCmd::Soc {
+                        func, args, bound, ..
+                    } => {
+                        write!(f, "{func}(")?;
+                        for (i, a) in args.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "${}", vars.name(*a))?;
+                        }
+                        writeln!(f, ") requires < {bound};")?;
+                    }
+                    FCmd::If {
+                        then_cmds,
+                        else_cmds,
+                        ..
+                    } => {
+                        writeln!(f, "if * then")?;
+                        fmt_cmds(then_cmds, vars, depth + 1, f)?;
+                        if !else_cmds.is_empty() {
+                            for _ in 0..depth {
+                                write!(f, "  ")?;
+                            }
+                            writeln!(f, "else")?;
+                            fmt_cmds(else_cmds, vars, depth + 1, f)?;
+                        }
+                    }
+                    FCmd::While { body, .. } => {
+                        writeln!(f, "while * do")?;
+                        fmt_cmds(body, vars, depth + 1, f)?;
+                    }
+                    FCmd::Stop { .. } => writeln!(f, "stop;")?,
+                }
+            }
+            Ok(())
+        }
+        fmt_cmds(&self.cmds, &self.vars, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taint_lattice::{Lattice, TwoPoint};
+
+    fn site() -> Site {
+        Site::synthetic("t.php", "test")
+    }
+
+    #[test]
+    fn fexpr_vars_are_collected() {
+        let mut t = VarTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let e = FExpr::Join(vec![
+            FExpr::Var(a),
+            FExpr::Const(TwoPoint::UNTAINTED),
+            FExpr::Join(vec![FExpr::Var(b)]),
+        ]);
+        assert_eq!(e.vars(), vec![a, b]);
+    }
+
+    #[test]
+    fn fexpr_const_base_joins_constants() {
+        let l = TwoPoint::new();
+        let e = FExpr::Join(vec![
+            FExpr::Const(TwoPoint::UNTAINTED),
+            FExpr::Const(TwoPoint::TAINTED),
+        ]);
+        let base = e.const_base(l.bottom(), &|a, b| l.join(a, b));
+        assert_eq!(base, TwoPoint::TAINTED);
+    }
+
+    #[test]
+    fn num_commands_and_socs_recurse() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let p = FProgram {
+            vars,
+            cmds: vec![
+                FCmd::Assign {
+                    var: x,
+                    expr: FExpr::Const(TwoPoint::TAINTED),
+                    mask: None,
+                    site: site(),
+                },
+                FCmd::If {
+                    then_cmds: vec![FCmd::Soc {
+                        func: "echo".into(),
+                        args: vec![x],
+                        bound: TwoPoint::TAINTED,
+                        strict: true,
+                        site: site(),
+                    }],
+                    else_cmds: vec![FCmd::Stop { site: site() }],
+                    site: site(),
+                },
+                FCmd::While {
+                    body: vec![FCmd::Soc {
+                        func: "mysql_query".into(),
+                        args: vec![x],
+                        bound: TwoPoint::TAINTED,
+                        strict: true,
+                        site: site(),
+                    }],
+                    site: site(),
+                },
+            ],
+        };
+        assert_eq!(p.num_commands(), 6);
+        assert_eq!(p.num_socs(), 2);
+        let text = p.to_string();
+        assert!(text.contains("$x :="));
+        assert!(text.contains("echo($x)"));
+        assert!(text.contains("while * do"));
+        assert!(text.contains("stop;"));
+    }
+}

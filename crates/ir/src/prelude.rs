@@ -1,0 +1,538 @@
+//! Pre- and postcondition prelude for built-in functions.
+//!
+//! "In WebSSARI, UICs are given predefined postconditions consisting of
+//! command sets that match the designated safety levels of the retrieved
+//! data. […] sensitive output channels (SOC) […] require trusted
+//! arguments. Each one is assigned a predefined precondition that states
+//! the required argument safety levels. […] pre- and postcondition
+//! definitions are stored in two prelude files that are loaded during
+//! startup" (paper §3.2).
+
+use std::collections::HashMap;
+
+use taint_lattice::{Elem, Lattice, Powerset, TwoPoint};
+
+/// A sensitive output channel's precondition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SocSpec {
+    /// Required bound `τ_r` on argument types.
+    pub bound: Elem,
+    /// `true` for the paper's strict check (`∀x ∈ X: t_x < τ_r`, the
+    /// two-point policy); `false` for the non-strict `t_x ≤ τ_r` used
+    /// by multi-class policies where `τ_r` is the *allowed* kind set.
+    pub strict: bool,
+    /// Which argument positions the precondition covers; `None` means
+    /// every argument.
+    pub arg_positions: Option<Vec<usize>>,
+    /// The vulnerability class reports attribute to violations
+    /// (`"xss"`, `"sqli"`, `"shell"`, …).
+    pub class: String,
+}
+
+/// The prelude: per-function information-flow contracts.
+///
+/// # Examples
+///
+/// ```
+/// use webssari_ir::Prelude;
+///
+/// let p = Prelude::standard();
+/// assert!(p.soc("mysql_query").is_some());
+/// assert!(p.uic_level("mysql_fetch_array").is_some());
+/// assert!(p.is_sanitizer("htmlspecialchars"));
+/// assert!(p.is_superglobal("_GET"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Prelude {
+    uic: HashMap<String, Elem>,
+    soc: HashMap<String, SocSpec>,
+    sanitizers: HashMap<String, Elem>,
+    /// Kind-removing sanitizers: the result is the argument join
+    /// *met* with the kept set (multi-class policies).
+    sanitizer_masks: HashMap<String, Elem>,
+    superglobals: HashMap<String, Elem>,
+    /// Functions that return trusted scalars regardless of input
+    /// (isset, count, strlen, …).
+    trusted_returns: Vec<String>,
+    top: Elem,
+    bottom: Elem,
+}
+
+impl Prelude {
+    /// Creates an empty prelude over the two-point lattice.
+    pub fn empty() -> Self {
+        let l = TwoPoint::new();
+        Prelude {
+            uic: HashMap::new(),
+            soc: HashMap::new(),
+            sanitizers: HashMap::new(),
+            sanitizer_masks: HashMap::new(),
+            superglobals: HashMap::new(),
+            trusted_returns: Vec::new(),
+            top: l.top(),
+            bottom: l.bottom(),
+        }
+    }
+
+    /// The standard prelude used by the experiments: PHP's untrusted
+    /// input channels, sensitive output channels, and sanitization
+    /// routines over the two-point taint lattice.
+    pub fn standard() -> Self {
+        let mut p = Prelude::empty();
+        let tainted = TwoPoint::TAINTED;
+        let top = tainted;
+
+        // --- Untrusted input channels (postcondition: retrieved data is
+        // tainted). Database reads are untrusted because of stored
+        // attacks (the paper's Figure 1/2 stored-XSS example).
+        for f in [
+            "get_http_vars",
+            "http_get_vars",
+            "getenv",
+            "file_get_contents",
+            "file",
+            "fread",
+            "fgets",
+            "gzread",
+            "mysql_fetch_array",
+            "mysql_fetch_row",
+            "mysql_fetch_assoc",
+            "mysql_fetch_object",
+            "mysql_result",
+            "pg_fetch_array",
+            "pg_fetch_row",
+            "import_request_variables",
+            "apache_request_headers",
+            "read_input",
+        ] {
+            p.uic.insert(f.to_owned(), tainted);
+        }
+
+        // --- Superglobals and legacy request globals: reading them is
+        // reading an untrusted channel.
+        for g in [
+            "_GET",
+            "_POST",
+            "_REQUEST",
+            "_COOKIE",
+            "_FILES",
+            "_SERVER",
+            "HTTP_GET_VARS",
+            "HTTP_POST_VARS",
+            "HTTP_COOKIE_VARS",
+            "HTTP_SERVER_VARS",
+            "HTTP_REFERER",
+            "HTTP_USER_AGENT",
+            "QUERY_STRING",
+            "PHP_SELF",
+            "REQUEST_URI",
+        ] {
+            p.superglobals.insert(g.to_owned(), tainted);
+        }
+
+        // --- Sensitive output channels (precondition: args < ⊤, i.e.
+        // untainted) with their vulnerability classes.
+        let soc = |bound, class: &str, positions: Option<Vec<usize>>| SocSpec {
+            bound,
+            strict: true,
+            arg_positions: positions,
+            class: class.to_owned(),
+        };
+        for f in ["echo", "print", "printf", "print_r", "vprintf", "die_msg"] {
+            p.soc.insert(f.to_owned(), soc(top, "xss", None));
+        }
+        for f in [
+            "mysql_query",
+            "mysql_db_query",
+            "mysql_unbuffered_query",
+            "pg_query",
+            "pg_exec",
+            "sqlite_query",
+            "dosql",
+            "db_query",
+            "query",
+            "execute_query",
+        ] {
+            p.soc.insert(f.to_owned(), soc(top, "sqli", None));
+        }
+        for f in ["exec", "system", "passthru", "shell_exec", "popen", "proc_open"] {
+            p.soc.insert(f.to_owned(), soc(top, "shell", Some(vec![0])));
+        }
+        for f in ["eval", "assert_code", "create_function"] {
+            p.soc.insert(f.to_owned(), soc(top, "code-injection", None));
+        }
+        for f in ["fopen", "unlink", "readfile", "file_put_contents"] {
+            p.soc.insert(f.to_owned(), soc(top, "file-access", Some(vec![0])));
+        }
+        p.soc.insert("header".to_owned(), soc(top, "response-splitting", None));
+        p.soc.insert("setcookie".to_owned(), soc(top, "response-splitting", None));
+        p.soc.insert("mail".to_owned(), soc(top, "mail-injection", None));
+
+        // --- Sanitization routines: postcondition resets to ⊥.
+        for f in [
+            "htmlspecialchars",
+            "htmlentities",
+            "addslashes",
+            "mysql_escape_string",
+            "mysql_real_escape_string",
+            "pg_escape_string",
+            "escapeshellarg",
+            "escapeshellcmd",
+            "intval",
+            "floatval",
+            "urlencode",
+            "rawurlencode",
+            "basename",
+            "md5",
+            "sha1",
+            "crc32",
+            "strip_tags",
+            "sanitize",
+            "webssari_sanitize",
+        ] {
+            p.sanitizers.insert(f.to_owned(), TwoPoint::UNTAINTED);
+        }
+
+        // --- Builtins returning trusted scalars.
+        for f in [
+            "isset", "empty", "count", "sizeof", "strlen", "is_array", "is_numeric",
+            "is_string", "is_int", "defined", "function_exists", "rand", "mt_rand",
+            "time", "date", "mysql_num_rows", "mysql_insert_id", "mysql_error",
+            "mysql_connect", "mysql_select_db", "mysql_close", "session_start",
+            "ob_start", "error_reporting", "define", "headers_sent",
+        ] {
+            p.trusted_returns.push(f.to_owned());
+        }
+        p
+    }
+
+    /// The lattice top used by this prelude's contracts.
+    pub fn top(&self) -> Elem {
+        self.top
+    }
+
+    /// The lattice bottom used by this prelude's contracts.
+    pub fn bottom(&self) -> Elem {
+        self.bottom
+    }
+
+    /// UIC postcondition level of `func`, if it is a UIC.
+    pub fn uic_level(&self, func: &str) -> Option<Elem> {
+        self.uic.get(&func.to_ascii_lowercase()).copied()
+    }
+
+    /// SOC precondition of `func`, if it is a SOC.
+    pub fn soc(&self, func: &str) -> Option<&SocSpec> {
+        self.soc.get(&func.to_ascii_lowercase())
+    }
+
+    /// Whether `func` is a sanitization routine; returns its
+    /// postcondition level.
+    pub fn sanitizer_level(&self, func: &str) -> Option<Elem> {
+        self.sanitizers.get(&func.to_ascii_lowercase()).copied()
+    }
+
+    /// Whether `func` is a sanitizer.
+    pub fn is_sanitizer(&self, func: &str) -> bool {
+        self.sanitizer_level(func).is_some() || self.sanitizer_mask(func).is_some()
+    }
+
+    /// The kept-kind set of a kind-removing sanitizer, if `func` is one
+    /// (multi-class preludes only).
+    pub fn sanitizer_mask(&self, func: &str) -> Option<Elem> {
+        self.sanitizer_masks
+            .get(&func.to_ascii_lowercase())
+            .copied()
+    }
+
+    /// Registers a kind-removing sanitizer: the result keeps only the
+    /// kinds in `keep`.
+    pub fn add_sanitizer_mask(&mut self, func: impl Into<String>, keep: Elem) {
+        self.sanitizer_masks
+            .insert(func.into().to_ascii_lowercase(), keep);
+    }
+
+    /// Whether `func` returns a trusted scalar regardless of arguments.
+    pub fn returns_trusted(&self, func: &str) -> bool {
+        let lower = func.to_ascii_lowercase();
+        self.trusted_returns.contains(&lower)
+    }
+
+    /// The taint level assigned to reading superglobal `name`, if it is
+    /// one.
+    pub fn superglobal_level(&self, name: &str) -> Option<Elem> {
+        self.superglobals.get(name).copied()
+    }
+
+    /// Whether `name` is a superglobal / legacy request global.
+    pub fn is_superglobal(&self, name: &str) -> bool {
+        self.superglobals.contains_key(name)
+    }
+
+    /// Registers a custom UIC.
+    pub fn add_uic(&mut self, func: impl Into<String>, level: Elem) {
+        self.uic.insert(func.into().to_ascii_lowercase(), level);
+    }
+
+    /// Registers a custom SOC.
+    pub fn add_soc(&mut self, func: impl Into<String>, spec: SocSpec) {
+        self.soc.insert(func.into().to_ascii_lowercase(), spec);
+    }
+
+    /// Registers a custom sanitizer.
+    pub fn add_sanitizer(&mut self, func: impl Into<String>, level: Elem) {
+        self.sanitizers
+            .insert(func.into().to_ascii_lowercase(), level);
+    }
+
+    /// Number of SOC contracts.
+    pub fn num_socs(&self) -> usize {
+        self.soc.len()
+    }
+
+    /// Extends the prelude from a declaration text — the reproduction's
+    /// version of WebSSARI's user-editable prelude files ("users can
+    /// supply the prelude with their own routines", §4).
+    ///
+    /// One declaration per line; `#` starts a comment:
+    ///
+    /// ```text
+    /// uic        read_feed
+    /// soc        my_exec      shell  args=0
+    /// soc        tpl_render   xss
+    /// sanitizer  my_escape
+    /// superglobal _ENV
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn extend_from_str(&mut self, text: &str) -> Result<(), String> {
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().expect("nonempty line has a first token");
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing name after `{kind}`", lineno + 1))?;
+            match kind {
+                "uic" => self.add_uic(name, self.top),
+                "sanitizer" => self.add_sanitizer(name, self.bottom),
+                "superglobal" => {
+                    self.superglobals.insert(name.to_owned(), self.top);
+                }
+                "soc" => {
+                    let class = parts.next().unwrap_or("taint").to_owned();
+                    let mut arg_positions = None;
+                    for opt in parts {
+                        if let Some(list) = opt.strip_prefix("args=") {
+                            let positions: Result<Vec<usize>, _> =
+                                list.split(',').map(str::parse).collect();
+                            arg_positions = Some(positions.map_err(|_| {
+                                format!("line {}: bad args list {list:?}", lineno + 1)
+                            })?);
+                        } else {
+                            return Err(format!(
+                                "line {}: unknown option {opt:?}",
+                                lineno + 1
+                            ));
+                        }
+                    }
+                    self.add_soc(
+                        name,
+                        SocSpec {
+                            bound: self.top,
+                            strict: true,
+                            arg_positions,
+                            class,
+                        },
+                    );
+                }
+                other => {
+                    return Err(format!(
+                        "line {}: unknown declaration kind {other:?} \
+                         (expected uic/soc/sanitizer/superglobal)",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Prelude {
+    /// A multi-class prelude over the powerset lattice of taint kinds
+    /// `{xss, sqli, shell}` — the paper's §3.1 lattice generality made
+    /// executable. Unlike the two-point policy, sanitizers here remove
+    /// only the kinds they actually neutralize, so
+    /// `echo addslashes($_GET[...])` is still cross-site scripting and
+    /// `mysql_query(htmlspecialchars(...))` is still SQL injection.
+    ///
+    /// Returns the lattice together with the prelude (contract [`Elem`]s
+    /// are only meaningful against that lattice).
+    pub fn multiclass() -> (Powerset, Prelude) {
+        let lattice = Powerset::new(vec!["xss".into(), "sqli".into(), "shell".into()]);
+        let (xss, sqli, shell) = (0usize, 1usize, 2usize);
+        let all = lattice.top();
+        let none = lattice.bottom();
+        let without = |kind: usize| lattice.without_kind(all, kind);
+
+        let mut p = Prelude::standard();
+        p.top = all;
+        p.bottom = none;
+        // Sources carry every kind of taint.
+        for level in p.uic.values_mut() {
+            *level = all;
+        }
+        for level in p.superglobals.values_mut() {
+            *level = all;
+        }
+        // SOC preconditions: non-strict ≤ against the *allowed* set
+        // (the complement of the forbidden kind).
+        for spec in p.soc.values_mut() {
+            spec.strict = false;
+            spec.bound = match spec.class.as_str() {
+                "xss" => without(xss),
+                "sqli" => without(sqli),
+                "shell" => without(shell),
+                // eval / file access / header splitting: nothing tainted
+                // may reach them.
+                _ => none,
+            };
+        }
+        // Kind-specific sanitizers replace the set-to-⊥ contracts.
+        p.sanitizers.clear();
+        for f in ["htmlspecialchars", "htmlentities", "strip_tags"] {
+            p.add_sanitizer_mask(f, without(xss));
+        }
+        for f in [
+            "addslashes",
+            "mysql_escape_string",
+            "mysql_real_escape_string",
+            "pg_escape_string",
+        ] {
+            p.add_sanitizer_mask(f, without(sqli));
+        }
+        for f in ["escapeshellarg", "escapeshellcmd"] {
+            p.add_sanitizer_mask(f, without(shell));
+        }
+        // Full neutralizers still reset to ⊥.
+        for f in [
+            "intval", "floatval", "md5", "sha1", "crc32", "urlencode", "rawurlencode",
+            "webssari_sanitize", "sanitize", "basename",
+        ] {
+            p.add_sanitizer(f, none);
+        }
+        (lattice, p)
+    }
+}
+
+impl Default for Prelude {
+    /// The default prelude is [`Prelude::standard`].
+    fn default() -> Self {
+        Prelude::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_are_case_insensitive() {
+        let p = Prelude::standard();
+        assert!(p.soc("MYSQL_QUERY").is_some());
+        assert!(p.uic_level("Mysql_Fetch_Array").is_some());
+        assert!(p.is_sanitizer("HTMLSpecialChars"));
+        assert!(p.returns_trusted("ISSET"));
+    }
+
+    #[test]
+    fn superglobals_are_case_sensitive_names() {
+        let p = Prelude::standard();
+        assert!(p.is_superglobal("_GET"));
+        assert!(p.is_superglobal("HTTP_REFERER"));
+        assert!(!p.is_superglobal("_get"));
+        assert!(!p.is_superglobal("sid"));
+    }
+
+    #[test]
+    fn soc_classes_are_set() {
+        let p = Prelude::standard();
+        assert_eq!(p.soc("echo").unwrap().class, "xss");
+        assert_eq!(p.soc("mysql_query").unwrap().class, "sqli");
+        assert_eq!(p.soc("exec").unwrap().class, "shell");
+    }
+
+    #[test]
+    fn shell_socs_check_first_argument_only() {
+        let p = Prelude::standard();
+        assert_eq!(p.soc("exec").unwrap().arg_positions, Some(vec![0]));
+        assert_eq!(p.soc("echo").unwrap().arg_positions, None);
+    }
+
+    #[test]
+    fn custom_registrations() {
+        let mut p = Prelude::empty();
+        assert_eq!(p.num_socs(), 0);
+        p.add_soc(
+            "my_sink",
+            SocSpec {
+                bound: TwoPoint::TAINTED,
+                strict: true,
+                arg_positions: None,
+                class: "custom".into(),
+            },
+        );
+        p.add_uic("my_source", TwoPoint::TAINTED);
+        p.add_sanitizer("my_clean", TwoPoint::UNTAINTED);
+        assert!(p.soc("MY_SINK").is_some());
+        assert!(p.uic_level("my_source").is_some());
+        assert!(p.is_sanitizer("my_clean"));
+        assert_eq!(p.num_socs(), 1);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert!(Prelude::default().soc("echo").is_some());
+    }
+
+    #[test]
+    fn prelude_file_format_round_trip() {
+        let mut p = Prelude::empty();
+        p.extend_from_str(
+            "# custom contracts\n\
+             uic        read_feed\n\
+             soc        my_exec   shell args=0,2\n\
+             soc        tpl_render xss\n\
+             sanitizer  my_escape  # trailing comment\n\
+             superglobal _ENV\n\
+             \n",
+        )
+        .expect("valid prelude text");
+        assert!(p.uic_level("read_feed").is_some());
+        let spec = p.soc("my_exec").unwrap();
+        assert_eq!(spec.class, "shell");
+        assert_eq!(spec.arg_positions, Some(vec![0, 2]));
+        assert_eq!(p.soc("tpl_render").unwrap().arg_positions, None);
+        assert!(p.is_sanitizer("my_escape"));
+        assert!(p.is_superglobal("_ENV"));
+    }
+
+    #[test]
+    fn prelude_file_format_errors_name_the_line() {
+        let mut p = Prelude::empty();
+        let err = p.extend_from_str("uic ok\nbogus thing\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = p.extend_from_str("soc f taint args=x\n").unwrap_err();
+        assert!(err.contains("bad args list"), "{err}");
+        let err = p.extend_from_str("soc\n").unwrap_err();
+        assert!(err.contains("missing name"), "{err}");
+        let err = p.extend_from_str("soc f taint wat=1\n").unwrap_err();
+        assert!(err.contains("unknown option"), "{err}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Information flow through the extended PHP constructs: heredocs,
+//! `do…while`, alternative syntax, and `list()` destructuring.
+
+use php_front::parse_source;
+use taint_lattice::TwoPoint;
+use webssari_ir::ai::reference;
+use webssari_ir::{abstract_interpret, filter_program, AiProgram, FilterOptions, Prelude};
+
+fn ai_of(src: &str) -> AiProgram {
+    let ast = parse_source(src).expect("parse");
+    let f = filter_program(
+        &ast,
+        src,
+        "t.php",
+        &Prelude::standard(),
+        &FilterOptions::default(),
+    );
+    abstract_interpret(&f)
+}
+
+fn violates_somewhere(ai: &AiProgram) -> bool {
+    !reference::all_violating_paths(ai, &TwoPoint::new()).is_empty()
+}
+
+#[test]
+fn heredoc_interpolation_carries_taint() {
+    let ai = ai_of(
+        "<?php\n$sid = $_GET['sid'];\n$q = <<<SQL\nSELECT * FROM t WHERE sid=$sid\nSQL;\nmysql_query($q);\n",
+    );
+    assert_eq!(ai.num_assertions(), 1);
+    assert!(violates_somewhere(&ai));
+}
+
+#[test]
+fn nowdoc_is_trusted() {
+    let ai = ai_of("<?php\n$q = <<<'SQL'\nSELECT 1\nSQL;\nmysql_query($q);\n");
+    assert!(!violates_somewhere(&ai));
+}
+
+#[test]
+fn do_while_body_taints_like_while() {
+    let ai = ai_of("<?php do { $x = $_GET['p']; } while ($c); echo $x;");
+    assert!(violates_somewhere(&ai));
+    // Unlike `while`, the body runs at least once: the straight-line
+    // path (all branches false) already violates.
+    let v = reference::run_path(&ai, &TwoPoint::new(), &[false; 4], false);
+    assert!(!v.is_empty(), "do-while body executes unconditionally");
+}
+
+#[test]
+fn alternative_if_taints_conditionally() {
+    let ai = ai_of("<?php $x = 'ok'; if ($c): $x = $_GET['p']; endif; echo $x;");
+    assert_eq!(ai.num_branches, 1);
+    let l = TwoPoint::new();
+    assert_eq!(reference::run_path(&ai, &l, &[true], false).len(), 1);
+    assert!(reference::run_path(&ai, &l, &[false], false).is_empty());
+}
+
+#[test]
+fn list_destructuring_taints_every_element() {
+    let ai = ai_of(
+        "<?php list($user, $pass) = explode(':', $_COOKIE['auth']); echo $user; mysql_query($pass);",
+    );
+    assert_eq!(ai.num_assertions(), 2);
+    let l = TwoPoint::new();
+    let violations = reference::run_path(&ai, &l, &[], false);
+    assert_eq!(violations.len(), 2, "both list elements are tainted");
+}
+
+#[test]
+fn list_of_trusted_value_is_clean() {
+    let ai = ai_of("<?php list($a, $b) = array(1, 2); echo $a, $b;");
+    assert!(!violates_somewhere(&ai));
+}
+
+#[test]
+fn template_idiom_with_html_between_branches() {
+    let src = "<?php $m = $_GET['m']; if ($show): ?><ul><?php echo $m; ?></ul><?php endif;";
+    let ai = ai_of(src);
+    let l = TwoPoint::new();
+    assert_eq!(reference::run_path(&ai, &l, &[true], false).len(), 1);
+    assert!(reference::run_path(&ai, &l, &[false], false).is_empty());
+}
+
+#[test]
+fn end_to_end_verifier_on_new_constructs() {
+    // The whole pipeline, through the umbrella of webssari-core's deps.
+    let src = "<?php\n$sid = $_GET['sid'];\n$q = <<<SQL\nDELETE FROM t WHERE sid=$sid\nSQL;\ndo { mysql_query($q); } while ($again);\n";
+    let ai = ai_of(src);
+    let result = xbmc::Xbmc::new(&ai).check_all();
+    assert!(!result.is_safe());
+    let plan = fixes::minimal_fixing_set(&result.counterexamples);
+    assert!(plan.num_patches() >= 1);
+}

@@ -1,0 +1,122 @@
+use crate::{Elem, Lattice};
+
+/// A linear (totally ordered) lattice `τ0 < τ1 < … < τ(n-1)`.
+///
+/// Chains model graded trust levels, e.g. `public < internal < secret`,
+/// or multi-level sanitization schemes where each sanitizer lowers data
+/// by one level. The two-point taint lattice is `Chain::new(2)` up to
+/// element names.
+///
+/// # Examples
+///
+/// ```
+/// use taint_lattice::{Chain, Elem, Lattice};
+///
+/// let l = Chain::new(3);
+/// assert_eq!(l.join(Elem::new(0), Elem::new(2)), Elem::new(2));
+/// assert_eq!(l.meet(Elem::new(1), Elem::new(2)), Elem::new(1));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Chain {
+    height: usize,
+}
+
+impl Chain {
+    /// Creates a chain with `height` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is zero: a lattice needs at least `⊥`.
+    pub fn new(height: usize) -> Self {
+        assert!(height >= 1, "a chain lattice needs at least one element");
+        Chain { height }
+    }
+
+    /// The number of elements (same as [`Lattice::len`]).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+}
+
+impl Default for Chain {
+    /// The default chain is the two-point chain.
+    fn default() -> Self {
+        Chain::new(2)
+    }
+}
+
+impl Lattice for Chain {
+    fn len(&self) -> usize {
+        self.height
+    }
+
+    fn leq(&self, a: Elem, b: Elem) -> bool {
+        debug_assert!(a.index() < self.height && b.index() < self.height);
+        a.index() <= b.index()
+    }
+
+    fn join(&self, a: Elem, b: Elem) -> Elem {
+        Elem::new(a.index().max(b.index()))
+    }
+
+    fn meet(&self, a: Elem, b: Elem) -> Elem {
+        Elem::new(a.index().min(b.index()))
+    }
+
+    fn bottom(&self) -> Elem {
+        Elem::new(0)
+    }
+
+    fn top(&self) -> Elem {
+        Elem::new(self.height - 1)
+    }
+
+    fn name(&self, a: Elem) -> String {
+        format!("level{}", a.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn chains_satisfy_lattice_laws() {
+        for h in 1..=6 {
+            laws::assert_lattice_laws(&Chain::new(h));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_height_panics() {
+        let _ = Chain::new(0);
+    }
+
+    #[test]
+    fn singleton_chain_bottom_equals_top() {
+        let l = Chain::new(1);
+        assert_eq!(l.bottom(), l.top());
+    }
+
+    #[test]
+    fn default_is_two_point() {
+        assert_eq!(Chain::default().height(), 2);
+    }
+
+    #[test]
+    fn names_mention_level() {
+        assert_eq!(Chain::new(3).name(Elem::new(2)), "level2");
+    }
+
+    #[test]
+    fn order_is_total() {
+        let l = Chain::new(5);
+        for a in l.elems() {
+            for b in l.elems() {
+                assert_eq!(l.leq(a, b), a.index() <= b.index());
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+use crate::{Elem, Lattice};
+
+/// The powerset lattice over a set of named taint *kinds*.
+///
+/// An element is a subset of kinds, ordered by inclusion: `∅` (bottom) is
+/// fully trusted data, and the full set (top) carries every kind of
+/// taint. Join is set union, meet is set intersection. Element indices
+/// are the subsets' bitmasks, so the encoding used by the CNF layer is
+/// exactly one bit per kind.
+///
+/// This models policies that distinguish *why* data is dangerous — e.g.
+/// a kind each for `xss`, `sqli`, and `shell`, where
+/// `htmlspecialchars()` removes only the `xss` kind while
+/// `addslashes()` removes only `sqli`.
+///
+/// # Examples
+///
+/// ```
+/// use taint_lattice::{Lattice, Powerset};
+///
+/// let l = Powerset::new(vec!["xss".into(), "sqli".into()]);
+/// let xss = l.singleton(0);
+/// let sqli = l.singleton(1);
+/// let both = l.join(xss, sqli);
+/// assert_eq!(both, l.top());
+/// assert_eq!(l.name(both), "{xss,sqli}");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Powerset {
+    kinds: Vec<String>,
+}
+
+impl Powerset {
+    /// Creates the powerset lattice over the given taint kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no kinds or more than 16 of them (2^16
+    /// elements is the largest lattice the encoders accept).
+    pub fn new(kinds: Vec<String>) -> Self {
+        assert!(!kinds.is_empty(), "powerset lattice needs at least one kind");
+        assert!(kinds.len() <= 16, "powerset lattice supports at most 16 kinds");
+        Powerset { kinds }
+    }
+
+    /// The taint kinds this lattice distinguishes, in bit order.
+    pub fn kinds(&self) -> &[String] {
+        &self.kinds
+    }
+
+    /// The element carrying exactly the `kind`-th taint kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind >= self.kinds().len()`.
+    pub fn singleton(&self, kind: usize) -> Elem {
+        assert!(kind < self.kinds.len(), "kind index out of range");
+        Elem::new(1 << kind)
+    }
+
+    /// Whether element `a` carries the `kind`-th taint kind.
+    pub fn contains_kind(&self, a: Elem, kind: usize) -> bool {
+        a.index() & (1 << kind) != 0
+    }
+
+    /// Removes one taint kind from an element (what a kind-specific
+    /// sanitizer does).
+    pub fn without_kind(&self, a: Elem, kind: usize) -> Elem {
+        Elem::new(a.index() & !(1 << kind))
+    }
+}
+
+impl Lattice for Powerset {
+    fn len(&self) -> usize {
+        1 << self.kinds.len()
+    }
+
+    fn leq(&self, a: Elem, b: Elem) -> bool {
+        a.index() & !b.index() == 0
+    }
+
+    fn join(&self, a: Elem, b: Elem) -> Elem {
+        Elem::new(a.index() | b.index())
+    }
+
+    fn meet(&self, a: Elem, b: Elem) -> Elem {
+        Elem::new(a.index() & b.index())
+    }
+
+    fn bottom(&self) -> Elem {
+        Elem::new(0)
+    }
+
+    fn top(&self) -> Elem {
+        Elem::new((1 << self.kinds.len()) - 1)
+    }
+
+    fn name(&self, a: Elem) -> String {
+        let mut parts = Vec::new();
+        for (i, kind) in self.kinds.iter().enumerate() {
+            if self.contains_kind(a, i) {
+                parts.push(kind.as_str());
+            }
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    fn l3() -> Powerset {
+        Powerset::new(vec!["xss".into(), "sqli".into(), "shell".into()])
+    }
+
+    #[test]
+    fn satisfies_lattice_laws() {
+        laws::assert_lattice_laws(&l3());
+    }
+
+    #[test]
+    fn len_is_power_of_two() {
+        assert_eq!(l3().len(), 8);
+    }
+
+    #[test]
+    fn leq_is_subset() {
+        let l = l3();
+        let xss = l.singleton(0);
+        let both = l.join(xss, l.singleton(1));
+        assert!(l.leq(xss, both));
+        assert!(!l.leq(both, xss));
+        assert!(!l.comparable(l.singleton(0), l.singleton(1)));
+    }
+
+    #[test]
+    fn without_kind_sanitizes_one_dimension() {
+        let l = l3();
+        let both = l.join(l.singleton(0), l.singleton(1));
+        let after = l.without_kind(both, 0);
+        assert_eq!(after, l.singleton(1));
+        assert!(!l.contains_kind(after, 0));
+        assert!(l.contains_kind(after, 1));
+    }
+
+    #[test]
+    fn bottom_is_empty_set_top_is_full_set() {
+        let l = l3();
+        assert_eq!(l.name(l.bottom()), "{}");
+        assert_eq!(l.name(l.top()), "{xss,sqli,shell}");
+    }
+
+    #[test]
+    fn bits_is_number_of_kinds() {
+        assert_eq!(l3().bits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kind")]
+    fn empty_kind_list_panics() {
+        let _ = Powerset::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16")]
+    fn too_many_kinds_panics() {
+        let kinds = (0..17).map(|i| format!("k{i}")).collect();
+        let _ = Powerset::new(kinds);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn singleton_out_of_range_panics() {
+        let _ = l3().singleton(3);
+    }
+}

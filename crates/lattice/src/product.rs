@@ -1,0 +1,147 @@
+use crate::{Elem, Lattice};
+
+/// The componentwise product of two lattices.
+///
+/// An element `(a, b)` is encoded as the index `a + b * left.len()`.
+/// Order, join, and meet act componentwise, so the product of complete
+/// lattices is again a complete lattice.
+///
+/// Products let a policy combine orthogonal concerns, e.g. a taint
+/// dimension times a confidentiality chain.
+///
+/// # Examples
+///
+/// ```
+/// use taint_lattice::{Chain, Lattice, Product, TwoPoint};
+///
+/// let l = Product::new(TwoPoint::new(), Chain::new(3));
+/// assert_eq!(l.len(), 6);
+/// let x = l.pair(TwoPoint::TAINTED, taint_lattice::Elem::new(0));
+/// let y = l.pair(TwoPoint::UNTAINTED, taint_lattice::Elem::new(2));
+/// assert_eq!(l.join(x, y), l.pair(TwoPoint::TAINTED, taint_lattice::Elem::new(2)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Product<L, R> {
+    left: L,
+    right: R,
+}
+
+impl<L: Lattice, R: Lattice> Product<L, R> {
+    /// Creates the product lattice `left × right`.
+    pub fn new(left: L, right: R) -> Self {
+        Product { left, right }
+    }
+
+    /// The left factor.
+    pub fn left(&self) -> &L {
+        &self.left
+    }
+
+    /// The right factor.
+    pub fn right(&self) -> &R {
+        &self.right
+    }
+
+    /// Packs a pair of factor elements into a product element.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if either component is out of range.
+    pub fn pair(&self, a: Elem, b: Elem) -> Elem {
+        debug_assert!(a.index() < self.left.len() && b.index() < self.right.len());
+        Elem::new(a.index() + b.index() * self.left.len())
+    }
+
+    /// Unpacks a product element into its factor components.
+    pub fn split(&self, e: Elem) -> (Elem, Elem) {
+        let n = self.left.len();
+        (Elem::new(e.index() % n), Elem::new(e.index() / n))
+    }
+}
+
+impl<L: Lattice, R: Lattice> Lattice for Product<L, R> {
+    fn len(&self) -> usize {
+        self.left.len() * self.right.len()
+    }
+
+    fn leq(&self, a: Elem, b: Elem) -> bool {
+        let (al, ar) = self.split(a);
+        let (bl, br) = self.split(b);
+        self.left.leq(al, bl) && self.right.leq(ar, br)
+    }
+
+    fn join(&self, a: Elem, b: Elem) -> Elem {
+        let (al, ar) = self.split(a);
+        let (bl, br) = self.split(b);
+        self.pair(self.left.join(al, bl), self.right.join(ar, br))
+    }
+
+    fn meet(&self, a: Elem, b: Elem) -> Elem {
+        let (al, ar) = self.split(a);
+        let (bl, br) = self.split(b);
+        self.pair(self.left.meet(al, bl), self.right.meet(ar, br))
+    }
+
+    fn bottom(&self) -> Elem {
+        self.pair(self.left.bottom(), self.right.bottom())
+    }
+
+    fn top(&self) -> Elem {
+        self.pair(self.left.top(), self.right.top())
+    }
+
+    fn name(&self, a: Elem) -> String {
+        let (l, r) = self.split(a);
+        format!("({},{})", self.left.name(l), self.right.name(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{laws, Chain, Powerset, TwoPoint};
+
+    #[test]
+    fn product_of_chains_satisfies_laws() {
+        laws::assert_lattice_laws(&Product::new(Chain::new(3), Chain::new(2)));
+    }
+
+    #[test]
+    fn product_of_two_point_and_powerset_satisfies_laws() {
+        let p = Powerset::new(vec!["xss".into(), "sqli".into()]);
+        laws::assert_lattice_laws(&Product::new(TwoPoint::new(), p));
+    }
+
+    #[test]
+    fn pair_split_round_trip() {
+        let l = Product::new(Chain::new(3), Chain::new(4));
+        for a in 0..3 {
+            for b in 0..4 {
+                let e = l.pair(Elem::new(a), Elem::new(b));
+                assert_eq!(l.split(e), (Elem::new(a), Elem::new(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn incomparable_pairs_exist() {
+        let l = Product::new(Chain::new(2), Chain::new(2));
+        let x = l.pair(Elem::new(1), Elem::new(0));
+        let y = l.pair(Elem::new(0), Elem::new(1));
+        assert!(!l.comparable(x, y));
+    }
+
+    #[test]
+    fn name_shows_both_components() {
+        let l = Product::new(TwoPoint::new(), Chain::new(2));
+        let e = l.pair(TwoPoint::TAINTED, Elem::new(1));
+        assert_eq!(l.name(e), "(tainted,level1)");
+    }
+
+    #[test]
+    fn nested_products_compose() {
+        let l = Product::new(Product::new(Chain::new(2), Chain::new(2)), Chain::new(2));
+        laws::assert_lattice_laws(&l);
+        assert_eq!(l.len(), 8);
+    }
+}

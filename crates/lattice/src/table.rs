@@ -1,0 +1,331 @@
+use std::fmt;
+
+use crate::{Elem, Lattice};
+
+/// Errors detected while validating a user-supplied order as a lattice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LatticeError {
+    /// The element count was zero.
+    Empty,
+    /// The `leq` matrix was not square with side `len`.
+    MalformedOrder,
+    /// `leq` is not reflexive at the given element.
+    NotReflexive(Elem),
+    /// `leq` is not antisymmetric for the given pair.
+    NotAntisymmetric(Elem, Elem),
+    /// `leq` is not transitive for the given triple.
+    NotTransitive(Elem, Elem, Elem),
+    /// The pair has no least upper bound.
+    NoJoin(Elem, Elem),
+    /// The pair has no greatest lower bound.
+    NoMeet(Elem, Elem),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::Empty => write!(f, "lattice has no elements"),
+            LatticeError::MalformedOrder => {
+                write!(f, "order relation matrix is not square with the element count")
+            }
+            LatticeError::NotReflexive(a) => write!(f, "order is not reflexive at {a}"),
+            LatticeError::NotAntisymmetric(a, b) => {
+                write!(f, "order is not antisymmetric for {a} and {b}")
+            }
+            LatticeError::NotTransitive(a, b, c) => {
+                write!(f, "order is not transitive for {a} ≤ {b} ≤ {c}")
+            }
+            LatticeError::NoJoin(a, b) => write!(f, "{a} and {b} have no least upper bound"),
+            LatticeError::NoMeet(a, b) => write!(f, "{a} and {b} have no greatest lower bound"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+/// A lattice defined by an explicit order relation, validated and with
+/// join/meet tables precomputed at construction.
+///
+/// This is how nonstandard policies enter the system: a prelude can
+/// declare any finite poset; `TableLattice::new` rejects it unless it is
+/// a genuine complete lattice (every pair has a least upper bound and a
+/// greatest lower bound).
+///
+/// # Examples
+///
+/// The "diamond" lattice `⊥ < {a, b} < ⊤` with `a`, `b` incomparable:
+///
+/// ```
+/// use taint_lattice::{Elem, Lattice, TableLattice};
+///
+/// let names = ["bot", "a", "b", "top"].map(String::from).to_vec();
+/// let mut leq = vec![vec![false; 4]; 4];
+/// for i in 0..4 { leq[i][i] = true; }
+/// for i in 0..4 { leq[0][i] = true; leq[i][3] = true; }
+/// let l = TableLattice::new(names, leq)?;
+/// assert_eq!(l.join(Elem::new(1), Elem::new(2)), Elem::new(3));
+/// assert_eq!(l.meet(Elem::new(1), Elem::new(2)), Elem::new(0));
+/// # Ok::<(), taint_lattice::LatticeError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableLattice {
+    names: Vec<String>,
+    leq: Vec<Vec<bool>>,
+    join: Vec<Vec<u32>>,
+    meet: Vec<Vec<u32>>,
+    bottom: Elem,
+    top: Elem,
+}
+
+impl TableLattice {
+    /// Builds a lattice from element names and an order matrix
+    /// (`leq[a][b]` iff `τa ≤ τb`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LatticeError`] if the relation is not a partial order
+    /// or some pair lacks a join or meet (i.e. the poset is not a
+    /// lattice).
+    #[allow(clippy::needless_range_loop)] // index math mirrors the relation matrix
+    pub fn new(names: Vec<String>, leq: Vec<Vec<bool>>) -> Result<Self, LatticeError> {
+        let n = names.len();
+        if n == 0 {
+            return Err(LatticeError::Empty);
+        }
+        if leq.len() != n || leq.iter().any(|row| row.len() != n) {
+            return Err(LatticeError::MalformedOrder);
+        }
+        // Partial order axioms.
+        for a in 0..n {
+            if !leq[a][a] {
+                return Err(LatticeError::NotReflexive(Elem::new(a)));
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && leq[a][b] && leq[b][a] {
+                    return Err(LatticeError::NotAntisymmetric(Elem::new(a), Elem::new(b)));
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if !leq[a][b] {
+                    continue;
+                }
+                for c in 0..n {
+                    if leq[b][c] && !leq[a][c] {
+                        return Err(LatticeError::NotTransitive(
+                            Elem::new(a),
+                            Elem::new(b),
+                            Elem::new(c),
+                        ));
+                    }
+                }
+            }
+        }
+        // Join and meet tables via bound enumeration.
+        let mut join = vec![vec![0u32; n]; n];
+        let mut meet = vec![vec![0u32; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                join[a][b] = Self::least_upper_bound(&leq, a, b)
+                    .ok_or(LatticeError::NoJoin(Elem::new(a), Elem::new(b)))?
+                    as u32;
+                meet[a][b] = Self::greatest_lower_bound(&leq, a, b)
+                    .ok_or(LatticeError::NoMeet(Elem::new(a), Elem::new(b)))?
+                    as u32;
+            }
+        }
+        // Bottom/top exist in any finite lattice: fold join/meet over all.
+        let mut bot = 0usize;
+        let mut top = 0usize;
+        for e in 1..n {
+            bot = meet[bot][e] as usize;
+            top = join[top][e] as usize;
+        }
+        Ok(TableLattice {
+            names,
+            leq,
+            join,
+            meet,
+            bottom: Elem::new(bot),
+            top: Elem::new(top),
+        })
+    }
+
+    fn least_upper_bound(leq: &[Vec<bool>], a: usize, b: usize) -> Option<usize> {
+        let n = leq.len();
+        let uppers: Vec<usize> = (0..n).filter(|&u| leq[a][u] && leq[b][u]).collect();
+        uppers
+            .iter()
+            .copied()
+            .find(|&u| uppers.iter().all(|&v| leq[u][v]))
+    }
+
+    fn greatest_lower_bound(leq: &[Vec<bool>], a: usize, b: usize) -> Option<usize> {
+        let n = leq.len();
+        let lowers: Vec<usize> = (0..n).filter(|&d| leq[d][a] && leq[d][b]).collect();
+        lowers
+            .iter()
+            .copied()
+            .find(|&d| lowers.iter().all(|&v| leq[v][d]))
+    }
+
+    /// Finds an element by name.
+    pub fn elem_by_name(&self, name: &str) -> Option<Elem> {
+        self.names.iter().position(|n| n == name).map(Elem::new)
+    }
+}
+
+impl Lattice for TableLattice {
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    fn leq(&self, a: Elem, b: Elem) -> bool {
+        self.leq[a.index()][b.index()]
+    }
+
+    fn join(&self, a: Elem, b: Elem) -> Elem {
+        Elem::new(self.join[a.index()][b.index()] as usize)
+    }
+
+    fn meet(&self, a: Elem, b: Elem) -> Elem {
+        Elem::new(self.meet[a.index()][b.index()] as usize)
+    }
+
+    fn bottom(&self) -> Elem {
+        self.bottom
+    }
+
+    fn top(&self) -> Elem {
+        self.top
+    }
+
+    fn name(&self, a: Elem) -> String {
+        self.names[a.index()].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    fn diamond() -> TableLattice {
+        let names = ["bot", "a", "b", "top"].map(String::from).to_vec();
+        let mut leq = vec![vec![false; 4]; 4];
+        for (i, row) in leq.iter_mut().enumerate() {
+            row[i] = true;
+            row[3] = true;
+        }
+        leq[0] = vec![true; 4];
+        TableLattice::new(names, leq).expect("diamond is a lattice")
+    }
+
+    #[test]
+    fn diamond_satisfies_laws() {
+        laws::assert_lattice_laws(&diamond());
+    }
+
+    #[test]
+    fn diamond_bottom_and_top() {
+        let l = diamond();
+        assert_eq!(l.name(l.bottom()), "bot");
+        assert_eq!(l.name(l.top()), "top");
+    }
+
+    #[test]
+    fn elem_by_name_finds_elements() {
+        let l = diamond();
+        assert_eq!(l.elem_by_name("a"), Some(Elem::new(1)));
+        assert_eq!(l.elem_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn empty_is_rejected() {
+        assert_eq!(
+            TableLattice::new(vec![], vec![]).unwrap_err(),
+            LatticeError::Empty
+        );
+    }
+
+    #[test]
+    fn malformed_matrix_is_rejected() {
+        let err = TableLattice::new(vec!["x".into()], vec![]).unwrap_err();
+        assert_eq!(err, LatticeError::MalformedOrder);
+    }
+
+    #[test]
+    fn irreflexive_is_rejected() {
+        let err = TableLattice::new(vec!["x".into()], vec![vec![false]]).unwrap_err();
+        assert_eq!(err, LatticeError::NotReflexive(Elem::new(0)));
+    }
+
+    #[test]
+    fn cyclic_order_is_rejected_as_antisymmetry_violation() {
+        let names = ["x", "y"].map(String::from).to_vec();
+        let leq = vec![vec![true, true], vec![true, true]];
+        let err = TableLattice::new(names, leq).unwrap_err();
+        assert_eq!(err, LatticeError::NotAntisymmetric(Elem::new(0), Elem::new(1)));
+    }
+
+    #[test]
+    fn intransitive_order_is_rejected() {
+        // a ≤ b, b ≤ c, but not a ≤ c.
+        let names = ["a", "b", "c"].map(String::from).to_vec();
+        let mut leq = vec![vec![false; 3]; 3];
+        for (i, row) in leq.iter_mut().enumerate() {
+            row[i] = true;
+        }
+        leq[0][1] = true;
+        leq[1][2] = true;
+        let err = TableLattice::new(names, leq).unwrap_err();
+        assert_eq!(
+            err,
+            LatticeError::NotTransitive(Elem::new(0), Elem::new(1), Elem::new(2))
+        );
+    }
+
+    #[test]
+    fn poset_without_joins_is_rejected() {
+        // Two incomparable elements and no top: {a, b} with only
+        // reflexivity. No join for (a, b).
+        let names = ["a", "b"].map(String::from).to_vec();
+        let leq = vec![vec![true, false], vec![false, true]];
+        let err = TableLattice::new(names, leq).unwrap_err();
+        assert_eq!(err, LatticeError::NoJoin(Elem::new(0), Elem::new(1)));
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        for err in [
+            LatticeError::Empty,
+            LatticeError::MalformedOrder,
+            LatticeError::NotReflexive(Elem::new(0)),
+            LatticeError::NotAntisymmetric(Elem::new(0), Elem::new(1)),
+            LatticeError::NotTransitive(Elem::new(0), Elem::new(1), Elem::new(2)),
+            LatticeError::NoJoin(Elem::new(0), Elem::new(1)),
+            LatticeError::NoMeet(Elem::new(0), Elem::new(1)),
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn m3_pentagon_free_check() {
+        // M3: bot, three incomparable atoms, top — still a lattice.
+        let names = ["bot", "x", "y", "z", "top"].map(String::from).to_vec();
+        let n = 5;
+        let mut leq = vec![vec![false; n]; n];
+        for (i, row) in leq.iter_mut().enumerate() {
+            row[i] = true;
+            row[4] = true;
+        }
+        leq[0] = vec![true; n];
+        let l = TableLattice::new(names, leq).expect("M3 is a lattice");
+        laws::assert_lattice_laws(&l);
+        assert_eq!(l.join(Elem::new(1), Elem::new(2)), Elem::new(4));
+    }
+}

@@ -1,0 +1,108 @@
+use crate::{Elem, Lattice};
+
+/// The two-point taint lattice `{Untainted < Tainted}`.
+///
+/// This is the lattice WebSSARI's experiments run with: `⊥ = Untainted`
+/// is the safety level of constants and sanitized data, and
+/// `⊤ = Tainted` is the level given by UIC postconditions to data read
+/// from HTTP requests, cookies, and other untrusted channels. A SOC
+/// precondition `assert(tx < ⊤)` then demands the argument be strictly
+/// safer than tainted, i.e. untainted.
+///
+/// # Examples
+///
+/// ```
+/// use taint_lattice::{Lattice, TwoPoint};
+///
+/// let l = TwoPoint::new();
+/// assert_eq!(l.join(TwoPoint::UNTAINTED, TwoPoint::TAINTED), TwoPoint::TAINTED);
+/// assert_eq!(l.name(TwoPoint::TAINTED), "tainted");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TwoPoint;
+
+impl TwoPoint {
+    /// The bottom element: trusted/sanitized data.
+    pub const UNTAINTED: Elem = Elem::from_const(0);
+    /// The top element: untrusted data.
+    pub const TAINTED: Elem = Elem::from_const(1);
+
+    /// Creates the two-point lattice.
+    pub fn new() -> Self {
+        TwoPoint
+    }
+}
+
+impl Lattice for TwoPoint {
+    fn len(&self) -> usize {
+        2
+    }
+
+    fn leq(&self, a: Elem, b: Elem) -> bool {
+        debug_assert!(a.index() < 2 && b.index() < 2);
+        a.index() <= b.index()
+    }
+
+    fn join(&self, a: Elem, b: Elem) -> Elem {
+        Elem::new(a.index().max(b.index()))
+    }
+
+    fn meet(&self, a: Elem, b: Elem) -> Elem {
+        Elem::new(a.index().min(b.index()))
+    }
+
+    fn bottom(&self) -> Elem {
+        Self::UNTAINTED
+    }
+
+    fn top(&self) -> Elem {
+        Self::TAINTED
+    }
+
+    fn name(&self, a: Elem) -> String {
+        match a.index() {
+            0 => "untainted".to_owned(),
+            _ => "tainted".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn satisfies_lattice_laws() {
+        laws::assert_lattice_laws(&TwoPoint::new());
+    }
+
+    #[test]
+    fn constants_are_bottom_and_top() {
+        let l = TwoPoint::new();
+        assert_eq!(l.bottom(), TwoPoint::UNTAINTED);
+        assert_eq!(l.top(), TwoPoint::TAINTED);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let l = TwoPoint::new();
+        assert_eq!(l.name(TwoPoint::UNTAINTED), "untainted");
+        assert_eq!(l.name(TwoPoint::TAINTED), "tainted");
+    }
+
+    #[test]
+    fn join_is_max_meet_is_min() {
+        let l = TwoPoint::new();
+        let (u, t) = (TwoPoint::UNTAINTED, TwoPoint::TAINTED);
+        assert_eq!(l.join(u, u), u);
+        assert_eq!(l.join(t, u), t);
+        assert_eq!(l.meet(t, t), t);
+        assert_eq!(l.meet(t, u), u);
+    }
+
+    #[test]
+    fn one_bit_encoding() {
+        assert_eq!(TwoPoint::new().bits(), 1);
+    }
+}

@@ -1,0 +1,587 @@
+//! Abstract syntax tree for the analyzed PHP subset.
+//!
+//! Statements carry the [`Span`] of their source text so downstream
+//! stages (error reports, the runtime-guard instrumentor) can point back
+//! at concrete lines.
+
+use crate::span::Span;
+pub use crate::token::StrPart;
+
+/// A whole source file (after include resolution, possibly several).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// Top-level statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Counts statements recursively — the paper's corpus size metric
+    /// ("1,140,091 statements").
+    pub fn num_statements(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| {
+                    1 + match s {
+                        Stmt::If {
+                            then_branch,
+                            elseifs,
+                            else_branch,
+                            ..
+                        } => {
+                            count(then_branch)
+                                + elseifs.iter().map(|(_, b)| count(b)).sum::<usize>()
+                                + else_branch.as_deref().map_or(0, count)
+                        }
+                        Stmt::While { body, .. }
+                        | Stmt::DoWhile { body, .. }
+                        | Stmt::For { body, .. }
+                        | Stmt::Foreach { body, .. }
+                        | Stmt::FuncDecl { body, .. } => count(body),
+                        Stmt::Switch { cases, .. } => {
+                            cases.iter().map(|(_, b)| count(b)).sum::<usize>()
+                        }
+                        Stmt::Block(body) => count(body),
+                        _ => 0,
+                    }
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+}
+
+/// The kind of an `include`-family statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IncludeKind {
+    /// `include`
+    Include,
+    /// `include_once`
+    IncludeOnce,
+    /// `require`
+    Require,
+    /// `require_once`
+    RequireOnce,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// An expression evaluated for effect (`$x = f();`).
+    Expr(Expr, Span),
+    /// `echo e1, e2, …;`
+    Echo(Vec<Expr>, Span),
+    /// `if` with any number of `elseif` arms and an optional `else`.
+    If {
+        /// The `if` condition.
+        cond: Expr,
+        /// Statements of the `if` arm.
+        then_branch: Vec<Stmt>,
+        /// `(condition, body)` of each `elseif` arm.
+        elseifs: Vec<(Expr, Vec<Stmt>)>,
+        /// Statements of the `else` arm, if present.
+        else_branch: Option<Vec<Stmt>>,
+        /// Source span of the `if` keyword and condition.
+        span: Span,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body (runs at least once).
+        body: Vec<Stmt>,
+        /// Loop condition, evaluated after the body.
+        cond: Expr,
+        /// Source span of the `do` keyword.
+        span: Span,
+    },
+    /// `while (cond) body`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source span of the loop header.
+        span: Span,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Initialization expressions.
+        init: Vec<Expr>,
+        /// Termination condition, if any.
+        cond: Option<Expr>,
+        /// Step expressions.
+        step: Vec<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source span of the loop header.
+        span: Span,
+    },
+    /// `foreach ($array as [$key =>] $value) body`
+    Foreach {
+        /// The iterated expression.
+        array: Expr,
+        /// Key variable, if the `$k => $v` form is used.
+        key: Option<String>,
+        /// Value variable name.
+        value: String,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source span of the loop header.
+        span: Span,
+    },
+    /// `switch (subject) { case c: …; default: … }`
+    Switch {
+        /// The switched-on expression.
+        subject: Expr,
+        /// `(case value, body)`; `None` value marks `default`.
+        cases: Vec<(Option<Expr>, Vec<Stmt>)>,
+        /// Source span of the switch header.
+        span: Span,
+    },
+    /// `function name(params) { body }`
+    FuncDecl {
+        /// Function name.
+        name: String,
+        /// Formal parameters.
+        params: Vec<Param>,
+        /// Function body.
+        body: Vec<Stmt>,
+        /// Source span of the declaration header.
+        span: Span,
+    },
+    /// `return e;`
+    Return(Option<Expr>, Span),
+    /// `include`/`require` with a path expression.
+    Include {
+        /// Which include-family keyword was used.
+        kind: IncludeKind,
+        /// The path expression (usually a string literal).
+        path: Expr,
+        /// Source span.
+        span: Span,
+    },
+    /// `global $a, $b;`
+    Global(Vec<String>, Span),
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+    /// `exit;` / `die(e);`
+    Exit(Option<Expr>, Span),
+    /// `{ … }`
+    Block(Vec<Stmt>),
+    /// Literal HTML between PHP regions (trusted constant output).
+    InlineHtml(String, Span),
+    /// An empty statement (`;`).
+    Nop(Span),
+}
+
+impl Stmt {
+    /// The source span of the statement (or of its header for compound
+    /// statements).
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Expr(_, s)
+            | Stmt::Echo(_, s)
+            | Stmt::If { span: s, .. }
+            | Stmt::While { span: s, .. }
+            | Stmt::DoWhile { span: s, .. }
+            | Stmt::For { span: s, .. }
+            | Stmt::Foreach { span: s, .. }
+            | Stmt::Switch { span: s, .. }
+            | Stmt::FuncDecl { span: s, .. }
+            | Stmt::Return(_, s)
+            | Stmt::Include { span: s, .. }
+            | Stmt::Global(_, s)
+            | Stmt::Break(s)
+            | Stmt::Continue(s)
+            | Stmt::Exit(_, s)
+            | Stmt::InlineHtml(_, s)
+            | Stmt::Nop(s) => *s,
+            Stmt::Block(stmts) => stmts
+                .first()
+                .map(|f| {
+                    stmts
+                        .last()
+                        .map(|l| f.span().merge(l.span()))
+                        .unwrap_or_else(|| f.span())
+                })
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// A formal parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Parameter name without `$`.
+    pub name: String,
+    /// Whether declared `&$name` (by reference).
+    pub by_ref: bool,
+    /// Default value, if any.
+    pub default: Option<Expr>,
+}
+
+/// A compound-assignment operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+    /// `.=` — the workhorse of string-building web code.
+    Concat,
+}
+
+/// A binary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // names mirror the operators
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Concat,
+    Eq,
+    StrictEq,
+    NotEq,
+    StrictNotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+/// A unary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Not,
+    Neg,
+    Plus,
+}
+
+/// An assignable location.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// `$x`
+    Var(String),
+    /// `$x[i]` / `$x[]`
+    ArrayElem {
+        /// Array variable name.
+        var: String,
+        /// Index expression; `None` for the push form `$x[] = …`.
+        index: Option<Box<Expr>>,
+    },
+    /// `$obj->prop` (tracked coarsely: taint lives on the whole object).
+    Prop {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Property name.
+        name: String,
+    },
+    /// `list($a, $b)` destructuring target.
+    List(Vec<LValue>),
+}
+
+impl LValue {
+    /// The root variable the lvalue stores into, when statically known.
+    pub fn root_var(&self) -> Option<&str> {
+        match self {
+            LValue::Var(v) | LValue::ArrayElem { var: v, .. } => Some(v),
+            LValue::Prop { base, .. } => match base.as_ref() {
+                Expr::Var(v) => Some(v),
+                _ => None,
+            },
+            LValue::List(_) => None,
+        }
+    }
+
+    /// The root variables assigned by this lvalue (one for simple
+    /// targets, several for `list(...)`).
+    pub fn root_vars(&self) -> Vec<&str> {
+        match self {
+            LValue::List(items) => items.iter().flat_map(LValue::root_vars).collect(),
+            other => other.root_var().into_iter().collect(),
+        }
+    }
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// `$x`
+    Var(String),
+    /// `$x[i]` — array reads are tracked at whole-variable granularity.
+    ArrayAccess {
+        /// The indexed expression (usually a variable).
+        base: Box<Expr>,
+        /// Index expression, absent for `$x[]`.
+        index: Option<Box<Expr>>,
+    },
+    /// `$obj->prop`
+    PropFetch {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Property name.
+        name: String,
+    },
+    /// A string literal with interpolation parts.
+    StringLit(Vec<StrPart>),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `true` / `false`
+    BoolLit(bool),
+    /// `null`
+    NullLit,
+    /// `array(k => v, …)` or `[v, …]`
+    ArrayLit(Vec<(Option<Expr>, Expr)>),
+    /// Binary operation, including `.` concatenation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `cond ? then : else` (and the `?:` short form).
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true; `None` for the `?:` form (condition reused).
+        then: Option<Box<Expr>>,
+        /// Value when false.
+        otherwise: Box<Expr>,
+    },
+    /// A named function call: `f(args)`, `@f(args)`, `new C(args)`,
+    /// `isset($x)`, `print e`, ….
+    Call {
+        /// Callee name (lowercased for builtins at analysis time).
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Whether the `@` error-suppression prefix was present.
+        suppressed: bool,
+        /// Source span of the call.
+        span: Span,
+    },
+    /// `$obj->method(args)` — treated as an unknown callee.
+    MethodCall {
+        /// Receiver expression.
+        base: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source span of the call.
+        span: Span,
+    },
+    /// An assignment used as an expression (`while ($row = next())`).
+    Assign {
+        /// Assigned location.
+        target: LValue,
+        /// Plain or compound operator.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Box<Expr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `$x++ / --$x` etc.; the distinction pre/post is irrelevant to
+    /// information flow, so only the variable is kept.
+    IncDec {
+        /// The incremented lvalue.
+        target: LValue,
+    },
+}
+
+impl Expr {
+    /// All variable names read by this expression, in syntactic order
+    /// (duplicates preserved).
+    pub fn read_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_read_vars(&mut out);
+        out
+    }
+
+    fn collect_read_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::ArrayAccess { base, index } => {
+                base.collect_read_vars(out);
+                if let Some(i) = index {
+                    i.collect_read_vars(out);
+                }
+            }
+            Expr::PropFetch { base, .. } => base.collect_read_vars(out),
+            Expr::StringLit(parts) => {
+                for p in parts {
+                    match p {
+                        StrPart::Var(v) => out.push(v.clone()),
+                        StrPart::ArrayVar { var, .. } => out.push(var.clone()),
+                        StrPart::Lit(_) => {}
+                    }
+                }
+            }
+            Expr::ArrayLit(entries) => {
+                for (k, v) in entries {
+                    if let Some(k) = k {
+                        k.collect_read_vars(out);
+                    }
+                    v.collect_read_vars(out);
+                }
+            }
+            Expr::Binary { left, right, .. } => {
+                left.collect_read_vars(out);
+                right.collect_read_vars(out);
+            }
+            Expr::Unary { expr, .. } => expr.collect_read_vars(out),
+            Expr::Ternary {
+                cond,
+                then,
+                otherwise,
+            } => {
+                cond.collect_read_vars(out);
+                if let Some(t) = then {
+                    t.collect_read_vars(out);
+                }
+                otherwise.collect_read_vars(out);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_read_vars(out);
+                }
+            }
+            Expr::MethodCall { base, args, .. } => {
+                base.collect_read_vars(out);
+                for a in args {
+                    a.collect_read_vars(out);
+                }
+            }
+            Expr::Assign { value, .. } => value.collect_read_vars(out),
+            Expr::IncDec { target } => {
+                if let Some(v) = target.root_var() {
+                    out.push(v.to_owned());
+                }
+            }
+            Expr::IntLit(_) | Expr::FloatLit(_) | Expr::BoolLit(_) | Expr::NullLit => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_vars_of_interpolated_string() {
+        let e = Expr::StringLit(vec![
+            StrPart::Lit("WHERE sid=".into()),
+            StrPart::Var("sid".into()),
+            StrPart::ArrayVar {
+                var: "row".into(),
+                index: "id".into(),
+            },
+        ]);
+        assert_eq!(e.read_vars(), vec!["sid".to_owned(), "row".to_owned()]);
+    }
+
+    #[test]
+    fn read_vars_of_nested_expression() {
+        let e = Expr::Binary {
+            op: BinOp::Concat,
+            left: Box::new(Expr::Var("a".into())),
+            right: Box::new(Expr::Call {
+                name: "f".into(),
+                args: vec![Expr::Var("b".into())],
+                suppressed: false,
+                span: Span::default(),
+            }),
+        };
+        assert_eq!(e.read_vars(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn assignment_expression_reads_only_rhs() {
+        let e = Expr::Assign {
+            target: LValue::Var("x".into()),
+            op: AssignOp::Assign,
+            value: Box::new(Expr::Var("y".into())),
+            span: Span::default(),
+        };
+        assert_eq!(e.read_vars(), vec!["y".to_owned()]);
+    }
+
+    #[test]
+    fn lvalue_root_var() {
+        assert_eq!(LValue::Var("x".into()).root_var(), Some("x"));
+        assert_eq!(
+            LValue::ArrayElem {
+                var: "a".into(),
+                index: None
+            }
+            .root_var(),
+            Some("a")
+        );
+        assert_eq!(
+            LValue::Prop {
+                base: Box::new(Expr::Var("o".into())),
+                name: "p".into()
+            }
+            .root_var(),
+            Some("o")
+        );
+    }
+
+    #[test]
+    fn num_statements_counts_recursively() {
+        let inner = Stmt::Echo(vec![], Span::default());
+        let p = Program {
+            stmts: vec![
+                Stmt::If {
+                    cond: Expr::BoolLit(true),
+                    then_branch: vec![inner.clone(), inner.clone()],
+                    elseifs: vec![(Expr::BoolLit(false), vec![inner.clone()])],
+                    else_branch: Some(vec![inner.clone()]),
+                    span: Span::default(),
+                },
+                inner,
+            ],
+        };
+        // if + 2 + 1 + 1 + trailing echo
+        assert_eq!(p.num_statements(), 6);
+    }
+
+    #[test]
+    fn stmt_span_of_block_merges_children() {
+        let b = Stmt::Block(vec![
+            Stmt::Nop(Span::new(2, 3)),
+            Stmt::Nop(Span::new(7, 9)),
+        ]);
+        assert_eq!(b.span(), Span::new(2, 9));
+        assert_eq!(Stmt::Block(vec![]).span(), Span::default());
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexing or parsing failure, with the source span it points at.
+///
+/// # Examples
+///
+/// ```
+/// use php_front::parse_source;
+///
+/// let err = parse_source("<?php if (").unwrap_err();
+/// assert!(!err.message.is_empty());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates an error at a span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_message_and_span() {
+        let e = ParseError::new("unexpected token", Span::new(3, 4));
+        assert_eq!(e.to_string(), "unexpected token at bytes 3..4");
+    }
+}

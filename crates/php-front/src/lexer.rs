@@ -1,0 +1,809 @@
+use crate::error::ParseError;
+use crate::span::Span;
+use crate::token::{StrPart, Token, TokenKind};
+
+/// Tokenizes PHP source text.
+///
+/// The lexer starts in HTML mode, emitting [`TokenKind::InlineHtml`] for
+/// text outside `<?php … ?>` regions. Inside PHP mode it produces the
+/// token stream the [`Parser`](crate::Parser) consumes; a closing `?>`
+/// tag is emitted as an implicit semicolon (matching PHP, where `?>`
+/// terminates the current statement).
+///
+/// # Examples
+///
+/// ```
+/// use php_front::{Lexer, TokenKind};
+///
+/// let tokens = Lexer::new("<?php echo $x; ?>").tokenize()?;
+/// assert!(matches!(tokens[0].kind, TokenKind::Ident(_)));
+/// assert!(matches!(tokens[1].kind, TokenKind::Variable(_)));
+/// # Ok::<(), php_front::ParseError>(())
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source,
+            bytes: source.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenizes the whole input, ending with a [`TokenKind::Eof`] token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input (unterminated string
+    /// or comment, stray characters).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut tokens = Vec::new();
+        // HTML mode until the first open tag, alternating afterwards.
+        loop {
+            self.lex_html(&mut tokens);
+            if self.at_end() {
+                break;
+            }
+            // We are just past an open tag; lex PHP until `?>` or EOF.
+            let reentered_html = self.lex_php(&mut tokens)?;
+            if !reentered_html {
+                break;
+            }
+        }
+        tokens.push(Token::new(TokenKind::Eof, Span::point(self.pos as u32)));
+        Ok(tokens)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> u8 {
+        self.bytes.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek_at(&self, off: usize) -> u8 {
+        self.bytes.get(self.pos + off).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        // Byte-based: `self.pos` may sit inside a multibyte character
+        // while skipping comments or strings.
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    /// Consumes HTML text until an opening tag (which is also consumed)
+    /// or end of input.
+    fn lex_html(&mut self, tokens: &mut Vec<Token>) {
+        let start = self.pos;
+        let mut html_end = self.bytes.len();
+        let mut open_len = 0usize;
+        let mut emit_echo = false;
+        let rest = &self.bytes[self.pos..];
+        if let Some(i) = rest.windows(2).position(|w| w == b"<?") {
+            html_end = self.pos + i;
+            let after = &rest[i..];
+            if after.starts_with(b"<?php") {
+                open_len = 5;
+            } else if after.starts_with(b"<?=") {
+                open_len = 3;
+                emit_echo = true;
+            } else {
+                open_len = 2;
+            }
+        }
+        if html_end > start {
+            tokens.push(Token::new(
+                TokenKind::InlineHtml(
+                    String::from_utf8_lossy(&self.bytes[start..html_end]).into_owned(),
+                ),
+                Span::new(start as u32, html_end as u32),
+            ));
+        }
+        self.pos = html_end + open_len;
+        if emit_echo {
+            tokens.push(Token::new(
+                TokenKind::Ident("echo".to_owned()),
+                Span::new(html_end as u32, self.pos as u32),
+            ));
+        }
+        if open_len == 0 {
+            self.pos = self.bytes.len();
+        }
+    }
+
+    /// Lexes PHP tokens until `?>` (returns `true`) or EOF (`false`).
+    fn lex_php(&mut self, tokens: &mut Vec<Token>) -> Result<bool, ParseError> {
+        loop {
+            self.skip_whitespace_and_comments()?;
+            if self.at_end() {
+                return Ok(false);
+            }
+            if self.starts_with("?>") {
+                let span = Span::new(self.pos as u32, self.pos as u32 + 2);
+                self.pos += 2;
+                // PHP treats `?>` as a statement terminator; skip one
+                // newline directly after it, as PHP does.
+                if self.peek() == b'\n' {
+                    self.pos += 1;
+                }
+                tokens.push(Token::new(TokenKind::Semicolon, span));
+                return Ok(true);
+            }
+            let start = self.pos;
+            let b = self.peek();
+            let kind = match b {
+                b'$' => self.lex_variable()?,
+                b'\'' => self.lex_single_quoted()?,
+                b'"' => self.lex_double_quoted()?,
+                b'<' if self.starts_with("<<<") => self.lex_heredoc()?,
+                b'0'..=b'9' => self.lex_number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+                _ => self.lex_operator()?,
+            };
+            tokens.push(Token::new(kind, Span::new(start as u32, self.pos as u32)));
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<(), ParseError> {
+        loop {
+            while !self.at_end() && (self.peek() as char).is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.starts_with("//") || self.peek() == b'#' {
+                while !self.at_end() && self.peek() != b'\n' && !self.starts_with("?>") {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            if self.starts_with("/*") {
+                let start = self.pos;
+                self.pos += 2;
+                match self.bytes[self.pos..]
+                    .windows(2)
+                    .position(|w| w == b"*/")
+                {
+                    Some(i) => self.pos += i + 2,
+                    None => {
+                        return Err(ParseError::new(
+                            "unterminated block comment",
+                            Span::new(start as u32, self.bytes.len() as u32),
+                        ))
+                    }
+                }
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn lex_variable(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        self.bump(); // $
+        let name = self.take_ident_text();
+        if name.is_empty() {
+            return Err(ParseError::new(
+                "expected variable name after `$`",
+                Span::new(start as u32, self.pos as u32),
+            ));
+        }
+        Ok(TokenKind::Variable(name))
+    }
+
+    fn take_ident_text(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        self.src[start..self.pos].to_owned()
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        TokenKind::Ident(self.take_ident_text())
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        if self.starts_with("0x") || self.starts_with("0X") {
+            self.pos += 2;
+            while self.peek().is_ascii_hexdigit() {
+                self.pos += 1;
+            }
+            let text = &self.src[start + 2..self.pos];
+            let value = i64::from_str_radix(text, 16).map_err(|_| {
+                ParseError::new(
+                    "invalid hexadecimal literal",
+                    Span::new(start as u32, self.pos as u32),
+                )
+            })?;
+            return Ok(TokenKind::IntLit(value));
+        }
+        while self.peek().is_ascii_digit() {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == b'.' && self.peek_at(1).is_ascii_digit() {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E')
+            && (self.peek_at(1).is_ascii_digit()
+                || (matches!(self.peek_at(1), b'+' | b'-') && self.peek_at(2).is_ascii_digit()))
+        {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), b'+' | b'-') {
+                self.pos += 1;
+            }
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            let value: f64 = text.parse().map_err(|_| {
+                ParseError::new("invalid float literal", Span::new(start as u32, self.pos as u32))
+            })?;
+            Ok(TokenKind::FloatLit(value))
+        } else {
+            let value: i64 = text.parse().map_err(|_| {
+                ParseError::new(
+                    "integer literal out of range",
+                    Span::new(start as u32, self.pos as u32),
+                )
+            })?;
+            Ok(TokenKind::IntLit(value))
+        }
+    }
+
+    fn lex_single_quoted(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        self.bump(); // '
+        let mut text = String::new();
+        loop {
+            if self.at_end() {
+                return Err(ParseError::new(
+                    "unterminated string literal",
+                    Span::new(start as u32, self.pos as u32),
+                ));
+            }
+            match self.bump() {
+                b'\'' => break,
+                b'\\' => match self.bump() {
+                    b'\'' => text.push('\''),
+                    b'\\' => text.push('\\'),
+                    other => {
+                        // PHP keeps unknown escapes verbatim in
+                        // single-quoted strings.
+                        text.push('\\');
+                        text.push(other as char);
+                    }
+                },
+                other => text.push(other as char),
+            }
+        }
+        Ok(TokenKind::StringLit(vec![StrPart::Lit(text)]))
+    }
+
+    fn lex_double_quoted(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        self.bump(); // "
+        let mut parts: Vec<StrPart> = Vec::new();
+        let mut text = String::new();
+        let flush = |text: &mut String, parts: &mut Vec<StrPart>| {
+            if !text.is_empty() {
+                parts.push(StrPart::Lit(std::mem::take(text)));
+            }
+        };
+        loop {
+            if self.at_end() {
+                return Err(ParseError::new(
+                    "unterminated string literal",
+                    Span::new(start as u32, self.pos as u32),
+                ));
+            }
+            match self.peek() {
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.bump();
+                    match esc {
+                        b'n' => text.push('\n'),
+                        b't' => text.push('\t'),
+                        b'r' => text.push('\r'),
+                        b'"' => text.push('"'),
+                        b'\\' => text.push('\\'),
+                        b'$' => text.push('$'),
+                        b'0' => text.push('\0'),
+                        other => {
+                            text.push('\\');
+                            text.push(other as char);
+                        }
+                    }
+                }
+                b'$' if matches!(self.peek_at(1), b'a'..=b'z' | b'A'..=b'Z' | b'_') => {
+                    flush(&mut text, &mut parts);
+                    self.pos += 1;
+                    let name = self.take_ident_text();
+                    // Simple `$arr[index]` interpolation.
+                    if self.peek() == b'[' {
+                        let save = self.pos;
+                        self.pos += 1;
+                        let idx_start = self.pos;
+                        while !self.at_end() && self.peek() != b']' && self.peek() != b'"' {
+                            self.pos += 1;
+                        }
+                        if self.peek() == b']' {
+                            let index = self.src[idx_start..self.pos]
+                                .trim_matches('\'')
+                                .to_owned();
+                            self.pos += 1;
+                            parts.push(StrPart::ArrayVar { var: name, index });
+                            continue;
+                        }
+                        self.pos = save;
+                    }
+                    parts.push(StrPart::Var(name));
+                }
+                b'$' if self.peek_at(1) == b'{' => {
+                    // `${name}` interpolation.
+                    flush(&mut text, &mut parts);
+                    self.pos += 2;
+                    let name = self.take_ident_text();
+                    if self.peek() == b'}' {
+                        self.pos += 1;
+                    }
+                    parts.push(StrPart::Var(name));
+                }
+                b'{' if self.peek_at(1) == b'$' => {
+                    // `{$name}` or `{$arr['k']}` interpolation.
+                    flush(&mut text, &mut parts);
+                    self.pos += 2;
+                    let name = self.take_ident_text();
+                    if self.peek() == b'[' {
+                        self.pos += 1;
+                        let idx_start = self.pos;
+                        while !self.at_end() && self.peek() != b']' {
+                            self.pos += 1;
+                        }
+                        let index = self.src[idx_start..self.pos].trim_matches('\'').to_owned();
+                        if self.peek() == b']' {
+                            self.pos += 1;
+                        }
+                        parts.push(StrPart::ArrayVar { var: name, index });
+                    } else {
+                        parts.push(StrPart::Var(name));
+                    }
+                    if self.peek() == b'}' {
+                        self.pos += 1;
+                    }
+                }
+                other => {
+                    text.push(other as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        if !text.is_empty() {
+            parts.push(StrPart::Lit(text));
+        }
+        Ok(TokenKind::StringLit(parts))
+    }
+
+    /// Heredoc strings: `<<<EOT … EOT;` (interpolating) and the
+    /// single-quoted nowdoc form `<<<'EOT'` (literal).
+    fn lex_heredoc(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        self.pos += 3; // <<<
+        let nowdoc = self.peek() == b'\'';
+        if nowdoc {
+            self.pos += 1;
+        }
+        let tag = self.take_ident_text();
+        if tag.is_empty() {
+            return Err(ParseError::new(
+                "expected heredoc identifier after `<<<`",
+                Span::new(start as u32, self.pos as u32),
+            ));
+        }
+        if nowdoc {
+            if self.peek() != b'\'' {
+                return Err(ParseError::new(
+                    "unterminated nowdoc identifier quote",
+                    Span::new(start as u32, self.pos as u32),
+                ));
+            }
+            self.pos += 1;
+        }
+        // Skip to end of the opener line.
+        while !self.at_end() && self.peek() != b'\n' {
+            self.pos += 1;
+        }
+        if !self.at_end() {
+            self.pos += 1;
+        }
+        // Collect body lines until a line that starts with the tag.
+        let mut body = String::new();
+        loop {
+            if self.at_end() {
+                return Err(ParseError::new(
+                    format!("unterminated heredoc (expected closing {tag})"),
+                    Span::new(start as u32, self.pos as u32),
+                ));
+            }
+            let line_start = self.pos;
+            while !self.at_end() && self.peek() != b'\n' {
+                self.pos += 1;
+            }
+            let line = &self.src[line_start..self.pos];
+            if !self.at_end() {
+                self.pos += 1; // newline
+            }
+            let trimmed = line.trim_start();
+            if let Some(rest) = trimmed.strip_prefix(tag.as_str()) {
+                if rest.is_empty() || rest == ";" {
+                    if rest == ";" {
+                        // Rewind onto the `;` so it is lexed as the
+                        // statement terminator.
+                        self.pos = line_start + line.len() - 1;
+                    }
+                    break;
+                }
+            }
+            body.push_str(line);
+            body.push('\n');
+        }
+        if nowdoc {
+            return Ok(TokenKind::StringLit(vec![StrPart::Lit(body)]));
+        }
+        Ok(TokenKind::StringLit(Self::interpolate_text(&body)))
+    }
+
+    /// Splits heredoc/double-quote-style text into interpolation parts
+    /// (`$var`, `$arr[key]`, `{$var}`).
+    fn interpolate_text(text: &str) -> Vec<StrPart> {
+        let bytes = text.as_bytes();
+        let mut parts = Vec::new();
+        let mut lit = String::new();
+        let mut i = 0usize;
+        let ident_start =
+            |b: u8| matches!(b, b'a'..=b'z' | b'A'..=b'Z' | b'_');
+        let ident_char =
+            |b: u8| matches!(b, b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');
+        let take_ident = |bytes: &[u8], mut j: usize| -> (String, usize) {
+            let s = j;
+            while j < bytes.len() && ident_char(bytes[j]) {
+                j += 1;
+            }
+            (String::from_utf8_lossy(&bytes[s..j]).into_owned(), j)
+        };
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b == b'\\' && i + 1 < bytes.len() {
+                match bytes[i + 1] {
+                    b'n' => lit.push('\n'),
+                    b't' => lit.push('\t'),
+                    b'$' => lit.push('$'),
+                    b'\\' => lit.push('\\'),
+                    other => {
+                        lit.push('\\');
+                        lit.push(other as char);
+                    }
+                }
+                i += 2;
+                continue;
+            }
+            if b == b'$' && i + 1 < bytes.len() && ident_start(bytes[i + 1]) {
+                if !lit.is_empty() {
+                    parts.push(StrPart::Lit(std::mem::take(&mut lit)));
+                }
+                let (name, j) = take_ident(bytes, i + 1);
+                i = j;
+                if i < bytes.len() && bytes[i] == b'[' {
+                    if let Some(close) = text[i..].find(']') {
+                        let index = text[i + 1..i + close].trim_matches('\'').to_owned();
+                        parts.push(StrPart::ArrayVar { var: name, index });
+                        i += close + 1;
+                        continue;
+                    }
+                }
+                parts.push(StrPart::Var(name));
+                continue;
+            }
+            if b == b'{' && i + 1 < bytes.len() && bytes[i + 1] == b'$' {
+                if !lit.is_empty() {
+                    parts.push(StrPart::Lit(std::mem::take(&mut lit)));
+                }
+                let (name, j) = take_ident(bytes, i + 2);
+                i = j;
+                if let Some(close) = text[i..].find('}') {
+                    i += close + 1;
+                }
+                parts.push(StrPart::Var(name));
+                continue;
+            }
+            lit.push(b as char);
+            i += 1;
+        }
+        if !lit.is_empty() {
+            parts.push(StrPart::Lit(lit));
+        }
+        parts
+    }
+
+    fn lex_operator(&mut self) -> Result<TokenKind, ParseError> {
+        // Longest match first.
+        const TABLE: &[(&str, TokenKind)] = &[
+            ("===", TokenKind::EqEqEq),
+            ("!==", TokenKind::NotEqEq),
+            ("<>", TokenKind::NotEq),
+            ("==", TokenKind::EqEq),
+            ("!=", TokenKind::NotEq),
+            ("<=", TokenKind::Le),
+            (">=", TokenKind::Ge),
+            ("&&", TokenKind::AndAnd),
+            ("||", TokenKind::OrOr),
+            ("++", TokenKind::Inc),
+            ("--", TokenKind::Dec),
+            ("+=", TokenKind::PlusAssign),
+            ("-=", TokenKind::MinusAssign),
+            ("*=", TokenKind::MulAssign),
+            ("/=", TokenKind::DivAssign),
+            (".=", TokenKind::DotAssign),
+            ("=>", TokenKind::DoubleArrow),
+            ("->", TokenKind::Arrow),
+            ("=", TokenKind::Assign),
+            ("+", TokenKind::Plus),
+            ("-", TokenKind::Minus),
+            ("*", TokenKind::Star),
+            ("/", TokenKind::Slash),
+            ("%", TokenKind::Percent),
+            (".", TokenKind::Dot),
+            ("<", TokenKind::Lt),
+            (">", TokenKind::Gt),
+            ("!", TokenKind::Not),
+            ("?", TokenKind::Question),
+            (":", TokenKind::Colon),
+            (";", TokenKind::Semicolon),
+            (",", TokenKind::Comma),
+            ("(", TokenKind::LParen),
+            (")", TokenKind::RParen),
+            ("{", TokenKind::LBrace),
+            ("}", TokenKind::RBrace),
+            ("[", TokenKind::LBracket),
+            ("]", TokenKind::RBracket),
+            ("@", TokenKind::At),
+            ("&", TokenKind::Amp),
+        ];
+        for (text, kind) in TABLE {
+            if self.starts_with(text) {
+                self.pos += text.len();
+                return Ok(kind.clone());
+            }
+        }
+        Err(ParseError::new(
+            format!("unexpected character `{}`", self.peek() as char),
+            Span::new(self.pos as u32, self.pos as u32 + 1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn html_only_input() {
+        let ks = kinds("<html><body>hi</body></html>");
+        assert_eq!(ks.len(), 2);
+        assert!(matches!(&ks[0], TokenKind::InlineHtml(h) if h.contains("hi")));
+        assert_eq!(ks[1], TokenKind::Eof);
+    }
+
+    #[test]
+    fn php_basic_tokens() {
+        let ks = kinds("<?php $x = 42; ?>");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Variable("x".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(42),
+                TokenKind::Semicolon,
+                TokenKind::Semicolon, // from ?>
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn html_php_html_alternation() {
+        let ks = kinds("<p><?php echo 1; ?></p>");
+        assert!(matches!(&ks[0], TokenKind::InlineHtml(_)));
+        assert!(ks.iter().any(|k| k.is_ident("echo")));
+        assert!(matches!(ks[ks.len() - 2], TokenKind::InlineHtml(_)));
+    }
+
+    #[test]
+    fn echo_shorthand_tag() {
+        let ks = kinds("<?= $x ?>");
+        assert!(ks[0].is_ident("echo"));
+        assert_eq!(ks[1], TokenKind::Variable("x".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("<?php // line\n# hash\n/* block\nstill */ $x;");
+        assert_eq!(ks[0], TokenKind::Variable("x".into()));
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = Lexer::new("<?php /* oops").tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated block comment"));
+    }
+
+    #[test]
+    fn single_quoted_string_has_no_interpolation() {
+        let ks = kinds(r#"<?php $q = 'sid=$sid';"#);
+        match &ks[2] {
+            TokenKind::StringLit(parts) => {
+                assert_eq!(parts, &vec![StrPart::Lit("sid=$sid".into())]);
+            }
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_quoted_string_interpolates_variables() {
+        let ks = kinds(r#"<?php $q = "SELECT * FROM g WHERE sid=$sid";"#);
+        match &ks[2] {
+            TokenKind::StringLit(parts) => {
+                assert_eq!(
+                    parts,
+                    &vec![
+                        StrPart::Lit("SELECT * FROM g WHERE sid=".into()),
+                        StrPart::Var("sid".into()),
+                    ]
+                );
+            }
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn braced_and_array_interpolation() {
+        let ks = kinds(r#"<?php $q = "a{$x}b${y}c$row[name]d";"#);
+        match &ks[2] {
+            TokenKind::StringLit(parts) => {
+                assert_eq!(
+                    parts,
+                    &vec![
+                        StrPart::Lit("a".into()),
+                        StrPart::Var("x".into()),
+                        StrPart::Lit("b".into()),
+                        StrPart::Var("y".into()),
+                        StrPart::Lit("c".into()),
+                        StrPart::ArrayVar {
+                            var: "row".into(),
+                            index: "name".into()
+                        },
+                        StrPart::Lit("d".into()),
+                    ]
+                );
+            }
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escapes_in_double_quoted_strings() {
+        let ks = kinds(r#"<?php $s = "a\n\t\"\$b";"#);
+        match &ks[2] {
+            TokenKind::StringLit(parts) => {
+                assert_eq!(parts, &vec![StrPart::Lit("a\n\t\"$b".into())]);
+            }
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = Lexer::new("<?php $x = \"abc").tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+    }
+
+    #[test]
+    fn numbers_int_float_hex() {
+        let ks = kinds("<?php 1 23 4.5 1e3 2.5e-1 0xFF;");
+        assert_eq!(ks[0], TokenKind::IntLit(1));
+        assert_eq!(ks[1], TokenKind::IntLit(23));
+        assert_eq!(ks[2], TokenKind::FloatLit(4.5));
+        assert_eq!(ks[3], TokenKind::FloatLit(1000.0));
+        assert_eq!(ks[4], TokenKind::FloatLit(0.25));
+        assert_eq!(ks[5], TokenKind::IntLit(255));
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        let ks = kinds("<?php === == = != !== <= < .= . -> =>;");
+        assert_eq!(
+            &ks[..10],
+            &[
+                TokenKind::EqEqEq,
+                TokenKind::EqEq,
+                TokenKind::Assign,
+                TokenKind::NotEq,
+                TokenKind::NotEqEq,
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::DotAssign,
+                TokenKind::Dot,
+                TokenKind::Arrow,
+            ]
+        );
+    }
+
+    #[test]
+    fn variable_requires_name() {
+        let err = Lexer::new("<?php $ = 3;").tokenize().unwrap_err();
+        assert!(err.message.contains("variable name"));
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        let err = Lexer::new("<?php ^;").tokenize().unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let src = "<?php $abc;";
+        let tokens = Lexer::new(src).tokenize().unwrap();
+        assert_eq!(tokens[0].span.slice(src), "$abc");
+        assert_eq!(tokens[1].span.slice(src), ";");
+    }
+
+    #[test]
+    fn superglobal_tokens() {
+        let ks = kinds("<?php $_GET['sid'];");
+        assert_eq!(ks[0], TokenKind::Variable("_GET".into()));
+        assert_eq!(ks[1], TokenKind::LBracket);
+        assert!(matches!(&ks[2], TokenKind::StringLit(p) if p == &vec![StrPart::Lit("sid".into())]));
+    }
+
+    #[test]
+    fn hash_comment_stops_at_close_tag() {
+        let ks = kinds("<?php # note ?>after");
+        // The close tag terminates the comment and PHP mode.
+        assert!(matches!(&ks[1], TokenKind::InlineHtml(h) if h == "after"));
+    }
+}

@@ -1,0 +1,506 @@
+//! Pretty-printer from AST back to PHP source.
+//!
+//! Used for debugging, corpus inspection, and the parse→print→parse
+//! round-trip property tests. The output is canonical PHP (always-braced
+//! bodies, double-quoted strings) rather than a byte-exact echo of the
+//! input.
+
+use std::fmt::Write as _;
+
+use crate::ast::{
+    AssignOp, BinOp, Expr, IncludeKind, LValue, Program, Stmt, StrPart, UnOp,
+};
+
+/// Renders a program as PHP source.
+///
+/// # Examples
+///
+/// ```
+/// use php_front::{parse_source, print_program};
+///
+/// let p = parse_source("<?php $x = 1 + 2;")?;
+/// let src = print_program(&p);
+/// assert!(src.contains("$x = (1 + 2);"));
+/// // Round trip: printing then parsing yields the same AST.
+/// assert_eq!(parse_source(&src)?.stmts.len(), p.stmts.len());
+/// # Ok::<(), php_front::ParseError>(())
+/// ```
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::from("<?php\n");
+    for s in &program.stmts {
+        print_stmt(&mut out, s, 0);
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_body(out: &mut String, body: &[Stmt], depth: usize) {
+    out.push_str(" {\n");
+    for s in body {
+        print_stmt(out, s, depth + 1);
+    }
+    indent(out, depth);
+    out.push('}');
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match stmt {
+        Stmt::Expr(e, _) => {
+            print_expr(out, e);
+            out.push_str(";\n");
+        }
+        Stmt::Echo(args, _) => {
+            out.push_str("echo ");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            elseifs,
+            else_branch,
+            ..
+        } => {
+            out.push_str("if (");
+            print_expr(out, cond);
+            out.push(')');
+            print_body(out, then_branch, depth);
+            for (c, b) in elseifs {
+                out.push_str(" elseif (");
+                print_expr(out, c);
+                out.push(')');
+                print_body(out, b, depth);
+            }
+            if let Some(b) = else_branch {
+                out.push_str(" else");
+                print_body(out, b, depth);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body, .. } => {
+            out.push_str("while (");
+            print_expr(out, cond);
+            out.push(')');
+            print_body(out, body, depth);
+            out.push('\n');
+        }
+        Stmt::DoWhile { body, cond, .. } => {
+            out.push_str("do");
+            print_body(out, body, depth);
+            out.push_str(" while (");
+            print_expr(out, cond);
+            out.push_str(");\n");
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            out.push_str("for (");
+            for (i, e) in init.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, e);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                print_expr(out, c);
+            }
+            out.push_str("; ");
+            for (i, e) in step.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, e);
+            }
+            out.push(')');
+            print_body(out, body, depth);
+            out.push('\n');
+        }
+        Stmt::Foreach {
+            array,
+            key,
+            value,
+            body,
+            ..
+        } => {
+            out.push_str("foreach (");
+            print_expr(out, array);
+            out.push_str(" as ");
+            if let Some(k) = key {
+                let _ = write!(out, "${k} => ");
+            }
+            let _ = write!(out, "${value})");
+            print_body(out, body, depth);
+            out.push('\n');
+        }
+        Stmt::Switch { subject, cases, .. } => {
+            out.push_str("switch (");
+            print_expr(out, subject);
+            out.push_str(") {\n");
+            for (label, body) in cases {
+                indent(out, depth + 1);
+                match label {
+                    Some(v) => {
+                        out.push_str("case ");
+                        print_expr(out, v);
+                        out.push_str(":\n");
+                    }
+                    None => out.push_str("default:\n"),
+                }
+                for s in body {
+                    print_stmt(out, s, depth + 2);
+                }
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::FuncDecl {
+            name, params, body, ..
+        } => {
+            let _ = write!(out, "function {name}(");
+            for (i, p) in params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                if p.by_ref {
+                    out.push('&');
+                }
+                let _ = write!(out, "${}", p.name);
+                if let Some(d) = &p.default {
+                    out.push_str(" = ");
+                    print_expr(out, d);
+                }
+            }
+            out.push(')');
+            print_body(out, body, depth);
+            out.push('\n');
+        }
+        Stmt::Return(v, _) => {
+            out.push_str("return");
+            if let Some(v) = v {
+                out.push(' ');
+                print_expr(out, v);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Include { kind, path, .. } => {
+            let kw = match kind {
+                IncludeKind::Include => "include",
+                IncludeKind::IncludeOnce => "include_once",
+                IncludeKind::Require => "require",
+                IncludeKind::RequireOnce => "require_once",
+            };
+            let _ = write!(out, "{kw} ");
+            print_expr(out, path);
+            out.push_str(";\n");
+        }
+        Stmt::Global(names, _) => {
+            out.push_str("global ");
+            for (i, n) in names.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "${n}");
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Break(_) => out.push_str("break;\n"),
+        Stmt::Continue(_) => out.push_str("continue;\n"),
+        Stmt::Exit(v, _) => {
+            out.push_str("exit");
+            if let Some(v) = v {
+                out.push('(');
+                print_expr(out, v);
+                out.push(')');
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Block(body) => {
+            out.push('{');
+            out.push('\n');
+            for s in body {
+                print_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::InlineHtml(h, _) => {
+            let _ = writeln!(out, "echo \"{}\";", escape(h));
+        }
+        Stmt::Nop(_) => out.push_str(";\n"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '$' => vec!['\\', '$'],
+            '\n' => vec!['\\', 'n'],
+            other => vec![other],
+        })
+        .collect()
+}
+
+fn print_lvalue(out: &mut String, lv: &LValue) {
+    match lv {
+        LValue::Var(v) => {
+            let _ = write!(out, "${v}");
+        }
+        LValue::ArrayElem { var, index } => {
+            let _ = write!(out, "${var}[");
+            if let Some(i) = index {
+                print_expr(out, i);
+            }
+            out.push(']');
+        }
+        LValue::Prop { base, name } => {
+            print_expr(out, base);
+            let _ = write!(out, "->{name}");
+        }
+        LValue::List(items) => {
+            out.push_str("list(");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_lvalue(out, item);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn bin_op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Concat => ".",
+        BinOp::Eq => "==",
+        BinOp::StrictEq => "===",
+        BinOp::NotEq => "!=",
+        BinOp::StrictNotEq => "!==",
+        BinOp::Lt => "<",
+        BinOp::Gt => ">",
+        BinOp::Le => "<=",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn print_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Var(v) => {
+            let _ = write!(out, "${v}");
+        }
+        Expr::ArrayAccess { base, index } => {
+            print_expr(out, base);
+            out.push('[');
+            if let Some(i) = index {
+                print_expr(out, i);
+            }
+            out.push(']');
+        }
+        Expr::PropFetch { base, name } => {
+            print_expr(out, base);
+            let _ = write!(out, "->{name}");
+        }
+        Expr::StringLit(parts) => {
+            out.push('"');
+            for p in parts {
+                match p {
+                    StrPart::Lit(t) => out.push_str(&escape(t)),
+                    StrPart::Var(v) => {
+                        let _ = write!(out, "{{${v}}}");
+                    }
+                    StrPart::ArrayVar { var, index } => {
+                        let _ = write!(out, "{{${var}['{index}']}}");
+                    }
+                }
+            }
+            out.push('"');
+        }
+        Expr::IntLit(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Expr::FloatLit(x) => {
+            let _ = write!(out, "{x:?}");
+        }
+        Expr::BoolLit(b) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::NullLit => out.push_str("null"),
+        Expr::ArrayLit(entries) => {
+            out.push_str("array(");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                if let Some(k) = k {
+                    print_expr(out, k);
+                    out.push_str(" => ");
+                }
+                print_expr(out, v);
+            }
+            out.push(')');
+        }
+        Expr::Binary { op, left, right } => {
+            out.push('(');
+            print_expr(out, left);
+            let _ = write!(out, " {} ", bin_op_str(*op));
+            print_expr(out, right);
+            out.push(')');
+        }
+        Expr::Unary { op, expr } => {
+            out.push_str(match op {
+                UnOp::Not => "!",
+                UnOp::Neg => "-",
+                UnOp::Plus => "+",
+            });
+            out.push('(');
+            print_expr(out, expr);
+            out.push(')');
+        }
+        Expr::Ternary {
+            cond,
+            then,
+            otherwise,
+        } => {
+            out.push('(');
+            print_expr(out, cond);
+            match then {
+                Some(t) => {
+                    out.push_str(" ? ");
+                    print_expr(out, t);
+                    out.push_str(" : ");
+                }
+                None => out.push_str(" ?: "),
+            }
+            print_expr(out, otherwise);
+            out.push(')');
+        }
+        Expr::Call {
+            name,
+            args,
+            suppressed,
+            ..
+        } => {
+            if *suppressed {
+                out.push('@');
+            }
+            if name == "print" {
+                out.push_str("print ");
+                print_expr(out, &args[0]);
+                return;
+            }
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::MethodCall {
+            base, name, args, ..
+        } => {
+            print_expr(out, base);
+            let _ = write!(out, "->{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::Assign {
+            target, op, value, ..
+        } => {
+            print_lvalue(out, target);
+            out.push_str(match op {
+                AssignOp::Assign => " = ",
+                AssignOp::Add => " += ",
+                AssignOp::Sub => " -= ",
+                AssignOp::Mul => " *= ",
+                AssignOp::Div => " /= ",
+                AssignOp::Concat => " .= ",
+            });
+            print_expr(out, value);
+        }
+        Expr::IncDec { target } => {
+            print_lvalue(out, target);
+            out.push_str("++");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_source;
+
+    fn round_trip(src: &str) {
+        let p1 = parse_source(src).expect("first parse");
+        let printed = print_program(&p1);
+        let p2 = parse_source(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
+        // Statement shapes must survive; exact spans won't.
+        assert_eq!(p1.num_statements(), p2.num_statements(), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_basic_constructs() {
+        round_trip("<?php $x = 1; echo $x;");
+        round_trip("<?php if ($a) { echo 1; } else { echo 2; }");
+        round_trip("<?php while ($r = f($x)) { echo $r; }");
+        round_trip("<?php for ($i = 0; $i < 3; $i++) echo $i;");
+        round_trip("<?php foreach ($rows as $k => $v) echo $v;");
+        round_trip("<?php function g($a, &$b) { return $a . $b; }");
+        round_trip("<?php $q = \"WHERE sid=$sid\"; DoSQL($q);");
+        round_trip("<?php switch ($x) { case 1: echo 1; break; default: echo 2; }");
+        round_trip("<?php global $db; include 'x.php'; exit('done');");
+        round_trip("<?php $a = array(1, 'k' => $v); $o->m($a); $p = $o->f;");
+    }
+
+    #[test]
+    fn string_interpolation_survives() {
+        let p = parse_source("<?php $q = \"id=$id and n=$row[name]\";").unwrap();
+        let printed = print_program(&p);
+        let p2 = parse_source(&printed).unwrap();
+        assert_eq!(p.stmts.len(), p2.stmts.len());
+        // The interpolated variables must still be read.
+        match (&p.stmts[0], &p2.stmts[0]) {
+            (Stmt::Expr(e1, _), Stmt::Expr(e2, _)) => {
+                assert_eq!(e1.read_vars(), e2.read_vars());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_html_becomes_echo() {
+        let p = parse_source("<html><?php echo 1; ?></html>").unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("echo \"<html>\""));
+    }
+}

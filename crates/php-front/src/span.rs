@@ -1,0 +1,189 @@
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+///
+/// # Examples
+///
+/// ```
+/// use php_front::Span;
+///
+/// let s = Span::new(3, 7);
+/// assert_eq!(s.len(), 4);
+/// assert!(s.contains(3));
+/// assert!(!s.contains(7));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "span start after end");
+        Span { start, end }
+    }
+
+    /// The empty span at an offset.
+    pub fn point(at: u32) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `offset` lies within the span.
+    pub fn contains(self, offset: u32) -> bool {
+        self.start <= offset && offset < self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The text this span selects from `source`.
+    pub fn slice(self, source: &str) -> &str {
+        &source[self.start as usize..self.end as usize]
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}..{}", self.start, self.end)
+    }
+}
+
+/// Maps byte offsets to 1-based line and column numbers.
+///
+/// # Examples
+///
+/// ```
+/// use php_front::LineIndex;
+///
+/// let idx = LineIndex::new("ab\ncd");
+/// assert_eq!(idx.line_col(0), (1, 1));
+/// assert_eq!(idx.line_col(3), (2, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineIndex {
+    line_starts: Vec<u32>,
+}
+
+impl LineIndex {
+    /// Builds the index for a source text.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineIndex { line_starts }
+    }
+
+    /// The 1-based `(line, column)` of a byte offset.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line as u32 + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The 1-based line of a byte offset.
+    pub fn line(&self, offset: u32) -> u32 {
+        self.line_col(offset).0
+    }
+
+    /// Number of lines in the indexed source.
+    pub fn num_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn point_is_empty() {
+        assert!(Span::point(4).is_empty());
+        assert_eq!(Span::point(4).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start after end")]
+    fn inverted_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn slice_selects_text() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).slice(src), "world");
+    }
+
+    #[test]
+    fn line_index_maps_offsets() {
+        let idx = LineIndex::new("one\ntwo\nthree");
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(2), (1, 3));
+        assert_eq!(idx.line_col(4), (2, 1));
+        assert_eq!(idx.line_col(8), (3, 1));
+        assert_eq!(idx.line_col(12), (3, 5));
+        assert_eq!(idx.num_lines(), 3);
+    }
+
+    #[test]
+    fn line_index_of_empty_source() {
+        let idx = LineIndex::new("");
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.num_lines(), 1);
+    }
+
+    #[test]
+    fn newline_belongs_to_its_line() {
+        let idx = LineIndex::new("a\nb");
+        assert_eq!(idx.line(1), 1);
+        assert_eq!(idx.line(2), 2);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let s = Span::new(1, 2);
+        assert_eq!(format!("{s}"), "bytes 1..2");
+        assert_eq!(format!("{s:?}"), "1..2");
+    }
+}

@@ -1,0 +1,166 @@
+//! Tests for the 2003-era PHP constructs beyond the core subset:
+//! heredocs/nowdocs, `do…while`, the alternative (`:`/`end…`) syntax,
+//! and `list()` destructuring.
+
+use php_front::ast::{Expr, LValue, Stmt, StrPart};
+use php_front::{parse_source, print_program};
+
+#[test]
+fn heredoc_with_interpolation() {
+    let src = "<?php\n$q = <<<EOT\nSELECT * FROM t WHERE sid=$sid AND n='$row[name]'\nEOT;\necho $q;\n";
+    let p = parse_source(src).expect("heredoc parses");
+    match &p.stmts[0] {
+        Stmt::Expr(Expr::Assign { value, .. }, _) => match value.as_ref() {
+            Expr::StringLit(parts) => {
+                assert!(parts.contains(&StrPart::Var("sid".into())));
+                assert!(parts.iter().any(|p| matches!(
+                    p,
+                    StrPart::ArrayVar { var, .. } if var == "row"
+                )));
+            }
+            other => panic!("expected string, got {other:?}"),
+        },
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(matches!(p.stmts[1], Stmt::Echo(..)));
+}
+
+#[test]
+fn nowdoc_has_no_interpolation() {
+    let src = "<?php\n$t = <<<'RAW'\nliteral $notavar text\nRAW;\n";
+    let p = parse_source(src).expect("nowdoc parses");
+    match &p.stmts[0] {
+        Stmt::Expr(Expr::Assign { value, .. }, _) => match value.as_ref() {
+            Expr::StringLit(parts) => {
+                assert_eq!(parts.len(), 1);
+                assert!(matches!(&parts[0], StrPart::Lit(t) if t.contains("$notavar")));
+            }
+            other => panic!("expected string, got {other:?}"),
+        },
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn heredoc_multiline_body_is_preserved() {
+    let src = "<?php\n$m = <<<MSG\nline one\nline two\nMSG;\n";
+    let p = parse_source(src).unwrap();
+    match &p.stmts[0] {
+        Stmt::Expr(Expr::Assign { value, .. }, _) => match value.as_ref() {
+            Expr::StringLit(parts) => {
+                assert!(matches!(&parts[0], StrPart::Lit(t) if t == "line one\nline two\n"));
+            }
+            other => panic!("expected string, got {other:?}"),
+        },
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn unterminated_heredoc_errors() {
+    let err = parse_source("<?php $x = <<<EOT\nno end").unwrap_err();
+    assert!(err.message.contains("unterminated heredoc"));
+}
+
+#[test]
+fn do_while_parses_and_prints() {
+    let src = "<?php do { $i = $i + 1; } while ($i < 3);";
+    let p = parse_source(src).unwrap();
+    match &p.stmts[0] {
+        Stmt::DoWhile { body, .. } => assert_eq!(body.len(), 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    let printed = print_program(&p);
+    let reparsed = parse_source(&printed).unwrap();
+    assert_eq!(p.num_statements(), reparsed.num_statements());
+}
+
+#[test]
+fn alternative_if_syntax() {
+    let src = "<?php if ($a): echo 1; elseif ($b): echo 2; else: echo 3; endif;";
+    let p = parse_source(src).unwrap();
+    match &p.stmts[0] {
+        Stmt::If {
+            then_branch,
+            elseifs,
+            else_branch,
+            ..
+        } => {
+            assert_eq!(then_branch.len(), 1);
+            assert_eq!(elseifs.len(), 1);
+            assert!(else_branch.is_some());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn alternative_loops() {
+    let p = parse_source("<?php while ($c): echo 1; endwhile;").unwrap();
+    assert!(matches!(p.stmts[0], Stmt::While { .. }));
+    let p = parse_source("<?php for ($i = 0; $i < 3; $i++): echo $i; endfor;").unwrap();
+    assert!(matches!(p.stmts[0], Stmt::For { .. }));
+    let p = parse_source("<?php foreach ($rows as $r): echo $r; endforeach;").unwrap();
+    assert!(matches!(p.stmts[0], Stmt::Foreach { .. }));
+}
+
+#[test]
+fn alternative_if_interleaved_with_html() {
+    // The classic template idiom: `if: ?>HTML<?php endif;`.
+    let src = "<?php if ($show): ?><b>hello</b><?php endif;";
+    let p = parse_source(src).unwrap();
+    match &p.stmts[0] {
+        Stmt::If { then_branch, .. } => {
+            assert!(then_branch
+                .iter()
+                .any(|s| matches!(s, Stmt::InlineHtml(..) | Stmt::Nop(_))));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn list_destructuring() {
+    let src = "<?php list($a, $b) = explode(':', $pair);";
+    let p = parse_source(src).unwrap();
+    match &p.stmts[0] {
+        Stmt::Expr(Expr::Assign { target, .. }, _) => match target {
+            LValue::List(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(target.root_vars(), vec!["a", "b"]);
+                assert_eq!(target.root_var(), None);
+            }
+            other => panic!("expected list target, got {other:?}"),
+        },
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn list_round_trips_through_printer() {
+    let src = "<?php list($k, $v) = each($arr);";
+    let p = parse_source(src).unwrap();
+    let printed = print_program(&p);
+    assert!(printed.contains("list($k, $v) ="));
+    let p2 = parse_source(&printed).unwrap();
+    assert_eq!(p, p2);
+}
+
+#[test]
+fn unexpected_endif_is_an_error() {
+    let err = parse_source("<?php if ($a): echo 1;").unwrap_err();
+    assert!(err.message.contains("unexpected end of input"));
+}
+
+#[test]
+fn alternative_switch_syntax() {
+    let src = "<?php switch ($x): case 1: echo 1; break; default: echo 2; endswitch;";
+    let p = parse_source(src).unwrap();
+    match &p.stmts[0] {
+        Stmt::Switch { cases, .. } => {
+            assert_eq!(cases.len(), 2);
+            assert!(cases[1].0.is_none());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}

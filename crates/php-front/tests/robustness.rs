@@ -1,0 +1,105 @@
+//! Robustness: the front end must never panic, whatever bytes arrive —
+//! malformed input yields `ParseError`s, not crashes. (Failure
+//! injection for the corpus pipeline.)
+
+use php_front::{parse_source, Lexer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = Lexer::new(&input).tokenize();
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_source(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_php_like_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("<?php".to_owned()), Just("$x".to_owned()), Just("=".to_owned()),
+                Just("echo".to_owned()), Just("if".to_owned()), Just("(".to_owned()),
+                Just(")".to_owned()), Just("{".to_owned()), Just("}".to_owned()),
+                Just(";".to_owned()), Just("'s'".to_owned()), Just("\"d\"".to_owned()),
+                Just("while".to_owned()), Just("function".to_owned()), Just("f".to_owned()),
+                Just(",".to_owned()), Just(".".to_owned()), Just("?>".to_owned()),
+                Just("foreach".to_owned()), Just("as".to_owned()), Just("=>".to_owned()),
+                Just("list".to_owned()), Just("do".to_owned()), Just(":".to_owned()),
+                Just("endif".to_owned()), Just("42".to_owned()), Just("@".to_owned()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse_source(&src);
+    }
+
+    /// Valid programs still parse when whitespace is perturbed.
+    #[test]
+    fn whitespace_insensitivity(pad in "[ \t\n]{0,5}") {
+        let src = format!("<?php{pad}$x{pad}={pad}$_GET['a'];{pad}echo{pad} $x;{pad}");
+        let p = parse_source(&src).expect("whitespace must not matter");
+        prop_assert_eq!(p.stmts.len(), 2);
+    }
+}
+
+#[test]
+fn pathological_inputs_error_gracefully() {
+    for bad in [
+        "<?php \"unterminated",
+        "<?php /* forever",
+        "<?php $",
+        "<?php if ((((",
+        "<?php function (",
+        "<?php foreach ($a as ) {}",
+        "<?php <<<",
+        "<?php <<<EOT",
+        "<?php list(1) = $x;",
+        "<?php ]",
+        "\u{0}\u{1}\u{2}",
+    ] {
+        // Must return (ok or error), never panic or hang.
+        let _ = parse_source(bad);
+    }
+}
+
+#[test]
+fn deeply_nested_input_is_handled() {
+    let nested = |depth: usize| {
+        let mut src = String::from("<?php ");
+        for _ in 0..depth {
+            src.push_str("if ($c) { ");
+        }
+        src.push_str("echo 1; ");
+        for _ in 0..depth {
+            src.push_str("} ");
+        }
+        src
+    };
+    // Reasonable nesting parses…
+    let p = parse_source(&nested(50)).expect("deep nesting parses");
+    assert_eq!(p.num_statements(), 51);
+    // …and absurd nesting errors gracefully instead of overflowing.
+    let err = parse_source(&nested(5000)).unwrap_err();
+    assert!(err.message.contains("nesting deeper"), "{}", err.message);
+}
+
+#[test]
+fn deeply_nested_expressions_error_gracefully() {
+    let mut src = String::from("<?php $x = ");
+    for _ in 0..5000 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..5000 {
+        src.push(')');
+    }
+    src.push(';');
+    let err = parse_source(&src).unwrap_err();
+    assert!(err.message.contains("nesting deeper"), "{}", err.message);
+}

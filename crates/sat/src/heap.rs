@@ -1,0 +1,198 @@
+//! Max-heap over variables ordered by VSIDS activity.
+//!
+//! The heap stores variable indices and keeps a reverse position map so
+//! activities can be bumped (sift-up) in `O(log n)` without rebuilding.
+
+/// Binary max-heap keyed by an external activity array.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ActivityHeap {
+    heap: Vec<u32>,
+    /// `pos[v]` = index of v in `heap`, or `NONE` when absent.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl ActivityHeap {
+    pub fn new() -> Self {
+        ActivityHeap::default()
+    }
+
+    /// Grows the position map to cover `n` variables.
+    pub fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, NONE);
+        }
+    }
+
+    pub fn contains(&self, v: usize) -> bool {
+        self.pos.get(v).is_some_and(|&p| p != NONE)
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Inserts variable `v` (no-op if present).
+    pub fn insert(&mut self, v: usize, activity: &[f64]) {
+        self.grow(v + 1);
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v as u32);
+        self.pos[v] = i as u32;
+        self.sift_up(i, activity);
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn bumped(&mut self, v: usize, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v) {
+            if p != NONE {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        for v in 0..4 {
+            h.insert(v, &activity);
+        }
+        assert_eq!(h.len(), 4);
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0; 3];
+        let mut h = ActivityHeap::new();
+        h.insert(1, &activity);
+        h.insert(1, &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn bumped_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for v in 0..3 {
+            h.insert(v, &activity);
+        }
+        activity[0] = 10.0;
+        h.bumped(0, &activity);
+        assert_eq!(h.pop_max(&activity), Some(0));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0, 1.0];
+        let mut h = ActivityHeap::new();
+        assert!(!h.contains(0));
+        h.insert(0, &activity);
+        assert!(h.contains(0));
+        h.pop_max(&activity);
+        assert!(!h.contains(0));
+    }
+
+    #[test]
+    fn random_heap_matches_sort() {
+        // Deterministic pseudo-random activities; popping must equal
+        // sorting by activity descending.
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64
+        };
+        for n in [1usize, 2, 7, 50, 255] {
+            let activity: Vec<f64> = (0..n).map(|_| next()).collect();
+            let mut h = ActivityHeap::new();
+            for v in 0..n {
+                h.insert(v, &activity);
+            }
+            let mut popped: Vec<f64> = std::iter::from_fn(|| h.pop_max(&activity))
+                .map(|v| activity[v])
+                .collect();
+            let mut sorted = activity.clone();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            // Equal activities may tie-break arbitrarily; compare values.
+            assert_eq!(popped.len(), sorted.len());
+            for (a, b) in popped.drain(..).zip(sorted) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The Luby restart sequence `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …`.
+//!
+//! CDCL solvers restart after a number of conflicts proportional to the
+//! next term of this universally-optimal sequence.
+
+/// Returns the `i`-th term of the Luby sequence (0-based).
+pub(crate) fn luby(mut i: u64) -> u64 {
+    // MiniSat's iterative formulation: find the finite subsequence that
+    // contains index i, then the position within it.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_terms() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn powers_of_two_appear() {
+        // Term 2^k - 2 of the sequence is 2^(k-1).
+        assert_eq!(luby(2), 2);
+        assert_eq!(luby(6), 4);
+        assert_eq!(luby(14), 8);
+        assert_eq!(luby(30), 16);
+        assert_eq!(luby(62), 32);
+    }
+
+    #[test]
+    fn self_similarity() {
+        // The sequence restarts after each power-of-two peak:
+        // luby(2^k - 1 + j) == luby(j) for j < 2^k - 1.
+        for k in 2..6u32 {
+            let base = (1u64 << k) - 1;
+            for j in 0..base {
+                assert_eq!(luby(base + j), luby(j), "k={k} j={j}");
+            }
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! DRAT proof logging and checking.
+//!
+//! Modern SAT solvers emit *clausal proofs* of unsatisfiability: the
+//! sequence of learned clauses (additions) and forgotten clauses
+//! (deletions), ending in the empty clause. Each added clause must be
+//! derivable from the current database by *reverse unit propagation*
+//! (RUP): assuming its negation and unit-propagating yields a conflict.
+//!
+//! [`Solver::start_proof`](crate::Solver::start_proof) turns on
+//! recording; [`Proof::verify_refutation`] is an independent forward
+//! checker (deliberately written against the naive semantics, sharing
+//! no code with the solver's propagation engine), and
+//! [`write_drat`]/[`parse_drat`] interoperate with the standard DRAT
+//! text format used by external checkers such as `drat-trim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cnf::{CnfFormula, Var};
+//! use sat::Solver;
+//!
+//! let x = Var::new(0).positive();
+//! let mut f = CnfFormula::new();
+//! f.add_lits([x]);
+//! f.add_lits([!x]);
+//! let mut s = Solver::from_formula(&f);
+//! s.start_proof();
+//! assert!(s.solve().is_unsat());
+//! let proof = s.take_proof().unwrap();
+//! assert!(proof.proves_unsat());
+//! proof.verify_refutation(&f).unwrap();
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use cnf::{CnfFormula, Lit};
+
+/// One proof step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A clause added (learned); must be RUP w.r.t. the current
+    /// database. The empty clause certifies unsatisfiability.
+    Add(Vec<Lit>),
+    /// A clause deleted (database reduction).
+    Delete(Vec<Lit>),
+}
+
+/// A clausal proof: the solver's additions and deletions in order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Proof {
+    steps: Vec<ProofStep>,
+}
+
+/// Why a proof failed to check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofError {
+    /// The given step's clause is not derivable by reverse unit
+    /// propagation from the database at that point.
+    NotRup {
+        /// Index of the failing step.
+        step: usize,
+    },
+    /// The proof never derives the empty clause.
+    NoEmptyClause,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::NotRup { step } => {
+                write!(f, "proof step {step} is not reverse-unit-propagation derivable")
+            }
+            ProofError::NoEmptyClause => write!(f, "proof does not derive the empty clause"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+impl Proof {
+    /// Creates an empty proof.
+    pub fn new() -> Self {
+        Proof::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: ProofStep) {
+        self.steps.push(step);
+    }
+
+    /// The steps in order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the proof has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Whether the proof ends by deriving the empty clause.
+    pub fn proves_unsat(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s, ProofStep::Add(lits) if lits.is_empty()))
+    }
+
+    /// Forward-checks the proof against the original formula: every
+    /// added clause must be RUP at its point, and the empty clause must
+    /// be derived.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing step, or [`ProofError::NoEmptyClause`]
+    /// if the proof checks but never refutes.
+    pub fn verify_refutation(&self, formula: &CnfFormula) -> Result<(), ProofError> {
+        let mut db: Vec<Vec<Lit>> = formula
+            .clauses()
+            .iter()
+            .filter(|c| !c.is_tautology())
+            .map(|c| c.lits().to_vec())
+            .collect();
+        let mut num_vars = formula.num_vars();
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                ProofStep::Add(lits) => {
+                    for l in lits {
+                        num_vars = num_vars.max(l.var().index() + 1);
+                    }
+                    if !is_rup(&db, lits, num_vars) {
+                        return Err(ProofError::NotRup { step: i });
+                    }
+                    if lits.is_empty() {
+                        return Ok(()); // refutation complete
+                    }
+                    db.push(lits.clone());
+                }
+                ProofStep::Delete(lits) => {
+                    let mut sorted = lits.clone();
+                    sorted.sort_unstable();
+                    if let Some(pos) = db.iter().position(|c| {
+                        let mut d = c.clone();
+                        d.sort_unstable();
+                        d == sorted
+                    }) {
+                        db.swap_remove(pos);
+                    }
+                    // Deleting a clause that is not present is a no-op,
+                    // as in drat-trim.
+                }
+            }
+        }
+        Err(ProofError::NoEmptyClause)
+    }
+}
+
+/// Is `clause` derivable by reverse unit propagation from `db`?
+///
+/// Assume the negation of every literal in `clause`, then propagate
+/// units; derivable iff a conflict arises.
+fn is_rup(db: &[Vec<Lit>], clause: &[Lit], num_vars: usize) -> bool {
+    // assignment[v]: None = unassigned.
+    let mut assignment: Vec<Option<bool>> = vec![None; num_vars];
+    for &l in clause {
+        let v = l.var().index();
+        match assignment[v] {
+            // Negating a clause containing x and ¬x is contradictory,
+            // so the clause is trivially derivable.
+            Some(value) if value == l.is_positive() => return true,
+            _ => assignment[v] = Some(!l.is_positive()),
+        }
+    }
+    // Naive propagation to fixpoint.
+    loop {
+        let mut changed = false;
+        for c in db {
+            let mut unassigned: Option<Lit> = None;
+            let mut satisfied = false;
+            let mut unassigned_count = 0;
+            for &l in c {
+                match assignment[l.var().index()] {
+                    Some(v) if v == l.is_positive() => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        unassigned_count += 1;
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => return true, // conflict
+                1 => {
+                    let l = unassigned.expect("counted one unassigned literal");
+                    assignment[l.var().index()] = Some(l.is_positive());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+/// Writes a proof in the standard DRAT text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_drat<W: Write>(writer: &mut W, proof: &Proof) -> io::Result<()> {
+    for step in proof.steps() {
+        match step {
+            ProofStep::Add(lits) => {
+                for l in lits {
+                    write!(writer, "{} ", l.to_dimacs())?;
+                }
+                writeln!(writer, "0")?;
+            }
+            ProofStep::Delete(lits) => {
+                write!(writer, "d ")?;
+                for l in lits {
+                    write!(writer, "{} ", l.to_dimacs())?;
+                }
+                writeln!(writer, "0")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses a DRAT text proof.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed input.
+pub fn parse_drat<R: BufRead>(reader: R) -> Result<Proof, String> {
+    let mut proof = Proof::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let (is_delete, rest) = match line.strip_prefix("d ") {
+            Some(rest) => (true, rest),
+            None => (false, line),
+        };
+        let mut lits = Vec::new();
+        for tok in rest.split_whitespace() {
+            let code: i64 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad literal {tok:?}", lineno + 1))?;
+            if code == 0 {
+                break;
+            }
+            lits.push(Lit::from_dimacs(code));
+        }
+        proof.push(if is_delete {
+            ProofStep::Delete(lits)
+        } else {
+            ProofStep::Add(lits)
+        });
+    }
+    Ok(proof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::Var;
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::new(Var::new(v), pos)
+    }
+
+    #[test]
+    fn rup_detects_direct_conflict() {
+        // db: (x0), (¬x0). Empty clause is RUP.
+        let db = vec![vec![lit(0, true)], vec![lit(0, false)]];
+        assert!(is_rup(&db, &[], 1));
+    }
+
+    #[test]
+    fn rup_propagates_chains() {
+        // db: (x0), (¬x0 ∨ x1), (¬x1 ∨ x2). Clause (x2) is RUP.
+        let db = vec![
+            vec![lit(0, true)],
+            vec![lit(0, false), lit(1, true)],
+            vec![lit(1, false), lit(2, true)],
+        ];
+        assert!(is_rup(&db, &[lit(2, true)], 3));
+        // But (¬x2) is not derivable.
+        assert!(!is_rup(&db, &[lit(2, false)], 3));
+    }
+
+    #[test]
+    fn rup_accepts_tautological_candidates() {
+        let db: Vec<Vec<Lit>> = vec![];
+        assert!(is_rup(&db, &[lit(0, true), lit(0, false)], 1));
+    }
+
+    #[test]
+    fn hand_built_refutation_checks() {
+        // Formula: (x0 ∨ x1), (x0 ∨ ¬x1), (¬x0 ∨ x1), (¬x0 ∨ ¬x1).
+        let mut f = CnfFormula::new();
+        f.add_lits([lit(0, true), lit(1, true)]);
+        f.add_lits([lit(0, true), lit(1, false)]);
+        f.add_lits([lit(0, false), lit(1, true)]);
+        f.add_lits([lit(0, false), lit(1, false)]);
+        let mut proof = Proof::new();
+        proof.push(ProofStep::Add(vec![lit(0, true)])); // resolvent
+        proof.push(ProofStep::Add(vec![])); // empty clause
+        assert!(proof.proves_unsat());
+        proof.verify_refutation(&f).unwrap();
+    }
+
+    #[test]
+    fn bogus_step_is_rejected() {
+        let mut f = CnfFormula::new();
+        f.add_lits([lit(0, true), lit(1, true)]);
+        let mut proof = Proof::new();
+        proof.push(ProofStep::Add(vec![lit(0, true)])); // not derivable
+        assert_eq!(
+            proof.verify_refutation(&f),
+            Err(ProofError::NotRup { step: 0 })
+        );
+    }
+
+    #[test]
+    fn proof_without_refutation_is_incomplete() {
+        let mut f = CnfFormula::new();
+        f.add_lits([lit(0, true)]);
+        f.add_lits([lit(0, false), lit(1, true)]);
+        let mut proof = Proof::new();
+        proof.push(ProofStep::Add(vec![lit(1, true)]));
+        assert_eq!(proof.verify_refutation(&f), Err(ProofError::NoEmptyClause));
+    }
+
+    #[test]
+    fn deletion_removes_clauses() {
+        let mut f = CnfFormula::new();
+        f.add_lits([lit(0, true)]);
+        f.add_lits([lit(0, false)]);
+        let mut proof = Proof::new();
+        // Deleting (x0) makes the empty clause non-RUP.
+        proof.push(ProofStep::Delete(vec![lit(0, true)]));
+        proof.push(ProofStep::Add(vec![]));
+        assert_eq!(
+            proof.verify_refutation(&f),
+            Err(ProofError::NotRup { step: 1 })
+        );
+    }
+
+    #[test]
+    fn drat_text_round_trip() {
+        let mut proof = Proof::new();
+        proof.push(ProofStep::Add(vec![lit(0, true), lit(2, false)]));
+        proof.push(ProofStep::Delete(vec![lit(1, true)]));
+        proof.push(ProofStep::Add(vec![]));
+        let mut buf = Vec::new();
+        write_drat(&mut buf, &proof).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text, "1 -3 0\nd 2 0\n0\n");
+        let parsed = parse_drat(&buf[..]).unwrap();
+        assert_eq!(parsed, proof);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_drat("1 frog 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        assert!(!ProofError::NotRup { step: 3 }.to_string().is_empty());
+        assert!(!ProofError::NoEmptyClause.to_string().is_empty());
+    }
+}

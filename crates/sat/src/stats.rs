@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Counters describing the work a [`Solver`](crate::Solver) has done.
+///
+/// The benchmark harness reports these alongside wall-clock times so the
+/// encoding experiments (paper §3.3.1 vs §3.3.2) can attribute blowups
+/// to propagation and conflict counts rather than constant factors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SolverStats {
+    /// `solve`/`solve_with_assumptions` calls.
+    pub solves: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts found.
+    pub conflicts: u64,
+    /// Learned clauses currently retained.
+    pub learnt_clauses: u64,
+    /// Learned clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Literals removed by learned-clause minimization.
+    pub minimized_lits: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solves={} decisions={} propagations={} conflicts={} restarts={} learnt={} deleted={} minimized={}",
+            self.solves,
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learnt_clauses,
+            self.deleted_clauses,
+            self.minimized_lits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = SolverStats::default();
+        assert_eq!(s.decisions, 0);
+        assert_eq!(s.conflicts, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(SolverStats::default().to_string().contains("decisions=0"));
+    }
+}

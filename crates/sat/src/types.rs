@@ -1,0 +1,137 @@
+use std::fmt;
+
+use cnf::{Lit, Var};
+
+/// The outcome of a [`Solver::solve`](crate::Solver::solve) call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found.
+    Sat(Model),
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before an answer was reached.
+    Unknown,
+}
+
+impl SatResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Whether the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A total satisfying assignment.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::Var;
+/// use sat::Model;
+///
+/// let m = Model::from_values(vec![true, false]);
+/// assert!(m.value(Var::new(0)));
+/// assert!(!m.lit_value(Var::new(1).positive()));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Creates a model from per-variable values (index = variable).
+    pub fn from_values(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// The value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is outside the solved formula.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// The value of a literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal's variable is outside the solved formula.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.is_positive()
+    }
+
+    /// The values as a slice indexed by variable.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Number of variables in the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Debug for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Model[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}{}", if *v { "" } else { "¬" }, Var::new(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_accessors() {
+        let m = Model::from_values(vec![true, false, true]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert!(m.value(Var::new(2)));
+        assert!(m.lit_value(Var::new(1).negative()));
+        assert_eq!(m.values(), &[true, false, true]);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let sat = SatResult::Sat(Model::from_values(vec![true]));
+        assert!(sat.is_sat());
+        assert!(!sat.is_unsat());
+        assert!(sat.model().is_some());
+        assert!(SatResult::Unsat.is_unsat());
+        assert!(SatResult::Unknown.model().is_none());
+    }
+
+    #[test]
+    fn model_debug_nonempty() {
+        let m = Model::from_values(vec![]);
+        assert_eq!(format!("{m:?}"), "Model[]");
+        let m = Model::from_values(vec![false]);
+        assert_eq!(format!("{m:?}"), "Model[¬x0]");
+    }
+}

@@ -1,0 +1,160 @@
+//! The CDCL solver fuzzed against brute-force enumeration: on every
+//! random small formula the solver must agree on satisfiability, and any
+//! model it returns must actually satisfy the formula.
+
+use cnf::{Clause, CnfFormula, Lit, Var};
+use proptest::prelude::*;
+use sat::{SatResult, Solver};
+
+fn formula_strategy(
+    max_vars: usize,
+    max_clause_len: usize,
+    max_clauses: usize,
+) -> impl Strategy<Value = CnfFormula> {
+    prop::collection::vec(
+        prop::collection::vec((0..max_vars, any::<bool>()), 1..=max_clause_len),
+        0..=max_clauses,
+    )
+    .prop_map(|clauses| {
+        let mut f = CnfFormula::new();
+        for c in clauses {
+            f.add_clause(Clause::new(
+                c.into_iter()
+                    .map(|(v, pos)| Lit::new(Var::new(v), pos))
+                    .collect(),
+            ));
+        }
+        f
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(f in formula_strategy(8, 4, 24)) {
+        let expected = f.brute_force_satisfiable();
+        let mut s = Solver::from_formula(&f);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                prop_assert!(expected, "solver claims sat on unsat formula");
+                // Model must cover all declared vars and satisfy f.
+                prop_assert!(m.len() >= f.num_vars());
+                prop_assert_eq!(f.eval(&m.values()[..f.num_vars()]), Some(true));
+            }
+            SatResult::Unsat => prop_assert!(!expected, "solver claims unsat on sat formula"),
+            SatResult::Unknown => prop_assert!(false, "no conflict limit was set"),
+        }
+    }
+
+    #[test]
+    fn solving_twice_is_consistent(f in formula_strategy(6, 3, 16)) {
+        let mut s = Solver::from_formula(&f);
+        let first = s.solve().is_sat();
+        let second = s.solve().is_sat();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn assumptions_match_unit_clauses(
+        f in formula_strategy(6, 3, 14),
+        assumed in prop::collection::vec((0usize..6, any::<bool>()), 0..3),
+    ) {
+        // Solving f under assumptions A must equal solving f ∧ A.
+        let assumptions: Vec<Lit> = assumed
+            .iter()
+            .map(|&(v, pos)| Lit::new(Var::new(v), pos))
+            .collect();
+        let mut with_assumptions = Solver::from_formula(&f);
+        let res_a = with_assumptions.solve_with_assumptions(&assumptions).is_sat();
+
+        let mut strengthened = f.clone();
+        for &a in &assumptions {
+            strengthened.add_lits([a]);
+        }
+        let res_b = strengthened.brute_force_satisfiable();
+        prop_assert_eq!(res_a, res_b);
+    }
+
+    #[test]
+    fn model_enumeration_counts_match_brute_force(f in formula_strategy(5, 3, 10)) {
+        // Enumerate with blocking clauses over all problem variables.
+        let n = f.num_vars();
+        prop_assume!(n <= 10);
+        let expected = f.brute_force_models().len();
+        let mut s = Solver::from_formula(&f);
+        let mut count = 0usize;
+        loop {
+            match s.solve() {
+                SatResult::Sat(m) => {
+                    count += 1;
+                    prop_assert!(count <= expected, "enumerated more models than exist");
+                    let blocking: Vec<Lit> =
+                        (0..n).map(|v| Lit::new(Var::new(v), !m.value(Var::new(v)))).collect();
+                    if blocking.is_empty() {
+                        break; // n == 0: single trivial model
+                    }
+                    s.add_clause(blocking);
+                }
+                SatResult::Unsat => break,
+                SatResult::Unknown => prop_assert!(false, "no limit set"),
+            }
+        }
+        prop_assert_eq!(count, expected.max(usize::from(n == 0 && expected > 0)).min(expected));
+        if n > 0 {
+            prop_assert_eq!(count, expected);
+        }
+    }
+
+    #[test]
+    fn incremental_addition_equals_monolithic(
+        f1 in formula_strategy(6, 3, 10),
+        f2 in formula_strategy(6, 3, 10),
+    ) {
+        let mut s = Solver::from_formula(&f1);
+        let _ = s.solve();
+        s.add_formula(&f2);
+        let incremental = s.solve().is_sat();
+
+        let mut combined = f1.clone();
+        combined.extend(f2.clauses().iter().cloned());
+        prop_assert_eq!(incremental, combined.brute_force_satisfiable());
+    }
+}
+
+/// Random 3-SAT at the phase transition ratio, checked against brute
+/// force with a fixed seed schedule (deterministic).
+#[test]
+fn random_3sat_agrees_with_brute_force() {
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for trial in 0..60 {
+        let n = 12;
+        let m = 51; // ratio ≈ 4.26
+        let mut f = CnfFormula::new();
+        for _ in 0..m {
+            let mut lits = Vec::new();
+            for _ in 0..3 {
+                let v = (next() % n as u64) as usize;
+                lits.push(Lit::new(Var::new(v), next() % 2 == 0));
+            }
+            f.add_clause(Clause::new(lits));
+        }
+        f.ensure_var(Var::new(n - 1));
+        let expected = f.brute_force_satisfiable();
+        let mut s = Solver::from_formula(&f);
+        match s.solve() {
+            SatResult::Sat(model) => {
+                assert!(expected, "trial {trial}: wrong sat");
+                assert_eq!(f.eval(&model.values()[..n]), Some(true), "trial {trial}");
+            }
+            SatResult::Unsat => assert!(!expected, "trial {trial}: wrong unsat"),
+            SatResult::Unknown => unreachable!(),
+        }
+    }
+}

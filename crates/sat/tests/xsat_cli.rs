@@ -1,0 +1,81 @@
+//! End-to-end tests of the `xsat` DIMACS solver binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn xsat() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xsat"))
+}
+
+fn write_cnf(name: &str, body: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "xsat-test-{}-{}-{name}",
+        std::process::id(),
+        format!("{:?}", std::thread::current().id()).replace(['(', ')'], "-"),
+    ));
+    std::fs::write(&path, body).expect("write cnf");
+    path
+}
+
+#[test]
+fn sat_instance_exits_10_with_model() {
+    let path = write_cnf("sat.cnf", "p cnf 2 2\n1 2 0\n-1 0\n");
+    let out = xsat().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(10));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("s SATISFIABLE"), "{stdout}");
+    assert!(stdout.contains("v -1 2 0"), "{stdout}");
+}
+
+#[test]
+fn unsat_instance_exits_20_with_verified_proof() {
+    let path = write_cnf(
+        "unsat.cnf",
+        "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n",
+    );
+    let proof = std::env::temp_dir().join(format!("xsat-{}.drat", std::process::id()));
+    let out = xsat()
+        .arg(&path)
+        .args(["--proof", proof.to_str().unwrap(), "--verify"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(20));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("s UNSATISFIABLE"), "{stdout}");
+    assert!(stdout.contains("c proof VERIFIED"), "{stdout}");
+    let drat = std::fs::read_to_string(&proof).unwrap();
+    assert!(drat.trim_end().ends_with('0'), "{drat}");
+}
+
+#[test]
+fn conflict_limit_yields_unknown() {
+    // PHP(5,4): needs more than one conflict.
+    let var = |p: usize, h: usize| (p * 4 + h + 1) as i64;
+    let mut clauses = Vec::new();
+    for p in 0..5 {
+        clauses.push((0..4).map(|h| var(p, h).to_string()).collect::<Vec<_>>().join(" ") + " 0");
+    }
+    for h in 0..4 {
+        for p1 in 0..5 {
+            for p2 in p1 + 1..5 {
+                clauses.push(format!("-{} -{} 0", var(p1, h), var(p2, h)));
+            }
+        }
+    }
+    let body = format!("p cnf 20 {}\n{}\n", clauses.len(), clauses.join("\n"));
+    let path = write_cnf("php54.cnf", &body);
+    let out = xsat().arg(&path).args(["--limit", "1"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s UNKNOWN"));
+}
+
+#[test]
+fn bad_input_exits_2() {
+    let out = xsat().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let path = write_cnf("garbage.cnf", "p cnf x y\n");
+    let out = xsat().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = xsat().arg("/definitely/not/there.cnf").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,274 @@
+//! The explicit-CFG, breadth-first worklist formulation of TS.
+//!
+//! This matches the paper's description ("breadth-first searches on
+//! control flow graphs", "trades space for time": one full per-variable
+//! state vector is stored per CFG node). Results are identical to the
+//! structured walk in the crate root, which the tests verify.
+
+use std::collections::VecDeque;
+
+use taint_lattice::{Elem, Lattice};
+use webssari_ir::{AiCmd, AiProgram, AssertId, Site, VarId};
+
+use crate::{TsError, TsResult};
+
+#[derive(Clone, Debug)]
+enum Node {
+    Assign {
+        var: VarId,
+        base: Elem,
+        deps: Vec<VarId>,
+        mask: Option<Elem>,
+    },
+    Assert {
+        id: AssertId,
+        vars: Vec<VarId>,
+        bound: Elem,
+        strict: bool,
+        func: String,
+        site: Site,
+    },
+    Branch,
+    Halt,
+}
+
+struct Cfg {
+    nodes: Vec<Node>,
+    succs: Vec<Vec<usize>>,
+    entry: usize,
+}
+
+fn build_cfg(ai: &AiProgram) -> Cfg {
+    let mut nodes = vec![Node::Halt];
+    let mut succs = vec![Vec::new()];
+    let entry = build(&ai.cmds, 0, &mut nodes, &mut succs);
+    Cfg {
+        nodes,
+        succs,
+        entry,
+    }
+}
+
+fn build(
+    cmds: &[AiCmd],
+    cont: usize,
+    nodes: &mut Vec<Node>,
+    succs: &mut Vec<Vec<usize>>,
+) -> usize {
+    let mut next = cont;
+    for c in cmds.iter().rev() {
+        match c {
+            AiCmd::Assign {
+                var,
+                base,
+                deps,
+                mask,
+                ..
+            } => {
+                nodes.push(Node::Assign {
+                    var: *var,
+                    base: *base,
+                    deps: deps.clone(),
+                    mask: *mask,
+                });
+                succs.push(vec![next]);
+                next = nodes.len() - 1;
+            }
+            AiCmd::Assert {
+                id,
+                vars,
+                bound,
+                strict,
+                func,
+                site,
+            } => {
+                nodes.push(Node::Assert {
+                    id: *id,
+                    vars: vars.clone(),
+                    bound: *bound,
+                    strict: *strict,
+                    func: func.clone(),
+                    site: site.clone(),
+                });
+                succs.push(vec![next]);
+                next = nodes.len() - 1;
+            }
+            AiCmd::If {
+                then_cmds,
+                else_cmds,
+                ..
+            } => {
+                let t = build(then_cmds, next, nodes, succs);
+                let e = build(else_cmds, next, nodes, succs);
+                nodes.push(Node::Branch);
+                succs.push(vec![t, e]);
+                next = nodes.len() - 1;
+            }
+            // Figure 5 semantics: stop contributes `true`.
+            AiCmd::Stop { .. } => {}
+        }
+    }
+    next
+}
+
+/// Runs TS as a breadth-first worklist fixpoint over the explicit CFG.
+///
+/// Produces the same verdicts as [`analyze`](crate::analyze); errors are
+/// reported in assertion order.
+pub fn analyze_worklist(ai: &AiProgram, lattice: &impl Lattice) -> TsResult {
+    let cfg = build_cfg(ai);
+    let n = cfg.nodes.len();
+    let bottom = lattice.bottom();
+    // IN state per node; None = unreached.
+    let mut states: Vec<Option<Vec<Elem>>> = vec![None; n];
+    states[cfg.entry] = Some(vec![bottom; ai.vars.len()]);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(cfg.entry);
+    while let Some(node) = queue.pop_front() {
+        let in_state = states[node].clone().expect("queued nodes are reached");
+        let out_state = transfer(&cfg.nodes[node], lattice, in_state);
+        for &s in &cfg.succs[node] {
+            let changed = match &mut states[s] {
+                Some(existing) => {
+                    let mut any = false;
+                    for (e, o) in existing.iter_mut().zip(&out_state) {
+                        let joined = lattice.join(*e, *o);
+                        if joined != *e {
+                            *e = joined;
+                            any = true;
+                        }
+                    }
+                    any
+                }
+                slot @ None => {
+                    *slot = Some(out_state.clone());
+                    true
+                }
+            };
+            if changed {
+                queue.push_back(s);
+            }
+        }
+    }
+    // Evaluate assertions at their fixpoint IN states.
+    let mut errors: Vec<TsError> = Vec::new();
+    for (i, node) in cfg.nodes.iter().enumerate() {
+        let Node::Assert {
+            id,
+            vars,
+            bound,
+            strict,
+            func,
+            site,
+        } = node
+        else {
+            continue;
+        };
+        let Some(state) = &states[i] else {
+            continue; // unreachable assert
+        };
+        let ok = |t| {
+            if *strict {
+                lattice.lt(t, *bound)
+            } else {
+                lattice.leq(t, *bound)
+            }
+        };
+        let violating: Vec<VarId> = vars
+            .iter()
+            .copied()
+            .filter(|v| !ok(state[v.index()]))
+            .collect();
+        if !violating.is_empty() {
+            errors.push(TsError {
+                assert_id: *id,
+                func: func.clone(),
+                site: site.clone(),
+                violating_vars: violating,
+            });
+        }
+    }
+    errors.sort_by_key(|e| e.assert_id);
+    TsResult {
+        errors,
+        checked_assertions: ai.num_assertions(),
+    }
+}
+
+fn transfer(node: &Node, lattice: &impl Lattice, mut state: Vec<Elem>) -> Vec<Elem> {
+    if let Node::Assign {
+        var,
+        base,
+        deps,
+        mask,
+    } = node
+    {
+        let mut t = *base;
+        for d in deps {
+            t = lattice.join(t, state[d.index()]);
+        }
+        if let Some(m) = mask {
+            t = lattice.meet(t, *m);
+        }
+        state[var.index()] = t;
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use php_front::parse_source;
+    use taint_lattice::TwoPoint;
+    use webssari_ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
+
+    fn ai_of(src: &str) -> AiProgram {
+        let ast = parse_source(src).expect("parse");
+        let f = filter_program(
+            &ast,
+            src,
+            "t.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        abstract_interpret(&f)
+    }
+
+    #[test]
+    fn worklist_matches_structured_walk() {
+        let srcs = [
+            "<?php $x = $_GET['q']; echo $x;",
+            "<?php if ($c) { $x = $_GET['q']; } else { $x = 'ok'; } echo $x;",
+            "<?php $x = $_GET['q']; $x = 'clean'; echo $x;",
+            "<?php while ($r = mysql_fetch_array($h)) { echo $r; } echo $done;",
+            "<?php $a = $_GET['p']; if ($c) { $b = $a; } echo $b; mysql_query($b);",
+            "<?php echo 'nothing';",
+        ];
+        let l = TwoPoint::new();
+        for src in srcs {
+            let ai = ai_of(src);
+            let structured = analyze(&ai, &l);
+            let worklist = analyze_worklist(&ai, &l);
+            assert_eq!(structured.errors, worklist.errors, "{src}");
+        }
+    }
+
+    #[test]
+    fn diamond_merge_joins_states() {
+        let ai = ai_of(
+            "<?php if ($c) { $x = $_GET['q']; $y = 'a'; } else { $x = 'b'; $y = $_GET['p']; } echo $x, $y;",
+        );
+        let r = analyze_worklist(&ai, &TwoPoint::new());
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0].violating_vars.len(), 2);
+    }
+
+    #[test]
+    fn empty_program() {
+        let ai = ai_of("<?php $x = 1;");
+        let r = analyze_worklist(&ai, &TwoPoint::new());
+        assert!(r.is_safe());
+        assert_eq!(r.checked_assertions, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: verify a PHP snippet, read the grouped error report,
+//! and apply the automated patch.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use webssari::{instrument_bmc, Verifier};
+
+fn main() -> Result<(), webssari::VerifyError> {
+    let src = r#"<?php
+$sid = $_GET['sid'];
+$query = "SELECT * FROM groups WHERE sid=$sid";
+mysql_query($query);
+echo $sid;
+"#;
+    let verifier = Verifier::new();
+    let report = verifier.verify_source(src, "index.php")?;
+
+    println!("--- error report -------------------------------------------");
+    print!("{}", report.render_text());
+
+    println!("--- automated patch (BMC mode) -----------------------------");
+    let (patched, guards) = instrument_bmc(src, &report);
+    println!("{} guard(s) inserted:\n", guards.len());
+    println!("{patched}");
+
+    println!("--- assurance ----------------------------------------------");
+    let after = verifier.verify_source(&patched, "index.php")?;
+    if after.is_safe() {
+        println!("patched file VERIFIED: sound guarantee of no taint flows");
+    } else {
+        println!("patched file still vulnerable (unexpected)");
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The PHP Support Tickets stored-XSS case study (paper Figures 1–2).
+//!
+//! Ticket submission inserts unsanitized user input into the database;
+//! the ticket-display page later pulls it back out and builds HTML from
+//! it. Both halves are flagged: the INSERT as SQL injection, the
+//! display as cross-site scripting — because database reads are
+//! untrusted input channels (stored attacks).
+//!
+//! ```text
+//! cargo run --example support_tickets
+//! ```
+
+use webssari::php::SourceSet;
+use webssari::Verifier;
+
+fn main() {
+    let mut project = SourceSet::new();
+    // Figure 1 — ticket submission.
+    project.add_file(
+        "submit.php",
+        r#"<?php
+include 'db.php';
+$query = "INSERT INTO tickets_tickets(tickets_id, tickets_username, tickets_subject, tickets_question) VALUES('" . $_SESSION['username'] . "', '" . $_POST['ticketsubject'] . "', '" . $_POST['message'] . "')";
+$result = @mysql_query($query);
+"#,
+    );
+    // Figure 2 — ticket display.
+    project.add_file(
+        "view.php",
+        r#"<?php
+include 'db.php';
+$query = "SELECT tickets_id, tickets_username, tickets_subject FROM tickets_tickets";
+$result = @mysql_query($query);
+while ($row = @mysql_fetch_array($result)) {
+    extract($row);
+    echo "$tickets_username<BR>$tickets_subject<BR><BR>";
+}
+"#,
+    );
+    project.add_file(
+        "db.php",
+        "<?php\n$link = mysql_connect('localhost');\nmysql_select_db('tickets');\n",
+    );
+
+    let report = Verifier::new().verify_project(&project);
+    println!(
+        "project: {} files, {} statements, {} vulnerable file(s)\n",
+        report.files.len(),
+        report.num_statements(),
+        report.vulnerable_files()
+    );
+    for file in &report.files {
+        print!("{}", file.render_text());
+        println!();
+    }
+    println!(
+        "TS would insert {} guards; BMC inserts {} — the stored-XSS pair is",
+        report.ts_errors(),
+        report.bmc_groups()
+    );
+    println!("caught on both the write path (sqli) and the read path (xss).");
+}

@@ -1,0 +1,422 @@
+//! The WebSSARI command-line tool: verify PHP trees, print grouped
+//! error reports with counterexample traces, and apply runtime-guard
+//! patches.
+//!
+//! ```text
+//! webssari verify <path>… [--exact] [--prelude FILE] [--summary]
+//! webssari patch  <path>… [--mode bmc|ts] [--write] [--suffix SUF]
+//! webssari stages <file.php>
+//! ```
+//!
+//! `verify` exits nonzero when vulnerabilities are found, so the tool
+//! can gate CI. `patch` writes `<file><suffix>` next to each vulnerable
+//! file (or rewrites in place with `--write`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use webssari::ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
+use webssari::php::{parse_source, SourceSet};
+use webssari::{instrument_bmc, instrument_ts, Verifier, VerifierBuilder};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "verify" => cmd_verify(rest),
+        "patch" => cmd_patch(rest),
+        "stages" => cmd_stages(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+webssari — verify and patch PHP web applications (DSN'04 reproduction)
+
+USAGE:
+    webssari verify <path>... [--exact] [--prelude FILE] [--summary]
+    webssari patch  <path>... [--mode bmc|ts] [--write] [--suffix SUF]
+    webssari stages <file.php>
+
+COMMANDS:
+    verify   Check every .php file; print grouped reports with
+             counterexample traces. Exits 1 if vulnerabilities exist.
+    patch    Insert runtime sanitization guards. By default writes
+             <file>.patched.php; --write rewrites files in place.
+    stages   Print every pipeline stage for one file: F(p), AI(F(p)),
+             CNF sizes, and counterexamples. With --dimacs FILE the
+             renamed constraints are exported for external solvers.
+
+OPTIONS:
+    --exact          Use the exact (branch-and-bound) minimal fixing
+                     set instead of the greedy heuristic.
+    --multiclass     Multi-class taint policy: kind-specific sanitizers
+                     over the {xss, sqli, shell} powerset lattice.
+    --certify        Emit and re-check DRAT certificates for every
+                     assertion that holds (machine-checked soundness).
+    --min-guards     Weight the fixing set by introduction points, so
+                     patches minimize inserted guard lines.
+    --prelude FILE   Load extra UIC/SOC/sanitizer contracts (one per
+                     line: `uic f`, `soc f class [args=0,1]`,
+                     `sanitizer f`, `superglobal NAME`).
+    --summary        One line per file instead of full reports.
+    --html FILE      Also write a cross-referenced HTML report.
+    --mode bmc|ts    Guard placement strategy (default: bmc).
+    --suffix SUF     Patched-file suffix (default: .patched.php).
+    --write          Patch files in place.";
+
+struct CommonOptions {
+    paths: Vec<PathBuf>,
+    exact: bool,
+    multiclass: bool,
+    certify: bool,
+    min_guards: bool,
+    dimacs: Option<PathBuf>,
+    prelude_file: Option<PathBuf>,
+    summary: bool,
+    html: Option<PathBuf>,
+    mode: String,
+    suffix: String,
+    write: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<CommonOptions, String> {
+    let mut opts = CommonOptions {
+        paths: Vec::new(),
+        exact: false,
+        multiclass: false,
+        certify: false,
+        min_guards: false,
+        dimacs: None,
+        prelude_file: None,
+        summary: false,
+        html: None,
+        mode: "bmc".to_owned(),
+        suffix: ".patched.php".to_owned(),
+        write: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--exact" => opts.exact = true,
+            "--multiclass" => opts.multiclass = true,
+            "--certify" => opts.certify = true,
+            "--min-guards" => opts.min_guards = true,
+            "--dimacs" => {
+                opts.dimacs = Some(PathBuf::from(
+                    it.next().ok_or("--dimacs needs a file argument")?,
+                ));
+            }
+            "--summary" => opts.summary = true,
+            "--html" => {
+                opts.html = Some(PathBuf::from(
+                    it.next().ok_or("--html needs a file argument")?,
+                ));
+            }
+            "--write" => opts.write = true,
+            "--prelude" => {
+                opts.prelude_file = Some(PathBuf::from(
+                    it.next().ok_or("--prelude needs a file argument")?,
+                ));
+            }
+            "--mode" => {
+                let m = it.next().ok_or("--mode needs bmc|ts")?;
+                if m != "bmc" && m != "ts" {
+                    return Err(format!("--mode must be bmc or ts, got {m:?}"));
+                }
+                opts.mode = m.clone();
+            }
+            "--suffix" => {
+                opts.suffix = it.next().ok_or("--suffix needs an argument")?.clone();
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if opts.paths.is_empty() {
+        return Err("no input paths given".to_owned());
+    }
+    Ok(opts)
+}
+
+fn build_verifier(opts: &CommonOptions) -> Result<Verifier, String> {
+    let mut builder = VerifierBuilder::new();
+    let mut prelude = if opts.multiclass {
+        let (_, p) = Prelude::multiclass();
+        builder = builder.multiclass();
+        p
+    } else {
+        Prelude::standard()
+    };
+    if let Some(file) = &opts.prelude_file {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read prelude {}: {e}", file.display()))?;
+        prelude
+            .extend_from_str(&text)
+            .map_err(|e| format!("bad prelude {}: {e}", file.display()))?;
+    }
+    // Install the (possibly extended) prelude; after `.multiclass()`
+    // this keeps the multi-class policy but carries the extensions.
+    builder = builder.prelude(prelude);
+    Ok(builder
+        .exact_fixing_set(opts.exact)
+        .certify(opts.certify)
+        .minimize_guard_lines(opts.min_guards)
+        .build())
+}
+
+/// Collects `.php` files under the given paths into a [`SourceSet`]
+/// keyed by paths relative to the closest given root.
+fn collect_sources(paths: &[PathBuf]) -> Result<(SourceSet, Vec<(String, PathBuf)>), String> {
+    let mut set = SourceSet::new();
+    let mut mapping = Vec::new();
+    for root in paths {
+        if root.is_file() {
+            add_file(root, root.file_name().unwrap().to_string_lossy().as_ref(), &mut set, &mut mapping)?;
+        } else if root.is_dir() {
+            walk(root, root, &mut set, &mut mapping)?;
+        } else {
+            return Err(format!("{}: no such file or directory", root.display()));
+        }
+    }
+    Ok((set, mapping))
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    set: &mut SourceSet,
+    mapping: &mut Vec<(String, PathBuf)>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            walk(root, &path, set, mapping)?;
+        } else if path.extension().is_some_and(|e| e == "php") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            add_file(&path, &rel, set, mapping)?;
+        }
+    }
+    Ok(())
+}
+
+fn add_file(
+    path: &Path,
+    name: &str,
+    set: &mut SourceSet,
+    mapping: &mut Vec<(String, PathBuf)>,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    set.add_file(name, text);
+    mapping.push((name.to_owned(), path.to_owned()));
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let verifier = match build_verifier(&opts) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let (sources, _) = match collect_sources(&opts.paths) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    if sources.is_empty() {
+        return fail("no .php files found");
+    }
+    let report = verifier.verify_project(&sources);
+    if opts.summary {
+        for file in &report.files {
+            println!(
+                "{:<40} {:>6} stmts {:>4} TS {:>4} BMC {}",
+                file.file,
+                file.num_statements,
+                file.ts_instrumentations(),
+                file.bmc_instrumentations(),
+                if file.is_safe() { "ok" } else { "VULNERABLE" }
+            );
+        }
+    } else {
+        for file in &report.files {
+            print!("{}", file.render_text());
+            println!();
+        }
+    }
+    for (file, err) in &report.failed_files {
+        eprintln!("SKIPPED {file}: {err}");
+    }
+    if opts.certify {
+        let mut total = 0usize;
+        let mut ok = 0usize;
+        for file in &report.files {
+            total += file.bmc.certificates.len();
+            match file.bmc.verify_certificates() {
+                Ok(n) => ok += n,
+                Err((id, e)) => {
+                    eprintln!("{}: certificate for assertion {id:?} FAILED: {e}", file.file)
+                }
+            }
+        }
+        println!("certified assertions: {total} (independently re-checked: {ok})");
+    }
+    if let Some(html_path) = &opts.html {
+        let html = webssari::render_html(&report, &sources);
+        if let Err(e) = std::fs::write(html_path, html) {
+            return fail(&format!("cannot write {}: {e}", html_path.display()));
+        }
+        println!("HTML report written to {}", html_path.display());
+    }
+    println!(
+        "{} file(s), {} statements; {} vulnerable file(s); TS errors {}, BMC groups {}{}",
+        report.files.len(),
+        report.num_statements(),
+        report.vulnerable_files(),
+        report.ts_errors(),
+        report.bmc_groups(),
+        report
+            .reduction()
+            .map(|r| format!(" (instrumentation reduction {:.1}%)", r * 100.0))
+            .unwrap_or_default(),
+    );
+    if report.is_vulnerable() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_patch(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let verifier = match build_verifier(&opts) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let (sources, mapping) = match collect_sources(&opts.paths) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let report = verifier.verify_project(&sources);
+    let mut patched_count = 0usize;
+    for file in report.files.iter().filter(|f| !f.is_safe()) {
+        let src = sources.file(&file.file).expect("verified file exists");
+        let (patched, guards) = if opts.mode == "ts" {
+            instrument_ts(src, file)
+        } else {
+            instrument_bmc(src, file)
+        };
+        let Some((_, disk_path)) = mapping.iter().find(|(n, _)| n == &file.file) else {
+            continue;
+        };
+        let out_path = if opts.write {
+            disk_path.clone()
+        } else {
+            let mut p = disk_path.as_os_str().to_owned();
+            p.push(&opts.suffix);
+            PathBuf::from(p)
+        };
+        if let Err(e) = std::fs::write(&out_path, &patched) {
+            return fail(&format!("cannot write {}: {e}", out_path.display()));
+        }
+        println!(
+            "{}: {} guard(s) -> {}",
+            file.file,
+            guards.len(),
+            out_path.display()
+        );
+        patched_count += 1;
+    }
+    println!("patched {patched_count} file(s)");
+    ExitCode::SUCCESS
+}
+
+fn cmd_stages(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let [path] = opts.paths.as_slice() else {
+        return fail("stages takes exactly one file");
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {}: {e}", path.display())),
+    };
+    let ast = match parse_source(&src) {
+        Ok(p) => p,
+        Err(e) => return fail(&format!("parse error: {e}")),
+    };
+    let prelude = Prelude::standard();
+    let name = path.file_name().unwrap().to_string_lossy();
+    let f = filter_program(&ast, &src, &name, &prelude, &FilterOptions::default());
+    println!("--- F(p) ---------------------------------------------------");
+    println!("{f}");
+    let ai = abstract_interpret(&f);
+    println!("--- AI(F(p)) -----------------------------------------------");
+    println!("{ai}");
+    println!(
+        "diameter {}, |BN| = {}, {} assertion(s)",
+        ai.diameter(),
+        ai.num_branches,
+        ai.num_assertions()
+    );
+    let enc = webssari::bmc::renaming::encode(&ai, &webssari::lattice::TwoPoint::new());
+    println!(
+        "renamed constraints: {} CNF vars, {} clauses",
+        enc.formula.num_vars(),
+        enc.formula.num_clauses()
+    );
+    if let Some(out_path) = &opts.dimacs {
+        match std::fs::File::create(out_path) {
+            Ok(mut f) => {
+                if let Err(e) = webssari::cnf::write_dimacs(&mut f, &enc.formula) {
+                    return fail(&format!("cannot write {}: {e}", out_path.display()));
+                }
+                println!("DIMACS written to {} (solve with xsat)", out_path.display());
+            }
+            Err(e) => return fail(&format!("cannot create {}: {e}", out_path.display())),
+        }
+    }
+    let result = webssari::bmc::Xbmc::new(&ai).check_all();
+    println!("--- counterexamples ------------------------------------------");
+    if result.counterexamples.is_empty() {
+        println!("none — every assertion holds (sound guarantee)");
+    }
+    for cx in &result.counterexamples {
+        print!("{}", cx.render(&ai));
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("webssari: {message}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,93 @@
+//! # WebSSARI/xBMC — a reproduction of *Verifying Web Applications
+//! Using Bounded Model Checking* (DSN 2004)
+//!
+//! This umbrella crate re-exports the reproduction's subsystems:
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`php`] | `php-front` | lexer, parser, AST, include resolution |
+//! | [`lattice`] | `taint-lattice` | security-type lattices (Denning model) |
+//! | [`ir`] | `webssari-ir` | filter `F(p)`, preludes, abstract interpretation `AI(F(p))` |
+//! | [`cnf`] | `cnf` | CNF formulas, Tseitin builder, DIMACS |
+//! | [`sat`] | `sat` | CDCL SAT solver (ZChaff stand-in) |
+//! | [`bmc`] | `xbmc` | bounded model checker, both encodings, counterexample enumeration |
+//! | [`fixes`] | `fixes` | replacement sets, MINIMUM-INTERSECTING-SET, greedy/exact solvers |
+//! | [`ts`] | `typestate` | the TS baseline (flow-sensitive taint dataflow) |
+//! | [`core`] | `webssari-core` | the [`Verifier`] pipeline, reports, instrumentor |
+//! | [`corpus_gen`] | `corpus` | calibrated synthetic SourceForge corpus |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use webssari::Verifier;
+//!
+//! let src = r#"<?php
+//! $sid = $_GET['sid'];
+//! $q = "SELECT * FROM groups WHERE sid=$sid";
+//! mysql_query($q);
+//! "#;
+//! let report = Verifier::new().verify_source(src, "index.php")?;
+//! assert!(!report.is_safe());
+//! // The SQL injection is reported as one group, rooted at $sid.
+//! assert_eq!(report.vulnerabilities[0].class, "sqli");
+//! assert_eq!(report.vulnerabilities[0].root_var, "sid");
+//! # Ok::<(), webssari::VerifyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use webssari_core::{
+    instrument_bmc, instrument_ts, render_html, FileReport, Instrumentation, ProjectReport,
+    Verifier, VerifierBuilder, VerifyError, Vulnerability,
+};
+
+/// PHP front end: lexer, parser, AST, includes.
+pub mod php {
+    pub use php_front::*;
+}
+
+/// Security-type lattices.
+pub mod lattice {
+    pub use taint_lattice::*;
+}
+
+/// Filtered command language and abstract interpretation.
+pub mod ir {
+    pub use webssari_ir::*;
+}
+
+/// CNF formula layer.
+pub mod cnf {
+    pub use ::cnf::*;
+}
+
+/// CDCL SAT solver.
+pub mod sat {
+    pub use ::sat::*;
+}
+
+/// Bounded model checking (xBMC).
+pub mod bmc {
+    pub use xbmc::*;
+}
+
+/// Counterexample analysis and minimal fixing sets.
+pub mod fixes {
+    pub use ::fixes::*;
+}
+
+/// The typestate baseline.
+pub mod ts {
+    pub use typestate::*;
+}
+
+/// The full pipeline (same items as the crate root).
+pub mod core {
+    pub use webssari_core::*;
+}
+
+/// Synthetic corpus generation.
+pub mod corpus_gen {
+    pub use corpus::*;
+}

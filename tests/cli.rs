@@ -1,0 +1,178 @@
+//! End-to-end tests of the `webssari` command-line tool, driving the
+//! real binary against real files on disk.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn webssari() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_webssari"))
+}
+
+/// Creates a scratch project directory; returns its path.
+fn scratch(files: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "webssari-cli-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    for (name, body) in files {
+        let path = dir.join(name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create parent");
+        }
+        std::fs::write(path, body).expect("write file");
+    }
+    dir
+}
+
+const VULN: &str = "<?php\n$sid = $_GET['sid'];\n$q = \"WHERE sid=$sid\";\nmysql_query($q);\n";
+const SAFE: &str = "<?php\necho 'hello';\n";
+
+#[test]
+fn verify_exits_nonzero_on_findings_and_zero_when_clean() {
+    let dir = scratch(&[("index.php", VULN), ("safe.php", SAFE)]);
+    let out = webssari()
+        .args(["verify", dir.to_str().unwrap(), "--summary"])
+        .output()
+        .expect("run webssari");
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VULNERABLE"), "{stdout}");
+    assert!(stdout.contains("safe.php"), "{stdout}");
+
+    let clean = scratch(&[("safe.php", SAFE)]);
+    let out = webssari()
+        .args(["verify", clean.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn patch_then_verify_round_trip() {
+    let dir = scratch(&[("index.php", VULN)]);
+    let out = webssari()
+        .args(["patch", dir.to_str().unwrap(), "--write"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let patched = std::fs::read_to_string(dir.join("index.php")).unwrap();
+    assert!(patched.contains("webssari_sanitize"), "{patched}");
+    let out = webssari()
+        .args(["verify", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "patched tree must verify clean");
+}
+
+#[test]
+fn patch_with_suffix_leaves_original() {
+    let dir = scratch(&[("index.php", VULN)]);
+    let out = webssari()
+        .args(["patch", dir.to_str().unwrap(), "--suffix", ".fixed"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(std::fs::read_to_string(dir.join("index.php")).unwrap(), VULN);
+    assert!(dir.join("index.php.fixed").exists());
+}
+
+#[test]
+fn html_report_is_written() {
+    let dir = scratch(&[("index.php", VULN)]);
+    let report = dir.join("report.html");
+    let out = webssari()
+        .args([
+            "verify",
+            dir.to_str().unwrap(),
+            "--html",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let html = std::fs::read_to_string(&report).unwrap();
+    assert!(html.contains("WebSSARI verification report"));
+    assert!(html.contains("class='line sink'"));
+}
+
+#[test]
+fn certify_reports_checked_certificates() {
+    let dir = scratch(&[("safe.php", "<?php\necho htmlspecialchars($_GET['m']);\n$n = intval($_GET['n']);\nmysql_query(\"LIMIT $n\");\n")]);
+    let out = webssari()
+        .args(["verify", dir.to_str().unwrap(), "--certify", "--summary"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("certified assertions: 1 (independently re-checked: 1)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn multiclass_flag_changes_the_verdict() {
+    let dir = scratch(&[("wrong.php", "<?php\n$n = addslashes($_GET['n']);\necho $n;\n")]);
+    let out = webssari()
+        .args(["verify", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "two-point policy is blind here");
+    let out = webssari()
+        .args(["verify", dir.to_str().unwrap(), "--multiclass"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "multi-class policy must flag it");
+}
+
+#[test]
+fn custom_prelude_declares_new_contracts() {
+    let dir = scratch(&[
+        ("app.php", "<?php\n$body = read_feed('u');\ntemplate_render($body);\n"),
+        ("contracts.txt", "uic read_feed\nsoc template_render xss\n"),
+    ]);
+    // Without the prelude: read_feed is unknown (propagates nothing
+    // tainted), template_render is not a sink.
+    let out = webssari()
+        .args(["verify", dir.join("app.php").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let out = webssari()
+        .args([
+            "verify",
+            dir.join("app.php").to_str().unwrap(),
+            "--prelude",
+            dir.join("contracts.txt").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn stages_prints_the_pipeline() {
+    let dir = scratch(&[("f.php", VULN)]);
+    let out = webssari()
+        .args(["stages", dir.join("f.php").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("F(p)"), "{stdout}");
+    assert!(stdout.contains("AI(F(p))"), "{stdout}");
+    assert!(stdout.contains("violation of"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = webssari().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = webssari().args(["verify"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = webssari().args(["frobnicate", "/tmp"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,109 @@
+//! End-to-end assurance: verify → instrument → re-verify, over a range
+//! of vulnerable fixtures. "A piece of Web application code will be
+//! secured immediately after WebSSARI processing even in the absence of
+//! programmer intervention."
+
+use webssari::{instrument_bmc, instrument_ts, Verifier};
+
+const FIXTURES: &[(&str, &str)] = &[
+    (
+        "direct_get_echo",
+        "<?php\n$m = $_GET['m'];\necho $m;\n",
+    ),
+    (
+        "fanout",
+        "<?php\n$sid = $_GET['sid'];\n$a = $sid;\nDoSQL($a);\n$b = $sid;\nDoSQL($b);\n$c = $sid;\necho $c;\n",
+    ),
+    (
+        "two_sources",
+        "<?php\n$u = $_GET['u'];\n$p = $_POST['p'];\necho $u;\nmysql_query($p);\n",
+    ),
+    (
+        "branch_taint",
+        "<?php\n$x = 'safe';\nif ($c) {\n$x = $_GET['q'];\n}\necho $x;\n",
+    ),
+    (
+        "loop_fetch",
+        "<?php\n$r = mysql_query('SELECT a FROM t');\nwhile ($row = mysql_fetch_array($r)) {\necho $row;\n}\n",
+    ),
+    (
+        "referer",
+        "<?php\n$ref = $HTTP_REFERER;\n$sql = \"INSERT INTO log VALUES('$ref')\";\nmysql_query($sql);\n",
+    ),
+    (
+        "concat_chain",
+        "<?php\n$base = $_COOKIE['t'];\n$q = 'SELECT ' . $base;\n$q2 = $q . ' LIMIT 1';\nDoSQL($q2);\n",
+    ),
+    (
+        "exec_command",
+        "<?php\n$cmd = $_GET['c'];\nexec($cmd, $lines);\n",
+    ),
+];
+
+#[test]
+fn bmc_patching_secures_every_fixture() {
+    let verifier = Verifier::new();
+    for (name, src) in FIXTURES {
+        let report = verifier.verify_source(src, name).unwrap();
+        assert!(!report.is_safe(), "{name} must be vulnerable before patching");
+        let (patched, guards) = instrument_bmc(src, &report);
+        assert!(!guards.is_empty(), "{name} must get at least one guard");
+        let after = verifier.verify_source(&patched, name).unwrap();
+        assert!(
+            after.is_safe(),
+            "{name} must verify clean after BMC patching:\n{patched}\n{}",
+            after.render_text()
+        );
+    }
+}
+
+#[test]
+fn ts_patching_secures_every_fixture() {
+    let verifier = Verifier::new();
+    for (name, src) in FIXTURES {
+        let report = verifier.verify_source(src, name).unwrap();
+        let (patched, guards) = instrument_ts(src, &report);
+        assert!(!guards.is_empty(), "{name}");
+        let after = verifier.verify_source(&patched, name).unwrap();
+        assert!(
+            after.is_safe(),
+            "{name} must verify clean after TS patching:\n{patched}"
+        );
+    }
+}
+
+#[test]
+fn bmc_reports_no_more_groups_than_ts_symptoms() {
+    // The paper's reduction claim at fixture scale: the number of BMC
+    // error groups (root causes) never exceeds the number of TS
+    // symptoms, and the inserted guard count tracks the groups (one
+    // guard per tainting introduction point of each root cause).
+    let verifier = Verifier::new();
+    for (name, src) in FIXTURES {
+        let report = verifier.verify_source(src, name).unwrap();
+        assert!(
+            report.bmc_instrumentations() <= report.ts_instrumentations(),
+            "{name}: groups {} vs symptoms {}",
+            report.bmc_instrumentations(),
+            report.ts_instrumentations()
+        );
+        let (_, ts_guards) = instrument_ts(src, &report);
+        let (_, bmc_guards) = instrument_bmc(src, &report);
+        assert!(bmc_guards.len() >= report.bmc_instrumentations(), "{name}");
+        assert!(!ts_guards.is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn patched_sources_remain_parseable_and_stable() {
+    // Patching an already-clean file is the identity (no guards).
+    let verifier = Verifier::new();
+    for (name, src) in FIXTURES {
+        let report = verifier.verify_source(src, name).unwrap();
+        let (patched, _) = instrument_bmc(src, &report);
+        let report2 = verifier.verify_source(&patched, name).unwrap();
+        let (patched2, guards2) = instrument_bmc(&patched, &report2);
+        assert!(guards2.is_empty(), "{name}: re-patching must be a no-op");
+        assert_eq!(patched.trim_end(), patched2.trim_end(), "{name}");
+    }
+}

@@ -1,0 +1,111 @@
+//! E4 — the Figure 6 translation pipeline, end to end: PHP source →
+//! filtered result → abstract interpretation → renamed constraints →
+//! per-assertion formulas B1/B2 → counterexamples.
+
+use webssari::bmc::{renaming, Xbmc};
+use webssari::ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
+use webssari::lattice::{Lattice, TwoPoint};
+use webssari::php::parse_source;
+
+const FIG6: &str = r#"<?php
+if (Nick) {
+    $tmp = $_GET['nick'];
+    echo $tmp;
+} else {
+    $tmp = "You are the " . $GuestCount . " guest";
+    echo $tmp;
+}
+"#;
+
+fn pipeline() -> (webssari::ir::FProgram, webssari::ir::AiProgram) {
+    let ast = parse_source(FIG6).expect("Figure 6 parses");
+    let f = filter_program(
+        &ast,
+        FIG6,
+        "guestbook.php",
+        &Prelude::standard(),
+        &FilterOptions::default(),
+    );
+    let ai = abstract_interpret(&f);
+    (f, ai)
+}
+
+#[test]
+fn filtered_result_keeps_only_information_flow() {
+    let (f, _) = pipeline();
+    // One if, two assignments to $tmp, two SOC calls, one UIC init.
+    assert_eq!(f.num_socs(), 2);
+    let text = f.to_string();
+    assert!(text.contains("if * then"));
+    assert!(text.contains("$tmp :="));
+    assert!(text.contains("echo($tmp) requires <"));
+}
+
+#[test]
+fn abstract_interpretation_is_loop_free_with_two_assertions() {
+    let (_, ai) = pipeline();
+    assert_eq!(ai.num_assertions(), 2);
+    assert_eq!(ai.num_branches, 1);
+    // Fixed diameter: the property that makes BMC complete here.
+    assert!(ai.diameter() >= 3);
+    let rendered = ai.to_string();
+    assert!(rendered.contains("if b0 then"));
+    assert!(rendered.contains("assert("));
+}
+
+#[test]
+fn renaming_assigns_each_incarnation_once() {
+    let (_, ai) = pipeline();
+    let enc = renaming::encode(&ai, &TwoPoint::new());
+    // Incarnations: initial ⊥ per variable + one per assignment
+    // (the _GET init, and $tmp on each branch).
+    assert_eq!(enc.num_incarnations, ai.vars.len() + 3);
+    assert_eq!(enc.asserts.len(), 2);
+    // Figure 6's B1 and B2 share the renamed prefix; both see branch b0.
+    assert_eq!(enc.asserts[0].relevant_branches.len(), 1);
+    assert_eq!(enc.asserts[1].relevant_branches.len(), 1);
+}
+
+#[test]
+fn b1_is_satisfiable_and_b2_is_not() {
+    let (_, ai) = pipeline();
+    let result = Xbmc::new(&ai).check_all();
+    assert_eq!(result.checked_assertions, 2);
+    assert_eq!(result.violated_assertions, 1);
+    assert_eq!(result.counterexamples.len(), 1);
+    let cx = &result.counterexamples[0];
+    // The violating path takes the then branch (b_Nick = true), and the
+    // violating variable is $tmp.
+    assert_eq!(cx.branches, vec![true]);
+    assert_eq!(ai.vars.name(cx.violating_vars[0]), "tmp");
+    // The trace shows the tainting assignment at line 3.
+    assert!(cx.trace.iter().any(|s| s.site.line == 3));
+}
+
+#[test]
+fn sanitized_figure6_verifies_clean() {
+    // With the paper's htmlspecialchars in place, both assertions hold.
+    let src = FIG6.replace("echo $tmp;\n} else", "echo htmlspecialchars($tmp);\n} else");
+    let ast = parse_source(&src).unwrap();
+    let f = filter_program(
+        &ast,
+        &src,
+        "guestbook.php",
+        &Prelude::standard(),
+        &FilterOptions::default(),
+    );
+    let ai = abstract_interpret(&f);
+    let result = Xbmc::new(&ai).check_all();
+    assert!(result.is_safe());
+}
+
+#[test]
+fn reference_interpreter_agrees_with_bmc_on_fig6() {
+    let (_, ai) = pipeline();
+    let l = TwoPoint::new();
+    let violations_then = webssari::ir::ai::reference::run_path(&ai, &l, &[true], false);
+    let violations_else = webssari::ir::ai::reference::run_path(&ai, &l, &[false], false);
+    assert_eq!(violations_then.len(), 1);
+    assert!(violations_else.is_empty());
+    assert!(l.lt(l.bottom(), l.top()));
+}

@@ -1,0 +1,10 @@
+<?php
+include '../lib/db.php';
+db_connect();
+// BUG: the referrer is attacker-controlled (paper Figure 3's pattern).
+$log = "INSERT INTO audit_log(source) VALUES('$HTTP_REFERER')";
+mysql_query($log);
+$before = intval($_GET['before']);
+// Correct: intval() makes the id trusted.
+mysql_query("DELETE FROM entries WHERE posted_at < $before");
+echo 'Purged entries before ' . $before;

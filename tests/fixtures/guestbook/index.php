@@ -1,0 +1,23 @@
+<?php
+include 'lib/db.php';
+include 'lib/html.php';
+db_connect();
+render_header('Guestbook');
+$page = intval($_GET['page']);
+$result = db_get_entries(10 + $page * 10);
+?>
+<ul>
+<?php while ($row = mysql_fetch_array($result)): ?>
+<li>
+<?php
+// BUG: stored XSS — DB contents rendered without escaping.
+echo "<b>$row[author]</b>: $row[message]";
+?>
+</li>
+<?php endwhile; ?>
+</ul>
+<?php
+// Correct: user-controlled search term is escaped before display.
+$term = $_GET['q'];
+echo '<p>You searched for: ' . h($term) . '</p>';
+render_footer();

@@ -1,0 +1,17 @@
+<?php
+// Database helpers for the guestbook.
+function db_connect() {
+    $link = mysql_connect('localhost', 'guestbook', 'secret');
+    mysql_select_db('guestbook');
+    return $link;
+}
+
+function db_escape($value) {
+    return mysql_real_escape_string($value);
+}
+
+function db_get_entries($limit) {
+    $n = intval($limit);
+    $result = mysql_query("SELECT author, message, posted_at FROM entries ORDER BY posted_at DESC LIMIT $n");
+    return $result;
+}

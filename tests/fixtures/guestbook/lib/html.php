@@ -1,0 +1,15 @@
+<?php
+// Presentation helpers.
+function h($text) {
+    return htmlspecialchars($text);
+}
+
+function render_header($title) {
+    echo '<html><head><title>';
+    echo h($title);
+    echo '</title></head><body>';
+}
+
+function render_footer() {
+    echo '</body></html>';
+}

@@ -1,0 +1,14 @@
+<?php
+include 'lib/db.php';
+include 'lib/html.php';
+db_connect();
+$author = $_POST['author'];
+$message = $_POST['message'];
+// BUG: SQL injection — $author is escaped, $message is not.
+$safe_author = db_escape($author);
+$sql = "INSERT INTO entries(author, message) VALUES('$safe_author', '$message')";
+mysql_query($sql);
+// BUG: reflected XSS in the confirmation.
+echo "Thanks for signing, $author!";
+// Correct: redirect target is a constant.
+header('Location: index.php');

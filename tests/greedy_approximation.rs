@@ -1,0 +1,100 @@
+//! E8 — the greedy heuristic's quality (§3.3.4): Chvátal's set-cover
+//! greedy stays within `1 + ln |S|` of the exact minimum intersecting
+//! set, and the vertex-cover reduction used in the NP-completeness
+//! proof preserves optima.
+
+use proptest::prelude::*;
+use webssari::fixes::vertex_cover::Graph;
+use webssari::fixes::MisInstance;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn greedy_is_feasible_and_within_chvatal_bound(
+        sets in prop::collection::vec(prop::collection::vec(0usize..10, 1..5), 1..10)
+    ) {
+        let inst = MisInstance::from_sets(sets);
+        let greedy = inst.greedy();
+        let exact = inst.exact();
+        prop_assert!(inst.is_intersecting(&greedy));
+        prop_assert!(inst.is_intersecting(&exact));
+        prop_assert!(exact.len() <= greedy.len());
+        let bound = (1.0 + (inst.len() as f64).ln()) * exact.len() as f64;
+        prop_assert!(greedy.len() as f64 <= bound + 1e-9);
+    }
+
+    #[test]
+    fn exact_is_minimal_by_brute_force(
+        sets in prop::collection::vec(prop::collection::vec(0usize..6, 1..4), 1..6)
+    ) {
+        let inst = MisInstance::from_sets(sets);
+        let exact = inst.exact();
+        // No smaller subset of the universe intersects everything.
+        let universe: Vec<usize> = inst.universe().into_iter().collect();
+        prop_assume!(universe.len() <= 12);
+        for mask in 0u32..(1 << universe.len()) {
+            let candidate: Vec<usize> = universe
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect();
+            if candidate.len() < exact.len() {
+                prop_assert!(
+                    !inst.is_intersecting(&candidate),
+                    "found a smaller intersecting set than `exact`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_cover_reduction_preserves_optimum(
+        n in 2usize..7,
+        edge_bits in any::<u64>(),
+    ) {
+        let mut edges = Vec::new();
+        let mut bit = 0;
+        for u in 0..n {
+            for v in u + 1..n {
+                if edge_bits >> (bit % 64) & 1 == 1 {
+                    edges.push((u, v));
+                }
+                bit += 1;
+            }
+        }
+        prop_assume!(!edges.is_empty());
+        let g = Graph::new(n, edges);
+        let vc = g.min_vertex_cover();
+        let mis = g.to_mis().exact();
+        prop_assert_eq!(vc.len(), mis.len());
+    }
+}
+
+/// The classic greedy-vs-optimal gap family: universes where greedy's
+/// ratio genuinely approaches ln n. Greedy must stay within the bound
+/// even where it is provably suboptimal.
+#[test]
+fn greedy_gap_family_respects_bound() {
+    // Columns {a_j, b_j} plus rows of increasing size that tempt greedy.
+    // Classic construction over 2×k grid.
+    for k in [2usize, 4, 8] {
+        let a = 0usize; // row a covers columns 0..k
+        let b = 1usize; // row b covers columns 0..k
+        // Element 2+j is the "tempting" decoy covering column j only.
+        let sets: Vec<Vec<usize>> = (0..2 * k)
+            .map(|col| {
+                let row = if col % 2 == 0 { a } else { b };
+                vec![row, 2 + col / 2]
+            })
+            .collect();
+        let inst = MisInstance::from_sets(sets);
+        let exact = inst.exact();
+        assert_eq!(exact.len(), 2, "rows a and b always suffice");
+        let greedy = inst.greedy();
+        assert!(inst.is_intersecting(&greedy));
+        let bound = (1.0 + (inst.len() as f64).ln()) * 2.0;
+        assert!(greedy.len() as f64 <= bound);
+    }
+}

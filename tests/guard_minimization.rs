@@ -1,0 +1,82 @@
+//! Guard-line minimization (extension of §3.3.4's equal-cost set
+//! cover): when a root cause has several introduction points, patching
+//! a single downstream chain variable can need fewer guard *lines*
+//! than patching the root, and the weighted planner finds that.
+
+use webssari::{instrument_bmc, Verifier, VerifierBuilder};
+
+/// `$sid` is introduced on two paths (GET and POST); everything flows
+/// through the single assignment to `$q`.
+const TWO_INTROS: &str = "<?php\n\
+$sid = $_GET['sid'];\n\
+if (!$sid) {\n\
+$sid = $_POST['sid'];\n\
+}\n\
+$q = \"SELECT * FROM s WHERE sid=$sid\";\n\
+DoSQL($q);\n";
+
+#[test]
+fn default_planner_prefers_the_root() {
+    let report = Verifier::new().verify_source(TWO_INTROS, "f.php").unwrap();
+    let names: Vec<&str> = report
+        .fix_plan
+        .fix_vars
+        .iter()
+        .map(|v| report.ai.vars.name(*v))
+        .collect();
+    assert_eq!(names, vec!["sid"]);
+    let (_, guards) = instrument_bmc(TWO_INTROS, &report);
+    assert_eq!(guards.len(), 2, "the root has two introduction points");
+}
+
+#[test]
+fn weighted_planner_minimizes_inserted_guards() {
+    let verifier = VerifierBuilder::new().minimize_guard_lines(true).build();
+    let report = verifier.verify_source(TWO_INTROS, "f.php").unwrap();
+    assert_eq!(report.bmc_instrumentations(), 1);
+    let names: Vec<&str> = report
+        .fix_plan
+        .fix_vars
+        .iter()
+        .map(|v| report.ai.vars.name(*v))
+        .collect();
+    assert_eq!(names, vec!["q"], "one guard at $q beats two at $sid");
+    let (patched, guards) = instrument_bmc(TWO_INTROS, &report);
+    assert_eq!(guards.len(), 1);
+    let after = verifier.verify_source(&patched, "f.php").unwrap();
+    assert!(after.is_safe(), "{patched}");
+}
+
+#[test]
+fn weighted_planner_matches_default_when_costs_are_flat() {
+    // Single introduction per variable: both planners pick the root.
+    let src = "<?php\n$sid = $_GET['sid'];\n$a = $sid;\nDoSQL($a);\n$b = $sid;\nDoSQL($b);\n";
+    let default = Verifier::new().verify_source(src, "f.php").unwrap();
+    let weighted = VerifierBuilder::new()
+        .minimize_guard_lines(true)
+        .build()
+        .verify_source(src, "f.php")
+        .unwrap();
+    assert_eq!(
+        default.fix_plan.fix_vars, weighted.fix_plan.fix_vars,
+        "flat costs reduce to the unweighted problem"
+    );
+}
+
+#[test]
+fn weighted_patches_are_still_effective_on_fixtures() {
+    let fixtures = [
+        TWO_INTROS,
+        "<?php\n$x = $_GET['a'];\necho $x;\nmysql_query($x);\n",
+        "<?php\nif ($c) { $v = $_GET['p']; } else { $v = $HTTP_REFERER; }\n$w = $v;\necho $w;\n",
+    ];
+    let verifier = VerifierBuilder::new().minimize_guard_lines(true).build();
+    for src in fixtures {
+        let report = verifier.verify_source(src, "f.php").unwrap();
+        assert!(!report.is_safe());
+        let (patched, guards) = instrument_bmc(src, &report);
+        assert!(!guards.is_empty());
+        let after = verifier.verify_source(&patched, "f.php").unwrap();
+        assert!(after.is_safe(), "{src}\n->\n{patched}");
+    }
+}

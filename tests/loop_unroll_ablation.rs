@@ -1,0 +1,83 @@
+//! Ablation: the paper's single loop unfolding (Figure 4) versus
+//! deeper unrolling. One unfolding misses multi-step propagation
+//! chains through loop bodies; unroll = k catches chains up to length
+//! k. This is the reproduction's documented extension of the paper's
+//! loop rule.
+
+use webssari::{Verifier, VerifierBuilder};
+
+/// A k-step relay through a loop body: taint reaches `$a` only after
+/// k iterations.
+fn relay(k: usize) -> String {
+    // Anti-dependency order: $v1 = $v2 runs before $v2 = $v3, so each
+    // iteration advances the taint only one hop.
+    let mut body = String::new();
+    for i in 1..k {
+        body.push_str(&format!("$v{} = $v{};\n", i, i + 1));
+    }
+    format!(
+        "<?php\n$v{k} = $_GET['x'];\nwhile ($c) {{\n{body}}}\necho $v1;\n"
+    )
+}
+
+#[test]
+fn paper_rule_catches_single_step_chains() {
+    let src = relay(1);
+    let report = Verifier::new().verify_source(&src, "relay.php").unwrap();
+    assert!(!report.is_safe());
+}
+
+#[test]
+fn paper_rule_misses_two_step_chains() {
+    // The documented imprecision of Figure 4's `while → if` rule.
+    let src = relay(3);
+    let paper = Verifier::new().verify_source(&src, "relay.php").unwrap();
+    assert!(
+        paper.is_safe(),
+        "single unfolding cannot see the 2-step relay"
+    );
+}
+
+#[test]
+fn unrolling_recovers_deeper_chains() {
+    let src = relay(3);
+    for unroll in [2usize, 3, 4] {
+        let report = VerifierBuilder::new()
+            .loop_unroll(unroll)
+            .build()
+            .verify_source(&src, "relay.php")
+            .unwrap();
+        assert!(
+            !report.is_safe(),
+            "unroll={unroll} must expose the 2-step relay"
+        );
+    }
+}
+
+#[test]
+fn unrolling_does_not_create_false_positives() {
+    let src = "<?php\n$x = htmlspecialchars($_GET['q']);\nwhile ($c) { $y = $x; }\necho $y;\n";
+    for unroll in [1usize, 2, 4] {
+        let report = VerifierBuilder::new()
+            .loop_unroll(unroll)
+            .build()
+            .verify_source(src, "clean.php")
+            .unwrap();
+        assert!(report.is_safe(), "unroll={unroll}");
+    }
+}
+
+#[test]
+fn unrolling_grows_branch_count_linearly() {
+    let src = relay(4);
+    let mut last = 0usize;
+    for unroll in [1usize, 2, 3] {
+        let report = VerifierBuilder::new()
+            .loop_unroll(unroll)
+            .build()
+            .verify_source(&src, "relay.php")
+            .unwrap();
+        assert!(report.ai.num_branches > last);
+        last = report.ai.num_branches;
+    }
+}

@@ -1,0 +1,124 @@
+//! The multi-class taint policy (extension): Denning's general lattice
+//! model from the paper's §3.1, instantiated with the powerset lattice
+//! of taint kinds. Kind-specific sanitizers remove only what they
+//! actually neutralize, catching wrong-sanitizer bugs that the
+//! two-point policy misses.
+
+use webssari::{Verifier, VerifierBuilder};
+
+fn multiclass() -> Verifier {
+    VerifierBuilder::new().multiclass().build()
+}
+
+#[test]
+fn addslashes_does_not_stop_xss() {
+    // The classic wrong-sanitizer bug: SQL escaping before HTML output.
+    let src = "<?php\n$name = addslashes($_GET['name']);\necho $name;\n";
+    // Two-point policy: addslashes fully sanitizes → false negative.
+    let two_point = Verifier::new().verify_source(src, "f.php").unwrap();
+    assert!(two_point.is_safe(), "two-point policy misses this by design");
+    // Multi-class policy: addslashes removes only sqli; xss remains.
+    let mc = multiclass().verify_source(src, "f.php").unwrap();
+    assert!(!mc.is_safe(), "multi-class policy must flag the XSS");
+    assert_eq!(mc.vulnerabilities[0].class, "xss");
+}
+
+#[test]
+fn htmlspecialchars_does_not_stop_sqli() {
+    let src = "<?php\n$id = htmlspecialchars($_GET['id']);\n$q = \"SELECT * FROM t WHERE id='$id'\";\nmysql_query($q);\n";
+    let two_point = Verifier::new().verify_source(src, "f.php").unwrap();
+    assert!(two_point.is_safe());
+    let mc = multiclass().verify_source(src, "f.php").unwrap();
+    assert!(!mc.is_safe());
+    assert_eq!(mc.vulnerabilities[0].class, "sqli");
+}
+
+#[test]
+fn right_sanitizer_for_the_right_sink_is_clean() {
+    let src = "<?php\n\
+        echo htmlspecialchars($_GET['msg']);\n\
+        $id = addslashes($_GET['id']);\n\
+        $q = \"SELECT * FROM t WHERE id='$id'\";\n\
+        mysql_query($q);\n\
+        $f = escapeshellarg($_GET['file']);\n\
+        exec('ls ' . $f, $out);\n";
+    let report = multiclass().verify_source(src, "f.php").unwrap();
+    assert!(report.is_safe(), "{}", report.render_text());
+}
+
+#[test]
+fn full_neutralizers_clear_every_kind() {
+    let src = "<?php\n$n = intval($_GET['n']);\necho $n;\nmysql_query(\"LIMIT $n\");\nexec('head -n ' . $n, $o);\n";
+    let report = multiclass().verify_source(src, "f.php").unwrap();
+    assert!(report.is_safe());
+}
+
+#[test]
+fn chained_sanitizers_accumulate_kind_removal() {
+    // addslashes ∘ htmlspecialchars removes both xss and sqli, but
+    // shell taint survives.
+    let src = "<?php\n$v = addslashes(htmlspecialchars($_GET['x']));\necho $v;\nmysql_query($v);\nexec($v, $o);\n";
+    let report = multiclass().verify_source(src, "f.php").unwrap();
+    assert_eq!(report.bmc.violated_assertions, 1, "{}", report.render_text());
+    assert_eq!(report.vulnerabilities[0].class, "shell");
+}
+
+#[test]
+fn eval_rejects_any_taint_kind() {
+    let src = "<?php\n$code = htmlspecialchars(addslashes(escapeshellarg($_GET['c'])))\n;\neval($code);\n";
+    // Even all three kind-specific sanitizers together leave... nothing,
+    // actually: {xss,sqli,shell} all removed → clean against ∅ bound.
+    let report = multiclass().verify_source(src, "f.php").unwrap();
+    assert!(report.is_safe());
+    // But any single missing kind keeps eval vulnerable.
+    let src = "<?php\n$code = htmlspecialchars(addslashes($_GET['c']));\neval($code);\n";
+    let report = multiclass().verify_source(src, "f.php").unwrap();
+    assert!(!report.is_safe());
+}
+
+#[test]
+fn ts_and_bmc_agree_under_multiclass() {
+    let srcs = [
+        "<?php $x = addslashes($_GET['a']); echo $x;",
+        "<?php if ($c) { $x = htmlspecialchars($_GET['a']); } else { $x = $_GET['b']; } mysql_query($x);",
+        "<?php $x = intval($_GET['a']); echo $x; mysql_query($x);",
+    ];
+    for src in srcs {
+        let report = multiclass().verify_source(src, "t.php").unwrap();
+        let ts_ids: Vec<u32> = report.ts.errors.iter().map(|e| e.assert_id.0).collect();
+        let mut bmc_ids: Vec<u32> = report
+            .bmc
+            .counterexamples
+            .iter()
+            .map(|c| c.assert_id.0)
+            .collect();
+        bmc_ids.dedup();
+        assert_eq!(ts_ids, bmc_ids, "{src}");
+    }
+}
+
+#[test]
+fn minimal_fix_groups_work_under_multiclass() {
+    // One root, three sinks of different classes: still one patch.
+    let src = "<?php\n$v = $_GET['x'];\necho $v;\n$q = \"WHERE a='$v'\";\nmysql_query($q);\nexec($v, $o);\n";
+    let report = multiclass().verify_source(src, "f.php").unwrap();
+    assert_eq!(report.ts_instrumentations(), 3);
+    assert_eq!(report.bmc_instrumentations(), 1);
+    // The patch (webssari_sanitize is a full neutralizer) re-verifies
+    // clean under the multi-class policy too.
+    let (patched, guards) = webssari::instrument_bmc(src, &report);
+    assert_eq!(guards.len(), 1);
+    let after = multiclass().verify_source(&patched, "f.php").unwrap();
+    assert!(after.is_safe(), "{patched}");
+}
+
+#[test]
+fn counterexample_traces_show_masked_assignments() {
+    let src = "<?php\n$x = addslashes($_GET['a']);\necho $x;\n";
+    let report = multiclass().verify_source(src, "f.php").unwrap();
+    let cx = &report.bmc.counterexamples[0];
+    assert!(
+        cx.trace.iter().any(|s| s.mask.is_some()),
+        "the sanitizing assignment must appear in the trace with its mask"
+    );
+}

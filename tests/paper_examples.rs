@@ -1,0 +1,116 @@
+//! E5 — the paper's vulnerability exemplars (Figures 1–3) through the
+//! full verifier.
+
+use webssari::php::SourceSet;
+use webssari::Verifier;
+
+/// Figure 1: PHP Support Tickets — unsanitized `$_POST` values inserted
+/// into the database.
+#[test]
+fn figure1_ticket_submission_sql_injection() {
+    let src = r#"<?php
+$query = "INSERT INTO tickets_tickets(tickets_id, tickets_username, tickets_subject, tickets_question) VALUES('" . $_SESSION['username'] . "', '" . $_POST['ticketsubject'] . "', '" . $_POST['message'] . "')";
+$result = @mysql_query($query);
+"#;
+    let report = Verifier::new().verify_source(src, "submit.php").unwrap();
+    assert!(!report.is_safe());
+    assert_eq!(report.ts_instrumentations(), 1);
+    assert_eq!(report.bmc_instrumentations(), 1);
+    assert_eq!(report.vulnerabilities[0].class, "sqli");
+    assert_eq!(report.vulnerabilities[0].root_var, "query");
+}
+
+/// Figure 2: the display page builds HTML from database contents —
+/// stored XSS, because DB reads are untrusted channels.
+#[test]
+fn figure2_ticket_display_stored_xss() {
+    let src = r#"<?php
+$query = "SELECT tickets_id, tickets_username, tickets_subject FROM tickets_tickets";
+$result = @mysql_query($query);
+while ($row = @mysql_fetch_array($result)) {
+    extract($row);
+    echo "$tickets_username<BR>$tickets_subject<BR><BR>";
+}
+"#;
+    let report = Verifier::new().verify_source(src, "view.php").unwrap();
+    assert!(!report.is_safe());
+    assert!(report.vulnerabilities.iter().any(|v| v.class == "xss"));
+    // Both interpolated variables come from the extracted row.
+    let cx = &report.bmc.counterexamples[0];
+    assert_eq!(cx.violating_vars.len(), 2);
+}
+
+/// Figure 3: ILIAS — the HTTP referrer header flows into SQL. "An
+/// attacker can set the field to: ');DROP TABLE ('users".
+#[test]
+fn figure3_referer_sql_injection() {
+    let src = r#"<?php
+$sql = "INSERT INTO track_temp VALUES('$HTTP_REFERER');";
+mysql_query($sql);
+"#;
+    let report = Verifier::new().verify_source(src, "track.php").unwrap();
+    assert!(!report.is_safe());
+    assert_eq!(report.vulnerabilities[0].class, "sqli");
+    assert_eq!(report.vulnerabilities[0].root_var, "sql");
+    // The trace pins the tainting assignment to line 2.
+    assert!(report.bmc.counterexamples[0]
+        .trace
+        .iter()
+        .any(|s| s.site.line == 2));
+}
+
+/// §2.2's observation: "developers who acknowledge that variables from
+/// HTTP requests should not be trusted tend to forget that the same
+/// holds true for the referrer field, user cookies, and other types of
+/// information collected from HTTP requests."
+#[test]
+fn cookies_and_referer_are_untrusted_like_get() {
+    for (name, read) in [
+        ("get", "$_GET['x']"),
+        ("cookie", "$_COOKIE['x']"),
+        ("referer", "$HTTP_REFERER"),
+        ("server", "$_SERVER['HTTP_USER_AGENT']"),
+    ] {
+        let src = format!("<?php\n$v = {read};\necho $v;\n");
+        let report = Verifier::new().verify_source(&src, "t.php").unwrap();
+        assert!(!report.is_safe(), "{name} must be untrusted");
+    }
+}
+
+/// The whole PHP Support Tickets mini-project: both halves are found,
+/// and patching each file fixes it in project context.
+#[test]
+fn support_tickets_project_end_to_end() {
+    let mut project = SourceSet::new();
+    project.add_file(
+        "submit.php",
+        "<?php\ninclude 'db.php';\n$q = \"INSERT INTO t VALUES('\" . $_POST['subject'] . \"')\";\n@mysql_query($q);\n",
+    );
+    project.add_file(
+        "view.php",
+        "<?php\ninclude 'db.php';\n$r = @mysql_query('SELECT s FROM t');\nwhile ($row = @mysql_fetch_array($r)) { echo $row; }\n",
+    );
+    project.add_file("db.php", "<?php\nmysql_connect('localhost');\n");
+    let verifier = Verifier::new();
+    let report = verifier.verify_project(&project);
+    assert_eq!(report.vulnerable_files(), 2);
+    for file in report.files.iter().filter(|f| !f.is_safe()) {
+        let src = project.sources_file(&file.file);
+        let (patched, guards) = webssari::instrument_bmc(src, file);
+        assert!(!guards.is_empty());
+        let mut fixed = project.clone();
+        fixed.add_file(file.file.clone(), patched);
+        let after = verifier.verify_file(&fixed, &file.file).unwrap();
+        assert!(after.is_safe(), "{} must verify after patching", file.file);
+    }
+}
+
+trait SourceSetExt {
+    fn sources_file(&self, name: &str) -> &str;
+}
+
+impl SourceSetExt for SourceSet {
+    fn sources_file(&self, name: &str) -> &str {
+        self.file(name).expect("file exists")
+    }
+}
