@@ -86,7 +86,11 @@ fn bench_encode_only(c: &mut Criterion) {
             b.iter(|| xbmc::renaming::encode(ai, &lattice).formula.num_clauses())
         });
         group.bench_with_input(BenchmarkId::new("aux_variable", n), &ai, |b, ai| {
-            b.iter(|| xbmc::aux_encoding::encode(ai, &lattice).formula.num_clauses())
+            b.iter(|| {
+                xbmc::aux_encoding::encode(ai, &lattice)
+                    .formula
+                    .num_clauses()
+            })
         });
     }
     group.finish();

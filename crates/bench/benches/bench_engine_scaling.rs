@@ -1,0 +1,76 @@
+//! Engine scaling: batch verification wall time as a function of the
+//! worker-pool size, over a corpus of mixed-shape files. Per-file
+//! verification is embarrassingly parallel, so the series should show
+//! near-linear speedup until the pool outgrows the machine — the
+//! property that makes the paper's 1.14M-statement corpus practical to
+//! audit repeatedly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use php_front::SourceSet;
+use webssari_bench::{branchy_program, chain_program, surveyor_like};
+use webssari_engine::EngineBuilder;
+
+/// A corpus of `n` files cycling through the three program shapes the
+/// synthetic SourceForge corpus is made of.
+fn corpus(n: usize) -> SourceSet {
+    let mut set = SourceSet::new();
+    for i in 0..n {
+        let src = match i % 3 {
+            0 => chain_program(8 + i % 5),
+            1 => branchy_program(3 + i % 3),
+            _ => surveyor_like(4 + i % 4),
+        };
+        set.add_file(format!("file{i:03}.php"), src);
+    }
+    set
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let set = corpus(24);
+    let mut group = c.benchmark_group("engine/workers");
+    group.throughput(Throughput::Elements(set.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                let engine = EngineBuilder::new().workers(workers).build();
+                b.iter(|| {
+                    let report = engine.run(&set);
+                    assert_eq!(report.files.len(), 24);
+                    assert!(report.is_vulnerable());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache_effect(c: &mut Criterion) {
+    // Warm-cache rerun vs cold run at a fixed pool size: the
+    // incremental path should be bounded by hashing, not solving.
+    let set = corpus(24);
+    let mut group = c.benchmark_group("engine/cache");
+    group.throughput(Throughput::Elements(set.len() as u64));
+    group.bench_function("cold", |b| {
+        let engine = EngineBuilder::new().workers(4).build();
+        b.iter(|| {
+            let report = engine.run(&set);
+            assert_eq!(report.metrics.cache_misses, 24);
+        })
+    });
+    let dir = std::env::temp_dir().join(format!("webssari-bench-cache-{}", std::process::id()));
+    let engine = EngineBuilder::new().workers(4).cache_dir(&dir).build();
+    engine.run(&set); // warm it
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let report = engine.run(&set);
+            assert_eq!(report.metrics.cache_hits, 24);
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_cache_effect);
+criterion_main!(benches);

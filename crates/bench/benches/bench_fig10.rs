@@ -2,14 +2,19 @@
 //! calibrated projects from the paper's table (TS analysis, BMC with
 //! all-counterexample enumeration, and minimal-fixing-set grouping).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use corpus::{figure10_profiles, generate_project};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use webssari_core::Verifier;
 
 fn bench_single_projects(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10/project");
     group.sample_size(10);
-    for name in ["PHP Helpdesk", "GBook MX", "phpLDAPadmin", "PHP Support Tickets"] {
+    for name in [
+        "PHP Helpdesk",
+        "GBook MX",
+        "phpLDAPadmin",
+        "PHP Support Tickets",
+    ] {
         let profile = figure10_profiles()
             .into_iter()
             .find(|p| p.name == name)

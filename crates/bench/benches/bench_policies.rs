@@ -103,7 +103,13 @@ fn bench_fresh_vs_incremental(c: &mut Criterion) {
     use xbmc::{CheckOptions, Xbmc};
     let src = mixed_workload(12);
     let ast = php_front::parse_source(&src).unwrap();
-    let f = filter_program(&ast, &src, "w.php", &Prelude::standard(), &FilterOptions::default());
+    let f = filter_program(
+        &ast,
+        &src,
+        "w.php",
+        &Prelude::standard(),
+        &FilterOptions::default(),
+    );
     let ai = abstract_interpret(&f);
     let mut group = c.benchmark_group("policies/solver_mode");
     group.bench_function("incremental", |b| {

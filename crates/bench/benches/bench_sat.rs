@@ -9,12 +9,16 @@ fn bench_pigeonhole(c: &mut Criterion) {
     let mut group = c.benchmark_group("sat/pigeonhole");
     for (m, n) in [(5usize, 4usize), (6, 5), (7, 6)] {
         let f = pigeonhole(m, n);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &f, |b, f| {
-            b.iter(|| {
-                let mut s = Solver::from_formula(f);
-                assert!(s.solve().is_unsat());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    let mut s = Solver::from_formula(f);
+                    assert!(s.solve().is_unsat());
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -42,10 +46,7 @@ fn bench_unit_heavy(c: &mut Criterion) {
         let mut f = cnf::CnfFormula::new();
         f.add_lits([cnf::Var::new(0).positive()]);
         for i in 0..n {
-            f.add_lits([
-                cnf::Var::new(i).negative(),
-                cnf::Var::new(i + 1).positive(),
-            ]);
+            f.add_lits([cnf::Var::new(i).negative(), cnf::Var::new(i + 1).positive()]);
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
             b.iter(|| {

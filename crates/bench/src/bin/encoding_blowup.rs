@@ -62,7 +62,14 @@ fn row(label: &str, ai: &AiProgram) {
 fn main() {
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8}",
-        "workload", "ren vars", "ren clauses", "aux vars", "aux clauses", "ren time", "aux time", "blowup"
+        "workload",
+        "ren vars",
+        "ren clauses",
+        "aux vars",
+        "aux clauses",
+        "ren time",
+        "aux time",
+        "blowup"
     );
     println!("-- straight-line copy chains (renaming constant-folds these) --");
     for n in [4usize, 8, 16, 32, 64] {

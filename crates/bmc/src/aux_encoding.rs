@@ -133,9 +133,8 @@ pub fn encode(ai: &AiProgram, lattice: &impl Lattice) -> AuxEncoding {
     let bottom = lattice.bottom();
     let num_vars = ai.vars.len();
 
-    let fresh_loc = |b: &mut FormulaBuilder| -> Vec<Lit> {
-        (0..loc_bits).map(|_| b.fresh_lit()).collect()
-    };
+    let fresh_loc =
+        |b: &mut FormulaBuilder| -> Vec<Lit> { (0..loc_bits).map(|_| b.fresh_lit()).collect() };
     let mut locs: Vec<Vec<Lit>> = Vec::with_capacity(num_steps + 1);
     let loc0 = fresh_loc(&mut b);
     b.assert_const(&loc0, entry);
@@ -155,8 +154,9 @@ pub fn encode(ai: &AiProgram, lattice: &impl Lattice) -> AuxEncoding {
     for _step in 0..num_steps {
         let next_loc = fresh_loc(&mut b);
         // Fresh copy of the whole state: the 2·|X| cost.
-        let next_types: Vec<TypeVec> =
-            (0..num_vars).map(|_| TypeVec::fresh(&mut b, lattice)).collect();
+        let next_types: Vec<TypeVec> = (0..num_vars)
+            .map(|_| TypeVec::fresh(&mut b, lattice))
+            .collect();
         let mut validity = Vec::with_capacity(num_nodes);
         for (n, node) in nodes.iter().enumerate() {
             let cur_loc = locs.last().expect("at least step 0").clone();
@@ -368,7 +368,9 @@ mod tests {
         let enc = encode(&ai, &TwoPoint::new());
         assert_eq!(enc.asserts.len(), 1);
         let mut s = Solver::from_formula(&enc.formula);
-        assert!(s.solve_with_assumptions(&[enc.asserts[0].violated]).is_sat());
+        assert!(s
+            .solve_with_assumptions(&[enc.asserts[0].violated])
+            .is_sat());
     }
 
     #[test]

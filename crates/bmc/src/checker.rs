@@ -36,6 +36,11 @@ pub struct CheckOptions {
     /// [`CheckResult::certified_formula`]. "Soundness guarantees the
     /// absence of bugs" — with a machine-checkable witness.
     pub certify: bool,
+    /// Cooperative work bound installed on every solver this check
+    /// creates. When a solve is interrupted mid-search the check stops
+    /// early with [`CheckResult::interrupted`] set; results gathered so
+    /// far are kept but are incomplete.
+    pub budget: Option<sat::Budget>,
 }
 
 impl Default for CheckOptions {
@@ -45,6 +50,7 @@ impl Default for CheckOptions {
             fresh_solver_per_assert: false,
             max_counterexamples_per_assert: 1024,
             certify: false,
+            budget: None,
         }
     }
 }
@@ -61,6 +67,24 @@ pub struct XbmcStats {
     pub sat_calls: usize,
     /// Assertions whose enumeration hit the per-assert cap.
     pub truncated_assertions: usize,
+    /// Total solver conflicts across every solver this check used.
+    pub conflicts: u64,
+    /// Total solver decisions.
+    pub decisions: u64,
+    /// Total solver unit propagations.
+    pub propagations: u64,
+    /// Total solver restarts.
+    pub restarts: u64,
+}
+
+impl XbmcStats {
+    /// Folds one solver's work counters into this check's totals.
+    fn absorb(&mut self, s: &sat::SolverStats) {
+        self.conflicts += s.conflicts;
+        self.decisions += s.decisions;
+        self.propagations += s.propagations;
+        self.restarts += s.restarts;
+    }
 }
 
 /// The outcome of checking every assertion of an AI program.
@@ -81,6 +105,10 @@ pub struct CheckResult {
     /// The program constraints the certificates refer to (present only
     /// when certifying).
     pub certified_formula: Option<cnf::CnfFormula>,
+    /// A [`CheckOptions::budget`] bound was hit: the check stopped
+    /// early and the results above are incomplete. Callers must not
+    /// treat such a run as a verification verdict.
+    pub interrupted: bool,
 }
 
 /// A machine-checkable witness that one assertion holds: a DRAT
@@ -129,9 +157,7 @@ impl CheckResult {
     /// # Errors
     ///
     /// Returns the first failing certificate's assert id and error.
-    pub fn verify_certificates(
-        &self,
-    ) -> Result<usize, (webssari_ir::AssertId, sat::ProofError)> {
+    pub fn verify_certificates(&self) -> Result<usize, (webssari_ir::AssertId, sat::ProofError)> {
         let Some(formula) = &self.certified_formula else {
             return Ok(0);
         };
@@ -188,10 +214,13 @@ impl<'a> Xbmc<'a> {
         };
         result.stats.cnf_vars = enc.formula.num_vars();
         result.stats.cnf_clauses = enc.formula.num_clauses();
+        let budget = self.options.budget.unwrap_or_default();
         let mut shared_solver = if self.options.fresh_solver_per_assert {
             None
         } else {
-            Some(Solver::from_formula(&enc.formula))
+            let mut s = Solver::from_formula(&enc.formula);
+            s.set_budget(budget);
+            Some(s)
         };
         // One free selector variable per assertion scopes its blocking
         // clauses: they only bite while that assertion is being
@@ -205,6 +234,7 @@ impl<'a> Xbmc<'a> {
                 Some(s) => s,
                 None => {
                     solver_storage = Solver::from_formula(&enc.formula);
+                    solver_storage.set_budget(budget);
                     &mut solver_storage
                 }
             };
@@ -221,8 +251,7 @@ impl<'a> Xbmc<'a> {
                         // normalized to false.
                         let mut branches = vec![false; self.ai.num_branches];
                         for b in &a.relevant_branches {
-                            branches[b.0 as usize] =
-                                model.lit_value(enc.branch_lits[b.0 as usize]);
+                            branches[b.0 as usize] = model.lit_value(enc.branch_lits[b.0 as usize]);
                         }
                         let violating_vars = a
                             .var_violations
@@ -258,7 +287,21 @@ impl<'a> Xbmc<'a> {
                     }
                     SatResult::Unsat => break,
                     SatResult::Unknown => break,
+                    SatResult::Interrupted => {
+                        result.interrupted = true;
+                        break;
+                    }
                 }
+            }
+            if self.options.fresh_solver_per_assert {
+                result.stats.absorb(solver.stats());
+            }
+            if result.interrupted {
+                // Stop checking further assertions: the engine will
+                // degrade this whole file to a timeout outcome, so
+                // spending the remaining assertions' budgets here only
+                // delays the worker.
+                break;
             }
             if !found.is_empty() {
                 result.violated_assertions += 1;
@@ -267,10 +310,16 @@ impl<'a> Xbmc<'a> {
                 // with a DRAT refutation from a fresh solver in which
                 // the violation literal is a unit clause.
                 let mut prover = Solver::from_formula(&enc.formula);
+                prover.set_budget(budget);
                 prover.start_proof();
                 prover.add_clause([a.violated]);
                 result.stats.sat_calls += 1;
                 let res = prover.solve();
+                result.stats.absorb(prover.stats());
+                if res == SatResult::Interrupted {
+                    result.interrupted = true;
+                    break;
+                }
                 debug_assert!(res.is_unsat(), "enumeration said Bᵢ is unsat");
                 if let Some(proof) = prover.take_proof() {
                     if proof.proves_unsat() {
@@ -284,6 +333,9 @@ impl<'a> Xbmc<'a> {
             }
             found.sort_by(|a, b| a.branches.cmp(&b.branches));
             result.counterexamples.extend(found);
+        }
+        if let Some(s) = &shared_solver {
+            result.stats.absorb(s.stats());
         }
         if self.options.certify {
             result.certified_formula = Some(enc.formula.clone());
@@ -300,27 +352,36 @@ impl<'a> Xbmc<'a> {
         result.stats.cnf_vars = enc.formula.num_vars();
         result.stats.cnf_clauses = enc.formula.num_clauses();
         let mut solver = Solver::from_formula(&enc.formula);
+        solver.set_budget(self.options.budget.unwrap_or_default());
         for a in &enc.asserts {
             result.stats.sat_calls += 1;
-            if let SatResult::Sat(model) = solver.solve_with_assumptions(&[a.violated]) {
-                result.violated_assertions += 1;
-                let branches = enc.decode_branches(&model);
-                let violating_vars = a
-                    .var_violations
-                    .iter()
-                    .filter(|(_, l)| model.lit_value(*l))
-                    .map(|(v, _)| *v)
-                    .collect();
-                result.counterexamples.push(Counterexample {
-                    assert_id: a.id,
-                    func: a.func.clone(),
-                    site: a.site.clone(),
-                    violating_vars,
-                    trace: replay_trace(self.ai, &branches, a.id),
-                    branches,
-                });
+            match solver.solve_with_assumptions(&[a.violated]) {
+                SatResult::Sat(model) => {
+                    result.violated_assertions += 1;
+                    let branches = enc.decode_branches(&model);
+                    let violating_vars = a
+                        .var_violations
+                        .iter()
+                        .filter(|(_, l)| model.lit_value(*l))
+                        .map(|(v, _)| *v)
+                        .collect();
+                    result.counterexamples.push(Counterexample {
+                        assert_id: a.id,
+                        func: a.func.clone(),
+                        site: a.site.clone(),
+                        violating_vars,
+                        trace: replay_trace(self.ai, &branches, a.id),
+                        branches,
+                    });
+                }
+                SatResult::Interrupted => {
+                    result.interrupted = true;
+                    break;
+                }
+                SatResult::Unsat | SatResult::Unknown => {}
             }
         }
+        result.stats.absorb(solver.stats());
         result
     }
 }
@@ -369,21 +430,21 @@ mod tests {
             "<?php $x = 'ok'; if ($a) { $x = $_GET['p']; } if ($b) { $x = $x . $_GET['q']; } echo $x;",
         );
         let r = Xbmc::new(&ai).check_all();
-        let paths: Vec<Vec<bool>> =
-            r.counterexamples.iter().map(|c| c.branches.clone()).collect();
+        let paths: Vec<Vec<bool>> = r
+            .counterexamples
+            .iter()
+            .map(|c| c.branches.clone())
+            .collect();
         assert_eq!(
             paths,
-            vec![
-                vec![false, true],
-                vec![true, false],
-                vec![true, true],
-            ]
+            vec![vec![false, true], vec![true, false], vec![true, true],]
         );
     }
 
     #[test]
     fn fresh_solver_mode_matches_incremental() {
-        let src = "<?php $x = 'ok'; if ($a) { $x = $_GET['p']; } echo $x; if ($b) { mysql_query($x); }";
+        let src =
+            "<?php $x = 'ok'; if ($a) { $x = $_GET['p']; } echo $x; if ($b) { mysql_query($x); }";
         let ai = ai_of(src);
         let inc = Xbmc::new(&ai).check_all();
         let fresh = Xbmc::with_options(
@@ -423,8 +484,7 @@ mod tests {
 
     #[test]
     fn aux_encoder_agrees_on_violated_assertions() {
-        let src =
-            "<?php $x = 'ok'; if ($c) { $x = $_GET['a']; } echo $x; $y = 'safe'; echo $y;";
+        let src = "<?php $x = 'ok'; if ($c) { $x = $_GET['a']; } echo $x; $y = 'safe'; echo $y;";
         let ai = ai_of(src);
         let ren = Xbmc::new(&ai).check_all();
         let aux = Xbmc::with_options(

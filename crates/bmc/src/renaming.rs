@@ -106,12 +106,9 @@ impl<L: Lattice> Encoder<'_, L> {
                     mask,
                     ..
                 } => {
-                    let operands: Vec<TypeVec> = deps
-                        .iter()
-                        .map(|d| current[d.index()].clone())
-                        .collect();
-                    let mut rhs =
-                        TypeVec::join_all(self.builder, self.lattice, *base, &operands);
+                    let operands: Vec<TypeVec> =
+                        deps.iter().map(|d| current[d.index()].clone()).collect();
+                    let mut rhs = TypeVec::join_all(self.builder, self.lattice, *base, &operands);
                     if let Some(m) = mask {
                         let keep = TypeVec::constant(self.builder, self.lattice, *m);
                         rhs = rhs.meet(self.builder, self.lattice, &keep);
@@ -224,8 +221,7 @@ mod tests {
             other => panic!("expected sat, got {other:?}"),
         }
         // Forcing the branch false must make the violation impossible.
-        let res =
-            s.solve_with_assumptions(&[enc.asserts[0].violated, !enc.branch_lits[0]]);
+        let res = s.solve_with_assumptions(&[enc.asserts[0].violated, !enc.branch_lits[0]]);
         assert!(res.is_unsat());
     }
 
@@ -255,9 +251,7 @@ mod tests {
 
     #[test]
     fn relevant_branches_are_the_prefix() {
-        let ai = ai_of(
-            "<?php if ($a) { $x = 1; } echo $q; if ($b) { $y = 2; } echo $q;",
-        );
+        let ai = ai_of("<?php if ($a) { $x = 1; } echo $q; if ($b) { $y = 2; } echo $q;");
         let enc = encode(&ai, &TwoPoint::new());
         assert_eq!(enc.asserts[0].relevant_branches, vec![BranchId(0)]);
         assert_eq!(
@@ -283,7 +277,8 @@ mod tests {
                 !enc.branch_lits[0]
             };
             assert!(
-                s.solve_with_assumptions(&[enc.asserts[0].violated, b]).is_sat(),
+                s.solve_with_assumptions(&[enc.asserts[0].violated, b])
+                    .is_sat(),
                 "both paths taint"
             );
         }

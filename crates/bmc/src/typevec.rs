@@ -58,7 +58,12 @@ impl TypeVec {
 
     /// A literal true iff `self < bound` in the lattice (the assertion
     /// predicate `t_x < τ_r`).
-    pub fn lt_bound(&self, builder: &mut FormulaBuilder, lattice: &impl Lattice, bound: Elem) -> Lit {
+    pub fn lt_bound(
+        &self,
+        builder: &mut FormulaBuilder,
+        lattice: &impl Lattice,
+        bound: Elem,
+    ) -> Lit {
         let sats: Vec<Lit> = lattice
             .elems()
             .into_iter()
@@ -71,7 +76,12 @@ impl TypeVec {
     /// A literal true iff `self ≤ bound` in the lattice — the non-strict
     /// precondition used by multi-class policies ("carries no forbidden
     /// taint kind" = `t ≤ allowed-set`).
-    pub fn le_bound(&self, builder: &mut FormulaBuilder, lattice: &impl Lattice, bound: Elem) -> Lit {
+    pub fn le_bound(
+        &self,
+        builder: &mut FormulaBuilder,
+        lattice: &impl Lattice,
+        bound: Elem,
+    ) -> Lit {
         let sats: Vec<Lit> = lattice
             .elems()
             .into_iter()
@@ -166,7 +176,11 @@ impl TypeVec {
         a: &TypeVec,
         b: &TypeVec,
     ) -> TypeVec {
-        assert_eq!(a.bits.len(), b.bits.len(), "type vectors must have equal width");
+        assert_eq!(
+            a.bits.len(),
+            b.bits.len(),
+            "type vectors must have equal width"
+        );
         let bits = a
             .bits
             .iter()
@@ -346,12 +360,7 @@ mod tests {
         let mut builder = FormulaBuilder::new();
         let clean = TypeVec::constant(&mut builder, &l, TwoPoint::UNTAINTED);
         let dirty = TypeVec::constant(&mut builder, &l, TwoPoint::TAINTED);
-        let j = TypeVec::join_all(
-            &mut builder,
-            &l,
-            TwoPoint::UNTAINTED,
-            &[clean, dirty],
-        );
+        let j = TypeVec::join_all(&mut builder, &l, TwoPoint::UNTAINTED, &[clean, dirty]);
         let is_tainted = j.equals_elem(&mut builder, TwoPoint::TAINTED);
         builder.assert_lit(is_tainted);
         let f = builder.into_formula();

@@ -16,9 +16,18 @@ const NUM_VARS: usize = 4;
 /// matching the translator in `webssari-ir`.
 #[derive(Clone, Debug)]
 enum Proto {
-    Assign { var: usize, base: bool, deps: Vec<usize> },
-    Assert { vars: Vec<usize> },
-    If { then_cmds: Vec<Proto>, else_cmds: Vec<Proto> },
+    Assign {
+        var: usize,
+        base: bool,
+        deps: Vec<usize>,
+    },
+    Assert {
+        vars: Vec<usize>,
+    },
+    If {
+        then_cmds: Vec<Proto>,
+        else_cmds: Vec<Proto>,
+    },
     Stop,
 }
 
@@ -70,8 +79,7 @@ fn build(protos: &[Proto], next_branch: &mut u32, next_assert: &mut u32) -> Vec<
                 mask: None,
                 base: if *base { l.top() } else { l.bottom() },
                 deps: {
-                    let mut d: Vec<VarId> =
-                        deps.iter().map(|&i| VarId::from_index(i)).collect();
+                    let mut d: Vec<VarId> = deps.iter().map(|&i| VarId::from_index(i)).collect();
                     d.sort_unstable();
                     d.dedup();
                     d
@@ -118,11 +126,7 @@ fn build(protos: &[Proto], next_branch: &mut u32, next_assert: &mut u32) -> Vec<
 /// Branches seen (pre-order) before each assertion — the per-assertion
 /// `BN` used for counterexample identity.
 fn relevant_branches(p: &AiProgram) -> Vec<(AssertId, Vec<usize>)> {
-    fn walk(
-        cmds: &[AiCmd],
-        seen: &mut Vec<usize>,
-        out: &mut Vec<(AssertId, Vec<usize>)>,
-    ) {
+    fn walk(cmds: &[AiCmd], seen: &mut Vec<usize>, out: &mut Vec<(AssertId, Vec<usize>)>) {
         for c in cmds {
             match c {
                 AiCmd::Assert { id, .. } => out.push((*id, seen.clone())),

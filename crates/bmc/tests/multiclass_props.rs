@@ -89,8 +89,7 @@ fn build(protos: &[Proto], next_branch: &mut u32, next_assert: &mut u32) -> Vec<
                 var: VarId::from_index(*var),
                 base: Elem::new(*base),
                 deps: {
-                    let mut d: Vec<VarId> =
-                        deps.iter().map(|&i| VarId::from_index(i)).collect();
+                    let mut d: Vec<VarId> = deps.iter().map(|&i| VarId::from_index(i)).collect();
                     d.sort_unstable();
                     d.dedup();
                     d
@@ -105,8 +104,7 @@ fn build(protos: &[Proto], next_branch: &mut u32, next_assert: &mut u32) -> Vec<
             } => {
                 let id = AssertId(*next_assert);
                 *next_assert += 1;
-                let mut vs: Vec<VarId> =
-                    vars.iter().map(|&i| VarId::from_index(i)).collect();
+                let mut vs: Vec<VarId> = vars.iter().map(|&i| VarId::from_index(i)).collect();
                 vs.sort_unstable();
                 vs.dedup();
                 AiCmd::Assert {

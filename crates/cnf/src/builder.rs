@@ -274,7 +274,10 @@ mod tests {
             assert_eq!(ov, expected(xv, yv), "gate wrong at x={xv}, y={yv}");
             seen[usize::from(xv) * 2 + usize::from(yv)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "gate clauses over-constrain inputs");
+        assert!(
+            seen.iter().all(|&s| s),
+            "gate clauses over-constrain inputs"
+        );
     }
 
     #[test]
@@ -311,7 +314,11 @@ mod tests {
         let o = b.ite(c, t, e);
         let f = b.into_formula();
         for m in f.brute_force_models() {
-            let (cv, tv, ev) = (c.eval(&m).unwrap(), t.eval(&m).unwrap(), e.eval(&m).unwrap());
+            let (cv, tv, ev) = (
+                c.eval(&m).unwrap(),
+                t.eval(&m).unwrap(),
+                e.eval(&m).unwrap(),
+            );
             assert_eq!(o.eval(&m).unwrap(), if cv { tv } else { ev });
         }
     }

@@ -24,7 +24,10 @@ impl Var {
     /// reserves one bit for polarity).
     pub fn new(index: usize) -> Self {
         let idx = u32::try_from(index).expect("variable index overflows u32");
-        assert!(idx <= u32::MAX / 2, "variable index too large for literal encoding");
+        assert!(
+            idx <= u32::MAX / 2,
+            "variable index too large for literal encoding"
+        );
         Var(idx)
     }
 

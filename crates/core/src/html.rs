@@ -43,7 +43,9 @@ pub fn render_html(report: &ProjectReport, sources: &SourceSet) -> String {
 
     // ---- file index -------------------------------------------------
     out.push_str("<h2>Files</h2>\n<table class='index'>\n");
-    out.push_str("<tr><th>file</th><th>statements</th><th>TS</th><th>BMC</th><th>status</th></tr>\n");
+    out.push_str(
+        "<tr><th>file</th><th>statements</th><th>TS</th><th>BMC</th><th>status</th></tr>\n",
+    );
     for file in &report.files {
         let _ = writeln!(
             out,
@@ -55,7 +57,11 @@ pub fn render_html(report: &ProjectReport, sources: &SourceSet) -> String {
             ts = file.ts_instrumentations(),
             bmc = file.bmc_instrumentations(),
             cls = if file.is_safe() { "ok" } else { "bad" },
-            status = if file.is_safe() { "verified" } else { "VULNERABLE" },
+            status = if file.is_safe() {
+                "verified"
+            } else {
+                "VULNERABLE"
+            },
         );
     }
     for (name, err) in &report.failed_files {
@@ -86,9 +92,7 @@ pub fn render_html(report: &ProjectReport, sources: &SourceSet) -> String {
                      assertion(s) carry machine-checked DRAT certificates</p>"
                 );
             } else {
-                out.push_str(
-                    "<p class='ok'>verified: no taint flows (sound guarantee)</p>\n",
-                );
+                out.push_str("<p class='ok'>verified: no taint flows (sound guarantee)</p>\n");
             }
         }
         // Vulnerability group cards.

@@ -115,10 +115,7 @@ fn apply(src: &str, guards: &[Instrumentation]) -> String {
     let mut text = src.to_owned();
     let mut applied: Vec<(u32, u32)> = Vec::new();
     for (start, end) in wraps {
-        if applied
-            .iter()
-            .any(|&(s, e)| !(end <= s || e <= start))
-        {
+        if applied.iter().any(|&(s, e)| !(end <= s || e <= start)) {
             continue; // overlaps an already-applied (inner) wrap
         }
         if let Some(rewritten) = wrap_assignment(&text[start as usize..end as usize]) {
@@ -130,7 +127,10 @@ fn apply(src: &str, guards: &[Instrumentation]) -> String {
     // in the original still address the same lines).
     let lines: Vec<&str> = text.lines().collect();
     let mut out = String::with_capacity(text.len() + guards.len() * 48);
-    for g in guards.iter().filter(|g| g.wrap.is_none() && g.after_line == 0) {
+    for g in guards
+        .iter()
+        .filter(|g| g.wrap.is_none() && g.after_line == 0)
+    {
         out.push_str(&g.render_line());
         out.push('\n');
     }
@@ -177,16 +177,17 @@ fn wrap_assignment(snippet: &str) -> Option<String> {
             b'=' if depth == 0 => {
                 let prev = if i > 0 { bytes[i - 1] } else { b' ' };
                 let next = bytes.get(i + 1).copied().unwrap_or(b' ');
-                let compound = matches!(prev, b'+' | b'-' | b'*' | b'/' | b'.' | b'%' | b'!' | b'<' | b'>' | b'=');
+                let compound = matches!(
+                    prev,
+                    b'+' | b'-' | b'*' | b'/' | b'.' | b'%' | b'!' | b'<' | b'>' | b'='
+                );
                 if !compound && next != b'=' {
                     let lhs = snippet[..i].trim_end();
                     let rhs = snippet[i + 1..].trim();
                     if rhs.is_empty() {
                         return None;
                     }
-                    return Some(format!(
-                        "{lhs} = webssari_sanitize({rhs})"
-                    ));
+                    return Some(format!("{lhs} = webssari_sanitize({rhs})"));
                 }
             }
             _ => {}
@@ -272,7 +273,11 @@ mod tests {
         assert!(!report.is_safe());
         let (patched, _) = instrument_bmc(src, &report);
         let after = Verifier::new().verify_source(&patched, "f.php").unwrap();
-        assert!(after.is_safe(), "patched:\n{patched}\n{}", after.render_text());
+        assert!(
+            after.is_safe(),
+            "patched:\n{patched}\n{}",
+            after.render_text()
+        );
     }
 
     #[test]

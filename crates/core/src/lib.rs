@@ -50,5 +50,5 @@ mod verifier;
 pub use error::VerifyError;
 pub use html::render_html;
 pub use instrument::{instrument_bmc, instrument_ts, Instrumentation};
-pub use report::{FileReport, ProjectReport, Vulnerability};
-pub use verifier::{Verifier, VerifierBuilder};
+pub use report::{FileOutcome, FileReport, FileSummary, ProjectReport, Vulnerability};
+pub use verifier::{SolveBudget, Verifier, VerifierBuilder};

@@ -24,6 +24,52 @@ pub struct Vulnerability {
     pub funcs: Vec<String>,
 }
 
+/// How verifying one file concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FileOutcome {
+    /// Every assertion holds — the sound "absence of bugs" guarantee.
+    Verified,
+    /// At least one counterexample was enumerated.
+    Vulnerable,
+    /// A solve budget was exhausted before the check finished; any
+    /// reported counterexamples are a lower bound, and the absence of
+    /// counterexamples means nothing.
+    Timeout,
+    /// The file could not be parsed (used by batch summaries; a
+    /// [`FileReport`] is never built for such files).
+    ParseError,
+}
+
+impl FileOutcome {
+    /// A stable lower-case name (`verified`, `vulnerable`, `timeout`,
+    /// `parse-error`) used by reports, caches, and metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FileOutcome::Verified => "verified",
+            FileOutcome::Vulnerable => "vulnerable",
+            FileOutcome::Timeout => "timeout",
+            FileOutcome::ParseError => "parse-error",
+        }
+    }
+
+    /// Parses [`FileOutcome::as_str`]'s rendering back.
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "verified" => Some(FileOutcome::Verified),
+            "vulnerable" => Some(FileOutcome::Vulnerable),
+            "timeout" => Some(FileOutcome::Timeout),
+            "parse-error" => Some(FileOutcome::ParseError),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FileOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The verification outcome for one file (with includes resolved).
 #[derive(Clone, Debug)]
 pub struct FileReport {
@@ -41,6 +87,8 @@ pub struct FileReport {
     pub fix_plan: FixPlan,
     /// Grouped vulnerability report.
     pub vulnerabilities: Vec<Vulnerability>,
+    /// How the verification concluded.
+    pub outcome: FileOutcome,
 }
 
 impl FileReport {
@@ -55,9 +103,10 @@ impl FileReport {
         self.fix_plan.num_patches()
     }
 
-    /// Whether the file verified clean.
+    /// Whether the file verified clean. A timed-out check is *not*
+    /// safe: the enumeration never finished, so no guarantee exists.
     pub fn is_safe(&self) -> bool {
-        self.bmc.is_safe()
+        self.outcome == FileOutcome::Verified
     }
 
     /// Renders the full error report with counterexample traces — the
@@ -73,7 +122,14 @@ impl FileReport {
             self.ts_instrumentations(),
             self.bmc_instrumentations(),
         );
-        if self.is_safe() {
+        if self.outcome == FileOutcome::Timeout {
+            let _ = writeln!(
+                out,
+                "TIMEOUT: solve budget exhausted; {} counterexample(s) found before \
+                 interruption (no guarantee)",
+                self.bmc.counterexamples.len(),
+            );
+        } else if self.is_safe() {
             let _ = writeln!(out, "VERIFIED: no violations (sound guarantee)");
             return out;
         }
@@ -102,6 +158,7 @@ impl FileReport {
             bmc_groups: self.bmc_instrumentations(),
             counterexamples: self.bmc.counterexamples.len(),
             vulnerabilities: self.vulnerabilities.clone(),
+            outcome: self.outcome,
         }
     }
 }
@@ -121,6 +178,8 @@ pub struct FileSummary {
     pub counterexamples: usize,
     /// Grouped vulnerabilities.
     pub vulnerabilities: Vec<Vulnerability>,
+    /// How the verification concluded.
+    pub outcome: FileOutcome,
 }
 
 /// The verification outcome for a whole project.
@@ -140,7 +199,10 @@ impl ProjectReport {
 
     /// Total BMC-reported error groups across files.
     pub fn bmc_groups(&self) -> usize {
-        self.files.iter().map(FileReport::bmc_instrumentations).sum()
+        self.files
+            .iter()
+            .map(FileReport::bmc_instrumentations)
+            .sum()
     }
 
     /// Total statements analyzed.
@@ -150,7 +212,18 @@ impl ProjectReport {
 
     /// Files with at least one violation.
     pub fn vulnerable_files(&self) -> usize {
-        self.files.iter().filter(|f| !f.is_safe()).count()
+        self.files
+            .iter()
+            .filter(|f| f.outcome == FileOutcome::Vulnerable)
+            .count()
+    }
+
+    /// Files whose check was cut off by a solve budget.
+    pub fn timeout_files(&self) -> usize {
+        self.files
+            .iter()
+            .filter(|f| f.outcome == FileOutcome::Timeout)
+            .count()
     }
 
     /// Whether any file is vulnerable.
@@ -172,7 +245,7 @@ impl ProjectReport {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::Verifier;
 
     #[test]

@@ -5,8 +5,7 @@ use xbmc::{CheckOptions, Xbmc};
 
 /// Which information-flow policy (lattice + prelude pairing) a
 /// verifier runs.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 enum Policy {
     /// The paper's two-point taint lattice.
     #[default]
@@ -15,9 +14,60 @@ enum Policy {
     MultiClass(Powerset),
 }
 
-
 use crate::error::VerifyError;
-use crate::report::{FileReport, ProjectReport, Vulnerability};
+use crate::report::{FileOutcome, FileReport, ProjectReport, Vulnerability};
+
+/// A per-file solve budget: bounds applied afresh to every file the
+/// verifier checks (the wall-clock allowance restarts for each file,
+/// unlike a raw [`sat::Budget`] whose deadline is one fixed instant).
+///
+/// When a file exhausts its budget, its [`FileReport::outcome`] is
+/// [`FileOutcome::Timeout`] and the partial results carry no guarantee.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Maximum solver conflicts per SAT solve within the file's check.
+    pub max_conflicts: Option<u64>,
+    /// Wall-clock allowance for the file's whole check.
+    pub wall_time: Option<std::time::Duration>,
+}
+
+impl SolveBudget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        SolveBudget::default()
+    }
+
+    /// Caps solver conflicts per solve.
+    #[must_use]
+    pub fn max_conflicts(mut self, n: u64) -> Self {
+        self.max_conflicts = Some(n);
+        self
+    }
+
+    /// Caps wall-clock time per file.
+    #[must_use]
+    pub fn wall_time(mut self, d: std::time::Duration) -> Self {
+        self.wall_time = Some(d);
+        self
+    }
+
+    /// Whether any bound is set.
+    pub fn is_bounded(&self) -> bool {
+        self.max_conflicts.is_some() || self.wall_time.is_some()
+    }
+
+    /// Materializes the budget into an absolute [`sat::Budget`] whose
+    /// deadline starts counting now.
+    fn start(&self) -> Option<sat::Budget> {
+        if !self.is_bounded() {
+            return None;
+        }
+        let mut b = sat::Budget::new();
+        b.max_conflicts = self.max_conflicts;
+        b.deadline = self.wall_time.map(|d| std::time::Instant::now() + d);
+        Some(b)
+    }
+}
 
 /// Configures and builds a [`Verifier`].
 ///
@@ -44,6 +94,7 @@ pub struct VerifierBuilder {
     minimize_guard_lines: bool,
     loop_unroll: usize,
     policy: Policy,
+    solve_budget: SolveBudget,
 }
 
 impl VerifierBuilder {
@@ -128,6 +179,15 @@ impl VerifierBuilder {
         self
     }
 
+    /// Bounds each file's check with a per-file [`SolveBudget`]. A file
+    /// that exhausts it degrades to [`FileOutcome::Timeout`] instead of
+    /// wedging the verifier — the batch engine's defense against
+    /// pathological inputs.
+    pub fn solve_budget(mut self, budget: SolveBudget) -> Self {
+        self.solve_budget = budget;
+        self
+    }
+
     /// Builds the verifier.
     pub fn build(self) -> Verifier {
         Verifier {
@@ -138,6 +198,7 @@ impl VerifierBuilder {
             minimize_guard_lines: self.minimize_guard_lines,
             loop_unroll: self.loop_unroll.max(1),
             policy: self.policy,
+            solve_budget: self.solve_budget,
         }
     }
 }
@@ -145,7 +206,7 @@ impl VerifierBuilder {
 /// The WebSSARI verification pipeline (Figure 9 of the paper): filter,
 /// abstract interpretation, renaming, constraint generation, SAT-based
 /// counterexample enumeration, and counterexample analysis.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Verifier {
     prelude: Prelude,
     filter_options: FilterOptions,
@@ -154,6 +215,7 @@ pub struct Verifier {
     minimize_guard_lines: bool,
     loop_unroll: usize,
     policy: Policy,
+    solve_budget: SolveBudget,
 }
 
 impl Verifier {
@@ -165,6 +227,44 @@ impl Verifier {
     /// The active prelude.
     pub fn prelude(&self) -> &Prelude {
         &self.prelude
+    }
+
+    /// The configured per-file solve budget.
+    pub fn solve_budget(&self) -> SolveBudget {
+        self.solve_budget
+    }
+
+    /// A deterministic, canonical text describing everything that
+    /// influences this verifier's *results*: crate version, policy,
+    /// loop-unroll depth, filter and check options, fix-plan settings,
+    /// and the full prelude contents. Two verifiers with identical
+    /// descriptions produce identical reports for identical sources.
+    ///
+    /// The incremental cache hashes this string into its fingerprint so
+    /// results self-invalidate when any knob changes. The solve budget
+    /// is deliberately excluded: it only decides whether a check
+    /// *finishes*, and timed-out results are never cached.
+    pub fn config_description(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "webssari-core {}", env!("CARGO_PKG_VERSION"));
+        let _ = writeln!(out, "policy {:?}", self.policy);
+        let _ = writeln!(out, "loop_unroll {}", self.loop_unroll);
+        let _ = writeln!(out, "exact_fixing_set {}", self.exact_fixing_set);
+        let _ = writeln!(out, "minimize_guard_lines {}", self.minimize_guard_lines);
+        let _ = writeln!(out, "filter_options {:?}", self.filter_options);
+        let _ = writeln!(
+            out,
+            "check_options encoder={:?} fresh={} max_cx={} certify={}",
+            self.check_options.encoder,
+            self.check_options.fresh_solver_per_assert,
+            self.check_options.max_counterexamples_per_assert,
+            self.check_options.certify,
+        );
+        let _ = writeln!(out, "prelude:");
+        out.push_str(&self.prelude.canonical_description());
+        out
     }
 
     /// Verifies one PHP source text.
@@ -185,11 +285,7 @@ impl Verifier {
     ///
     /// Returns [`VerifyError`] on parse or include failures (dynamic
     /// include paths fall back to analyzing the file alone).
-    pub fn verify_file(
-        &self,
-        sources: &SourceSet,
-        entry: &str,
-    ) -> Result<FileReport, VerifyError> {
+    pub fn verify_file(&self, sources: &SourceSet, entry: &str) -> Result<FileReport, VerifyError> {
         let src = sources
             .file(entry)
             .ok_or_else(|| {
@@ -238,9 +334,7 @@ impl Verifier {
         file: &str,
     ) -> FileReport {
         match &self.policy {
-            Policy::TwoPoint => {
-                self.verify_with_lattice(program, src, file, &TwoPoint::new())
-            }
+            Policy::TwoPoint => self.verify_with_lattice(program, src, file, &TwoPoint::new()),
             Policy::MultiClass(lattice) => {
                 let lattice = lattice.clone();
                 self.verify_with_lattice(program, src, file, &lattice)
@@ -258,7 +352,12 @@ impl Verifier {
         let f = filter_program(program, src, file, &self.prelude, &self.filter_options);
         let ai = abstract_interpret_with(&f, lattice, self.loop_unroll);
         let ts = typestate::analyze(&ai, lattice);
-        let bmc = Xbmc::with_options(&ai, self.check_options.clone()).check_all_with(lattice);
+        let mut check_options = self.check_options.clone();
+        if let Some(budget) = self.solve_budget.start() {
+            // The wall-clock allowance starts now, per file.
+            check_options.budget = Some(budget);
+        }
+        let bmc = Xbmc::with_options(&ai, check_options).check_all_with(lattice);
         // Replacement chains stop before channel variables: the patch
         // sanitizes the program variable that read the channel, not the
         // superglobal itself.
@@ -322,6 +421,13 @@ impl Verifier {
                 funcs,
             });
         }
+        let outcome = if bmc.interrupted {
+            FileOutcome::Timeout
+        } else if bmc.is_safe() {
+            FileOutcome::Verified
+        } else {
+            FileOutcome::Vulnerable
+        };
         FileReport {
             file: file.to_owned(),
             num_statements: program.num_statements(),
@@ -330,6 +436,7 @@ impl Verifier {
             bmc,
             fix_plan,
             vulnerabilities,
+            outcome,
         }
     }
 }
@@ -399,11 +506,11 @@ echo htmlspecialchars($_GET['msg']);
     #[test]
     fn project_verification_aggregates_files() {
         let mut set = SourceSet::new();
-        set.add_file("lib.php", "<?php function esc($s) { return htmlspecialchars($s); }");
         set.add_file(
-            "good.php",
-            "<?php include 'lib.php'; echo esc($_GET['m']);",
+            "lib.php",
+            "<?php function esc($s) { return htmlspecialchars($s); }",
         );
+        set.add_file("good.php", "<?php include 'lib.php'; echo esc($_GET['m']);");
         set.add_file("bad.php", "<?php echo $_GET['m'];");
         set.add_file("broken.php", "<?php if (");
         let report = Verifier::new().verify_project(&set);
@@ -444,6 +551,78 @@ echo htmlspecialchars($_GET['msg']);
         let greedy = Verifier::new().verify_source(src, "f.php").unwrap();
         assert_eq!(exact.bmc_instrumentations(), 1);
         assert!(exact.bmc_instrumentations() <= greedy.bmc_instrumentations());
+    }
+
+    #[test]
+    fn outcomes_distinguish_verified_and_vulnerable() {
+        let safe = Verifier::new()
+            .verify_source("<?php echo 'hi';", "s.php")
+            .unwrap();
+        assert_eq!(safe.outcome, FileOutcome::Verified);
+        let vuln = Verifier::new()
+            .verify_source("<?php echo $_GET['x'];", "v.php")
+            .unwrap();
+        assert_eq!(vuln.outcome, FileOutcome::Vulnerable);
+        assert_eq!(vuln.summary().outcome, FileOutcome::Vulnerable);
+    }
+
+    #[test]
+    fn zero_wall_budget_times_out() {
+        let report = VerifierBuilder::new()
+            .solve_budget(SolveBudget::unlimited().wall_time(std::time::Duration::ZERO))
+            .build()
+            .verify_source("<?php $x = $_GET['a']; echo $x;", "f.php")
+            .unwrap();
+        assert_eq!(report.outcome, FileOutcome::Timeout);
+        // A timed-out file carries no guarantee.
+        assert!(!report.is_safe());
+        assert!(report.bmc.interrupted);
+        assert!(report.render_text().contains("TIMEOUT"));
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let src = "<?php $x = $_GET['a']; echo $x;";
+        let plain = Verifier::new().verify_source(src, "f.php").unwrap();
+        let budgeted = VerifierBuilder::new()
+            .solve_budget(
+                SolveBudget::unlimited()
+                    .max_conflicts(1_000_000)
+                    .wall_time(std::time::Duration::from_secs(3600)),
+            )
+            .build()
+            .verify_source(src, "f.php")
+            .unwrap();
+        assert_eq!(plain.outcome, budgeted.outcome);
+        assert_eq!(plain.render_text(), budgeted.render_text());
+    }
+
+    #[test]
+    fn config_description_tracks_result_knobs_only() {
+        let base = Verifier::new().config_description();
+        assert_eq!(base, Verifier::new().config_description());
+        let unrolled = VerifierBuilder::new()
+            .loop_unroll(3)
+            .build()
+            .config_description();
+        assert_ne!(base, unrolled);
+        let multi = VerifierBuilder::new()
+            .multiclass()
+            .build()
+            .config_description();
+        assert_ne!(base, multi);
+        let exact = VerifierBuilder::new()
+            .exact_fixing_set(true)
+            .build()
+            .config_description();
+        assert_ne!(base, exact);
+        // The budget only decides whether a check finishes, so it must
+        // not perturb the fingerprint.
+        let budgeted = VerifierBuilder::new()
+            .solve_budget(SolveBudget::unlimited().max_conflicts(1))
+            .build()
+            .config_description();
+        assert_eq!(base, budgeted);
     }
 
     #[test]

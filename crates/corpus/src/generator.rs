@@ -129,11 +129,7 @@ pub fn generate_project(profile: &ProjectProfile) -> GeneratedProject {
 pub fn count_statements(sources: &SourceSet) -> usize {
     sources
         .iter()
-        .map(|(_, src)| {
-            parse_source(src)
-                .map(|p| p.num_statements())
-                .unwrap_or(0)
-        })
+        .map(|(_, src)| parse_source(src).map(|p| p.num_statements()).unwrap_or(0))
         .sum()
 }
 
@@ -296,7 +292,12 @@ mod tests {
         // A cross-section of the table, including the extremes:
         // PHPCodeCabinet (25 = 25), Crafty Syntax (16 → 1).
         let all = figure10_profiles();
-        for name in ["GBook MX", "PHPCodeCabinet", "Crafty Syntax Live Help", "PHP Helpdesk"] {
+        for name in [
+            "GBook MX",
+            "PHPCodeCabinet",
+            "Crafty Syntax Live Help",
+            "PHP Helpdesk",
+        ] {
             let p = all.iter().find(|p| p.name == name).unwrap();
             check_calibration(p);
         }

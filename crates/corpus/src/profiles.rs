@@ -172,8 +172,8 @@ pub(crate) fn sourceforge_230_profiles(scale: CorpusScale) -> Vec<ProjectProfile
             p.vuln_pages = 0;
             continue;
         }
-        let share = (p.bmc_groups * paper_stats::VULNERABLE_FILES / total_groups)
-            .clamp(1, p.bmc_groups);
+        let share =
+            (p.bmc_groups * paper_stats::VULNERABLE_FILES / total_groups).clamp(1, p.bmc_groups);
         p.vuln_pages = share;
         allocated += share;
     }

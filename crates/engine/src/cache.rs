@@ -1,0 +1,339 @@
+//! The incremental verification cache.
+//!
+//! A cache maps `file name → (content key, FileSummary)` under one
+//! *configuration fingerprint* — the canonical description of every
+//! verifier knob that can change a verdict ([`webssari_core::Verifier::
+//! config_description`]): crate version, taint policy, loop unroll
+//! depth, filter/check options, and the full prelude. A persisted cache
+//! whose fingerprint differs from the running engine's is discarded
+//! wholesale, so results self-invalidate when the tool or its
+//! configuration changes.
+//!
+//! Only conclusive outcomes are cached: a `Timeout` summary reflects
+//! the budget, not the program, and a retry with more headroom must
+//! actually re-solve.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use webssari_core::{FileOutcome, FileSummary, Vulnerability};
+
+use crate::hash;
+use crate::json::{parse, Value};
+
+/// On-disk format version; bump on incompatible layout changes.
+const FORMAT_VERSION: u64 = 1;
+
+/// File name used inside the cache directory.
+pub const CACHE_FILE_NAME: &str = "webssari-cache.json";
+
+/// One cached verification result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// Content key of the sources this summary was computed from.
+    pub content_key: u64,
+    /// The cached per-file summary.
+    pub summary: FileSummary,
+}
+
+/// An in-memory cache bound to one configuration fingerprint.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    fingerprint: String,
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+impl Cache {
+    /// An empty cache for the given fingerprint.
+    pub fn empty(fingerprint: String) -> Self {
+        Cache {
+            fingerprint,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Loads the cache from `dir`, returning an empty cache when the
+    /// file is missing, unreadable, corrupt, or was written under a
+    /// different configuration fingerprint or format version.
+    pub fn load(dir: &Path, fingerprint: &str) -> Self {
+        let mut cache = Cache::empty(fingerprint.to_owned());
+        let Ok(text) = std::fs::read_to_string(dir.join(CACHE_FILE_NAME)) else {
+            return cache;
+        };
+        let Some(root) = parse(&text) else {
+            return cache;
+        };
+        if root.get("version").and_then(Value::as_u64) != Some(FORMAT_VERSION)
+            || root.get("fingerprint").and_then(Value::as_str) != Some(fingerprint)
+        {
+            return cache;
+        }
+        let Some(entries) = root.get("entries").and_then(Value::as_arr) else {
+            return cache;
+        };
+        for entry in entries {
+            let Some((file, parsed)) = entry_from_value(entry) else {
+                continue;
+            };
+            cache.entries.insert(file, parsed);
+        }
+        cache
+    }
+
+    /// Writes the cache into `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the engine reports them without
+    /// failing the run — a broken cache only costs future speed.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(CACHE_FILE_NAME);
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// The fingerprint this cache is bound to.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the cached summary for `file` when its content key
+    /// matches, i.e. neither the file nor (for include-bearing files)
+    /// the source set changed since the summary was computed.
+    pub fn lookup(&self, file: &str, content_key: u64) -> Option<&FileSummary> {
+        let entry = self.entries.get(file)?;
+        (entry.content_key == content_key).then_some(&entry.summary)
+    }
+
+    /// Records a conclusive verification result. `Timeout` and
+    /// `ParseError` summaries are rejected — they describe the run,
+    /// not the program.
+    pub fn insert(&mut self, content_key: u64, summary: FileSummary) {
+        if matches!(
+            summary.outcome,
+            FileOutcome::Timeout | FileOutcome::ParseError
+        ) {
+            return;
+        }
+        self.entries.insert(
+            summary.file.clone(),
+            CacheEntry {
+                content_key,
+                summary,
+            },
+        );
+    }
+
+    /// Serializes the cache (version, fingerprint, entries in file-name
+    /// order — the output is deterministic).
+    pub fn to_json(&self) -> String {
+        let entries: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|(file, entry)| {
+                Value::obj(vec![
+                    ("file", Value::str(file.clone())),
+                    ("content_key", Value::str(hash::to_hex(entry.content_key))),
+                    ("summary", summary_to_value(&entry.summary)),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("version", Value::Num(FORMAT_VERSION)),
+            ("fingerprint", Value::str(self.fingerprint.clone())),
+            ("entries", Value::Arr(entries)),
+        ])
+        .to_json()
+    }
+}
+
+fn entry_from_value(value: &Value) -> Option<(String, CacheEntry)> {
+    let file = value.get("file")?.as_str()?.to_owned();
+    let content_key = hash::from_hex(value.get("content_key")?.as_str()?)?;
+    let summary = summary_from_value(value.get("summary")?)?;
+    // A summary whose file name disagrees with its key is corrupt.
+    if summary.file != file {
+        return None;
+    }
+    Some((
+        file,
+        CacheEntry {
+            content_key,
+            summary,
+        },
+    ))
+}
+
+/// Serializes a [`FileSummary`] (hand-rolled; the vendored serde derive
+/// is inert).
+pub fn summary_to_value(summary: &FileSummary) -> Value {
+    let vulns: Vec<Value> = summary
+        .vulnerabilities
+        .iter()
+        .map(|v| {
+            Value::obj(vec![
+                ("class", Value::str(v.class.clone())),
+                ("root_var", Value::str(v.root_var.clone())),
+                (
+                    "symptoms",
+                    Value::Arr(v.symptoms.iter().cloned().map(Value::Str).collect()),
+                ),
+                (
+                    "funcs",
+                    Value::Arr(v.funcs.iter().cloned().map(Value::Str).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Value::obj(vec![
+        ("file", Value::str(summary.file.clone())),
+        ("num_statements", Value::Num(summary.num_statements as u64)),
+        ("ts_errors", Value::Num(summary.ts_errors as u64)),
+        ("bmc_groups", Value::Num(summary.bmc_groups as u64)),
+        (
+            "counterexamples",
+            Value::Num(summary.counterexamples as u64),
+        ),
+        ("vulnerabilities", Value::Arr(vulns)),
+        ("outcome", Value::str(summary.outcome.as_str())),
+    ])
+}
+
+/// Parses [`summary_to_value`]'s output back.
+pub fn summary_from_value(value: &Value) -> Option<FileSummary> {
+    let string_list = |v: &Value| -> Option<Vec<String>> {
+        v.as_arr()?
+            .iter()
+            .map(|s| s.as_str().map(str::to_owned))
+            .collect()
+    };
+    let vulnerabilities = value
+        .get("vulnerabilities")?
+        .as_arr()?
+        .iter()
+        .map(|v| {
+            Some(Vulnerability {
+                class: v.get("class")?.as_str()?.to_owned(),
+                root_var: v.get("root_var")?.as_str()?.to_owned(),
+                symptoms: string_list(v.get("symptoms")?)?,
+                funcs: string_list(v.get("funcs")?)?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(FileSummary {
+        file: value.get("file")?.as_str()?.to_owned(),
+        num_statements: value.get("num_statements")?.as_u64()? as usize,
+        ts_errors: value.get("ts_errors")?.as_u64()? as usize,
+        bmc_groups: value.get("bmc_groups")?.as_u64()? as usize,
+        counterexamples: value.get("counterexamples")?.as_u64()? as usize,
+        vulnerabilities,
+        outcome: FileOutcome::from_str_opt(value.get("outcome")?.as_str()?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary(file: &str, outcome: FileOutcome) -> FileSummary {
+        FileSummary {
+            file: file.to_owned(),
+            num_statements: 4,
+            ts_errors: 2,
+            bmc_groups: 1,
+            counterexamples: 2,
+            vulnerabilities: vec![Vulnerability {
+                class: "sqli".to_owned(),
+                root_var: "sid".to_owned(),
+                symptoms: vec!["a.php:3".to_owned(), "a.php:4".to_owned()],
+                funcs: vec!["mysql_query".to_owned()],
+            }],
+            outcome,
+        }
+    }
+
+    #[test]
+    fn summary_round_trips() {
+        let summary = sample_summary("a.php", FileOutcome::Vulnerable);
+        let value = summary_to_value(&summary);
+        assert_eq!(summary_from_value(&value), Some(summary));
+    }
+
+    #[test]
+    fn lookup_requires_matching_key() {
+        let mut cache = Cache::empty("fp".to_owned());
+        cache.insert(42, sample_summary("a.php", FileOutcome::Vulnerable));
+        assert!(cache.lookup("a.php", 42).is_some());
+        assert!(cache.lookup("a.php", 43).is_none());
+        assert!(cache.lookup("b.php", 42).is_none());
+    }
+
+    #[test]
+    fn inconclusive_outcomes_are_never_cached() {
+        let mut cache = Cache::empty("fp".to_owned());
+        cache.insert(1, sample_summary("t.php", FileOutcome::Timeout));
+        cache.insert(2, sample_summary("p.php", FileOutcome::ParseError));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn persistence_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "webssari-cache-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let mut cache = Cache::empty("fp v1".to_owned());
+        cache.insert(7, sample_summary("a.php", FileOutcome::Verified));
+        cache.insert(9, sample_summary("b.php", FileOutcome::Vulnerable));
+        cache.save(&dir).unwrap();
+
+        let loaded = Cache::load(&dir, "fp v1");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded.lookup("a.php", 7).map(|s| s.outcome),
+            Some(FileOutcome::Verified)
+        );
+
+        // A different fingerprint discards everything.
+        let other = Cache::load(&dir, "fp v2");
+        assert!(other.is_empty());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_reads_as_empty() {
+        let dir = std::env::temp_dir().join(format!(
+            "webssari-cache-corrupt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(CACHE_FILE_NAME), "{ not json").unwrap();
+        assert!(Cache::load(&dir, "fp").is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn to_json_is_deterministic() {
+        let mut a = Cache::empty("fp".to_owned());
+        a.insert(1, sample_summary("z.php", FileOutcome::Verified));
+        a.insert(2, sample_summary("a.php", FileOutcome::Verified));
+        let mut b = Cache::empty("fp".to_owned());
+        b.insert(2, sample_summary("a.php", FileOutcome::Verified));
+        b.insert(1, sample_summary("z.php", FileOutcome::Verified));
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -1,0 +1,439 @@
+//! The batch verification engine: a fixed worker pool over per-file
+//! jobs, an incremental cache, per-job solve budgets, and metrics.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use php_front::SourceSet;
+use webssari_core::{FileOutcome, FileReport, FileSummary, Verifier, VerifyError};
+
+use crate::cache::Cache;
+use crate::hash;
+use crate::metrics::{EngineMetrics, FileMetrics};
+
+/// Configures an [`Engine`].
+///
+/// ```
+/// use webssari_core::{SolveBudget, VerifierBuilder};
+/// use webssari_engine::EngineBuilder;
+///
+/// let engine = EngineBuilder::new()
+///     .verifier(
+///         VerifierBuilder::new()
+///             .solve_budget(SolveBudget::unlimited().max_conflicts(100_000))
+///             .build(),
+///     )
+///     .workers(4)
+///     .build();
+/// let mut set = php_front::SourceSet::new();
+/// set.add_file("a.php", "<?php echo $_GET['x'];");
+/// let report = engine.run(&set);
+/// assert_eq!(report.vulnerable_files(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EngineBuilder {
+    verifier: Verifier,
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+impl EngineBuilder {
+    /// Starts from a default [`Verifier`] and a single worker.
+    pub fn new() -> Self {
+        EngineBuilder {
+            verifier: Verifier::new(),
+            workers: 1,
+            cache_dir: None,
+        }
+    }
+
+    /// The verifier configuration each job runs under — including its
+    /// [`webssari_core::SolveBudget`], which every job re-arms
+    /// independently (a stuck file exhausts *its* budget, not the
+    /// batch's).
+    #[must_use]
+    pub fn verifier(mut self, verifier: Verifier) -> Self {
+        self.verifier = verifier;
+        self
+    }
+
+    /// Size of the worker pool (clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables the persistent incremental cache in this directory.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            verifier: self.verifier,
+            workers: self.workers,
+            cache_dir: self.cache_dir,
+        }
+    }
+}
+
+/// The batch verification engine. See [`EngineBuilder`].
+#[derive(Clone, Debug)]
+pub struct Engine {
+    verifier: Verifier,
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+/// One file's result in an [`EngineReport`].
+#[derive(Clone, Debug)]
+pub struct EngineFileResult {
+    /// The per-file summary (always present).
+    pub summary: FileSummary,
+    /// The full report with counterexample traces — `None` when the
+    /// result was served from the cache, which stores summaries only.
+    pub report: Option<FileReport>,
+    /// Whether the cache served this result.
+    pub from_cache: bool,
+}
+
+impl EngineFileResult {
+    /// Renders this file's report. Fresh results render the full
+    /// counterexample traces (byte-identical to the sequential
+    /// pipeline); cached results render from the stored summary.
+    pub fn render_text(&self) -> String {
+        if let Some(report) = &self.report {
+            return report.render_text();
+        }
+        let s = &self.summary;
+        let mut out = format!(
+            "== {} == (cached)\nstatements: {}, TS errors: {}, BMC groups: {}, \
+             counterexamples: {}, outcome: {}\n",
+            s.file, s.num_statements, s.ts_errors, s.bmc_groups, s.counterexamples, s.outcome,
+        );
+        for v in &s.vulnerabilities {
+            out.push_str(&format!(
+                "[{}] sanitize ${} — fixes {} symptom(s): {}\n",
+                v.class,
+                v.root_var,
+                v.symptoms.len(),
+                v.symptoms.join(", "),
+            ));
+        }
+        out
+    }
+}
+
+/// The outcome of one [`Engine::run`] over a source set.
+#[derive(Clone, Debug, Default)]
+pub struct EngineReport {
+    /// Per-file results in file-name order (deterministic regardless of
+    /// worker count or scheduling).
+    pub files: Vec<EngineFileResult>,
+    /// Files that failed to parse or resolve, with the error text, in
+    /// file-name order.
+    pub failed_files: Vec<(String, String)>,
+    /// Where the run spent its time.
+    pub metrics: EngineMetrics,
+    /// A cache persistence failure, if one occurred (the verification
+    /// results themselves are unaffected).
+    pub cache_error: Option<String>,
+}
+
+impl EngineReport {
+    /// Total TS-reported errors across files.
+    pub fn ts_errors(&self) -> usize {
+        self.files.iter().map(|f| f.summary.ts_errors).sum()
+    }
+
+    /// Total BMC-reported error groups across files.
+    pub fn bmc_groups(&self) -> usize {
+        self.files.iter().map(|f| f.summary.bmc_groups).sum()
+    }
+
+    /// Total statements analyzed.
+    pub fn num_statements(&self) -> usize {
+        self.files.iter().map(|f| f.summary.num_statements).sum()
+    }
+
+    /// Files with at least one violation.
+    pub fn vulnerable_files(&self) -> usize {
+        self.count(FileOutcome::Vulnerable)
+    }
+
+    /// Files whose check was cut off by the solve budget.
+    pub fn timeout_files(&self) -> usize {
+        self.count(FileOutcome::Timeout)
+    }
+
+    /// Whether any file is vulnerable.
+    pub fn is_vulnerable(&self) -> bool {
+        self.vulnerable_files() > 0
+    }
+
+    /// The instrumentation reduction BMC achieves over TS (`1 − BMC/TS`),
+    /// `None` when TS reports no errors.
+    pub fn reduction(&self) -> Option<f64> {
+        let ts = self.ts_errors();
+        if ts == 0 {
+            return None;
+        }
+        Some(1.0 - self.bmc_groups() as f64 / ts as f64)
+    }
+
+    /// Renders every file's report, one blank line between files —
+    /// the same text the sequential CLI path prints.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.files {
+            out.push_str(&f.render_text());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn count(&self, outcome: FileOutcome) -> usize {
+        self.files
+            .iter()
+            .filter(|f| f.summary.outcome == outcome)
+            .count()
+    }
+}
+
+/// A unit of work: `(slot index, file name, content key)`.
+type Job = (usize, String, u64);
+
+struct JobDone {
+    index: usize,
+    file: String,
+    content_key: u64,
+    worker: usize,
+    queue_wait: Duration,
+    duration: Duration,
+    result: Result<FileReport, VerifyError>,
+}
+
+enum Slot {
+    Hit(FileSummary),
+    Fresh(Box<JobDone>),
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The configuration fingerprint the cache is keyed by.
+    pub fn fingerprint(&self) -> String {
+        self.verifier.config_description()
+    }
+
+    /// Verifies every file of the set as an entry point, scheduling
+    /// jobs across the worker pool. Results are ordered by file name —
+    /// identical to the sequential [`Verifier::verify_project`] path
+    /// for any worker count.
+    pub fn run(&self, sources: &SourceSet) -> EngineReport {
+        let started = Instant::now();
+        let fingerprint = self.fingerprint();
+        let mut cache = match &self.cache_dir {
+            Some(dir) => Cache::load(dir, &fingerprint),
+            None => Cache::empty(fingerprint),
+        };
+
+        // Content keys: a file's own hash; include-bearing files also
+        // fold in the whole set, since their verdict can depend on any
+        // other file (conservative but sound — include resolution is
+        // dynamic enough that computing the precise closure up front
+        // would duplicate the parser).
+        let set_hash = sources.iter().fold(0u64, |h, (name, src)| {
+            hash::combine(h, content_hash(name, src))
+        });
+        let names: Vec<(String, u64)> = sources
+            .iter()
+            .map(|(name, src)| {
+                let own = content_hash(name, src);
+                let key = if depends_on_set(src) {
+                    hash::combine(own, set_hash)
+                } else {
+                    own
+                };
+                (name.to_owned(), key)
+            })
+            .collect();
+
+        // Serve cache hits on this thread; queue the rest.
+        let mut slots: Vec<Option<Slot>> = Vec::with_capacity(names.len());
+        slots.resize_with(names.len(), || None);
+        let mut jobs: Vec<Job> = Vec::new();
+        for (index, (name, key)) in names.iter().enumerate() {
+            if let Some(summary) = cache.lookup(name, *key) {
+                slots[index] = Some(Slot::Hit(summary.clone()));
+            } else {
+                jobs.push((index, name.clone(), *key));
+            }
+        }
+
+        if !jobs.is_empty() {
+            let workers = self.workers.min(jobs.len());
+            let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
+            let (done_tx, done_rx) = crossbeam::channel::unbounded::<JobDone>();
+            for job in jobs {
+                job_tx.send(job).expect("queue is open");
+            }
+            drop(job_tx);
+            let verifier = &self.verifier;
+            crossbeam::scope(|s| {
+                for worker in 0..workers {
+                    let job_rx = job_rx.clone();
+                    let done_tx = done_tx.clone();
+                    s.spawn(move |_| {
+                        for (index, file, content_key) in job_rx.iter() {
+                            let picked = Instant::now();
+                            let result = verifier.verify_file(sources, &file);
+                            let done = JobDone {
+                                index,
+                                file,
+                                content_key,
+                                worker,
+                                queue_wait: picked.duration_since(started),
+                                duration: picked.elapsed(),
+                                result,
+                            };
+                            if done_tx.send(done).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(job_rx);
+                drop(done_tx);
+                for done in done_rx.iter() {
+                    let index = done.index;
+                    slots[index] = Some(Slot::Fresh(Box::new(done)));
+                }
+            })
+            .expect("engine worker panicked");
+        }
+
+        self.assemble(started, names, slots, &mut cache)
+    }
+
+    /// Folds filled slots into the final report, updates the cache, and
+    /// persists it.
+    fn assemble(
+        &self,
+        started: Instant,
+        names: Vec<(String, u64)>,
+        slots: Vec<Option<Slot>>,
+        cache: &mut Cache,
+    ) -> EngineReport {
+        let mut report = EngineReport::default();
+        let mut file_metrics = Vec::with_capacity(names.len());
+        let mut hits = 0usize;
+        let mut misses = 0usize;
+        for ((name, _), slot) in names.into_iter().zip(slots) {
+            match slot.expect("every slot is either a hit or a finished job") {
+                Slot::Hit(summary) => {
+                    hits += 1;
+                    file_metrics.push(FileMetrics {
+                        file: name,
+                        outcome: summary.outcome,
+                        from_cache: true,
+                        worker: None,
+                        queue_wait: Duration::ZERO,
+                        duration: Duration::ZERO,
+                        conflicts: 0,
+                        decisions: 0,
+                        propagations: 0,
+                        restarts: 0,
+                        sat_calls: 0,
+                    });
+                    report.files.push(EngineFileResult {
+                        summary,
+                        report: None,
+                        from_cache: true,
+                    });
+                }
+                Slot::Fresh(done) => {
+                    misses += 1;
+                    match done.result {
+                        Ok(file_report) => {
+                            let summary = file_report.summary();
+                            cache.insert(done.content_key, summary.clone());
+                            let stats = &file_report.bmc.stats;
+                            file_metrics.push(FileMetrics {
+                                file: done.file,
+                                outcome: summary.outcome,
+                                from_cache: false,
+                                worker: Some(done.worker),
+                                queue_wait: done.queue_wait,
+                                duration: done.duration,
+                                conflicts: stats.conflicts,
+                                decisions: stats.decisions,
+                                propagations: stats.propagations,
+                                restarts: stats.restarts,
+                                sat_calls: stats.sat_calls,
+                            });
+                            report.files.push(EngineFileResult {
+                                summary,
+                                report: Some(file_report),
+                                from_cache: false,
+                            });
+                        }
+                        Err(e) => {
+                            file_metrics.push(FileMetrics {
+                                file: done.file.clone(),
+                                outcome: FileOutcome::ParseError,
+                                from_cache: false,
+                                worker: Some(done.worker),
+                                queue_wait: done.queue_wait,
+                                duration: done.duration,
+                                conflicts: 0,
+                                decisions: 0,
+                                propagations: 0,
+                                restarts: 0,
+                                sat_calls: 0,
+                            });
+                            report.failed_files.push((done.file, e.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(dir) = &self.cache_dir {
+            if let Err(e) = cache.save(dir) {
+                report.cache_error = Some(format!("cannot write cache in {}: {e}", dir.display()));
+            }
+        }
+        report.metrics = EngineMetrics {
+            workers: self.workers,
+            wall_time: started.elapsed(),
+            cache_hits: hits,
+            cache_misses: misses,
+            files: file_metrics,
+        };
+        report
+    }
+}
+
+/// Hashes one file's identity: its name and contents.
+fn content_hash(name: &str, src: &str) -> u64 {
+    hash::fold(
+        hash::fold(hash::fnv1a_64(name.as_bytes()), &[0]),
+        src.as_bytes(),
+    )
+}
+
+/// Whether a file's verdict can depend on other files in the set.
+/// Any PHP include form (`include`, `include_once`, `require`,
+/// `require_once`) contains one of these substrings, so this test is
+/// conservative: it never misses a dependency, at worst it rebuilds an
+/// independent file.
+fn depends_on_set(src: &str) -> bool {
+    src.contains("include") || src.contains("require")
+}

@@ -1,0 +1,75 @@
+//! Content hashing for the incremental cache.
+//!
+//! FNV-1a (64-bit) is used for both file contents and the engine's
+//! configuration fingerprint. The cache only needs a *deterministic,
+//! well-distributed* key — collision resistance against an adversary is
+//! a non-goal (a collision merely serves one stale verification
+//! result), so a cryptographic hash would be needless weight here.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    fold(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a hash over more bytes, so multi-part keys
+/// (name ‖ separator ‖ contents) can be built without concatenating.
+pub fn fold(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds a previously computed hash into another, with a separator so
+/// `combine(a, b)` differs from hashing the concatenated inputs.
+pub fn combine(a: u64, b: u64) -> u64 {
+    fold(fold(a, &[0xff]), &b.to_le_bytes())
+}
+
+/// Fixed-width lower-case hex rendering, the cache's on-disk key form.
+pub fn to_hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Parses [`to_hex`]'s rendering back.
+pub fn from_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = fnv1a_64(b"alpha");
+        let b = fnv1a_64(b"beta");
+        assert_ne!(combine(a, b), combine(b, a));
+        assert_ne!(combine(a, b), a);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for h in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(from_hex(&to_hex(h)), Some(h));
+        }
+        assert_eq!(from_hex("xyz"), None);
+        assert_eq!(from_hex("00"), None);
+    }
+}

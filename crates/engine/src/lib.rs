@@ -1,0 +1,185 @@
+//! # webssari-engine — parallel batch verification
+//!
+//! The DSN'04 evaluation verified a 230-project, 1.14M-statement
+//! corpus; doing that sequentially wastes the per-file independence of
+//! the pipeline. This crate schedules per-file verification jobs
+//! across a fixed worker pool and adds the machinery a batch auditor
+//! needs:
+//!
+//! * **Worker pool** ([`Engine`], [`EngineBuilder`]) — N worker
+//!   threads pull `(index, file)` jobs from an MPMC channel; results
+//!   are re-ordered by file name, so the report is deterministic and
+//!   identical to the sequential [`webssari_core::Verifier`] path for
+//!   any worker count.
+//! * **Incremental cache** ([`Cache`]) — results keyed by content hash
+//!   and a configuration fingerprint
+//!   ([`webssari_core::Verifier::config_description`]); persisted as
+//!   JSON, self-invalidating when the tool version, policy, unroll
+//!   depth, options, or prelude change. Inconclusive outcomes
+//!   (`Timeout`, `ParseError`) are never cached.
+//! * **Per-job budgets** — each job re-arms the verifier's
+//!   [`webssari_core::SolveBudget`], so one pathological file degrades
+//!   to a `Timeout` outcome without stalling or poisoning the batch.
+//! * **Metrics** ([`EngineMetrics`]) — per-file wall time, queue wait,
+//!   cache hits/misses, and SAT work counters, renderable as text or
+//!   JSON.
+//!
+//! ```
+//! use php_front::SourceSet;
+//! use webssari_engine::EngineBuilder;
+//!
+//! let mut set = SourceSet::new();
+//! set.add_file("safe.php", "<?php echo 'hello';");
+//! set.add_file("vuln.php", "<?php echo $_GET['x'];");
+//! let report = EngineBuilder::new().workers(2).build().run(&set);
+//! assert_eq!(report.files.len(), 2);
+//! assert_eq!(report.vulnerable_files(), 1);
+//! assert_eq!(report.metrics.cache_misses, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+pub mod hash;
+pub mod json;
+mod metrics;
+
+pub use cache::{summary_from_value, summary_to_value, Cache, CacheEntry, CACHE_FILE_NAME};
+pub use engine::{Engine, EngineBuilder, EngineFileResult, EngineReport};
+pub use metrics::{EngineMetrics, FileMetrics};
+
+#[cfg(test)]
+mod tests {
+    use php_front::SourceSet;
+    use webssari_core::{FileOutcome, SolveBudget, Verifier, VerifierBuilder};
+
+    use super::*;
+
+    fn small_set() -> SourceSet {
+        let mut set = SourceSet::new();
+        set.add_file("safe.php", "<?php $a = 'x'; echo $a;");
+        set.add_file("sqli.php", "<?php $s = $_GET['s']; mysql_query($s);");
+        set.add_file("xss.php", "<?php echo $_GET['x'];");
+        set
+    }
+
+    #[test]
+    fn engine_matches_sequential_for_any_worker_count() {
+        let set = small_set();
+        let sequential = Verifier::new().verify_project(&set);
+        let expected: String = sequential
+            .files
+            .iter()
+            .map(|f| format!("{}\n", f.render_text()))
+            .collect();
+        for workers in [1, 2, 4] {
+            let report = EngineBuilder::new().workers(workers).build().run(&set);
+            assert_eq!(report.render_text(), expected, "workers = {workers}");
+            assert_eq!(report.ts_errors(), sequential.ts_errors());
+            assert_eq!(report.bmc_groups(), sequential.bmc_groups());
+            assert_eq!(report.vulnerable_files(), sequential.vulnerable_files());
+        }
+    }
+
+    #[test]
+    fn parse_errors_become_failed_files() {
+        let mut set = small_set();
+        set.add_file("broken.php", "<?php if (");
+        let report = EngineBuilder::new().workers(2).build().run(&set);
+        assert_eq!(report.files.len(), 3);
+        assert_eq!(report.failed_files.len(), 1);
+        assert_eq!(report.failed_files[0].0, "broken.php");
+        assert_eq!(report.metrics.count(FileOutcome::ParseError), 1);
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_timeout_without_poisoning_batch() {
+        let verifier = VerifierBuilder::new()
+            .solve_budget(SolveBudget::unlimited().wall_time(std::time::Duration::ZERO))
+            .build();
+        let report = EngineBuilder::new()
+            .verifier(verifier)
+            .workers(2)
+            .build()
+            .run(&small_set());
+        // Every file that needs solving times out; the batch completes.
+        assert_eq!(report.files.len(), 3);
+        assert!(report.timeout_files() >= 1);
+        assert!(report.failed_files.is_empty());
+    }
+
+    #[test]
+    fn second_run_with_cache_hits_every_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "webssari-engine-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let set = small_set();
+        let engine = EngineBuilder::new().workers(2).cache_dir(&dir).build();
+        let first = engine.run(&set);
+        assert_eq!(first.metrics.cache_misses, set.len());
+        assert!(first.cache_error.is_none(), "{:?}", first.cache_error);
+
+        let second = engine.run(&set);
+        assert_eq!(second.metrics.cache_hits, set.len());
+        assert_eq!(second.metrics.cache_misses, 0);
+        assert_eq!(second.ts_errors(), first.ts_errors());
+        assert_eq!(second.bmc_groups(), first.bmc_groups());
+        assert_eq!(second.vulnerable_files(), first.vulnerable_files());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn editing_one_file_reverifies_only_that_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "webssari-engine-edit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let mut set = small_set();
+        let engine = EngineBuilder::new().workers(2).cache_dir(&dir).build();
+        engine.run(&set);
+        set.add_file("xss.php", "<?php echo htmlspecialchars($_GET['x']);");
+        let second = engine.run(&set);
+        assert_eq!(second.metrics.cache_hits, 2);
+        assert_eq!(second.metrics.cache_misses, 1);
+        let xss = second
+            .files
+            .iter()
+            .find(|f| f.summary.file == "xss.php")
+            .unwrap();
+        assert!(!xss.from_cache);
+        assert_eq!(xss.summary.outcome, FileOutcome::Verified);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn include_bearing_files_invalidate_with_the_set() {
+        let dir = std::env::temp_dir().join(format!(
+            "webssari-engine-inc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let mut set = SourceSet::new();
+        set.add_file("lib.php", "<?php $v = 'safe';");
+        set.add_file("main.php", "<?php include 'lib.php'; echo $v;");
+        let engine = EngineBuilder::new().cache_dir(&dir).build();
+        let first = engine.run(&set);
+        assert_eq!(first.vulnerable_files(), 0);
+
+        // Changing only lib.php must re-verify main.php too.
+        set.add_file("lib.php", "<?php $v = $_GET['v'];");
+        let second = engine.run(&set);
+        let main = second
+            .files
+            .iter()
+            .find(|f| f.summary.file == "main.php")
+            .unwrap();
+        assert!(!main.from_cache, "stale include result served from cache");
+        assert_eq!(main.summary.outcome, FileOutcome::Vulnerable);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -85,10 +85,7 @@ impl MisInstance {
                 .max_by_key(|(v, c)| (c.intersection(&uncovered).count(), std::cmp::Reverse(**v)))
                 .expect("uncovered nonempty implies a candidate exists");
             chosen.push(best);
-            let newly: Vec<usize> = covers[&best]
-                .intersection(&uncovered)
-                .copied()
-                .collect();
+            let newly: Vec<usize> = covers[&best].intersection(&uncovered).copied().collect();
             for i in newly {
                 uncovered.remove(&i);
             }
@@ -170,10 +167,7 @@ impl MisInstance {
                 })
                 .expect("uncovered nonempty implies a candidate exists");
             chosen.push(best);
-            let newly: Vec<usize> = covers[&best]
-                .intersection(&uncovered)
-                .copied()
-                .collect();
+            let newly: Vec<usize> = covers[&best].intersection(&uncovered).copied().collect();
             for i in newly {
                 uncovered.remove(&i);
             }

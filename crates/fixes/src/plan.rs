@@ -340,7 +340,11 @@ $other = $_GET['o']; echo $other;
     /// Models the runtime guard: every assignment to a fix variable is
     /// followed by sanitization, i.e. its result type becomes ⊥.
     fn sanitize(ai: &AiProgram, fix_vars: &[VarId], lattice: &impl Lattice) -> AiProgram {
-        fn rewrite(cmds: &[AiCmd], fix: &BTreeSet<VarId>, bottom: taint_lattice::Elem) -> Vec<AiCmd> {
+        fn rewrite(
+            cmds: &[AiCmd],
+            fix: &BTreeSet<VarId>,
+            bottom: taint_lattice::Elem,
+        ) -> Vec<AiCmd> {
             cmds.iter()
                 .map(|c| match c {
                     AiCmd::Assign { var, site, .. } if fix.contains(var) => AiCmd::Assign {

@@ -26,7 +26,10 @@ impl Graph {
     /// Panics if an edge endpoint is out of range or a self-loop.
     pub fn new(num_vertices: usize, edges: Vec<(usize, usize)>) -> Self {
         for &(u, v) in &edges {
-            assert!(u < num_vertices && v < num_vertices, "edge endpoint out of range");
+            assert!(
+                u < num_vertices && v < num_vertices,
+                "edge endpoint out of range"
+            );
             assert_ne!(u, v, "self-loops have no 2-element constraint set");
         }
         Graph {
@@ -46,7 +49,10 @@ impl Graph {
     ///
     /// Panics if the graph has more than 20 vertices.
     pub fn min_vertex_cover(&self) -> Vec<usize> {
-        assert!(self.num_vertices <= 20, "brute force limited to 20 vertices");
+        assert!(
+            self.num_vertices <= 20,
+            "brute force limited to 20 vertices"
+        );
         let n = self.num_vertices;
         let mut best: Vec<usize> = (0..n).collect();
         for mask in 0u32..(1 << n) {
@@ -117,7 +123,10 @@ mod tests {
             );
             // The MIS solution must itself be a vertex cover.
             let m: std::collections::BTreeSet<usize> = mis.into_iter().collect();
-            assert!(g.edges.iter().all(|&(u, v)| m.contains(&u) || m.contains(&v)));
+            assert!(g
+                .edges
+                .iter()
+                .all(|&(u, v)| m.contains(&u) || m.contains(&v)));
         }
     }
 

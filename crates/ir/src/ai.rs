@@ -260,11 +260,7 @@ pub fn abstract_interpret(f: &FProgram) -> AiProgram {
 /// # Panics
 ///
 /// Panics if `unroll` is zero.
-pub fn abstract_interpret_with(
-    f: &FProgram,
-    lattice: &impl Lattice,
-    unroll: usize,
-) -> AiProgram {
+pub fn abstract_interpret_with(f: &FProgram, lattice: &impl Lattice, unroll: usize) -> AiProgram {
     assert!(unroll >= 1, "loop unrolling factor must be at least 1");
     let mut cx = Translate {
         lattice,
@@ -305,9 +301,8 @@ impl<L: Lattice> Translate<'_, L> {
                     mask,
                     site,
                 } => {
-                    let base = expr.const_base(self.lattice.bottom(), &|a, b| {
-                        self.lattice.join(a, b)
-                    });
+                    let base =
+                        expr.const_base(self.lattice.bottom(), &|a, b| self.lattice.join(a, b));
                     let mut deps = expr.vars();
                     deps.sort_unstable();
                     deps.dedup();
@@ -687,9 +682,8 @@ if (Nick) {
 
     #[test]
     fn all_violating_paths_groups_by_assertion() {
-        let ai = ai_of(
-            "<?php $x = 'a'; if ($c) { $x = $_GET['q']; } if ($d) { echo $x; } echo $x;",
-        );
+        let ai =
+            ai_of("<?php $x = 'a'; if ($c) { $x = $_GET['q']; } if ($d) { echo $x; } echo $x;");
         let l = TwoPoint::new();
         let all = reference::all_violating_paths(&ai, &l);
         // Both echoes violate only when branch 0 (taint) is taken; the

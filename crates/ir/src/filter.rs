@@ -200,11 +200,7 @@ impl Filter<'_> {
     fn collect_unassigned_reads(&mut self, program: &Program) {
         let mut reads: Vec<String> = Vec::new();
         let mut writes: HashSet<String> = HashSet::new();
-        fn walk_stmts(
-            stmts: &[Stmt],
-            reads: &mut Vec<String>,
-            writes: &mut HashSet<String>,
-        ) {
+        fn walk_stmts(stmts: &[Stmt], reads: &mut Vec<String>, writes: &mut HashSet<String>) {
             for s in stmts {
                 match s {
                     Stmt::Expr(e, _) => walk_expr(e, reads, writes),
@@ -230,8 +226,7 @@ impl Filter<'_> {
                             walk_stmts(b, reads, writes);
                         }
                     }
-                    Stmt::While { cond, body, .. }
-                    | Stmt::DoWhile { cond, body, .. } => {
+                    Stmt::While { cond, body, .. } | Stmt::DoWhile { cond, body, .. } => {
                         walk_expr(cond, reads, writes);
                         walk_stmts(body, reads, writes);
                     }
@@ -293,10 +288,7 @@ impl Filter<'_> {
                     writes.insert(root.to_owned());
                 }
                 walk_expr(value, reads, writes);
-                if let LValue::ArrayElem {
-                    index: Some(i), ..
-                } = target
-                {
+                if let LValue::ArrayElem { index: Some(i), .. } = target {
                     walk_expr(i, reads, writes);
                 }
                 return;
@@ -473,16 +465,15 @@ impl Filter<'_> {
             } => {
                 let v = self.lower_expr(value, scope, out);
                 // Evaluate array-index side effects.
-                if let LValue::ArrayElem {
-                    index: Some(i), ..
-                } = target
-                {
+                if let LValue::ArrayElem { index: Some(i), .. } = target {
                     let _ = self.lower_expr(i, scope, out);
                 }
                 if let LValue::List(items) = target {
                     // list($a, $b) = e: every element receives e's type.
                     for item in items {
-                        let Some(root) = item.root_var() else { continue };
+                        let Some(root) = item.root_var() else {
+                            continue;
+                        };
                         let root = root.to_owned();
                         let var = self.resolve(scope, &root);
                         let weak = !matches!(item, LValue::Var(_));
@@ -505,8 +496,7 @@ impl Filter<'_> {
                 };
                 let root = root.to_owned();
                 let var = self.resolve(scope, &root);
-                let weak = !matches!(op, AssignOp::Assign)
-                    || !matches!(target, LValue::Var(_));
+                let weak = !matches!(op, AssignOp::Assign) || !matches!(target, LValue::Var(_));
                 let expr = if weak {
                     FExpr::Join(vec![FExpr::Var(var), v])
                 } else {
@@ -980,7 +970,10 @@ mod tests {
                 }
             }
         }
-        let id = p.vars.lookup(name).unwrap_or_else(|| panic!("no var {name}"));
+        let id = p
+            .vars
+            .lookup(name)
+            .unwrap_or_else(|| panic!("no var {name}"));
         let mut out = Vec::new();
         walk(&p.cmds, id, &mut out);
         out
@@ -1146,18 +1139,14 @@ mod tests {
 
     #[test]
     fn recursive_functions_are_cut_off() {
-        let p = filter(
-            "<?php function r($x) { return r($x); } $y = r($_GET['q']); echo $y;",
-        );
+        let p = filter("<?php function r($x) { return r($x); } $y = r($_GET['q']); echo $y;");
         // Must terminate; inner recursive calls degrade to join-of-args.
         assert!(p.num_commands() > 0);
     }
 
     #[test]
     fn globals_link_function_locals_to_toplevel() {
-        let p = filter(
-            "<?php $g = $_GET['x']; function f() { global $g; echo $g; } f();",
-        );
+        let p = filter("<?php $g = $_GET['x']; function f() { global $g; echo $g; } f();");
         assert_eq!(p.num_socs(), 1);
         // The echo inside f() must reference the top-level $g.
         fn find_soc(cmds: &[FCmd]) -> Option<&FCmd> {
@@ -1193,19 +1182,20 @@ mod tests {
 
     #[test]
     fn by_ref_params_copy_back() {
-        let p = filter(
-            "<?php function taintit(&$o) { $o = $_GET['x']; } taintit($v); echo $v;",
-        );
+        let p = filter("<?php function taintit(&$o) { $o = $_GET['x']; } taintit($v); echo $v;");
         let assigns = assigns_to(&p, "v");
-        assert_eq!(assigns.len(), 1, "by-ref copy-back must assign the caller var");
+        assert_eq!(
+            assigns.len(),
+            1,
+            "by-ref copy-back must assign the caller var"
+        );
     }
 
     #[test]
     fn extract_materializes_unassigned_reads() {
         // Figure 2: extract($row); echo "$tickets_username…";
-        let p = filter(
-            "<?php $row = mysql_fetch_array($r); extract($row); echo \"$tickets_subject\";",
-        );
+        let p =
+            filter("<?php $row = mysql_fetch_array($r); extract($row); echo \"$tickets_subject\";");
         let assigns = assigns_to(&p, "tickets_subject");
         assert_eq!(assigns.len(), 1);
         match assigns[0] {
@@ -1244,9 +1234,7 @@ mod tests {
 
     #[test]
     fn switch_cases_become_selections() {
-        let p = filter(
-            "<?php switch ($x) { case 1: $a = $_GET['p']; break; default: echo $a; }",
-        );
+        let p = filter("<?php switch ($x) { case 1: $a = $_GET['p']; break; default: echo $a; }");
         let ifs = p
             .cmds
             .iter()

@@ -210,7 +210,9 @@ impl fmt::Display for FProgram {
                     write!(f, "  ")?;
                 }
                 match c {
-                    FCmd::Assign { var, expr, mask, .. } => {
+                    FCmd::Assign {
+                        var, expr, mask, ..
+                    } => {
                         write!(f, "${} := ", vars.name(*var))?;
                         fmt_expr(expr, vars, f)?;
                         if let Some(m) = mask {

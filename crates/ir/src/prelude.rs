@@ -155,18 +155,29 @@ impl Prelude {
         ] {
             p.soc.insert(f.to_owned(), soc(top, "sqli", None));
         }
-        for f in ["exec", "system", "passthru", "shell_exec", "popen", "proc_open"] {
+        for f in [
+            "exec",
+            "system",
+            "passthru",
+            "shell_exec",
+            "popen",
+            "proc_open",
+        ] {
             p.soc.insert(f.to_owned(), soc(top, "shell", Some(vec![0])));
         }
         for f in ["eval", "assert_code", "create_function"] {
             p.soc.insert(f.to_owned(), soc(top, "code-injection", None));
         }
         for f in ["fopen", "unlink", "readfile", "file_put_contents"] {
-            p.soc.insert(f.to_owned(), soc(top, "file-access", Some(vec![0])));
+            p.soc
+                .insert(f.to_owned(), soc(top, "file-access", Some(vec![0])));
         }
-        p.soc.insert("header".to_owned(), soc(top, "response-splitting", None));
-        p.soc.insert("setcookie".to_owned(), soc(top, "response-splitting", None));
-        p.soc.insert("mail".to_owned(), soc(top, "mail-injection", None));
+        p.soc
+            .insert("header".to_owned(), soc(top, "response-splitting", None));
+        p.soc
+            .insert("setcookie".to_owned(), soc(top, "response-splitting", None));
+        p.soc
+            .insert("mail".to_owned(), soc(top, "mail-injection", None));
 
         // --- Sanitization routines: postcondition resets to ⊥.
         for f in [
@@ -195,11 +206,32 @@ impl Prelude {
 
         // --- Builtins returning trusted scalars.
         for f in [
-            "isset", "empty", "count", "sizeof", "strlen", "is_array", "is_numeric",
-            "is_string", "is_int", "defined", "function_exists", "rand", "mt_rand",
-            "time", "date", "mysql_num_rows", "mysql_insert_id", "mysql_error",
-            "mysql_connect", "mysql_select_db", "mysql_close", "session_start",
-            "ob_start", "error_reporting", "define", "headers_sent",
+            "isset",
+            "empty",
+            "count",
+            "sizeof",
+            "strlen",
+            "is_array",
+            "is_numeric",
+            "is_string",
+            "is_int",
+            "defined",
+            "function_exists",
+            "rand",
+            "mt_rand",
+            "time",
+            "date",
+            "mysql_num_rows",
+            "mysql_insert_id",
+            "mysql_error",
+            "mysql_connect",
+            "mysql_select_db",
+            "mysql_close",
+            "session_start",
+            "ob_start",
+            "error_reporting",
+            "define",
+            "headers_sent",
         ] {
             p.trusted_returns.push(f.to_owned());
         }
@@ -290,6 +322,50 @@ impl Prelude {
         self.soc.len()
     }
 
+    /// A deterministic, canonical text rendering of every contract in
+    /// this prelude.
+    ///
+    /// Two preludes with identical contracts render identically
+    /// regardless of registration order (entries are emitted sorted),
+    /// and any contract change — adding, removing, or altering a UIC,
+    /// SOC, sanitizer, superglobal, or trusted return — changes the
+    /// text. The incremental verification cache hashes this string into
+    /// its config fingerprint so stale results self-invalidate when the
+    /// prelude changes.
+    pub fn canonical_description(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "top {:?}", self.top);
+        let _ = writeln!(out, "bottom {:?}", self.bottom);
+        let levels = |out: &mut String, tag: &str, map: &HashMap<String, Elem>| {
+            let mut entries: Vec<_> = map.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            for (name, level) in entries {
+                let _ = writeln!(out, "{tag} {name} {level:?}");
+            }
+        };
+        levels(&mut out, "uic", &self.uic);
+        levels(&mut out, "sanitizer", &self.sanitizers);
+        levels(&mut out, "sanitizer_mask", &self.sanitizer_masks);
+        levels(&mut out, "superglobal", &self.superglobals);
+        let mut socs: Vec<_> = self.soc.iter().collect();
+        socs.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, spec) in socs {
+            let _ = writeln!(
+                out,
+                "soc {name} class={} strict={} bound={:?} args={:?}",
+                spec.class, spec.strict, spec.bound, spec.arg_positions,
+            );
+        }
+        let mut trusted = self.trusted_returns.clone();
+        trusted.sort();
+        for name in trusted {
+            let _ = writeln!(out, "trusted {name}");
+        }
+        out
+    }
+
     /// Extends the prelude from a declaration text — the reproduction's
     /// version of WebSSARI's user-editable prelude files ("users can
     /// supply the prelude with their own routines", §4).
@@ -335,10 +411,7 @@ impl Prelude {
                                 format!("line {}: bad args list {list:?}", lineno + 1)
                             })?);
                         } else {
-                            return Err(format!(
-                                "line {}: unknown option {opt:?}",
-                                lineno + 1
-                            ));
+                            return Err(format!("line {}: unknown option {opt:?}", lineno + 1));
                         }
                     }
                     self.add_soc(
@@ -422,8 +495,16 @@ impl Prelude {
         }
         // Full neutralizers still reset to ⊥.
         for f in [
-            "intval", "floatval", "md5", "sha1", "crc32", "urlencode", "rawurlencode",
-            "webssari_sanitize", "sanitize", "basename",
+            "intval",
+            "floatval",
+            "md5",
+            "sha1",
+            "crc32",
+            "urlencode",
+            "rawurlencode",
+            "webssari_sanitize",
+            "sanitize",
+            "basename",
         ] {
             p.add_sanitizer(f, none);
         }
@@ -521,6 +602,43 @@ mod tests {
         assert_eq!(p.soc("tpl_render").unwrap().arg_positions, None);
         assert!(p.is_sanitizer("my_escape"));
         assert!(p.is_superglobal("_ENV"));
+    }
+
+    #[test]
+    fn canonical_description_is_order_independent() {
+        let mut a = Prelude::empty();
+        a.add_uic("alpha", TwoPoint::TAINTED);
+        a.add_uic("beta", TwoPoint::TAINTED);
+        a.add_sanitizer("clean", TwoPoint::UNTAINTED);
+        let mut b = Prelude::empty();
+        b.add_sanitizer("clean", TwoPoint::UNTAINTED);
+        b.add_uic("beta", TwoPoint::TAINTED);
+        b.add_uic("alpha", TwoPoint::TAINTED);
+        assert_eq!(a.canonical_description(), b.canonical_description());
+    }
+
+    #[test]
+    fn canonical_description_reflects_every_contract_kind() {
+        let base = Prelude::standard().canonical_description();
+        let mut with_uic = Prelude::standard();
+        with_uic.add_uic("extra_source", TwoPoint::TAINTED);
+        assert_ne!(base, with_uic.canonical_description());
+        let mut with_soc = Prelude::standard();
+        with_soc.add_soc(
+            "extra_sink",
+            SocSpec {
+                bound: TwoPoint::TAINTED,
+                strict: true,
+                arg_positions: Some(vec![1]),
+                class: "custom".into(),
+            },
+        );
+        assert_ne!(base, with_soc.canonical_description());
+        let mut with_sanitizer = Prelude::standard();
+        with_sanitizer.add_sanitizer("extra_clean", TwoPoint::UNTAINTED);
+        assert_ne!(base, with_sanitizer.canonical_description());
+        let (_, multiclass) = Prelude::multiclass();
+        assert_ne!(base, multiclass.canonical_description());
     }
 
     #[test]

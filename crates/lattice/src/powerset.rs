@@ -38,8 +38,14 @@ impl Powerset {
     /// Panics if there are no kinds or more than 16 of them (2^16
     /// elements is the largest lattice the encoders accept).
     pub fn new(kinds: Vec<String>) -> Self {
-        assert!(!kinds.is_empty(), "powerset lattice needs at least one kind");
-        assert!(kinds.len() <= 16, "powerset lattice supports at most 16 kinds");
+        assert!(
+            !kinds.is_empty(),
+            "powerset lattice needs at least one kind"
+        );
+        assert!(
+            kinds.len() <= 16,
+            "powerset lattice supports at most 16 kinds"
+        );
         Powerset { kinds }
     }
 

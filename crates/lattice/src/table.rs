@@ -26,7 +26,10 @@ impl fmt::Display for LatticeError {
         match self {
             LatticeError::Empty => write!(f, "lattice has no elements"),
             LatticeError::MalformedOrder => {
-                write!(f, "order relation matrix is not square with the element count")
+                write!(
+                    f,
+                    "order relation matrix is not square with the element count"
+                )
             }
             LatticeError::NotReflexive(a) => write!(f, "order is not reflexive at {a}"),
             LatticeError::NotAntisymmetric(a, b) => {
@@ -268,7 +271,10 @@ mod tests {
         let names = ["x", "y"].map(String::from).to_vec();
         let leq = vec![vec![true, true], vec![true, true]];
         let err = TableLattice::new(names, leq).unwrap_err();
-        assert_eq!(err, LatticeError::NotAntisymmetric(Elem::new(0), Elem::new(1)));
+        assert_eq!(
+            err,
+            LatticeError::NotAntisymmetric(Elem::new(0), Elem::new(1))
+        );
     }
 
     #[test]

@@ -577,10 +577,7 @@ mod tests {
 
     #[test]
     fn stmt_span_of_block_merges_children() {
-        let b = Stmt::Block(vec![
-            Stmt::Nop(Span::new(2, 3)),
-            Stmt::Nop(Span::new(7, 9)),
-        ]);
+        let b = Stmt::Block(vec![Stmt::Nop(Span::new(2, 3)), Stmt::Nop(Span::new(7, 9))]);
         assert_eq!(b.span(), Span::new(2, 9));
         assert_eq!(Stmt::Block(vec![]).span(), Span::default());
     }

@@ -114,7 +114,10 @@ impl std::fmt::Display for IncludeError {
             }
             IncludeError::Parse { file, error } => write!(f, "parse error in {file:?}: {error}"),
             IncludeError::DynamicIncludePath { file } => {
-                write!(f, "dynamic include path in {file:?} cannot be resolved statically")
+                write!(
+                    f,
+                    "dynamic include path in {file:?} cannot be resolved statically"
+                )
             }
         }
     }
@@ -184,10 +187,7 @@ impl Resolver<'_> {
                             })
                         }
                     };
-                    let once = matches!(
-                        kind,
-                        IncludeKind::IncludeOnce | IncludeKind::RequireOnce
-                    );
+                    let once = matches!(kind, IncludeKind::IncludeOnce | IncludeKind::RequireOnce);
                     // PHP marks a file as included as soon as it starts
                     // executing, so an `_once` include of a file that is
                     // currently being processed is a no-op.
@@ -352,10 +352,7 @@ mod tests {
     #[test]
     fn once_is_included_once() {
         let s = set(&[
-            (
-                "a.php",
-                "<?php include_once 'b.php'; include_once 'b.php';",
-            ),
+            ("a.php", "<?php include_once 'b.php'; include_once 'b.php';"),
             ("b.php", "<?php $x = 1;"),
         ]);
         let p = resolve_includes(&s, "a.php").unwrap();
@@ -421,7 +418,13 @@ mod tests {
     #[test]
     fn missing_entry_file() {
         let err = resolve_includes(&SourceSet::new(), "a.php").unwrap_err();
-        assert!(matches!(err, IncludeError::MissingFile { included_from: None, .. }));
+        assert!(matches!(
+            err,
+            IncludeError::MissingFile {
+                included_from: None,
+                ..
+            }
+        ));
     }
 
     #[test]

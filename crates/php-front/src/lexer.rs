@@ -172,10 +172,7 @@ impl<'a> Lexer<'a> {
             if self.starts_with("/*") {
                 let start = self.pos;
                 self.pos += 2;
-                match self.bytes[self.pos..]
-                    .windows(2)
-                    .position(|w| w == b"*/")
-                {
+                match self.bytes[self.pos..].windows(2).position(|w| w == b"*/") {
                     Some(i) => self.pos += i + 2,
                     None => {
                         return Err(ParseError::new(
@@ -258,7 +255,10 @@ impl<'a> Lexer<'a> {
         let text = &self.src[start..self.pos];
         if is_float {
             let value: f64 = text.parse().map_err(|_| {
-                ParseError::new("invalid float literal", Span::new(start as u32, self.pos as u32))
+                ParseError::new(
+                    "invalid float literal",
+                    Span::new(start as u32, self.pos as u32),
+                )
             })?;
             Ok(TokenKind::FloatLit(value))
         } else {
@@ -353,9 +353,7 @@ impl<'a> Lexer<'a> {
                             self.pos += 1;
                         }
                         if self.peek() == b']' {
-                            let index = self.src[idx_start..self.pos]
-                                .trim_matches('\'')
-                                .to_owned();
+                            let index = self.src[idx_start..self.pos].trim_matches('\'').to_owned();
                             self.pos += 1;
                             parts.push(StrPart::ArrayVar { var: name, index });
                             continue;
@@ -485,10 +483,8 @@ impl<'a> Lexer<'a> {
         let mut parts = Vec::new();
         let mut lit = String::new();
         let mut i = 0usize;
-        let ident_start =
-            |b: u8| matches!(b, b'a'..=b'z' | b'A'..=b'Z' | b'_');
-        let ident_char =
-            |b: u8| matches!(b, b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');
+        let ident_start = |b: u8| matches!(b, b'a'..=b'z' | b'A'..=b'Z' | b'_');
+        let ident_char = |b: u8| matches!(b, b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');
         let take_ident = |bytes: &[u8], mut j: usize| -> (String, usize) {
             let s = j;
             while j < bytes.len() && ident_char(bytes[j]) {
@@ -797,7 +793,9 @@ mod tests {
         let ks = kinds("<?php $_GET['sid'];");
         assert_eq!(ks[0], TokenKind::Variable("_GET".into()));
         assert_eq!(ks[1], TokenKind::LBracket);
-        assert!(matches!(&ks[2], TokenKind::StringLit(p) if p == &vec![StrPart::Lit("sid".into())]));
+        assert!(
+            matches!(&ks[2], TokenKind::StringLit(p) if p == &vec![StrPart::Lit("sid".into())])
+        );
     }
 
     #[test]

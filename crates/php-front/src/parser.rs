@@ -1,6 +1,4 @@
-use crate::ast::{
-    AssignOp, BinOp, Expr, IncludeKind, LValue, Param, Program, Stmt, UnOp,
-};
+use crate::ast::{AssignOp, BinOp, Expr, IncludeKind, LValue, Param, Program, Stmt, UnOp};
 use crate::error::ParseError;
 use crate::lexer::Lexer;
 use crate::span::Span;
@@ -333,9 +331,9 @@ impl Parser {
         let mut out = Vec::new();
         loop {
             if self.at(TokenKind::Eof) {
-                return Err(self.error_here(format!(
-                    "unexpected end of input, expected one of {stop:?}"
-                )));
+                return Err(
+                    self.error_here(format!("unexpected end of input, expected one of {stop:?}"))
+                );
             }
             if stop.iter().any(|k| self.at_ident(k)) {
                 return Ok(out);
@@ -709,15 +707,12 @@ impl Parser {
             Expr::ArrayAccess { base, index } => match *base {
                 Expr::Var(v) => Some(LValue::ArrayElem { var: v, index }),
                 // Nested `$a[i][j]` — taint tracked on the root array.
-                Expr::ArrayAccess { .. } => {
-                    Self::expr_to_lvalue(*base).map(|lv| match lv {
-                        LValue::ArrayElem { var, .. } | LValue::Var(var) => LValue::ArrayElem {
-                            var,
-                            index: None,
-                        },
-                        other => other,
-                    })
-                }
+                Expr::ArrayAccess { .. } => Self::expr_to_lvalue(*base).map(|lv| match lv {
+                    LValue::ArrayElem { var, .. } | LValue::Var(var) => {
+                        LValue::ArrayElem { var, index: None }
+                    }
+                    other => other,
+                }),
                 _ => None,
             },
             Expr::PropFetch { base, name } => Some(LValue::Prop { base, name }),
@@ -1077,7 +1072,10 @@ impl Parser {
                                 ..
                             } => c,
                             t => {
-                                return Err(ParseError::new("expected class name after `new`", t.span))
+                                return Err(ParseError::new(
+                                    "expected class name after `new`",
+                                    t.span,
+                                ))
                             }
                         };
                         let args = if self.at(TokenKind::LParen) {
@@ -1175,7 +1173,12 @@ mod tests {
     fn assignment_statement() {
         let p = parse("<?php $x = 1;");
         match &p.stmts[0] {
-            Stmt::Expr(Expr::Assign { target, op, value, .. }, _) => {
+            Stmt::Expr(
+                Expr::Assign {
+                    target, op, value, ..
+                },
+                _,
+            ) => {
                 assert_eq!(target, &LValue::Var("x".into()));
                 assert_eq!(*op, AssignOp::Assign);
                 assert_eq!(**value, Expr::IntLit(1));
@@ -1300,7 +1303,9 @@ mod tests {
     fn function_declaration() {
         let p = parse("<?php function f($a, &$b, $c = 1) { return $a; }");
         match &p.stmts[0] {
-            Stmt::FuncDecl { name, params, body, .. } => {
+            Stmt::FuncDecl {
+                name, params, body, ..
+            } => {
                 assert_eq!(name, "f");
                 assert_eq!(params.len(), 3);
                 assert!(params[1].by_ref);
@@ -1371,7 +1376,10 @@ mod tests {
         let p = parse("<?php $a = $c ? $x : $y; $b = $c ?: $z;");
         match &p.stmts[0] {
             Stmt::Expr(Expr::Assign { value, .. }, _) => {
-                assert!(matches!(value.as_ref(), Expr::Ternary { then: Some(_), .. }));
+                assert!(matches!(
+                    value.as_ref(),
+                    Expr::Ternary { then: Some(_), .. }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1483,7 +1491,11 @@ mod tests {
         let p = parse("<?php $b = $x . 'a' == $y;");
         match &p.stmts[0] {
             Stmt::Expr(Expr::Assign { value, .. }, _) => match value.as_ref() {
-                Expr::Binary { op: BinOp::Eq, left, .. } => {
+                Expr::Binary {
+                    op: BinOp::Eq,
+                    left,
+                    ..
+                } => {
                     assert!(matches!(
                         left.as_ref(),
                         Expr::Binary {

@@ -7,9 +7,7 @@
 
 use std::fmt::Write as _;
 
-use crate::ast::{
-    AssignOp, BinOp, Expr, IncludeKind, LValue, Program, Stmt, StrPart, UnOp,
-};
+use crate::ast::{AssignOp, BinOp, Expr, IncludeKind, LValue, Program, Stmt, StrPart, UnOp};
 
 /// Renders a program as PHP source.
 ///
@@ -465,7 +463,11 @@ mod tests {
         let p2 = parse_source(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
         // Statement shapes must survive; exact spans won't.
-        assert_eq!(p1.num_statements(), p2.num_statements(), "printed:\n{printed}");
+        assert_eq!(
+            p1.num_statements(),
+            p2.num_statements(),
+            "printed:\n{printed}"
+        );
     }
 
     #[test]

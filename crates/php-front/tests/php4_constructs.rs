@@ -7,7 +7,8 @@ use php_front::{parse_source, print_program};
 
 #[test]
 fn heredoc_with_interpolation() {
-    let src = "<?php\n$q = <<<EOT\nSELECT * FROM t WHERE sid=$sid AND n='$row[name]'\nEOT;\necho $q;\n";
+    let src =
+        "<?php\n$q = <<<EOT\nSELECT * FROM t WHERE sid=$sid AND n='$row[name]'\nEOT;\necho $q;\n";
     let p = parse_source(src).expect("heredoc parses");
     match &p.stmts[0] {
         Stmt::Expr(Expr::Assign { value, .. }, _) => match value.as_ref() {

@@ -2,7 +2,7 @@
 //! the reproduction's ZChaff stand-in, usable on its own.
 //!
 //! ```text
-//! xsat <input.cnf> [--proof out.drat] [--verify] [--limit N]
+//! xsat <input.cnf> [--proof out.drat] [--verify] [--limit N] [--budget-ms N]
 //! ```
 //!
 //! Prints `s SATISFIABLE` with a `v …` model line, or
@@ -23,6 +23,7 @@ fn main() -> ExitCode {
     let mut proof_path: Option<String> = None;
     let mut verify = false;
     let mut limit: Option<u64> = None;
+    let mut budget_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -35,6 +36,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+            "--budget-ms" => {
+                budget_ms = it.next().and_then(|s| s.parse().ok());
+                if budget_ms.is_none() {
+                    eprintln!("c --budget-ms needs a number");
+                    return ExitCode::from(2);
+                }
+            }
             other if other.starts_with('-') => {
                 eprintln!("c unknown option {other:?}");
                 return ExitCode::from(2);
@@ -43,7 +51,9 @@ fn main() -> ExitCode {
         }
     }
     let Some(input) = input else {
-        eprintln!("usage: xsat <input.cnf> [--proof out.drat] [--verify] [--limit N]");
+        eprintln!(
+            "usage: xsat <input.cnf> [--proof out.drat] [--verify] [--limit N] [--budget-ms N]"
+        );
         return ExitCode::from(2);
     };
     let file = match File::open(&input) {
@@ -67,6 +77,12 @@ fn main() -> ExitCode {
     );
     let mut solver = Solver::from_formula(&formula);
     solver.set_conflict_limit(limit);
+    if let Some(ms) = budget_ms {
+        solver.set_budget(
+            sat::Budget::new()
+                .deadline(std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+        );
+    }
     let want_proof = proof_path.is_some() || verify;
     if want_proof {
         solver.start_proof();
@@ -117,6 +133,12 @@ fn main() -> ExitCode {
             ExitCode::from(20)
         }
         SatResult::Unknown => {
+            println!("s UNKNOWN");
+            ExitCode::SUCCESS
+        }
+        SatResult::Interrupted => {
+            println!("c {}", solver.stats());
+            println!("c interrupted by --budget-ms");
             println!("s UNKNOWN");
             ExitCode::SUCCESS
         }

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod heap;
 mod luby;
 pub mod proof;
@@ -49,6 +50,7 @@ mod solver;
 mod stats;
 mod types;
 
+pub use budget::Budget;
 pub use proof::{parse_drat, write_drat, Proof, ProofError, ProofStep};
 pub use solver::Solver;
 pub use stats::SolverStats;

@@ -69,7 +69,10 @@ impl fmt::Display for ProofError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProofError::NotRup { step } => {
-                write!(f, "proof step {step} is not reverse-unit-propagation derivable")
+                write!(
+                    f,
+                    "proof step {step} is not reverse-unit-propagation derivable"
+                )
             }
             ProofError::NoEmptyClause => write!(f, "proof does not derive the empty clause"),
         }

@@ -1,5 +1,6 @@
 use cnf::{CnfFormula, Lit, Var};
 
+use crate::budget::{Budget, DEADLINE_CHECK_INTERVAL};
 use crate::heap::ActivityHeap;
 use crate::luby::luby;
 use crate::proof::{Proof, ProofStep};
@@ -74,6 +75,7 @@ pub struct Solver {
     ok: bool,
     stats: SolverStats,
     conflict_limit: Option<u64>,
+    budget: Budget,
     num_learnt: usize,
     max_learnt: f64,
     proof: Option<Proof>,
@@ -99,6 +101,7 @@ impl Default for Solver {
             ok: true,
             stats: SolverStats::default(),
             conflict_limit: None,
+            budget: Budget::default(),
             num_learnt: 0,
             max_learnt: 0.0,
             proof: None,
@@ -171,6 +174,21 @@ impl Solver {
     /// the limit.
     pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
         self.conflict_limit = limit;
+    }
+
+    /// Installs a cooperative [`Budget`] checked during every `solve`
+    /// call; when a bound is exceeded mid-search, `solve` returns
+    /// [`SatResult::Interrupted`]. The budget persists across calls
+    /// (each call re-measures conflicts from zero, but a wall-clock
+    /// deadline naturally keeps counting down). Install
+    /// `Budget::default()` to remove it.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The currently installed budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
     }
 
     /// Starts recording a clausal (DRAT) proof: learned clauses,
@@ -496,10 +514,9 @@ impl Solver {
             let l = learnt[i];
             let r = self.reason[l.var().index()];
             let redundant = r != NO_REASON
-                && self.clauses[r as usize]
-                    .lits
-                    .iter()
-                    .all(|&q| q == !l || self.seen[q.var().index()] || self.level[q.var().index()] == 0);
+                && self.clauses[r as usize].lits.iter().all(|&q| {
+                    q == !l || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+                });
             if redundant {
                 self.stats.minimized_lits += 1;
                 self.seen[l.var().index()] = false;
@@ -589,12 +606,25 @@ impl Solver {
             self.record(ProofStep::Add(Vec::new()));
             return SatResult::Unsat;
         }
+        if self.budget.deadline_passed() {
+            self.cancel_until(0);
+            return SatResult::Interrupted;
+        }
         let mut conflicts_this_solve = 0u64;
+        let mut steps = 0u64;
         let mut restart_idx = 0u64;
         let mut conflicts_since_restart = 0u64;
         let mut restart_budget = RESTART_BASE * luby(restart_idx);
         self.max_learnt = (self.clauses.len() as f64 / 3.0).max(1000.0);
         loop {
+            // Wall-clock deadline: checked every few loop iterations
+            // (each iteration does a full propagation pass, so this
+            // bounds overshoot without measurable clock overhead).
+            steps += 1;
+            if steps.is_multiple_of(DEADLINE_CHECK_INTERVAL) && self.budget.deadline_passed() {
+                self.cancel_until(0);
+                return SatResult::Interrupted;
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_solve += 1;
@@ -621,6 +651,10 @@ impl Solver {
                         self.cancel_until(0);
                         return SatResult::Unknown;
                     }
+                }
+                if self.budget.conflicts_exhausted(conflicts_this_solve) {
+                    self.cancel_until(0);
+                    return SatResult::Interrupted;
                 }
             } else {
                 if conflicts_since_restart >= restart_budget {
@@ -668,11 +702,7 @@ impl Solver {
     }
 
     fn extract_model(&self) -> Model {
-        let values = self
-            .assign
-            .iter()
-            .map(|&a| a == LBool::True)
-            .collect();
+        let values = self.assign.iter().map(|&a| a == LBool::True).collect();
         Model::from_values(values)
     }
 }
@@ -806,7 +836,7 @@ mod tests {
                     s.add_clause(blocking);
                 }
                 SatResult::Unsat => break,
-                SatResult::Unknown => panic!("no limit set"),
+                SatResult::Unknown | SatResult::Interrupted => panic!("no limit set"),
             }
         }
         assert_eq!(count, 3);
@@ -822,6 +852,38 @@ mod tests {
         assert_eq!(s.solve(), SatResult::Unknown);
         s.set_conflict_limit(None);
         assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn budget_conflict_ceiling_interrupts() {
+        let f = pigeonhole(4, 3);
+        let mut s = Solver::from_formula(&f);
+        s.set_budget(Budget::new().max_conflicts(1));
+        assert_eq!(s.solve(), SatResult::Interrupted);
+        // Clearing the budget restores completeness on the same solver.
+        s.set_budget(Budget::default());
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn budget_expired_deadline_interrupts_immediately() {
+        let f = pigeonhole(5, 4);
+        let mut s = Solver::from_formula(&f);
+        s.set_budget(Budget::new().deadline(std::time::Instant::now()));
+        assert_eq!(s.solve(), SatResult::Interrupted);
+    }
+
+    #[test]
+    fn budget_with_headroom_does_not_interfere() {
+        let f = pigeonhole(4, 3);
+        let mut s = Solver::from_formula(&f);
+        s.set_budget(
+            Budget::new()
+                .max_conflicts(1_000_000)
+                .deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+        );
+        assert!(s.solve().is_unsat());
+        assert!(s.budget().is_bounded());
     }
 
     /// PHP(m, n): m pigeons, n holes; unsat iff m > n.

@@ -11,6 +11,11 @@ pub enum SatResult {
     Unsat,
     /// The conflict budget was exhausted before an answer was reached.
     Unknown,
+    /// A cooperative [`Budget`](crate::Budget) bound (conflict ceiling
+    /// or wall-clock deadline) was hit mid-search. Distinct from
+    /// `Unknown` so callers can tell "the configured solver is
+    /// incomplete" apart from "an external scheduler cut this job off".
+    Interrupted,
 }
 
 impl SatResult {

@@ -89,7 +89,9 @@ proptest! {
                 let proof = s.take_proof().unwrap();
                 prop_assert!(!proof.proves_unsat());
             }
-            SatResult::Unknown => prop_assert!(false, "no limit set"),
+            SatResult::Unknown | SatResult::Interrupted => {
+                prop_assert!(false, "no limit or budget set")
+            }
         }
     }
 

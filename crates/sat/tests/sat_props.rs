@@ -43,7 +43,9 @@ proptest! {
                 prop_assert_eq!(f.eval(&m.values()[..f.num_vars()]), Some(true));
             }
             SatResult::Unsat => prop_assert!(!expected, "solver claims unsat on sat formula"),
-            SatResult::Unknown => prop_assert!(false, "no conflict limit was set"),
+            SatResult::Unknown | SatResult::Interrupted => {
+                prop_assert!(false, "no conflict limit or budget was set")
+            }
         }
     }
 
@@ -97,7 +99,9 @@ proptest! {
                     s.add_clause(blocking);
                 }
                 SatResult::Unsat => break,
-                SatResult::Unknown => prop_assert!(false, "no limit set"),
+                SatResult::Unknown | SatResult::Interrupted => {
+                    prop_assert!(false, "no limit or budget set")
+                }
             }
         }
         prop_assert_eq!(count, expected.max(usize::from(n == 0 && expected > 0)).min(expected));
@@ -154,7 +158,7 @@ fn random_3sat_agrees_with_brute_force() {
                 assert_eq!(f.eval(&model.values()[..n]), Some(true), "trial {trial}");
             }
             SatResult::Unsat => assert!(!expected, "trial {trial}: wrong unsat"),
-            SatResult::Unknown => unreachable!(),
+            SatResult::Unknown | SatResult::Interrupted => unreachable!(),
         }
     }
 }

@@ -29,10 +29,7 @@ fn sat_instance_exits_10_with_model() {
 
 #[test]
 fn unsat_instance_exits_20_with_verified_proof() {
-    let path = write_cnf(
-        "unsat.cnf",
-        "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n",
-    );
+    let path = write_cnf("unsat.cnf", "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n");
     let proof = std::env::temp_dir().join(format!("xsat-{}.drat", std::process::id()));
     let out = xsat()
         .arg(&path)
@@ -53,7 +50,13 @@ fn conflict_limit_yields_unknown() {
     let var = |p: usize, h: usize| (p * 4 + h + 1) as i64;
     let mut clauses = Vec::new();
     for p in 0..5 {
-        clauses.push((0..4).map(|h| var(p, h).to_string()).collect::<Vec<_>>().join(" ") + " 0");
+        clauses.push(
+            (0..4)
+                .map(|h| var(p, h).to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+                + " 0",
+        );
     }
     for h in 0..4 {
         for p1 in 0..5 {

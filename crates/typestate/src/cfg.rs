@@ -49,12 +49,7 @@ fn build_cfg(ai: &AiProgram) -> Cfg {
     }
 }
 
-fn build(
-    cmds: &[AiCmd],
-    cont: usize,
-    nodes: &mut Vec<Node>,
-    succs: &mut Vec<Vec<usize>>,
-) -> usize {
+fn build(cmds: &[AiCmd], cont: usize, nodes: &mut Vec<Node>, succs: &mut Vec<Vec<usize>>) -> usize {
     let mut next = cont;
     for c in cmds.iter().rev() {
         match c {

@@ -95,12 +95,7 @@ pub fn analyze(ai: &AiProgram, lattice: &impl Lattice) -> TsResult {
     result
 }
 
-fn walk(
-    cmds: &[AiCmd],
-    lattice: &impl Lattice,
-    state: &mut Vec<Elem>,
-    result: &mut TsResult,
-) {
+fn walk(cmds: &[AiCmd], lattice: &impl Lattice, state: &mut Vec<Elem>, result: &mut TsResult) {
     for c in cmds {
         match c {
             AiCmd::Assign {

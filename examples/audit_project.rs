@@ -11,7 +11,9 @@ use webssari::corpus_gen::{figure10_profiles, generate_project};
 use webssari::{instrument_bmc, Verifier};
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "PHPMyList".to_owned());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "PHPMyList".to_owned());
     let profile = figure10_profiles()
         .into_iter()
         .find(|p| p.name == wanted)
@@ -54,7 +56,11 @@ fn main() {
         println!(
             "  {} guard(s) inserted; re-verification: {}",
             guards.len(),
-            if after.is_safe() { "CLEAN" } else { "STILL VULNERABLE" }
+            if after.is_safe() {
+                "CLEAN"
+            } else {
+                "STILL VULNERABLE"
+            }
         );
         if after.is_safe() {
             patched_clean += 1;
@@ -65,9 +71,6 @@ fn main() {
         report.vulnerable_files()
     );
     if let Some(r) = report.reduction() {
-        println!(
-            "instrumentation reduction vs TS: {:.1}%",
-            r * 100.0
-        );
+        println!("instrumentation reduction vs TS: {:.1}%", r * 100.0);
     }
 }

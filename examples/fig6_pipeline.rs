@@ -29,7 +29,13 @@ if (Nick) {
 
     let ast = parse_source(src).expect("figure 6 parses");
     let prelude = Prelude::standard();
-    let f = filter_program(&ast, src, "guestbook.php", &prelude, &FilterOptions::default());
+    let f = filter_program(
+        &ast,
+        src,
+        "guestbook.php",
+        &prelude,
+        &FilterOptions::default(),
+    );
     println!("--- filtered result F(p) ------------------------------------");
     println!("{f}");
 

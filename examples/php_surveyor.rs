@@ -15,11 +15,25 @@ use webssari::{instrument_bmc, instrument_ts, Verifier};
 
 fn main() -> Result<(), webssari::VerifyError> {
     // Figure 7, generalized to the 16 locations the paper mentions.
-    let mut src = String::from("<?php\n$sid = $_GET['sid'];\nif (!$sid) { $sid = $_POST['sid']; }\n");
+    let mut src =
+        String::from("<?php\n$sid = $_GET['sid'];\nif (!$sid) { $sid = $_POST['sid']; }\n");
     let tables = [
-        "groups", "answers", "questions", "surveys", "tokens", "users", "labels",
-        "conditions", "assessments", "saved", "quota", "templates", "exports",
-        "stats", "archive", "log",
+        "groups",
+        "answers",
+        "questions",
+        "surveys",
+        "tokens",
+        "users",
+        "labels",
+        "conditions",
+        "assessments",
+        "saved",
+        "quota",
+        "templates",
+        "exports",
+        "stats",
+        "archive",
+        "log",
     ];
     for (i, table) in tables.iter().enumerate() {
         let _ = writeln!(
@@ -31,8 +45,14 @@ fn main() -> Result<(), webssari::VerifyError> {
     let verifier = Verifier::new();
     let report = verifier.verify_source(&src, "admin.php")?;
 
-    println!("vulnerable statements (TS symptoms): {}", report.ts_instrumentations());
-    println!("error groups (BMC root causes):      {}", report.bmc_instrumentations());
+    println!(
+        "vulnerable statements (TS symptoms): {}",
+        report.ts_instrumentations()
+    );
+    println!(
+        "error groups (BMC root causes):      {}",
+        report.bmc_instrumentations()
+    );
     for v in &report.vulnerabilities {
         println!(
             "  [{}] root cause ${} explains {} symptom(s)",
@@ -44,7 +64,10 @@ fn main() -> Result<(), webssari::VerifyError> {
 
     let (_, ts_guards) = instrument_ts(&src, &report);
     let (patched, bmc_guards) = instrument_bmc(&src, &report);
-    println!("\nTS-mode instrumentation:  {} runtime guards", ts_guards.len());
+    println!(
+        "\nTS-mode instrumentation:  {} runtime guards",
+        ts_guards.len()
+    );
     println!(
         "BMC-mode instrumentation: 1 root cause, guarded at each of its {} introduction point(s):",
         bmc_guards.len()
@@ -56,7 +79,11 @@ fn main() -> Result<(), webssari::VerifyError> {
     let after = verifier.verify_source(&patched, "admin.php")?;
     println!(
         "\nre-verification after patching the root cause: {}",
-        if after.is_safe() { "CLEAN" } else { "STILL VULNERABLE" }
+        if after.is_safe() {
+            "CLEAN"
+        } else {
+            "STILL VULNERABLE"
+        }
     );
     Ok(())
 }

@@ -17,7 +17,10 @@ use std::process::ExitCode;
 
 use webssari::ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
 use webssari::php::{parse_source, SourceSet};
-use webssari::{instrument_bmc, instrument_ts, Verifier, VerifierBuilder};
+use webssari::{
+    instrument_bmc, instrument_ts, EngineBuilder, FileOutcome, SolveBudget, Verifier,
+    VerifierBuilder,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,7 +76,16 @@ OPTIONS:
     --html FILE      Also write a cross-referenced HTML report.
     --mode bmc|ts    Guard placement strategy (default: bmc).
     --suffix SUF     Patched-file suffix (default: .patched.php).
-    --write          Patch files in place.";
+    --write          Patch files in place.
+
+BATCH ENGINE (verify):
+    --jobs N             Verify files on N parallel workers. The report
+                         is identical to the sequential one.
+    --cache-dir DIR      Incremental cache: unchanged files under an
+                         unchanged configuration are not re-verified.
+    --solve-budget-ms MS Per-file SAT budget; files that exceed it are
+                         reported as TIMEOUT instead of stalling the run.
+    --metrics-json FILE  Write per-file timing/cache/solver metrics.";
 
 struct CommonOptions {
     paths: Vec<PathBuf>,
@@ -88,6 +100,10 @@ struct CommonOptions {
     mode: String,
     suffix: String,
     write: bool,
+    jobs: Option<usize>,
+    cache_dir: Option<PathBuf>,
+    solve_budget_ms: Option<u64>,
+    metrics_json: Option<PathBuf>,
 }
 
 fn parse_options(args: &[String]) -> Result<CommonOptions, String> {
@@ -104,6 +120,10 @@ fn parse_options(args: &[String]) -> Result<CommonOptions, String> {
         mode: "bmc".to_owned(),
         suffix: ".patched.php".to_owned(),
         write: false,
+        jobs: None,
+        cache_dir: None,
+        solve_budget_ms: None,
+        metrics_json: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -139,6 +159,33 @@ fn parse_options(args: &[String]) -> Result<CommonOptions, String> {
             "--suffix" => {
                 opts.suffix = it.next().ok_or("--suffix needs an argument")?.clone();
             }
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a worker count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a positive integer, got {n:?}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+                opts.jobs = Some(n);
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(PathBuf::from(
+                    it.next().ok_or("--cache-dir needs a directory argument")?,
+                ));
+            }
+            "--solve-budget-ms" => {
+                let ms = it.next().ok_or("--solve-budget-ms needs a duration")?;
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("--solve-budget-ms needs milliseconds, got {ms:?}"))?;
+                opts.solve_budget_ms = Some(ms);
+            }
+            "--metrics-json" => {
+                opts.metrics_json = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-json needs a file argument")?,
+                ));
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}"));
             }
@@ -170,6 +217,10 @@ fn build_verifier(opts: &CommonOptions) -> Result<Verifier, String> {
     // Install the (possibly extended) prelude; after `.multiclass()`
     // this keeps the multi-class policy but carries the extensions.
     builder = builder.prelude(prelude);
+    if let Some(ms) = opts.solve_budget_ms {
+        builder = builder
+            .solve_budget(SolveBudget::unlimited().wall_time(std::time::Duration::from_millis(ms)));
+    }
     Ok(builder
         .exact_fixing_set(opts.exact)
         .certify(opts.certify)
@@ -184,7 +235,12 @@ fn collect_sources(paths: &[PathBuf]) -> Result<(SourceSet, Vec<(String, PathBuf
     let mut mapping = Vec::new();
     for root in paths {
         if root.is_file() {
-            add_file(root, root.file_name().unwrap().to_string_lossy().as_ref(), &mut set, &mut mapping)?;
+            add_file(
+                root,
+                root.file_name().unwrap().to_string_lossy().as_ref(),
+                &mut set,
+                &mut mapping,
+            )?;
         } else if root.is_dir() {
             walk(root, root, &mut set, &mut mapping)?;
         } else {
@@ -202,9 +258,7 @@ fn walk(
 ) -> Result<(), String> {
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
-    let mut paths: Vec<PathBuf> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
     paths.sort();
     for path in paths {
         if path.is_dir() {
@@ -250,6 +304,11 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     if sources.is_empty() {
         return fail("no .php files found");
     }
+    // The batch engine path: any engine flag opts in. The sequential
+    // path below stays byte-for-byte what it always was.
+    if opts.jobs.is_some() || opts.cache_dir.is_some() || opts.metrics_json.is_some() {
+        return cmd_verify_engine(&opts, verifier, &sources);
+    }
     let report = verifier.verify_project(&sources);
     if opts.summary {
         for file in &report.files {
@@ -279,7 +338,10 @@ fn cmd_verify(args: &[String]) -> ExitCode {
             match file.bmc.verify_certificates() {
                 Ok(n) => ok += n,
                 Err((id, e)) => {
-                    eprintln!("{}: certificate for assertion {id:?} FAILED: {e}", file.file)
+                    eprintln!(
+                        "{}: certificate for assertion {id:?} FAILED: {e}",
+                        file.file
+                    )
                 }
             }
         }
@@ -297,6 +359,78 @@ fn cmd_verify(args: &[String]) -> ExitCode {
         report.files.len(),
         report.num_statements(),
         report.vulnerable_files(),
+        report.ts_errors(),
+        report.bmc_groups(),
+        report
+            .reduction()
+            .map(|r| format!(" (instrumentation reduction {:.1}%)", r * 100.0))
+            .unwrap_or_default(),
+    );
+    if report.is_vulnerable() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_verify_engine(opts: &CommonOptions, verifier: Verifier, sources: &SourceSet) -> ExitCode {
+    if opts.html.is_some() || opts.certify {
+        return fail(
+            "--html and --certify need full reports for every file and are \
+             not available with --jobs/--cache-dir/--metrics-json",
+        );
+    }
+    let mut builder = EngineBuilder::new()
+        .verifier(verifier)
+        .workers(opts.jobs.unwrap_or(1));
+    if let Some(dir) = &opts.cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let report = builder.build().run(sources);
+    if opts.summary {
+        for file in &report.files {
+            let status = match file.summary.outcome {
+                FileOutcome::Verified => "ok",
+                FileOutcome::Vulnerable => "VULNERABLE",
+                FileOutcome::Timeout => "TIMEOUT",
+                FileOutcome::ParseError => "PARSE ERROR",
+            };
+            println!(
+                "{:<40} {:>6} stmts {:>4} TS {:>4} BMC {}{}",
+                file.summary.file,
+                file.summary.num_statements,
+                file.summary.ts_errors,
+                file.summary.bmc_groups,
+                status,
+                if file.from_cache { " (cached)" } else { "" },
+            );
+        }
+    } else {
+        for file in &report.files {
+            print!("{}", file.render_text());
+            println!();
+        }
+    }
+    for (file, err) in &report.failed_files {
+        eprintln!("SKIPPED {file}: {err}");
+    }
+    if let Some(e) = &report.cache_error {
+        eprintln!("webssari: warning: {e}");
+    }
+    print!("{}", report.metrics.render_text());
+    if let Some(path) = &opts.metrics_json {
+        if let Err(e) = std::fs::write(path, report.metrics.to_json()) {
+            return fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        println!("metrics written to {}", path.display());
+    }
+    println!(
+        "{} file(s), {} statements; {} vulnerable file(s), {} timeout(s); \
+         TS errors {}, BMC groups {}{}",
+        report.files.len(),
+        report.num_statements(),
+        report.vulnerable_files(),
+        report.timeout_files(),
         report.ts_errors(),
         report.bmc_groups(),
         report

@@ -14,6 +14,7 @@
 //! | [`fixes`] | `fixes` | replacement sets, MINIMUM-INTERSECTING-SET, greedy/exact solvers |
 //! | [`ts`] | `typestate` | the TS baseline (flow-sensitive taint dataflow) |
 //! | [`core`] | `webssari-core` | the [`Verifier`] pipeline, reports, instrumentor |
+//! | [`engine`] | `webssari-engine` | parallel batch verification: worker pool, cache, budgets, metrics |
 //! | [`corpus_gen`] | `corpus` | calibrated synthetic SourceForge corpus |
 //!
 //! # Quickstart
@@ -38,9 +39,10 @@
 #![warn(missing_docs)]
 
 pub use webssari_core::{
-    instrument_bmc, instrument_ts, render_html, FileReport, Instrumentation, ProjectReport,
-    Verifier, VerifierBuilder, VerifyError, Vulnerability,
+    instrument_bmc, instrument_ts, render_html, FileOutcome, FileReport, Instrumentation,
+    ProjectReport, SolveBudget, Verifier, VerifierBuilder, VerifyError, Vulnerability,
 };
+pub use webssari_engine::{Engine, EngineBuilder, EngineMetrics, EngineReport};
 
 /// PHP front end: lexer, parser, AST, includes.
 pub mod php {
@@ -85,6 +87,12 @@ pub mod ts {
 /// The full pipeline (same items as the crate root).
 pub mod core {
     pub use webssari_core::*;
+}
+
+/// Parallel batch verification: worker pool, incremental cache,
+/// per-job budgets, metrics.
+pub mod engine {
+    pub use webssari_engine::*;
 }
 
 /// Synthetic corpus generation.

@@ -75,7 +75,10 @@ fn patch_with_suffix_leaves_original() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(0));
-    assert_eq!(std::fs::read_to_string(dir.join("index.php")).unwrap(), VULN);
+    assert_eq!(
+        std::fs::read_to_string(dir.join("index.php")).unwrap(),
+        VULN
+    );
     assert!(dir.join("index.php.fixed").exists());
 }
 
@@ -115,7 +118,10 @@ fn certify_reports_checked_certificates() {
 
 #[test]
 fn multiclass_flag_changes_the_verdict() {
-    let dir = scratch(&[("wrong.php", "<?php\n$n = addslashes($_GET['n']);\necho $n;\n")]);
+    let dir = scratch(&[(
+        "wrong.php",
+        "<?php\n$n = addslashes($_GET['n']);\necho $n;\n",
+    )]);
     let out = webssari()
         .args(["verify", dir.to_str().unwrap()])
         .output()
@@ -125,13 +131,20 @@ fn multiclass_flag_changes_the_verdict() {
         .args(["verify", dir.to_str().unwrap(), "--multiclass"])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1), "multi-class policy must flag it");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "multi-class policy must flag it"
+    );
 }
 
 #[test]
 fn custom_prelude_declares_new_contracts() {
     let dir = scratch(&[
-        ("app.php", "<?php\n$body = read_feed('u');\ntemplate_render($body);\n"),
+        (
+            "app.php",
+            "<?php\n$body = read_feed('u');\ntemplate_render($body);\n",
+        ),
         ("contracts.txt", "uic read_feed\nsoc template_render xss\n"),
     ]);
     // Without the prelude: read_feed is unknown (propagates nothing
@@ -174,5 +187,82 @@ fn bad_usage_exits_2() {
     let out = webssari().args(["verify"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     let out = webssari().args(["frobnicate", "/tmp"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn engine_flags_run_parallel_with_cache_and_metrics() {
+    let dir = scratch(&[("index.php", VULN), ("safe.php", SAFE)]);
+    let cache = dir.join("cache");
+    let metrics = dir.join("metrics.json");
+    let index = dir.join("index.php");
+    let safe = dir.join("safe.php");
+    let args = [
+        "verify",
+        index.to_str().unwrap(),
+        safe.to_str().unwrap(),
+        "--jobs",
+        "4",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--metrics-json",
+        metrics.to_str().unwrap(),
+        "--summary",
+    ];
+    let out = webssari().args(args).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "findings still exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache: 0 hit(s), 2 miss(es)"), "{stdout}");
+    assert!(stdout.contains("VULNERABLE"), "{stdout}");
+    let json = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(json.contains("\"cache_misses\":2"), "{json}");
+
+    // Second run: everything is served from the cache.
+    let out = webssari().args(args).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache: 2 hit(s), 0 miss(es)"), "{stdout}");
+    assert!(stdout.contains("(cached)"), "{stdout}");
+}
+
+#[test]
+fn solve_budget_flag_is_accepted() {
+    let dir = scratch(&[("index.php", VULN)]);
+    let out = webssari()
+        .args([
+            "verify",
+            dir.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--solve-budget-ms",
+            "60000",
+        ])
+        .output()
+        .unwrap();
+    // A generous budget changes nothing about the verdict.
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 timeout(s)"), "{stdout}");
+}
+
+#[test]
+fn engine_flags_reject_unsupported_combinations() {
+    let dir = scratch(&[("index.php", VULN)]);
+    let out = webssari()
+        .args(["verify", dir.to_str().unwrap(), "--jobs", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = webssari()
+        .args([
+            "verify",
+            dir.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--html",
+            dir.join("r.html").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }

@@ -45,7 +45,10 @@ fn bmc_patching_secures_every_fixture() {
     let verifier = Verifier::new();
     for (name, src) in FIXTURES {
         let report = verifier.verify_source(src, name).unwrap();
-        assert!(!report.is_safe(), "{name} must be vulnerable before patching");
+        assert!(
+            !report.is_safe(),
+            "{name} must be vulnerable before patching"
+        );
         let (patched, guards) = instrument_bmc(src, &report);
         assert!(!guards.is_empty(), "{name} must get at least one guard");
         let after = verifier.verify_source(&patched, name).unwrap();

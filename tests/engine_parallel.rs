@@ -1,0 +1,174 @@
+//! Integration tests for the batch engine: parallel/sequential parity,
+//! incremental-cache behavior, and budget-degraded timeouts.
+
+use std::time::{Duration, Instant};
+
+use webssari::php::SourceSet;
+use webssari::{EngineBuilder, FileOutcome, SolveBudget, Verifier, VerifierBuilder};
+
+/// A multi-file fixture mixing clean, vulnerable, multi-symptom, and
+/// include-bearing files.
+fn fixture() -> SourceSet {
+    let mut set = SourceSet::new();
+    set.add_file("safe.php", "<?php\n$greeting = 'hello';\necho $greeting;\n");
+    set.add_file(
+        "sqli.php",
+        "<?php\n$sid = $_GET['sid'];\n$q = \"SELECT * WHERE sid=$sid\";\nmysql_query($q);\n",
+    );
+    set.add_file(
+        "xss.php",
+        "<?php\necho $_GET['name'];\necho $_GET['name'];\n",
+    );
+    set.add_file("lib.php", "<?php\n$shared = 'constant';\n");
+    set.add_file("uses_lib.php", "<?php\ninclude 'lib.php';\necho $shared;\n");
+    set.add_file(
+        "sanitized.php",
+        "<?php\n$v = htmlspecialchars($_GET['v']);\necho $v;\n",
+    );
+    set
+}
+
+#[test]
+fn four_workers_render_byte_identical_to_sequential() {
+    let set = fixture();
+    let sequential = Verifier::new().verify_project(&set);
+    let expected: String = sequential
+        .files
+        .iter()
+        .map(|f| format!("{}\n", f.render_text()))
+        .collect();
+
+    let parallel = EngineBuilder::new().workers(4).build().run(&set);
+    assert_eq!(parallel.render_text(), expected);
+    assert_eq!(parallel.ts_errors(), sequential.ts_errors());
+    assert_eq!(parallel.bmc_groups(), sequential.bmc_groups());
+    assert_eq!(parallel.num_statements(), sequential.num_statements());
+    assert_eq!(parallel.vulnerable_files(), sequential.vulnerable_files());
+    assert_eq!(parallel.failed_files.len(), sequential.failed_files.len());
+}
+
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    let set = fixture();
+    let engine = EngineBuilder::new().workers(4).build();
+    let first = engine.run(&set).render_text();
+    for _ in 0..3 {
+        assert_eq!(engine.run(&set).render_text(), first);
+    }
+}
+
+#[test]
+fn cached_second_run_reverifies_nothing() {
+    let dir = std::env::temp_dir().join(format!(
+        "webssari-int-cache-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let set = fixture();
+    let engine = EngineBuilder::new().workers(4).cache_dir(&dir).build();
+
+    let first = engine.run(&set);
+    assert_eq!(first.metrics.cache_misses, set.len());
+    assert_eq!(first.metrics.cache_hits, 0);
+
+    let second = engine.run(&set);
+    assert_eq!(second.metrics.cache_hits, set.len(), "all files must hit");
+    assert_eq!(second.metrics.cache_misses, 0);
+    assert_eq!(second.ts_errors(), first.ts_errors());
+    assert_eq!(second.bmc_groups(), first.bmc_groups());
+    assert_eq!(second.vulnerable_files(), first.vulnerable_files());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Many assertions, each behind 2^12 branch combinations: enough SAT
+/// enumeration work to exhaust a 10ms budget in any build profile.
+fn heavy_source() -> String {
+    let mut src = String::from("<?php\n");
+    for rep in 0..10 {
+        src.push_str(&format!("$x{rep} = 'safe';\n"));
+        for i in 0..12 {
+            src.push_str(&format!(
+                "if ($c{rep}_{i}) {{ $x{rep} = $x{rep} . $_GET['p{rep}_{i}']; }}\n"
+            ));
+        }
+        src.push_str(&format!("echo $x{rep};\n"));
+    }
+    src
+}
+
+#[test]
+fn budget_trips_only_the_pathological_file() {
+    let mut set = fixture();
+    set.add_file("huge.php", heavy_source());
+
+    let budget = Duration::from_millis(10);
+    let verifier = VerifierBuilder::new()
+        .solve_budget(SolveBudget::unlimited().wall_time(budget))
+        .build();
+    let engine = EngineBuilder::new().verifier(verifier).workers(4).build();
+
+    let started = Instant::now();
+    let report = engine.run(&set);
+    let elapsed = started.elapsed();
+
+    let huge = report
+        .files
+        .iter()
+        .find(|f| f.summary.file == "huge.php")
+        .expect("huge.php is reported");
+    assert_eq!(huge.summary.outcome, FileOutcome::Timeout);
+    assert_eq!(report.timeout_files(), 1, "only huge.php times out");
+
+    // The rest of the batch is not poisoned: same verdicts as an
+    // unbudgeted run of the fixture alone.
+    let baseline = EngineBuilder::new().workers(4).build().run(&fixture());
+    for base in &baseline.files {
+        let with_huge = report
+            .files
+            .iter()
+            .find(|f| f.summary.file == base.summary.file)
+            .expect("fixture file is reported");
+        assert_eq!(
+            with_huge.summary.outcome, base.summary.outcome,
+            "{} changed verdict",
+            base.summary.file
+        );
+    }
+
+    // Degradation is prompt: the run ends in a small multiple of the
+    // deadline (wide margin for slow CI), not after the full solve.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "budgeted run took {elapsed:?}"
+    );
+}
+
+#[test]
+fn timeout_results_are_not_cached() {
+    let dir = std::env::temp_dir().join(format!(
+        "webssari-int-timeout-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut set = SourceSet::new();
+    set.add_file("huge.php", heavy_source());
+
+    let budgeted = VerifierBuilder::new()
+        .solve_budget(SolveBudget::unlimited().wall_time(Duration::from_millis(10)))
+        .build();
+    let engine = EngineBuilder::new()
+        .verifier(budgeted)
+        .cache_dir(&dir)
+        .build();
+    let first = engine.run(&set);
+    assert_eq!(first.timeout_files(), 1);
+
+    // A rerun must re-attempt the file, not serve the inconclusive
+    // result from the cache.
+    let second = engine.run(&set);
+    assert_eq!(second.metrics.cache_hits, 0);
+    assert_eq!(second.metrics.cache_misses, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

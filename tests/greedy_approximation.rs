@@ -82,7 +82,7 @@ fn greedy_gap_family_respects_bound() {
     for k in [2usize, 4, 8] {
         let a = 0usize; // row a covers columns 0..k
         let b = 1usize; // row b covers columns 0..k
-        // Element 2+j is the "tempting" decoy covering column j only.
+                        // Element 2+j is the "tempting" decoy covering column j only.
         let sets: Vec<Vec<usize>> = (0..2 * k)
             .map(|col| {
                 let row = if col % 2 == 0 { a } else { b };

@@ -24,7 +24,11 @@ fn load() -> SourceSet {
             if path.is_dir() {
                 walk(root, &path, set);
             } else if path.extension().is_some_and(|e| e == "php") {
-                let rel = path.strip_prefix(root).unwrap().to_string_lossy().into_owned();
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
                 set.add_file(rel, std::fs::read_to_string(&path).unwrap());
             }
         }

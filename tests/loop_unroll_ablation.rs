@@ -15,9 +15,7 @@ fn relay(k: usize) -> String {
     for i in 1..k {
         body.push_str(&format!("$v{} = $v{};\n", i, i + 1));
     }
-    format!(
-        "<?php\n$v{k} = $_GET['x'];\nwhile ($c) {{\n{body}}}\necho $v1;\n"
-    )
+    format!("<?php\n$v{k} = $_GET['x'];\nwhile ($c) {{\n{body}}}\necho $v1;\n")
 }
 
 #[test]

@@ -16,7 +16,10 @@ fn addslashes_does_not_stop_xss() {
     let src = "<?php\n$name = addslashes($_GET['name']);\necho $name;\n";
     // Two-point policy: addslashes fully sanitizes → false negative.
     let two_point = Verifier::new().verify_source(src, "f.php").unwrap();
-    assert!(two_point.is_safe(), "two-point policy misses this by design");
+    assert!(
+        two_point.is_safe(),
+        "two-point policy misses this by design"
+    );
     // Multi-class policy: addslashes removes only sqli; xss remains.
     let mc = multiclass().verify_source(src, "f.php").unwrap();
     assert!(!mc.is_safe(), "multi-class policy must flag the XSS");
@@ -59,7 +62,12 @@ fn chained_sanitizers_accumulate_kind_removal() {
     // shell taint survives.
     let src = "<?php\n$v = addslashes(htmlspecialchars($_GET['x']));\necho $v;\nmysql_query($v);\nexec($v, $o);\n";
     let report = multiclass().verify_source(src, "f.php").unwrap();
-    assert_eq!(report.bmc.violated_assertions, 1, "{}", report.render_text());
+    assert_eq!(
+        report.bmc.violated_assertions,
+        1,
+        "{}",
+        report.render_text()
+    );
     assert_eq!(report.vulnerabilities[0].class, "shell");
 }
 

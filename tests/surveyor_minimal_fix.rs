@@ -67,7 +67,9 @@ fn instrumentation_counts_ts_16_bmc_1() {
     // A single sanitization of $sid at its introduction secures all 16.
     assert_eq!(bmc_guards[0].var, "sid");
     assert_eq!(bmc_guards[0].after_line, 2);
-    let after = Verifier::new().verify_source(&patched, "admin.php").unwrap();
+    let after = Verifier::new()
+        .verify_source(&patched, "admin.php")
+        .unwrap();
     assert!(after.is_safe());
 }
 

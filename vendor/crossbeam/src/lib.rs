@@ -1,0 +1,335 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`scope`] — crossbeam-utils style scoped threads, implemented on
+//!   `std::thread::scope` (stable since 1.63) with crossbeam's
+//!   `Result`-returning signature.
+//! * [`channel`] — multi-producer multi-consumer FIFO channels
+//!   (`unbounded`), implemented with a `Mutex<VecDeque>` + `Condvar`.
+//!   Throughput is far below the real crossbeam's lock-free queues but
+//!   the semantics (clone-able `Sender`/`Receiver`, disconnect on last
+//!   sender drop) match.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle passed to [`scope`]'s closure; spawn threads with
+/// [`Scope::spawn`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread.
+    ///
+    /// Crossbeam passes the scope back into the closure so nested
+    /// spawns are possible; every caller in this workspace ignores it
+    /// (`|_| …`), so the stand-in passes a unit placeholder instead,
+    /// which binds to the same `_` pattern.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the
+/// caller's stack. All spawned threads are joined before `scope`
+/// returns. Returns `Err` with the panic payload if any thread (or the
+/// closure itself) panicked — crossbeam's contract.
+///
+/// # Errors
+///
+/// Returns the boxed panic payload of the first observed panic.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope, 'a> FnOnce(&'a Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub mod channel {
+    //! MPMC FIFO channels (subset of `crossbeam-channel`).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half; clone freely.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone freely (each message is delivered to
+    /// exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The channel is disconnected: no receiver remains.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is disconnected and empty.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, waking one waiting receiver.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking while the channel is
+        /// empty but still has senders.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and every
+        /// sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .ready
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive attempt; `None` when currently empty
+        /// (regardless of sender liveness).
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue
+                .pop_front()
+        }
+
+        /// A blocking iterator over messages, ending at disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .receivers -= 1;
+        }
+    }
+
+    /// Blocking message iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = [0u64; 8];
+        let r = scope(|s| {
+            for chunk in data.chunks_mut(2) {
+                s.spawn(move |_| {
+                    for x in chunk {
+                        *x += 1;
+                    }
+                });
+            }
+            42
+        });
+        assert_eq!(r.expect("no panics"), 42);
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn scope_propagates_panics_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_fifo_single_thread() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn channel_mpmc_delivers_each_message_once() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let (out_tx, out_rx) = channel::unbounded::<usize>();
+        scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let out = out_tx.clone();
+                s.spawn(move |_| {
+                    for v in rx.iter() {
+                        out.send(v).unwrap();
+                    }
+                });
+            }
+            drop(rx);
+            drop(out_tx);
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        })
+        .expect("workers ok");
+        let mut got: Vec<usize> = out_rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,805 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The container has no crates.io access, so this vendored crate
+//! reimplements the subset of proptest the workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map`,
+//! `prop_recursive`, and `boxed`; [`strategy::Just`]; [`arbitrary::any`];
+//! range and string-pattern strategies; `prop::collection::vec` and
+//! `prop::option::of`; and the `proptest!`, `prop_oneof!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, and
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (reproducible by construction), there is
+//! no shrinking (the failing case index and message are reported
+//! as-is), and string strategies support only literal patterns plus the
+//! `.{m,n}` / `[chars]{m,n}` forms.
+
+pub mod test_runner {
+    //! Deterministic RNG and run configuration.
+
+    /// Per-run configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// xoshiro256** seeded from the test name (FNV-1a) so every test
+    /// has its own reproducible stream.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates the RNG for a named test.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// Creates the RNG from a raw seed.
+        pub fn from_seed(seed: u64) -> Self {
+            let mut st = seed;
+            let mut next = || {
+                st = st.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = st;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound` is zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty range");
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values of one type.
+    ///
+    /// Unlike the real proptest there is no value tree / shrinking:
+    /// `generate` produces the final value directly.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| f(inner.generate(rng)))
+        }
+
+        /// Generates a value, then uses it to pick the next strategy.
+        fn prop_flat_map<O, S, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: Sized + 'static,
+            S: Strategy<Value = O> + 'static,
+            F: Fn(Self::Value) -> S + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| f(inner.generate(rng)).generate(rng))
+        }
+
+        /// Discards generated values failing `f` (bounded retries).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| {
+                for _ in 0..1000 {
+                    let v = inner.generate(rng);
+                    if f(&v) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter: could not satisfy {whence} in 1000 draws");
+            })
+        }
+
+        /// Builds a bounded-depth recursive strategy: values are drawn
+        /// from `self` (the leaf) or from up to `depth` applications of
+        /// `recurse` over the previous level. The `_desired_size` and
+        /// `_expected_branch_size` tuning knobs of the real crate are
+        /// accepted and ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let rec = recurse(cur).boxed();
+                // Leaf-biased so expected size stays small.
+                cur = one_of(vec![(2, leaf.clone()), (1, rec)]);
+            }
+            cur
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let inner = self;
+            BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+        }
+    }
+
+    /// A clone-able type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen_fn: Rc::clone(&self.gen_fn),
+            }
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a generation closure.
+        pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy { gen_fn: Rc::new(f) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen_fn)(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice among erased strategies (backs `prop_oneof!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn one_of<T>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T>
+    where
+        T: 'static,
+    {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof needs at least one weighted arm");
+        BoxedStrategy::from_fn(move |rng| {
+            let mut pick = rng.below(total);
+            for (w, s) in &arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights covered the whole draw range")
+        })
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let x = (rng.next_u64() as u128) % span;
+                    (self.start as u128).wrapping_add(x) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128) - (start as u128) + 1;
+                    let x = (rng.next_u64() as u128) % span;
+                    ((start as u128) + x) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let x = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + x as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    let x = (rng.next_u64() as u128) % span;
+                    (start as i128 + x as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String-pattern strategies: `".{m,n}"`, `"[chars]{m,n}"` (with
+    /// `\t`/`\n`/`\r`/`\\` escapes and `a-z` ranges), or a literal.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let Some((class, min, max)) = parse_pattern(pattern) else {
+            return pattern.to_owned(); // literal
+        };
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        let mut out = String::new();
+        for _ in 0..len {
+            match &class {
+                CharClass::Any => out.push(random_any_char(rng)),
+                CharClass::Set(chars) => {
+                    out.push(chars[rng.below(chars.len() as u64) as usize]);
+                }
+            }
+        }
+        out
+    }
+
+    enum CharClass {
+        Any,
+        Set(Vec<char>),
+    }
+
+    /// Parses `X{m,n}` where `X` is `.` or a `[...]` class. Returns
+    /// `None` for anything else (treated as a literal).
+    fn parse_pattern(pattern: &str) -> Option<(CharClass, usize, usize)> {
+        let (class_part, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+            (CharClass::Any, rest)
+        } else if let Some(after) = pattern.strip_prefix('[') {
+            let close = after.find(']')?;
+            (
+                CharClass::Set(parse_class(&after[..close])),
+                &after[close + 1..],
+            )
+        } else {
+            return None;
+        };
+        let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (m, n) = counts.split_once(',')?;
+        let min: usize = m.trim().parse().ok()?;
+        let max: usize = n.trim().parse().ok()?;
+        (min <= max).then_some((class_part, min, max))
+    }
+
+    fn parse_class(body: &str) -> Vec<char> {
+        let mut chars = Vec::new();
+        let mut it = body.chars().peekable();
+        while let Some(c) = it.next() {
+            let c = if c == '\\' {
+                match it.next() {
+                    Some('t') => '\t',
+                    Some('n') => '\n',
+                    Some('r') => '\r',
+                    Some(other) => other,
+                    None => break,
+                }
+            } else {
+                c
+            };
+            // Range like a-z.
+            if it.peek() == Some(&'-') {
+                let mut clone = it.clone();
+                clone.next(); // consume '-'
+                if let Some(&hi) = clone.peek() {
+                    if hi != ']' && (c as u32) <= (hi as u32) {
+                        it = clone;
+                        it.next();
+                        for x in (c as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(x) {
+                                chars.push(ch);
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+            chars.push(c);
+        }
+        assert!(!chars.is_empty(), "empty character class");
+        chars
+    }
+
+    /// `.`-class characters: mostly printable ASCII with occasional
+    /// whitespace and multibyte code points to stress lexers.
+    fn random_any_char(rng: &mut TestRng) -> char {
+        match rng.below(20) {
+            0 => '\n',
+            1 => '\t',
+            2 => 'λ',
+            3 => '€',
+            _ => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' '),
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' ')
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// A size specification for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::from_fn(move |rng| {
+            let span = (size.max - size.min + 1) as u64;
+            let len = size.min + rng.below(span) as usize;
+            (0..len).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// `None` about a quarter of the time, `Some(value)` otherwise.
+    pub fn of<S>(element: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(element.generate(rng))
+            }
+        })
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    //! Everything a property test file needs.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]`-able function running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $(let $arg = {
+                                let __strategy = $strat;
+                                $crate::strategy::Strategy::generate(&__strategy, &mut __rng)
+                            };)+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__message) = __outcome {
+                        ::std::panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            __message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case with a message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case if the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`: {:?} != {:?}",
+                stringify!($left), stringify!($right), __l, __r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`: both {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counts as passing) if the condition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in 1u32..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0usize..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuple_and_map(pair in (0usize..4, any::<bool>()).prop_map(|(a, b)| (a * 2, b))) {
+            prop_assert_eq!(pair.0 % 2, 0);
+        }
+
+        #[test]
+        fn oneof_picks_arms(x in prop_oneof![Just(1usize), Just(2usize), 0usize..1]) {
+            prop_assert!(x <= 2);
+        }
+
+        #[test]
+        fn string_patterns(pad in "[ \t\n]{0,5}", soup in ".{0,20}") {
+            prop_assert!(pad.len() <= 5);
+            prop_assert!(pad.chars().all(|c| c == ' ' || c == '\t' || c == '\n'));
+            prop_assert!(soup.chars().count() <= 20);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf(usize),
+        Node(Vec<Tree>),
+    }
+
+    impl Tree {
+        fn depth(&self) -> usize {
+            match self {
+                Tree::Leaf(_) => 0,
+                Tree::Node(children) => 1 + children.iter().map(Tree::depth).max().unwrap_or(0),
+            }
+        }
+
+        fn leaf_max(&self) -> usize {
+            match self {
+                Tree::Leaf(n) => *n,
+                Tree::Node(children) => children.iter().map(Tree::leaf_max).max().unwrap_or(0),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursion_is_depth_bounded(
+            t in (0usize..8).prop_map(Tree::Leaf).prop_recursive(3, 16, 3, |inner| {
+                prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(t.depth() <= 3);
+            prop_assert!(t.leaf_max() < 8);
+        }
+
+        #[test]
+        fn option_of_mixes(opts in prop::collection::vec(prop::option::of(0usize..3), 32..33)) {
+            // With 32 draws at 3:1 odds, both variants all-missing is
+            // astronomically unlikely under any seed.
+            prop_assert!(opts.iter().any(Option::is_some));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = crate::collection::vec(0usize..100, 5..10);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

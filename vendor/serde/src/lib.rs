@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network and no crates.io mirror, so the
+//! real `serde` cannot be fetched. Nothing in this workspace performs
+//! actual serde serialization (there is no `serde_json` dependency);
+//! the `#[derive(Serialize, Deserialize)]` attributes only declare
+//! intent. This crate supplies the two marker traits and, behind the
+//! `derive` feature, no-op derive macros, keeping every annotated type
+//! source-compatible with the real crate.
+
+/// Marker trait matching `serde::Serialize`'s name and namespace.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name and namespace.
+pub trait Deserialize<'de> {}
+
+/// Blanket-style impls for common std types so manual bounds (if any
+/// appear later) keep working.
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl<'de> Deserialize<'de> for $t {})*
+    };
+}
+
+impl_markers!(bool, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl Serialize for &str {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,67 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde
+//! stand-in. The emitted impls are empty: the marker traits in the
+//! stub `serde` crate have no required items.
+//!
+//! Implemented against the bare `proc_macro` API (no `syn`/`quote`,
+//! which are equally unfetchable here). Supports plain structs and
+//! enums without generic parameters — the only shapes this workspace
+//! derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the item name following the `struct`/`enum` keyword.
+fn item_name(input: &TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input.clone() {
+        // Attribute bodies, visibility groups, etc. are skipped: only
+        // bare identifiers matter here.
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive (offline stub): could not find struct/enum name");
+}
+
+/// Panics when the derived item has generic parameters: the stub's
+/// name-only parser cannot forward them faithfully, and nothing in the
+/// workspace needs it.
+fn reject_generics(input: &TokenStream, name: &str) {
+    let mut after_name = false;
+    for tt in input.clone() {
+        match &tt {
+            TokenTree::Ident(id) if id.to_string() == *name => after_name = true,
+            TokenTree::Punct(p) if after_name => {
+                if p.as_char() == '<' {
+                    panic!("serde_derive (offline stub): generic type {name} is unsupported");
+                }
+                return;
+            }
+            TokenTree::Group(_) if after_name => return,
+            _ => {}
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(&input);
+    reject_generics(&input, &name);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(&input);
+    reject_generics(&input, &name);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
