@@ -44,6 +44,7 @@
 mod error;
 pub mod html;
 mod instrument;
+pub mod json;
 mod report;
 mod verifier;
 

@@ -234,6 +234,19 @@ impl Verifier {
         self.solve_budget
     }
 
+    /// A copy of this verifier with a different per-file solve budget.
+    ///
+    /// The budget is excluded from [`Verifier::config_description`], so
+    /// the copy shares the original's cache fingerprint — a service can
+    /// map per-request deadlines onto the budget without splitting the
+    /// result cache.
+    #[must_use]
+    pub fn with_solve_budget(&self, budget: SolveBudget) -> Verifier {
+        let mut v = self.clone();
+        v.solve_budget = budget;
+        v
+    }
+
     /// A deterministic, canonical text describing everything that
     /// influences this verifier's *results*: crate version, policy,
     /// loop-unroll depth, filter and check options, fix-plan settings,
@@ -623,6 +636,23 @@ echo htmlspecialchars($_GET['msg']);
             .build()
             .config_description();
         assert_eq!(base, budgeted);
+    }
+
+    #[test]
+    fn with_solve_budget_rearms_without_changing_fingerprint() {
+        let base = Verifier::new();
+        let rearmed =
+            base.with_solve_budget(SolveBudget::unlimited().wall_time(std::time::Duration::ZERO));
+        assert_eq!(base.config_description(), rearmed.config_description());
+        let report = rearmed
+            .verify_source("<?php echo $_GET['x'];", "f.php")
+            .unwrap();
+        assert_eq!(report.outcome, FileOutcome::Timeout);
+        // The original keeps its (unlimited) budget.
+        let report = base
+            .verify_source("<?php echo $_GET['x'];", "f.php")
+            .unwrap();
+        assert_eq!(report.outcome, FileOutcome::Vulnerable);
     }
 
     #[test]

@@ -16,10 +16,11 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use webssari_core::{FileOutcome, FileSummary, Vulnerability};
+use jsonio::{parse, Value};
+use webssari_core::json::{summary_from_value, summary_to_value};
+use webssari_core::{FileOutcome, FileSummary};
 
 use crate::hash;
-use crate::json::{parse, Value};
 
 /// On-disk format version; bump on incompatible layout changes.
 const FORMAT_VERSION: u64 = 1;
@@ -175,76 +176,10 @@ fn entry_from_value(value: &Value) -> Option<(String, CacheEntry)> {
     ))
 }
 
-/// Serializes a [`FileSummary`] (hand-rolled; the vendored serde derive
-/// is inert).
-pub fn summary_to_value(summary: &FileSummary) -> Value {
-    let vulns: Vec<Value> = summary
-        .vulnerabilities
-        .iter()
-        .map(|v| {
-            Value::obj(vec![
-                ("class", Value::str(v.class.clone())),
-                ("root_var", Value::str(v.root_var.clone())),
-                (
-                    "symptoms",
-                    Value::Arr(v.symptoms.iter().cloned().map(Value::Str).collect()),
-                ),
-                (
-                    "funcs",
-                    Value::Arr(v.funcs.iter().cloned().map(Value::Str).collect()),
-                ),
-            ])
-        })
-        .collect();
-    Value::obj(vec![
-        ("file", Value::str(summary.file.clone())),
-        ("num_statements", Value::Num(summary.num_statements as u64)),
-        ("ts_errors", Value::Num(summary.ts_errors as u64)),
-        ("bmc_groups", Value::Num(summary.bmc_groups as u64)),
-        (
-            "counterexamples",
-            Value::Num(summary.counterexamples as u64),
-        ),
-        ("vulnerabilities", Value::Arr(vulns)),
-        ("outcome", Value::str(summary.outcome.as_str())),
-    ])
-}
-
-/// Parses [`summary_to_value`]'s output back.
-pub fn summary_from_value(value: &Value) -> Option<FileSummary> {
-    let string_list = |v: &Value| -> Option<Vec<String>> {
-        v.as_arr()?
-            .iter()
-            .map(|s| s.as_str().map(str::to_owned))
-            .collect()
-    };
-    let vulnerabilities = value
-        .get("vulnerabilities")?
-        .as_arr()?
-        .iter()
-        .map(|v| {
-            Some(Vulnerability {
-                class: v.get("class")?.as_str()?.to_owned(),
-                root_var: v.get("root_var")?.as_str()?.to_owned(),
-                symptoms: string_list(v.get("symptoms")?)?,
-                funcs: string_list(v.get("funcs")?)?,
-            })
-        })
-        .collect::<Option<Vec<_>>>()?;
-    Some(FileSummary {
-        file: value.get("file")?.as_str()?.to_owned(),
-        num_statements: value.get("num_statements")?.as_u64()? as usize,
-        ts_errors: value.get("ts_errors")?.as_u64()? as usize,
-        bmc_groups: value.get("bmc_groups")?.as_u64()? as usize,
-        counterexamples: value.get("counterexamples")?.as_u64()? as usize,
-        vulnerabilities,
-        outcome: FileOutcome::from_str_opt(value.get("outcome")?.as_str()?)?,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use webssari_core::Vulnerability;
 
     fn sample_summary(file: &str, outcome: FileOutcome) -> FileSummary {
         FileSummary {

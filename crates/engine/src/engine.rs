@@ -1,15 +1,18 @@
 //! The batch verification engine: a fixed worker pool over per-file
 //! jobs, an incremental cache, per-job solve budgets, and metrics.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use php_front::SourceSet;
-use webssari_core::{FileOutcome, FileReport, FileSummary, Verifier, VerifyError};
+use webssari_core::{FileOutcome, FileReport, FileSummary, SolveBudget, Verifier, VerifyError};
 
 use crate::cache::Cache;
+use crate::handle::EngineHandle;
 use crate::hash;
 use crate::metrics::{EngineMetrics, FileMetrics};
+use crate::stats::EngineStats;
 
 /// Configures an [`Engine`].
 ///
@@ -84,9 +87,9 @@ impl EngineBuilder {
 /// The batch verification engine. See [`EngineBuilder`].
 #[derive(Clone, Debug)]
 pub struct Engine {
-    verifier: Verifier,
-    workers: usize,
-    cache_dir: Option<PathBuf>,
+    pub(crate) verifier: Verifier,
+    pub(crate) workers: usize,
+    pub(crate) cache_dir: Option<PathBuf>,
 }
 
 /// One file's result in an [`EngineReport`].
@@ -233,16 +236,52 @@ impl Engine {
         self.verifier.config_description()
     }
 
+    /// The cache directory, when persistence is enabled.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Converts this engine into a long-lived [`EngineHandle`] whose
+    /// in-memory cache stays warm across runs (loaded once here,
+    /// persisted by [`EngineHandle::flush_cache`]).
+    pub fn into_handle(self) -> EngineHandle {
+        EngineHandle::new(self)
+    }
+
     /// Verifies every file of the set as an entry point, scheduling
     /// jobs across the worker pool. Results are ordered by file name —
     /// identical to the sequential [`Verifier::verify_project`] path
     /// for any worker count.
+    ///
+    /// Each call loads and persists the cache; a service that handles
+    /// many batches should hold an [`EngineHandle`] instead, which
+    /// keeps the cache in memory between runs.
     pub fn run(&self, sources: &SourceSet) -> EngineReport {
+        let handle = EngineHandle::new(self.clone());
+        let mut report = handle.run(sources);
+        if let Err(e) = handle.flush_cache() {
+            let dir = self.cache_dir.as_deref().unwrap_or(Path::new("?"));
+            report.cache_error = Some(format!("cannot write cache in {}: {e}", dir.display()));
+        }
+        report
+    }
+
+    /// The shared run pipeline: serves hits from `cache`, verifies the
+    /// rest on the worker pool, folds fresh results back into `cache`,
+    /// and bumps `stats` live as each job completes. Does *not* persist
+    /// the cache — that is the caller's (handle's) decision.
+    pub(crate) fn run_shared(
+        &self,
+        sources: &SourceSet,
+        budget: Option<SolveBudget>,
+        cache: &Mutex<Cache>,
+        stats: &EngineStats,
+    ) -> EngineReport {
         let started = Instant::now();
-        let fingerprint = self.fingerprint();
-        let mut cache = match &self.cache_dir {
-            Some(dir) => Cache::load(dir, &fingerprint),
-            None => Cache::empty(fingerprint),
+        stats.batch_started();
+        let verifier = match budget {
+            Some(b) => self.verifier.with_solve_budget(b),
+            None => self.verifier.clone(),
         };
 
         // Content keys: a file's own hash; include-bearing files also
@@ -266,15 +305,20 @@ impl Engine {
             })
             .collect();
 
-        // Serve cache hits on this thread; queue the rest.
+        // Serve cache hits on this thread; queue the rest. The lock is
+        // held only for the lookups, so concurrent batches overlap.
         let mut slots: Vec<Option<Slot>> = Vec::with_capacity(names.len());
         slots.resize_with(names.len(), || None);
         let mut jobs: Vec<Job> = Vec::new();
-        for (index, (name, key)) in names.iter().enumerate() {
-            if let Some(summary) = cache.lookup(name, *key) {
-                slots[index] = Some(Slot::Hit(summary.clone()));
-            } else {
-                jobs.push((index, name.clone(), *key));
+        {
+            let cache = cache.lock().unwrap_or_else(PoisonError::into_inner);
+            for (index, (name, key)) in names.iter().enumerate() {
+                if let Some(summary) = cache.lookup(name, *key) {
+                    stats.record_cache_hit(summary);
+                    slots[index] = Some(Slot::Hit(summary.clone()));
+                } else {
+                    jobs.push((index, name.clone(), *key));
+                }
             }
         }
 
@@ -286,7 +330,7 @@ impl Engine {
                 job_tx.send(job).expect("queue is open");
             }
             drop(job_tx);
-            let verifier = &self.verifier;
+            let verifier = &verifier;
             crossbeam::scope(|s| {
                 for worker in 0..workers {
                     let job_rx = job_rx.clone();
@@ -294,14 +338,30 @@ impl Engine {
                     s.spawn(move |_| {
                         for (index, file, content_key) in job_rx.iter() {
                             let picked = Instant::now();
+                            stats.job_started();
                             let result = verifier.verify_file(sources, &file);
+                            let duration = picked.elapsed();
+                            // Live counters move the moment the job is
+                            // done, not when the batch is assembled —
+                            // a snapshot mid-batch sees them.
+                            match &result {
+                                Ok(report) => stats.record_fresh(
+                                    report.outcome,
+                                    duration,
+                                    Some(&report.bmc.stats),
+                                ),
+                                Err(_) => {
+                                    stats.record_fresh(FileOutcome::ParseError, duration, None)
+                                }
+                            }
+                            stats.job_finished();
                             let done = JobDone {
                                 index,
                                 file,
                                 content_key,
                                 worker,
                                 queue_wait: picked.duration_since(started),
-                                duration: picked.elapsed(),
+                                duration,
                                 result,
                             };
                             if done_tx.send(done).is_err() {
@@ -320,11 +380,16 @@ impl Engine {
             .expect("engine worker panicked");
         }
 
-        self.assemble(started, names, slots, &mut cache)
+        let report = {
+            let mut cache = cache.lock().unwrap_or_else(PoisonError::into_inner);
+            self.assemble(started, names, slots, &mut cache)
+        };
+        stats.batch_completed();
+        report
     }
 
-    /// Folds filled slots into the final report, updates the cache, and
-    /// persists it.
+    /// Folds filled slots into the final report and updates the
+    /// in-memory cache (persistence is the caller's decision).
     fn assemble(
         &self,
         started: Instant,
@@ -403,11 +468,6 @@ impl Engine {
                         }
                     }
                 }
-            }
-        }
-        if let Some(dir) = &self.cache_dir {
-            if let Err(e) = cache.save(dir) {
-                report.cache_error = Some(format!("cannot write cache in {}: {e}", dir.display()));
             }
         }
         report.metrics = EngineMetrics {

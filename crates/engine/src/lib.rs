@@ -42,13 +42,23 @@
 
 mod cache;
 mod engine;
+mod handle;
 pub mod hash;
-pub mod json;
 mod metrics;
+mod stats;
 
-pub use cache::{summary_from_value, summary_to_value, Cache, CacheEntry, CACHE_FILE_NAME};
+/// The shared JSON value model (re-export of the [`jsonio`] crate,
+/// kept under the historical `webssari_engine::json` path).
+pub use jsonio as json;
+/// Summary serialization (now shared via [`webssari_core::json`]; the
+/// re-exports keep the historical `webssari_engine` paths working).
+pub use webssari_core::json::{summary_from_value, summary_to_value};
+
+pub use cache::{Cache, CacheEntry, CACHE_FILE_NAME};
 pub use engine::{Engine, EngineBuilder, EngineFileResult, EngineReport};
+pub use handle::EngineHandle;
 pub use metrics::{EngineMetrics, FileMetrics};
+pub use stats::{EngineSnapshot, EngineStats};
 
 #[cfg(test)]
 mod tests {

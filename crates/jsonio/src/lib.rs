@@ -1,11 +1,15 @@
-//! A minimal JSON value model with writer and parser.
+//! # jsonio — a minimal shared JSON value model with writer and parser.
 //!
 //! The workspace's `serde` dependency is an offline stand-in whose
-//! derive is a no-op (see `vendor/README.md`), so the cache file and
-//! the metrics export serialize by hand through this module. Only the
-//! subset the engine emits is supported: objects, arrays, strings,
-//! booleans, `null`, and non-negative integers (every number the
-//! engine stores is a count or a microsecond duration).
+//! derive is a no-op (see `vendor/README.md`), so the engine's cache
+//! file, the metrics export, and the `webssari-serve` HTTP API all
+//! serialize by hand through this crate. Only the subset the workspace
+//! emits is supported: objects, arrays, strings, booleans, `null`, and
+//! non-negative integers (every number stored is a count or a
+//! microsecond duration).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,507 @@
+//! A minimal, defensive HTTP/1.1 layer over `std::io`.
+//!
+//! The daemon serves a handful of fixed routes from plain
+//! `TcpStream`s, so a full HTTP implementation is unnecessary — but
+//! the parser faces the open network and must treat every byte as
+//! hostile: request lines, headers, and bodies are all size-capped,
+//! malformed input maps to a typed [`RequestError`] (never a panic),
+//! and chunked transfer encoding is rejected up front.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard caps applied while reading one request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum bytes for the request line plus all headers.
+    pub max_head_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, as sent (e.g. `GET`, `POST`).
+    pub method: String,
+    /// Decoded path component of the target, e.g. `/verify`.
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps onto an HTTP
+/// status via [`RequestError::status`].
+#[derive(Debug)]
+pub enum RequestError {
+    /// Transport failure (including timeouts) while reading.
+    Io(io::Error),
+    /// The connection closed before a full request arrived.
+    Truncated,
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// A header line is malformed.
+    BadHeader,
+    /// Request line + headers exceed [`Limits::max_head_bytes`], or a
+    /// single header count exceeds [`Limits::max_headers`].
+    HeadTooLarge,
+    /// `Content-Length` is missing on a method that carries a body.
+    LengthRequired,
+    /// `Content-Length` is unparsable.
+    BadContentLength,
+    /// The declared body exceeds [`Limits::max_body_bytes`].
+    BodyTooLarge(usize),
+    /// `Transfer-Encoding` other than identity.
+    UnsupportedTransferEncoding,
+}
+
+impl RequestError {
+    /// The HTTP status this error should be answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::Io(_) | RequestError::Truncated => 400,
+            RequestError::BadRequestLine | RequestError::BadHeader => 400,
+            RequestError::HeadTooLarge => 431,
+            RequestError::LengthRequired => 411,
+            RequestError::BadContentLength => 400,
+            RequestError::BodyTooLarge(_) => 413,
+            RequestError::UnsupportedTransferEncoding => 501,
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+            RequestError::Truncated => write!(f, "connection closed mid-request"),
+            RequestError::BadRequestLine => write!(f, "malformed request line"),
+            RequestError::BadHeader => write!(f, "malformed header"),
+            RequestError::HeadTooLarge => write!(f, "request head too large"),
+            RequestError::LengthRequired => write!(f, "Content-Length required"),
+            RequestError::BadContentLength => write!(f, "unparsable Content-Length"),
+            RequestError::BodyTooLarge(limit) => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            RequestError::UnsupportedTransferEncoding => {
+                write!(f, "only identity transfer encoding is supported")
+            }
+        }
+    }
+}
+
+/// Reads and parses one request from `stream` under `limits`.
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] describing the first violation; the
+/// caller should answer with [`RequestError::status`] and close the
+/// connection.
+pub fn read_request(stream: &mut impl Read, limits: &Limits) -> Result<Request, RequestError> {
+    // Accumulate until the blank line that ends the head, capped.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(RequestError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::Truncated);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(RequestError::HeadTooLarge);
+    }
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| RequestError::BadHeader)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(RequestError::BadRequestLine)?;
+    let (method, path, query) = parse_request_line(request_line)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(RequestError::HeadTooLarge);
+        }
+        headers.push(parse_header_line(line)?);
+    }
+
+    let mut request = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    if let Some(te) = request.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(RequestError::UnsupportedTransferEncoding);
+        }
+    }
+    let content_length = match request.header("content-length") {
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| RequestError::BadContentLength)?,
+        None => {
+            if matches!(request.method.as_str(), "POST" | "PUT" | "PATCH") {
+                return Err(RequestError::LengthRequired);
+            }
+            0
+        }
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(RequestError::BodyTooLarge(limits.max_body_bytes));
+    }
+
+    // Bytes already read past the head belong to the body.
+    let mut body = buf.split_off(head_end + 4);
+    drop(buf);
+    if body.len() > content_length {
+        // Pipelined extra bytes are ignored: the daemon is
+        // connection-per-request (`Connection: close`).
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::Truncated);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    request.body = body;
+    Ok(request)
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// `(method, decoded path, decoded query pairs)`.
+type RequestLine = (String, String, Vec<(String, String)>);
+
+fn parse_request_line(line: &str) -> Result<RequestLine, RequestError> {
+    let mut parts = line.split(' ');
+    let method = parts.next().ok_or(RequestError::BadRequestLine)?;
+    let target = parts.next().ok_or(RequestError::BadRequestLine)?;
+    let version = parts.next().ok_or(RequestError::BadRequestLine)?;
+    if parts.next().is_some() || method.is_empty() || target.is_empty() {
+        return Err(RequestError::BadRequestLine);
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(RequestError::BadRequestLine);
+    }
+    if !(version == "HTTP/1.1" || version == "HTTP/1.0") {
+        return Err(RequestError::BadRequestLine);
+    }
+    if !target.starts_with('/') {
+        return Err(RequestError::BadRequestLine);
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path).ok_or(RequestError::BadRequestLine)?;
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k).ok_or(RequestError::BadRequestLine)?;
+            let v = percent_decode(v).ok_or(RequestError::BadRequestLine)?;
+            query.push((k, v));
+        }
+    }
+    Ok((method.to_owned(), path, query))
+}
+
+fn parse_header_line(line: &str) -> Result<(String, String), RequestError> {
+    let (name, value) = line.split_once(':').ok_or(RequestError::BadHeader)?;
+    if name.is_empty()
+        || name
+            .bytes()
+            .any(|b| b.is_ascii_whitespace() || b.is_ascii_control())
+    {
+        return Err(RequestError::BadHeader);
+    }
+    Ok((name.to_ascii_lowercase(), value.trim().to_owned()))
+}
+
+/// Percent-decodes a URL component (`+` becomes a space). `None` on
+/// invalid escapes or non-UTF-8 results.
+fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = (*bytes.get(i + 1)? as char).to_digit(16)?;
+                let lo = (*bytes.get(i + 2)? as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// An HTTP response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length`, `Connection: close`, and the
+    /// status line are added by [`Response::write_to`]).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, value: &jsonio::Value) -> Self {
+        Response::new(status)
+            .header("Content-Type", "application/json")
+            .with_body(value.to_json().into_bytes())
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// A uniform JSON error body: `{"error": message}`.
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        Response::json(
+            status,
+            &jsonio::Value::obj(vec![("error", jsonio::Value::str(message.into()))]),
+        )
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_owned(), value.into()));
+        self
+    }
+
+    /// Replaces the body.
+    #[must_use]
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Serializes the response (HTTP/1.1, `Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut io::Cursor::new(bytes.to_vec()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse(b"GET /verify?file=a%20b.php&x=1 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/verify");
+        assert_eq!(req.query_param("file"), Some("a b.php"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.header("host"), Some("h"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /verify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let err = parse(b"POST /verify HTTP/1.1\r\nHost: h\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 411);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let limits = Limits {
+            max_body_bytes: 4,
+            ..Limits::default()
+        };
+        let err = read_request(
+            &mut io::Cursor::new(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello".to_vec()),
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "a".repeat(64 * 1024)).as_bytes());
+        assert_eq!(parse(&raw).unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn truncated_requests_error_cleanly() {
+        for raw in [
+            &b"GET / HTTP/1.1\r\nHost:"[..],
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"",
+            b"GET",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert!(matches!(err, RequestError::Truncated), "{raw:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in [
+            &b"GET/ HTTP/1.1\r\n\r\n"[..],
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2\r\n\r\n",
+            b"GET  / HTTP/1.1\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"GET /%zz HTTP/1.1\r\n\r\n",
+            b"\r\n\r\n",
+        ] {
+            assert_eq!(parse(raw).unwrap_err().status(), 400, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_bodies_are_rejected() {
+        let err =
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::text(200, "ok").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok"));
+    }
+
+    #[test]
+    fn retry_after_header_round_trips() {
+        let mut out = Vec::new();
+        Response::error(429, "queue full")
+            .header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("429 Too Many Requests"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+    }
+}

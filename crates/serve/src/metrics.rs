@@ -1,0 +1,400 @@
+//! Server-side counters and Prometheus text rendering.
+//!
+//! [`ServerMetrics`] tracks the HTTP side (connections, per-route
+//! request counts and latencies, load-shed rejections);
+//! [`render_prometheus`](ServerMetrics::render_prometheus) merges them
+//! with the engine's live [`EngineSnapshot`] and the queue gauges into
+//! Prometheus text exposition format 0.0.4 for `GET /metrics`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use webssari_engine::EngineSnapshot;
+
+/// The route labels exported to Prometheus. Unknown paths collapse to
+/// `"other"` so a scanner probing random URLs cannot blow up the label
+/// cardinality.
+pub const ROUTES: [&str; 5] = ["/verify", "/batch", "/healthz", "/metrics", "other"];
+
+/// Normalizes a request path to one of [`ROUTES`].
+pub fn route_label(path: &str) -> &'static str {
+    ROUTES
+        .iter()
+        .find(|r| **r == path)
+        .copied()
+        .unwrap_or("other")
+}
+
+/// Live HTTP-side counters. All methods are callable concurrently.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    connections_total: AtomicU64,
+    rejected_total: AtomicU64,
+    in_flight: AtomicU64,
+    /// `(route, status) -> count`.
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// `route -> (count, total micros)`.
+    latency: Mutex<BTreeMap<&'static str, (u64, u64)>>,
+}
+
+impl ServerMetrics {
+    /// Fresh counters; uptime starts now.
+    pub fn new() -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            connections_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            requests: Mutex::new(BTreeMap::new()),
+            latency: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Counts an accepted connection.
+    pub fn record_connection(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection shed with `429` because the queue was full.
+    pub fn record_rejected(&self) {
+        self.rejected_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a request as started; pair with [`ServerMetrics::record`].
+    pub fn request_started(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, route: &'static str, status: u16, elapsed: Duration) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        *self
+            .requests
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry((route, status))
+            .or_insert(0) += 1;
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let mut latency = self.latency.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = latency.entry(route).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 = entry.1.saturating_add(micros);
+    }
+
+    /// Requests finished with the given status, summed over routes.
+    pub fn requests_with_status(&self, status: u16) -> u64 {
+        self.requests
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .filter(|((_, s), _)| *s == status)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Renders everything as Prometheus text exposition format 0.0.4.
+    pub fn render_prometheus(
+        &self,
+        engine: &EngineSnapshot,
+        queue_depth: usize,
+        queue_capacity: usize,
+    ) -> String {
+        fn metric(out: &mut String, name: &str, kind: &str, help: &str) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        }
+        let mut out = String::with_capacity(4096);
+        metric(
+            &mut out,
+            "webssari_build_info",
+            "gauge",
+            "Constant 1, labeled with the server version.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION"),
+        );
+
+        metric(
+            &mut out,
+            "webssari_uptime_seconds",
+            "gauge",
+            "Seconds since the server started.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_uptime_seconds {:.3}",
+            self.started.elapsed().as_secs_f64(),
+        );
+
+        metric(
+            &mut out,
+            "webssari_http_connections_total",
+            "counter",
+            "Connections accepted, including ones later shed.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_http_connections_total {}",
+            self.connections_total.load(Ordering::Relaxed),
+        );
+
+        metric(
+            &mut out,
+            "webssari_http_requests_total",
+            "counter",
+            "Finished requests by route and status.",
+        );
+        {
+            let requests = self.requests.lock().unwrap_or_else(PoisonError::into_inner);
+            for ((route, status), count) in requests.iter() {
+                let _ = writeln!(
+                    out,
+                    "webssari_http_requests_total{{path=\"{route}\",status=\"{status}\"}} {count}",
+                );
+            }
+        }
+
+        metric(
+            &mut out,
+            "webssari_http_request_duration_seconds",
+            "summary",
+            "Request handling latency by route.",
+        );
+        {
+            let latency = self.latency.lock().unwrap_or_else(PoisonError::into_inner);
+            for (route, (count, micros)) in latency.iter() {
+                let _ = writeln!(
+                    out,
+                    "webssari_http_request_duration_seconds_sum{{path=\"{route}\"}} {:.6}",
+                    *micros as f64 / 1e6,
+                );
+                let _ = writeln!(
+                    out,
+                    "webssari_http_request_duration_seconds_count{{path=\"{route}\"}} {count}",
+                );
+            }
+        }
+
+        metric(
+            &mut out,
+            "webssari_http_requests_in_flight",
+            "gauge",
+            "Requests currently being handled.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_http_requests_in_flight {}",
+            self.in_flight.load(Ordering::Relaxed),
+        );
+
+        metric(
+            &mut out,
+            "webssari_queue_depth",
+            "gauge",
+            "Connections waiting for a worker.",
+        );
+        let _ = writeln!(out, "webssari_queue_depth {queue_depth}");
+        metric(
+            &mut out,
+            "webssari_queue_capacity",
+            "gauge",
+            "Bounded queue capacity; beyond it requests are shed.",
+        );
+        let _ = writeln!(out, "webssari_queue_capacity {queue_capacity}");
+        metric(
+            &mut out,
+            "webssari_queue_rejected_total",
+            "counter",
+            "Connections answered 429 because the queue was full.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_queue_rejected_total {}",
+            self.rejected_total.load(Ordering::Relaxed),
+        );
+
+        metric(
+            &mut out,
+            "webssari_engine_batches_total",
+            "counter",
+            "Verification batches by state.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_engine_batches_total{{state=\"started\"}} {}",
+            engine.batches_started,
+        );
+        let _ = writeln!(
+            out,
+            "webssari_engine_batches_total{{state=\"completed\"}} {}",
+            engine.batches_completed,
+        );
+
+        metric(
+            &mut out,
+            "webssari_engine_jobs_in_flight",
+            "gauge",
+            "Files currently being verified by engine workers.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_engine_jobs_in_flight {}",
+            engine.jobs_in_flight
+        );
+
+        metric(
+            &mut out,
+            "webssari_engine_cache_hits_total",
+            "counter",
+            "Files served from the incremental cache.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_engine_cache_hits_total {}",
+            engine.cache_hits
+        );
+        metric(
+            &mut out,
+            "webssari_engine_cache_misses_total",
+            "counter",
+            "Files verified fresh.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_engine_cache_misses_total {}",
+            engine.cache_misses,
+        );
+        metric(
+            &mut out,
+            "webssari_engine_cache_hit_ratio",
+            "gauge",
+            "Fraction of served files that came from the cache.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_engine_cache_hit_ratio {:.6}",
+            engine.cache_hit_rate().unwrap_or(0.0),
+        );
+
+        metric(
+            &mut out,
+            "webssari_engine_files_total",
+            "counter",
+            "Files served, by verification outcome.",
+        );
+        for (outcome, count) in [
+            ("verified", engine.files_verified),
+            ("vulnerable", engine.files_vulnerable),
+            ("timeout", engine.files_timeout),
+            ("parse-error", engine.files_parse_error),
+        ] {
+            let _ = writeln!(
+                out,
+                "webssari_engine_files_total{{outcome=\"{outcome}\"}} {count}",
+            );
+        }
+
+        metric(
+            &mut out,
+            "webssari_engine_verify_seconds_total",
+            "counter",
+            "Wall time spent verifying files.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_engine_verify_seconds_total {:.6}",
+            engine.verify_micros as f64 / 1e6,
+        );
+
+        metric(
+            &mut out,
+            "webssari_engine_solver_events_total",
+            "counter",
+            "Cumulative SAT solver activity by kind.",
+        );
+        for (kind, count) in [
+            ("conflicts", engine.conflicts),
+            ("decisions", engine.decisions),
+            ("propagations", engine.propagations),
+            ("restarts", engine.restarts),
+            ("calls", engine.sat_calls),
+        ] {
+            let _ = writeln!(
+                out,
+                "webssari_engine_solver_events_total{{kind=\"{kind}\"}} {count}",
+            );
+        }
+        out
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_paths_collapse_to_other() {
+        assert_eq!(route_label("/verify"), "/verify");
+        assert_eq!(route_label("/verify/"), "other");
+        assert_eq!(route_label("/../etc/passwd"), "other");
+    }
+
+    #[test]
+    fn records_show_up_in_the_exposition() {
+        let m = ServerMetrics::new();
+        m.record_connection();
+        m.request_started();
+        m.record("/verify", 200, Duration::from_millis(3));
+        m.request_started();
+        m.record("/verify", 400, Duration::from_millis(1));
+        m.record_rejected();
+        let text = m.render_prometheus(&EngineSnapshot::default(), 2, 8);
+        assert!(text.contains("webssari_http_connections_total 1"));
+        assert!(text.contains("webssari_http_requests_total{path=\"/verify\",status=\"200\"} 1"));
+        assert!(text.contains("webssari_http_requests_total{path=\"/verify\",status=\"400\"} 1"));
+        assert!(text.contains("webssari_http_request_duration_seconds_count{path=\"/verify\"} 2"));
+        assert!(text.contains("webssari_http_requests_in_flight 0"));
+        assert!(text.contains("webssari_queue_depth 2"));
+        assert!(text.contains("webssari_queue_capacity 8"));
+        assert!(text.contains("webssari_queue_rejected_total 1"));
+        assert_eq!(m.requests_with_status(200), 1);
+    }
+
+    #[test]
+    fn engine_snapshot_flows_through() {
+        let m = ServerMetrics::new();
+        let snap = EngineSnapshot {
+            cache_hits: 3,
+            cache_misses: 1,
+            files_vulnerable: 1,
+            sat_calls: 7,
+            ..EngineSnapshot::default()
+        };
+        let text = m.render_prometheus(&snap, 0, 4);
+        assert!(text.contains("webssari_engine_cache_hits_total 3"));
+        assert!(text.contains("webssari_engine_cache_hit_ratio 0.75"));
+        assert!(text.contains("webssari_engine_files_total{outcome=\"vulnerable\"} 1"));
+        assert!(text.contains("webssari_engine_solver_events_total{kind=\"calls\"} 7"));
+        // Every exposed line is HELP, TYPE, or a sample.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# HELP")
+                    || line.starts_with("# TYPE")
+                    || line.starts_with("webssari_"),
+                "unexpected line: {line}",
+            );
+        }
+    }
+}

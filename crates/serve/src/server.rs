@@ -1,0 +1,195 @@
+//! The listener: accept loop, HTTP worker pool, graceful shutdown.
+//!
+//! One thread accepts connections (non-blocking, polling the stop
+//! flag) and pushes them onto the bounded queue; when the queue is
+//! full the connection is answered `429` + `Retry-After` right there
+//! and closed — load is shed at the door, before any parsing.
+//! `http_workers` threads pop connections and serve one request each
+//! (`Connection: close`; the daemon trades keep-alive for strictly
+//! bounded state per connection).
+//!
+//! [`ServerHandle::shutdown`] flips the stop flag: the accept thread
+//! exits (dropping the listener, so new connects are refused at the
+//! OS level) and closes the queue; workers drain what was already
+//! accepted, then exit; finally the warm cache is flushed to disk.
+
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use webssari_engine::Engine;
+
+use crate::http::{read_request, Response};
+use crate::queue::PushError;
+use crate::router::route;
+use crate::{AppState, ServerConfig};
+
+/// How long the accept loop sleeps between polls of the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Per-connection socket timeouts: a peer that stalls mid-request (or
+/// stops reading the response) cannot pin a worker forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Builds and starts daemon instances.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and starts the accept loop and worker pool.
+    /// Returns once the socket is listening; serving continues on
+    /// background threads until [`ServerHandle::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn start(config: ServerConfig, engine: Engine) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(AppState::new(config, engine));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut threads = Vec::new();
+        for i in 0..state.config.http_workers.max(1) {
+            let state = Arc::clone(&state);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = state.queue.pop() {
+                            handle_connection(&state, stream);
+                        }
+                    })?,
+            );
+        }
+        {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept".to_owned())
+                    .spawn(move || accept_loop(listener, &state, &stop))?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            state,
+            stop,
+            threads,
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: &AppState, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.metrics.record_connection();
+                // The listener is non-blocking; accepted streams must
+                // not inherit that.
+                let _ = stream.set_nonblocking(false);
+                match state.queue.try_push(stream) {
+                    Ok(()) => {}
+                    Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
+                        shed(state, stream);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Dropping the listener here closes the socket: new connects are
+    // refused while workers drain the queue.
+    drop(listener);
+    state.queue.close();
+}
+
+/// Answers a connection the queue cannot hold: `429`, `Retry-After`,
+/// close. Written from the accept thread, so the write timeout is
+/// short — a slow peer must not stall accepting.
+fn shed(state: &AppState, mut stream: TcpStream) {
+    state.metrics.record_rejected();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = Response::error(429, "request queue is full; retry shortly")
+        .header("Retry-After", "1")
+        .write_to(&mut stream);
+    finish(stream);
+}
+
+/// Closes a connection without destroying the response in flight:
+/// closing while unread request bytes are pending makes the kernel
+/// send RST, which discards our response at the client. Signal EOF
+/// first, then absorb (bounded) whatever the client was still sending.
+fn finish(mut stream: TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut buf = [0u8; 4096];
+    // Drain at most 256 KiB; past that, cut the peer off.
+    for _ in 0..64 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Serves one request on one connection, recording metrics either way.
+fn handle_connection(state: &AppState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    state.metrics.request_started();
+    let started = Instant::now();
+    let (label, response) = match read_request(&mut stream, &state.config.limits()) {
+        Ok(request) => route(state, &request),
+        Err(err) => ("other", Response::error(err.status(), err.to_string())),
+    };
+    state
+        .metrics
+        .record(label, response.status, started.elapsed());
+    let _ = response.write_to(&mut stream);
+    finish(stream);
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the threads (the process keeps
+/// serving); tests and the CLI should shut down explicitly.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state — tests and embedders can inspect
+    /// metrics and the engine snapshot through it.
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, drain accepted connections,
+    /// join every thread, then flush the warm cache. Returns the cache
+    /// file path when persistence is configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-flush I/O errors (the drain itself cannot
+    /// fail).
+    pub fn shutdown(self) -> io::Result<Option<PathBuf>> {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.state.engine.flush_cache()
+    }
+}

@@ -1,0 +1,70 @@
+//! SIGTERM/SIGINT handling without a libc crate.
+//!
+//! The container has no `signal-hook`/`libc` dependency, but libc
+//! itself is always linked on the platforms we target, so the daemon
+//! declares `signal(2)` directly. The handler does the only thing an
+//! async-signal-safe handler may: flip a static atomic flag, which the
+//! serve binary polls to begin a graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operation: set the flag.
+        super::SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is always available in libc on unix; the
+        // handler only touches an atomic, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs handlers for SIGTERM and SIGINT that flip the shutdown
+/// flag. Idempotent; a no-op on non-unix targets.
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a shutdown signal has been received (or injected via
+/// [`request_shutdown`]).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Flips the shutdown flag from ordinary code — what the signal
+/// handler does, callable from tests and from in-process embedders.
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_the_flag() {
+        install();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -1,0 +1,259 @@
+//! End-to-end smoke tests over real sockets: start the daemon on an
+//! ephemeral port, speak raw HTTP/1.1 through `TcpStream`, and check
+//! the full loop — routing, verification, warm cache, load shedding,
+//! budgets, and graceful shutdown with a cache flush.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use jsonio::Value;
+use webssari_engine::EngineBuilder;
+use webssari_serve::{Server, ServerConfig, ServerHandle};
+
+/// The README's vulnerable quickstart snippet.
+const SQLI: &str = r#"<?php
+$sid = $_GET['sid'];
+$query = "SELECT * FROM groups WHERE sid=$sid";
+mysql_query($query);
+"#;
+
+fn start(config: ServerConfig) -> ServerHandle {
+    let mut config = config;
+    config.addr = "127.0.0.1:0".to_owned();
+    Server::start(config, EngineBuilder::new().workers(2).build()).expect("bind ephemeral port")
+}
+
+/// Sends raw bytes, reads the whole response (the server always sends
+/// `Connection: close`).
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    send_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, extra_headers: &str, body: &str) -> String {
+    send_raw(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\n{extra_headers}Content-Length: {}\r\n\r\n{body}",
+            body.len(),
+        )
+        .as_bytes(),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"))
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_else(|| panic!("no body in {response:?}"))
+}
+
+fn json_of(response: &str) -> Value {
+    jsonio::parse(body_of(response)).unwrap_or_else(|| panic!("bad JSON in {response:?}"))
+}
+
+#[test]
+fn verify_reports_sqli_rooted_at_sid_end_to_end() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(status_of(&health), 200);
+    assert_eq!(
+        json_of(&health).get("status").and_then(Value::as_str),
+        Some("ok"),
+    );
+
+    let response = post(addr, "/verify?file=index.php", "", SQLI);
+    assert_eq!(status_of(&response), 200);
+    let v = json_of(&response);
+    assert_eq!(v.get("file").and_then(Value::as_str), Some("index.php"));
+    assert_eq!(v.get("outcome").and_then(Value::as_str), Some("vulnerable"));
+    let vulns = v.get("vulnerabilities").and_then(Value::as_arr).unwrap();
+    assert_eq!(vulns.len(), 1, "one grouped root cause");
+    assert_eq!(vulns[0].get("class").and_then(Value::as_str), Some("sqli"));
+    assert_eq!(
+        vulns[0].get("root_var").and_then(Value::as_str),
+        Some("sid")
+    );
+
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn second_batch_is_served_from_the_warm_cache() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let body = r#"{"files": [
+        {"name": "a.php", "source": "<?php $x = $_GET['a']; echo $x;"},
+        {"name": "b.php", "source": "<?php $y = 'safe'; echo $y;"}
+    ]}"#;
+
+    let first = post(addr, "/batch", "", body);
+    assert_eq!(status_of(&first), 200);
+    let summary = json_of(&first);
+    let summary = summary.get("summary").unwrap();
+    assert_eq!(summary.get("cache_misses").and_then(Value::as_u64), Some(2));
+
+    let second = post(addr, "/batch", "", body);
+    let v = json_of(&second);
+    let summary = v.get("summary").unwrap();
+    assert_eq!(summary.get("cache_hits").and_then(Value::as_u64), Some(2));
+    assert_eq!(summary.get("cache_misses").and_then(Value::as_u64), Some(0));
+    for f in v.get("files").and_then(Value::as_arr).unwrap() {
+        assert_eq!(f.get("from_cache"), Some(&Value::Bool(true)));
+    }
+
+    // The warm cache shows up in the Prometheus exposition.
+    let metrics = get(addr, "/metrics");
+    assert_eq!(status_of(&metrics), 200);
+    assert!(metrics.contains("webssari_engine_cache_hits_total 2"));
+    assert!(metrics.contains("webssari_engine_cache_misses_total 2"));
+    assert!(metrics.contains("webssari_http_requests_total{path=\"/batch\",status=\"200\"} 2"));
+
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn exhausted_budget_returns_well_formed_timeout_json() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let response = post(addr, "/verify", "X-Webssari-Budget-Ms: 0\r\n", SQLI);
+    assert_eq!(status_of(&response), 200);
+    let v = json_of(&response);
+    assert_eq!(v.get("outcome").and_then(Value::as_str), Some("timeout"));
+    // The timeout was not cached: the next full-budget request concludes.
+    let retry = post(addr, "/verify", "", SQLI);
+    assert_eq!(
+        json_of(&retry).get("outcome").and_then(Value::as_str),
+        Some("vulnerable"),
+    );
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn full_queue_sheds_with_429_and_retry_after() {
+    let server = start(ServerConfig {
+        http_workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Two idle connections: one parks the single worker mid-read, the
+    // other fills the depth-1 queue.
+    let idle1 = TcpStream::connect(addr).expect("connect idle");
+    std::thread::sleep(Duration::from_millis(150));
+    let idle2 = TcpStream::connect(addr).expect("connect idle");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let shed = get(addr, "/healthz");
+    assert_eq!(status_of(&shed), 429, "response: {shed:?}");
+    assert!(shed.contains("Retry-After: 1\r\n"));
+
+    // Closing the idle connections frees the worker; service resumes.
+    drop(idle1);
+    drop(idle2);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(status_of(&get(addr, "/healthz")), 200);
+
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.contains("webssari_queue_rejected_total 1"));
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn malformed_requests_get_clean_errors_and_the_server_survives() {
+    let server = start(ServerConfig {
+        max_body_bytes: 1024,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    assert_eq!(status_of(&send_raw(addr, b"BLARG\r\n\r\n")), 400);
+    assert_eq!(
+        status_of(&send_raw(addr, b"POST /verify HTTP/1.1\r\nHost: t\r\n\r\n")),
+        411,
+    );
+    let oversized = format!(
+        "POST /verify HTTP/1.1\r\nContent-Length: 4096\r\n\r\n{}",
+        "x".repeat(4096),
+    );
+    assert_eq!(status_of(&send_raw(addr, oversized.as_bytes())), 413);
+    let huge_head = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(64 * 1024));
+    assert_eq!(status_of(&send_raw(addr, huge_head.as_bytes())), 431);
+    // A client that gives up mid-request never wedges a worker.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /verify HTTP/1.1\r\nContent-")
+            .unwrap();
+    }
+
+    assert_eq!(status_of(&get(addr, "/healthz")), 200);
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.contains("status=\"413\""));
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn shutdown_flushes_the_cache_and_a_restart_rewarms_it() {
+    let dir = std::env::temp_dir().join(format!(
+        "webssari-serve-e2e-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig::default();
+
+    let server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..config.clone()
+        },
+        EngineBuilder::new().cache_dir(&dir).build(),
+    )
+    .expect("bind");
+    let first = post(server.local_addr(), "/verify?file=index.php", "", SQLI);
+    assert_eq!(json_of(&first).get("from_cache"), Some(&Value::Bool(false)),);
+    let flushed = server.shutdown().expect("graceful shutdown");
+    assert!(flushed.is_some_and(|p| p.is_file()), "cache file written");
+
+    // A fresh daemon over the same cache dir serves the result warm.
+    let server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..config
+        },
+        EngineBuilder::new().cache_dir(&dir).build(),
+    )
+    .expect("bind again");
+    let again = post(server.local_addr(), "/verify?file=index.php", "", SQLI);
+    let v = json_of(&again);
+    assert_eq!(v.get("from_cache"), Some(&Value::Bool(true)));
+    assert_eq!(v.get("outcome").and_then(Value::as_str), Some("vulnerable"));
+    server.shutdown().expect("graceful shutdown");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

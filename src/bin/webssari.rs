@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest),
         "patch" => cmd_patch(rest),
         "stages" => cmd_stages(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -50,6 +51,8 @@ USAGE:
     webssari verify <path>... [--exact] [--prelude FILE] [--summary]
     webssari patch  <path>... [--mode bmc|ts] [--write] [--suffix SUF]
     webssari stages <file.php>
+    webssari serve  [--addr HOST:PORT] [--jobs N] [--cache-dir DIR]
+                    [--queue-depth N] [--request-budget-ms MS]
 
 COMMANDS:
     verify   Check every .php file; print grouped reports with
@@ -59,6 +62,10 @@ COMMANDS:
     stages   Print every pipeline stage for one file: F(p), AI(F(p)),
              CNF sizes, and counterexamples. With --dimacs FILE the
              renamed constraints are exported for external solvers.
+    serve    Run the long-lived verification daemon: POST /verify,
+             POST /batch, GET /healthz, GET /metrics (Prometheus).
+             The incremental cache stays warm across requests; SIGTERM
+             drains in-flight work and flushes it to --cache-dir.
 
 OPTIONS:
     --exact          Use the exact (branch-and-bound) minimal fixing
@@ -85,7 +92,20 @@ BATCH ENGINE (verify):
                          unchanged configuration are not re-verified.
     --solve-budget-ms MS Per-file SAT budget; files that exceed it are
                          reported as TIMEOUT instead of stalling the run.
-    --metrics-json FILE  Write per-file timing/cache/solver metrics.";
+    --metrics-json FILE  Write per-file timing/cache/solver metrics.
+
+DAEMON (serve):
+    --addr HOST:PORT       Bind address (default 127.0.0.1:8077).
+    --jobs N               Engine workers per batch, and concurrent HTTP
+                           workers (default 2).
+    --cache-dir DIR        Persist the incremental cache here; loaded at
+                           startup, flushed on graceful shutdown.
+    --queue-depth N        Bounded accept queue; beyond it connections
+                           are shed with 429 + Retry-After (default 64).
+    --request-budget-ms MS Per-request solve deadline — exceeding it
+                           yields a JSON \"timeout\" outcome, never a hung
+                           connection (default 30000; 0 = unlimited).
+    --max-body-kb N        Request body cap in KiB (default 1024).";
 
 struct CommonOptions {
     paths: Vec<PathBuf>,
@@ -548,6 +568,81 @@ fn cmd_stages(args: &[String]) -> ExitCode {
         print!("{}", cx.render(&ai));
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use webssari::serve::{Server, ServerConfig};
+
+    let mut config = ServerConfig::default();
+    let mut jobs = 2usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(addr) => config.addr = addr.clone(),
+                None => return fail("--addr needs HOST:PORT"),
+            },
+            "--jobs" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => jobs = n,
+                _ => return fail("--jobs needs a positive integer"),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(PathBuf::from(dir)),
+                None => return fail("--cache-dir needs a directory argument"),
+            },
+            "--queue-depth" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => config.queue_depth = n,
+                _ => return fail("--queue-depth needs a positive integer"),
+            },
+            "--request-budget-ms" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(0)) => config.request_budget = None,
+                Some(Ok(ms)) => {
+                    config.request_budget = Some(std::time::Duration::from_millis(ms));
+                }
+                _ => return fail("--request-budget-ms needs milliseconds (0 = unlimited)"),
+            },
+            "--max-body-kb" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => config.max_body_bytes = n * 1024,
+                _ => return fail("--max-body-kb needs a positive integer"),
+            },
+            other => return fail(&format!("unknown serve option {other:?}")),
+        }
+    }
+    config.http_workers = jobs;
+    let mut builder = EngineBuilder::new().workers(jobs);
+    if let Some(dir) = &cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+
+    webssari::serve::install_signal_handlers();
+    let handle = match Server::start(config, builder.build()) {
+        Ok(h) => h,
+        Err(e) => return fail(&format!("cannot start server: {e}")),
+    };
+    println!(
+        "webssari serve: listening on http://{}",
+        handle.local_addr()
+    );
+    println!("routes: POST /verify, POST /batch, GET /healthz, GET /metrics");
+    while !webssari::serve::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("webssari serve: shutdown requested; draining in-flight work");
+    match handle.shutdown() {
+        Ok(Some(path)) => {
+            println!("webssari serve: cache flushed to {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            println!("webssari serve: stopped cleanly (no cache dir configured)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("webssari serve: cache flush failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn fail(message: &str) -> ExitCode {

@@ -15,6 +15,7 @@
 //! | [`ts`] | `typestate` | the TS baseline (flow-sensitive taint dataflow) |
 //! | [`core`] | `webssari-core` | the [`Verifier`] pipeline, reports, instrumentor |
 //! | [`engine`] | `webssari-engine` | parallel batch verification: worker pool, cache, budgets, metrics |
+//! | [`serve`] | `webssari-serve` | long-running verification daemon: HTTP API, bounded queue, Prometheus metrics |
 //! | [`corpus_gen`] | `corpus` | calibrated synthetic SourceForge corpus |
 //!
 //! # Quickstart
@@ -93,6 +94,12 @@ pub mod core {
 /// per-job budgets, metrics.
 pub mod engine {
     pub use webssari_engine::*;
+}
+
+/// The verification daemon: HTTP API over the engine, bounded
+/// queueing, per-request budgets, Prometheus metrics.
+pub mod serve {
+    pub use webssari_serve::*;
 }
 
 /// Synthetic corpus generation.

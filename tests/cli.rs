@@ -246,6 +246,59 @@ fn solve_budget_flag_is_accepted() {
 }
 
 #[test]
+fn serve_daemon_answers_http_and_exits_cleanly_on_sigterm() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = scratch(&[]);
+    let mut child = webssari()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            dir.join("cache").to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("daemon prints a banner")
+        .expect("banner is UTF-8");
+    let addr = banner
+        .rsplit_once("http://")
+        .map(|(_, a)| a.trim().to_owned())
+        .expect("banner names the address");
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect to daemon");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("\"status\":\"ok\""), "{response}");
+
+    // SIGTERM must drain and exit 0 (the graceful path, not a kill).
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let status = child.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "graceful shutdown exits 0");
+    assert!(
+        dir.join("cache").join("webssari-cache.json").exists()
+            || std::fs::read_dir(dir.join("cache")).is_ok_and(|d| d.count() > 0),
+        "cache flushed on shutdown",
+    );
+}
+
+#[test]
 fn engine_flags_reject_unsupported_combinations() {
     let dir = scratch(&[("index.php", VULN)]);
     let out = webssari()
