@@ -1,0 +1,84 @@
+//! Solver-core microbenchmarks: the arena solver against the frozen
+//! pre-refactor solver on the `BENCH_sat.json` workload families. The
+//! tracked before/after numbers come from the `solver_core` binary;
+//! these criterion benches are for interactive profiling of the same
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use webssari_bench::solver_core::propagation_chains;
+use webssari_bench::{branchy_program, pigeonhole};
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_core/propagation");
+    for len in [5_000usize, 20_000] {
+        let (f, assumptions) = propagation_chains(4, len);
+        group.bench_with_input(
+            BenchmarkId::new("arena", len),
+            &(&f, &assumptions),
+            |b, (f, a)| {
+                b.iter(|| {
+                    let mut s = sat::Solver::from_formula(f);
+                    assert!(s.solve_with_assumptions(a).is_sat());
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", len),
+            &(&f, &assumptions),
+            |b, (f, a)| {
+                b.iter(|| {
+                    let mut s = sat::reference::Solver::from_formula(f);
+                    assert!(s.solve_with_assumptions(a).is_sat());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_conflict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_core/conflict");
+    let f = pigeonhole(6, 5);
+    group.bench_function("arena/php6x5", |b| {
+        b.iter(|| {
+            let mut s = sat::Solver::from_formula(&f);
+            assert!(s.solve().is_unsat());
+        })
+    });
+    group.bench_function("reference/php6x5", |b| {
+        b.iter(|| {
+            let mut s = sat::reference::Solver::from_formula(&f);
+            assert!(s.solve().is_unsat());
+        })
+    });
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_core/enumeration");
+    let src = branchy_program(8);
+    let ast = php_front::parse_source(&src).expect("workload parses");
+    let filtered = webssari_ir::filter_program(
+        &ast,
+        &src,
+        "bench.php",
+        &webssari_ir::Prelude::standard(),
+        &webssari_ir::FilterOptions::default(),
+    );
+    let ai = webssari_ir::abstract_interpret(&filtered);
+    group.bench_function("check_all/branchy8", |b| {
+        b.iter(|| {
+            let r = xbmc::Xbmc::new(&ai).check_all();
+            assert_eq!(r.counterexamples.len(), 255);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_propagation,
+    bench_conflict,
+    bench_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Runs the solver-core suite (arena solver vs the frozen pre-refactor
+//! solver) and writes `BENCH_sat.json`.
+//!
+//! ```text
+//! cargo run --release -p webssari-bench --bin solver_core              # full run → BENCH_sat.json
+//! cargo run --release -p webssari-bench --bin solver_core -- \
+//!     --fast --out BENCH_sat.fast.json --check BENCH_sat.json          # CI smoke mode
+//! ```
+//!
+//! `--fast` shrinks timing workloads but keeps enumeration workloads
+//! (and their fingerprints) identical to full mode. `--check FILE`
+//! compares this run's deterministic outcomes — verdicts and
+//! enumeration fingerprints, never wall times — against a committed
+//! baseline and exits non-zero on any mismatch.
+
+use std::process::ExitCode;
+
+use webssari_bench::solver_core;
+
+fn main() -> ExitCode {
+    let mut fast = false;
+    let mut out = String::from("BENCH_sat.json");
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(p) => check = Some(p),
+                None => return usage("--check needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let suite = solver_core::run_suite(fast);
+    for w in &suite.workloads {
+        println!(
+            "{:<32} {:<12} arena {:>9.3?}  reference {:>9.3?}  speedup {:.2}x  [{}]",
+            w.name,
+            w.kind,
+            w.arena.wall,
+            w.reference.wall,
+            w.speedup_x100() as f64 / 100.0,
+            w.verdict,
+        );
+    }
+    println!(
+        "propagation-bound speedup: {:.2}x",
+        suite.propagation_speedup_x100() as f64 / 100.0
+    );
+
+    let doc = suite.to_json().to_json();
+    if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if let Some(baseline_path) = check {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(baseline) = jsonio::parse(&text) else {
+            eprintln!("error: {baseline_path} is not valid JSON");
+            return ExitCode::FAILURE;
+        };
+        match suite.check_against(&baseline) {
+            Ok(()) => println!("deterministic outcomes match {baseline_path}"),
+            Err(e) => {
+                eprintln!("error: enumeration regression against {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: solver_core [--fast] [--out FILE] [--check FILE]");
+    ExitCode::FAILURE
+}

@@ -11,6 +11,9 @@
 //! * `encoding_blowup` — regenerates the §3.3.1-vs-§3.3.2 comparison
 //!   (E7): CNF sizes and solve times of the auxiliary-variable encoding
 //!   against variable renaming.
+//! * `solver_core` — runs the [`solver_core`] suite (arena solver vs
+//!   the frozen pre-refactor solver) and writes `BENCH_sat.json` at the
+//!   repo root; `--fast --check BENCH_sat.json` is the CI smoke mode.
 //!
 //! Criterion benches (`cargo bench -p webssari-bench`) cover the SAT
 //! substrate, both encodings, the fixing-set solvers, the Figure 10
@@ -20,6 +23,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod solver_core;
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};

@@ -1,0 +1,674 @@
+//! The solver-core suite behind `BENCH_sat.json`: the arena solver
+//! measured head-to-head against the frozen pre-refactor implementation
+//! ([`sat::reference::Solver`]) on three workload families —
+//!
+//! * **propagation-bound** — parallel implication chains with
+//!   scattered clause storage, re-propagated from scratch on every
+//!   solve; no conflicts, no root units (so `add_formula` preprocessing
+//!   cannot shortcut it), pure watcher-walk and clause-access
+//!   throughput.
+//! * **conflict-bound** — pigeonhole instances and random 3-SAT at the
+//!   phase-transition ratio; dominated by conflict analysis, learning,
+//!   and clause-database maintenance.
+//! * **enumeration-bound** — the xBMC counterexample loop (paper
+//!   §3.3.2) over a branchy program's renaming encoding; repeated
+//!   solve-plus-blocking-clause with a per-assertion selector, exactly
+//!   as `Xbmc::check_all` drives it.
+//!
+//! Every workload records wall time and solver counters for both
+//! solvers; enumeration workloads additionally record an
+//! order-independent fingerprint of the counterexample set, which the
+//! CI smoke job compares against the committed `BENCH_sat.json` so a
+//! solver change that silently alters enumeration results fails the
+//! build.
+
+use std::time::{Duration, Instant};
+
+use cnf::{CnfFormula, Lit, Var};
+use jsonio::Value;
+use sat::{SatResult, SolverStats};
+use taint_lattice::TwoPoint;
+use webssari_ir::AiProgram;
+
+use crate::branchy_program;
+
+/// The two solver generations under measurement, behind one interface.
+trait CoreSolver {
+    /// Ingests a formula into a fresh solver.
+    fn build(f: &CnfFormula) -> Self;
+    /// Solves under assumptions.
+    fn assume(&mut self, assumptions: &[Lit]) -> SatResult;
+    /// Adds a clause.
+    fn add(&mut self, lits: Vec<Lit>) -> bool;
+    /// Work counters.
+    fn counters(&self) -> SolverStats;
+}
+
+impl CoreSolver for sat::Solver {
+    fn build(f: &CnfFormula) -> Self {
+        sat::Solver::from_formula(f)
+    }
+
+    fn assume(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_with_assumptions(assumptions)
+    }
+
+    fn add(&mut self, lits: Vec<Lit>) -> bool {
+        self.add_clause(lits)
+    }
+
+    fn counters(&self) -> SolverStats {
+        *self.stats()
+    }
+}
+
+impl CoreSolver for sat::reference::Solver {
+    fn build(f: &CnfFormula) -> Self {
+        sat::reference::Solver::from_formula(f)
+    }
+
+    fn assume(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_with_assumptions(assumptions)
+    }
+
+    fn add(&mut self, lits: Vec<Lit>) -> bool {
+        self.add_clause(lits)
+    }
+
+    fn counters(&self) -> SolverStats {
+        *self.stats()
+    }
+}
+
+/// One solver's measurement on one workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Side {
+    /// Wall time of the measured phase (formula ingestion included).
+    pub wall: Duration,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts found.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+impl Side {
+    fn new(wall: Duration, s: &SolverStats) -> Side {
+        Side {
+            wall,
+            propagations: s.propagations,
+            conflicts: s.conflicts,
+            decisions: s.decisions,
+            restarts: s.restarts,
+        }
+    }
+
+    fn to_value(self) -> Value {
+        Value::obj(vec![
+            ("wall_us", Value::Num(self.wall.as_micros() as u64)),
+            ("propagations", Value::Num(self.propagations)),
+            ("conflicts", Value::Num(self.conflicts)),
+            ("decisions", Value::Num(self.decisions)),
+            ("restarts", Value::Num(self.restarts)),
+        ])
+    }
+}
+
+/// One workload's before/after measurement.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Stable workload name (the `--check` comparison key).
+    pub name: String,
+    /// Workload family: `propagation`, `conflict`, or `enumeration`.
+    pub kind: &'static str,
+    /// The deterministic outcome: `sat`/`unsat` for solve workloads, a
+    /// counterexample count for enumeration workloads.
+    pub verdict: String,
+    /// Arena solver measurement (the "after" number).
+    pub arena: Side,
+    /// Reference solver measurement (the "before" number).
+    pub reference: Side,
+    /// Order-independent FNV-1a fingerprint of the enumerated
+    /// counterexample set, for enumeration workloads.
+    pub fingerprint: Option<u64>,
+}
+
+impl WorkloadResult {
+    /// `reference.wall / arena.wall`, scaled by 100 (jsonio stores only
+    /// integers).
+    pub fn speedup_x100(&self) -> u64 {
+        let arena_us = self.arena.wall.as_micros().max(1) as u64;
+        let reference_us = self.reference.wall.as_micros() as u64;
+        reference_us * 100 / arena_us
+    }
+}
+
+/// A full suite run.
+#[derive(Clone, Debug)]
+pub struct SuiteResult {
+    /// `full` or `fast`.
+    pub mode: &'static str,
+    /// Per-workload measurements, in suite order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+impl SuiteResult {
+    /// The propagation-bound workload's speedup ×100 (the acceptance
+    /// headline).
+    pub fn propagation_speedup_x100(&self) -> u64 {
+        self.workloads
+            .iter()
+            .filter(|w| w.kind == "propagation")
+            .map(WorkloadResult::speedup_x100)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Serializes the suite to the `BENCH_sat.json` document.
+    pub fn to_json(&self) -> Value {
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|w| {
+                let mut pairs = vec![
+                    ("name", Value::str(w.name.clone())),
+                    ("kind", Value::str(w.kind)),
+                    ("verdict", Value::str(w.verdict.clone())),
+                    ("arena", w.arena.to_value()),
+                    ("reference", w.reference.to_value()),
+                    ("speedup_x100", Value::Num(w.speedup_x100())),
+                ];
+                if let Some(fp) = w.fingerprint {
+                    pairs.push(("fingerprint", Value::str(format!("{fp:016x}"))));
+                }
+                Value::obj(pairs)
+            })
+            .collect();
+        Value::obj(vec![
+            ("schema", Value::str("bench_sat/v1")),
+            ("mode", Value::str(self.mode)),
+            (
+                "summary",
+                Value::obj(vec![(
+                    "propagation_speedup_x100",
+                    Value::Num(self.propagation_speedup_x100()),
+                )]),
+            ),
+            ("workloads", Value::Arr(workloads)),
+        ])
+    }
+
+    /// Compares this run's deterministic outcomes (verdicts,
+    /// enumeration fingerprints — never wall times) against a committed
+    /// `BENCH_sat.json` document.
+    ///
+    /// Timing workloads are sized per mode and matched by name, so a
+    /// fast run checked against a committed full run only compares the
+    /// workloads both have. Enumeration workloads are identical in
+    /// every mode by construction and must always be present.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn check_against(&self, committed: &Value) -> Result<(), String> {
+        let committed_workloads = committed
+            .get("workloads")
+            .and_then(Value::as_arr)
+            .ok_or("committed BENCH_sat.json has no workloads array")?;
+        for w in &self.workloads {
+            let found = committed_workloads
+                .iter()
+                .find(|c| c.get("name").and_then(Value::as_str) == Some(w.name.as_str()));
+            let c = match found {
+                Some(c) => c,
+                None if w.kind != "enumeration" => continue,
+                None => return Err(format!("workload {} missing from committed file", w.name)),
+            };
+            let committed_verdict = c.get("verdict").and_then(Value::as_str).unwrap_or("");
+            if committed_verdict != w.verdict {
+                return Err(format!(
+                    "workload {}: verdict {} != committed {committed_verdict}",
+                    w.name, w.verdict
+                ));
+            }
+            let committed_fp = c.get("fingerprint").and_then(Value::as_str);
+            let current_fp = w.fingerprint.map(|fp| format!("{fp:016x}"));
+            if committed_fp != current_fp.as_deref() {
+                return Err(format!(
+                    "workload {}: fingerprint {:?} != committed {:?}",
+                    w.name, current_fp, committed_fp
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload construction
+// ---------------------------------------------------------------------
+
+/// Parallel implication chains with no root units: `chains` chains of
+/// `len` steps, every step clause
+/// `(¬x_{c,i} ∨ ¬g₁ ∨ ¬g₂ ∨ ¬g₃ ∨ x_{c,i+1})` width 5 so the watcher
+/// walk scans literals past the watched pair, with the guards `gⱼ`
+/// assumed true. Solving under the returned assumptions propagates
+/// `chains · len` literals and never conflicts; with no unit clauses at
+/// the root, `add_formula` preprocessing cannot simplify anything away
+/// — this isolates the propagation data plane.
+///
+/// Clause insertion order is scattered by a deterministic Fisher-Yates
+/// shuffle so clause storage order is decorrelated from propagation
+/// visit order, the way a long-lived solver's clause database looks
+/// after learning and reduction churn. A sequential layout would let
+/// the hardware prefetcher stream both solvers' clause storage and
+/// hide exactly the pointer-chasing cost this workload exists to
+/// measure.
+pub fn propagation_chains(chains: usize, len: usize) -> (CnfFormula, Vec<Lit>) {
+    let g1 = Var::new(0);
+    let g2 = Var::new(1);
+    let g3 = Var::new(2);
+    let x = |c: usize, i: usize| Var::new(3 + c * (len + 1) + i);
+    let mut clauses: Vec<[Lit; 5]> = Vec::with_capacity(chains * len);
+    for c in 0..chains {
+        for i in 0..len {
+            clauses.push([
+                x(c, i).negative(),
+                g1.negative(),
+                g2.negative(),
+                g3.negative(),
+                x(c, i + 1).positive(),
+            ]);
+        }
+    }
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..clauses.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        clauses.swap(i, j);
+    }
+    let mut f = CnfFormula::new();
+    for cl in clauses {
+        f.add_lits(cl);
+    }
+    let mut assumptions = vec![g1.positive(), g2.positive(), g3.positive()];
+    assumptions.extend((0..chains).map(|c| x(c, 0).positive()));
+    (f, assumptions)
+}
+
+fn time_propagation<S: CoreSolver>(f: &CnfFormula, assumptions: &[Lit], rounds: usize) -> Side {
+    let start = Instant::now();
+    let mut s = S::build(f);
+    for _ in 0..rounds {
+        assert!(s.assume(assumptions).is_sat(), "chains are satisfiable");
+    }
+    Side::new(start.elapsed(), &s.counters())
+}
+
+fn time_solve<S: CoreSolver>(f: &CnfFormula) -> (Side, SatResult) {
+    let start = Instant::now();
+    let mut s = S::build(f);
+    let res = s.assume(&[]);
+    (Side::new(start.elapsed(), &s.counters()), res)
+}
+
+/// Runs the xBMC enumeration loop (selector-scoped blocking clauses)
+/// over a renaming encoding with solver `S`, returning the measurement
+/// and the order-independent fingerprint of the counterexample set.
+fn time_enumeration<S: CoreSolver>(ai: &AiProgram) -> (Side, usize, u64) {
+    let lattice = TwoPoint::new();
+    let start = Instant::now();
+    let enc = xbmc::renaming::encode(ai, &lattice);
+    let mut s = S::build(&enc.formula);
+    let selector_base = enc.formula.num_vars();
+    let mut counterexamples: Vec<(u32, Vec<bool>)> = Vec::new();
+    for (ai_idx, a) in enc.asserts.iter().enumerate() {
+        let selector = Var::new(selector_base + ai_idx).positive();
+        loop {
+            match s.assume(&[selector, a.violated]) {
+                SatResult::Sat(model) => {
+                    let mut branches = vec![false; ai.num_branches];
+                    for b in &a.relevant_branches {
+                        branches[b.0 as usize] = model.lit_value(enc.branch_lits[b.0 as usize]);
+                    }
+                    let mut blocking: Vec<Lit> = a
+                        .relevant_branches
+                        .iter()
+                        .map(|b| {
+                            let lit = enc.branch_lits[b.0 as usize];
+                            if model.lit_value(lit) {
+                                !lit
+                            } else {
+                                lit
+                            }
+                        })
+                        .collect();
+                    blocking.push(!selector);
+                    s.add(blocking);
+                    counterexamples.push((a.id.0, branches));
+                }
+                SatResult::Unsat => break,
+                other => panic!("enumeration hit {other:?} with no budget"),
+            }
+        }
+    }
+    let side = Side::new(start.elapsed(), &s.counters());
+    let count = counterexamples.len();
+    (side, count, fingerprint(&mut counterexamples))
+}
+
+/// Order-independent FNV-1a over the sorted counterexample set.
+fn fingerprint(counterexamples: &mut [(u32, Vec<bool>)]) -> u64 {
+    counterexamples.sort();
+    let mut h = 0xcbf29ce484222325u64;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for (id, branches) in counterexamples.iter() {
+        for b in id.to_le_bytes() {
+            eat(b);
+        }
+        for &bit in branches {
+            eat(u8::from(bit));
+        }
+        eat(0xFF);
+    }
+    h
+}
+
+fn verdict_str(r: &SatResult) -> String {
+    match r {
+        SatResult::Sat(_) => "sat".into(),
+        SatResult::Unsat => "unsat".into(),
+        SatResult::Unknown => "unknown".into(),
+        SatResult::Interrupted => "interrupted".into(),
+    }
+}
+
+fn ai_of(src: &str) -> AiProgram {
+    let ast = php_front::parse_source(src).expect("workload parses");
+    let filtered = webssari_ir::filter_program(
+        &ast,
+        src,
+        "bench.php",
+        &webssari_ir::Prelude::standard(),
+        &webssari_ir::FilterOptions::default(),
+    );
+    webssari_ir::abstract_interpret(&filtered)
+}
+
+// ---------------------------------------------------------------------
+// The suite
+// ---------------------------------------------------------------------
+
+/// Runs the full suite. `fast` shrinks sizes and repetition counts for
+/// the CI smoke job but keeps every enumeration workload (and therefore
+/// every fingerprint) identical to full mode.
+pub fn run_suite(fast: bool) -> SuiteResult {
+    let mut workloads = Vec::new();
+
+    // Propagation-bound: best-of-N so a cold cache or scheduler blip on
+    // either side doesn't skew the ratio.
+    let (chains, len, rounds, reps) = if fast {
+        (4, 20_000, 4, 2)
+    } else {
+        (4, 60_000, 10, 3)
+    };
+    let (f, assumptions) = propagation_chains(chains, len);
+    let mut arena: Option<Side> = None;
+    let mut reference: Option<Side> = None;
+    for _ in 0..reps {
+        let a = time_propagation::<sat::Solver>(&f, &assumptions, rounds);
+        let r = time_propagation::<sat::reference::Solver>(&f, &assumptions, rounds);
+        if arena.is_none_or(|best| a.wall < best.wall) {
+            arena = Some(a);
+        }
+        if reference.is_none_or(|best| r.wall < best.wall) {
+            reference = Some(r);
+        }
+    }
+    workloads.push(WorkloadResult {
+        name: format!("propagation_chains_{chains}x{len}"),
+        kind: "propagation",
+        verdict: "sat".into(),
+        arena: arena.expect("reps >= 1"),
+        reference: reference.expect("reps >= 1"),
+        fingerprint: None,
+    });
+
+    // Conflict-bound: pigeonhole + over-constrained random 3-SAT
+    // (clause/variable ratio 5.5, deep in the unsat region). The two
+    // solvers walk different search trajectories here — the arena
+    // propagate keeps watcher lists in order where the old solver's
+    // `swap_remove` shuffled them — so unsatisfiable instances, where
+    // the refutation work is forced, keep the comparison meaningful.
+    let (php_m, php_n) = if fast { (6, 5) } else { (7, 6) };
+    let sat3_vars = if fast { 80 } else { 110 };
+    let mut conflict_formulas = vec![(
+        format!("pigeonhole_{php_m}x{php_n}"),
+        crate::pigeonhole(php_m, php_n),
+    )];
+    for seed in [7u64, 8] {
+        let clauses = (sat3_vars as f64 * 5.5) as usize;
+        conflict_formulas.push((
+            format!("random3sat_{sat3_vars}v_r55_s{seed}"),
+            crate::random_3sat(sat3_vars, clauses, seed),
+        ));
+    }
+    for (name, f) in conflict_formulas {
+        let mut arena: Option<Side> = None;
+        let mut reference: Option<Side> = None;
+        let mut verdict: Option<String> = None;
+        for _ in 0..reps {
+            let (a, a_res) = time_solve::<sat::Solver>(&f);
+            let (r, r_res) = time_solve::<sat::reference::Solver>(&f);
+            assert_eq!(
+                verdict_str(&a_res),
+                verdict_str(&r_res),
+                "{name}: solvers disagree"
+            );
+            verdict = Some(verdict_str(&a_res));
+            if arena.is_none_or(|best| a.wall < best.wall) {
+                arena = Some(a);
+            }
+            if reference.is_none_or(|best| r.wall < best.wall) {
+                reference = Some(r);
+            }
+        }
+        workloads.push(WorkloadResult {
+            name,
+            kind: "conflict",
+            verdict: verdict.expect("reps >= 1"),
+            arena: arena.expect("reps >= 1"),
+            reference: reference.expect("reps >= 1"),
+            fingerprint: None,
+        });
+    }
+
+    // Enumeration-bound: identical in both modes so fingerprints are
+    // comparable across full runs and CI fast runs.
+    for k in [8usize, 11] {
+        let ai = ai_of(&branchy_program(k));
+        let mut arena: Option<Side> = None;
+        let mut reference: Option<Side> = None;
+        let mut outcome: Option<(usize, u64)> = None;
+        for _ in 0..reps {
+            let (a, a_count, a_fp) = time_enumeration::<sat::Solver>(&ai);
+            let (r, r_count, r_fp) = time_enumeration::<sat::reference::Solver>(&ai);
+            assert_eq!(a_count, r_count, "enumeration counts diverge at k={k}");
+            assert_eq!(a_fp, r_fp, "enumeration sets diverge at k={k}");
+            outcome = Some((a_count, a_fp));
+            if arena.is_none_or(|best| a.wall < best.wall) {
+                arena = Some(a);
+            }
+            if reference.is_none_or(|best| r.wall < best.wall) {
+                reference = Some(r);
+            }
+        }
+        let (a_count, a_fp) = outcome.expect("reps >= 1");
+        let (arena, reference) = (arena.expect("reps >= 1"), reference.expect("reps >= 1"));
+        // And the production checker must report exactly this set.
+        let check = xbmc::Xbmc::with_options(
+            &ai,
+            xbmc::CheckOptions {
+                max_counterexamples_per_assert: 1 << 12,
+                ..xbmc::CheckOptions::default()
+            },
+        )
+        .check_all();
+        let mut from_checker: Vec<(u32, Vec<bool>)> = check
+            .counterexamples
+            .iter()
+            .map(|c| (c.assert_id.0, c.branches.clone()))
+            .collect();
+        assert_eq!(
+            fingerprint(&mut from_checker),
+            a_fp,
+            "Xbmc::check_all diverges from the enumeration loop at k={k}"
+        );
+        workloads.push(WorkloadResult {
+            name: format!("enumeration_branchy_{k}"),
+            kind: "enumeration",
+            verdict: format!("{a_count} counterexamples"),
+            arena,
+            reference,
+            fingerprint: Some(a_fp),
+        });
+    }
+
+    SuiteResult {
+        mode: if fast { "fast" } else { "full" },
+        workloads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_chains_has_no_root_units() {
+        let (f, assumptions) = propagation_chains(2, 50);
+        assert_eq!(f.num_clauses(), 100);
+        // Three guards + one head per chain.
+        assert_eq!(assumptions.len(), 5);
+        // The arena solver's preprocessing must find nothing to do.
+        let s = sat::Solver::from_formula(&f);
+        assert_eq!(s.stats().pre_units_fixed, 0);
+        assert_eq!(s.stats().pre_clauses_removed, 0);
+        assert_eq!(s.num_clauses(), 100);
+    }
+
+    #[test]
+    fn propagation_chains_propagate_fully() {
+        let (f, assumptions) = propagation_chains(3, 40);
+        let mut s = sat::Solver::from_formula(&f);
+        match s.solve_with_assumptions(&assumptions) {
+            SatResult::Sat(m) => {
+                // Every chain variable is forced true.
+                for c in 0..3 {
+                    for i in 0..=40 {
+                        assert!(m.value(Var::new(3 + c * 41 + i)), "chain {c} step {i}");
+                    }
+                }
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let mut a = vec![(0u32, vec![true, false]), (1u32, vec![false, false])];
+        let mut b = vec![(1u32, vec![false, false]), (0u32, vec![true, false])];
+        assert_eq!(fingerprint(&mut a), fingerprint(&mut b));
+        let mut c = vec![(0u32, vec![true, true]), (1u32, vec![false, false])];
+        assert_ne!(fingerprint(&mut a), fingerprint(&mut c));
+    }
+
+    #[test]
+    fn suite_json_round_trips_and_check_catches_tampering() {
+        // Synthetic measurements (running the real suite belongs to the
+        // release-mode CI smoke job, not a debug unit test).
+        let side = Side {
+            wall: Duration::from_micros(1500),
+            propagations: 10,
+            conflicts: 2,
+            decisions: 3,
+            restarts: 0,
+        };
+        let suite = SuiteResult {
+            mode: "fast",
+            workloads: vec![
+                WorkloadResult {
+                    name: "propagation_chains_1x10".into(),
+                    kind: "propagation",
+                    verdict: "sat".into(),
+                    arena: side,
+                    reference: Side {
+                        wall: Duration::from_micros(3000),
+                        ..side
+                    },
+                    fingerprint: None,
+                },
+                WorkloadResult {
+                    name: "enumeration_branchy_2".into(),
+                    kind: "enumeration",
+                    verdict: "3 counterexamples".into(),
+                    arena: side,
+                    reference: side,
+                    fingerprint: Some(0xDEADBEEF),
+                },
+            ],
+        };
+        assert_eq!(suite.workloads[0].speedup_x100(), 200);
+        assert_eq!(suite.propagation_speedup_x100(), 200);
+        let text = suite.to_json().to_json();
+        let parsed = jsonio::parse(&text).expect("suite JSON parses");
+        suite
+            .check_against(&parsed)
+            .expect("a run checks against its own output");
+        // A tampered fingerprint must be caught.
+        let tampered = text.replace("00000000deadbeef", "0000000000000000");
+        let tampered = jsonio::parse(&tampered).expect("still valid JSON");
+        assert!(suite.check_against(&tampered).is_err());
+        // A changed verdict must be caught too.
+        let flipped = jsonio::parse(&text.replace("\"sat\"", "\"unsat\"")).unwrap();
+        assert!(suite.check_against(&flipped).is_err());
+        // Enumeration workloads are mode-invariant and must be present
+        // in the committed file; timing workloads are sized per mode
+        // and only compared when the names line up.
+        let only_prop = SuiteResult {
+            mode: "full",
+            workloads: vec![suite.workloads[0].clone()],
+        };
+        let committed = jsonio::parse(&only_prop.to_json().to_json()).unwrap();
+        assert!(suite.check_against(&committed).is_err());
+        let only_enum = SuiteResult {
+            mode: "full",
+            workloads: vec![suite.workloads[1].clone()],
+        };
+        let committed = jsonio::parse(&only_enum.to_json().to_json()).unwrap();
+        suite
+            .check_against(&committed)
+            .expect("timing workloads are matched by name only");
+    }
+
+    #[test]
+    fn enumeration_matches_reference_on_small_program() {
+        let ai = ai_of(&branchy_program(3));
+        let (_, a_count, a_fp) = time_enumeration::<sat::Solver>(&ai);
+        let (_, r_count, r_fp) = time_enumeration::<sat::reference::Solver>(&ai);
+        assert_eq!(a_count, 7); // 2^3 - 1 violating branch patterns
+        assert_eq!(a_count, r_count);
+        assert_eq!(a_fp, r_fp);
+    }
+}

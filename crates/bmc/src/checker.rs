@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use sat::{SatResult, Solver};
 use taint_lattice::{Lattice, TwoPoint};
 use webssari_ir::AiProgram;
@@ -75,6 +77,11 @@ pub struct XbmcStats {
     pub propagations: u64,
     /// Total solver restarts.
     pub restarts: u64,
+    /// Root-level units fixed by formula preprocessing.
+    pub pre_units_fixed: u64,
+    /// Clauses removed by formula preprocessing (tautologies and
+    /// root-satisfied clauses).
+    pub pre_clauses_removed: u64,
 }
 
 impl XbmcStats {
@@ -84,6 +91,21 @@ impl XbmcStats {
         self.decisions += s.decisions;
         self.propagations += s.propagations;
         self.restarts += s.restarts;
+        self.pre_units_fixed += s.pre_units_fixed;
+        self.pre_clauses_removed += s.pre_clauses_removed;
+    }
+
+    /// Folds in only the work a cloned solver did *since* it was cloned
+    /// from a base solver whose own counters were already absorbed —
+    /// the formula is ingested (and preprocessed) once, so the base's
+    /// share must not be counted once per clone.
+    fn absorb_since(&mut self, s: &sat::SolverStats, base: &sat::SolverStats) {
+        self.conflicts += s.conflicts - base.conflicts;
+        self.decisions += s.decisions - base.decisions;
+        self.propagations += s.propagations - base.propagations;
+        self.restarts += s.restarts - base.restarts;
+        self.pre_units_fixed += s.pre_units_fixed - base.pre_units_fixed;
+        self.pre_clauses_removed += s.pre_clauses_removed - base.pre_clauses_removed;
     }
 }
 
@@ -103,8 +125,9 @@ pub struct CheckResult {
     /// [`CheckOptions::certify`] was set.
     pub certificates: Vec<Certificate>,
     /// The program constraints the certificates refer to (present only
-    /// when certifying).
-    pub certified_formula: Option<cnf::CnfFormula>,
+    /// when certifying). Shared, not deep-cloned: the encoding can run
+    /// to hundreds of thousands of clauses at SourceForge scale.
+    pub certified_formula: Option<Arc<cnf::CnfFormula>>,
     /// A [`CheckOptions::budget`] bound was hit: the check stopped
     /// early and the results above are incomplete. Callers must not
     /// treat such a run as a verification verdict.
@@ -215,12 +238,23 @@ impl<'a> Xbmc<'a> {
         result.stats.cnf_vars = enc.formula.num_vars();
         result.stats.cnf_clauses = enc.formula.num_clauses();
         let budget = self.options.budget.unwrap_or_default();
+        // Ingest (and preprocess) the encoded formula exactly once; every
+        // prover this check needs — the shared incremental solver, the
+        // per-assert fresh solvers, the certify provers — is a clone of
+        // this base, which is much cheaper than re-parsing the CNF.
+        let base_solver = {
+            let mut s = Solver::from_formula(&enc.formula);
+            s.set_budget(budget);
+            s
+        };
+        let base_stats = *base_solver.stats();
+        // The base's own work (preprocessing, root propagation) counts
+        // once; clones later report only their delta over this.
+        result.stats.absorb(&base_stats);
         let mut shared_solver = if self.options.fresh_solver_per_assert {
             None
         } else {
-            let mut s = Solver::from_formula(&enc.formula);
-            s.set_budget(budget);
-            Some(s)
+            Some(base_solver.clone())
         };
         // One free selector variable per assertion scopes its blocking
         // clauses: they only bite while that assertion is being
@@ -233,8 +267,7 @@ impl<'a> Xbmc<'a> {
             let solver: &mut Solver = match shared_solver.as_mut() {
                 Some(s) => s,
                 None => {
-                    solver_storage = Solver::from_formula(&enc.formula);
-                    solver_storage.set_budget(budget);
+                    solver_storage = base_solver.clone();
                     &mut solver_storage
                 }
             };
@@ -294,7 +327,7 @@ impl<'a> Xbmc<'a> {
                 }
             }
             if self.options.fresh_solver_per_assert {
-                result.stats.absorb(solver.stats());
+                result.stats.absorb_since(solver.stats(), &base_stats);
             }
             if result.interrupted {
                 // Stop checking further assertions: the engine will
@@ -307,15 +340,18 @@ impl<'a> Xbmc<'a> {
                 result.violated_assertions += 1;
             } else if self.options.certify {
                 // The assertion holds: certify Bᵢ's unsatisfiability
-                // with a DRAT refutation from a fresh solver in which
-                // the violation literal is a unit clause.
-                let mut prover = Solver::from_formula(&enc.formula);
-                prover.set_budget(budget);
+                // with a DRAT refutation from a fresh prover in which
+                // the violation literal is a unit clause. The proof
+                // only records clauses learned after the clone, but
+                // those stay RUP-checkable against the original
+                // formula: preprocessing adds nothing beyond its own
+                // unit-propagation consequences.
+                let mut prover = base_solver.clone();
                 prover.start_proof();
                 prover.add_clause([a.violated]);
                 result.stats.sat_calls += 1;
                 let res = prover.solve();
-                result.stats.absorb(prover.stats());
+                result.stats.absorb_since(prover.stats(), &base_stats);
                 if res == SatResult::Interrupted {
                     result.interrupted = true;
                     break;
@@ -335,10 +371,10 @@ impl<'a> Xbmc<'a> {
             result.counterexamples.extend(found);
         }
         if let Some(s) = &shared_solver {
-            result.stats.absorb(s.stats());
+            result.stats.absorb_since(s.stats(), &base_stats);
         }
         if self.options.certify {
-            result.certified_formula = Some(enc.formula.clone());
+            result.certified_formula = Some(Arc::new(enc.formula));
         }
         result
     }

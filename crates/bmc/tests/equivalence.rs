@@ -1,0 +1,377 @@
+//! Differential testing of the checker against the frozen pre-refactor
+//! solver ([`sat::reference::Solver`]).
+//!
+//! The solver's data plane was rebuilt (flat clause arena, in-place
+//! watcher walk, `add_formula` preprocessing) and the checker now clones
+//! one base solver per encoding. This harness re-runs the paper's
+//! per-assertion counterexample enumeration (§3.3.2) over the *same*
+//! renaming encoding with the old solver and demands identical
+//! `CheckResult` counterexample sets — assert id + branch assignment,
+//! in the checker's deterministic order — on randomized `AiProgram`s
+//! and randomized PHP-derived programs, plus agreement in certify
+//! (proof-logging) and budget-interrupt modes.
+
+use std::collections::BTreeSet;
+
+use php_front::parse_source;
+use proptest::prelude::*;
+use taint_lattice::TwoPoint;
+use webssari_ir::{
+    abstract_interpret, filter_program, AiCmd, AiProgram, AssertId, BranchId, FilterOptions,
+    Prelude, Site, VarId, VarTable,
+};
+use xbmc::{CheckOptions, CheckResult, Xbmc};
+
+/// The checker's counterexample list as comparable data, preserving the
+/// checker's deterministic order (assertions in program order, branch
+/// assignments sorted within each assertion).
+fn key(r: &CheckResult) -> Vec<(u32, Vec<bool>)> {
+    r.counterexamples
+        .iter()
+        .map(|c| (c.assert_id.0, c.branches.clone()))
+        .collect()
+}
+
+/// Re-implements the renaming-encoding enumeration loop of
+/// `Xbmc::check_all` on the frozen pre-refactor solver: one selector
+/// variable per assertion scoping its blocking clauses, enumeration to
+/// UNSAT per assertion. Returns counterexamples in the same
+/// deterministic order the checker reports them.
+fn enumerate_with_reference_solver(ai: &AiProgram) -> Vec<(u32, Vec<bool>)> {
+    let lattice = TwoPoint::new();
+    let enc = xbmc::renaming::encode(ai, &lattice);
+    let mut solver = sat::reference::Solver::from_formula(&enc.formula);
+    let selector_base = enc.formula.num_vars();
+    let mut out = Vec::new();
+    for (ai_idx, a) in enc.asserts.iter().enumerate() {
+        let selector = cnf::Var::new(selector_base + ai_idx).positive();
+        let mut found: BTreeSet<Vec<bool>> = BTreeSet::new();
+        loop {
+            match solver.solve_with_assumptions(&[selector, a.violated]) {
+                sat::SatResult::Sat(model) => {
+                    let mut branches = vec![false; ai.num_branches];
+                    for b in &a.relevant_branches {
+                        branches[b.0 as usize] = model.lit_value(enc.branch_lits[b.0 as usize]);
+                    }
+                    assert!(found.insert(branches), "duplicate counterexample");
+                    let mut blocking: Vec<cnf::Lit> = a
+                        .relevant_branches
+                        .iter()
+                        .map(|b| {
+                            let lit = enc.branch_lits[b.0 as usize];
+                            if model.lit_value(lit) {
+                                !lit
+                            } else {
+                                lit
+                            }
+                        })
+                        .collect();
+                    blocking.push(!selector);
+                    solver.add_clause(blocking);
+                }
+                sat::SatResult::Unsat => break,
+                other => panic!("reference enumeration got {other:?} with no budget"),
+            }
+        }
+        out.extend(found.into_iter().map(|b| (a.id.0, b)));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Randomized AiPrograms (direct IR generation, as in bmc_props.rs).
+// ---------------------------------------------------------------------
+
+const NUM_VARS: usize = 4;
+
+#[derive(Clone, Debug)]
+enum Proto {
+    Assign {
+        var: usize,
+        base: bool,
+        deps: Vec<usize>,
+    },
+    Assert {
+        vars: Vec<usize>,
+    },
+    If {
+        then_cmds: Vec<Proto>,
+        else_cmds: Vec<Proto>,
+    },
+    Stop,
+}
+
+fn proto_strategy() -> impl Strategy<Value = Vec<Proto>> {
+    let leaf = prop_oneof![
+        (
+            0..NUM_VARS,
+            any::<bool>(),
+            prop::collection::vec(0..NUM_VARS, 0..3)
+        )
+            .prop_map(|(var, base, deps)| Proto::Assign { var, base, deps }),
+        prop::collection::vec(0..NUM_VARS, 1..3).prop_map(|vars| Proto::Assert { vars }),
+        Just(Proto::Stop),
+    ];
+    let cmd = leaf.prop_recursive(3, 16, 4, |inner| {
+        (
+            prop::collection::vec(inner.clone(), 0..3),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(then_cmds, else_cmds)| Proto::If {
+                then_cmds,
+                else_cmds,
+            })
+    });
+    prop::collection::vec(cmd, 1..6)
+}
+
+fn materialize(protos: &[Proto]) -> AiProgram {
+    let mut vars = VarTable::new();
+    for i in 0..NUM_VARS {
+        vars.intern(&format!("x{i}"));
+    }
+    let mut next_branch = 0u32;
+    let mut next_assert = 0u32;
+    let cmds = build(protos, &mut next_branch, &mut next_assert);
+    AiProgram::from_parts(vars, cmds, next_branch as usize)
+}
+
+fn build(protos: &[Proto], next_branch: &mut u32, next_assert: &mut u32) -> Vec<AiCmd> {
+    use taint_lattice::Lattice;
+    let l = TwoPoint::new();
+    protos
+        .iter()
+        .map(|p| match p {
+            Proto::Assign { var, base, deps } => AiCmd::Assign {
+                var: VarId::from_index(*var),
+                mask: None,
+                base: if *base { l.top() } else { l.bottom() },
+                deps: {
+                    let mut d: Vec<VarId> = deps.iter().map(|&i| VarId::from_index(i)).collect();
+                    d.sort_unstable();
+                    d.dedup();
+                    d
+                },
+                site: Site::synthetic("equiv.php", "assign"),
+            },
+            Proto::Assert { vars } => {
+                let id = AssertId(*next_assert);
+                *next_assert += 1;
+                let mut vs: Vec<VarId> = vars.iter().map(|&i| VarId::from_index(i)).collect();
+                vs.sort_unstable();
+                vs.dedup();
+                AiCmd::Assert {
+                    id,
+                    vars: vs,
+                    bound: l.top(),
+                    strict: true,
+                    func: "echo".into(),
+                    site: Site::synthetic("equiv.php", "assert"),
+                }
+            }
+            Proto::If {
+                then_cmds,
+                else_cmds,
+            } => {
+                let branch = BranchId(*next_branch);
+                *next_branch += 1;
+                let t = build(then_cmds, next_branch, next_assert);
+                let e = build(else_cmds, next_branch, next_assert);
+                AiCmd::If {
+                    branch,
+                    then_cmds: t,
+                    else_cmds: e,
+                    site: Site::synthetic("equiv.php", "if"),
+                }
+            }
+            Proto::Stop => AiCmd::Stop {
+                site: Site::synthetic("equiv.php", "stop"),
+            },
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Randomized PHP-derived AiPrograms: a seeded generator emits small PHP
+// sources which go through the real front end (parse → filter →
+// abstract interpretation), exercising encodings with the unit-heavy
+// taint constraints real programs produce.
+// ---------------------------------------------------------------------
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_php(seed: u64) -> String {
+    let mut rng = XorShift(seed | 1);
+    let mut src = String::from("<?php ");
+    let mut depth = 0usize;
+    let mut cond = 0usize;
+    let stmts = 4 + rng.below(6);
+    for _ in 0..stmts {
+        let v = rng.below(3);
+        match rng.below(8) {
+            0 => src.push_str(&format!("$x{v} = $_GET['p{v}'];")),
+            1 => src.push_str(&format!("$x{v} = 'lit{v}';")),
+            2 => {
+                let w = rng.below(3);
+                src.push_str(&format!("$x{v} = htmlspecialchars($x{w});"));
+            }
+            3 => {
+                let w = rng.below(3);
+                let u = rng.below(3);
+                src.push_str(&format!("$x{v} = $x{w} . $x{u};"));
+            }
+            4 => src.push_str(&format!("echo $x{v};")),
+            5 => src.push_str(&format!("mysql_query($x{v});")),
+            6 if depth < 2 => {
+                src.push_str(&format!("if ($c{cond}) {{ "));
+                cond += 1;
+                depth += 1;
+            }
+            _ => {
+                if depth > 0 {
+                    src.push_str("} ");
+                    depth -= 1;
+                } else {
+                    src.push_str(&format!("$x{v} = intval($x{v});"));
+                }
+            }
+        }
+        src.push(' ');
+    }
+    for _ in 0..depth {
+        src.push_str("} ");
+    }
+    src
+}
+
+fn ai_of(src: &str) -> AiProgram {
+    let ast = parse_source(src).expect("generated PHP parses");
+    let f = filter_program(
+        &ast,
+        src,
+        "equiv.php",
+        &Prelude::standard(),
+        &FilterOptions::default(),
+    );
+    abstract_interpret(&f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Both checker modes (incremental and fresh-solver-per-assert)
+    /// report exactly the counterexample set the pre-refactor solver
+    /// enumerates on the same encoding, in the same order.
+    #[test]
+    fn check_result_matches_reference_enumeration(protos in proto_strategy()) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 8);
+        let expected = enumerate_with_reference_solver(&p);
+        let incremental = Xbmc::new(&p).check_all();
+        prop_assert_eq!(key(&incremental), expected.clone());
+        let fresh = Xbmc::with_options(
+            &p,
+            CheckOptions { fresh_solver_per_assert: true, ..CheckOptions::default() },
+        )
+        .check_all();
+        prop_assert_eq!(key(&fresh), expected);
+        prop_assert!(!incremental.interrupted);
+    }
+
+    /// Certify (proof-logging) mode: every assertion the arena-based
+    /// checker proves safe gets a certificate that checks, and the
+    /// reference enumeration agrees those assertions have no
+    /// counterexamples.
+    #[test]
+    fn certificates_agree_with_reference(protos in proto_strategy()) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 6);
+        let r = Xbmc::with_options(
+            &p,
+            CheckOptions { certify: true, ..CheckOptions::default() },
+        )
+        .check_all();
+        let violated: BTreeSet<u32> =
+            r.counterexamples.iter().map(|c| c.assert_id.0).collect();
+        prop_assert_eq!(
+            r.certificates.len() + violated.len(),
+            r.checked_assertions
+        );
+        prop_assert_eq!(r.verify_certificates().unwrap(), r.certificates.len());
+        let reference_violated: BTreeSet<u32> = enumerate_with_reference_solver(&p)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert_eq!(violated, reference_violated);
+    }
+
+    /// Budget-interrupt mode: a budgeted check either completes with
+    /// the exact reference result or flags interruption, and whatever
+    /// it gathered is a prefix-consistent subset of the full set.
+    #[test]
+    fn budgeted_check_is_sound(protos in proto_strategy(), max_conflicts in 0u64..5) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 6);
+        let expected: BTreeSet<(u32, Vec<bool>)> =
+            enumerate_with_reference_solver(&p).into_iter().collect();
+        let r = Xbmc::with_options(
+            &p,
+            CheckOptions {
+                budget: Some(sat::Budget::new().max_conflicts(max_conflicts)),
+                ..CheckOptions::default()
+            },
+        )
+        .check_all();
+        let got: BTreeSet<(u32, Vec<bool>)> = key(&r).into_iter().collect();
+        if r.interrupted {
+            prop_assert!(got.is_subset(&expected));
+        } else {
+            prop_assert_eq!(got, expected);
+        }
+    }
+}
+
+/// PHP-derived programs through the real front end: the checker on the
+/// arena solver and the reference-solver enumeration must agree on
+/// every seed, in both checker modes and with certification on.
+#[test]
+fn php_derived_programs_match_reference() {
+    for seed in 1..=40u64 {
+        let src = random_php(seed.wrapping_mul(0x9E3779B97F4A7C15));
+        let p = ai_of(&src);
+        if p.num_assertions() == 0 {
+            continue;
+        }
+        let expected = enumerate_with_reference_solver(&p);
+        let incremental = Xbmc::new(&p).check_all();
+        assert_eq!(key(&incremental), expected, "seed {seed}: {src}");
+        let fresh = Xbmc::with_options(
+            &p,
+            CheckOptions {
+                fresh_solver_per_assert: true,
+                certify: true,
+                ..CheckOptions::default()
+            },
+        )
+        .check_all();
+        assert_eq!(key(&fresh), expected, "seed {seed} (fresh): {src}");
+        assert_eq!(
+            fresh.verify_certificates().unwrap(),
+            fresh.certificates.len(),
+            "seed {seed}: certificates must check"
+        );
+    }
+}

@@ -417,6 +417,8 @@ impl Engine {
                         propagations: 0,
                         restarts: 0,
                         sat_calls: 0,
+                        pre_units_fixed: 0,
+                        pre_clauses_removed: 0,
                     });
                     report.files.push(EngineFileResult {
                         summary,
@@ -443,6 +445,8 @@ impl Engine {
                                 propagations: stats.propagations,
                                 restarts: stats.restarts,
                                 sat_calls: stats.sat_calls,
+                                pre_units_fixed: stats.pre_units_fixed,
+                                pre_clauses_removed: stats.pre_clauses_removed,
                             });
                             report.files.push(EngineFileResult {
                                 summary,
@@ -463,6 +467,8 @@ impl Engine {
                                 propagations: 0,
                                 restarts: 0,
                                 sat_calls: 0,
+                                pre_units_fixed: 0,
+                                pre_clauses_removed: 0,
                             });
                             report.failed_files.push((done.file, e.to_string()));
                         }

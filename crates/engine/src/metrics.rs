@@ -33,6 +33,10 @@ pub struct FileMetrics {
     pub restarts: u64,
     /// SAT solver invocations.
     pub sat_calls: usize,
+    /// Root-level unit literals fixed by formula preprocessing.
+    pub pre_units_fixed: u64,
+    /// Clauses removed by formula preprocessing before attachment.
+    pub pre_clauses_removed: u64,
 }
 
 /// Aggregate metrics for one engine run, with per-file breakdown in
@@ -72,6 +76,16 @@ impl EngineMetrics {
         self.files.iter().map(|f| f.sat_calls).sum()
     }
 
+    /// Total root-level units fixed by preprocessing across all files.
+    pub fn total_pre_units_fixed(&self) -> u64 {
+        self.files.iter().map(|f| f.pre_units_fixed).sum()
+    }
+
+    /// Total clauses removed by preprocessing across all files.
+    pub fn total_pre_clauses_removed(&self) -> u64 {
+        self.files.iter().map(|f| f.pre_clauses_removed).sum()
+    }
+
     /// Files with the given outcome.
     pub fn count(&self, outcome: FileOutcome) -> usize {
         self.files.iter().filter(|f| f.outcome == outcome).count()
@@ -97,11 +111,14 @@ impl EngineMetrics {
         );
         let _ = writeln!(
             out,
-            "solver: {} call(s), {} conflict(s), {} decision(s), {} propagation(s)",
+            "solver: {} call(s), {} conflict(s), {} decision(s), {} propagation(s); \
+             preprocessing: {} unit(s) fixed, {} clause(s) removed",
             self.total_sat_calls(),
             self.total_conflicts(),
             self.total_decisions(),
             self.total_propagations(),
+            self.total_pre_units_fixed(),
+            self.total_pre_clauses_removed(),
         );
         let _ = writeln!(
             out,
@@ -144,6 +161,8 @@ impl EngineMetrics {
                     ("propagations", Value::Num(f.propagations)),
                     ("restarts", Value::Num(f.restarts)),
                     ("sat_calls", Value::Num(f.sat_calls as u64)),
+                    ("pre_units_fixed", Value::Num(f.pre_units_fixed)),
+                    ("pre_clauses_removed", Value::Num(f.pre_clauses_removed)),
                 ])
             })
             .collect();
@@ -199,6 +218,8 @@ mod tests {
                     propagations: 0,
                     restarts: 0,
                     sat_calls: 0,
+                    pre_units_fixed: 0,
+                    pre_clauses_removed: 0,
                 },
                 FileMetrics {
                     file: "b.php".to_owned(),
@@ -212,6 +233,8 @@ mod tests {
                     propagations: 200,
                     restarts: 1,
                     sat_calls: 5,
+                    pre_units_fixed: 9,
+                    pre_clauses_removed: 3,
                 },
             ],
         }
@@ -222,6 +245,8 @@ mod tests {
         let m = sample();
         assert_eq!(m.total_conflicts(), 17);
         assert_eq!(m.total_sat_calls(), 5);
+        assert_eq!(m.total_pre_units_fixed(), 9);
+        assert_eq!(m.total_pre_clauses_removed(), 3);
         assert_eq!(m.count(FileOutcome::Verified), 1);
         assert_eq!(m.count(FileOutcome::Timeout), 0);
     }
@@ -245,5 +270,9 @@ mod tests {
         assert_eq!(files.len(), 2);
         assert_eq!(files[0].get("worker"), Some(&Value::Null));
         assert_eq!(files[1].get("conflicts").and_then(Value::as_u64), Some(17));
+        assert_eq!(
+            files[1].get("pre_units_fixed").and_then(Value::as_u64),
+            Some(9)
+        );
     }
 }

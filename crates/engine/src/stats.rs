@@ -38,6 +38,8 @@ struct Counters {
     propagations: AtomicU64,
     restarts: AtomicU64,
     sat_calls: AtomicU64,
+    pre_units_fixed: AtomicU64,
+    pre_clauses_removed: AtomicU64,
 }
 
 /// One point-in-time read of [`EngineStats`]. Individual fields are
@@ -75,6 +77,10 @@ pub struct EngineSnapshot {
     pub restarts: u64,
     /// SAT solver invocations.
     pub sat_calls: u64,
+    /// Root-level unit literals fixed by formula preprocessing.
+    pub pre_units_fixed: u64,
+    /// Clauses removed by formula preprocessing before attachment.
+    pub pre_clauses_removed: u64,
 }
 
 impl EngineSnapshot {
@@ -123,6 +129,8 @@ impl EngineStats {
             propagations: load(&c.propagations),
             restarts: load(&c.restarts),
             sat_calls: load(&c.sat_calls),
+            pre_units_fixed: load(&c.pre_units_fixed),
+            pre_clauses_removed: load(&c.pre_clauses_removed),
         }
     }
 
@@ -173,6 +181,12 @@ impl EngineStats {
             self.inner
                 .sat_calls
                 .fetch_add(s.sat_calls as u64, Ordering::Relaxed);
+            self.inner
+                .pre_units_fixed
+                .fetch_add(s.pre_units_fixed, Ordering::Relaxed);
+            self.inner
+                .pre_clauses_removed
+                .fetch_add(s.pre_clauses_removed, Ordering::Relaxed);
         }
     }
 

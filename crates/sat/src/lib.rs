@@ -14,6 +14,13 @@
 //! * incremental solving under assumptions (used by xBMC to enumerate
 //!   all counterexamples of an assertion with blocking clauses).
 //!
+//! The clause database is a single flat `u32` arena (MiniSat's memory
+//! layout) walked in place by propagation, and `add_formula` runs a
+//! root-level preprocessing pass before search; see [`Solver`] for the
+//! data-plane details. The pre-arena implementation is preserved as
+//! [`reference::Solver`] — a differential-testing oracle and the
+//! benchmark baseline.
+//!
 //! Any complete solver preserves xBMC's soundness and completeness; the
 //! tests validate this one against brute-force enumeration on thousands
 //! of random formulas.
@@ -42,10 +49,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod budget;
 mod heap;
 mod luby;
 pub mod proof;
+pub mod reference;
 mod solver;
 mod stats;
 mod types;

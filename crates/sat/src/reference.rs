@@ -1,6 +1,23 @@
+//! The pre-arena CDCL solver, retained verbatim as a differential
+//! oracle and benchmark baseline.
+//!
+//! This is the solver as it stood before the clause-arena data-plane
+//! rebuild: each clause is its own heap `Vec<Lit>`, `propagate` does a
+//! `mem::take`/restore dance on watcher lists, and conflict analysis
+//! clones clause literals. It is algorithmically identical to
+//! [`Solver`](crate::Solver) (same watched-literal scheme, 1UIP
+//! learning, VSIDS, phase saving, Luby restarts, database reduction),
+//! so it serves two purposes:
+//!
+//! * the equivalence property tests solve the same formulas on both
+//!   engines and demand identical verdicts, and
+//! * the `bench_solver_core` suite measures the arena's speedup
+//!   against it — the "before" number in `BENCH_sat.json`.
+//!
+//! Do not use it in production paths; it is deliberately frozen.
+
 use cnf::{CnfFormula, Lit, Var};
 
-use crate::arena::{ClauseArena, ClauseRef};
 use crate::budget::{Budget, DEADLINE_CHECK_INTERVAL};
 use crate::heap::ActivityHeap;
 use crate::luby::luby;
@@ -15,48 +32,35 @@ enum LBool {
     Undef,
 }
 
+#[derive(Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
-    clause: ClauseRef,
+    clause: u32,
     blocker: Lit,
 }
+
+const NO_REASON: u32 = u32::MAX;
 
 /// Restart interval unit: conflicts per Luby term.
 const RESTART_BASE: u64 = 100;
 const VAR_DECAY: f64 = 0.95;
 const CLAUSE_DECAY: f64 = 0.999;
 
-/// A CDCL SAT solver with two-literal watching, 1UIP learning, VSIDS,
-/// phase saving, Luby restarts, and learned-clause reduction.
-///
-/// The clause database is a single flat `u32` arena
-/// ([`crate::arena`]): headers are inlined before the literals, clauses
-/// are addressed by word offsets, and learned-clause reduction compacts
-/// the buffer in place. The propagation inner loop walks each watcher
-/// list with two cursors (read/write) and touches one contiguous
-/// buffer; conflict analysis reuses a scratch buffer. Steady-state
-/// search allocates only when a learned clause is appended to the
-/// arena or a watcher list grows.
-///
-/// [`Solver::add_formula`] runs a root-level preprocessing pass (unit
-/// propagation to fixpoint, duplicate-literal dedup, satisfied-clause
-/// and false-literal elimination) so unit-heavy BMC encodings shrink
-/// before search; the work is reported in
-/// [`SolverStats::pre_units_fixed`] and friends.
-///
-/// Clauses can be added incrementally between `solve` calls, which is
-/// how the xBMC counterexample loop works: solve, read off the model,
-/// add a blocking clause, solve again — "we iteratively make Bi more
-/// restrictive until it becomes unsatisfiable" (paper §3.3.2). The
-/// solver is `Clone`, and cloning a freshly loaded solver is much
-/// cheaper than re-ingesting the formula — the checker builds one base
-/// solver per encoding and clones it per prover.
+/// The frozen pre-arena CDCL solver (see the module docs). Same
+/// algorithm as [`Solver`](crate::Solver), pre-refactor data plane.
 ///
 /// # Examples
 ///
 /// ```
 /// use cnf::Var;
-/// use sat::{SatResult, Solver};
+/// use sat::reference::Solver;
 ///
 /// let x = Var::new(0).positive();
 /// let mut s = Solver::new();
@@ -65,13 +69,13 @@ const CLAUSE_DECAY: f64 = 0.999;
 /// s.add_clause([!x]);
 /// assert!(s.solve().is_unsat());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Solver {
-    arena: ClauseArena,
+    clauses: Vec<ClauseData>,
     watches: Vec<Vec<Watcher>>,
     assign: Vec<LBool>,
     level: Vec<u32>,
-    reason: Vec<ClauseRef>,
+    reason: Vec<u32>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -81,13 +85,10 @@ pub struct Solver {
     heap: ActivityHeap,
     saved_phase: Vec<bool>,
     seen: Vec<bool>,
-    /// Scratch buffer recycled across conflict analyses.
-    analyze_buf: Vec<Lit>,
     ok: bool,
     stats: SolverStats,
     conflict_limit: Option<u64>,
     budget: Budget,
-    num_original: usize,
     num_learnt: usize,
     max_learnt: f64,
     proof: Option<Proof>,
@@ -96,7 +97,7 @@ pub struct Solver {
 impl Default for Solver {
     fn default() -> Self {
         Solver {
-            arena: ClauseArena::default(),
+            clauses: Vec::new(),
             watches: Vec::new(),
             assign: Vec::new(),
             level: Vec::new(),
@@ -110,12 +111,10 @@ impl Default for Solver {
             heap: ActivityHeap::new(),
             saved_phase: Vec::new(),
             seen: Vec::new(),
-            analyze_buf: Vec::new(),
             ok: true,
             stats: SolverStats::default(),
             conflict_limit: None,
             budget: Budget::default(),
-            num_original: 0,
             num_learnt: 0,
             max_learnt: 0.0,
             proof: None,
@@ -136,111 +135,16 @@ impl Solver {
         s
     }
 
-    /// Adds every clause of `formula` after a root-level preprocessing
-    /// pass: duplicate literals are merged, tautologies dropped, unit
-    /// clauses propagated to fixpoint, and every clause simplified
-    /// under the resulting root assignment (satisfied clauses removed,
-    /// false literals stripped) before anything is attached to the
-    /// watcher lists.
-    ///
-    /// Every variable the formula declares *or mentions* is declared
-    /// explicitly up front — clauses over variables above
-    /// `formula.num_vars()` are ingested like any other instead of
-    /// relying on per-literal `ensure_var` side effects.
+    /// Adds every clause of `formula` (skipping tautologies) and
+    /// declares its variables.
     pub fn add_formula(&mut self, formula: &CnfFormula) {
-        let mut num_vars = formula.num_vars();
+        if formula.num_vars() > 0 {
+            self.ensure_var(Var::new(formula.num_vars() - 1));
+        }
         for clause in formula.clauses() {
-            for &l in clause.lits() {
-                num_vars = num_vars.max(l.var().index() + 1);
+            if !clause.is_tautology() {
+                self.add_clause(clause.lits().iter().copied());
             }
-        }
-        if num_vars > 0 {
-            self.ensure_var(Var::new(num_vars - 1));
-        }
-        self.cancel_until(0);
-        if !self.ok {
-            return;
-        }
-        let trail_before = self.trail.len();
-
-        // Phase 1: normalize every clause (dedup, drop tautologies)
-        // without attaching anything yet. Literal order is preserved —
-        // the first two surviving literals become the watched pair, so
-        // on formulas preprocessing cannot simplify the search
-        // trajectory stays identical to a solver without this pass.
-        let mut pending: Vec<Vec<Lit>> = Vec::with_capacity(formula.num_clauses());
-        'clauses: for clause in formula.clauses() {
-            let mut lits: Vec<Lit> = Vec::with_capacity(clause.lits().len());
-            for &l in clause.lits() {
-                if lits.contains(&!l) {
-                    self.stats.pre_clauses_removed += 1;
-                    continue 'clauses;
-                }
-                if lits.contains(&l) {
-                    self.stats.pre_lits_removed += 1;
-                } else {
-                    lits.push(l);
-                }
-            }
-            pending.push(lits);
-        }
-
-        // Phase 2: root-level unit propagation to fixpoint, simplifying
-        // the pending clauses under the growing root assignment. Each
-        // sweep only shrinks clauses, so this terminates.
-        loop {
-            if self.propagate().is_some() {
-                self.ok = false;
-                break;
-            }
-            let units_before = self.trail.len();
-            let mut conflict = false;
-            pending.retain_mut(|lits| {
-                if conflict {
-                    return true;
-                }
-                let mut kept = 0usize;
-                for i in 0..lits.len() {
-                    match self.value(lits[i]) {
-                        LBool::True => {
-                            self.stats.pre_clauses_removed += 1;
-                            return false;
-                        }
-                        LBool::False => {}
-                        LBool::Undef => {
-                            lits[kept] = lits[i];
-                            kept += 1;
-                        }
-                    }
-                }
-                self.stats.pre_lits_removed += (lits.len() - kept) as u64;
-                lits.truncate(kept);
-                match kept {
-                    0 => {
-                        conflict = true;
-                        true
-                    }
-                    1 => {
-                        self.enqueue(lits[0], ClauseRef::UNDEF);
-                        false
-                    }
-                    _ => true,
-                }
-            });
-            if conflict {
-                self.ok = false;
-                break;
-            }
-            if self.trail.len() == units_before {
-                break; // fixpoint: no new units, nothing left to simplify
-            }
-        }
-        self.stats.pre_units_fixed += (self.trail.len() - trail_before) as u64;
-        if !self.ok {
-            return;
-        }
-        for lits in &pending {
-            self.attach_clause(lits, false);
         }
     }
 
@@ -252,7 +156,7 @@ impl Solver {
         }
         self.assign.resize(n, LBool::Undef);
         self.level.resize(n, 0);
-        self.reason.resize(n, ClauseRef::UNDEF);
+        self.reason.resize(n, NO_REASON);
         self.activity.resize(n, 0.0);
         self.saved_phase.resize(n, false);
         self.seen.resize(n, false);
@@ -265,11 +169,12 @@ impl Solver {
         self.assign.len()
     }
 
-    /// Number of original (problem) clauses currently stored. After
-    /// [`Solver::add_formula`] preprocessing this counts the clauses
-    /// that survived simplification.
+    /// Number of original (problem) clauses currently stored.
     pub fn num_clauses(&self) -> usize {
-        self.num_original
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
     }
 
     /// Work counters.
@@ -356,40 +261,45 @@ impl Solver {
                 false
             }
             1 => {
-                self.enqueue(filtered[0], ClauseRef::UNDEF);
+                self.enqueue(filtered[0], NO_REASON);
                 if self.propagate().is_some() {
                     self.ok = false;
                 }
                 self.ok
             }
             _ => {
-                self.attach_clause(&filtered, false);
+                self.attach_clause(filtered, false);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
-        let c = self.arena.alloc(lits, learnt);
-        self.watches[lits[0].code()].push(Watcher {
-            clause: c,
+        let ci = self.clauses.len() as u32;
+        let w0 = Watcher {
+            clause: ci,
             blocker: lits[1],
-        });
-        self.watches[lits[1].code()].push(Watcher {
-            clause: c,
+        };
+        let w1 = Watcher {
+            clause: ci,
             blocker: lits[0],
-        });
+        };
+        self.watches[lits[0].code()].push(w0);
+        self.watches[lits[1].code()].push(w1);
         if learnt {
             self.num_learnt += 1;
             self.stats.learnt_clauses = self.num_learnt as u64;
-        } else {
-            self.num_original += 1;
         }
-        c
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        ci
     }
 
-    #[inline]
     fn value(&self, l: Lit) -> LBool {
         match self.assign[l.var().index()] {
             LBool::Undef => LBool::Undef,
@@ -418,7 +328,7 @@ impl Solver {
         self.trail_lim.push(self.trail.len());
     }
 
-    fn enqueue(&mut self, p: Lit, reason: ClauseRef) {
+    fn enqueue(&mut self, p: Lit, reason: u32) {
         debug_assert_eq!(self.value(p), LBool::Undef);
         let v = p.var().index();
         self.assign[v] = if p.is_positive() {
@@ -441,7 +351,7 @@ impl Solver {
             let v = p.var().index();
             self.saved_phase[v] = p.is_positive();
             self.assign[v] = LBool::Undef;
-            self.reason[v] = ClauseRef::UNDEF;
+            self.reason[v] = NO_REASON;
             self.heap.insert(v, &self.activity);
         }
         self.trail.truncate(bound);
@@ -449,128 +359,71 @@ impl Solver {
         self.qhead = bound;
     }
 
-    /// Unit propagation. Returns the conflicting clause, or `None` when
-    /// a fixpoint is reached.
-    ///
-    /// Each watcher list is walked in place with a read cursor `i` and
-    /// a write cursor `j`: surviving watchers are compacted toward the
-    /// front as they are visited and the list is truncated once at the
-    /// end — no `mem::take`, no re-push, no allocation. A watcher only
-    /// leaves the list when its clause found a replacement watch, and
-    /// replacement watches are always pushed onto *other* lists (the
-    /// candidate literal is non-false, the list's literal is false), so
-    /// the iteration bound is stable.
-    fn propagate(&mut self) -> Option<ClauseRef> {
-        // Disjoint field borrows: the arena's literal slice stays live
-        // across a clause visit while watcher lists and the trail are
-        // updated beside it.
-        let Solver {
-            arena,
-            watches,
-            assign,
-            level,
-            reason,
-            trail,
-            trail_lim,
-            qhead,
-            stats,
-            ..
-        } = self;
-        #[inline]
-        fn value_of(assign: &[LBool], l: Lit) -> LBool {
-            match assign[l.var().index()] {
-                LBool::Undef => LBool::Undef,
-                LBool::True => {
-                    if l.is_positive() {
-                        LBool::True
-                    } else {
-                        LBool::False
-                    }
-                }
-                LBool::False => {
-                    if l.is_positive() {
-                        LBool::False
-                    } else {
-                        LBool::True
-                    }
-                }
-            }
-        }
-        let dl = trail_lim.len() as u32;
-        while *qhead < trail.len() {
-            let p = trail[*qhead];
-            *qhead += 1;
-            stats.propagations += 1;
+    /// Unit propagation. Returns the index of a conflicting clause, or
+    /// `None` when a fixpoint is reached.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
             let false_lit = !p;
-            let widx = false_lit.code();
-            let n = watches[widx].len();
-            let mut i = 0usize;
-            let mut j = 0usize;
-            'watchers: while i < n {
-                let mut w = watches[widx][i];
-                i += 1;
-                // Fast path: blocker already true — keep the watcher
-                // without touching the clause.
-                if value_of(assign, w.blocker) == LBool::True {
-                    watches[widx][j] = w;
-                    j += 1;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                // Fast path: blocker already true.
+                if self.value(w.blocker) == LBool::True {
+                    i += 1;
                     continue;
                 }
-                let c = w.clause;
-                let cl = arena.lits_mut(c);
+                let ci = w.clause as usize;
+                if self.clauses[ci].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
                 // Make sure the false literal is at position 1.
-                if Lit::from_code(cl[0] as usize) == false_lit {
-                    cl.swap(0, 1);
+                {
+                    let lits = &mut self.clauses[ci].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
                 }
-                debug_assert_eq!(Lit::from_code(cl[1] as usize), false_lit);
-                let first = Lit::from_code(cl[0] as usize);
-                if first != w.blocker && value_of(assign, first) == LBool::True {
-                    w.blocker = first;
-                    watches[widx][j] = w;
-                    j += 1;
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.value(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
                     continue;
                 }
-                // Look for a replacement watch; when found, the clause
-                // leaves this list (the write cursor skips it).
-                for k in 2..cl.len() {
-                    let cand = Lit::from_code(cl[k] as usize);
-                    if value_of(assign, cand) != LBool::False {
-                        cl.swap(1, k);
-                        debug_assert_ne!(cand.code(), widx);
-                        watches[cand.code()].push(Watcher {
-                            clause: c,
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.value(cand) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[cand.code()].push(Watcher {
+                            clause: w.clause,
                             blocker: first,
                         });
-                        continue 'watchers;
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
                     }
                 }
-                // Clause is unit or conflicting; the watcher stays.
-                watches[widx][j] = w;
-                j += 1;
-                if value_of(assign, first) == LBool::False {
-                    // Conflict: keep the unvisited tail and report.
-                    while i < n {
-                        watches[widx][j] = watches[widx][i];
-                        j += 1;
-                        i += 1;
-                    }
-                    watches[widx].truncate(j);
-                    *qhead = trail.len();
-                    return Some(c);
+                if moved {
+                    continue;
                 }
-                // Unit: enqueue `first` with this clause as its reason.
-                let v = first.var().index();
-                debug_assert_eq!(assign[v], LBool::Undef);
-                assign[v] = if first.is_positive() {
-                    LBool::True
-                } else {
-                    LBool::False
-                };
-                level[v] = dl;
-                reason[v] = c;
-                trail.push(first);
+                // Clause is unit or conflicting under the current trail.
+                if self.value(first) == LBool::False {
+                    // Conflict: restore remaining watchers and report.
+                    self.qhead = self.trail.len();
+                    self.watches[false_lit.code()] = ws;
+                    return Some(w.clause);
+                }
+                self.enqueue(first, w.clause);
+                i += 1;
             }
-            watches[widx].truncate(j);
+            self.watches[false_lit.code()] = ws;
         }
         None
     }
@@ -586,11 +439,12 @@ impl Solver {
         self.heap.bumped(v, &self.activity);
     }
 
-    fn bump_clause(&mut self, c: ClauseRef) {
-        let a = self.arena.activity(c) + self.cla_inc as f32;
-        self.arena.set_activity(c, a);
-        if a > 1e20 {
-            self.arena.rescale_activities(1e-20);
+    fn bump_clause(&mut self, ci: usize) {
+        self.clauses[ci].activity += self.cla_inc;
+        if self.clauses[ci].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
             self.cla_inc *= 1e-20;
         }
     }
@@ -600,26 +454,22 @@ impl Solver {
         self.cla_inc /= CLAUSE_DECAY;
     }
 
-    /// First-UIP conflict analysis into `learnt` (a recycled scratch
-    /// buffer; the asserting literal ends at index 0). Returns the
-    /// backjump level. Clause literals are read straight out of the
-    /// arena — nothing is cloned.
-    fn analyze(&mut self, confl: ClauseRef, learnt: &mut Vec<Lit>) -> usize {
-        learnt.clear();
-        learnt.push(Lit::from_code(0)); // placeholder for the UIP
+    /// First-UIP conflict analysis. Returns the learned clause (with the
+    /// asserting literal at index 0) and the backjump level.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
-        let mut confl = confl;
+        let mut confl = confl as usize;
         let current_level = self.decision_level() as u32;
         loop {
-            if self.arena.is_learnt(confl) {
+            if self.clauses[confl].learnt {
                 self.bump_clause(confl);
             }
-            let len = self.arena.len(confl);
+            let lits = self.clauses[confl].lits.clone();
             let start = usize::from(p.is_some());
-            for k in start..len {
-                let q = self.arena.lit(confl, k);
+            for &q in &lits[start..] {
                 let v = q.var().index();
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -646,9 +496,9 @@ impl Solver {
                 learnt[0] = !pl;
                 break;
             }
-            confl = self.reason[pl.var().index()];
+            confl = self.reason[pl.var().index()] as usize;
         }
-        self.minimize_learnt(learnt);
+        self.minimize_learnt(&mut learnt);
         // Find the backjump level: the highest level among learnt[1..].
         let backjump = if learnt.len() == 1 {
             0
@@ -662,10 +512,10 @@ impl Solver {
             learnt.swap(1, max_i);
             self.level[learnt[1].var().index()] as usize
         };
-        for &l in learnt.iter() {
+        for &l in &learnt {
             self.seen[l.var().index()] = false;
         }
-        backjump
+        (learnt, backjump)
     }
 
     /// Local (non-recursive) learned-clause minimization: a literal is
@@ -676,13 +526,10 @@ impl Solver {
         for i in 1..learnt.len() {
             let l = learnt[i];
             let r = self.reason[l.var().index()];
-            let redundant = !r.is_undef() && {
-                let len = self.arena.len(r);
-                (0..len).all(|k| {
-                    let q = self.arena.lit(r, k);
+            let redundant = r != NO_REASON
+                && self.clauses[r as usize].lits.iter().all(|&q| {
                     q == !l || self.seen[q.var().index()] || self.level[q.var().index()] == 0
-                })
-            };
+                });
             if redundant {
                 self.stats.minimized_lits += 1;
                 self.seen[l.var().index()] = false;
@@ -695,67 +542,38 @@ impl Solver {
     }
 
     fn reduce_db(&mut self) {
-        let mut learnt_refs: Vec<ClauseRef> = self
-            .arena
-            .refs()
-            .filter(|&c| {
-                self.arena.is_learnt(c)
-                    && !self.arena.is_deleted(c)
-                    && self.arena.len(c) > 2
-                    && !self.is_locked(c)
+        let mut learnt_indices: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learnt && !c.deleted && c.lits.len() > 2 && !self.is_locked(i)
             })
             .collect();
-        learnt_refs.sort_by(|&a, &b| {
-            self.arena
-                .activity(a)
-                .partial_cmp(&self.arena.activity(b))
+        learnt_indices.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
                 .expect("clause activities are finite")
         });
-        let to_delete = learnt_refs.len() / 2;
-        for &c in &learnt_refs[..to_delete] {
-            if self.proof.is_some() {
-                let lits = self.arena.lits_vec(c);
-                self.record(ProofStep::Delete(lits));
-            }
-            self.arena.delete(c);
+        let to_delete = learnt_indices.len() / 2;
+        for &i in &learnt_indices[..to_delete] {
+            self.clauses[i].deleted = true;
+            let lits = self.clauses[i].lits.clone();
+            self.record(ProofStep::Delete(lits));
+            self.clauses[i].lits.clear();
+            self.clauses[i].lits.shrink_to_fit();
             self.num_learnt -= 1;
             self.stats.deleted_clauses += 1;
         }
         self.stats.learnt_clauses = self.num_learnt as u64;
-        if self.arena.wasted() > 0 {
-            self.garbage_collect();
-        }
     }
 
-    /// Compacts the clause arena and remaps every outstanding
-    /// [`ClauseRef`] (watcher lists and reason pointers). Watchers of
-    /// deleted clauses are dropped here, so propagation never sees a
-    /// dead clause.
-    fn garbage_collect(&mut self) {
-        let new_arena = self.arena.compact_into();
-        let old = &self.arena;
-        for ws in self.watches.iter_mut() {
-            ws.retain_mut(|w| match old.forward(w.clause) {
-                Some(nc) => {
-                    w.clause = nc;
-                    true
-                }
-                None => false,
-            });
+    fn is_locked(&self, ci: usize) -> bool {
+        let c = &self.clauses[ci];
+        if c.lits.is_empty() {
+            return false;
         }
-        for r in self.reason.iter_mut() {
-            if !r.is_undef() {
-                *r = old
-                    .forward(*r)
-                    .expect("reason clauses are locked and survive reduction");
-            }
-        }
-        self.arena = new_arena;
-    }
-
-    fn is_locked(&self, c: ClauseRef) -> bool {
-        let first = self.arena.lit(c, 0);
-        self.reason[first.var().index()] == c && self.value(first) == LBool::True
+        let v = c.lits[0].var().index();
+        self.reason[v] == ci as u32 && self.value(c.lits[0]) == LBool::True
     }
 
     fn pick_branch(&mut self) -> Option<Lit> {
@@ -810,7 +628,7 @@ impl Solver {
         let mut restart_idx = 0u64;
         let mut conflicts_since_restart = 0u64;
         let mut restart_budget = RESTART_BASE * luby(restart_idx);
-        self.max_learnt = (self.num_clauses() as f64 / 3.0).max(1000.0);
+        self.max_learnt = (self.clauses.len() as f64 / 3.0).max(1000.0);
         loop {
             // Wall-clock deadline: checked every few loop iterations
             // (each iteration does a full propagation pass, so this
@@ -829,21 +647,17 @@ impl Solver {
                     self.record(ProofStep::Add(Vec::new()));
                     return SatResult::Unsat;
                 }
-                let mut learnt = std::mem::take(&mut self.analyze_buf);
-                let backjump = self.analyze(confl, &mut learnt);
-                if self.proof.is_some() {
-                    self.record(ProofStep::Add(learnt.clone()));
-                }
+                let (learnt, backjump) = self.analyze(confl);
+                self.record(ProofStep::Add(learnt.clone()));
                 self.cancel_until(backjump);
                 if learnt.len() == 1 {
-                    self.enqueue(learnt[0], ClauseRef::UNDEF);
+                    self.enqueue(learnt[0], NO_REASON);
                 } else {
                     let asserting = learnt[0];
-                    let c = self.attach_clause(&learnt, true);
-                    self.bump_clause(c);
-                    self.enqueue(asserting, c);
+                    let ci = self.attach_clause(learnt, true);
+                    self.bump_clause(ci as usize);
+                    self.enqueue(asserting, ci);
                 }
-                self.analyze_buf = learnt;
                 self.decay_activities();
                 if let Some(limit) = self.conflict_limit {
                     if conflicts_this_solve >= limit {
@@ -879,7 +693,7 @@ impl Solver {
                         }
                         LBool::Undef => {
                             self.new_decision_level();
-                            self.enqueue(p, ClauseRef::UNDEF);
+                            self.enqueue(p, NO_REASON);
                         }
                     }
                 } else {
@@ -892,7 +706,7 @@ impl Solver {
                         Some(p) => {
                             self.stats.decisions += 1;
                             self.new_decision_level();
-                            self.enqueue(p, ClauseRef::UNDEF);
+                            self.enqueue(p, NO_REASON);
                         }
                     }
                 }
@@ -903,13 +717,6 @@ impl Solver {
     fn extract_model(&self) -> Model {
         let values = self.assign.iter().map(|&a| a == LBool::True).collect();
         Model::from_values(values)
-    }
-
-    /// Test hook: runs one learned-clause reduction (and the arena
-    /// compaction it triggers) regardless of the usual threshold.
-    #[cfg(test)]
-    pub(crate) fn force_reduce(&mut self) {
-        self.reduce_db();
     }
 }
 
@@ -1160,125 +967,5 @@ mod tests {
         s.add_clause([lit(0, false)]);
         s.add_clause([lit(1, false)]);
         assert!(s.solve().is_unsat());
-    }
-
-    #[test]
-    fn preprocessing_fixes_units_and_shrinks_clauses() {
-        // x0 is a unit; (¬x0 ∨ x1) becomes the unit x1; (x0 ∨ x5) is
-        // satisfied at the root; (¬x1 ∨ x2 ∨ x3) loses ¬x1.
-        let mut f = CnfFormula::new();
-        f.add_lits([lit(0, true)]);
-        f.add_lits([lit(0, false), lit(1, true)]);
-        f.add_lits([lit(0, true), lit(5, true)]);
-        f.add_lits([lit(1, false), lit(2, true), lit(3, true)]);
-        let s = Solver::from_formula(&f);
-        // Only the shrunk (x2 ∨ x3) clause survives as an attached clause.
-        assert_eq!(s.num_clauses(), 1);
-        assert!(s.stats().pre_units_fixed >= 2, "x0 and x1 are root units");
-        assert!(s.stats().pre_clauses_removed >= 1);
-        assert!(s.stats().pre_lits_removed >= 1);
-        let mut s = s;
-        match s.solve() {
-            SatResult::Sat(m) => {
-                assert!(m.value(Var::new(0)));
-                assert!(m.value(Var::new(1)));
-                assert_eq!(f.eval(&m.values()[..f.num_vars()]), Some(true));
-            }
-            other => panic!("expected sat, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn preprocessing_detects_root_unsat() {
-        // Units force x0 and the last clause then empties.
-        let mut f = CnfFormula::new();
-        f.add_lits([lit(0, true)]);
-        f.add_lits([lit(0, false), lit(1, true)]);
-        f.add_lits([lit(1, false)]);
-        let mut s = Solver::from_formula(&f);
-        assert!(s.solve().is_unsat());
-    }
-
-    #[test]
-    fn out_of_order_variable_declaration() {
-        // Regression (satellite): a formula whose clauses mention
-        // variables in descending order — every variable must be
-        // declared explicitly, not via incidental ensure_var ordering.
-        let mut f = CnfFormula::new();
-        f.add_lits([lit(9, true), lit(7, true)]);
-        f.add_lits([lit(3, false), lit(9, false)]);
-        f.add_lits([lit(0, true)]);
-        let mut s = Solver::from_formula(&f);
-        assert_eq!(s.num_vars(), 10);
-        match s.solve() {
-            SatResult::Sat(m) => {
-                assert!(m.len() >= 10);
-                assert_eq!(f.eval(&m.values()[..f.num_vars()]), Some(true));
-            }
-            other => panic!("expected sat, got {other:?}"),
-        }
-        // A formula declaring more vars than its clauses mention still
-        // declares them all.
-        let mut g = CnfFormula::with_vars(16);
-        g.add_lits([lit(2, true)]);
-        let s2 = Solver::from_formula(&g);
-        assert_eq!(s2.num_vars(), 16);
-    }
-
-    #[test]
-    fn cloned_solver_solves_independently() {
-        let f = pigeonhole(4, 3);
-        let base = Solver::from_formula(&f);
-        let mut a = base.clone();
-        let mut b = base.clone();
-        assert!(a.solve().is_unsat());
-        // `a`'s search must not have polluted `b`.
-        assert_eq!(b.stats().conflicts, 0);
-        assert!(b.solve().is_unsat());
-        let mut c = base.clone();
-        c.add_clause([lit(0, true)]);
-        assert!(c.solve().is_unsat());
-    }
-
-    #[test]
-    fn reduction_and_compaction_preserve_answers() {
-        let f = pigeonhole(5, 4);
-        let mut s = Solver::from_formula(&f);
-        // Accumulate some learnt clauses (the instance may or may not be
-        // refuted within the limit — either way the database is populated).
-        s.set_conflict_limit(Some(40));
-        let _ = s.solve();
-        s.set_conflict_limit(None);
-        let learnt_before = s.stats().learnt_clauses;
-        s.force_reduce();
-        assert!(s.stats().deleted_clauses > 0 || learnt_before < 2);
-        assert!(s.solve().is_unsat());
-
-        // Satisfiable instance across a forced reduction.
-        let g = pigeonhole(5, 6);
-        let mut s = Solver::from_formula(&g);
-        s.set_conflict_limit(Some(20));
-        let _ = s.solve();
-        s.set_conflict_limit(None);
-        s.force_reduce();
-        match s.solve() {
-            SatResult::Sat(m) => assert_eq!(g.eval(&m.values()[..g.num_vars()]), Some(true)),
-            other => panic!("expected sat, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn proof_survives_reduction_and_compaction() {
-        let f = pigeonhole(5, 4);
-        let mut s = Solver::from_formula(&f);
-        s.start_proof();
-        s.set_conflict_limit(Some(40));
-        let _ = s.solve();
-        s.set_conflict_limit(None);
-        s.force_reduce();
-        assert!(s.solve().is_unsat());
-        let proof = s.take_proof().expect("recording was on");
-        assert!(proof.proves_unsat());
-        proof.verify_refutation(&f).expect("proof checks");
     }
 }

@@ -24,13 +24,21 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Literals removed by learned-clause minimization.
     pub minimized_lits: u64,
+    /// Root-level units fixed by `add_formula` preprocessing.
+    pub pre_units_fixed: u64,
+    /// Clauses removed by `add_formula` preprocessing (tautologies and
+    /// clauses satisfied at the root level).
+    pub pre_clauses_removed: u64,
+    /// False literals stripped from clauses by `add_formula`
+    /// preprocessing.
+    pub pre_lits_removed: u64,
 }
 
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "solves={} decisions={} propagations={} conflicts={} restarts={} learnt={} deleted={} minimized={}",
+            "solves={} decisions={} propagations={} conflicts={} restarts={} learnt={} deleted={} minimized={} pre_units={} pre_clauses={} pre_lits={}",
             self.solves,
             self.decisions,
             self.propagations,
@@ -39,6 +47,9 @@ impl fmt::Display for SolverStats {
             self.learnt_clauses,
             self.deleted_clauses,
             self.minimized_lits,
+            self.pre_units_fixed,
+            self.pre_clauses_removed,
+            self.pre_lits_removed,
         )
     }
 }

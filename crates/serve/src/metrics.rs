@@ -324,6 +324,8 @@ impl ServerMetrics {
             ("propagations", engine.propagations),
             ("restarts", engine.restarts),
             ("calls", engine.sat_calls),
+            ("pre_units_fixed", engine.pre_units_fixed),
+            ("pre_clauses_removed", engine.pre_clauses_removed),
         ] {
             let _ = writeln!(
                 out,
@@ -380,6 +382,8 @@ mod tests {
             cache_misses: 1,
             files_vulnerable: 1,
             sat_calls: 7,
+            pre_units_fixed: 11,
+            pre_clauses_removed: 2,
             ..EngineSnapshot::default()
         };
         let text = m.render_prometheus(&snap, 0, 4);
@@ -387,6 +391,10 @@ mod tests {
         assert!(text.contains("webssari_engine_cache_hit_ratio 0.75"));
         assert!(text.contains("webssari_engine_files_total{outcome=\"vulnerable\"} 1"));
         assert!(text.contains("webssari_engine_solver_events_total{kind=\"calls\"} 7"));
+        assert!(text.contains("webssari_engine_solver_events_total{kind=\"pre_units_fixed\"} 11"));
+        assert!(
+            text.contains("webssari_engine_solver_events_total{kind=\"pre_clauses_removed\"} 2")
+        );
         // Every exposed line is HELP, TYPE, or a sample.
         for line in text.lines() {
             assert!(
