@@ -1,0 +1,290 @@
+//! Backward cone-of-influence computation over the loop-free AI.
+//!
+//! For each assertion, the *cone* is everything that can influence its
+//! verdict: the backward closure of the checked variables under the
+//! assignment dependency relation, the branch decisions enclosing any
+//! cone command, and the commands that write cone variables. CBMC ships
+//! the same slice-before-CNF step; here it feeds both the static
+//! discharge decision and the sliced program handed to the SAT encoder.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use webssari_ir::{AiCmd, AiProgram, AssertId, BranchId, VarId};
+
+/// The cone of influence of one assertion.
+#[derive(Clone, Debug)]
+pub struct AssertCone {
+    /// The assertion this cone belongs to.
+    pub id: AssertId,
+    /// Variables whose values can reach the assertion: the backward
+    /// closure of the checked variables under assignment dependencies.
+    pub vars: BTreeSet<VarId>,
+    /// Branch decisions enclosing the assertion or any cone assignment.
+    pub branches: BTreeSet<BranchId>,
+    /// Number of commands in the cone (cone assignments plus the
+    /// assertion itself).
+    pub num_commands: usize,
+}
+
+/// Computes the cone of influence of every assertion, in program order.
+pub fn cones(ai: &AiProgram) -> Vec<AssertCone> {
+    // Flow-insensitive dependency edges: var -> union of deps over every
+    // assignment to it, plus the enclosing-branch stack of each command.
+    let mut dep_edges: HashMap<VarId, BTreeSet<VarId>> = HashMap::new();
+    let mut assign_branches: HashMap<VarId, BTreeSet<BranchId>> = HashMap::new();
+    let mut assign_counts: HashMap<VarId, usize> = HashMap::new();
+    let mut asserts: Vec<(AssertId, Vec<VarId>, BTreeSet<BranchId>)> = Vec::new();
+    collect(
+        &ai.cmds,
+        &mut Vec::new(),
+        &mut dep_edges,
+        &mut assign_branches,
+        &mut assign_counts,
+        &mut asserts,
+    );
+
+    asserts
+        .into_iter()
+        .map(|(id, seed, own_branches)| {
+            let mut vars: BTreeSet<VarId> = seed.iter().copied().collect();
+            let mut work: Vec<VarId> = seed;
+            while let Some(v) = work.pop() {
+                if let Some(deps) = dep_edges.get(&v) {
+                    for d in deps {
+                        if vars.insert(*d) {
+                            work.push(*d);
+                        }
+                    }
+                }
+            }
+            let mut branches = own_branches;
+            let mut num_commands = 1; // the assertion itself
+            for v in &vars {
+                if let Some(bs) = assign_branches.get(v) {
+                    branches.extend(bs.iter().copied());
+                }
+                num_commands += assign_counts.get(v).copied().unwrap_or(0);
+            }
+            AssertCone {
+                id,
+                vars,
+                branches,
+                num_commands,
+            }
+        })
+        .collect()
+}
+
+fn collect(
+    cmds: &[AiCmd],
+    enclosing: &mut Vec<BranchId>,
+    dep_edges: &mut HashMap<VarId, BTreeSet<VarId>>,
+    assign_branches: &mut HashMap<VarId, BTreeSet<BranchId>>,
+    assign_counts: &mut HashMap<VarId, usize>,
+    asserts: &mut Vec<(AssertId, Vec<VarId>, BTreeSet<BranchId>)>,
+) {
+    for c in cmds {
+        match c {
+            AiCmd::Assign { var, deps, .. } => {
+                dep_edges
+                    .entry(*var)
+                    .or_default()
+                    .extend(deps.iter().copied());
+                assign_branches
+                    .entry(*var)
+                    .or_default()
+                    .extend(enclosing.iter().copied());
+                *assign_counts.entry(*var).or_default() += 1;
+            }
+            AiCmd::Assert { id, vars, .. } => {
+                asserts.push((*id, vars.clone(), enclosing.iter().copied().collect()));
+            }
+            AiCmd::If {
+                branch,
+                then_cmds,
+                else_cmds,
+                ..
+            } => {
+                enclosing.push(*branch);
+                collect(
+                    then_cmds,
+                    enclosing,
+                    dep_edges,
+                    assign_branches,
+                    assign_counts,
+                    asserts,
+                );
+                collect(
+                    else_cmds,
+                    enclosing,
+                    dep_edges,
+                    assign_branches,
+                    assign_counts,
+                    asserts,
+                );
+                enclosing.pop();
+            }
+            AiCmd::Stop { .. } => {}
+        }
+    }
+}
+
+/// Slices the program down to the given surviving assertions.
+///
+/// The slice keeps:
+///
+/// * every `If` node with its original [`BranchId`] (bodies may empty
+///   out) — the renaming encoder derives each assertion's `BN` from the
+///   program-order *prefix* of branch decisions, and blocking clauses
+///   quantify over exactly that set, so dropping an `If` would change
+///   which counterexamples are enumerated;
+/// * every `Stop` (it encodes the constraint `true`);
+/// * the surviving assertions themselves;
+/// * exactly the assignments whose target is in the union of the
+///   surviving assertions' cone variables.
+///
+/// [`AiProgram::num_branches`] is preserved for the same reason the
+/// `If` skeleton is. The result is verdict- and counterexample-set
+/// equivalent to the original for every kept assertion.
+pub fn slice(ai: &AiProgram, keep_asserts: &HashSet<AssertId>) -> AiProgram {
+    slice_with_cones(ai, keep_asserts, &cones(ai))
+}
+
+/// [`slice`] with precomputed cones, so a caller that already ran
+/// [`cones`] (the screening pass does) does not pay for them twice.
+pub(crate) fn slice_with_cones(
+    ai: &AiProgram,
+    keep_asserts: &HashSet<AssertId>,
+    all_cones: &[AssertCone],
+) -> AiProgram {
+    let mut keep_vars: BTreeSet<VarId> = BTreeSet::new();
+    for cone in all_cones {
+        if keep_asserts.contains(&cone.id) {
+            keep_vars.extend(cone.vars.iter().copied());
+        }
+    }
+    let cmds = slice_cmds(&ai.cmds, keep_asserts, &keep_vars);
+    AiProgram::from_parts(ai.vars.clone(), cmds, ai.num_branches)
+}
+
+fn slice_cmds(
+    cmds: &[AiCmd],
+    keep_asserts: &HashSet<AssertId>,
+    keep_vars: &BTreeSet<VarId>,
+) -> Vec<AiCmd> {
+    let mut out = Vec::new();
+    for c in cmds {
+        match c {
+            AiCmd::Assign { var, .. } => {
+                if keep_vars.contains(var) {
+                    out.push(c.clone());
+                }
+            }
+            AiCmd::Assert { id, .. } => {
+                if keep_asserts.contains(id) {
+                    out.push(c.clone());
+                }
+            }
+            AiCmd::If {
+                branch,
+                then_cmds,
+                else_cmds,
+                site,
+            } => {
+                out.push(AiCmd::If {
+                    branch: *branch,
+                    then_cmds: slice_cmds(then_cmds, keep_asserts, keep_vars),
+                    else_cmds: slice_cmds(else_cmds, keep_asserts, keep_vars),
+                    site: site.clone(),
+                });
+            }
+            AiCmd::Stop { .. } => out.push(c.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_front::parse_source;
+    use webssari_ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
+
+    fn ai_of(src: &str) -> AiProgram {
+        let ast = parse_source(src).expect("parse");
+        let f = filter_program(
+            &ast,
+            src,
+            "t.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        abstract_interpret(&f)
+    }
+
+    fn names(ai: &AiProgram, vars: &BTreeSet<VarId>) -> Vec<String> {
+        vars.iter().map(|v| ai.vars.name(*v).to_owned()).collect()
+    }
+
+    #[test]
+    fn cone_follows_assignment_dependencies() {
+        let ai = ai_of("<?php $a = $_GET['x']; $b = $a; $c = 'other'; mysql_query($b);");
+        let cs = cones(&ai);
+        assert_eq!(cs.len(), 1);
+        let vars = names(&ai, &cs[0].vars);
+        assert!(vars.contains(&"b".to_owned()));
+        assert!(vars.contains(&"a".to_owned()));
+        assert!(vars.contains(&"_GET".to_owned()));
+        assert!(!vars.contains(&"c".to_owned()), "{vars:?}");
+    }
+
+    #[test]
+    fn cone_collects_enclosing_and_assignment_branches() {
+        let ai = ai_of("<?php if ($c) { $x = $_GET['q']; } if ($d) { echo $x; } $y = 1;");
+        let cs = cones(&ai);
+        assert_eq!(cs.len(), 1);
+        // Branch 0 guards the tainting assignment, branch 1 encloses the
+        // assertion itself.
+        assert_eq!(
+            cs[0].branches.iter().map(|b| b.0).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert!(cs[0].num_commands >= 2);
+    }
+
+    #[test]
+    fn independent_assertions_have_disjoint_cones() {
+        let ai = ai_of("<?php $a = $_GET['p']; $b = $_GET['q']; echo $a; mysql_query($b);");
+        let cs = cones(&ai);
+        assert_eq!(cs.len(), 2);
+        let a_vars = names(&ai, &cs[0].vars);
+        let b_vars = names(&ai, &cs[1].vars);
+        assert!(a_vars.contains(&"a".to_owned()) && !a_vars.contains(&"b".to_owned()));
+        assert!(b_vars.contains(&"b".to_owned()) && !b_vars.contains(&"a".to_owned()));
+    }
+
+    #[test]
+    fn slice_keeps_branch_skeleton_and_drops_irrelevant_assigns() {
+        let ai =
+            ai_of("<?php $a = $_GET['p']; if ($c) { $junk = $_GET['z']; } echo $a; echo $junk;");
+        // Keep only the first assertion (echo $a).
+        let keep: HashSet<AssertId> = [AssertId(0)].into_iter().collect();
+        let sliced = slice(&ai, &keep);
+        assert_eq!(sliced.num_assertions(), 1);
+        assert_eq!(sliced.num_branches, ai.num_branches);
+        assert!(sliced.num_commands() < ai.num_commands());
+        // The If skeleton survives even though its body emptied out.
+        fn has_if(cmds: &[AiCmd]) -> bool {
+            cmds.iter().any(|c| matches!(c, AiCmd::If { .. }))
+        }
+        assert!(has_if(&sliced.cmds));
+    }
+
+    #[test]
+    fn slice_to_nothing_keeps_structure_only() {
+        let ai = ai_of("<?php $a = $_GET['p']; if ($c) { echo $a; }");
+        let sliced = slice(&ai, &HashSet::new());
+        assert_eq!(sliced.num_assertions(), 0);
+        assert_eq!(sliced.num_branches, ai.num_branches);
+    }
+}

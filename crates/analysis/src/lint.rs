@@ -1,0 +1,356 @@
+//! The taint lint pass: structured diagnostics with spans, severity,
+//! and stable rule ids, over one file's filter and AI artifacts.
+//!
+//! | rule id | severity | meaning |
+//! |---------|----------|---------|
+//! | `unsanitized-sink` | error | tainted data may reach a sensitive output channel |
+//! | `tainted-include` | error | a dynamic `include`/`require` path carries taint |
+//! | `dead-sanitizer` | warning | a sanitizer call whose result never reaches any sink |
+//! | `unreachable-after-stop` | warning | code after `exit`/top-level `return` in the same block |
+//! | `recursion-cutoff-approximation` | note | a call degraded by the inlining depth cutoff |
+
+use std::collections::BTreeSet;
+
+use taint_lattice::Lattice;
+use typestate::TsResult;
+use webssari_ir::{AiCmd, AiProgram, FProgram, Site, VarId};
+
+/// Diagnostic severity, mirroring SARIF's `level`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A defect: the verifier would flag this.
+    Error,
+    /// Suspicious but not a proven defect.
+    Warning,
+    /// An analysis-precision remark.
+    Note,
+}
+
+impl Severity {
+    /// The SARIF `level` string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// Every rule id the lint pass can emit, in stable order.
+pub const RULES: [&str; 5] = [
+    "unsanitized-sink",
+    "tainted-include",
+    "dead-sanitizer",
+    "unreachable-after-stop",
+    "recursion-cutoff-approximation",
+];
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Where the finding points.
+    pub site: Site,
+}
+
+impl Diagnostic {
+    /// Renders as `file:line: severity [rule] message`.
+    pub fn render(&self) -> String {
+        let line = self.site.line.max(1);
+        format!(
+            "{}:{}: {} [{}] {}",
+            self.site.file,
+            line,
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Runs every lint rule over one file's artifacts.
+///
+/// `f` and `ai` must come from the same source; `ts` must be
+/// `typestate::analyze(ai, lattice)`. Diagnostics are sorted by line,
+/// then rule, and deduplicated by `(rule, site)`.
+pub fn lint(
+    f: &FProgram,
+    ai: &AiProgram,
+    ts: &TsResult,
+    _lattice: &impl Lattice,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    taint_rules(ai, ts, &mut out);
+    dead_sanitizers(ai, &mut out);
+    unreachable_after_stop(&ai.cmds, &mut out);
+    for site in &f.recursion_cutoffs {
+        out.push(Diagnostic {
+            rule: "recursion-cutoff-approximation",
+            severity: Severity::Note,
+            message: format!(
+                "call exceeds the inlining depth and degrades to the \
+                 join-of-arguments approximation: `{}`",
+                site.snippet
+            ),
+            site: site.clone(),
+        });
+    }
+    out.sort_by(|a, b| {
+        (a.site.line, a.rule, &a.site.file, &a.message).cmp(&(
+            b.site.line,
+            b.rule,
+            &b.site.file,
+            &b.message,
+        ))
+    });
+    out.dedup_by(|a, b| a.rule == b.rule && a.site == b.site);
+    out
+}
+
+/// Lints one PHP source file end to end: parse, filter, abstract
+/// interpretation, typestate, then every lint rule.
+pub fn lint_file(
+    src: &str,
+    file: &str,
+    prelude: &webssari_ir::Prelude,
+    options: &webssari_ir::FilterOptions,
+    lattice: &impl Lattice,
+) -> Result<Vec<Diagnostic>, php_front::ParseError> {
+    let ast = php_front::parse_source(src)?;
+    let f = webssari_ir::filter_program(&ast, src, file, prelude, options);
+    // Unroll factor 1 suffices for lints: extra unrollings only repeat
+    // diagnostics at the same (rule, site), which dedup removes.
+    let ai = webssari_ir::abstract_interpret_with(&f, lattice, 1);
+    let ts = typestate::analyze(&ai, lattice);
+    Ok(lint(&f, &ai, &ts, lattice))
+}
+
+/// `unsanitized-sink` and `tainted-include` from the TS symptoms.
+fn taint_rules(ai: &AiProgram, ts: &TsResult, out: &mut Vec<Diagnostic>) {
+    for e in &ts.errors {
+        let vars: Vec<&str> = e.violating_vars.iter().map(|v| ai.vars.name(*v)).collect();
+        let (rule, message) = if e.func == "include" {
+            (
+                "tainted-include",
+                format!(
+                    "dynamic include path may be attacker-controlled (via ${})",
+                    vars.join(", $")
+                ),
+            )
+        } else {
+            (
+                "unsanitized-sink",
+                format!(
+                    "tainted data may reach {}() via ${}",
+                    e.func,
+                    vars.join(", $")
+                ),
+            )
+        };
+        out.push(Diagnostic {
+            rule,
+            severity: Severity::Error,
+            message,
+            site: e.site.clone(),
+        });
+    }
+}
+
+/// `dead-sanitizer`: a sanitizer temp whose value is not in the backward
+/// closure of any assertion — its result never reaches a sink.
+fn dead_sanitizers(ai: &AiProgram, out: &mut Vec<Diagnostic>) {
+    let mut sink_cone: BTreeSet<VarId> = BTreeSet::new();
+    for cone in crate::cone::cones(ai) {
+        sink_cone.extend(cone.vars.iter().copied());
+    }
+    check_sanitizer_temps(&ai.cmds, ai, &sink_cone, out);
+}
+
+fn check_sanitizer_temps(
+    cmds: &[AiCmd],
+    ai: &AiProgram,
+    sink_cone: &BTreeSet<VarId>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for c in cmds {
+        match c {
+            AiCmd::Assign { var, site, .. } => {
+                let name = ai.vars.name(*var);
+                if let Some(func) = name.split("#san").next().filter(|_| name.contains("#san")) {
+                    if !sink_cone.contains(var) {
+                        out.push(Diagnostic {
+                            rule: "dead-sanitizer",
+                            severity: Severity::Warning,
+                            message: format!(
+                                "result of {func}() never reaches any sensitive output channel"
+                            ),
+                            site: site.clone(),
+                        });
+                    }
+                }
+            }
+            AiCmd::If {
+                then_cmds,
+                else_cmds,
+                ..
+            } => {
+                check_sanitizer_temps(then_cmds, ai, sink_cone, out);
+                check_sanitizer_temps(else_cmds, ai, sink_cone, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The source location of any AI command.
+fn cmd_site(c: &AiCmd) -> &Site {
+    match c {
+        AiCmd::Assign { site, .. }
+        | AiCmd::Assert { site, .. }
+        | AiCmd::If { site, .. }
+        | AiCmd::Stop { site } => site,
+    }
+}
+
+/// `unreachable-after-stop`: commands following a `stop` in the same
+/// block. The AI keeps them (Figure 5 encodes `stop` as `true`) but no
+/// concrete execution reaches them.
+fn unreachable_after_stop(cmds: &[AiCmd], out: &mut Vec<Diagnostic>) {
+    let mut stopped = false;
+    for c in cmds {
+        if stopped {
+            let site = cmd_site(c);
+            out.push(Diagnostic {
+                rule: "unreachable-after-stop",
+                severity: Severity::Warning,
+                message: format!("unreachable code after exit/return: `{}`", site.snippet),
+                site: site.clone(),
+            });
+            // One diagnostic per stop suffices; deeper commands in the
+            // same dead region would only repeat it.
+            return;
+        }
+        match c {
+            AiCmd::Stop { .. } => stopped = true,
+            AiCmd::If {
+                then_cmds,
+                else_cmds,
+                ..
+            } => {
+                unreachable_after_stop(then_cmds, out);
+                unreachable_after_stop(else_cmds, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_front::parse_source;
+    use taint_lattice::TwoPoint;
+    use typestate::analyze;
+    use webssari_ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
+
+    fn lint_src(src: &str) -> Vec<Diagnostic> {
+        let ast = parse_source(src).expect("parse");
+        let f = filter_program(
+            &ast,
+            src,
+            "t.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        let ai = abstract_interpret(&f);
+        let l = TwoPoint::new();
+        let ts = analyze(&ai, &l);
+        lint(&f, &ai, &ts, &l)
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn unsanitized_sink_is_reported_with_site() {
+        let diags = lint_src("<?php\n$x = $_GET['q'];\necho $x;\n");
+        assert_eq!(rules(&diags), vec!["unsanitized-sink"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].site.line, 3);
+        assert!(diags[0].message.contains("echo"), "{}", diags[0].message);
+        assert!(diags[0].render().starts_with("t.php:3: error"));
+    }
+
+    #[test]
+    fn tainted_include_is_its_own_rule() {
+        let diags = lint_src("<?php include $_GET['page'];");
+        assert_eq!(rules(&diags), vec!["tainted-include"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn dead_sanitizer_flags_unused_result() {
+        // The sanitized value is never echoed or queried.
+        let diags = lint_src("<?php $x = htmlspecialchars($_GET['q']); echo 'done';");
+        assert_eq!(rules(&diags), vec!["dead-sanitizer"]);
+        assert!(
+            diags[0].message.contains("htmlspecialchars"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn live_sanitizer_is_not_flagged() {
+        let diags = lint_src("<?php $x = htmlspecialchars($_GET['q']); echo $x;");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_after_stop_points_at_dead_code() {
+        let diags = lint_src("<?php exit; echo $x;");
+        // The echo after exit is unreachable; the AI still checks it
+        // (Figure 5 semantics), so the unsanitized-sink also fires when
+        // $x is tainted — here $x is unassigned (⊥), so only the
+        // unreachable warning remains.
+        assert_eq!(rules(&diags), vec!["unreachable-after-stop"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn recursion_cutoff_notes_the_call_site() {
+        let diags =
+            lint_src("<?php function r($x) { return r($x); } $y = r('lit'); mysql_query($y);");
+        assert!(
+            rules(&diags).contains(&"recursion-cutoff-approximation"),
+            "{diags:?}"
+        );
+        let d = diags
+            .iter()
+            .find(|d| d.rule == "recursion-cutoff-approximation")
+            .unwrap();
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("r($x)"), "{}", d.message);
+        assert!(!d.site.is_synthetic());
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let diags = lint_src("<?php $x = 'hello'; echo $x;");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_line() {
+        let diags = lint_src("<?php\n$a = $_GET['p'];\necho $a;\nmysql_query($a);\n");
+        assert_eq!(rules(&diags), vec!["unsanitized-sink", "unsanitized-sink"]);
+        assert!(diags[0].site.line < diags[1].site.line);
+    }
+}

@@ -1,0 +1,217 @@
+//! SARIF 2.1.0 export for lint diagnostics.
+//!
+//! The writer goes through [`jsonio`] (the workspace's shared JSON
+//! model), emitting the minimal valid subset editors and CI annotators
+//! consume: `$schema`/`version`, one run with a tool driver carrying
+//! the full rule table, and one `result` per diagnostic with `ruleId`,
+//! `level`, `message.text`, and a physical location.
+
+use jsonio::Value;
+
+use crate::lint::{Diagnostic, RULES};
+
+/// The SARIF schema URI embedded in every report.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// One-line documentation per rule id, for the driver's rule table.
+fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "unsanitized-sink" => "Tainted data may reach a sensitive output channel.",
+        "tainted-include" => "A dynamic include/require path may be attacker-controlled.",
+        "dead-sanitizer" => "A sanitizer's result never reaches any sensitive output channel.",
+        "unreachable-after-stop" => "Code after exit/return in the same block never executes.",
+        "recursion-cutoff-approximation" => {
+            "A call degraded to the join-of-arguments approximation at the inlining depth cutoff."
+        }
+        _ => "Unknown rule.",
+    }
+}
+
+/// Builds the SARIF 2.1.0 document for a set of diagnostics.
+pub fn to_sarif(diags: &[Diagnostic]) -> Value {
+    let rules = RULES
+        .iter()
+        .map(|id| {
+            Value::obj(vec![
+                ("id", Value::str(*id)),
+                (
+                    "shortDescription",
+                    Value::obj(vec![("text", Value::str(rule_description(id)))]),
+                ),
+            ])
+        })
+        .collect();
+    let results = diags.iter().map(result).collect();
+    Value::obj(vec![
+        ("$schema", Value::str(SARIF_SCHEMA)),
+        ("version", Value::str("2.1.0")),
+        (
+            "runs",
+            Value::Arr(vec![Value::obj(vec![
+                (
+                    "tool",
+                    Value::obj(vec![(
+                        "driver",
+                        Value::obj(vec![
+                            ("name", Value::str("webssari")),
+                            ("rules", Value::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Arr(results)),
+            ])]),
+        ),
+    ])
+}
+
+/// Renders the SARIF document as a JSON string.
+pub fn to_sarif_json(diags: &[Diagnostic]) -> String {
+    to_sarif(diags).to_json()
+}
+
+fn result(d: &Diagnostic) -> Value {
+    // SARIF regions are 1-based; synthetic sites carry line 0.
+    let line = u64::from(d.site.line.max(1));
+    Value::obj(vec![
+        ("ruleId", Value::str(d.rule)),
+        ("level", Value::str(d.severity.as_str())),
+        (
+            "message",
+            Value::obj(vec![("text", Value::str(d.message.clone()))]),
+        ),
+        (
+            "locations",
+            Value::Arr(vec![Value::obj(vec![(
+                "physicalLocation",
+                Value::obj(vec![
+                    (
+                        "artifactLocation",
+                        Value::obj(vec![("uri", Value::str(d.site.file.clone()))]),
+                    ),
+                    ("region", Value::obj(vec![("startLine", Value::Num(line))])),
+                ]),
+            )])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::Severity;
+    use php_front::Span;
+    use proptest::prelude::*;
+    use webssari_ir::Site;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                rule: "unsanitized-sink",
+                severity: Severity::Error,
+                message: "tainted data may reach echo() via $x".to_owned(),
+                site: Site::new("a.php", 3, Span::new(10, 20), "echo $x;"),
+            },
+            Diagnostic {
+                rule: "recursion-cutoff-approximation",
+                severity: Severity::Note,
+                message: "call degrades".to_owned(),
+                site: Site::synthetic("a.php", "r($x)"),
+            },
+        ]
+    }
+
+    #[test]
+    fn document_shape_is_sarif_2_1_0() {
+        let doc = to_sarif(&sample());
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        assert_eq!(
+            doc.get("$schema").and_then(Value::as_str),
+            Some(SARIF_SCHEMA)
+        );
+        let run = &doc.get("runs").and_then(Value::as_arr).unwrap()[0];
+        let driver = run.get("tool").and_then(|t| t.get("driver")).unwrap();
+        assert_eq!(driver.get("name").and_then(Value::as_str), Some("webssari"));
+        let rules = driver.get("rules").and_then(Value::as_arr).unwrap();
+        assert_eq!(rules.len(), RULES.len());
+        let results = run.get("results").and_then(Value::as_arr).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("ruleId").and_then(Value::as_str),
+            Some("unsanitized-sink")
+        );
+        assert_eq!(
+            results[0].get("level").and_then(Value::as_str),
+            Some("error")
+        );
+    }
+
+    #[test]
+    fn synthetic_sites_clamp_start_line_to_one() {
+        let doc = to_sarif(&sample());
+        let run = &doc.get("runs").and_then(Value::as_arr).unwrap()[0];
+        let results = run.get("results").and_then(Value::as_arr).unwrap();
+        let start = results[1]
+            .get("locations")
+            .and_then(Value::as_arr)
+            .and_then(|l| l[0].get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .and_then(|r| r.get("startLine"))
+            .and_then(Value::as_u64);
+        assert_eq!(start, Some(1));
+    }
+
+    fn diag() -> impl Strategy<Value = Diagnostic> {
+        (
+            0usize..RULES.len(),
+            0usize..3,
+            ".{0,40}",
+            ".{1,20}",
+            0u32..100,
+            ".{0,30}",
+        )
+            .prop_map(|(rule, sev, message, file, line, snippet)| Diagnostic {
+                rule: RULES[rule],
+                severity: [Severity::Error, Severity::Warning, Severity::Note][sev],
+                message,
+                site: Site::new(file, line, Span::new(0, 0), &snippet),
+            })
+    }
+
+    proptest! {
+        /// Satellite (c): every emitted report parses back through the
+        /// jsonio parser, and every result carries a non-empty ruleId, a
+        /// valid level, and a physical location with a uri and a
+        /// startLine >= 1 — for arbitrary messages, file names (incl.
+        /// quotes, backslashes, non-ASCII), and line numbers (incl. 0).
+        #[test]
+        fn sarif_round_trips_through_jsonio(diags in proptest::collection::vec(diag(), 0..8)) {
+            let json = to_sarif_json(&diags);
+            let doc = jsonio::parse(&json).expect("emitted SARIF must re-parse");
+            prop_assert_eq!(doc.clone(), to_sarif(&diags));
+            let run = &doc.get("runs").and_then(Value::as_arr).unwrap()[0];
+            let results = run.get("results").and_then(Value::as_arr).unwrap();
+            prop_assert_eq!(results.len(), diags.len());
+            for (r, d) in results.iter().zip(&diags) {
+                let rule = r.get("ruleId").and_then(Value::as_str).unwrap();
+                prop_assert!(!rule.is_empty());
+                prop_assert_eq!(rule, d.rule);
+                let level = r.get("level").and_then(Value::as_str).unwrap();
+                prop_assert!(matches!(level, "error" | "warning" | "note"));
+                let loc = &r.get("locations").and_then(Value::as_arr).unwrap()[0];
+                let phys = loc.get("physicalLocation").unwrap();
+                let uri = phys
+                    .get("artifactLocation")
+                    .and_then(|a| a.get("uri"))
+                    .and_then(Value::as_str)
+                    .unwrap();
+                prop_assert_eq!(uri, d.site.file.as_str());
+                let start = phys
+                    .get("region")
+                    .and_then(|r| r.get("startLine"))
+                    .and_then(Value::as_u64)
+                    .unwrap();
+                prop_assert!(start >= 1);
+            }
+        }
+    }
+}

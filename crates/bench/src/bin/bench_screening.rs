@@ -1,0 +1,97 @@
+//! Runs the screening suite (tiered TS→slice→BMC pipeline vs the raw
+//! BMC check over the Figure 10 corpus) and writes `BENCH_screen.json`.
+//!
+//! ```text
+//! cargo run --release -p webssari-bench --bin bench_screening         # full run → BENCH_screen.json
+//! cargo run --release -p webssari-bench --bin bench_screening -- \
+//!     --fast --out BENCH_screen.fast.json --check BENCH_screen.json   # CI smoke mode
+//! ```
+//!
+//! `--fast` measures a prefix of the corpus with fewer repetitions.
+//! `--check FILE` compares this run's deterministic outcomes —
+//! assertion counts, discharge counts, counterexample fingerprints,
+//! never wall times — against a committed baseline, rejects a baseline
+//! whose discharge fraction is zero, and exits non-zero on mismatch.
+
+use std::process::ExitCode;
+
+use webssari_bench::screening;
+
+fn main() -> ExitCode {
+    let mut fast = false;
+    let mut out = String::from("BENCH_screen.json");
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(p) => check = Some(p),
+                None => return usage("--check needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let suite = screening::run_suite(fast);
+    for p in &suite.projects {
+        println!(
+            "{:<24} {:>3} file(s) {:>4} assert(s) {:>4} discharged  \
+             CNF {:>6}→{:<6}  raw {:>9.3?}  screened {:>9.3?}",
+            p.name,
+            p.files,
+            p.assertions,
+            p.discharged,
+            p.full_cnf_vars,
+            p.sliced_cnf_vars,
+            p.full_wall,
+            p.screened_wall,
+        );
+    }
+    println!(
+        "discharged {:.2}% of assertions; CNF vars -{:.2}%, clauses -{:.2}%; speedup {:.2}x",
+        suite.discharge_pct_x100() as f64 / 100.0,
+        suite.cnf_var_reduction_pct_x100() as f64 / 100.0,
+        suite.cnf_clause_reduction_pct_x100() as f64 / 100.0,
+        suite.speedup_x100() as f64 / 100.0,
+    );
+
+    let doc = suite.to_json().to_json();
+    if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if let Some(baseline_path) = check {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(baseline) = jsonio::parse(&text) else {
+            eprintln!("error: {baseline_path} is not valid JSON");
+            return ExitCode::FAILURE;
+        };
+        match suite.check_against(&baseline) {
+            Ok(()) => println!("deterministic outcomes match {baseline_path}"),
+            Err(e) => {
+                eprintln!("error: screening regression against {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench_screening [--fast] [--out FILE] [--check FILE]");
+    ExitCode::FAILURE
+}

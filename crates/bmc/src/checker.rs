@@ -82,6 +82,12 @@ pub struct XbmcStats {
     /// Clauses removed by formula preprocessing (tautologies and
     /// root-satisfied clauses).
     pub pre_clauses_removed: u64,
+    /// Assertions discharged statically before encoding (filled by the
+    /// screening tier in `webssari-core`; always 0 for a bare check).
+    pub assertions_discharged: u64,
+    /// CNF variables the cone-of-influence slice removed relative to
+    /// encoding the full program (filled by the screening tier).
+    pub cnf_vars_saved: u64,
 }
 
 impl XbmcStats {

@@ -344,6 +344,139 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Screening equivalence: the static screening tier (typestate discharge
+// plus cone-of-influence slicing, `webssari-analysis`) must be
+// observationally invisible — identical verdicts, counterexample sets,
+// traces, and fix plans, with screening on or off, under full and
+// budgeted checks alike.
+// ---------------------------------------------------------------------
+
+/// Replicates the tiered check the core verifier runs when screening is
+/// on: typestate, static discharge, BMC over the slice, counter merge,
+/// and trace re-replay against the full program.
+fn screened_check(ai: &AiProgram, options: CheckOptions) -> CheckResult {
+    let lattice = TwoPoint::new();
+    let ts = typestate::analyze(ai, &lattice);
+    let screened = webssari_analysis::screen(ai, &ts, &lattice);
+    let discharged = screened.discharged.len();
+    let mut result = if screened.all_discharged() {
+        CheckResult::default()
+    } else {
+        Xbmc::with_options(&screened.sliced, options).check_all()
+    };
+    result.checked_assertions += discharged;
+    for cx in &mut result.counterexamples {
+        cx.trace = xbmc::replay_trace(ai, &cx.branches, cx.assert_id);
+    }
+    result
+}
+
+/// Channel variables (superglobals) under the standard prelude, as the
+/// core verifier computes them before planning fixes.
+fn channels(ai: &AiProgram) -> BTreeSet<VarId> {
+    let prelude = Prelude::standard();
+    ai.vars
+        .iter()
+        .filter(|v| prelude.is_superglobal(ai.vars.name(*v)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Screening on randomized IR programs: identical counterexamples
+    /// (ids, branch assignments, and re-replayed traces), identical
+    /// checked/violated counts, and identical minimal fixing sets.
+    #[test]
+    fn screening_is_observationally_invisible(protos in proto_strategy()) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 8);
+        let full = Xbmc::new(&p).check_all();
+        let screened = screened_check(&p, CheckOptions::default());
+        prop_assert_eq!(&screened.counterexamples, &full.counterexamples);
+        prop_assert_eq!(screened.checked_assertions, full.checked_assertions);
+        prop_assert_eq!(screened.violated_assertions, full.violated_assertions);
+        prop_assert!(!screened.interrupted);
+        let chans = channels(&p);
+        prop_assert_eq!(
+            fixes::minimal_fixing_set_with(&screened.counterexamples, &chans, false),
+            fixes::minimal_fixing_set_with(&full.counterexamples, &chans, false)
+        );
+    }
+
+    /// Budget-interrupt mode under screening: a budgeted screened check
+    /// either completes with exactly the unscreened counterexample set
+    /// or flags interruption and reports a subset of it. Discharged
+    /// assertions never consume budget, so screening can only complete
+    /// *more* often — never report something the full check would not.
+    #[test]
+    fn budgeted_screening_is_sound(protos in proto_strategy(), max_conflicts in 0u64..5) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 6);
+        let expected: BTreeSet<(u32, Vec<bool>)> =
+            key(&Xbmc::new(&p).check_all()).into_iter().collect();
+        let r = screened_check(
+            &p,
+            CheckOptions {
+                budget: Some(sat::Budget::new().max_conflicts(max_conflicts)),
+                ..CheckOptions::default()
+            },
+        );
+        let got: BTreeSet<(u32, Vec<bool>)> = key(&r).into_iter().collect();
+        if r.interrupted {
+            prop_assert!(got.is_subset(&expected));
+        } else {
+            prop_assert_eq!(got, expected);
+        }
+    }
+}
+
+/// PHP-derived programs: screening must preserve counterexamples,
+/// traces, and fix plans on every seed, and across the corpus the
+/// screening tier must actually discharge a nonzero number of
+/// assertions (otherwise the tier is vacuous and this harness proves
+/// nothing).
+#[test]
+fn php_derived_screening_preserves_reports() {
+    let lattice = TwoPoint::new();
+    let mut total_discharged = 0usize;
+    let mut total_asserts = 0usize;
+    for seed in 1..=40u64 {
+        let src = random_php(seed.wrapping_mul(0x2545F4914F6CDD1D));
+        let p = ai_of(&src);
+        if p.num_assertions() == 0 {
+            continue;
+        }
+        total_asserts += p.num_assertions();
+        let ts = typestate::analyze(&p, &lattice);
+        total_discharged += webssari_analysis::screen(&p, &ts, &lattice)
+            .discharged
+            .len();
+        let full = Xbmc::new(&p).check_all();
+        let screened = screened_check(&p, CheckOptions::default());
+        assert_eq!(
+            screened.counterexamples, full.counterexamples,
+            "seed {seed}: {src}"
+        );
+        assert_eq!(
+            screened.checked_assertions, full.checked_assertions,
+            "seed {seed}: {src}"
+        );
+        let chans = channels(&p);
+        assert_eq!(
+            fixes::minimal_fixing_set_with(&screened.counterexamples, &chans, false),
+            fixes::minimal_fixing_set_with(&full.counterexamples, &chans, false),
+            "seed {seed}: fix plans must agree: {src}"
+        );
+    }
+    assert!(total_asserts > 0, "corpus generated no assertions");
+    assert!(
+        total_discharged > 0,
+        "screening discharged nothing across {total_asserts} assertions"
+    );
+}
+
 /// PHP-derived programs through the real front end: the checker on the
 /// arena solver and the reference-solver enumeration must agree on
 /// every seed, in both checker modes and with certification on.

@@ -95,6 +95,7 @@ pub struct VerifierBuilder {
     loop_unroll: usize,
     policy: Policy,
     solve_budget: SolveBudget,
+    no_screen: bool,
 }
 
 impl VerifierBuilder {
@@ -179,6 +180,18 @@ impl VerifierBuilder {
         self
     }
 
+    /// Enables or disables the static screening tier (enabled by
+    /// default). When on, assertions the typestate pass proves clean
+    /// are discharged before SAT encoding and the survivors are sliced
+    /// to their cones of influence — verdicts, counterexamples, and fix
+    /// plans are provably unchanged, only the CNF shrinks. Screening is
+    /// also skipped automatically when [`VerifierBuilder::certify`] is
+    /// set, since certificates need the full encoding.
+    pub fn screen(mut self, enabled: bool) -> Self {
+        self.no_screen = !enabled;
+        self
+    }
+
     /// Bounds each file's check with a per-file [`SolveBudget`]. A file
     /// that exhausts it degrades to [`FileOutcome::Timeout`] instead of
     /// wedging the verifier — the batch engine's defense against
@@ -199,6 +212,7 @@ impl VerifierBuilder {
             loop_unroll: self.loop_unroll.max(1),
             policy: self.policy,
             solve_budget: self.solve_budget,
+            no_screen: self.no_screen,
         }
     }
 }
@@ -216,6 +230,7 @@ pub struct Verifier {
     loop_unroll: usize,
     policy: Policy,
     solve_budget: SolveBudget,
+    no_screen: bool,
 }
 
 impl Verifier {
@@ -256,7 +271,10 @@ impl Verifier {
     /// The incremental cache hashes this string into its fingerprint so
     /// results self-invalidate when any knob changes. The solve budget
     /// is deliberately excluded: it only decides whether a check
-    /// *finishes*, and timed-out results are never cached.
+    /// *finishes*, and timed-out results are never cached. The
+    /// screening toggle is excluded for the same reason: screening is
+    /// verdict-preserving by construction (see `webssari-analysis`), so
+    /// both settings produce the same report.
     pub fn config_description(&self) -> String {
         use std::fmt::Write as _;
 
@@ -370,7 +388,41 @@ impl Verifier {
             // The wall-clock allowance starts now, per file.
             check_options.budget = Some(budget);
         }
-        let bmc = Xbmc::with_options(&ai, check_options).check_all_with(lattice);
+        // Tier 1: static screening. Assertions the TS pass proves clean
+        // are discharged before encoding; the survivors are sliced to
+        // their cones of influence. Certification needs the full
+        // encoding (certificates refer to the whole formula), so it
+        // bypasses screening.
+        let screening = !self.no_screen && !check_options.certify;
+        let bmc = if screening {
+            let screened = webssari_analysis::screen(&ai, &ts, lattice);
+            let discharged = screened.discharged.len();
+            let mut result = if screened.all_discharged() {
+                // Every assertion was proven statically: no SAT work.
+                xbmc::CheckResult::default()
+            } else {
+                Xbmc::with_options(&screened.sliced, check_options.clone()).check_all_with(lattice)
+            };
+            result.checked_assertions += discharged;
+            result.stats.assertions_discharged = discharged as u64;
+            if discharged > 0 && check_options.encoder == xbmc::EncoderKind::Renaming {
+                // How much CNF the slice saved, measured against
+                // encoding the full program with the same encoder.
+                let full_vars = xbmc::renaming::encode(&ai, lattice).formula.num_vars();
+                result.stats.cnf_vars_saved =
+                    full_vars.saturating_sub(result.stats.cnf_vars) as u64;
+            }
+            // Counterexample traces replay every executed assignment,
+            // including ones outside the cone, so re-replay them on the
+            // full program to keep reports bit-identical to an
+            // unscreened run.
+            for cx in &mut result.counterexamples {
+                cx.trace = xbmc::replay_trace(&ai, &cx.branches, cx.assert_id);
+            }
+            result
+        } else {
+            Xbmc::with_options(&ai, check_options).check_all_with(lattice)
+        };
         // Replacement chains stop before channel variables: the patch
         // sanitizes the program variable that read the channel, not the
         // superglobal itself.
@@ -510,10 +562,12 @@ echo htmlspecialchars($_GET['msg']);
 "#;
         let report = Verifier::new().verify_source(src, "safe.php").unwrap();
         assert!(report.is_safe());
-        // The echo's only argument is a sanitizer call with no variable
-        // reads, so its precondition is vacuous and only the SQL query
-        // is asserted.
-        assert_eq!(report.bmc.checked_assertions, 1);
+        // Both the SQL query and the sanitized echo are asserted (the
+        // sanitizer's result is materialized as a temp), and both are
+        // clean enough for the screening tier to discharge statically.
+        assert_eq!(report.bmc.checked_assertions, 2);
+        assert_eq!(report.bmc.stats.assertions_discharged, 2);
+        assert_eq!(report.bmc.stats.sat_calls, 0);
     }
 
     #[test]
@@ -653,6 +707,88 @@ echo htmlspecialchars($_GET['msg']);
             .verify_source("<?php echo $_GET['x'];", "f.php")
             .unwrap();
         assert_eq!(report.outcome, FileOutcome::Vulnerable);
+    }
+
+    #[test]
+    fn screening_preserves_reports_exactly() {
+        // Tier-1 discharge and cone slicing must be invisible in the
+        // report: same outcome, same counterexamples (incl. traces),
+        // same fix plan, same rendered text.
+        let srcs = [
+            "<?php echo 'hi';",
+            "<?php $x = $_GET['a']; echo $x;",
+            "<?php $x = 'ok'; if ($a) { $x = $_GET['p']; } if ($b) { $j = $_GET['z']; } \
+             echo $x; $c = 'safe'; echo $c;",
+            "<?php $sid = $_GET['sid']; $q = \"x=$sid\"; mysql_query($q); DoSQL($q);",
+        ];
+        for src in srcs {
+            let screened = Verifier::new().verify_source(src, "f.php").unwrap();
+            let plain = VerifierBuilder::new()
+                .screen(false)
+                .build()
+                .verify_source(src, "f.php")
+                .unwrap();
+            assert_eq!(screened.outcome, plain.outcome, "{src}");
+            assert_eq!(
+                screened.bmc.counterexamples, plain.bmc.counterexamples,
+                "{src}"
+            );
+            assert_eq!(
+                screened.bmc.checked_assertions,
+                plain.bmc.checked_assertions
+            );
+            assert_eq!(screened.fix_plan, plain.fix_plan, "{src}");
+            assert_eq!(screened.render_text(), plain.render_text(), "{src}");
+            assert_eq!(plain.bmc.stats.assertions_discharged, 0);
+        }
+    }
+
+    #[test]
+    fn screening_counters_report_savings() {
+        // One clean assertion discharged, one tainted survivor: the
+        // sliced CNF must be strictly smaller than the full one.
+        let src = "<?php $x = $_GET['a']; echo $x; $y = 'ok'; mysql_query($y); \
+                   if ($c) { $j = $_GET['z']; } echo 'lit';";
+        let report = Verifier::new().verify_source(src, "f.php").unwrap();
+        assert!(report.bmc.stats.assertions_discharged >= 1);
+        assert!(report.bmc.stats.cnf_vars_saved > 0);
+        let plain = VerifierBuilder::new()
+            .screen(false)
+            .build()
+            .verify_source(src, "f.php")
+            .unwrap();
+        assert!(report.bmc.stats.cnf_vars < plain.bmc.stats.cnf_vars);
+        assert_eq!(plain.bmc.stats.cnf_vars_saved, 0);
+    }
+
+    #[test]
+    fn certification_bypasses_screening() {
+        // DRAT certificates refer to the full program formula, so the
+        // screening tier must stand aside when certifying.
+        let report = VerifierBuilder::new()
+            .certify(true)
+            .build()
+            .verify_source("<?php echo 'safe'; $q = 'x'; mysql_query($q);", "f.php")
+            .unwrap();
+        assert!(report.is_safe());
+        assert_eq!(report.bmc.stats.assertions_discharged, 0);
+        assert!(!report.bmc.certificates.is_empty());
+    }
+
+    #[test]
+    fn all_discharged_skips_sat_entirely() {
+        let report = Verifier::new()
+            .verify_source(
+                "<?php $x = 'a'; echo $x; $y = $x; mysql_query($y);",
+                "f.php",
+            )
+            .unwrap();
+        assert_eq!(report.outcome, FileOutcome::Verified);
+        assert_eq!(report.bmc.checked_assertions, 2);
+        assert_eq!(report.bmc.stats.assertions_discharged, 2);
+        assert_eq!(report.bmc.stats.sat_calls, 0);
+        assert_eq!(report.bmc.stats.cnf_vars, 0);
+        assert!(report.bmc.stats.cnf_vars_saved > 0);
     }
 
     #[test]

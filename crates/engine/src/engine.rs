@@ -419,6 +419,8 @@ impl Engine {
                         sat_calls: 0,
                         pre_units_fixed: 0,
                         pre_clauses_removed: 0,
+                        assertions_discharged: 0,
+                        cnf_vars_saved: 0,
                     });
                     report.files.push(EngineFileResult {
                         summary,
@@ -447,6 +449,8 @@ impl Engine {
                                 sat_calls: stats.sat_calls,
                                 pre_units_fixed: stats.pre_units_fixed,
                                 pre_clauses_removed: stats.pre_clauses_removed,
+                                assertions_discharged: stats.assertions_discharged,
+                                cnf_vars_saved: stats.cnf_vars_saved,
                             });
                             report.files.push(EngineFileResult {
                                 summary,
@@ -469,6 +473,8 @@ impl Engine {
                                 sat_calls: 0,
                                 pre_units_fixed: 0,
                                 pre_clauses_removed: 0,
+                                assertions_discharged: 0,
+                                cnf_vars_saved: 0,
                             });
                             report.failed_files.push((done.file, e.to_string()));
                         }

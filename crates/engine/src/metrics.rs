@@ -37,6 +37,10 @@ pub struct FileMetrics {
     pub pre_units_fixed: u64,
     /// Clauses removed by formula preprocessing before attachment.
     pub pre_clauses_removed: u64,
+    /// Assertions discharged statically by the screening tier.
+    pub assertions_discharged: u64,
+    /// CNF variables the cone-of-influence slice removed.
+    pub cnf_vars_saved: u64,
 }
 
 /// Aggregate metrics for one engine run, with per-file breakdown in
@@ -86,6 +90,16 @@ impl EngineMetrics {
         self.files.iter().map(|f| f.pre_clauses_removed).sum()
     }
 
+    /// Total assertions discharged statically across all files.
+    pub fn total_assertions_discharged(&self) -> u64 {
+        self.files.iter().map(|f| f.assertions_discharged).sum()
+    }
+
+    /// Total CNF variables saved by slicing across all files.
+    pub fn total_cnf_vars_saved(&self) -> u64 {
+        self.files.iter().map(|f| f.cnf_vars_saved).sum()
+    }
+
     /// Files with the given outcome.
     pub fn count(&self, outcome: FileOutcome) -> usize {
         self.files.iter().filter(|f| f.outcome == outcome).count()
@@ -119,6 +133,12 @@ impl EngineMetrics {
             self.total_propagations(),
             self.total_pre_units_fixed(),
             self.total_pre_clauses_removed(),
+        );
+        let _ = writeln!(
+            out,
+            "screening: {} assertion(s) discharged statically, {} CNF var(s) saved",
+            self.total_assertions_discharged(),
+            self.total_cnf_vars_saved(),
         );
         let _ = writeln!(
             out,
@@ -163,6 +183,8 @@ impl EngineMetrics {
                     ("sat_calls", Value::Num(f.sat_calls as u64)),
                     ("pre_units_fixed", Value::Num(f.pre_units_fixed)),
                     ("pre_clauses_removed", Value::Num(f.pre_clauses_removed)),
+                    ("assertions_discharged", Value::Num(f.assertions_discharged)),
+                    ("cnf_vars_saved", Value::Num(f.cnf_vars_saved)),
                 ])
             })
             .collect();
@@ -173,6 +195,14 @@ impl EngineMetrics {
             ("cache_misses", Value::Num(self.cache_misses as u64)),
             ("total_conflicts", Value::Num(self.total_conflicts())),
             ("total_sat_calls", Value::Num(self.total_sat_calls() as u64)),
+            (
+                "total_assertions_discharged",
+                Value::Num(self.total_assertions_discharged()),
+            ),
+            (
+                "total_cnf_vars_saved",
+                Value::Num(self.total_cnf_vars_saved()),
+            ),
             ("files", Value::Arr(files)),
         ])
         .to_json()
@@ -220,6 +250,8 @@ mod tests {
                     sat_calls: 0,
                     pre_units_fixed: 0,
                     pre_clauses_removed: 0,
+                    assertions_discharged: 0,
+                    cnf_vars_saved: 0,
                 },
                 FileMetrics {
                     file: "b.php".to_owned(),
@@ -235,6 +267,8 @@ mod tests {
                     sat_calls: 5,
                     pre_units_fixed: 9,
                     pre_clauses_removed: 3,
+                    assertions_discharged: 2,
+                    cnf_vars_saved: 11,
                 },
             ],
         }
@@ -247,6 +281,8 @@ mod tests {
         assert_eq!(m.total_sat_calls(), 5);
         assert_eq!(m.total_pre_units_fixed(), 9);
         assert_eq!(m.total_pre_clauses_removed(), 3);
+        assert_eq!(m.total_assertions_discharged(), 2);
+        assert_eq!(m.total_cnf_vars_saved(), 11);
         assert_eq!(m.count(FileOutcome::Verified), 1);
         assert_eq!(m.count(FileOutcome::Timeout), 0);
     }
@@ -258,6 +294,7 @@ mod tests {
         assert!(text.contains("1 hit(s), 1 miss(es)"));
         assert!(text.contains("a.php"));
         assert!(text.contains("vulnerable"));
+        assert!(text.contains("2 assertion(s) discharged statically, 11 CNF var(s) saved"));
     }
 
     #[test]
@@ -273,6 +310,16 @@ mod tests {
         assert_eq!(
             files[1].get("pre_units_fixed").and_then(Value::as_u64),
             Some(9)
+        );
+        assert_eq!(
+            files[1]
+                .get("assertions_discharged")
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("total_cnf_vars_saved").and_then(Value::as_u64),
+            Some(11)
         );
     }
 }

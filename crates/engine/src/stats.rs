@@ -40,6 +40,8 @@ struct Counters {
     sat_calls: AtomicU64,
     pre_units_fixed: AtomicU64,
     pre_clauses_removed: AtomicU64,
+    assertions_discharged: AtomicU64,
+    cnf_vars_saved: AtomicU64,
 }
 
 /// One point-in-time read of [`EngineStats`]. Individual fields are
@@ -81,6 +83,10 @@ pub struct EngineSnapshot {
     pub pre_units_fixed: u64,
     /// Clauses removed by formula preprocessing before attachment.
     pub pre_clauses_removed: u64,
+    /// Assertions discharged statically by the screening tier.
+    pub assertions_discharged: u64,
+    /// CNF variables the cone-of-influence slice removed.
+    pub cnf_vars_saved: u64,
 }
 
 impl EngineSnapshot {
@@ -131,6 +137,8 @@ impl EngineStats {
             sat_calls: load(&c.sat_calls),
             pre_units_fixed: load(&c.pre_units_fixed),
             pre_clauses_removed: load(&c.pre_clauses_removed),
+            assertions_discharged: load(&c.assertions_discharged),
+            cnf_vars_saved: load(&c.cnf_vars_saved),
         }
     }
 
@@ -187,6 +195,12 @@ impl EngineStats {
             self.inner
                 .pre_clauses_removed
                 .fetch_add(s.pre_clauses_removed, Ordering::Relaxed);
+            self.inner
+                .assertions_discharged
+                .fetch_add(s.assertions_discharged, Ordering::Relaxed);
+            self.inner
+                .cnf_vars_saved
+                .fetch_add(s.cnf_vars_saved, Ordering::Relaxed);
         }
     }
 

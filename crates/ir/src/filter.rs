@@ -550,7 +550,18 @@ impl Filter<'_> {
             return FExpr::Var(tmp);
         }
         if let Some(level) = self.prelude.sanitizer_level(&lower) {
-            return FExpr::Const(level);
+            // Materialize the sanitizer's result as a temp so downstream
+            // diagnostics can tell whether it ever reaches a sink.
+            let k = self.call_counter;
+            self.call_counter += 1;
+            let tmp = self.out.vars.intern(&format!("{lower}#san{k}"));
+            out.push(FCmd::Assign {
+                var: tmp,
+                expr: FExpr::Const(level),
+                mask: None,
+                site: self.site(span),
+            });
+            return FExpr::Var(tmp);
         }
         if let Some(level) = self.prelude.uic_level(&lower) {
             return FExpr::Const(level);
@@ -595,6 +606,10 @@ impl Filter<'_> {
             if depth < self.options.max_inline_depth {
                 return self.inline_function(&lower, &info, args, arg_fs, span, scope, out);
             }
+            // Depth cutoff: the call degrades to join-of-arguments; record
+            // the exact call site so diagnostics can point at it.
+            let site = self.site(span);
+            self.out.recursion_cutoffs.push(site);
         }
         // Unknown function: taint propagates from arguments to result.
         FExpr::Join(arg_fs)
@@ -872,9 +887,24 @@ impl Filter<'_> {
                     });
                 }
             }
-            Stmt::Include { .. } => {
-                // Includes are resolved before filtering; a leftover one
-                // (dynamic path) contributes no information flow.
+            Stmt::Include { path, span, .. } => {
+                // Constant-path includes are spliced before filtering; a
+                // leftover one has a dynamic path. Its content is unknown,
+                // but the path itself flows to a sensitive channel: a
+                // tainted path is a file-inclusion vulnerability.
+                let f = self.lower_expr(path, scope, out);
+                let vars = f.vars();
+                if !vars.is_empty() {
+                    if let Some(spec) = self.prelude.soc("include") {
+                        out.push(FCmd::Soc {
+                            func: "include".to_owned(),
+                            args: vars,
+                            bound: spec.bound,
+                            strict: spec.strict,
+                            site: self.site(*span),
+                        });
+                    }
+                }
             }
             Stmt::Global(names, _) => {
                 if let ScopeKind::Function { globals, .. } = &mut scope.kind {
@@ -1019,9 +1049,18 @@ mod tests {
     #[test]
     fn sanitizer_resets_taint() {
         let p = filter("<?php $x = htmlspecialchars($_GET['q']);");
-        match assigns_to(&p, "x")[0] {
+        // The sanitizer materializes an untainted temp…
+        match assigns_to(&p, "htmlspecialchars#san0")[0] {
             FCmd::Assign { expr, .. } => {
                 assert_eq!(expr, &FExpr::Const(taint_lattice::TwoPoint::UNTAINTED));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // …and the program variable copies from it.
+        match assigns_to(&p, "x")[0] {
+            FCmd::Assign { expr, .. } => {
+                let tmp = p.vars.lookup("htmlspecialchars#san0").unwrap();
+                assert_eq!(expr, &FExpr::Var(tmp));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1142,6 +1181,39 @@ mod tests {
         let p = filter("<?php function r($x) { return r($x); } $y = r($_GET['q']); echo $y;");
         // Must terminate; inner recursive calls degrade to join-of-args.
         assert!(p.num_commands() > 0);
+        // The degraded call records its exact call site.
+        assert_eq!(p.recursion_cutoffs.len(), 1);
+        let site = &p.recursion_cutoffs[0];
+        assert!(!site.is_synthetic());
+        assert!(site.snippet.contains("r($x)"), "{:?}", site.snippet);
+    }
+
+    #[test]
+    fn non_recursive_programs_record_no_cutoffs() {
+        let p = filter("<?php function w($s) { return $s; } echo w($_GET['x']);");
+        assert!(p.recursion_cutoffs.is_empty());
+    }
+
+    #[test]
+    fn dynamic_include_path_is_a_file_inclusion_soc() {
+        let p = filter("<?php include $_GET['page'];");
+        assert_eq!(p.num_socs(), 1);
+        fn find_soc(cmds: &[FCmd]) -> Option<&FCmd> {
+            cmds.iter().find(|c| matches!(c, FCmd::Soc { .. }))
+        }
+        match find_soc(&p.cmds).expect("one soc") {
+            FCmd::Soc { func, args, .. } => {
+                assert_eq!(func, "include");
+                assert_eq!(args, &vec![p.vars.lookup("_GET").unwrap()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_include_path_is_not_a_soc() {
+        let p = filter("<?php include 'header.php';");
+        assert_eq!(p.num_socs(), 0);
     }
 
     #[test]

@@ -139,6 +139,10 @@ pub struct FProgram {
     pub vars: VarTable,
     /// Top-level command sequence.
     pub cmds: Vec<FCmd>,
+    /// Call sites where the recursion/inlining depth cutoff degraded a
+    /// user-function call to the join of its arguments. Each entry is an
+    /// over-approximation point downstream diagnostics can report.
+    pub recursion_cutoffs: Vec<Site>,
 }
 
 impl FProgram {
@@ -299,6 +303,7 @@ mod tests {
         let x = vars.intern("x");
         let p = FProgram {
             vars,
+            recursion_cutoffs: Vec::new(),
             cmds: vec![
                 FCmd::Assign {
                     var: x,

@@ -178,6 +178,10 @@ impl Prelude {
             .insert("setcookie".to_owned(), soc(top, "response-splitting", None));
         p.soc
             .insert("mail".to_owned(), soc(top, "mail-injection", None));
+        // Dynamic `include $x` / `require $x` statements are lowered to
+        // this pseudo-channel when the path expression reads variables.
+        p.soc
+            .insert("include".to_owned(), soc(top, "file-inclusion", None));
 
         // --- Sanitization routines: postcondition resets to ⊥.
         for f in [

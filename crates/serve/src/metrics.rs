@@ -332,6 +332,23 @@ impl ServerMetrics {
                 "webssari_engine_solver_events_total{{kind=\"{kind}\"}} {count}",
             );
         }
+
+        metric(
+            &mut out,
+            "webssari_engine_screening_total",
+            "counter",
+            "Static screening activity: assertions discharged before SAT \
+             and CNF variables saved by cone slicing.",
+        );
+        for (kind, count) in [
+            ("assertions_discharged", engine.assertions_discharged),
+            ("cnf_vars_saved", engine.cnf_vars_saved),
+        ] {
+            let _ = writeln!(
+                out,
+                "webssari_engine_screening_total{{kind=\"{kind}\"}} {count}",
+            );
+        }
         out
     }
 }
@@ -384,6 +401,8 @@ mod tests {
             sat_calls: 7,
             pre_units_fixed: 11,
             pre_clauses_removed: 2,
+            assertions_discharged: 5,
+            cnf_vars_saved: 42,
             ..EngineSnapshot::default()
         };
         let text = m.render_prometheus(&snap, 0, 4);
@@ -395,6 +414,8 @@ mod tests {
         assert!(
             text.contains("webssari_engine_solver_events_total{kind=\"pre_clauses_removed\"} 2")
         );
+        assert!(text.contains("webssari_engine_screening_total{kind=\"assertions_discharged\"} 5"));
+        assert!(text.contains("webssari_engine_screening_total{kind=\"cnf_vars_saved\"} 42"));
         // Every exposed line is HELP, TYPE, or a sample.
         for line in text.lines() {
             assert!(

@@ -1,0 +1,8 @@
+<?php
+// A sanitizer whose result never reaches any sink: the cleaned value
+// is computed and then overwritten before the echo. `webssari lint`
+// reports a warning-level `dead-sanitizer` (and an error for the raw
+// value that actually flows out).
+$clean = htmlspecialchars($_GET['q']);
+$out = $_GET['q'];
+echo $out;

@@ -1,0 +1,6 @@
+<?php
+// A dynamic include whose path carries request data — the classic
+// remote-file-inclusion shape. `webssari lint` reports it under its own
+// rule id, `tainted-include`, at error level.
+$page = $_GET['page'];
+include($page);

@@ -1,0 +1,9 @@
+<?php
+// The sanitized counterpart: every request parameter is cleaned before
+// it reaches an output channel. The screening tier discharges both
+// assertions statically (no SAT work), and `webssari lint` finds
+// nothing.
+$name = htmlspecialchars($_GET['name']);
+echo $name;
+$limit = intval($_GET['limit']);
+mysql_query("SELECT * FROM posts LIMIT $limit");

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "verify" => cmd_verify(rest),
+        "lint" => cmd_lint(rest),
         "patch" => cmd_patch(rest),
         "stages" => cmd_stages(rest),
         "serve" => cmd_serve(rest),
@@ -49,6 +50,7 @@ webssari — verify and patch PHP web applications (DSN'04 reproduction)
 
 USAGE:
     webssari verify <path>... [--exact] [--prelude FILE] [--summary]
+    webssari lint   <path>... [--sarif FILE] [--prelude FILE]
     webssari patch  <path>... [--mode bmc|ts] [--write] [--suffix SUF]
     webssari stages <file.php>
     webssari serve  [--addr HOST:PORT] [--jobs N] [--cache-dir DIR]
@@ -57,6 +59,10 @@ USAGE:
 COMMANDS:
     verify   Check every .php file; print grouped reports with
              counterexample traces. Exits 1 if vulnerabilities exist.
+    lint     Static lint pass only (no SAT): taint findings, dead
+             sanitizers, unreachable code, approximation points — with
+             stable rule ids. Exits 1 if any error-level finding exists.
+             With --sarif FILE a SARIF 2.1.0 report is also written.
     patch    Insert runtime sanitization guards. By default writes
              <file>.patched.php; --write rewrites files in place.
     stages   Print every pipeline stage for one file: F(p), AI(F(p)),
@@ -76,6 +82,11 @@ OPTIONS:
                      assertion that holds (machine-checked soundness).
     --min-guards     Weight the fixing set by introduction points, so
                      patches minimize inserted guard lines.
+    --no-screen      Disable the static screening tier (tier-1 discharge
+                     and cone-of-influence slicing before SAT). Results
+                     are identical either way; this is the escape hatch
+                     for timing the raw BMC.
+    --sarif FILE     (lint) Also write a SARIF 2.1.0 report.
     --prelude FILE   Load extra UIC/SOC/sanitizer contracts (one per
                      line: `uic f`, `soc f class [args=0,1]`,
                      `sanitizer f`, `superglobal NAME`).
@@ -124,6 +135,8 @@ struct CommonOptions {
     cache_dir: Option<PathBuf>,
     solve_budget_ms: Option<u64>,
     metrics_json: Option<PathBuf>,
+    no_screen: bool,
+    sarif: Option<PathBuf>,
 }
 
 fn parse_options(args: &[String]) -> Result<CommonOptions, String> {
@@ -144,6 +157,8 @@ fn parse_options(args: &[String]) -> Result<CommonOptions, String> {
         cache_dir: None,
         solve_budget_ms: None,
         metrics_json: None,
+        no_screen: false,
+        sarif: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -206,6 +221,12 @@ fn parse_options(args: &[String]) -> Result<CommonOptions, String> {
                     it.next().ok_or("--metrics-json needs a file argument")?,
                 ));
             }
+            "--no-screen" => opts.no_screen = true,
+            "--sarif" => {
+                opts.sarif = Some(PathBuf::from(
+                    it.next().ok_or("--sarif needs a file argument")?,
+                ));
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}"));
             }
@@ -218,12 +239,11 @@ fn parse_options(args: &[String]) -> Result<CommonOptions, String> {
     Ok(opts)
 }
 
-fn build_verifier(opts: &CommonOptions) -> Result<Verifier, String> {
-    let mut builder = VerifierBuilder::new();
+/// The prelude implied by `--multiclass`/`--prelude`, shared by the
+/// verifier builder and the lint pass.
+fn load_prelude(opts: &CommonOptions) -> Result<Prelude, String> {
     let mut prelude = if opts.multiclass {
-        let (_, p) = Prelude::multiclass();
-        builder = builder.multiclass();
-        p
+        Prelude::multiclass().1
     } else {
         Prelude::standard()
     };
@@ -234,9 +254,17 @@ fn build_verifier(opts: &CommonOptions) -> Result<Verifier, String> {
             .extend_from_str(&text)
             .map_err(|e| format!("bad prelude {}: {e}", file.display()))?;
     }
+    Ok(prelude)
+}
+
+fn build_verifier(opts: &CommonOptions) -> Result<Verifier, String> {
+    let mut builder = VerifierBuilder::new();
+    if opts.multiclass {
+        builder = builder.multiclass();
+    }
     // Install the (possibly extended) prelude; after `.multiclass()`
     // this keeps the multi-class policy but carries the extensions.
-    builder = builder.prelude(prelude);
+    builder = builder.prelude(load_prelude(opts)?);
     if let Some(ms) = opts.solve_budget_ms {
         builder = builder
             .solve_budget(SolveBudget::unlimited().wall_time(std::time::Duration::from_millis(ms)));
@@ -245,6 +273,7 @@ fn build_verifier(opts: &CommonOptions) -> Result<Verifier, String> {
         .exact_fixing_set(opts.exact)
         .certify(opts.certify)
         .minimize_guard_lines(opts.min_guards)
+        .screen(!opts.no_screen)
         .build())
 }
 
@@ -459,6 +488,81 @@ fn cmd_verify_engine(opts: &CommonOptions, verifier: Verifier, sources: &SourceS
             .unwrap_or_default(),
     );
     if report.is_vulnerable() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    use webssari::analysis::{lint_file, to_sarif_json, Severity};
+
+    let opts = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let prelude = match load_prelude(&opts) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let (sources, _) = match collect_sources(&opts.paths) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    if sources.is_empty() {
+        return fail("no .php files found");
+    }
+    let filter_options = FilterOptions::default();
+    let mut diagnostics = Vec::new();
+    for (name, src) in sources.iter() {
+        let result = if opts.multiclass {
+            lint_file(
+                src,
+                name,
+                &prelude,
+                &filter_options,
+                &Prelude::multiclass().0,
+            )
+        } else {
+            lint_file(
+                src,
+                name,
+                &prelude,
+                &filter_options,
+                &webssari::lattice::TwoPoint::new(),
+            )
+        };
+        match result {
+            Ok(ds) => diagnostics.extend(ds),
+            Err(e) => eprintln!("SKIPPED {name}: {e}"),
+        }
+    }
+    for d in &diagnostics {
+        println!("{}", d.render());
+    }
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    println!(
+        "{} finding(s) in {} file(s): {} error(s), {} warning(s), {} note(s)",
+        diagnostics.len(),
+        sources.len(),
+        errors,
+        warnings,
+        diagnostics.len() - errors - warnings,
+    );
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = std::fs::write(path, to_sarif_json(&diagnostics)) {
+            return fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        println!("SARIF report written to {}", path.display());
+    }
+    if errors > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -13,6 +13,7 @@
 //! | [`bmc`] | `xbmc` | bounded model checker, both encodings, counterexample enumeration |
 //! | [`fixes`] | `fixes` | replacement sets, MINIMUM-INTERSECTING-SET, greedy/exact solvers |
 //! | [`ts`] | `typestate` | the TS baseline (flow-sensitive taint dataflow) |
+//! | [`analysis`] | `webssari-analysis` | static screening: cone-of-influence slicing, tiered TS→BMC discharge, lint + SARIF |
 //! | [`core`] | `webssari-core` | the [`Verifier`] pipeline, reports, instrumentor |
 //! | [`engine`] | `webssari-engine` | parallel batch verification: worker pool, cache, budgets, metrics |
 //! | [`serve`] | `webssari-serve` | long-running verification daemon: HTTP API, bounded queue, Prometheus metrics |
@@ -83,6 +84,12 @@ pub mod fixes {
 /// The typestate baseline.
 pub mod ts {
     pub use typestate::*;
+}
+
+/// Static screening and diagnostics: cone-of-influence slicing, tiered
+/// discharge, taint lint with SARIF export.
+pub mod analysis {
+    pub use webssari_analysis::*;
 }
 
 /// The full pipeline (same items as the crate root).
