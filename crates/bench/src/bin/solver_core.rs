@@ -11,7 +11,10 @@
 //! (and their fingerprints) identical to full mode. `--check FILE`
 //! compares this run's deterministic outcomes — verdicts and
 //! enumeration fingerprints, never wall times — against a committed
-//! baseline and exits non-zero on any mismatch.
+//! baseline and exits non-zero on any mismatch. Every run additionally
+//! enforces the cube-generalization vacuity guard: if the cube
+//! enumeration workloads never dropped a literal (every blocking cube
+//! full-width), the run fails regardless of `--check`.
 
 use std::process::ExitCode;
 
@@ -53,6 +56,15 @@ fn main() -> ExitCode {
         "propagation-bound speedup: {:.2}x",
         suite.propagation_speedup_x100() as f64 / 100.0
     );
+    println!(
+        "cube-enumeration speedup: {:.2}x (mean assignments per cube: {:.2})",
+        suite.cube_enumeration_speedup_x100() as f64 / 100.0,
+        suite.mean_assignments_per_cube_x100() as f64 / 100.0
+    );
+    if let Err(e) = suite.vacuity_guard() {
+        eprintln!("error: cube generalization vacuity guard: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let doc = suite.to_json().to_json();
     if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {

@@ -22,6 +22,7 @@
 //! solver change that silently alters enumeration results fails the
 //! build.
 
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use cnf::{CnfFormula, Lit, Var};
@@ -134,6 +135,12 @@ pub struct WorkloadResult {
     /// Order-independent FNV-1a fingerprint of the enumerated
     /// counterexample set, for enumeration workloads.
     pub fingerprint: Option<u64>,
+    /// Blocking cubes learned, for cube-generalized enumeration
+    /// workloads.
+    pub cubes_learned: Option<u64>,
+    /// Distinct assignments covered by the learned cubes, for
+    /// cube-generalized enumeration workloads.
+    pub cube_assignments: Option<u64>,
 }
 
 impl WorkloadResult {
@@ -167,6 +174,61 @@ impl SuiteResult {
             .unwrap_or(0)
     }
 
+    /// The minimum speedup ×100 across cube-generalized enumeration
+    /// workloads (cube loop vs per-model loop on the same solver).
+    pub fn cube_enumeration_speedup_x100(&self) -> u64 {
+        self.workloads
+            .iter()
+            .filter(|w| w.cubes_learned.is_some())
+            .map(WorkloadResult::speedup_x100)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Mean assignments covered per learned cube across cube-generalized
+    /// enumeration workloads, ×100 (jsonio stores only integers). A
+    /// value of 100 means every cube was full-width — generalization
+    /// did nothing.
+    pub fn mean_assignments_per_cube_x100(&self) -> u64 {
+        let cubes: u64 = self.workloads.iter().filter_map(|w| w.cubes_learned).sum();
+        let assignments: u64 = self
+            .workloads
+            .iter()
+            .filter_map(|w| w.cube_assignments)
+            .sum();
+        (assignments * 100).checked_div(cubes).unwrap_or(0)
+    }
+
+    /// Rejects vacuous cube-generalization runs: every cube workload
+    /// must cover strictly more assignments than it learned cubes
+    /// (i.e. at least one cube dropped at least one literal), and at
+    /// least one cube workload must have run at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the vacuous workload, or of the missing
+    /// cube workloads.
+    pub fn vacuity_guard(&self) -> Result<(), String> {
+        let mut saw_cubes = false;
+        for w in &self.workloads {
+            let (Some(cubes), Some(assignments)) = (w.cubes_learned, w.cube_assignments) else {
+                continue;
+            };
+            saw_cubes = true;
+            if assignments <= cubes {
+                return Err(format!(
+                    "workload {}: {cubes} cube(s) cover only {assignments} assignment(s) — \
+                     every cube is full-width, generalization did nothing",
+                    w.name
+                ));
+            }
+        }
+        if !saw_cubes {
+            return Err("no cube-generalized enumeration workload ran".into());
+        }
+        Ok(())
+    }
+
     /// Serializes the suite to the `BENCH_sat.json` document.
     pub fn to_json(&self) -> Value {
         let workloads = self
@@ -184,6 +246,12 @@ impl SuiteResult {
                 if let Some(fp) = w.fingerprint {
                     pairs.push(("fingerprint", Value::str(format!("{fp:016x}"))));
                 }
+                if let Some(c) = w.cubes_learned {
+                    pairs.push(("cubes_learned", Value::Num(c)));
+                }
+                if let Some(c) = w.cube_assignments {
+                    pairs.push(("cube_assignments", Value::Num(c)));
+                }
                 Value::obj(pairs)
             })
             .collect();
@@ -192,10 +260,20 @@ impl SuiteResult {
             ("mode", Value::str(self.mode)),
             (
                 "summary",
-                Value::obj(vec![(
-                    "propagation_speedup_x100",
-                    Value::Num(self.propagation_speedup_x100()),
-                )]),
+                Value::obj(vec![
+                    (
+                        "propagation_speedup_x100",
+                        Value::Num(self.propagation_speedup_x100()),
+                    ),
+                    (
+                        "cube_enumeration_speedup_x100",
+                        Value::Num(self.cube_enumeration_speedup_x100()),
+                    ),
+                    (
+                        "mean_assignments_per_cube_x100",
+                        Value::Num(self.mean_assignments_per_cube_x100()),
+                    ),
+                ]),
             ),
             ("workloads", Value::Arr(workloads)),
         ])
@@ -365,6 +443,91 @@ fn time_enumeration<S: CoreSolver>(ai: &AiProgram) -> (Side, usize, u64) {
     (side, count, fingerprint(&mut counterexamples))
 }
 
+/// Runs the cube-generalized ALLSAT loop over a renaming encoding:
+/// each model is shrunk to a minimal implicant over the assertion's
+/// branch variables ([`sat::Solver::shrink_cube`]), the negated cube is
+/// blocked, and the cube is expanded back to full branch assignments —
+/// exactly as `Xbmc::check_all` drives it since the cube refactor.
+///
+/// Returns the measurement, the expanded counterexample count, the
+/// set fingerprint, and the number of cubes learned. Expansion and
+/// deduplication run inside the measured wall, so the speedup against
+/// [`time_enumeration`] prices the full report-time cost, not just the
+/// saved solver calls.
+///
+/// Not generic over [`CoreSolver`]: cube lifting exists only on the
+/// arena solver, so cube workloads run both sides on `sat::Solver` and
+/// isolate the enumeration *algorithm*, not the solver data plane.
+fn time_cube_enumeration(ai: &AiProgram) -> (Side, usize, u64, u64) {
+    let lattice = TwoPoint::new();
+    let start = Instant::now();
+    let enc = xbmc::renaming::encode(ai, &lattice);
+    let mut s = sat::Solver::from_formula(&enc.formula);
+    let selector_base = enc.formula.num_vars();
+    let mut counterexamples: Vec<(u32, Vec<bool>)> = Vec::new();
+    let mut cubes_learned = 0u64;
+    for (ai_idx, a) in enc.asserts.iter().enumerate() {
+        let selector = Var::new(selector_base + ai_idx).positive();
+        let mut seen: HashSet<Vec<bool>> = HashSet::new();
+        loop {
+            match s.solve_with_assumptions(&[selector, a.violated]) {
+                SatResult::Sat(model) => {
+                    let model_cube: Vec<Lit> = a
+                        .relevant_branches
+                        .iter()
+                        .map(|b| {
+                            let lit = enc.branch_lits[b.0 as usize];
+                            if model.lit_value(lit) {
+                                lit
+                            } else {
+                                !lit
+                            }
+                        })
+                        .collect();
+                    let cube = s.shrink_cube(&model_cube, a.violated);
+                    cubes_learned += 1;
+                    let mut fixed: Vec<(usize, bool)> = Vec::new();
+                    let mut free: Vec<usize> = Vec::new();
+                    for b in &a.relevant_branches {
+                        let idx = b.0 as usize;
+                        let lit = enc.branch_lits[idx];
+                        match cube.iter().find(|l| l.var() == lit.var()) {
+                            Some(&l) => fixed.push((idx, l == lit)),
+                            None => free.push(idx),
+                        }
+                    }
+                    let width = free.len();
+                    for m in 0..1u64 << width {
+                        let mut branches = vec![false; ai.num_branches];
+                        for &(idx, v) in &fixed {
+                            branches[idx] = v;
+                        }
+                        for (i, &idx) in free.iter().enumerate() {
+                            branches[idx] = m >> (width - 1 - i) & 1 == 1;
+                        }
+                        if seen.insert(branches.clone()) {
+                            counterexamples.push((a.id.0, branches));
+                        }
+                    }
+                    let mut blocking: Vec<Lit> = cube.iter().map(|&l| !l).collect();
+                    blocking.push(!selector);
+                    s.add_clause(blocking);
+                }
+                SatResult::Unsat => break,
+                other => panic!("cube enumeration hit {other:?} with no budget"),
+            }
+        }
+    }
+    let side = Side::new(start.elapsed(), s.stats());
+    let count = counterexamples.len();
+    (
+        side,
+        count,
+        fingerprint(&mut counterexamples),
+        cubes_learned,
+    )
+}
+
 /// Order-independent FNV-1a over the sorted counterexample set.
 fn fingerprint(counterexamples: &mut [(u32, Vec<bool>)]) -> u64 {
     counterexamples.sort();
@@ -443,13 +606,15 @@ pub fn run_suite(fast: bool) -> SuiteResult {
         arena: arena.expect("reps >= 1"),
         reference: reference.expect("reps >= 1"),
         fingerprint: None,
+        cubes_learned: None,
+        cube_assignments: None,
     });
 
     // Conflict-bound: pigeonhole + over-constrained random 3-SAT
     // (clause/variable ratio 5.5, deep in the unsat region). The two
-    // solvers walk different search trajectories here — the arena
-    // propagate keeps watcher lists in order where the old solver's
-    // `swap_remove` shuffled them — so unsatisfiable instances, where
+    // solvers walk different search trajectories here — watcher-list
+    // evolution differs between the implementations, which perturbs
+    // unit order and phase saving — so unsatisfiable instances, where
     // the refutation work is forced, keep the comparison meaningful.
     let (php_m, php_n) = if fast { (6, 5) } else { (7, 6) };
     let sat3_vars = if fast { 80 } else { 110 };
@@ -491,12 +656,19 @@ pub fn run_suite(fast: bool) -> SuiteResult {
             arena: arena.expect("reps >= 1"),
             reference: reference.expect("reps >= 1"),
             fingerprint: None,
+            cubes_learned: None,
+            cube_assignments: None,
         });
     }
 
     // Enumeration-bound: identical in both modes so fingerprints are
-    // comparable across full runs and CI fast runs.
-    for k in [8usize, 11] {
+    // comparable across full runs and CI fast runs. k = 12 is the
+    // blocking-clause-heavy regime (4095 clauses piling thousands of
+    // watchers onto a few branch literals) where any propagate that
+    // pays O(list) instead of O(1) to detach a watcher shows up as a
+    // regression — the amplified version of the 0.96× slip the k = 11
+    // row caught when removal compacted the whole tail.
+    for k in [8usize, 11, 12] {
         let ai = ai_of(&branchy_program(k));
         let mut arena: Option<Side> = None;
         let mut reference: Option<Side> = None;
@@ -542,6 +714,64 @@ pub fn run_suite(fast: bool) -> SuiteResult {
             arena,
             reference,
             fingerprint: Some(a_fp),
+            cubes_learned: None,
+            cube_assignments: None,
+        });
+    }
+
+    // Cube-generalized enumeration: depths where the per-model loop
+    // needs 2^k − 1 solver calls and the cube loop needs a handful.
+    // Both sides run on the arena solver (cube lifting exists only
+    // there), so the ratio prices the algorithm change alone. The
+    // per-model baseline runs once: at these depths it is three to four
+    // orders of magnitude slower than the cube loop, so scheduler noise
+    // amortizes away and extra reps would only stretch the suite.
+    for k in [14usize, 16] {
+        let ai = ai_of(&branchy_program(k));
+        let (reference, r_count, r_fp) = time_enumeration::<sat::Solver>(&ai);
+        let mut arena: Option<Side> = None;
+        let mut outcome: Option<(usize, u64, u64)> = None;
+        for _ in 0..reps {
+            let (a, a_count, a_fp, cubes) = time_cube_enumeration(&ai);
+            assert_eq!(a_count, r_count, "cube expansion count diverges at k={k}");
+            assert_eq!(
+                a_fp, r_fp,
+                "cube expansion diverges from the per-model baseline at k={k}"
+            );
+            outcome = Some((a_count, a_fp, cubes));
+            if arena.is_none_or(|best| a.wall < best.wall) {
+                arena = Some(a);
+            }
+        }
+        let (count, fp, cubes) = outcome.expect("reps >= 1");
+        // And the production checker must report exactly this set.
+        let check = xbmc::Xbmc::with_options(
+            &ai,
+            xbmc::CheckOptions {
+                max_counterexamples_per_assert: 1 << 17,
+                ..xbmc::CheckOptions::default()
+            },
+        )
+        .check_all();
+        let mut from_checker: Vec<(u32, Vec<bool>)> = check
+            .counterexamples
+            .iter()
+            .map(|c| (c.assert_id.0, c.branches.clone()))
+            .collect();
+        assert_eq!(
+            fingerprint(&mut from_checker),
+            fp,
+            "Xbmc::check_all diverges from the cube enumeration loop at k={k}"
+        );
+        workloads.push(WorkloadResult {
+            name: format!("enumeration_cubes_branchy_{k}"),
+            kind: "enumeration",
+            verdict: format!("{count} counterexamples"),
+            arena: arena.expect("reps >= 1"),
+            reference,
+            fingerprint: Some(fp),
+            cubes_learned: Some(cubes),
+            cube_assignments: Some(count as u64),
         });
     }
 
@@ -618,6 +848,8 @@ mod tests {
                         ..side
                     },
                     fingerprint: None,
+                    cubes_learned: None,
+                    cube_assignments: None,
                 },
                 WorkloadResult {
                     name: "enumeration_branchy_2".into(),
@@ -626,6 +858,8 @@ mod tests {
                     arena: side,
                     reference: side,
                     fingerprint: Some(0xDEADBEEF),
+                    cubes_learned: None,
+                    cube_assignments: None,
                 },
             ],
         };
@@ -670,5 +904,65 @@ mod tests {
         assert_eq!(a_count, 7); // 2^3 - 1 violating branch patterns
         assert_eq!(a_count, r_count);
         assert_eq!(a_fp, r_fp);
+    }
+
+    #[test]
+    fn cube_enumeration_matches_per_model_on_small_program() {
+        let ai = ai_of(&branchy_program(5));
+        let (_, c_count, c_fp, cubes) = time_cube_enumeration(&ai);
+        let (_, m_count, m_fp) = time_enumeration::<sat::Solver>(&ai);
+        assert_eq!(c_count, 31); // 2^5 - 1 violating branch patterns
+        assert_eq!(c_count, m_count);
+        assert_eq!(c_fp, m_fp);
+        // Generalization must actually bite: far fewer cubes than
+        // expanded assignments.
+        assert!(
+            cubes < c_count as u64,
+            "{cubes} cubes for {c_count} assignments"
+        );
+    }
+
+    #[test]
+    fn vacuity_guard_rejects_full_width_cubes() {
+        let side = Side {
+            wall: Duration::from_micros(100),
+            propagations: 1,
+            conflicts: 0,
+            decisions: 0,
+            restarts: 0,
+        };
+        let workload = |cubes, assignments| WorkloadResult {
+            name: "enumeration_cubes_branchy_2".into(),
+            kind: "enumeration",
+            verdict: format!("{assignments} counterexamples"),
+            arena: side,
+            reference: side,
+            fingerprint: Some(1),
+            cubes_learned: Some(cubes),
+            cube_assignments: Some(assignments),
+        };
+        let good = SuiteResult {
+            mode: "fast",
+            workloads: vec![workload(2, 3)],
+        };
+        good.vacuity_guard()
+            .expect("2 cubes over 3 assignments generalized");
+        assert_eq!(good.mean_assignments_per_cube_x100(), 150);
+        let vacuous = SuiteResult {
+            mode: "fast",
+            workloads: vec![workload(3, 3)],
+        };
+        assert!(
+            vacuous.vacuity_guard().is_err(),
+            "full-width cubes must be rejected"
+        );
+        let missing = SuiteResult {
+            mode: "fast",
+            workloads: Vec::new(),
+        };
+        assert!(
+            missing.vacuity_guard().is_err(),
+            "cube workloads must be present"
+        );
     }
 }

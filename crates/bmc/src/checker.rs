@@ -1,3 +1,4 @@
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use sat::{SatResult, Solver};
@@ -6,7 +7,7 @@ use webssari_ir::AiProgram;
 
 use crate::aux_encoding;
 use crate::renaming;
-use crate::trace::{replay_trace, Counterexample};
+use crate::trace::{path_violating_vars, replay_trace, Counterexample};
 
 /// Which encoding the checker uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -88,6 +89,14 @@ pub struct XbmcStats {
     /// CNF variables the cone-of-influence slice removed relative to
     /// encoding the full program (filled by the screening tier).
     pub cnf_vars_saved: u64,
+    /// Generalized blocking cubes learned by ALLSAT enumeration (one
+    /// per satisfiable solver answer on the renaming path).
+    pub cubes_learned: u64,
+    /// Counterexamples materialized by expanding those cubes back to
+    /// full branch assignments. `cube_assignments / cubes_learned` is
+    /// the mean cover per cube; > 1 means generalization pruned solver
+    /// calls.
+    pub cube_assignments: u64,
 }
 
 impl XbmcStats {
@@ -99,6 +108,7 @@ impl XbmcStats {
         self.restarts += s.restarts;
         self.pre_units_fixed += s.pre_units_fixed;
         self.pre_clauses_removed += s.pre_clauses_removed;
+        self.cubes_learned += s.cube_shrink_calls;
     }
 
     /// Folds in only the work a cloned solver did *since* it was cloned
@@ -112,6 +122,7 @@ impl XbmcStats {
         self.restarts += s.restarts - base.restarts;
         self.pre_units_fixed += s.pre_units_fixed - base.pre_units_fixed;
         self.pre_clauses_removed += s.pre_clauses_removed - base.pre_clauses_removed;
+        self.cubes_learned += s.cube_shrink_calls - base.cube_shrink_calls;
     }
 }
 
@@ -278,6 +289,11 @@ impl<'a> Xbmc<'a> {
                 }
             };
             let mut found: Vec<Counterexample> = Vec::new();
+            // Distinct branch assignments emitted so far for this
+            // assertion: generalized cubes may overlap (a later cube is
+            // shrunk without regard to earlier blocking clauses), so
+            // expansion dedups to reproduce the per-model set exactly.
+            let mut seen: HashSet<Vec<bool>> = HashSet::new();
             loop {
                 if found.len() >= self.options.max_counterexamples_per_assert {
                     result.stats.truncated_assertions += 1;
@@ -286,41 +302,38 @@ impl<'a> Xbmc<'a> {
                 result.stats.sat_calls += 1;
                 match solver.solve_with_assumptions(&[selector, a.violated]) {
                     SatResult::Sat(model) => {
-                        // Branch values, with branches outside Bᵢ's BN
-                        // normalized to false.
-                        let mut branches = vec![false; self.ai.num_branches];
-                        for b in &a.relevant_branches {
-                            branches[b.0 as usize] = model.lit_value(enc.branch_lits[b.0 as usize]);
-                        }
-                        let violating_vars = a
-                            .var_violations
-                            .iter()
-                            .filter(|(_, l)| model.lit_value(*l))
-                            .map(|(v, _)| *v)
-                            .collect();
-                        found.push(Counterexample {
-                            assert_id: a.id,
-                            func: a.func.clone(),
-                            site: a.site.clone(),
-                            violating_vars,
-                            trace: replay_trace(self.ai, &branches, a.id),
-                            branches,
-                        });
-                        // Negate this counterexample's BN values:
-                        // Bᵢʲ⁺¹ = Bᵢʲ ∧ Nᵢʲ (scoped by the violation
-                        // literal in the incremental solver).
-                        let mut blocking: Vec<cnf::Lit> = a
+                        // The model restricted to Bᵢ's BN, then shrunk
+                        // to a minimal implicant of the violation
+                        // literal: every extension of the cube over the
+                        // remaining branch variables still violates.
+                        let model_cube: Vec<cnf::Lit> = a
                             .relevant_branches
                             .iter()
                             .map(|b| {
                                 let lit = enc.branch_lits[b.0 as usize];
                                 if model.lit_value(lit) {
-                                    !lit
-                                } else {
                                     lit
+                                } else {
+                                    !lit
                                 }
                             })
                             .collect();
+                        let cube = solver.shrink_cube(&model_cube, a.violated);
+                        self.expand_cube(
+                            &enc,
+                            a,
+                            &cube,
+                            lattice,
+                            &mut found,
+                            &mut seen,
+                            &mut result,
+                        );
+                        // Negate the generalized cube, not just this
+                        // model: Bᵢʲ⁺¹ = Bᵢʲ ∧ ¬cubeʲ (scoped by the
+                        // selector in the incremental solver). A width-w
+                        // cube over k branches prunes 2^(k−w)
+                        // assignments per clause.
+                        let mut blocking: Vec<cnf::Lit> = cube.iter().map(|&l| !l).collect();
                         blocking.push(!selector);
                         solver.add_clause(blocking);
                     }
@@ -383,6 +396,69 @@ impl<'a> Xbmc<'a> {
             result.certified_formula = Some(Arc::new(enc.formula));
         }
         result
+    }
+
+    /// Expands one generalized cube back to full branch assignments,
+    /// emitting a [`Counterexample`] per assignment not already seen.
+    ///
+    /// Branches pinned by the cube keep their cube polarity; the
+    /// remaining relevant branches are free and enumerated both ways
+    /// (false before true, earlier branches most significant), with
+    /// branches outside `Bᵢ`'s BN normalized to false as before. Every
+    /// extension of the cube violates the assertion, so each expansion
+    /// is a genuine counterexample; `violating_vars` and the trace are
+    /// recomputed per path since no satisfying model exists per
+    /// expansion. Expansion stops at the per-assert cap so `max_cx`
+    /// counts expanded assignments, exactly like the per-model loop.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_cube(
+        &self,
+        enc: &renaming::RenamedEncoding,
+        a: &renaming::EncodedAssert,
+        cube: &[cnf::Lit],
+        lattice: &impl Lattice,
+        found: &mut Vec<Counterexample>,
+        seen: &mut HashSet<Vec<bool>>,
+        result: &mut CheckResult,
+    ) {
+        let mut fixed: Vec<(usize, bool)> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        for b in &a.relevant_branches {
+            let idx = b.0 as usize;
+            let lit = enc.branch_lits[idx];
+            match cube.iter().find(|l| l.var() == lit.var()) {
+                Some(&l) => fixed.push((idx, l == lit)),
+                None => free.push(idx),
+            }
+        }
+        let width = free.len();
+        let total: u64 = if width >= 63 { u64::MAX } else { 1u64 << width };
+        for m in 0..total {
+            if found.len() >= self.options.max_counterexamples_per_assert {
+                break;
+            }
+            let mut branches = vec![false; self.ai.num_branches];
+            for &(idx, v) in &fixed {
+                branches[idx] = v;
+            }
+            for (i, &idx) in free.iter().enumerate() {
+                branches[idx] = m >> (width - 1 - i) & 1 == 1;
+            }
+            if !seen.insert(branches.clone()) {
+                continue;
+            }
+            let violating_vars =
+                path_violating_vars(self.ai, &branches, a.id, lattice).unwrap_or_default();
+            result.stats.cube_assignments += 1;
+            found.push(Counterexample {
+                assert_id: a.id,
+                func: a.func.clone(),
+                site: a.site.clone(),
+                violating_vars,
+                trace: replay_trace(self.ai, &branches, a.id),
+                branches,
+            });
+        }
     }
 
     fn check_aux(&self, lattice: &impl Lattice) -> CheckResult {
@@ -522,6 +598,30 @@ mod tests {
         .check_all();
         assert_eq!(capped.counterexamples.len(), 2);
         assert_eq!(capped.stats.truncated_assertions, 1);
+    }
+
+    #[test]
+    fn cube_generalization_prunes_solver_calls() {
+        // 5 independent tainting branches: 31 violating paths. The
+        // per-model loop would need 32 solver calls; generalized cubes
+        // cover whole families per call.
+        let mut src = String::from("<?php $x = 'ok';");
+        for i in 0..5 {
+            src.push_str(&format!(" if ($c{i}) {{ $x = $x . $_GET['p{i}']; }}"));
+        }
+        src.push_str(" echo $x;");
+        let ai = ai_of(&src);
+        let r = Xbmc::new(&ai).check_all();
+        assert_eq!(r.counterexamples.len(), 31);
+        assert!(r.stats.cubes_learned > 0);
+        assert_eq!(r.stats.cube_assignments, 31);
+        assert!(
+            r.stats.sat_calls < 16,
+            "expected generalization to prune solver calls, got {}",
+            r.stats.sat_calls
+        );
+        // Mean cover per cube must beat one assignment per solve.
+        assert!(r.stats.cube_assignments > r.stats.cubes_learned);
     }
 
     #[test]

@@ -49,5 +49,5 @@ mod trace;
 mod typevec;
 
 pub use checker::{Certificate, CheckOptions, CheckResult, EncoderKind, Xbmc, XbmcStats};
-pub use trace::{replay_trace, Counterexample, TraceStep};
+pub use trace::{path_violating_vars, replay_trace, Counterexample, TraceStep};
 pub use typevec::TypeVec;

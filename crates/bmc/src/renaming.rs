@@ -58,7 +58,26 @@ pub struct RenamedEncoding {
 
 /// Encodes an AI program using the renaming procedure ρ.
 pub fn encode(ai: &AiProgram, lattice: &impl Lattice) -> RenamedEncoding {
-    let mut builder = FormulaBuilder::new();
+    encode_with(FormulaBuilder::new(), ai, lattice)
+}
+
+/// Number of CNF variables [`encode`] would allocate for `ai`, computed
+/// by driving the same encoder walk through a counting builder that
+/// discards clauses. Exact by construction (gate shortcuts depend only
+/// on literal identity, never on emitted clauses) at a fraction of the
+/// cost — the screening tier uses this to report `cnf_vars_saved`
+/// without re-encoding the full program.
+pub fn count_vars(ai: &AiProgram, lattice: &impl Lattice) -> usize {
+    encode_with(FormulaBuilder::new_counting(), ai, lattice)
+        .formula
+        .num_vars()
+}
+
+fn encode_with(
+    mut builder: FormulaBuilder,
+    ai: &AiProgram,
+    lattice: &impl Lattice,
+) -> RenamedEncoding {
     let branch_lits: Vec<Lit> = (0..ai.num_branches).map(|_| builder.fresh_lit()).collect();
     // Incarnation 0 of every variable is the constant ⊥ (uninitialized
     // PHP variables hold trusted empty values).
@@ -246,6 +265,25 @@ mod tests {
                 assert!(!viol_of(b));
             }
             other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_vars_matches_full_encoding() {
+        let srcs = [
+            "<?php $x = 'ok'; echo $x;",
+            "<?php $x = $_GET['a']; echo $x;",
+            "<?php $x = 'ok'; if ($a) { $x = $_GET['p']; } if ($b) { $x = $x . $_GET['q']; } echo $x;",
+            "<?php $x = htmlspecialchars($_GET['a']); if ($c) { $x = $_GET['b']; } echo $x; mysql_query($x);",
+        ];
+        for src in srcs {
+            let ai = ai_of(src);
+            let l = TwoPoint::new();
+            assert_eq!(
+                count_vars(&ai, &l),
+                encode(&ai, &l).formula.num_vars(),
+                "{src}"
+            );
         }
     }
 

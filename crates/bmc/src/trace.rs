@@ -7,7 +7,7 @@
 //! replays the AI and records every executed assignment up to the
 //! violated assertion.
 
-use taint_lattice::Elem;
+use taint_lattice::{Elem, Lattice};
 use webssari_ir::{AiCmd, AiProgram, AssertId, Site, VarId};
 
 /// One executed assignment on a counterexample trace.
@@ -163,10 +163,102 @@ fn collect(
     }
 }
 
+/// Concretely evaluates the AI along `branches` and returns the checked
+/// variables of assertion `target` whose types violate its bound on
+/// that path, in the assertion's argument order.
+///
+/// This mirrors the renaming encoding's per-path semantics exactly:
+/// every variable starts at ⊥ and each executed assignment applies
+/// `t_var = (base ⊔ ⊔deps) ⊓ mask`, so the result equals what a SAT
+/// model of that path assigns to the per-variable violation literals.
+/// The ALLSAT enumerator uses it to rebuild `violating_vars` for the
+/// assignments covered by a generalized blocking cube, where no
+/// satisfying model exists per expansion.
+///
+/// Returns `None` when the path never reaches the assertion (which
+/// cannot happen for extensions of a cube that implies its violation
+/// literal, since that literal is conjoined with the path guard).
+pub fn path_violating_vars(
+    program: &AiProgram,
+    branches: &[bool],
+    target: AssertId,
+    lattice: &impl Lattice,
+) -> Option<Vec<VarId>> {
+    let mut vals: Vec<Elem> = vec![lattice.bottom(); program.vars.len()];
+    eval(&program.cmds, branches, target, lattice, &mut vals)
+}
+
+fn eval(
+    cmds: &[AiCmd],
+    branches: &[bool],
+    target: AssertId,
+    lattice: &impl Lattice,
+    vals: &mut Vec<Elem>,
+) -> Option<Vec<VarId>> {
+    for c in cmds {
+        match c {
+            AiCmd::Assign {
+                var,
+                base,
+                deps,
+                mask,
+                ..
+            } => {
+                let mut v = *base;
+                for d in deps {
+                    v = lattice.join(v, vals[d.index()]);
+                }
+                if let Some(m) = mask {
+                    v = lattice.meet(v, *m);
+                }
+                vals[var.index()] = v;
+            }
+            AiCmd::Assert {
+                id,
+                vars,
+                bound,
+                strict,
+                ..
+            } => {
+                if *id == target {
+                    return Some(
+                        vars.iter()
+                            .copied()
+                            .filter(|v| {
+                                let t = vals[v.index()];
+                                !if *strict {
+                                    lattice.lt(t, *bound)
+                                } else {
+                                    lattice.leq(t, *bound)
+                                }
+                            })
+                            .collect(),
+                    );
+                }
+            }
+            AiCmd::If {
+                branch,
+                then_cmds,
+                else_cmds,
+                ..
+            } => {
+                let taken = branches.get(branch.0 as usize).copied().unwrap_or(false);
+                let side = if taken { then_cmds } else { else_cmds };
+                if let Some(r) = eval(side, branches, target, lattice, vals) {
+                    return Some(r);
+                }
+            }
+            AiCmd::Stop { .. } => {}
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use php_front::parse_source;
+    use taint_lattice::TwoPoint;
     use webssari_ir::{abstract_interpret, filter_program, FilterOptions, Prelude};
 
     fn ai_of(src: &str) -> AiProgram {
@@ -213,6 +305,35 @@ mod tests {
         assert_eq!(steps.len(), 2, "assignments after assert 0 are excluded");
         let steps = replay_trace(&ai, &[], AssertId(1));
         assert_eq!(steps.len(), 3);
+    }
+
+    #[test]
+    fn path_violating_vars_follows_branches() {
+        let ai = ai_of("<?php if ($c) { $x = $_GET['a']; } else { $x = 'ok'; } echo $x;");
+        let l = TwoPoint::new();
+        let tainted = path_violating_vars(&ai, &[true], AssertId(0), &l).unwrap();
+        assert_eq!(tainted.len(), 1);
+        assert_eq!(ai.vars.name(tainted[0]), "x");
+        let clean = path_violating_vars(&ai, &[false], AssertId(0), &l).unwrap();
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn path_violating_vars_respects_sanitizer_masks() {
+        let ai = ai_of("<?php $x = htmlspecialchars($_GET['a']); echo $x;");
+        let l = TwoPoint::new();
+        let v = path_violating_vars(&ai, &[], AssertId(0), &l).unwrap();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn path_violating_vars_is_none_for_unreached_assert() {
+        let ai = ai_of("<?php if ($c) { echo $_GET['a']; } $y = 'ok'; echo $y;");
+        let l = TwoPoint::new();
+        // Branch not taken: the first assert (inside the arm) is never
+        // reached on this path.
+        assert!(path_violating_vars(&ai, &[false], AssertId(0), &l).is_none());
+        assert!(path_violating_vars(&ai, &[true], AssertId(0), &l).is_some());
     }
 
     #[test]

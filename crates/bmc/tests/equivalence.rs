@@ -78,6 +78,28 @@ fn enumerate_with_reference_solver(ai: &AiProgram) -> Vec<(u32, Vec<bool>)> {
     out
 }
 
+/// Order-independent FNV-1a over a counterexample set — the same
+/// fingerprint `BENCH_sat.json` commits, used here as the equality
+/// oracle for cube expansion.
+fn fingerprint(counterexamples: &mut [(u32, Vec<bool>)]) -> u64 {
+    counterexamples.sort();
+    let mut h = 0xcbf29ce484222325u64;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for (id, branches) in counterexamples.iter() {
+        for b in id.to_le_bytes() {
+            eat(b);
+        }
+        for &bit in branches {
+            eat(u8::from(bit));
+        }
+        eat(0xFF);
+    }
+    h
+}
+
 // ---------------------------------------------------------------------
 // Randomized AiPrograms (direct IR generation, as in bmc_props.rs).
 // ---------------------------------------------------------------------
@@ -341,6 +363,106 @@ proptest! {
         } else {
             prop_assert_eq!(got, expected);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cube-generalized enumeration: the checker shrinks each model to a
+// minimal implicant over the branch variables, blocks the cube, and
+// expands it back to full assignments at report time. These tests pin
+// the expansion to the per-model reference enumeration on the program
+// family where generalization bites hardest (branchy taint chains) and
+// on cap hits, where expanded assignments must count against `max_cx`
+// exactly as individually-enumerated models did.
+// ---------------------------------------------------------------------
+
+/// A branchy taint chain through the real front end: `k` independent
+/// branches, each either concatenating a tainted source (op 0), masking
+/// with a sanitizer (op 1), or assigning a harmless literal (op 2), so
+/// the violating set varies with the op pattern instead of always being
+/// "any branch taken".
+fn branchy_php(ops: &[u8]) -> String {
+    let mut src = String::from("<?php $x = 'safe'; ");
+    for (i, op) in ops.iter().enumerate() {
+        let body = match op % 3 {
+            0 => format!("$x = $x . $_GET['p{i}'];"),
+            1 => "$x = htmlspecialchars($x);".to_string(),
+            _ => format!("$x = 'lit{i}';"),
+        };
+        src.push_str(&format!("if ($c{i}) {{ {body} }} "));
+    }
+    src.push_str("echo $x;");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Cube expansion reproduces the reference solver's exact
+    /// counterexample set — same FNV fingerprint `BENCH_sat.json`
+    /// commits, and the same list element-for-element — across random
+    /// branchy programs, and the generalization is not vacuous on pure
+    /// taint chains.
+    #[test]
+    fn branchy_cube_expansion_matches_reference(ops in prop::collection::vec(0u8..3, 1..9)) {
+        let p = ai_of(&branchy_php(&ops));
+        let mut expected = enumerate_with_reference_solver(&p);
+        let r = Xbmc::new(&p).check_all();
+        let mut got = key(&r);
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(fingerprint(&mut got), fingerprint(&mut expected));
+        // Every reported counterexample came from a cube expansion.
+        prop_assert_eq!(r.stats.cube_assignments, got.len() as u64);
+        prop_assert!(r.stats.cubes_learned <= r.stats.sat_calls as u64);
+    }
+
+    /// `max_cx` cap hits over cubes: expanded assignments count against
+    /// the cap exactly as individually-enumerated models did — the
+    /// capped result is a subset of the uncapped set of exactly
+    /// `min(cap, total)` per assertion, and the truncation counter
+    /// fires for precisely the assertions whose set met the cap.
+    #[test]
+    fn capped_check_counts_expanded_assignments(
+        protos in proto_strategy(),
+        cap in 1usize..6,
+    ) {
+        let p = materialize(&protos);
+        prop_assume!(p.num_branches <= 8);
+        let expected = enumerate_with_reference_solver(&p);
+        let r = Xbmc::with_options(
+            &p,
+            CheckOptions { max_counterexamples_per_assert: cap, ..CheckOptions::default() },
+        )
+        .check_all();
+        let mut expected_by_assert: std::collections::BTreeMap<u32, BTreeSet<Vec<bool>>> =
+            std::collections::BTreeMap::new();
+        for (id, branches) in expected {
+            expected_by_assert.entry(id).or_default().insert(branches);
+        }
+        let mut got_by_assert: std::collections::BTreeMap<u32, BTreeSet<Vec<bool>>> =
+            std::collections::BTreeMap::new();
+        for (id, branches) in key(&r) {
+            prop_assert!(
+                got_by_assert.entry(id).or_default().insert(branches),
+                "capped checker reported a duplicate"
+            );
+        }
+        let mut want_truncated = 0usize;
+        for (id, want) in &expected_by_assert {
+            let got = got_by_assert.get(id).map(BTreeSet::len).unwrap_or(0);
+            prop_assert_eq!(got, want.len().min(cap));
+            if want.len() >= cap {
+                want_truncated += 1;
+            }
+            if let Some(g) = got_by_assert.get(id) {
+                prop_assert!(g.is_subset(want));
+            }
+        }
+        for id in got_by_assert.keys() {
+            prop_assert!(expected_by_assert.contains_key(id), "spurious assert {}", id);
+        }
+        prop_assert_eq!(r.stats.truncated_assertions, want_truncated);
+        prop_assert_eq!(r.stats.cube_assignments, r.counterexamples.len() as u64);
     }
 }
 

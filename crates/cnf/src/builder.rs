@@ -30,12 +30,36 @@ pub struct FormulaBuilder {
     formula: CnfFormula,
     next_var: usize,
     const_true: Option<Lit>,
+    counting: bool,
 }
 
 impl FormulaBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
         FormulaBuilder::default()
+    }
+
+    /// Creates a builder that discards every clause it would emit while
+    /// still allocating variables exactly like a normal builder.
+    ///
+    /// Gate shortcuts depend only on literal identity and the pinned
+    /// constant, never on emitted clauses, so an encoder driven through
+    /// a counting builder allocates the same variables as a real run —
+    /// [`num_vars`](Self::num_vars) is exact — at a fraction of the
+    /// memory and time. Used to size encodings without materializing
+    /// them.
+    pub fn new_counting() -> Self {
+        FormulaBuilder {
+            counting: true,
+            ..FormulaBuilder::default()
+        }
+    }
+
+    /// Emits a clause unless this is a counting builder.
+    fn emit(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        if !self.counting {
+            self.formula.add_lits(lits);
+        }
     }
 
     /// Allocates a fresh variable.
@@ -67,7 +91,7 @@ impl FormulaBuilder {
             return t;
         }
         let t = self.fresh_lit();
-        self.formula.add_lits([t]);
+        self.emit([t]);
         self.const_true = Some(t);
         t
     }
@@ -88,12 +112,12 @@ impl FormulaBuilder {
 
     /// Adds a clause requiring `l` to hold.
     pub fn assert_lit(&mut self, l: Lit) {
-        self.formula.add_lits([l]);
+        self.emit([l]);
     }
 
     /// Adds an arbitrary clause (disjunction of the given literals).
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
-        self.formula.add_lits(lits);
+        self.emit(lits);
     }
 
     /// Returns a literal equivalent to `a ∧ b`.
@@ -112,9 +136,9 @@ impl FormulaBuilder {
         }
         let o = self.fresh_lit();
         // o → a, o → b, (a ∧ b) → o
-        self.formula.add_lits([!o, a]);
-        self.formula.add_lits([!o, b]);
-        self.formula.add_lits([!a, !b, o]);
+        self.emit([!o, a]);
+        self.emit([!o, b]);
+        self.emit([!a, !b, o]);
         o
     }
 
@@ -166,10 +190,10 @@ impl FormulaBuilder {
             return self.lit_false();
         }
         let o = self.fresh_lit();
-        self.formula.add_lits([!o, !a, b]);
-        self.formula.add_lits([!o, a, !b]);
-        self.formula.add_lits([o, a, b]);
-        self.formula.add_lits([o, !a, !b]);
+        self.emit([!o, !a, b]);
+        self.emit([!o, a, !b]);
+        self.emit([o, a, b]);
+        self.emit([o, !a, !b]);
         o
     }
 
@@ -192,10 +216,17 @@ impl FormulaBuilder {
         }
         let o = self.fresh_lit();
         // cond → (o ↔ then), ¬cond → (o ↔ else)
-        self.formula.add_lits([!cond, !o, then_lit]);
-        self.formula.add_lits([!cond, o, !then_lit]);
-        self.formula.add_lits([cond, !o, else_lit]);
-        self.formula.add_lits([cond, o, !else_lit]);
+        self.emit([!cond, !o, then_lit]);
+        self.emit([!cond, o, !then_lit]);
+        self.emit([cond, !o, else_lit]);
+        self.emit([cond, o, !else_lit]);
+        // Redundant (implied) clauses: when both arms agree the output
+        // follows without knowing cond. They add nothing semantically
+        // but make unit propagation ternary-complete through ITE
+        // chains, which cube generalization in the ALLSAT enumerator
+        // relies on to drop don't-care branch literals.
+        self.emit([!then_lit, !else_lit, o]);
+        self.emit([then_lit, else_lit, !o]);
         o
     }
 
@@ -208,8 +239,8 @@ impl FormulaBuilder {
     pub fn guarded_equal(&mut self, guard: Lit, a: &[Lit], b: &[Lit]) {
         assert_eq!(a.len(), b.len(), "bit vectors must have equal widths");
         for (&ai, &bi) in a.iter().zip(b) {
-            self.formula.add_lits([!guard, !ai, bi]);
-            self.formula.add_lits([!guard, ai, !bi]);
+            self.emit([!guard, !ai, bi]);
+            self.emit([!guard, ai, !bi]);
         }
     }
 
@@ -248,7 +279,9 @@ impl FormulaBuilder {
 
     /// Adds a pre-built clause.
     pub fn push_clause(&mut self, clause: Clause) {
-        self.formula.add_clause(clause);
+        if !self.counting {
+            self.formula.add_clause(clause);
+        }
     }
 }
 
@@ -410,6 +443,47 @@ mod tests {
             .brute_force_models()
             .iter()
             .any(|m| !g.eval(m).unwrap() && a[0].eval(m) != c[0].eval(m)));
+    }
+
+    #[test]
+    fn ite_redundant_clauses_propagate_agreeing_arms() {
+        // With both arms forced equal and cond left free, the output
+        // must still be pinned in every model (the implied clauses do
+        // this; the core four alone also do, semantically — this test
+        // guards the gate's truth table with the extra clauses in).
+        let mut b = FormulaBuilder::new();
+        let c = b.fresh_lit();
+        let t = b.fresh_lit();
+        let e = b.fresh_lit();
+        let o = b.ite(c, t, e);
+        b.assert_lit(t);
+        b.assert_lit(e);
+        let f = b.into_formula();
+        let models = f.brute_force_models();
+        assert!(!models.is_empty());
+        for m in &models {
+            assert_eq!(o.eval(m), Some(true));
+        }
+    }
+
+    #[test]
+    fn counting_builder_allocates_identical_vars() {
+        let drive = |b: &mut FormulaBuilder| {
+            let x = b.fresh_lit();
+            let y = b.fresh_lit();
+            let t = b.lit_true();
+            let a = b.and(x, y);
+            let o = b.or(a, t);
+            let i = b.ite(x, a, y);
+            let e = b.iff(i, o);
+            b.assert_lit(e);
+            b.num_vars()
+        };
+        let mut real = FormulaBuilder::new();
+        let mut counting = FormulaBuilder::new_counting();
+        assert_eq!(drive(&mut real), drive(&mut counting));
+        assert!(real.num_clauses() > 0);
+        assert_eq!(counting.num_clauses(), 0);
     }
 
     #[test]

@@ -407,8 +407,11 @@ impl Verifier {
             result.stats.assertions_discharged = discharged as u64;
             if discharged > 0 && check_options.encoder == xbmc::EncoderKind::Renaming {
                 // How much CNF the slice saved, measured against
-                // encoding the full program with the same encoder.
-                let full_vars = xbmc::renaming::encode(&ai, lattice).formula.num_vars();
+                // encoding the full program with the same encoder. The
+                // counting walk allocates variables exactly like a real
+                // encode but never materializes a clause, so this no
+                // longer re-encodes the whole program per screened file.
+                let full_vars = xbmc::renaming::count_vars(&ai, lattice);
                 result.stats.cnf_vars_saved =
                     full_vars.saturating_sub(result.stats.cnf_vars) as u64;
             }

@@ -421,6 +421,8 @@ impl Engine {
                         pre_clauses_removed: 0,
                         assertions_discharged: 0,
                         cnf_vars_saved: 0,
+                        cubes_learned: 0,
+                        cube_assignments: 0,
                     });
                     report.files.push(EngineFileResult {
                         summary,
@@ -451,6 +453,8 @@ impl Engine {
                                 pre_clauses_removed: stats.pre_clauses_removed,
                                 assertions_discharged: stats.assertions_discharged,
                                 cnf_vars_saved: stats.cnf_vars_saved,
+                                cubes_learned: stats.cubes_learned,
+                                cube_assignments: stats.cube_assignments,
                             });
                             report.files.push(EngineFileResult {
                                 summary,
@@ -475,6 +479,8 @@ impl Engine {
                                 pre_clauses_removed: 0,
                                 assertions_discharged: 0,
                                 cnf_vars_saved: 0,
+                                cubes_learned: 0,
+                                cube_assignments: 0,
                             });
                             report.failed_files.push((done.file, e.to_string()));
                         }

@@ -41,6 +41,10 @@ pub struct FileMetrics {
     pub assertions_discharged: u64,
     /// CNF variables the cone-of-influence slice removed.
     pub cnf_vars_saved: u64,
+    /// Generalized blocking cubes the ALLSAT enumerator learned.
+    pub cubes_learned: u64,
+    /// Counterexamples materialized by expanding those cubes.
+    pub cube_assignments: u64,
 }
 
 /// Aggregate metrics for one engine run, with per-file breakdown in
@@ -100,6 +104,16 @@ impl EngineMetrics {
         self.files.iter().map(|f| f.cnf_vars_saved).sum()
     }
 
+    /// Total generalized cubes learned across all files.
+    pub fn total_cubes_learned(&self) -> u64 {
+        self.files.iter().map(|f| f.cubes_learned).sum()
+    }
+
+    /// Total cube-expanded counterexamples across all files.
+    pub fn total_cube_assignments(&self) -> u64 {
+        self.files.iter().map(|f| f.cube_assignments).sum()
+    }
+
     /// Files with the given outcome.
     pub fn count(&self, outcome: FileOutcome) -> usize {
         self.files.iter().filter(|f| f.outcome == outcome).count()
@@ -139,6 +153,12 @@ impl EngineMetrics {
             "screening: {} assertion(s) discharged statically, {} CNF var(s) saved",
             self.total_assertions_discharged(),
             self.total_cnf_vars_saved(),
+        );
+        let _ = writeln!(
+            out,
+            "enumeration: {} cube(s) learned covering {} assignment(s)",
+            self.total_cubes_learned(),
+            self.total_cube_assignments(),
         );
         let _ = writeln!(
             out,
@@ -185,6 +205,8 @@ impl EngineMetrics {
                     ("pre_clauses_removed", Value::Num(f.pre_clauses_removed)),
                     ("assertions_discharged", Value::Num(f.assertions_discharged)),
                     ("cnf_vars_saved", Value::Num(f.cnf_vars_saved)),
+                    ("cubes_learned", Value::Num(f.cubes_learned)),
+                    ("cube_assignments", Value::Num(f.cube_assignments)),
                 ])
             })
             .collect();
@@ -202,6 +224,14 @@ impl EngineMetrics {
             (
                 "total_cnf_vars_saved",
                 Value::Num(self.total_cnf_vars_saved()),
+            ),
+            (
+                "total_cubes_learned",
+                Value::Num(self.total_cubes_learned()),
+            ),
+            (
+                "total_cube_assignments",
+                Value::Num(self.total_cube_assignments()),
             ),
             ("files", Value::Arr(files)),
         ])
@@ -252,6 +282,8 @@ mod tests {
                     pre_clauses_removed: 0,
                     assertions_discharged: 0,
                     cnf_vars_saved: 0,
+                    cubes_learned: 0,
+                    cube_assignments: 0,
                 },
                 FileMetrics {
                     file: "b.php".to_owned(),
@@ -269,6 +301,8 @@ mod tests {
                     pre_clauses_removed: 3,
                     assertions_discharged: 2,
                     cnf_vars_saved: 11,
+                    cubes_learned: 4,
+                    cube_assignments: 13,
                 },
             ],
         }
@@ -283,6 +317,8 @@ mod tests {
         assert_eq!(m.total_pre_clauses_removed(), 3);
         assert_eq!(m.total_assertions_discharged(), 2);
         assert_eq!(m.total_cnf_vars_saved(), 11);
+        assert_eq!(m.total_cubes_learned(), 4);
+        assert_eq!(m.total_cube_assignments(), 13);
         assert_eq!(m.count(FileOutcome::Verified), 1);
         assert_eq!(m.count(FileOutcome::Timeout), 0);
     }
@@ -295,6 +331,7 @@ mod tests {
         assert!(text.contains("a.php"));
         assert!(text.contains("vulnerable"));
         assert!(text.contains("2 assertion(s) discharged statically, 11 CNF var(s) saved"));
+        assert!(text.contains("4 cube(s) learned covering 13 assignment(s)"));
     }
 
     #[test]
@@ -320,6 +357,14 @@ mod tests {
         assert_eq!(
             v.get("total_cnf_vars_saved").and_then(Value::as_u64),
             Some(11)
+        );
+        assert_eq!(
+            v.get("total_cube_assignments").and_then(Value::as_u64),
+            Some(13)
+        );
+        assert_eq!(
+            files[1].get("cubes_learned").and_then(Value::as_u64),
+            Some(4)
         );
     }
 }

@@ -42,6 +42,8 @@ struct Counters {
     pre_clauses_removed: AtomicU64,
     assertions_discharged: AtomicU64,
     cnf_vars_saved: AtomicU64,
+    cubes_learned: AtomicU64,
+    cube_assignments: AtomicU64,
 }
 
 /// One point-in-time read of [`EngineStats`]. Individual fields are
@@ -87,6 +89,10 @@ pub struct EngineSnapshot {
     pub assertions_discharged: u64,
     /// CNF variables the cone-of-influence slice removed.
     pub cnf_vars_saved: u64,
+    /// Generalized blocking cubes learned by ALLSAT enumeration.
+    pub cubes_learned: u64,
+    /// Counterexamples materialized by expanding those cubes.
+    pub cube_assignments: u64,
 }
 
 impl EngineSnapshot {
@@ -139,6 +145,8 @@ impl EngineStats {
             pre_clauses_removed: load(&c.pre_clauses_removed),
             assertions_discharged: load(&c.assertions_discharged),
             cnf_vars_saved: load(&c.cnf_vars_saved),
+            cubes_learned: load(&c.cubes_learned),
+            cube_assignments: load(&c.cube_assignments),
         }
     }
 
@@ -201,6 +209,12 @@ impl EngineStats {
             self.inner
                 .cnf_vars_saved
                 .fetch_add(s.cnf_vars_saved, Ordering::Relaxed);
+            self.inner
+                .cubes_learned
+                .fetch_add(s.cubes_learned, Ordering::Relaxed);
+            self.inner
+                .cube_assignments
+                .fetch_add(s.cube_assignments, Ordering::Relaxed);
         }
     }
 

@@ -32,9 +32,10 @@ const CLAUSE_DECAY: f64 = 0.999;
 /// The clause database is a single flat `u32` arena
 /// ([`crate::arena`]): headers are inlined before the literals, clauses
 /// are addressed by word offsets, and learned-clause reduction compacts
-/// the buffer in place. The propagation inner loop walks each watcher
-/// list with two cursors (read/write) and touches one contiguous
-/// buffer; conflict analysis reuses a scratch buffer. Steady-state
+/// the buffer in place. The propagation inner loop detaches the
+/// active watcher list, walks it locally with blocker-first checks,
+/// and swap-removes relocated watchers in O(1); conflict analysis
+/// reuses a scratch buffer. Steady-state
 /// search allocates only when a learned clause is appended to the
 /// arena or a watcher list grows.
 ///
@@ -452,14 +453,18 @@ impl Solver {
     /// Unit propagation. Returns the conflicting clause, or `None` when
     /// a fixpoint is reached.
     ///
-    /// Each watcher list is walked in place with a read cursor `i` and
-    /// a write cursor `j`: surviving watchers are compacted toward the
-    /// front as they are visited and the list is truncated once at the
-    /// end — no `mem::take`, no re-push, no allocation. A watcher only
-    /// leaves the list when its clause found a replacement watch, and
-    /// replacement watches are always pushed onto *other* lists (the
+    /// The active watcher list is detached with `mem::take` (three
+    /// pointer writes, no allocation) and walked as a local vector, so
+    /// the dominant blocker-true path costs one bounds check instead of
+    /// re-resolving `watches[widx][i]` through two indirections per
+    /// watcher — the double lookup cannot be hoisted past the
+    /// `watches[cand]` pushes, and it is what the walk spends its time
+    /// on once ALLSAT blocking clauses pile thousands of watchers onto
+    /// a few branch literals. A watcher leaves the list only when its
+    /// clause found a replacement watch (`swap_remove`, O(1) at any
+    /// position); replacement watches always go onto *other* lists (the
     /// candidate literal is non-false, the list's literal is false), so
-    /// the iteration bound is stable.
+    /// detachment is sound and the iteration bound only shrinks.
     fn propagate(&mut self) -> Option<ClauseRef> {
         // Disjoint field borrows: the arena's literal slice stays live
         // across a clause visit while watcher lists and the trail are
@@ -503,17 +508,14 @@ impl Solver {
             stats.propagations += 1;
             let false_lit = !p;
             let widx = false_lit.code();
-            let n = watches[widx].len();
+            let mut ws = std::mem::take(&mut watches[widx]);
             let mut i = 0usize;
-            let mut j = 0usize;
-            'watchers: while i < n {
-                let mut w = watches[widx][i];
-                i += 1;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
                 // Fast path: blocker already true — keep the watcher
-                // without touching the clause.
+                // without touching the clause or the list.
                 if value_of(assign, w.blocker) == LBool::True {
-                    watches[widx][j] = w;
-                    j += 1;
+                    i += 1;
                     continue;
                 }
                 let c = w.clause;
@@ -525,13 +527,13 @@ impl Solver {
                 debug_assert_eq!(Lit::from_code(cl[1] as usize), false_lit);
                 let first = Lit::from_code(cl[0] as usize);
                 if first != w.blocker && value_of(assign, first) == LBool::True {
-                    w.blocker = first;
-                    watches[widx][j] = w;
-                    j += 1;
+                    ws[i].blocker = first;
+                    i += 1;
                     continue;
                 }
                 // Look for a replacement watch; when found, the clause
-                // leaves this list (the write cursor skips it).
+                // leaves this list and the last watcher is swapped into
+                // the hole to be re-examined.
                 for k in 2..cl.len() {
                     let cand = Lit::from_code(cl[k] as usize);
                     if value_of(assign, cand) != LBool::False {
@@ -541,20 +543,15 @@ impl Solver {
                             clause: c,
                             blocker: first,
                         });
+                        ws.swap_remove(i);
                         continue 'watchers;
                     }
                 }
                 // Clause is unit or conflicting; the watcher stays.
-                watches[widx][j] = w;
-                j += 1;
+                i += 1;
                 if value_of(assign, first) == LBool::False {
-                    // Conflict: keep the unvisited tail and report.
-                    while i < n {
-                        watches[widx][j] = watches[widx][i];
-                        j += 1;
-                        i += 1;
-                    }
-                    watches[widx].truncate(j);
+                    // Conflict: reattach the list and report.
+                    watches[widx] = ws;
                     *qhead = trail.len();
                     return Some(c);
                 }
@@ -570,7 +567,7 @@ impl Solver {
                 reason[v] = c;
                 trail.push(first);
             }
-            watches[widx].truncate(j);
+            watches[widx] = ws;
         }
         None
     }
@@ -766,6 +763,63 @@ impl Solver {
             }
         }
         None
+    }
+
+    /// Shrinks a satisfying cube to a (locally) minimal implicant of
+    /// `target` by greedy literal dropping with a propagation check.
+    ///
+    /// `cube` must be a set of literals that, together with the clause
+    /// database, forces `target` — typically a slice of the model the
+    /// last [`solve`](Self::solve) call produced, restricted to the
+    /// input variables of interest. For each literal in turn the solver
+    /// asks whether the remaining literals still unit-propagate
+    /// `target` to true; if so the literal is a don't-care and is
+    /// dropped. The returned subcube therefore still implies `target`
+    /// (every extension of it violates the assertion it encodes), but
+    /// may be exponentially smaller as a cover of assignments.
+    ///
+    /// The check runs at a throwaway decision level and unwinds to the
+    /// root before returning, so the solver's clause database, trail
+    /// and activities are unaffected apart from saved phases and the
+    /// [`SolverStats::cube_shrink_calls`] /
+    /// [`SolverStats::cube_lits_dropped`] counters.
+    pub fn shrink_cube(&mut self, cube: &[Lit], target: Lit) -> Vec<Lit> {
+        self.cancel_until(0);
+        self.stats.cube_shrink_calls += 1;
+        for l in cube {
+            self.ensure_var(l.var());
+        }
+        self.ensure_var(target.var());
+        let mut kept: Vec<Lit> = cube.to_vec();
+        let mut i = 0;
+        while i < kept.len() {
+            // Would the cube minus kept[i] still force the target?
+            self.new_decision_level();
+            let mut consistent = true;
+            for (j, &l) in kept.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                match self.value(l) {
+                    LBool::True => {}
+                    LBool::False => {
+                        consistent = false;
+                        break;
+                    }
+                    LBool::Undef => self.enqueue(l, ClauseRef::UNDEF),
+                }
+            }
+            let forced =
+                consistent && self.propagate().is_none() && self.value(target) == LBool::True;
+            self.cancel_until(0);
+            if forced {
+                kept.remove(i);
+                self.stats.cube_lits_dropped += 1;
+            } else {
+                i += 1;
+            }
+        }
+        kept
     }
 
     /// Solves the current clause set.
@@ -1023,6 +1077,48 @@ mod tests {
         s.add_clause([lit(0, true)]);
         assert!(s.solve_with_assumptions(&[lit(0, false)]).is_unsat());
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn shrink_cube_drops_dont_care_literals() {
+        // target ← x0 ∨ x1 (Tseitin): with x0 true, x1 and x2 are
+        // don't-cares for the target.
+        let mut s = Solver::new();
+        let target = lit(3, true);
+        s.add_clause([lit(0, false), target]);
+        s.add_clause([lit(1, false), target]);
+        s.add_clause([!target, lit(0, true), lit(1, true)]);
+        s.ensure_var(Var::new(2));
+        let cube = [lit(0, true), lit(1, false), lit(2, true)];
+        let shrunk = s.shrink_cube(&cube, target);
+        assert_eq!(shrunk, vec![lit(0, true)]);
+        assert_eq!(s.stats().cube_shrink_calls, 1);
+        assert_eq!(s.stats().cube_lits_dropped, 2);
+        // The solver is unperturbed: still satisfiable, still at root.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn shrink_cube_keeps_required_literals() {
+        // target ← x0 ∧ x1: neither literal can be dropped.
+        let mut s = Solver::new();
+        let target = lit(2, true);
+        s.add_clause([lit(0, false), lit(1, false), target]);
+        s.add_clause([!target, lit(0, true)]);
+        s.add_clause([!target, lit(1, true)]);
+        let cube = [lit(0, true), lit(1, true)];
+        let shrunk = s.shrink_cube(&cube, target);
+        assert_eq!(shrunk, cube.to_vec());
+        assert_eq!(s.stats().cube_lits_dropped, 0);
+    }
+
+    #[test]
+    fn shrink_cube_can_return_empty_when_target_is_forced() {
+        let mut s = Solver::new();
+        let target = lit(1, true);
+        s.add_clause([target]);
+        let shrunk = s.shrink_cube(&[lit(0, true)], target);
+        assert!(shrunk.is_empty());
     }
 
     #[test]

@@ -32,13 +32,18 @@ pub struct SolverStats {
     /// False literals stripped from clauses by `add_formula`
     /// preprocessing.
     pub pre_lits_removed: u64,
+    /// Calls to [`Solver::shrink_cube`](crate::Solver::shrink_cube).
+    pub cube_shrink_calls: u64,
+    /// Literals dropped from cubes by
+    /// [`Solver::shrink_cube`](crate::Solver::shrink_cube).
+    pub cube_lits_dropped: u64,
 }
 
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "solves={} decisions={} propagations={} conflicts={} restarts={} learnt={} deleted={} minimized={} pre_units={} pre_clauses={} pre_lits={}",
+            "solves={} decisions={} propagations={} conflicts={} restarts={} learnt={} deleted={} minimized={} pre_units={} pre_clauses={} pre_lits={} cube_shrinks={} cube_lits_dropped={}",
             self.solves,
             self.decisions,
             self.propagations,
@@ -50,6 +55,8 @@ impl fmt::Display for SolverStats {
             self.pre_units_fixed,
             self.pre_clauses_removed,
             self.pre_lits_removed,
+            self.cube_shrink_calls,
+            self.cube_lits_dropped,
         )
     }
 }

@@ -349,6 +349,23 @@ impl ServerMetrics {
                 "webssari_engine_screening_total{{kind=\"{kind}\"}} {count}",
             );
         }
+
+        metric(
+            &mut out,
+            "webssari_engine_enumeration_total",
+            "counter",
+            "ALLSAT cube generalization: blocking cubes learned and \
+             counterexamples materialized by expanding them.",
+        );
+        for (kind, count) in [
+            ("cubes_learned", engine.cubes_learned),
+            ("cube_assignments", engine.cube_assignments),
+        ] {
+            let _ = writeln!(
+                out,
+                "webssari_engine_enumeration_total{{kind=\"{kind}\"}} {count}",
+            );
+        }
         out
     }
 }
@@ -403,6 +420,8 @@ mod tests {
             pre_clauses_removed: 2,
             assertions_discharged: 5,
             cnf_vars_saved: 42,
+            cubes_learned: 6,
+            cube_assignments: 19,
             ..EngineSnapshot::default()
         };
         let text = m.render_prometheus(&snap, 0, 4);
@@ -416,6 +435,8 @@ mod tests {
         );
         assert!(text.contains("webssari_engine_screening_total{kind=\"assertions_discharged\"} 5"));
         assert!(text.contains("webssari_engine_screening_total{kind=\"cnf_vars_saved\"} 42"));
+        assert!(text.contains("webssari_engine_enumeration_total{kind=\"cubes_learned\"} 6"));
+        assert!(text.contains("webssari_engine_enumeration_total{kind=\"cube_assignments\"} 19"));
         // Every exposed line is HELP, TYPE, or a sample.
         for line in text.lines() {
             assert!(
