@@ -4,16 +4,20 @@
 //! | rule id | severity | meaning |
 //! |---------|----------|---------|
 //! | `unsanitized-sink` | error | tainted data may reach a sensitive output channel |
+//! | `sql-concat-injection` | error | tainted data is concatenated into SQL query text |
+//! | `stored-taint-flow` | error | a sink is reachable from a cross-request store read |
 //! | `tainted-include` | error | a dynamic `include`/`require` path carries taint |
 //! | `dead-sanitizer` | warning | a sanitizer call whose result never reaches any sink |
 //! | `unreachable-after-stop` | warning | code after `exit`/top-level `return` in the same block |
 //! | `recursion-cutoff-approximation` | note | a call degraded by the inlining depth cutoff |
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use taint_lattice::Lattice;
 use typestate::TsResult;
-use webssari_ir::{AiCmd, AiProgram, FProgram, Site, VarId};
+use webssari_ir::{
+    is_store_cell, store_cell_key, AiCmd, AiProgram, AssertId, AssertKind, FProgram, Site, VarId,
+};
 
 /// Diagnostic severity, mirroring SARIF's `level`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -38,8 +42,10 @@ impl Severity {
 }
 
 /// Every rule id the lint pass can emit, in stable order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 7] = [
     "unsanitized-sink",
+    "sql-concat-injection",
+    "stored-taint-flow",
     "tainted-include",
     "dead-sanitizer",
     "unreachable-after-stop",
@@ -131,8 +137,31 @@ pub fn lint_file(
     Ok(lint(&f, &ai, &ts, lattice))
 }
 
-/// `unsanitized-sink` and `tainted-include` from the TS symptoms.
+/// `unsanitized-sink`, `sql-concat-injection`, `stored-taint-flow`, and
+/// `tainted-include` from the TS symptoms.
 fn taint_rules(ai: &AiProgram, ts: &TsResult, out: &mut Vec<Diagnostic>) {
+    let mut kinds: BTreeMap<AssertId, &AssertKind> = BTreeMap::new();
+    for (c, _) in ai.assertions() {
+        if let AiCmd::Assert { id, kind, .. } = c {
+            kinds.insert(*id, kind);
+        }
+    }
+    // Store cells in each assertion's backward cone — the signature of
+    // a second-order flow feeding the sink. The cone walk is skipped
+    // entirely when the program reads no store.
+    let mut store_keys: BTreeMap<AssertId, Vec<&str>> = BTreeMap::new();
+    if ai.vars.iter().any(|v| is_store_cell(ai.vars.name(v))) {
+        for cone in crate::cone::cones(ai) {
+            let keys: Vec<&str> = cone
+                .vars
+                .iter()
+                .filter_map(|v| store_cell_key(ai.vars.name(*v)))
+                .collect();
+            if !keys.is_empty() {
+                store_keys.insert(cone.id, keys);
+            }
+        }
+    }
     for e in &ts.errors {
         let vars: Vec<&str> = e.violating_vars.iter().map(|v| ai.vars.name(*v)).collect();
         let (rule, message) = if e.func == "include" {
@@ -141,6 +170,21 @@ fn taint_rules(ai: &AiProgram, ts: &TsResult, out: &mut Vec<Diagnostic>) {
                 format!(
                     "dynamic include path may be attacker-controlled (via ${})",
                     vars.join(", $")
+                ),
+            )
+        } else if let Some(AssertKind::SqlStructure(meta)) = kinds.get(&e.assert_id).copied() {
+            let table = meta
+                .table
+                .as_ref()
+                .map(|t| format!(" on `{t}`"))
+                .unwrap_or_default();
+            (
+                "sql-concat-injection",
+                format!(
+                    "tainted data is concatenated into {} query text{table} \
+                     via ${} — bind it at a parameterized (?) position instead",
+                    meta.stmt.as_str(),
+                    vars.join(", $"),
                 ),
             )
         } else {
@@ -159,6 +203,18 @@ fn taint_rules(ai: &AiProgram, ts: &TsResult, out: &mut Vec<Diagnostic>) {
             message,
             site: e.site.clone(),
         });
+        if let Some(keys) = store_keys.get(&e.assert_id) {
+            out.push(Diagnostic {
+                rule: "stored-taint-flow",
+                severity: Severity::Error,
+                message: format!(
+                    "sink is reachable from store `{}`: the value read back may carry \
+                     taint written by an earlier request",
+                    keys.join("`, `"),
+                ),
+                site: e.site.clone(),
+            });
+        }
     }
 }
 
@@ -339,6 +395,40 @@ mod tests {
         assert_eq!(d.severity, Severity::Note);
         assert!(d.message.contains("r($x)"), "{}", d.message);
         assert!(!d.site.is_synthetic());
+    }
+
+    #[test]
+    fn sql_concat_injection_for_resolved_templates() {
+        let diags = lint_src(
+            "<?php\n$name = $_GET['n'];\n$q = \"SELECT * FROM users WHERE name='\" . $name . \"'\";\nmysql_query($q);\n",
+        );
+        assert_eq!(rules(&diags), vec!["sql-concat-injection"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("SELECT"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("users"), "{}", diags[0].message);
+        assert!(
+            diags[0].message.contains("parameterized"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn parameterized_query_is_clean() {
+        let diags = lint_src(
+            "<?php\n$m = $_GET['m'];\nmysql_query(\"INSERT INTO gb (msg) VALUES (?)\", $m);\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn stored_taint_flow_names_the_store() {
+        let diags = lint_src(
+            "<?php\n$r = mysql_query('SELECT m FROM gb');\nwhile ($row = mysql_fetch_array($r)) {\necho $row;\n}\n",
+        );
+        assert_eq!(rules(&diags), vec!["stored-taint-flow", "unsanitized-sink"]);
+        assert!(diags[0].message.contains("`gb`"), "{}", diags[0].message);
+        assert_eq!(diags[0].severity, Severity::Error);
     }
 
     #[test]

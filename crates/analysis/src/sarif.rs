@@ -17,6 +17,14 @@ pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
 fn rule_description(rule: &str) -> &'static str {
     match rule {
         "unsanitized-sink" => "Tainted data may reach a sensitive output channel.",
+        "sql-concat-injection" => {
+            "Tainted data is concatenated into SQL query text instead of being bound at a \
+             parameterized position."
+        }
+        "stored-taint-flow" => {
+            "A sink is reachable from a cross-request store read whose writers may be tainted \
+             (second-order flow)."
+        }
         "tainted-include" => "A dynamic include/require path may be attacker-controlled.",
         "dead-sanitizer" => "A sanitizer's result never reaches any sensitive output channel.",
         "unreachable-after-stop" => "Code after exit/return in the same block never executes.",

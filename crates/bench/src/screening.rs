@@ -420,6 +420,14 @@ pub fn run_suite(fast: bool) -> SuiteResult {
         &prelude,
         reps,
     ));
+    // The SQL-heavy profile: structured-SQL sinks (concat vs
+    // parameterized) and fetch-read pages, also identical across modes.
+    let sql_heavy: Vec<(String, String)> = corpus::sql_heavy_project(12)
+        .sources
+        .iter()
+        .map(|(n, s)| (n.to_owned(), s.to_owned()))
+        .collect();
+    projects.push(measure_project("sql-heavy", &sql_heavy, &prelude, reps));
     SuiteResult {
         mode: if fast { "fast" } else { "full" },
         projects,

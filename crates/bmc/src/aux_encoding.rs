@@ -305,6 +305,7 @@ fn build(
                 strict,
                 func,
                 site,
+                ..
             } => {
                 assert_meta.push(AssertMeta {
                     id: *id,

@@ -97,6 +97,12 @@ pub struct XbmcStats {
     /// the mean cover per cube; > 1 means generalization pruned solver
     /// calls.
     pub cube_assignments: u64,
+    /// Assertions carrying SQL-structured sink preconditions
+    /// (`AssertKind::SqlStructure`; filled by `webssari-core`).
+    pub sql_assertions_checked: u64,
+    /// Violated assertions whose error trace flows through a store
+    /// cell — second-order (stored) taint (filled by `webssari-core`).
+    pub second_order_flows_found: u64,
 }
 
 impl XbmcStats {

@@ -145,6 +145,7 @@ impl<L: Lattice> Encoder<'_, L> {
                     strict,
                     func,
                     site,
+                    ..
                 } => {
                     let mut var_violations = Vec::with_capacity(vars.len());
                     let mut any = Vec::with_capacity(vars.len());

@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 use proptest::prelude::*;
 use taint_lattice::{Lattice, TwoPoint};
 use webssari_ir::ai::reference;
-use webssari_ir::{AiCmd, AiProgram, AssertId, BranchId, Site, VarId, VarTable};
+use webssari_ir::{AiCmd, AiProgram, AssertId, AssertKind, BranchId, Site, VarId, VarTable};
 use xbmc::{CheckOptions, EncoderKind, Xbmc};
 
 const NUM_VARS: usize = 4;
@@ -98,6 +98,7 @@ fn build(protos: &[Proto], next_branch: &mut u32, next_assert: &mut u32) -> Vec<
                     bound: l.top(),
                     strict: true,
                     func: "echo".into(),
+                    kind: AssertKind::Soc,
                     site: Site::synthetic("prop.php", "assert"),
                 }
             }

@@ -17,8 +17,8 @@ use php_front::parse_source;
 use proptest::prelude::*;
 use taint_lattice::TwoPoint;
 use webssari_ir::{
-    abstract_interpret, filter_program, AiCmd, AiProgram, AssertId, BranchId, FilterOptions,
-    Prelude, Site, VarId, VarTable,
+    abstract_interpret, filter_program, AiCmd, AiProgram, AssertId, AssertKind, BranchId,
+    FilterOptions, Prelude, Site, VarId, VarTable,
 };
 use xbmc::{CheckOptions, CheckResult, Xbmc};
 
@@ -188,6 +188,7 @@ fn build(protos: &[Proto], next_branch: &mut u32, next_assert: &mut u32) -> Vec<
                     bound: l.top(),
                     strict: true,
                     func: "echo".into(),
+                    kind: AssertKind::Soc,
                     site: Site::synthetic("equiv.php", "assert"),
                 }
             }
@@ -494,13 +495,17 @@ fn screened_check(ai: &AiProgram, options: CheckOptions) -> CheckResult {
     result
 }
 
-/// Channel variables (superglobals) under the standard prelude, as the
-/// core verifier computes them before planning fixes.
+/// Channel variables (superglobals and synthetic cross-request store
+/// cells) under the standard prelude, as the core verifier computes
+/// them before planning fixes.
 fn channels(ai: &AiProgram) -> BTreeSet<VarId> {
     let prelude = Prelude::standard();
     ai.vars
         .iter()
-        .filter(|v| prelude.is_superglobal(ai.vars.name(*v)))
+        .filter(|v| {
+            let name = ai.vars.name(*v);
+            prelude.is_superglobal(name) || webssari_ir::is_store_cell(name)
+        })
         .collect()
 }
 
@@ -597,6 +602,181 @@ fn php_derived_screening_preserves_reports() {
         total_discharged > 0,
         "screening discharged nothing across {total_asserts} assertions"
     );
+}
+
+// ---------------------------------------------------------------------
+// SQL-structured and store-chained programs (the second-order store
+// model): screening must stay observationally invisible when assertions
+// carry `SqlStructure` kinds and when counterexample traces pass
+// through synthetic store cells, and fix plans must be stable and
+// rooted at real program variables — never at a store cell.
+// ---------------------------------------------------------------------
+
+/// A program mixing structured-SQL shapes: tainted concat writes,
+/// parameterized calls (clean by construction), fetch-read chains
+/// through store cells, sanitized echoes, opaque concat sinks, and
+/// branch-dependent writes.
+fn sql_store_php(ops: &[u8]) -> String {
+    let mut src = String::from("<?php ");
+    for (i, op) in ops.iter().enumerate() {
+        let t = i % 3;
+        match op % 6 {
+            0 => src.push_str(&format!(
+                "$w{i} = $_POST['w{i}']; \
+                 mysql_query(\"INSERT INTO t{t} (c) VALUES ('$w{i}')\"); "
+            )),
+            1 => src.push_str(&format!(
+                "$b{i} = $_GET['b{i}']; \
+                 execute_query(\"UPDATE t{t} SET c = ? WHERE id = {i}\", $b{i}); "
+            )),
+            2 => src.push_str(&format!(
+                "$h{i} = mysql_query('SELECT c FROM t{t}'); \
+                 $r{i} = mysql_fetch_array($h{i}); echo $r{i}; "
+            )),
+            3 => src.push_str(&format!(
+                "$e{i} = htmlspecialchars($_GET['e{i}']); echo $e{i}; "
+            )),
+            4 => src.push_str(&format!(
+                "$q{i} = 'DELETE FROM log WHERE tag=' . $_COOKIE['c{i}']; DoSQL($q{i}); "
+            )),
+            _ => src.push_str(&format!(
+                "if ($g{i}) {{ $m{i} = $_GET['m{i}']; }} else {{ $m{i} = 'lit'; }} \
+                 mysql_query(\"INSERT INTO t{t} (x) VALUES ('$m{i}')\"); "
+            )),
+        }
+    }
+    src
+}
+
+/// One writer/reader pair over the same table, lowered the way the core
+/// verifier's two-pass flow does it: pass 1 summarizes the writer's
+/// store writes (filtered with an *empty* summary), pass 2 lowers the
+/// reader against that summary. Returns the reader's `AiProgram`.
+fn reader_with_store_summary(writer: &str, reader: &str) -> AiProgram {
+    use webssari_ir::{filter_program_with_stores, StoreSummary};
+    let prelude = Prelude::standard();
+    let options = FilterOptions::default();
+    let lattice = TwoPoint::new();
+
+    let mut summary = StoreSummary::new();
+    let ast = parse_source(writer).expect("writer parses");
+    let f = filter_program(&ast, writer, "writer.php", &prelude, &options);
+    let ai = abstract_interpret(&f);
+    let state = typestate::final_state(&ai, &lattice);
+    for w in &f.store_writes {
+        summary.record(&w.key, state[w.var.index()], &w.site.to_string(), &lattice);
+    }
+
+    let ast = parse_source(reader).expect("reader parses");
+    let f = filter_program_with_stores(
+        &ast,
+        reader,
+        "reader.php",
+        &prelude,
+        &options,
+        &summary,
+        &lattice,
+    );
+    abstract_interpret(&f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// SQL-structured programs through the real front end: identical
+    /// counterexamples, counts, and fix plans with screening on or off,
+    /// and the plan never roots at a synthetic store cell.
+    #[test]
+    fn sql_structured_screening_is_invisible(ops in prop::collection::vec(0u8..6, 1..8)) {
+        let p = ai_of(&sql_store_php(&ops));
+        let full = Xbmc::new(&p).check_all();
+        let screened = screened_check(&p, CheckOptions::default());
+        prop_assert_eq!(&screened.counterexamples, &full.counterexamples);
+        prop_assert_eq!(screened.checked_assertions, full.checked_assertions);
+        prop_assert_eq!(screened.violated_assertions, full.violated_assertions);
+        let chans = channels(&p);
+        let plan_full = fixes::minimal_fixing_set_with(&full.counterexamples, &chans, false);
+        let plan_screened =
+            fixes::minimal_fixing_set_with(&screened.counterexamples, &chans, false);
+        prop_assert_eq!(&plan_screened, &plan_full);
+        for v in &plan_full.fix_vars {
+            prop_assert!(
+                !webssari_ir::is_store_cell(p.vars.name(*v)),
+                "fix plan rooted at synthetic store cell {}",
+                p.vars.name(*v)
+            );
+        }
+    }
+
+    /// Store-chained two-file programs: the reader violates exactly when
+    /// the writer concatenated taint into the shared table (a tainted
+    /// parameterized write or a literal write keeps the reader clean),
+    /// the report is bit-identical with and without screening, and the
+    /// fix plan is stable across repeated runs.
+    #[test]
+    fn store_chained_reports_are_bit_identical(write_op in 0u8..3, sanitized in any::<bool>()) {
+        let writer = match write_op {
+            0 => "<?php $v = $_POST['v']; \
+                  mysql_query(\"INSERT INTO msgs (c) VALUES ('$v')\");",
+            1 => "<?php $v = 'clean'; \
+                  mysql_query(\"INSERT INTO msgs (c) VALUES ('$v')\");",
+            _ => "<?php $v = $_GET['v']; \
+                  execute_query(\"INSERT INTO msgs (c) VALUES (?)\", $v);",
+        };
+        let reader = if sanitized {
+            "<?php $h = mysql_query('SELECT c FROM msgs'); \
+             $r = mysql_fetch_array($h); echo htmlspecialchars($r);"
+        } else {
+            "<?php $h = mysql_query('SELECT c FROM msgs'); \
+             $r = mysql_fetch_array($h); echo $r;"
+        };
+        let p = reader_with_store_summary(writer, reader);
+        let full = Xbmc::new(&p).check_all();
+        let screened = screened_check(&p, CheckOptions::default());
+        prop_assert_eq!(&screened.counterexamples, &full.counterexamples);
+        prop_assert_eq!(screened.checked_assertions, full.checked_assertions);
+        // Second-order semantics: only the tainted *concatenating*
+        // write makes the unsanitized read vulnerable.
+        let expect_violation = write_op == 0 && !sanitized;
+        prop_assert_eq!(
+            !full.counterexamples.is_empty(),
+            expect_violation,
+            "writer {:?} sanitized {:?}",
+            write_op,
+            sanitized
+        );
+        let chans = channels(&p);
+        let plan_a = fixes::minimal_fixing_set_with(&full.counterexamples, &chans, false);
+        let plan_b = fixes::minimal_fixing_set_with(&screened.counterexamples, &chans, false);
+        prop_assert_eq!(&plan_a, &plan_b);
+        for v in &plan_a.fix_vars {
+            prop_assert!(!webssari_ir::is_store_cell(p.vars.name(*v)));
+        }
+    }
+}
+
+/// The SQL/store generator is not vacuous: across its op space it emits
+/// SQL-structured assertions and synthetic store cells (otherwise the
+/// two proptests above prove nothing about the new kinds).
+#[test]
+fn sql_store_generator_covers_the_new_shapes() {
+    let mut sql_asserts = 0usize;
+    let mut store_cells = 0usize;
+    for ops in [[0u8, 1, 2, 3, 4, 5], [2, 2, 0, 5, 1, 3]] {
+        let p = ai_of(&sql_store_php(&ops));
+        sql_asserts += p
+            .assertions()
+            .iter()
+            .filter(|(cmd, _)| matches!(cmd, AiCmd::Assert { kind, .. } if kind.is_sql_structure()))
+            .count();
+        store_cells += p
+            .vars
+            .iter()
+            .filter(|v| webssari_ir::is_store_cell(p.vars.name(*v)))
+            .count();
+    }
+    assert!(sql_asserts > 0, "no SqlStructure assertions generated");
+    assert!(store_cells > 0, "no store cells generated");
 }
 
 /// PHP-derived programs through the real front end: the checker on the

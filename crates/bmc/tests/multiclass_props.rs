@@ -9,7 +9,7 @@ use std::collections::BTreeSet;
 use proptest::prelude::*;
 use taint_lattice::{Elem, Powerset};
 use webssari_ir::ai::reference;
-use webssari_ir::{AiCmd, AiProgram, AssertId, BranchId, Site, VarId, VarTable};
+use webssari_ir::{AiCmd, AiProgram, AssertId, AssertKind, BranchId, Site, VarId, VarTable};
 use xbmc::{CheckOptions, EncoderKind, Xbmc};
 
 const NUM_VARS: usize = 3;
@@ -113,6 +113,7 @@ fn build(protos: &[Proto], next_branch: &mut u32, next_assert: &mut u32) -> Vec<
                     bound: Elem::new(*bound),
                     strict: *strict,
                     func: "sink".into(),
+                    kind: AssertKind::Soc,
                     site: Site::synthetic("mc.php", "assert"),
                 }
             }

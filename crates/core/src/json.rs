@@ -24,6 +24,7 @@ pub fn vulnerability_to_value(v: &Vulnerability) -> Value {
             "funcs",
             Value::Arr(v.funcs.iter().cloned().map(Value::Str).collect()),
         ),
+        ("parameterize", Value::Bool(v.parameterize)),
     ])
 }
 
@@ -34,6 +35,8 @@ pub fn vulnerability_from_value(v: &Value) -> Option<Vulnerability> {
         root_var: v.get("root_var")?.as_str()?.to_owned(),
         symptoms: string_list(v.get("symptoms")?)?,
         funcs: string_list(v.get("funcs")?)?,
+        // Absent in summaries written before the field existed.
+        parameterize: matches!(v.get("parameterize"), Some(Value::Bool(true))),
     })
 }
 
@@ -116,6 +119,7 @@ mod tests {
                 root_var: "sid".to_owned(),
                 symptoms: vec!["a.php:3".to_owned(), "a.php:4".to_owned()],
                 funcs: vec!["mysql_query".to_owned()],
+                parameterize: outcome == FileOutcome::Vulnerable,
             }],
             outcome,
         }

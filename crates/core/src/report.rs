@@ -22,6 +22,10 @@ pub struct Vulnerability {
     pub symptoms: Vec<String>,
     /// The SOC functions involved.
     pub funcs: Vec<String>,
+    /// Whether the recommended patch is to *parameterize the query*
+    /// (every symptom is a SQL-structured sink) rather than sanitize —
+    /// set only under `prefer_parameterize`.
+    pub parameterize: bool,
 }
 
 /// How verifying one file concluded.
@@ -134,9 +138,14 @@ impl FileReport {
             return out;
         }
         for v in &self.vulnerabilities {
+            let action = if v.parameterize {
+                "parameterize the query binding"
+            } else {
+                "sanitize"
+            };
             let _ = writeln!(
                 out,
-                "[{}] sanitize ${} — fixes {} symptom(s): {}",
+                "[{}] {action} ${} — fixes {} symptom(s): {}",
                 v.class,
                 v.root_var,
                 v.symptoms.len(),

@@ -1,6 +1,11 @@
+use std::sync::Arc;
+
 use php_front::{parse_source, resolve_includes, IncludeError, SourceSet};
 use taint_lattice::{Lattice, Powerset, TwoPoint};
-use webssari_ir::{abstract_interpret_with, filter_program, FilterOptions, Prelude};
+use webssari_ir::{
+    abstract_interpret_with, filter_program, filter_program_with_stores, is_store_cell, AiCmd,
+    AssertId, FilterOptions, Prelude, StoreSummary,
+};
 use xbmc::{CheckOptions, Xbmc};
 
 /// Which information-flow policy (lattice + prelude pairing) a
@@ -96,6 +101,7 @@ pub struct VerifierBuilder {
     policy: Policy,
     solve_budget: SolveBudget,
     no_screen: bool,
+    prefer_parameterize: bool,
 }
 
 impl VerifierBuilder {
@@ -192,6 +198,18 @@ impl VerifierBuilder {
         self
     }
 
+    /// Prefers the "parameterize this query" patch shape in reports:
+    /// when every symptom a fix variable repairs is a SQL-structured
+    /// sink precondition, the vulnerability is reported as a query to
+    /// parameterize (bind the value at a `?` position) instead of a
+    /// variable to sanitize. The fix *plan* records the advice either
+    /// way (see [`fixes::FixPlan::parameterize`]); this flag only picks
+    /// which patch shape the report leads with.
+    pub fn prefer_parameterize(mut self, prefer: bool) -> Self {
+        self.prefer_parameterize = prefer;
+        self
+    }
+
     /// Bounds each file's check with a per-file [`SolveBudget`]. A file
     /// that exhausts it degrades to [`FileOutcome::Timeout`] instead of
     /// wedging the verifier — the batch engine's defense against
@@ -213,6 +231,8 @@ impl VerifierBuilder {
             policy: self.policy,
             solve_budget: self.solve_budget,
             no_screen: self.no_screen,
+            prefer_parameterize: self.prefer_parameterize,
+            store_summary: None,
         }
     }
 }
@@ -231,6 +251,11 @@ pub struct Verifier {
     policy: Policy,
     solve_budget: SolveBudget,
     no_screen: bool,
+    prefer_parameterize: bool,
+    /// The installed cross-request store summary (pass 1 of project
+    /// verification). `None` means each verify call computes its own
+    /// from whatever sources it was handed.
+    store_summary: Option<Arc<StoreSummary>>,
 }
 
 impl Verifier {
@@ -262,6 +287,75 @@ impl Verifier {
         v
     }
 
+    /// A copy of this verifier with a cross-request store summary
+    /// installed: store reads are lowered at the summary's write levels
+    /// instead of each call recomputing its own summary (pass 1).
+    ///
+    /// Like the solve budget, the summary is *data about the sources*,
+    /// not a result-shaping knob, so it is excluded from
+    /// [`Verifier::config_description`] — a batch engine derives it from
+    /// the same sources whose fingerprints already key the cache.
+    #[must_use]
+    pub fn with_store_summary(&self, summary: Arc<StoreSummary>) -> Verifier {
+        let mut v = self.clone();
+        v.store_summary = Some(summary);
+        v
+    }
+
+    /// Pass 1 of second-order analysis: conservatively summarizes every
+    /// cross-request store write (SQL `INSERT`/`UPDATE`, `$_SESSION`,
+    /// file writes) in the source set, keyed by table/variable
+    /// identity. Files that fail to parse contribute nothing.
+    ///
+    /// The pass runs with an *empty* summary installed, so recorded
+    /// write levels never depend on read levels — the result is
+    /// independent of file iteration order.
+    pub fn compute_store_summary(&self, sources: &SourceSet) -> StoreSummary {
+        match &self.policy {
+            Policy::TwoPoint => self.store_summary_with(sources, &TwoPoint::new()),
+            Policy::MultiClass(lattice) => {
+                let lattice = lattice.clone();
+                self.store_summary_with(sources, &lattice)
+            }
+        }
+    }
+
+    fn store_summary_with(&self, sources: &SourceSet, lattice: &impl Lattice) -> StoreSummary {
+        let mut summary = StoreSummary::new();
+        for (name, src) in sources.iter() {
+            let program = match resolve_includes(sources, name) {
+                Ok(p) => p,
+                Err(
+                    IncludeError::DynamicIncludePath { .. }
+                    | IncludeError::MissingFile { .. }
+                    | IncludeError::IncludeCycle(_),
+                ) => match parse_source(src) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                },
+                Err(_) => continue,
+            };
+            self.summarize_program(&program, src, name, lattice, &mut summary);
+        }
+        summary
+    }
+
+    fn summarize_program(
+        &self,
+        program: &php_front::ast::Program,
+        src: &str,
+        file: &str,
+        lattice: &impl Lattice,
+        summary: &mut StoreSummary,
+    ) {
+        let f = filter_program(program, src, file, &self.prelude, &self.filter_options);
+        let ai = abstract_interpret_with(&f, lattice, self.loop_unroll);
+        let state = typestate::final_state(&ai, lattice);
+        for w in &f.store_writes {
+            summary.record(&w.key, state[w.var.index()], &w.site.to_string(), lattice);
+        }
+    }
+
     /// A deterministic, canonical text describing everything that
     /// influences this verifier's *results*: crate version, policy,
     /// loop-unroll depth, filter and check options, fix-plan settings,
@@ -284,6 +378,7 @@ impl Verifier {
         let _ = writeln!(out, "loop_unroll {}", self.loop_unroll);
         let _ = writeln!(out, "exact_fixing_set {}", self.exact_fixing_set);
         let _ = writeln!(out, "minimize_guard_lines {}", self.minimize_guard_lines);
+        let _ = writeln!(out, "prefer_parameterize {}", self.prefer_parameterize);
         let _ = writeln!(out, "filter_options {:?}", self.filter_options);
         let _ = writeln!(
             out,
@@ -306,7 +401,18 @@ impl Verifier {
     /// supported subset.
     pub fn verify_source(&self, src: &str, file: &str) -> Result<FileReport, VerifyError> {
         let program = parse_source(src)?;
-        Ok(self.verify_parsed(&program, src, file))
+        let stores = match &self.store_summary {
+            Some(s) => Arc::clone(s),
+            None => {
+                // Single-source two-pass: the file's own store writes
+                // feed its own reads (an INSERT above a SELECT of the
+                // same table in one script).
+                let mut set = SourceSet::new();
+                set.add_file(file, src);
+                Arc::new(self.compute_store_summary(&set))
+            }
+        };
+        Ok(self.verify_parsed(&program, src, file, &stores))
     }
 
     /// Verifies one file of a project, resolving its includes from the
@@ -339,7 +445,11 @@ impl Verifier {
             ) => parse_source(&src)?,
             Err(e) => return Err(e.into()),
         };
-        Ok(self.verify_parsed(&program, &src, entry))
+        let stores = match &self.store_summary {
+            Some(s) => Arc::clone(s),
+            None => Arc::new(self.compute_store_summary(sources)),
+        };
+        Ok(self.verify_parsed(&program, &src, entry, &stores))
     }
 
     /// Verifies every file of a project as an entry point.
@@ -348,9 +458,15 @@ impl Verifier {
     /// [`ProjectReport::failed_files`] rather than aborting the project,
     /// matching how a batch corpus run must behave.
     pub fn verify_project(&self, sources: &SourceSet) -> ProjectReport {
+        // Pass 1 once for the whole set; every file then reads stores
+        // at the project-wide write levels.
+        let shared = match &self.store_summary {
+            Some(_) => self.clone(),
+            None => self.with_store_summary(Arc::new(self.compute_store_summary(sources))),
+        };
         let mut report = ProjectReport::default();
         for (name, _) in sources.iter() {
-            match self.verify_file(sources, name) {
+            match shared.verify_file(sources, name) {
                 Ok(f) => report.files.push(f),
                 Err(e) => report.failed_files.push((name.to_owned(), e.to_string())),
             }
@@ -363,12 +479,15 @@ impl Verifier {
         program: &php_front::ast::Program,
         src: &str,
         file: &str,
+        stores: &StoreSummary,
     ) -> FileReport {
         match &self.policy {
-            Policy::TwoPoint => self.verify_with_lattice(program, src, file, &TwoPoint::new()),
+            Policy::TwoPoint => {
+                self.verify_with_lattice(program, src, file, stores, &TwoPoint::new())
+            }
             Policy::MultiClass(lattice) => {
                 let lattice = lattice.clone();
-                self.verify_with_lattice(program, src, file, &lattice)
+                self.verify_with_lattice(program, src, file, stores, &lattice)
             }
         }
     }
@@ -378,9 +497,18 @@ impl Verifier {
         program: &php_front::ast::Program,
         src: &str,
         file: &str,
+        stores: &StoreSummary,
         lattice: &impl Lattice,
     ) -> FileReport {
-        let f = filter_program(program, src, file, &self.prelude, &self.filter_options);
+        let f = filter_program_with_stores(
+            program,
+            src,
+            file,
+            &self.prelude,
+            &self.filter_options,
+            stores,
+            lattice,
+        );
         let ai = abstract_interpret_with(&f, lattice, self.loop_unroll);
         let ts = typestate::analyze(&ai, lattice);
         let mut check_options = self.check_options.clone();
@@ -394,7 +522,7 @@ impl Verifier {
         // encoding (certificates refer to the whole formula), so it
         // bypasses screening.
         let screening = !self.no_screen && !check_options.certify;
-        let bmc = if screening {
+        let mut bmc = if screening {
             let screened = webssari_analysis::screen(&ai, &ts, lattice);
             let discharged = screened.discharged.len();
             let mut result = if screened.all_discharged() {
@@ -426,13 +554,37 @@ impl Verifier {
         } else {
             Xbmc::with_options(&ai, check_options).check_all_with(lattice)
         };
+        // SQL-structure and second-order counters: how many assertions
+        // carried a structural SQL precondition, and how many violated
+        // assertions trace back to a store cell (stored taint).
+        let sql_asserts: std::collections::BTreeSet<AssertId> = ai
+            .assertions()
+            .iter()
+            .filter_map(|(c, _)| match c {
+                AiCmd::Assert { id, kind, .. } if kind.is_sql_structure() => Some(*id),
+                _ => None,
+            })
+            .collect();
+        bmc.stats.sql_assertions_checked = sql_asserts.len() as u64;
+        let second_order: std::collections::BTreeSet<AssertId> = bmc
+            .counterexamples
+            .iter()
+            .filter(|cx| trace_reads_store(cx, &ai))
+            .map(|cx| cx.assert_id)
+            .collect();
+        bmc.stats.second_order_flows_found = second_order.len() as u64;
         // Replacement chains stop before channel variables: the patch
         // sanitizes the program variable that read the channel, not the
-        // superglobal itself.
+        // superglobal itself. Store cells count as channels — you
+        // sanitize the variable that fetched the row, not the synthetic
+        // cross-request cell.
         let channels: std::collections::BTreeSet<_> = ai
             .vars
             .iter()
-            .filter(|v| self.prelude.is_superglobal(ai.vars.name(*v)))
+            .filter(|v| {
+                let name = ai.vars.name(*v);
+                self.prelude.is_superglobal(name) || is_store_cell(name)
+            })
             .collect();
         let fix_plan = if self.minimize_guard_lines {
             // Cost of a variable = number of distinct tainting
@@ -459,6 +611,16 @@ impl Verifier {
         } else {
             fixes::minimal_fixing_set_with(&bmc.counterexamples, &channels, self.exact_fixing_set)
         };
+        let mut fix_plan = fix_plan;
+        // Patch-shape advice: when every symptom a fix variable repairs
+        // is a SQL-structured sink, binding the value at a parameterized
+        // position fixes the flaw structurally.
+        for root in &fix_plan.fix_vars {
+            let asserts = &fix_plan.groups[root];
+            if !asserts.is_empty() && asserts.iter().all(|a| sql_asserts.contains(a)) {
+                fix_plan.parameterize.insert(*root);
+            }
+        }
         // Build the grouped vulnerability report: one entry per root
         // cause, listing the symptoms (sites) it explains.
         let mut vulnerabilities = Vec::new();
@@ -487,6 +649,7 @@ impl Verifier {
                 root_var: ai.vars.name(*root).to_owned(),
                 symptoms,
                 funcs,
+                parameterize: self.prefer_parameterize && fix_plan.parameterize.contains(root),
             });
         }
         let outcome = if bmc.interrupted {
@@ -507,6 +670,24 @@ impl Verifier {
             outcome,
         }
     }
+}
+
+/// Whether a counterexample's violating values flow — backwards along
+/// its trace — from a store cell: the signature of a second-order
+/// (stored) taint flow.
+fn trace_reads_store(cx: &xbmc::Counterexample, ai: &webssari_ir::AiProgram) -> bool {
+    let mut needed: std::collections::BTreeSet<webssari_ir::VarId> =
+        cx.violating_vars.iter().copied().collect();
+    for step in cx.trace.iter().rev() {
+        if needed.remove(&step.var) {
+            if is_store_cell(ai.vars.name(step.var)) {
+                return true;
+            }
+            needed.extend(step.deps.iter().copied());
+        }
+    }
+    // Variables never assigned in the trace keep their initial level.
+    needed.iter().any(|v| is_store_cell(ai.vars.name(*v)))
 }
 
 #[cfg(test)]

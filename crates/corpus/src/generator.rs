@@ -124,6 +124,64 @@ pub fn generate_project(profile: &ProjectProfile) -> GeneratedProject {
     }
 }
 
+/// A SQL-heavy project exercising the structured-SQL sink analyzer and
+/// the cross-request store model. Each pair `i` couples a writer page
+/// (a tainted value concatenated into `INSERT INTO t{i}`, plus a
+/// parameterized `UPDATE` that is clean by construction and a sanitized
+/// echo the screening tier discharges) with a reader page (`SELECT`
+/// from `t{i}`, fetch, and echo — a second-order flow when verified as
+/// a project). Deterministic: no RNG, no filler.
+///
+/// Calibration per pair: 2 TS errors (the concat write and the raw
+/// echo of the fetched row), 2 BMC groups, 2 vulnerable files.
+pub fn sql_heavy_project(pairs: usize) -> GeneratedProject {
+    let mut sources = SourceSet::new();
+    for i in 0..pairs {
+        sources.add_file(
+            format!("write{i:02}.php"),
+            format!(
+                "<?php\n\
+                 $v{i} = $_POST['v{i}'];\n\
+                 mysql_query(\"INSERT INTO t{i} (c) VALUES ('$v{i}')\");\n\
+                 $p{i} = $_GET['p{i}'];\n\
+                 execute_query(\"UPDATE t{i} SET c = ? WHERE id = {i}\", $p{i});\n\
+                 $s{i} = htmlspecialchars($_GET['s{i}']);\n\
+                 echo $s{i};\n"
+            ),
+        );
+        sources.add_file(
+            format!("read{i:02}.php"),
+            format!(
+                "<?php\n\
+                 $h{i} = mysql_query('SELECT c FROM t{i}');\n\
+                 $r{i} = mysql_fetch_array($h{i});\n\
+                 echo $r{i};\n\
+                 $ok{i} = htmlspecialchars($r{i});\n\
+                 echo $ok{i};\n"
+            ),
+        );
+    }
+    let num_statements = count_statements(&sources);
+    GeneratedProject {
+        name: "sql-heavy".to_owned(),
+        profile: ProjectProfile {
+            name: "sql-heavy".to_owned(),
+            activity: 50,
+            ts_errors: 2 * pairs,
+            bmc_groups: 2 * pairs,
+            seed: 0,
+            num_files: 2 * pairs,
+            vuln_pages: 2 * pairs,
+            statements_target: 0,
+        },
+        sources,
+        expected_ts: 2 * pairs,
+        expected_bmc: 2 * pairs,
+        expected_vulnerable_files: 2 * pairs,
+        num_statements,
+    }
+}
+
 /// Counts statements per file (each file parsed standalone), matching
 /// the paper's corpus-size metric.
 pub fn count_statements(sources: &SourceSet) -> usize {
@@ -327,6 +385,30 @@ mod tests {
         let report = Verifier::new().verify_project(&project.sources);
         assert_eq!(report.ts_errors(), 2);
         assert_eq!(report.bmc_groups(), 1);
+    }
+
+    #[test]
+    fn sql_heavy_calibrates_exactly() {
+        let project = sql_heavy_project(3);
+        let report = Verifier::new().verify_project(&project.sources);
+        assert!(report.failed_files.is_empty(), "{:?}", report.failed_files);
+        assert_eq!(report.ts_errors(), project.expected_ts);
+        assert_eq!(report.bmc_groups(), project.expected_bmc);
+        assert_eq!(report.vulnerable_files(), project.expected_vulnerable_files);
+        // Every reader page's violation is second-order: its trace
+        // starts at the store cell the paired writer filled.
+        let text: String = report
+            .files
+            .iter()
+            .map(|f| f.render_text())
+            .collect::<Vec<_>>()
+            .join("\n");
+        for i in 0..3 {
+            assert!(
+                text.contains(&format!("store::t{i}")),
+                "reader {i} must trace through its store cell:\n{text}"
+            );
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@
 mod generator;
 mod profiles;
 
-pub use generator::{generate_project, GeneratedProject};
+pub use generator::{generate_project, sql_heavy_project, GeneratedProject};
 pub use profiles::{figure10_profiles, paper_stats, CorpusScale, ProjectProfile};
 
 use php_front::SourceSet;

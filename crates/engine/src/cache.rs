@@ -193,6 +193,7 @@ mod tests {
                 root_var: "sid".to_owned(),
                 symptoms: vec!["a.php:3".to_owned(), "a.php:4".to_owned()],
                 funcs: vec!["mysql_query".to_owned()],
+                parameterize: false,
             }],
             outcome,
         }

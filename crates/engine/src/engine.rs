@@ -2,7 +2,7 @@
 //! jobs, an incremental cache, per-job solve budgets, and metrics.
 
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use php_front::SourceSet;
@@ -283,6 +283,12 @@ impl Engine {
             Some(b) => self.verifier.with_solve_budget(b),
             None => self.verifier.clone(),
         };
+        // Pass 1 of second-order analysis runs once per batch: the
+        // store summary is a pure function of the source set, so every
+        // worker shares it instead of each `verify_file` call
+        // recomputing it O(files) times.
+        let verifier =
+            verifier.with_store_summary(Arc::new(verifier.compute_store_summary(sources)));
 
         // Content keys: a file's own hash; include-bearing files also
         // fold in the whole set, since their verdict can depend on any
@@ -512,6 +518,19 @@ fn content_hash(name: &str, src: &str) -> u64 {
 /// `require_once`) contains one of these substrings, so this test is
 /// conservative: it never misses a dependency, at worst it rebuilds an
 /// independent file.
+///
+/// The same reasoning covers the cross-request store model: a file
+/// whose verdict can read a store cell — a result-set fetch, a
+/// `$_SESSION` access, a `file_get_contents` call — depends on the
+/// write levels of *every* file in the set (the batch store summary).
+/// Any such read site mentions one of the store tokens below, so files
+/// without them keep per-file cache keys.
 fn depends_on_set(src: &str) -> bool {
-    src.contains("include") || src.contains("require")
+    if src.contains("include") || src.contains("require") {
+        return true;
+    }
+    let lower = src.to_ascii_lowercase();
+    ["fetch", "_session", "file_get_contents", "select"]
+        .iter()
+        .any(|token| lower.contains(token))
 }

@@ -44,6 +44,8 @@ struct Counters {
     cnf_vars_saved: AtomicU64,
     cubes_learned: AtomicU64,
     cube_assignments: AtomicU64,
+    sql_assertions_checked: AtomicU64,
+    second_order_flows_found: AtomicU64,
 }
 
 /// One point-in-time read of [`EngineStats`]. Individual fields are
@@ -93,6 +95,12 @@ pub struct EngineSnapshot {
     pub cubes_learned: u64,
     /// Counterexamples materialized by expanding those cubes.
     pub cube_assignments: u64,
+    /// Assertions checked with SQL query-structure semantics
+    /// (concatenated-into-query-text sink arguments).
+    pub sql_assertions_checked: u64,
+    /// Violated assertions whose counterexample trace reads a
+    /// cross-request store cell (second-order flows).
+    pub second_order_flows_found: u64,
 }
 
 impl EngineSnapshot {
@@ -147,6 +155,8 @@ impl EngineStats {
             cnf_vars_saved: load(&c.cnf_vars_saved),
             cubes_learned: load(&c.cubes_learned),
             cube_assignments: load(&c.cube_assignments),
+            sql_assertions_checked: load(&c.sql_assertions_checked),
+            second_order_flows_found: load(&c.second_order_flows_found),
         }
     }
 
@@ -215,6 +225,12 @@ impl EngineStats {
             self.inner
                 .cube_assignments
                 .fetch_add(s.cube_assignments, Ordering::Relaxed);
+            self.inner
+                .sql_assertions_checked
+                .fetch_add(s.sql_assertions_checked, Ordering::Relaxed);
+            self.inner
+                .second_order_flows_found
+                .fetch_add(s.second_order_flows_found, Ordering::Relaxed);
         }
     }
 

@@ -59,6 +59,12 @@ pub struct FixPlan {
     /// For each chosen variable, the assertions (symptoms) whose error
     /// traces it repairs — the paper's error *groups*.
     pub groups: BTreeMap<VarId, BTreeSet<AssertId>>,
+    /// Fix variables whose every repaired symptom is a SQL-structured
+    /// sink: binding the value at a parameterized position (`?`) fixes
+    /// the flaw structurally, a better patch shape than sanitizing.
+    /// Populated by `webssari-core` (assert kinds live in the AI);
+    /// always empty for a bare plan.
+    pub parameterize: BTreeSet<VarId>,
 }
 
 impl FixPlan {
@@ -181,6 +187,7 @@ fn build_plan(
         naive_vars: naive.into_iter().collect(),
         num_constraints: instance.len(),
         groups,
+        parameterize: BTreeSet::new(),
     }
 }
 

@@ -21,7 +21,7 @@ use std::fmt;
 
 use taint_lattice::{Elem, Lattice, TwoPoint};
 
-use crate::fir::{FCmd, FProgram};
+use crate::fir::{AssertKind, FCmd, FProgram};
 use crate::site::Site;
 use crate::vartable::{VarId, VarTable};
 
@@ -62,6 +62,8 @@ pub enum AiCmd {
         strict: bool,
         /// The SOC whose precondition this is.
         func: String,
+        /// What the assertion states (opaque SOC or structural SQL).
+        kind: AssertKind,
         /// Source location.
         site: Site,
     },
@@ -319,6 +321,7 @@ impl<L: Lattice> Translate<'_, L> {
                     args,
                     bound,
                     strict,
+                    kind,
                     site,
                 } => {
                     let id = AssertId(self.next_assert);
@@ -329,6 +332,7 @@ impl<L: Lattice> Translate<'_, L> {
                         bound: *bound,
                         strict: *strict,
                         func: func.clone(),
+                        kind: kind.clone(),
                         site: site.clone(),
                     });
                 }

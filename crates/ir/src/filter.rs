@@ -21,13 +21,22 @@
 
 use std::collections::{HashMap, HashSet};
 
-use php_front::ast::{AssignOp, Expr, LValue, Param, Program, Stmt, StrPart};
+use php_front::ast::{AssignOp, BinOp, Expr, LValue, Param, Program, Stmt, StrPart};
 use php_front::{LineIndex, Span};
+use taint_lattice::{Lattice, TwoPoint};
+use webssari_sinks::{
+    store_cell_name, store_write_name, SqlSinkMeta, SqlStmtKind, SqlTemplate, StoreSummary,
+    TplPart, WILDCARD_KEY,
+};
 
-use crate::fir::{FCmd, FExpr, FProgram};
+use crate::fir::{AssertKind, FCmd, FExpr, FProgram, StoreRead, StoreWrite};
 use crate::prelude::Prelude;
 use crate::site::Site;
 use crate::vartable::VarId;
+
+/// Maximum depth of variable chasing when reconstructing a query
+/// template from string-building expressions.
+const MAX_TEMPLATE_DEPTH: usize = 8;
 
 /// Options controlling the filter.
 #[derive(Clone, Debug)]
@@ -48,7 +57,9 @@ impl Default for FilterOptions {
 /// Lowers a parsed program into the filtered command language.
 ///
 /// `src` and `file` are used to attach [`Site`]s (line numbers and
-/// snippets) to every command.
+/// snippets) to every command. Store reads are lowered against an empty
+/// [`StoreSummary`]: every modeled store reads at the prelude's `⊤`,
+/// reproducing the legacy treatment of database input exactly.
 pub fn filter_program(
     program: &Program,
     src: &str,
@@ -56,9 +67,38 @@ pub fn filter_program(
     prelude: &Prelude,
     options: &FilterOptions,
 ) -> FProgram {
+    filter_program_with_stores(
+        program,
+        src,
+        file,
+        prelude,
+        options,
+        &StoreSummary::new(),
+        &TwoPoint::new(),
+    )
+}
+
+/// Lowers a parsed program with a cross-request store summary: reads of
+/// modeled stores (fetches of resolved `SELECT` handles, `$_SESSION`
+/// reads) observe the summary's per-store write levels instead of the
+/// blanket `⊤` channel, turning a tainted write in one file into a
+/// tainted read in another (second-order flows).
+///
+/// `lattice` is only consulted to join write levels recorded in
+/// `stores`; stores the summary never saw read at the prelude's `⊤`.
+pub fn filter_program_with_stores(
+    program: &Program,
+    src: &str,
+    file: &str,
+    prelude: &Prelude,
+    options: &FilterOptions,
+    stores: &StoreSummary,
+    lattice: &impl Lattice,
+) -> FProgram {
     let mut f = Filter {
         prelude,
         options,
+        stores,
         file: file.to_owned(),
         src,
         lines: LineIndex::new(src),
@@ -68,6 +108,9 @@ pub fn filter_program(
         used_superglobals: Vec::new(),
         call_counter: 0,
         inline_stack: Vec::new(),
+        templates: HashMap::new(),
+        handles: HashMap::new(),
+        pending_select: None,
     };
     f.collect_functions(&program.stmts);
     f.collect_unassigned_reads(program);
@@ -87,6 +130,37 @@ pub fn filter_program(
             mask: None,
             site: Site::synthetic(&f.file, &format!("UIC postcondition for ${name}")),
         });
+    }
+    // Second-order sources: each referenced store cell is initialized at
+    // the level the summary says its writers reach. A store the summary
+    // never saw written stays at the prelude's ⊤ (legacy database-input
+    // treatment), so an empty summary changes nothing but provenance.
+    let mut seen_cells = HashSet::new();
+    for r in &f.out.store_reads {
+        if seen_cells.insert(r.key.clone()) {
+            // Source-after-sink provenance: name the write sites that
+            // feed this read so counterexample traces show the chain.
+            let (level, detail) = match stores.entry(&r.key) {
+                None => (
+                    prelude.top(),
+                    format!("second-order store read of {}", r.key),
+                ),
+                Some(_) => (
+                    stores.read_level(&r.key, lattice),
+                    format!(
+                        "second-order store read of {} (written at {})",
+                        r.key,
+                        stores.provenance(&r.key).join(", "),
+                    ),
+                ),
+            };
+            inits.push(FCmd::Assign {
+                var: r.var,
+                expr: FExpr::Const(level),
+                mask: None,
+                site: Site::synthetic(&f.file, &detail),
+            });
+        }
     }
     inits.extend(cmds);
     f.out.cmds = inits;
@@ -125,6 +199,7 @@ impl Scope {
 struct Filter<'a> {
     prelude: &'a Prelude,
     options: &'a FilterOptions,
+    stores: &'a StoreSummary,
     file: String,
     src: &'a str,
     lines: LineIndex,
@@ -138,6 +213,16 @@ struct Filter<'a> {
     used_superglobals: Vec<(String, taint_lattice::Elem)>,
     call_counter: usize,
     inline_stack: Vec<String>,
+    /// Query templates tracked through string-building assignments:
+    /// variable → literal/hole parts of the string it currently holds.
+    templates: HashMap<VarId, Vec<TplPart<VarId>>>,
+    /// Query-result handles: variable → store key of the `SELECT`
+    /// result it holds, so the matching fetch reads the store cell.
+    handles: HashMap<VarId, String>,
+    /// Set when a resolved `SELECT` sink executes in the current
+    /// statement; bound to a handle by the enclosing assignment or
+    /// consumed directly by a nested fetch.
+    pending_select: Option<String>,
 }
 
 impl Filter<'_> {
@@ -361,7 +446,157 @@ impl Filter<'_> {
             }
             return FExpr::Var(self.out.vars.intern(name));
         }
+        if name == "_SESSION" && self.stores.entry("_SESSION").is_some() {
+            // A session read is a store read once the summary models any
+            // session write; otherwise it stays a plain variable (legacy).
+            let site = Site::synthetic(&self.file, "read of $_SESSION");
+            return self.store_read_expr("_SESSION", site);
+        }
         FExpr::Var(self.resolve(scope, name))
+    }
+
+    // ---- query templates and store modeling -----------------------------
+
+    /// The variable a template hole resolves to (no read side effects:
+    /// the hole's expression is lowered separately by the normal path).
+    fn template_var(&mut self, scope: &Scope, name: &str) -> VarId {
+        if self.prelude.is_superglobal(name) {
+            self.out.vars.intern(name)
+        } else if name == "_SESSION" && self.stores.entry("_SESSION").is_some() {
+            // Matches `var_read`: session reads resolve to the store
+            // cell once the summary models any session write.
+            self.out.vars.intern(&store_cell_name("_SESSION"))
+        } else {
+            self.resolve(scope, name)
+        }
+    }
+
+    /// Reconstructs the literal/hole parts of a string-building
+    /// expression, chasing variables through tracked templates. `None`
+    /// means the expression's string structure is opaque.
+    fn template_of_expr(
+        &mut self,
+        e: &Expr,
+        scope: &Scope,
+        depth: usize,
+    ) -> Option<Vec<TplPart<VarId>>> {
+        if depth > MAX_TEMPLATE_DEPTH {
+            return None;
+        }
+        match e {
+            Expr::StringLit(parts) => {
+                let mut out = Vec::new();
+                for p in parts {
+                    match p {
+                        StrPart::Lit(s) => out.push(TplPart::Lit(s.clone())),
+                        StrPart::Var(v) | StrPart::ArrayVar { var: v, .. } => {
+                            out.push(TplPart::Hole(self.template_var(scope, v)));
+                        }
+                    }
+                }
+                Some(out)
+            }
+            Expr::Binary {
+                op: BinOp::Concat,
+                left,
+                right,
+            } => {
+                let mut l = self.template_of_expr(left, scope, depth + 1)?;
+                let r = self.template_of_expr(right, scope, depth + 1)?;
+                l.extend(r);
+                Some(l)
+            }
+            Expr::Var(name) => {
+                let id = self.template_var(scope, name);
+                match self.templates.get(&id) {
+                    Some(t) => Some(t.clone()),
+                    // An untracked variable is one opaque hole: inside a
+                    // concatenation it is a concatenated-in value; as the
+                    // whole argument it leaves the template unresolved.
+                    None => Some(vec![TplPart::Hole(id)]),
+                }
+            }
+            // An indexed read (`$_POST['msg']`) is one concatenated-in
+            // value attributed to the base variable.
+            Expr::ArrayAccess { base, .. } => match base.as_ref() {
+                Expr::Var(name) => Some(vec![TplPart::Hole(self.template_var(scope, name))]),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Drops tracked templates and handles for every variable assigned
+    /// in `cmds` — used after conditional/loop bodies, where the
+    /// assignment may or may not have executed.
+    fn invalidate_tracked(&mut self, cmds: &[FCmd]) {
+        fn collect(cmds: &[FCmd], out: &mut Vec<VarId>) {
+            for c in cmds {
+                match c {
+                    FCmd::Assign { var, .. } => out.push(*var),
+                    FCmd::If {
+                        then_cmds,
+                        else_cmds,
+                        ..
+                    } => {
+                        collect(then_cmds, out);
+                        collect(else_cmds, out);
+                    }
+                    FCmd::While { body, .. } => collect(body, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut assigned = Vec::new();
+        collect(cmds, &mut assigned);
+        for v in assigned {
+            self.templates.remove(&v);
+            self.handles.remove(&v);
+        }
+    }
+
+    /// Lowers a read of store `key` to the synthetic cell variable
+    /// (initialized at the summary's read level at program start).
+    fn store_read_expr(&mut self, key: &str, site: Site) -> FExpr {
+        let var = self.out.vars.intern(&store_cell_name(key));
+        self.out.store_reads.push(StoreRead {
+            var,
+            key: key.to_owned(),
+            site,
+        });
+        FExpr::Var(var)
+    }
+
+    /// Emits a fresh write variable capturing the level of one store
+    /// write, so the first verification pass can read it off the final
+    /// typestate.
+    fn emit_store_write(&mut self, key: &str, expr: FExpr, site: Site, out: &mut Vec<FCmd>) {
+        let k = self.out.store_writes.len();
+        let var = self.out.vars.intern(&store_write_name(key, k));
+        out.push(FCmd::Assign {
+            var,
+            expr,
+            mask: None,
+            site: site.clone(),
+        });
+        self.out.store_writes.push(StoreWrite {
+            var,
+            key: key.to_owned(),
+            site,
+        });
+    }
+
+    /// The constant text of a template with no holes (e.g. a literal
+    /// file path), if it is fully literal.
+    fn literal_text(parts: &[TplPart<VarId>]) -> Option<String> {
+        let mut text = String::new();
+        for p in parts {
+            match p {
+                TplPart::Lit(s) => text.push_str(s),
+                TplPart::Hole(_) => return None,
+            }
+        }
+        Some(text)
     }
 
     // ---- expressions ---------------------------------------------------
@@ -440,18 +675,30 @@ impl Filter<'_> {
                     .iter()
                     .map(|a| self.lower_expr(a, scope, out))
                     .collect();
-                if let Some(spec) = self.prelude.soc(name) {
-                    let vars = soc_arg_vars(&arg_fs, spec.arg_positions.as_deref());
-                    if !vars.is_empty() {
-                        out.push(FCmd::Soc {
-                            func: name.to_ascii_lowercase(),
-                            args: vars,
-                            bound: spec.bound,
-                            strict: spec.strict,
-                            site: self.site(*span),
-                        });
-                    }
+                if self.prelude.soc(name).is_some() {
+                    // Method-call sinks ($db->query(...)) go through the
+                    // same classifier as plain calls, so structured SQL
+                    // and store modeling see both call shapes.
+                    self.lower_soc_call(
+                        &name.to_ascii_lowercase(),
+                        args,
+                        &arg_fs,
+                        *span,
+                        scope,
+                        out,
+                    );
                     return FExpr::Const(self.prelude.bottom());
+                }
+                if self.prelude.uic_level(name).is_some() {
+                    // A fetch method on a resolved SELECT handle
+                    // ($r->fetch_assoc()) reads the store cell; other
+                    // method UICs keep the legacy join-of-receiver.
+                    if let Expr::Var(n) = &**base {
+                        let id = self.template_var(scope, n);
+                        if let Some(key) = self.handles.get(&id).cloned() {
+                            return self.store_read_expr(&key, self.site(*span));
+                        }
+                    }
                 }
                 let mut joined = vec![base_f];
                 joined.extend(arg_fs);
@@ -497,10 +744,48 @@ impl Filter<'_> {
                 let root = root.to_owned();
                 let var = self.resolve(scope, &root);
                 let weak = !matches!(op, AssignOp::Assign) || !matches!(target, LValue::Var(_));
-                let expr = if weak {
-                    FExpr::Join(vec![FExpr::Var(var), v])
+                // Track query templates through string-building
+                // assignments, and bind a SELECT handle produced while
+                // lowering the value to the assigned variable.
+                if matches!(target, LValue::Var(_)) {
+                    match op {
+                        AssignOp::Assign => {
+                            match self.template_of_expr(value, scope, 0) {
+                                Some(t) => {
+                                    self.templates.insert(var, t);
+                                }
+                                None => {
+                                    self.templates.remove(&var);
+                                }
+                            }
+                            self.handles.remove(&var);
+                            if let Some(key) = self.pending_select.take() {
+                                self.handles.insert(var, key);
+                            }
+                        }
+                        AssignOp::Concat => {
+                            let appended = self.template_of_expr(value, scope, 0);
+                            if let (Some(mut t), Some(more)) =
+                                (self.templates.remove(&var), appended)
+                            {
+                                t.extend(more);
+                                self.templates.insert(var, t);
+                            }
+                            self.handles.remove(&var);
+                        }
+                        _ => {
+                            self.templates.remove(&var);
+                            self.handles.remove(&var);
+                        }
+                    }
                 } else {
-                    v
+                    self.templates.remove(&var);
+                    self.handles.remove(&var);
+                }
+                let expr = if weak {
+                    FExpr::Join(vec![FExpr::Var(var), v.clone()])
+                } else {
+                    v.clone()
                 };
                 out.push(FCmd::Assign {
                     var,
@@ -508,6 +793,10 @@ impl Filter<'_> {
                     mask: None,
                     site: self.site(*span),
                 });
+                // `$_SESSION[...] = e` is a cross-request store write.
+                if root == "_SESSION" {
+                    self.emit_store_write("_SESSION", v, self.site(*span), out);
+                }
                 FExpr::Var(var)
             }
             Expr::IncDec { target } => {
@@ -564,19 +853,36 @@ impl Filter<'_> {
             return FExpr::Var(tmp);
         }
         if let Some(level) = self.prelude.uic_level(&lower) {
+            // Second-order store reads: a fetch through a resolved
+            // SELECT handle (or nested directly in the query call)
+            // observes the store cell instead of the blanket ⊤ channel.
+            let key = args
+                .iter()
+                .find_map(|a| match a {
+                    Expr::Var(n) => {
+                        let id = self.template_var(scope, n);
+                        self.handles.get(&id).cloned()
+                    }
+                    _ => None,
+                })
+                .or_else(|| self.pending_select.take())
+                .or_else(|| {
+                    // file_get_contents of a literal path reads the file
+                    // store — only when the summary models that file.
+                    if lower != "file_get_contents" {
+                        return None;
+                    }
+                    let parts = self.template_of_expr(args.first()?, scope, 0)?;
+                    let key = format!("file:{}", Self::literal_text(&parts)?);
+                    self.stores.entry(&key).map(|_| key)
+                });
+            if let Some(key) = key {
+                return self.store_read_expr(&key, self.site(span));
+            }
             return FExpr::Const(level);
         }
-        if let Some(spec) = self.prelude.soc(&lower) {
-            let vars = soc_arg_vars(&arg_fs, spec.arg_positions.as_deref());
-            if !vars.is_empty() {
-                out.push(FCmd::Soc {
-                    func: lower,
-                    args: vars,
-                    bound: spec.bound,
-                    strict: spec.strict,
-                    site: self.site(span),
-                });
-            }
+        if self.prelude.soc(&lower).is_some() {
+            self.lower_soc_call(&lower, args, &arg_fs, span, scope, out);
             return FExpr::Const(self.prelude.bottom());
         }
         if lower == "extract" {
@@ -613,6 +919,109 @@ impl Filter<'_> {
         }
         // Unknown function: taint propagates from arguments to result.
         FExpr::Join(arg_fs)
+    }
+
+    /// Emits the SOC precondition for a sink call, shared by plain
+    /// calls and method-call receivers (`$db->query(...)`).
+    ///
+    /// Query-shaped (sqli-class) sinks are classified structurally: when
+    /// the query argument's template resolves to a known statement kind,
+    /// the assertion carries [`AssertKind::SqlStructure`], parameterized
+    /// calls (`?` placeholders with bound data arguments) check only the
+    /// query text, resolved writes record a store write at the join of
+    /// the concatenated-in values, and resolved `SELECT`s arm the
+    /// pending handle so the matching fetch reads the store cell.
+    fn lower_soc_call(
+        &mut self,
+        lower: &str,
+        args: &[Expr],
+        arg_fs: &[FExpr],
+        span: Span,
+        scope: &mut Scope,
+        out: &mut Vec<FCmd>,
+    ) {
+        let Some(spec) = self.prelude.soc(lower) else {
+            return;
+        };
+        let mut vars = soc_arg_vars(arg_fs, spec.arg_positions.as_deref());
+        let mut kind = AssertKind::Soc;
+        // (key, written expression) of a store write to emit after the
+        // precondition, so the trace shows sink-then-source order.
+        let mut store_write: Option<(String, FExpr)> = None;
+        if spec.class == "sqli" {
+            let qi = if lower == "mysql_db_query" { 1 } else { 0 };
+            let template = args
+                .get(qi)
+                .and_then(|a| self.template_of_expr(a, scope, 0))
+                .map(SqlTemplate::parse);
+            match template {
+                Some(t) if t.is_resolved() => {
+                    if t.placeholders >= 1 && args.len() > 1 {
+                        // Parameterized call: data arguments are bound,
+                        // not concatenated — only the query text is a
+                        // SQLI precondition.
+                        vars = arg_fs
+                            .get(qi)
+                            .map(|a| soc_arg_vars(std::slice::from_ref(a), None))
+                            .unwrap_or_default();
+                    }
+                    let holes = t.holes();
+                    if t.stmt.is_write() {
+                        let key = t.store_write_key().unwrap_or(WILDCARD_KEY).to_owned();
+                        let expr = if holes.is_empty() {
+                            FExpr::Const(self.prelude.bottom())
+                        } else {
+                            FExpr::Join(holes.iter().map(|v| FExpr::Var(*v)).collect())
+                        };
+                        store_write = Some((key, expr));
+                    } else if t.stmt == SqlStmtKind::Select {
+                        self.pending_select = t.table.clone();
+                    }
+                    kind = AssertKind::SqlStructure(SqlSinkMeta {
+                        stmt: t.stmt,
+                        table: t.table,
+                        placeholders: t.placeholders,
+                    });
+                }
+                _ => {
+                    // Opaque query text on a write-capable sink: the
+                    // write may have hit any store. Record it under the
+                    // wildcard key at the join of the checked values.
+                    if !vars.is_empty() {
+                        let expr = FExpr::Join(vars.iter().map(|v| FExpr::Var(*v)).collect());
+                        store_write = Some((WILDCARD_KEY.to_owned(), expr));
+                    }
+                }
+            }
+        }
+        if !vars.is_empty() {
+            out.push(FCmd::Soc {
+                func: lower.to_owned(),
+                args: vars,
+                bound: spec.bound,
+                strict: spec.strict,
+                kind,
+                site: self.site(span),
+            });
+        }
+        if lower == "file_put_contents" {
+            // A file write is a store write keyed by the literal path
+            // (wildcard when the path is dynamic).
+            let key = args
+                .first()
+                .and_then(|a| self.template_of_expr(a, scope, 0))
+                .and_then(|parts| Self::literal_text(&parts))
+                .map(|path| format!("file:{path}"))
+                .unwrap_or_else(|| WILDCARD_KEY.to_owned());
+            let data: Vec<VarId> = arg_fs.iter().skip(1).flat_map(|a| a.vars()).collect();
+            if !data.is_empty() {
+                let expr = FExpr::Join(data.into_iter().map(FExpr::Var).collect());
+                store_write = Some((key, expr));
+            }
+        }
+        if let Some((key, expr)) = store_write {
+            self.emit_store_write(&key, expr, self.site(span), out);
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -692,6 +1101,8 @@ impl Filter<'_> {
     // ---- statements ----------------------------------------------------
 
     fn lower_stmt(&mut self, s: &Stmt, scope: &mut Scope, out: &mut Vec<FCmd>) {
+        // A pending SELECT never survives its own statement.
+        self.pending_select = None;
         match s {
             Stmt::Expr(e, _) => {
                 let _ = self.lower_expr(e, scope, out);
@@ -709,6 +1120,7 @@ impl Filter<'_> {
                         args: vars,
                         bound: spec.bound,
                         strict: spec.strict,
+                        kind: AssertKind::Soc,
                         site: self.site(*span),
                     });
                 }
@@ -747,6 +1159,8 @@ impl Filter<'_> {
                         site: self.site(*span),
                     });
                 }
+                self.invalidate_tracked(&then_cmds);
+                self.invalidate_tracked(&else_cmds);
                 out.push(FCmd::If {
                     then_cmds,
                     else_cmds,
@@ -762,6 +1176,7 @@ impl Filter<'_> {
                     self.lower_stmt(st, scope, &mut body_cmds);
                 }
                 body_cmds.extend(cond_pre);
+                self.invalidate_tracked(&body_cmds);
                 out.push(FCmd::While {
                     body: body_cmds,
                     site: self.site(*span),
@@ -775,6 +1190,7 @@ impl Filter<'_> {
                 }
                 let _ = self.lower_expr(cond, scope, &mut body_cmds);
                 out.extend(body_cmds.iter().cloned());
+                self.invalidate_tracked(&body_cmds);
                 out.push(FCmd::While {
                     body: body_cmds,
                     site: self.site(*span),
@@ -803,6 +1219,7 @@ impl Filter<'_> {
                     let _ = self.lower_expr(e, scope, &mut body_cmds);
                 }
                 body_cmds.extend(cond_pre);
+                self.invalidate_tracked(&body_cmds);
                 out.push(FCmd::While {
                     body: body_cmds,
                     site: self.site(*span),
@@ -836,6 +1253,7 @@ impl Filter<'_> {
                 for st in body {
                     self.lower_stmt(st, scope, &mut body_cmds);
                 }
+                self.invalidate_tracked(&body_cmds);
                 out.push(FCmd::While {
                     body: body_cmds,
                     site: self.site(*span),
@@ -859,6 +1277,7 @@ impl Filter<'_> {
                         self.lower_stmt(st, scope, &mut case_cmds);
                     }
                     if !case_cmds.is_empty() {
+                        self.invalidate_tracked(&case_cmds);
                         out.push(FCmd::If {
                             then_cmds: case_cmds,
                             else_cmds: Vec::new(),
@@ -901,6 +1320,7 @@ impl Filter<'_> {
                             args: vars,
                             bound: spec.bound,
                             strict: spec.strict,
+                            kind: AssertKind::Soc,
                             site: self.site(*span),
                         });
                     }
@@ -925,6 +1345,7 @@ impl Filter<'_> {
                             args: vars,
                             bound: spec.bound,
                             strict: spec.strict,
+                            kind: AssertKind::Soc,
                             site: self.site(*span),
                         });
                     }

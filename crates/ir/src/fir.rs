@@ -13,9 +13,59 @@
 use std::fmt;
 
 use taint_lattice::Elem;
+use webssari_sinks::SqlSinkMeta;
 
 use crate::site::Site;
 use crate::vartable::{VarId, VarTable};
+
+/// What property an assertion states about its argument variables.
+///
+/// The paper's SOC preconditions are opaque: "every argument below the
+/// bound". [`AssertKind::SqlStructure`] refines that for query-shaped
+/// sinks whose query template resolved: the checked variables are the
+/// ones concatenated into the query *text* (the SQLI positions), and
+/// the metadata records the statement shape so reports and fixes can
+/// suggest parameterization instead of sanitization.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum AssertKind {
+    /// An opaque sensitive-output-channel precondition (paper §3.2).
+    #[default]
+    Soc,
+    /// A structural SQL precondition: the checked variables flow into
+    /// the query text of a resolved SQL template.
+    SqlStructure(SqlSinkMeta),
+}
+
+impl AssertKind {
+    /// Whether this is a structural SQL assertion.
+    pub fn is_sql_structure(&self) -> bool {
+        matches!(self, AssertKind::SqlStructure(_))
+    }
+}
+
+/// One modeled write to a cross-request store: the synthetic variable
+/// `store::<key>#w<k>` holds the written level after filtering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreWrite {
+    /// The synthetic write variable.
+    pub var: VarId,
+    /// Store identity (table name, session/file key, or `*`).
+    pub key: String,
+    /// Source location of the writing sink call.
+    pub site: Site,
+}
+
+/// One modeled read from a cross-request store: the reading expression
+/// was lowered to the synthetic cell variable `store::<key>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreRead {
+    /// The synthetic cell variable the read observes.
+    pub var: VarId,
+    /// Store identity the read resolves to.
+    pub key: String,
+    /// Source location of the reading fetch.
+    pub site: Site,
+}
 
 /// An information-flow expression: the safety type of the value is the
 /// join of a constant base level and the types of the read variables.
@@ -92,6 +142,9 @@ pub enum FCmd {
         /// `true` for the paper's strict `t < τ_r`; `false` for the
         /// non-strict `t ≤ τ_r` used by multi-class policies.
         strict: bool,
+        /// What the precondition states ([`AssertKind::Soc`] for the
+        /// paper's opaque channel check).
+        kind: AssertKind,
         /// Source location of the call.
         site: Site,
     },
@@ -143,6 +196,12 @@ pub struct FProgram {
     /// user-function call to the join of its arguments. Each entry is an
     /// over-approximation point downstream diagnostics can report.
     pub recursion_cutoffs: Vec<Site>,
+    /// Modeled writes to cross-request stores (tainted `INSERT`s,
+    /// `$_SESSION`/file writes), in program order.
+    pub store_writes: Vec<StoreWrite>,
+    /// Modeled reads from cross-request stores (fetches of resolved
+    /// `SELECT` handles, `$_SESSION` reads), in program order.
+    pub store_reads: Vec<StoreRead>,
 }
 
 impl FProgram {
@@ -304,6 +363,8 @@ mod tests {
         let p = FProgram {
             vars,
             recursion_cutoffs: Vec::new(),
+            store_writes: Vec::new(),
+            store_reads: Vec::new(),
             cmds: vec![
                 FCmd::Assign {
                     var: x,
@@ -317,6 +378,7 @@ mod tests {
                         args: vec![x],
                         bound: TwoPoint::TAINTED,
                         strict: true,
+                        kind: AssertKind::Soc,
                         site: site(),
                     }],
                     else_cmds: vec![FCmd::Stop { site: site() }],
@@ -328,6 +390,7 @@ mod tests {
                         args: vec![x],
                         bound: TwoPoint::TAINTED,
                         strict: true,
+                        kind: AssertKind::Soc,
                         site: site(),
                     }],
                     site: site(),

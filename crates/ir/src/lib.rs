@@ -43,8 +43,14 @@ mod site;
 mod vartable;
 
 pub use ai::{abstract_interpret, abstract_interpret_with, AiCmd, AiProgram, AssertId, BranchId};
-pub use filter::{filter_program, FilterOptions};
-pub use fir::{FCmd, FExpr, FProgram};
+pub use filter::{filter_program, filter_program_with_stores, FilterOptions};
+pub use fir::{AssertKind, FCmd, FExpr, FProgram, StoreRead, StoreWrite};
 pub use prelude::{Prelude, SocSpec};
 pub use site::Site;
 pub use vartable::{VarId, VarTable};
+// Re-exported so downstream crates can build and consume store
+// summaries and SQL sink metadata without a direct sinks dependency.
+pub use webssari_sinks::{
+    is_store_cell, store_cell_key, store_cell_name, SqlSinkMeta, SqlStmtKind, StoreEntry,
+    StoreSummary,
+};

@@ -366,6 +366,30 @@ impl ServerMetrics {
                 "webssari_engine_enumeration_total{{kind=\"{kind}\"}} {count}",
             );
         }
+
+        metric(
+            &mut out,
+            "webssari_engine_sql_assertions_total",
+            "counter",
+            "Assertions checked with SQL query-structure semantics.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_engine_sql_assertions_total {}",
+            engine.sql_assertions_checked,
+        );
+        metric(
+            &mut out,
+            "webssari_engine_second_order_flows_total",
+            "counter",
+            "Violations whose counterexample trace reads a cross-request \
+             store cell (second-order taint).",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_engine_second_order_flows_total {}",
+            engine.second_order_flows_found,
+        );
         out
     }
 }
@@ -422,6 +446,8 @@ mod tests {
             cnf_vars_saved: 42,
             cubes_learned: 6,
             cube_assignments: 19,
+            sql_assertions_checked: 4,
+            second_order_flows_found: 2,
             ..EngineSnapshot::default()
         };
         let text = m.render_prometheus(&snap, 0, 4);
@@ -437,6 +463,8 @@ mod tests {
         assert!(text.contains("webssari_engine_screening_total{kind=\"cnf_vars_saved\"} 42"));
         assert!(text.contains("webssari_engine_enumeration_total{kind=\"cubes_learned\"} 6"));
         assert!(text.contains("webssari_engine_enumeration_total{kind=\"cube_assignments\"} 19"));
+        assert!(text.contains("webssari_engine_sql_assertions_total 4"));
+        assert!(text.contains("webssari_engine_second_order_flows_total 2"));
         // Every exposed line is HELP, TYPE, or a sample.
         for line in text.lines() {
             assert!(

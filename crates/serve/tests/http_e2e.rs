@@ -137,6 +137,34 @@ fn second_batch_is_served_from_the_warm_cache() {
 }
 
 #[test]
+fn sql_counters_flow_to_the_metrics_endpoint() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // SQLI concatenates $sid into resolved SELECT query text: exactly
+    // one SQL-structured assertion, and no store read in the trace.
+    let response = post(addr, "/verify?file=q.php", "", SQLI);
+    assert_eq!(status_of(&response), 200);
+    assert_eq!(
+        json_of(&response).get("outcome").and_then(Value::as_str),
+        Some("vulnerable"),
+    );
+
+    let metrics = get(addr, "/metrics");
+    assert_eq!(status_of(&metrics), 200);
+    assert!(
+        metrics.contains("webssari_engine_sql_assertions_total 1"),
+        "metrics: {metrics}",
+    );
+    assert!(
+        metrics.contains("webssari_engine_second_order_flows_total 0"),
+        "metrics: {metrics}",
+    );
+
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
 fn exhausted_budget_returns_well_formed_timeout_json() {
     let server = start(ServerConfig::default());
     let addr = server.local_addr();

@@ -76,6 +76,7 @@ fn build(cmds: &[AiCmd], cont: usize, nodes: &mut Vec<Node>, succs: &mut Vec<Vec
                 strict,
                 func,
                 site,
+                ..
             } => {
                 nodes.push(Node::Assert {
                     id: *id,

@@ -95,6 +95,18 @@ pub fn analyze(ai: &AiProgram, lattice: &impl Lattice) -> TsResult {
     result
 }
 
+/// Runs the TS join-walk and returns the final per-variable state
+/// vector (indexed by [`VarId::index`]) instead of recording errors.
+///
+/// Used by the store-summary pass to read the merged safety level that
+/// reaches each store-write variable at end of program.
+pub fn final_state(ai: &AiProgram, lattice: &impl Lattice) -> Vec<Elem> {
+    let mut state: Vec<Elem> = vec![lattice.bottom(); ai.vars.len()];
+    let mut result = TsResult::default();
+    walk(&ai.cmds, lattice, &mut state, &mut result);
+    state
+}
+
 fn walk(cmds: &[AiCmd], lattice: &impl Lattice, state: &mut Vec<Elem>, result: &mut TsResult) {
     for c in cmds {
         match c {
@@ -121,6 +133,7 @@ fn walk(cmds: &[AiCmd], lattice: &impl Lattice, state: &mut Vec<Elem>, result: &
                 strict,
                 func,
                 site,
+                ..
             } => {
                 let ok = |t| {
                     if *strict {

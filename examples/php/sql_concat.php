@@ -1,0 +1,8 @@
+<?php
+// A request parameter concatenated into the text of an INSERT: the
+// query's *structure* is attacker-controlled. `webssari lint` reports
+// an error-level `sql-concat-injection` naming the statement kind and
+// table, and `webssari verify` suggests parameterizing under
+// `--prefer-parameterize`.
+$msg = $_GET['msg'];
+mysql_query("INSERT INTO messages (body) VALUES ('$msg')");

@@ -1,0 +1,7 @@
+<?php
+// The parameterized counterpart of sql_concat.php: the tainted value
+// is bound at a `?` placeholder, so it becomes data, not query text.
+// The SQL template analyzer sees a resolved INSERT whose only taint
+// reaches a bound position — `webssari lint` finds nothing.
+$msg = $_GET['msg'];
+execute_query("INSERT INTO messages (body) VALUES (?)", $msg);

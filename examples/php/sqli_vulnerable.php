@@ -1,8 +1,9 @@
 <?php
 // Figure 1 of the paper, minimally: a request parameter flows into a
-// SQL query unsanitized. `webssari lint` flags the sink as an
-// error-level `unsanitized-sink`; `webssari verify` enumerates the
-// counterexample and roots the fix at $sid.
+// SQL query unsanitized. The query template resolves, so `webssari
+// lint` flags the sink as an error-level `sql-concat-injection`;
+// `webssari verify` enumerates the counterexample and roots the fix
+// at $sid.
 $sid = $_GET['sid'];
 $query = "SELECT * FROM groups WHERE sid=$sid";
 mysql_query($query);

@@ -1,0 +1,10 @@
+<?php
+// Request B of the two-file stored-XSS pair: the stored nickname is
+// read back and rendered without escaping. The fetched row is modeled
+// as a read of the cross-request store cell for `profiles`, so
+// `webssari lint` reports `stored-taint-flow` alongside the
+// `unsanitized-sink`, and `webssari verify` over both files shows the
+// source-after-sink trace (write in request A, echo in request B).
+$result = mysql_query('SELECT nick FROM profiles WHERE id = 1');
+$row = mysql_fetch_array($result);
+echo $row;

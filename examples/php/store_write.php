@@ -1,0 +1,7 @@
+<?php
+// Request A of the two-file stored-XSS pair: an attacker-controlled
+// nickname is written into the `profiles` table. On its own this is a
+// `sql-concat-injection`; together with store_read.php it also seeds
+// the cross-request store summary with a tainted write to `profiles`.
+$nick = $_POST['nick'];
+mysql_query("UPDATE profiles SET nick = '$nick' WHERE id = 1");

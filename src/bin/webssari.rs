@@ -82,6 +82,10 @@ OPTIONS:
                      assertion that holds (machine-checked soundness).
     --min-guards     Weight the fixing set by introduction points, so
                      patches minimize inserted guard lines.
+    --prefer-parameterize
+                     Lead SQL-structured vulnerability reports with the
+                     \"parameterize the query\" patch shape instead of
+                     \"sanitize the variable\".
     --no-screen      Disable the static screening tier (tier-1 discharge
                      and cone-of-influence slicing before SAT). Results
                      are identical either way; this is the escape hatch
@@ -136,6 +140,7 @@ struct CommonOptions {
     solve_budget_ms: Option<u64>,
     metrics_json: Option<PathBuf>,
     no_screen: bool,
+    prefer_parameterize: bool,
     sarif: Option<PathBuf>,
 }
 
@@ -158,6 +163,7 @@ fn parse_options(args: &[String]) -> Result<CommonOptions, String> {
         solve_budget_ms: None,
         metrics_json: None,
         no_screen: false,
+        prefer_parameterize: false,
         sarif: None,
     };
     let mut it = args.iter();
@@ -222,6 +228,7 @@ fn parse_options(args: &[String]) -> Result<CommonOptions, String> {
                 ));
             }
             "--no-screen" => opts.no_screen = true,
+            "--prefer-parameterize" => opts.prefer_parameterize = true,
             "--sarif" => {
                 opts.sarif = Some(PathBuf::from(
                     it.next().ok_or("--sarif needs a file argument")?,
@@ -273,6 +280,7 @@ fn build_verifier(opts: &CommonOptions) -> Result<Verifier, String> {
         .exact_fixing_set(opts.exact)
         .certify(opts.certify)
         .minimize_guard_lines(opts.min_guards)
+        .prefer_parameterize(opts.prefer_parameterize)
         .screen(!opts.no_screen)
         .build())
 }
