@@ -12,9 +12,10 @@
 //! compares this run's deterministic outcomes — verdicts and
 //! enumeration fingerprints, never wall times — against a committed
 //! baseline and exits non-zero on any mismatch. Every run additionally
-//! enforces the cube-generalization vacuity guard: if the cube
-//! enumeration workloads never dropped a literal (every blocking cube
-//! full-width), the run fails regardless of `--check`.
+//! enforces the vacuity guards: if the cube enumeration workloads never
+//! dropped a literal (every blocking cube full-width), or any
+//! conflict-bound workload produced zero conflicts on either solver,
+//! the run fails regardless of `--check`.
 
 use std::process::ExitCode;
 
@@ -57,12 +58,16 @@ fn main() -> ExitCode {
         suite.propagation_speedup_x100() as f64 / 100.0
     );
     println!(
+        "conflict-bound speedup (geometric mean): {:.2}x",
+        suite.conflict_speedup_x100() as f64 / 100.0
+    );
+    println!(
         "cube-enumeration speedup: {:.2}x (mean assignments per cube: {:.2})",
         suite.cube_enumeration_speedup_x100() as f64 / 100.0,
         suite.mean_assignments_per_cube_x100() as f64 / 100.0
     );
     if let Err(e) = suite.vacuity_guard() {
-        eprintln!("error: cube generalization vacuity guard: {e}");
+        eprintln!("error: vacuity guard: {e}");
         return ExitCode::FAILURE;
     }
 

@@ -7,9 +7,13 @@
 //!   solve; no conflicts, no root units (so `add_formula` preprocessing
 //!   cannot shortcut it), pure watcher-walk and clause-access
 //!   throughput.
-//! * **conflict-bound** — pigeonhole instances and random 3-SAT at the
-//!   phase-transition ratio; dominated by conflict analysis, learning,
-//!   and clause-database maintenance.
+//! * **conflict-bound** — pigeonhole instances, random 3-SAT at the
+//!   phase-transition ratio, and a BMC-shaped unrolled-counter unsat
+//!   family; dominated by conflict analysis, learning, and
+//!   clause-database maintenance (tiered reduction, binary implication
+//!   lists, glue restarts, root inprocessing). The headline is the
+//!   geometric-mean speedup across the family, and a vacuity guard
+//!   fails the run if any conflict workload stops producing conflicts.
 //! * **enumeration-bound** — the xBMC counterexample loop (paper
 //!   §3.3.2) over a branchy program's renaming encoding; repeated
 //!   solve-plus-blocking-clause with a per-assertion selector, exactly
@@ -94,6 +98,16 @@ pub struct Side {
     pub decisions: u64,
     /// Restarts performed.
     pub restarts: u64,
+    /// Propagations served by binary implication lists (always zero on
+    /// the reference solver, which has no such lists).
+    pub binary_propagations: u64,
+    /// Learned clauses that entered the core glue tier (LBD ≤ 2); zero
+    /// on the untiered reference solver.
+    pub glue_core: u64,
+    /// Learned clauses that entered the mid glue tier (LBD 3–6).
+    pub glue_mid: u64,
+    /// Learned clauses that entered the local glue tier (LBD > 6).
+    pub glue_local: u64,
 }
 
 impl Side {
@@ -104,6 +118,10 @@ impl Side {
             conflicts: s.conflicts,
             decisions: s.decisions,
             restarts: s.restarts,
+            binary_propagations: s.binary_propagations,
+            glue_core: s.glue_core,
+            glue_mid: s.glue_mid,
+            glue_local: s.glue_local,
         }
     }
 
@@ -114,6 +132,10 @@ impl Side {
             ("conflicts", Value::Num(self.conflicts)),
             ("decisions", Value::Num(self.decisions)),
             ("restarts", Value::Num(self.restarts)),
+            ("binary_propagations", Value::Num(self.binary_propagations)),
+            ("glue_core", Value::Num(self.glue_core)),
+            ("glue_mid", Value::Num(self.glue_mid)),
+            ("glue_local", Value::Num(self.glue_local)),
         ])
     }
 }
@@ -174,6 +196,25 @@ impl SuiteResult {
             .unwrap_or(0)
     }
 
+    /// Geometric-mean speedup ×100 across conflict-bound workloads (the
+    /// clause-learning acceptance headline). Geometric, not minimum:
+    /// conflict-count trajectories diverge per instance once the
+    /// propagation order changes, so the family-wide ratio is the
+    /// meaningful number, not the single worst lottery ticket.
+    pub fn conflict_speedup_x100(&self) -> u64 {
+        let logs: Vec<f64> = self
+            .workloads
+            .iter()
+            .filter(|w| w.kind == "conflict")
+            .map(|w| (w.speedup_x100() as f64 / 100.0).max(1e-9).ln())
+            .collect();
+        if logs.is_empty() {
+            return 0;
+        }
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        (mean.exp() * 100.0).round() as u64
+    }
+
     /// The minimum speedup ×100 across cube-generalized enumeration
     /// workloads (cube loop vs per-model loop on the same solver).
     pub fn cube_enumeration_speedup_x100(&self) -> u64 {
@@ -199,18 +240,33 @@ impl SuiteResult {
         (assignments * 100).checked_div(cubes).unwrap_or(0)
     }
 
-    /// Rejects vacuous cube-generalization runs: every cube workload
-    /// must cover strictly more assignments than it learned cubes
-    /// (i.e. at least one cube dropped at least one literal), and at
-    /// least one cube workload must have run at all.
+    /// Rejects vacuous runs. Cube workloads must cover strictly more
+    /// assignments than they learned cubes (at least one cube dropped a
+    /// literal), and at least one must have run. Conflict workloads
+    /// must produce conflicts on *both* solvers — a conflict-bound
+    /// instance that one side solves without learning anything means
+    /// the workload stopped exercising the conflict path (e.g.
+    /// preprocessing started solving it outright) and its speedup is
+    /// measuring nothing; at least one conflict workload must have run.
     ///
     /// # Errors
     ///
     /// Returns a description of the vacuous workload, or of the missing
-    /// cube workloads.
+    /// workload family.
     pub fn vacuity_guard(&self) -> Result<(), String> {
         let mut saw_cubes = false;
+        let mut saw_conflicts = false;
         for w in &self.workloads {
+            if w.kind == "conflict" {
+                saw_conflicts = true;
+                if w.arena.conflicts == 0 || w.reference.conflicts == 0 {
+                    return Err(format!(
+                        "workload {}: zero conflicts (arena {}, reference {}) — \
+                         the conflict path was never exercised",
+                        w.name, w.arena.conflicts, w.reference.conflicts
+                    ));
+                }
+            }
             let (Some(cubes), Some(assignments)) = (w.cubes_learned, w.cube_assignments) else {
                 continue;
             };
@@ -225,6 +281,9 @@ impl SuiteResult {
         }
         if !saw_cubes {
             return Err("no cube-generalized enumeration workload ran".into());
+        }
+        if !saw_conflicts {
+            return Err("no conflict-bound workload ran".into());
         }
         Ok(())
     }
@@ -264,6 +323,10 @@ impl SuiteResult {
                     (
                         "propagation_speedup_x100",
                         Value::Num(self.propagation_speedup_x100()),
+                    ),
+                    (
+                        "conflict_speedup_x100",
+                        Value::Num(self.conflict_speedup_x100()),
                     ),
                     (
                         "cube_enumeration_speedup_x100",
@@ -610,24 +673,36 @@ pub fn run_suite(fast: bool) -> SuiteResult {
         cube_assignments: None,
     });
 
-    // Conflict-bound: pigeonhole + over-constrained random 3-SAT
-    // (clause/variable ratio 5.5, deep in the unsat region). The two
-    // solvers walk different search trajectories here — watcher-list
-    // evolution differs between the implementations, which perturbs
-    // unit order and phase saving — so unsatisfiable instances, where
-    // the refutation work is forced, keep the comparison meaningful.
-    let (php_m, php_n) = if fast { (6, 5) } else { (7, 6) };
-    let sat3_vars = if fast { 80 } else { 110 };
-    let mut conflict_formulas = vec![(
-        format!("pigeonhole_{php_m}x{php_n}"),
-        crate::pigeonhole(php_m, php_n),
-    )];
-    for seed in [7u64, 8] {
-        let clauses = (sat3_vars as f64 * 5.5) as usize;
+    // Conflict-bound: pigeonhole, random 3-SAT at the phase-transition
+    // ratio (~4.26 clauses per variable), and the BMC-shaped unrolled
+    // counter family ([`crate::bmc_counter`]). The two solvers walk
+    // different search trajectories here — watcher-list evolution
+    // differs between the implementations, which perturbs unit order
+    // and phase saving — so any single instance is a trajectory
+    // lottery; the suite commits a family spanning both verdicts and
+    // all three shapes, and the headline is the geometric mean
+    // ([`SuiteResult::conflict_speedup_x100`]).
+    let mut conflict_formulas: Vec<(String, CnfFormula)> = Vec::new();
+    if fast {
+        conflict_formulas.push(("pigeonhole_6x5".into(), crate::pigeonhole(6, 5)));
         conflict_formulas.push((
-            format!("random3sat_{sat3_vars}v_r55_s{seed}"),
-            crate::random_3sat(sat3_vars, clauses, seed),
+            "random3sat_100v_r426_s1".into(),
+            crate::random_3sat(100, 426, 1),
         ));
+        conflict_formulas.push(("bmc_counter_16".into(), crate::bmc_counter(16)));
+    } else {
+        conflict_formulas.push(("pigeonhole_8x7".into(), crate::pigeonhole(8, 7)));
+        conflict_formulas.push(("pigeonhole_9x8".into(), crate::pigeonhole(9, 8)));
+        conflict_formulas.push(("bmc_counter_48".into(), crate::bmc_counter(48)));
+        conflict_formulas.push(("bmc_counter_64".into(), crate::bmc_counter(64)));
+        for (vars, seed) in [(150, 1u64), (150, 8), (175, 6), (175, 7), (200, 2), (200, 4), (200, 5)]
+        {
+            let clauses = (vars as f64 * 4.26) as usize;
+            conflict_formulas.push((
+                format!("random3sat_{vars}v_r426_s{seed}"),
+                crate::random_3sat(vars, clauses, seed),
+            ));
+        }
     }
     for (name, f) in conflict_formulas {
         let mut arena: Option<Side> = None;
@@ -834,6 +909,10 @@ mod tests {
             conflicts: 2,
             decisions: 3,
             restarts: 0,
+            binary_propagations: 4,
+            glue_core: 1,
+            glue_mid: 1,
+            glue_local: 0,
         };
         let suite = SuiteResult {
             mode: "fast",
@@ -845,6 +924,32 @@ mod tests {
                     arena: side,
                     reference: Side {
                         wall: Duration::from_micros(3000),
+                        ..side
+                    },
+                    fingerprint: None,
+                    cubes_learned: None,
+                    cube_assignments: None,
+                },
+                WorkloadResult {
+                    name: "pigeonhole_2x1".into(),
+                    kind: "conflict",
+                    verdict: "unsat".into(),
+                    arena: side,
+                    reference: Side {
+                        wall: Duration::from_micros(3000),
+                        ..side
+                    },
+                    fingerprint: None,
+                    cubes_learned: None,
+                    cube_assignments: None,
+                },
+                WorkloadResult {
+                    name: "pigeonhole_3x2".into(),
+                    kind: "conflict",
+                    verdict: "unsat".into(),
+                    arena: side,
+                    reference: Side {
+                        wall: Duration::from_micros(750),
                         ..side
                     },
                     fingerprint: None,
@@ -865,6 +970,9 @@ mod tests {
         };
         assert_eq!(suite.workloads[0].speedup_x100(), 200);
         assert_eq!(suite.propagation_speedup_x100(), 200);
+        // Conflict headline is the geometric mean: 2.0× and 0.5×
+        // cancel to exactly 1.0×.
+        assert_eq!(suite.conflict_speedup_x100(), 100);
         let text = suite.to_json().to_json();
         let parsed = jsonio::parse(&text).expect("suite JSON parses");
         suite
@@ -888,7 +996,7 @@ mod tests {
         assert!(suite.check_against(&committed).is_err());
         let only_enum = SuiteResult {
             mode: "full",
-            workloads: vec![suite.workloads[1].clone()],
+            workloads: vec![suite.workloads[3].clone()],
         };
         let committed = jsonio::parse(&only_enum.to_json().to_json()).unwrap();
         suite
@@ -923,13 +1031,31 @@ mod tests {
     }
 
     #[test]
-    fn vacuity_guard_rejects_full_width_cubes() {
+    fn vacuity_guard_rejects_full_width_cubes_and_conflictless_runs() {
         let side = Side {
             wall: Duration::from_micros(100),
             propagations: 1,
             conflicts: 0,
             decisions: 0,
             restarts: 0,
+            binary_propagations: 0,
+            glue_core: 0,
+            glue_mid: 0,
+            glue_local: 0,
+        };
+        let conflictful = Side {
+            conflicts: 5,
+            ..side
+        };
+        let conflict_workload = |arena: Side, reference: Side| WorkloadResult {
+            name: "pigeonhole_2x1".into(),
+            kind: "conflict",
+            verdict: "unsat".into(),
+            arena,
+            reference,
+            fingerprint: None,
+            cubes_learned: None,
+            cube_assignments: None,
         };
         let workload = |cubes, assignments| WorkloadResult {
             name: "enumeration_cubes_branchy_2".into(),
@@ -943,14 +1069,14 @@ mod tests {
         };
         let good = SuiteResult {
             mode: "fast",
-            workloads: vec![workload(2, 3)],
+            workloads: vec![workload(2, 3), conflict_workload(conflictful, conflictful)],
         };
         good.vacuity_guard()
             .expect("2 cubes over 3 assignments generalized");
         assert_eq!(good.mean_assignments_per_cube_x100(), 150);
         let vacuous = SuiteResult {
             mode: "fast",
-            workloads: vec![workload(3, 3)],
+            workloads: vec![workload(3, 3), conflict_workload(conflictful, conflictful)],
         };
         assert!(
             vacuous.vacuity_guard().is_err(),
@@ -964,5 +1090,23 @@ mod tests {
             missing.vacuity_guard().is_err(),
             "cube workloads must be present"
         );
+        // A conflict workload where either solver never conflicted is
+        // measuring nothing and must fail the run.
+        for (a, r) in [(side, conflictful), (conflictful, side)] {
+            let conflictless = SuiteResult {
+                mode: "fast",
+                workloads: vec![workload(2, 3), conflict_workload(a, r)],
+            };
+            assert!(
+                conflictless.vacuity_guard().is_err(),
+                "zero-conflict conflict workload must be rejected"
+            );
+        }
+        // And a run with no conflict workload at all is equally vacuous.
+        let no_conflicts = SuiteResult {
+            mode: "fast",
+            workloads: vec![workload(2, 3)],
+        };
+        assert!(no_conflicts.vacuity_guard().is_err());
     }
 }

@@ -1,7 +1,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use sat::{SatResult, Solver};
+use sat::{ProofStep, SatResult, Solver};
 use taint_lattice::{Lattice, TwoPoint};
 use webssari_ir::AiProgram;
 
@@ -76,8 +76,39 @@ pub struct XbmcStats {
     pub decisions: u64,
     /// Total solver unit propagations.
     pub propagations: u64,
+    /// Propagations served by the binary implication lists (a subset
+    /// of `propagations` that never touched the clause arena).
+    pub binary_propagations: u64,
     /// Total solver restarts.
     pub restarts: u64,
+    /// Restarts triggered by the glue EMA rather than the Luby budget.
+    pub glue_restarts: u64,
+    /// Learned clauses with LBD ≤ 2 (core tier).
+    pub glue_core: u64,
+    /// Learned clauses with LBD 3–6 (mid tier).
+    pub glue_mid: u64,
+    /// Learned clauses with LBD > 6 (local tier).
+    pub glue_local: u64,
+    /// Live core-tier clauses after the last database reduction,
+    /// summed over solvers (gauge-like; see `absorb_since`).
+    pub tier_core_size: u64,
+    /// Live mid-tier clauses after the last database reduction.
+    pub tier_mid_size: u64,
+    /// Live local-tier clauses after the last database reduction.
+    pub tier_local_size: u64,
+    /// Clauses deleted by backward subsumption during root-level
+    /// inprocessing.
+    pub subsumed_clauses: u64,
+    /// Clauses strengthened by self-subsuming resolution.
+    pub strengthened_clauses: u64,
+    /// Clauses shortened by vivification.
+    pub vivified_clauses: u64,
+    /// Root-level inprocessing rounds run between restarts.
+    pub inprocessing_rounds: u64,
+    /// Long-lived certificate provers created (at most one per
+    /// program: the certify path shares a single proof-logging solver
+    /// across every held assertion instead of cloning per assertion).
+    pub certify_provers: u64,
     /// Root-level units fixed by formula preprocessing.
     pub pre_units_fixed: u64,
     /// Clauses removed by formula preprocessing (tautologies and
@@ -106,12 +137,30 @@ pub struct XbmcStats {
 }
 
 impl XbmcStats {
+    /// Total clauses removed by root-level inprocessing (subsumption
+    /// plus the originals replaced by strengthening and vivification).
+    pub fn inprocessing_removed(&self) -> u64 {
+        self.subsumed_clauses + self.strengthened_clauses + self.vivified_clauses
+    }
+
     /// Folds one solver's work counters into this check's totals.
     fn absorb(&mut self, s: &sat::SolverStats) {
         self.conflicts += s.conflicts;
         self.decisions += s.decisions;
         self.propagations += s.propagations;
+        self.binary_propagations += s.binary_propagations;
         self.restarts += s.restarts;
+        self.glue_restarts += s.glue_restarts;
+        self.glue_core += s.glue_core;
+        self.glue_mid += s.glue_mid;
+        self.glue_local += s.glue_local;
+        self.tier_core_size += s.tier_core_size;
+        self.tier_mid_size += s.tier_mid_size;
+        self.tier_local_size += s.tier_local_size;
+        self.subsumed_clauses += s.subsumed_clauses;
+        self.strengthened_clauses += s.strengthened_clauses;
+        self.vivified_clauses += s.vivified_clauses;
+        self.inprocessing_rounds += s.inprocessing_rounds;
         self.pre_units_fixed += s.pre_units_fixed;
         self.pre_clauses_removed += s.pre_clauses_removed;
         self.cubes_learned += s.cube_shrink_calls;
@@ -125,7 +174,22 @@ impl XbmcStats {
         self.conflicts += s.conflicts - base.conflicts;
         self.decisions += s.decisions - base.decisions;
         self.propagations += s.propagations - base.propagations;
+        self.binary_propagations += s.binary_propagations - base.binary_propagations;
         self.restarts += s.restarts - base.restarts;
+        self.glue_restarts += s.glue_restarts - base.glue_restarts;
+        self.glue_core += s.glue_core - base.glue_core;
+        self.glue_mid += s.glue_mid - base.glue_mid;
+        self.glue_local += s.glue_local - base.glue_local;
+        // Tier sizes are gauges (live clauses after the last
+        // reduction), not monotone counters: a clone's reduction can
+        // leave fewer live clauses than the base snapshot had.
+        self.tier_core_size += s.tier_core_size.saturating_sub(base.tier_core_size);
+        self.tier_mid_size += s.tier_mid_size.saturating_sub(base.tier_mid_size);
+        self.tier_local_size += s.tier_local_size.saturating_sub(base.tier_local_size);
+        self.subsumed_clauses += s.subsumed_clauses - base.subsumed_clauses;
+        self.strengthened_clauses += s.strengthened_clauses - base.strengthened_clauses;
+        self.vivified_clauses += s.vivified_clauses - base.vivified_clauses;
+        self.inprocessing_rounds += s.inprocessing_rounds - base.inprocessing_rounds;
         self.pre_units_fixed += s.pre_units_fixed - base.pre_units_fixed;
         self.pre_clauses_removed += s.pre_clauses_removed - base.pre_clauses_removed;
         self.cubes_learned += s.cube_shrink_calls - base.cube_shrink_calls;
@@ -279,6 +343,19 @@ impl<'a> Xbmc<'a> {
         } else {
             Some(base_solver.clone())
         };
+        // One long-lived proof-logging prover certifies every held
+        // assertion (created lazily: most programs with violations
+        // never need it). Clauses it learns while solving under the
+        // assumption `violatedᵢ` are implied by the program formula
+        // alone — assumptions act as decisions and never enter
+        // conflict-clause resolution — so the accumulated proof prefix
+        // stays RUP against `certified_formula` and each certificate
+        // is the prefix snapshot plus `¬violatedᵢ` (root-falsified
+        // when the single-assumption solve answers unsat) and the
+        // empty clause. This replaces a per-assertion clone of
+        // `base_solver`, and learned clauses carry over between
+        // assertions of the same program.
+        let mut cert_prover: Option<Solver> = None;
         // One free selector variable per assertion scopes its blocking
         // clauses: they only bite while that assertion is being
         // enumerated (the selector is assumed true), and are inert
@@ -365,25 +442,35 @@ impl<'a> Xbmc<'a> {
                 result.violated_assertions += 1;
             } else if self.options.certify {
                 // The assertion holds: certify Bᵢ's unsatisfiability
-                // with a DRAT refutation from a fresh prover in which
-                // the violation literal is a unit clause. The proof
-                // only records clauses learned after the clone, but
-                // those stay RUP-checkable against the original
-                // formula: preprocessing adds nothing beyond its own
-                // unit-propagation consequences.
-                let mut prover = base_solver.clone();
-                prover.start_proof();
-                prover.add_clause([a.violated]);
+                // with a DRAT refutation from the shared prover, with
+                // the violation literal as an assumption instead of a
+                // unit clause so the database is never committed to
+                // one assertion.
+                let prover = cert_prover.get_or_insert_with(|| {
+                    result.stats.certify_provers += 1;
+                    let mut s = base_solver.clone();
+                    s.start_proof();
+                    s
+                });
                 result.stats.sat_calls += 1;
-                let res = prover.solve();
-                result.stats.absorb_since(prover.stats(), &base_stats);
+                let res = prover.solve_with_assumptions(&[a.violated]);
                 if res == SatResult::Interrupted {
                     result.interrupted = true;
                     break;
                 }
                 debug_assert!(res.is_unsat(), "enumeration said Bᵢ is unsat");
-                if let Some(proof) = prover.take_proof() {
-                    if proof.proves_unsat() {
+                if res.is_unsat() {
+                    if let Some(prefix) = prover.proof() {
+                        // `¬violated` is RUP here: the only
+                        // unsat-under-assumption exit with a single
+                        // assumption is the literal being false at
+                        // root level, i.e. derived by propagation
+                        // from the clauses the prefix accounts for.
+                        // With `violated` restored as the verifier's
+                        // unit clause, the empty clause follows.
+                        let mut proof = prefix.clone();
+                        proof.push(ProofStep::Add(vec![!a.violated]));
+                        proof.push(ProofStep::Add(Vec::new()));
                         result.certificates.push(Certificate {
                             assert_id: a.id,
                             violated: a.violated,
@@ -397,6 +484,9 @@ impl<'a> Xbmc<'a> {
         }
         if let Some(s) = &shared_solver {
             result.stats.absorb_since(s.stats(), &base_stats);
+        }
+        if let Some(p) = &cert_prover {
+            result.stats.absorb_since(p.stats(), &base_stats);
         }
         if self.options.certify {
             result.certified_formula = Some(Arc::new(enc.formula));
@@ -742,6 +832,42 @@ mod certify_tests {
         // Either the proof fails outright or it no longer ends with a
         // derivable empty clause.
         assert!(r.certificates[0].verify(&formula).is_err());
+    }
+
+    #[test]
+    fn certify_path_shares_one_prover_per_program() {
+        // Two holding assertions: the certify path must build exactly
+        // one proof-logging prover (no per-assertion clone) and the
+        // formula must be preprocessed exactly once for the whole
+        // check — the run's preprocessing counters equal a single
+        // solver ingestion of the certified formula.
+        let ai = ai_of(
+            "<?php $a = htmlspecialchars($_GET['x']); echo $a; $b = intval($_GET['y']); mysql_query(\"LIMIT $b\");",
+        );
+        let r = Xbmc::with_options(&ai, certifying()).check_all();
+        assert_eq!(r.certificates.len(), 2);
+        assert_eq!(r.stats.certify_provers, 1);
+        let formula = r.certified_formula.as_ref().expect("certifying run");
+        let single_pass = *Solver::from_formula(formula).stats();
+        assert_eq!(r.stats.pre_units_fixed, single_pass.pre_units_fixed);
+        assert_eq!(r.stats.pre_clauses_removed, single_pass.pre_clauses_removed);
+        assert_eq!(r.verify_certificates().unwrap(), 2);
+    }
+
+    #[test]
+    fn certify_prover_reuse_keeps_fresh_solver_path_working() {
+        let ai = ai_of(
+            "<?php $a = htmlspecialchars($_GET['x']); echo $a; $b = intval($_GET['y']); mysql_query(\"LIMIT $b\");",
+        );
+        let opts = CheckOptions {
+            certify: true,
+            fresh_solver_per_assert: true,
+            ..CheckOptions::default()
+        };
+        let r = Xbmc::with_options(&ai, opts).check_all();
+        assert!(r.is_safe());
+        assert_eq!(r.stats.certify_provers, 1);
+        assert_eq!(r.verify_certificates().unwrap(), 2);
     }
 
     #[test]

@@ -417,6 +417,76 @@ proptest! {
         prop_assert!(r.stats.cubes_learned <= r.stats.sat_calls as u64);
     }
 
+    /// Cube enumeration on top of the tiered clause database with
+    /// root-level inprocessing forced on every restart: shrinking each
+    /// model to a minimal implicant, blocking the cube, and expanding
+    /// it back must reproduce the reference solver's exact
+    /// counterexample set even while subsumption and vivification are
+    /// rewriting the learned-clause arena between restarts.
+    #[test]
+    fn cube_enumeration_survives_aggressive_inprocessing(
+        ops in prop::collection::vec(0u8..3, 1..9),
+    ) {
+        let p = ai_of(&branchy_php(&ops));
+        let mut expected = enumerate_with_reference_solver(&p);
+
+        let lattice = TwoPoint::new();
+        let enc = xbmc::renaming::encode(&p, &lattice);
+        let mut solver = sat::Solver::from_formula(&enc.formula);
+        solver.set_inprocess_interval(1);
+        let selector_base = enc.formula.num_vars();
+        let mut got: Vec<(u32, Vec<bool>)> = Vec::new();
+        for (ai_idx, a) in enc.asserts.iter().enumerate() {
+            let selector = cnf::Var::new(selector_base + ai_idx).positive();
+            let mut seen: BTreeSet<Vec<bool>> = BTreeSet::new();
+            loop {
+                match solver.solve_with_assumptions(&[selector, a.violated]) {
+                    sat::SatResult::Sat(model) => {
+                        let model_cube: Vec<cnf::Lit> = a
+                            .relevant_branches
+                            .iter()
+                            .map(|b| {
+                                let lit = enc.branch_lits[b.0 as usize];
+                                if model.lit_value(lit) { lit } else { !lit }
+                            })
+                            .collect();
+                        let cube = solver.shrink_cube(&model_cube, a.violated);
+                        let mut fixed: Vec<(usize, bool)> = Vec::new();
+                        let mut free: Vec<usize> = Vec::new();
+                        for b in &a.relevant_branches {
+                            let idx = b.0 as usize;
+                            let lit = enc.branch_lits[idx];
+                            match cube.iter().find(|l| l.var() == lit.var()) {
+                                Some(&l) => fixed.push((idx, l == lit)),
+                                None => free.push(idx),
+                            }
+                        }
+                        let width = free.len();
+                        for m in 0..1u64 << width {
+                            let mut branches = vec![false; p.num_branches];
+                            for &(idx, v) in &fixed {
+                                branches[idx] = v;
+                            }
+                            for (i, &idx) in free.iter().enumerate() {
+                                branches[idx] = m >> (width - 1 - i) & 1 == 1;
+                            }
+                            seen.insert(branches);
+                        }
+                        let mut blocking: Vec<cnf::Lit> =
+                            cube.iter().map(|&l| !l).collect();
+                        blocking.push(!selector);
+                        solver.add_clause(blocking);
+                    }
+                    sat::SatResult::Unsat => break,
+                    other => panic!("cube enumeration got {other:?} with no budget"),
+                }
+            }
+            got.extend(seen.into_iter().map(|b| (a.id.0, b)));
+        }
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(fingerprint(&mut got), fingerprint(&mut expected));
+    }
+
     /// `max_cx` cap hits over cubes: expanded assignments count against
     /// the cap exactly as individually-enumerated models did — the
     /// capped result is a subset of the uncapped set of exactly

@@ -4,8 +4,8 @@
 //! The pre-arena solver kept each clause as its own heap `Vec<Lit>`
 //! behind a `Vec<ClauseData>`, so touching a clause in the propagation
 //! inner loop cost two dependent pointer chases into unrelated cache
-//! lines. Here a clause is a header (length + flags, then activity)
-//! immediately followed by its literal codes, addressed by a
+//! lines. Here a clause is a header (length + flags, then activity,
+//! then glue) immediately followed by its literal codes, addressed by a
 //! [`ClauseRef`] word offset — the MiniSat memory layout. Reading the
 //! header pulls the first literals into cache with it, and walking a
 //! clause is a linear scan of the same buffer.
@@ -13,20 +13,34 @@
 //! Deletion marks the header; [`ClauseArena::compact_into`] rebuilds a
 //! dense arena and leaves forwarding references behind so the solver
 //! can remap its watcher lists and reason pointers.
+//!
+//! Binary clauses never live here: the solver keeps them in per-literal
+//! implication lists and encodes their reasons as tagged [`ClauseRef`]s
+//! (see [`ClauseRef::binary`]), so the arena only ever holds clauses of
+//! three or more literals plus learned clauses awaiting reduction.
 
 use cnf::Lit;
 
 /// Words occupied by a clause header: `word0` packs the length and
 /// flags (`len << 3 | learnt | deleted << 1 | relocated << 2`), `word1`
 /// holds the activity as `f32` bits — or, after compaction, the
-/// forwarding [`ClauseRef`] of a relocated clause.
-const HEADER_WORDS: usize = 2;
+/// forwarding [`ClauseRef`] of a relocated clause — and `word2` holds
+/// the clause's LBD (glue: distinct decision levels at learn time,
+/// lowered dynamically when the clause reappears as a reason).
+const HEADER_WORDS: usize = 3;
 const LEARNT: u32 = 1;
 const DELETED: u32 = 1 << 1;
 const RELOCATED: u32 = 1 << 2;
 const LEN_SHIFT: u32 = 3;
 
-/// A clause address: the word offset of its header in the arena.
+/// Tag bit marking a [`ClauseRef`] as a binary-clause reason rather
+/// than an arena offset. The low 31 bits then hold the *other* literal
+/// of the binary clause (the one that forced nothing — the implied
+/// literal is always the trail entry whose reason this is).
+const BINARY_TAG: u32 = 1 << 31;
+
+/// A clause address: the word offset of its header in the arena, or a
+/// tagged binary-clause reason, or the [`ClauseRef::UNDEF`] sentinel.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) struct ClauseRef(u32);
 
@@ -38,6 +52,30 @@ impl ClauseRef {
     #[inline]
     pub(crate) fn is_undef(self) -> bool {
         self.0 == u32::MAX
+    }
+
+    /// A reason standing for the binary clause `(implied ∨ other)`,
+    /// where `implied` is the literal this ref is stored as the reason
+    /// of. Only `other` needs encoding.
+    #[inline]
+    pub(crate) fn binary(other: Lit) -> ClauseRef {
+        let code = other.code() as u32;
+        debug_assert!(code < BINARY_TAG, "literal code exceeds binary-reason range");
+        ClauseRef(code | BINARY_TAG)
+    }
+
+    /// Whether this ref encodes a binary-clause reason. `UNDEF` has the
+    /// tag bit set too, so it is excluded explicitly.
+    #[inline]
+    pub(crate) fn is_binary(self) -> bool {
+        self.0 & BINARY_TAG != 0 && self.0 != u32::MAX
+    }
+
+    /// The non-implied literal of a binary reason.
+    #[inline]
+    pub(crate) fn binary_other(self) -> Lit {
+        debug_assert!(self.is_binary());
+        Lit::from_code((self.0 & !BINARY_TAG) as usize)
     }
 }
 
@@ -54,16 +92,19 @@ impl ClauseArena {
     pub(crate) fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2, "unit and empty clauses never attach");
         let at = u32::try_from(self.data.len()).expect("clause arena exceeds u32 offsets");
+        debug_assert!(at & BINARY_TAG == 0, "clause arena exceeds binary-tag offset range");
         let header = ((lits.len() as u32) << LEN_SHIFT) | if learnt { LEARNT } else { 0 };
         self.data.reserve(HEADER_WORDS + lits.len());
         self.data.push(header);
         self.data.push(0f32.to_bits());
+        self.data.push(lits.len() as u32); // LBD upper bound until measured
         self.data.extend(lits.iter().map(|l| l.code() as u32));
         ClauseRef(at)
     }
 
     #[inline]
     fn header(&self, c: ClauseRef) -> u32 {
+        debug_assert!(!c.is_binary() && !c.is_undef());
         self.data[c.0 as usize]
     }
 
@@ -118,6 +159,19 @@ impl ClauseArena {
     #[inline]
     pub(crate) fn set_activity(&mut self, c: ClauseRef, a: f32) {
         self.data[c.0 as usize + 1] = a.to_bits();
+    }
+
+    /// The clause's LBD (glue). Meaningful for learnt clauses; original
+    /// clauses carry their length as a placeholder.
+    #[inline]
+    pub(crate) fn lbd(&self, c: ClauseRef) -> u32 {
+        self.data[c.0 as usize + 2]
+    }
+
+    /// Sets the clause's LBD.
+    #[inline]
+    pub(crate) fn set_lbd(&mut self, c: ClauseRef, lbd: u32) {
+        self.data[c.0 as usize + 2] = lbd;
     }
 
     /// Scales every learnt clause's activity by `factor`.
@@ -245,6 +299,17 @@ mod tests {
     }
 
     #[test]
+    fn lbd_defaults_to_len_and_is_settable() {
+        let mut a = ClauseArena::default();
+        let c = a.alloc(&[lit(0, true), lit(1, true), lit(2, true)], true);
+        assert_eq!(a.lbd(c), 3);
+        a.set_lbd(c, 2);
+        assert_eq!(a.lbd(c), 2);
+        a.set_activity(c, 9.0);
+        assert_eq!(a.lbd(c), 2, "activity and lbd words are independent");
+    }
+
+    #[test]
     fn compaction_forwards_live_clauses() {
         let mut a = ClauseArena::default();
         let c0 = a.alloc(&[lit(0, true), lit(1, true)], false);
@@ -264,10 +329,31 @@ mod tests {
     }
 
     #[test]
+    fn compaction_preserves_lbd() {
+        let mut a = ClauseArena::default();
+        let c = a.alloc(&[lit(0, true), lit(1, true), lit(2, true)], true);
+        a.set_lbd(c, 2);
+        let new = a.compact_into();
+        let n = a.forward(c).expect("live");
+        assert_eq!(new.lbd(n), 2);
+    }
+
+    #[test]
     fn undef_sentinel() {
         assert!(ClauseRef::UNDEF.is_undef());
+        assert!(!ClauseRef::UNDEF.is_binary());
         let mut a = ClauseArena::default();
         let c = a.alloc(&[lit(0, true), lit(1, true)], false);
         assert!(!c.is_undef());
+        assert!(!c.is_binary());
+    }
+
+    #[test]
+    fn binary_refs_round_trip() {
+        let l = lit(7, false);
+        let r = ClauseRef::binary(l);
+        assert!(r.is_binary());
+        assert!(!r.is_undef());
+        assert_eq!(r.binary_other(), l);
     }
 }

@@ -1,27 +1,53 @@
 //! Max-heap over variables ordered by VSIDS activity.
 //!
+//! The heap owns the activity array and the VSIDS increment, so
+//! decay-by-scaling is encapsulated: `decay` multiplies the increment
+//! instead of touching every variable, and `bump` rescales the whole
+//! array only when the increment approaches the `f64` overflow range.
 //! The heap stores variable indices and keeps a reverse position map so
 //! activities can be bumped (sift-up) in `O(log n)` without rebuilding.
 
-/// Binary max-heap keyed by an external activity array.
-#[derive(Debug, Default, Clone)]
+/// Activities above this trigger a global rescale. Far below
+/// `f64::MAX` so sums of bumped activities can never reach infinity.
+const RESCALE_LIMIT: f64 = 1e100;
+
+/// Binary max-heap that owns its VSIDS activity state.
+#[derive(Debug, Clone)]
 pub(crate) struct ActivityHeap {
     heap: Vec<u32>,
     /// `pos[v]` = index of v in `heap`, or `NONE` when absent.
     pos: Vec<u32>,
+    /// `activity[v]` = VSIDS score of variable v.
+    activity: Vec<f64>,
+    /// Amount added per bump; grows at each decay (decay-by-scaling).
+    inc: f64,
 }
 
 const NONE: u32 = u32::MAX;
+
+impl Default for ActivityHeap {
+    fn default() -> Self {
+        ActivityHeap {
+            heap: Vec::new(),
+            pos: Vec::new(),
+            activity: Vec::new(),
+            inc: 1.0,
+        }
+    }
+}
 
 impl ActivityHeap {
     pub fn new() -> Self {
         ActivityHeap::default()
     }
 
-    /// Grows the position map to cover `n` variables.
+    /// Grows the position and activity maps to cover `n` variables.
     pub fn grow(&mut self, n: usize) {
         if self.pos.len() < n {
             self.pos.resize(n, NONE);
+        }
+        if self.activity.len() < n {
+            self.activity.resize(n, 0.0);
         }
     }
 
@@ -39,8 +65,14 @@ impl ActivityHeap {
         self.heap.len()
     }
 
+    /// The VSIDS score of variable `v`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn activity(&self, v: usize) -> f64 {
+        self.activity[v]
+    }
+
     /// Inserts variable `v` (no-op if present).
-    pub fn insert(&mut self, v: usize, activity: &[f64]) {
+    pub fn insert(&mut self, v: usize) {
         self.grow(v + 1);
         if self.contains(v) {
             return;
@@ -48,11 +80,11 @@ impl ActivityHeap {
         let i = self.heap.len();
         self.heap.push(v as u32);
         self.pos[v] = i as u32;
-        self.sift_up(i, activity);
+        self.sift_up(i);
     }
 
     /// Removes and returns the variable with maximal activity.
-    pub fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+    pub fn pop_max(&mut self) -> Option<usize> {
         if self.heap.is_empty() {
             return None;
         }
@@ -62,24 +94,40 @@ impl ActivityHeap {
         if !self.heap.is_empty() {
             self.heap[0] = last;
             self.pos[last as usize] = 0;
-            self.sift_down(0, activity);
+            self.sift_down(0);
         }
         Some(top)
     }
 
-    /// Restores heap order after `v`'s activity increased.
-    pub fn bumped(&mut self, v: usize, activity: &[f64]) {
+    /// Bumps `v`'s activity by the current increment, rescaling every
+    /// activity (and the increment) when the score nears overflow, and
+    /// restores heap order.
+    pub fn bump(&mut self, v: usize) {
+        self.activity[v] += self.inc;
+        if self.activity[v] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.inc *= 1.0 / RESCALE_LIMIT;
+        }
         if let Some(&p) = self.pos.get(v) {
             if p != NONE {
-                self.sift_up(p as usize, activity);
+                self.sift_up(p as usize);
             }
         }
     }
 
-    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+    /// Decays every activity by `factor` — implemented by growing the
+    /// increment instead of touching the array (decay-by-scaling).
+    pub fn decay(&mut self, factor: f64) {
+        debug_assert!(factor > 0.0 && factor < 1.0);
+        self.inc /= factor;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
-            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+            if self.activity[self.heap[i] as usize] <= self.activity[self.heap[parent] as usize] {
                 break;
             }
             self.swap(i, parent);
@@ -87,18 +135,18 @@ impl ActivityHeap {
         }
     }
 
-    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+    fn sift_down(&mut self, mut i: usize) {
         loop {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
             let mut best = i;
             if l < self.heap.len()
-                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+                && self.activity[self.heap[l] as usize] > self.activity[self.heap[best] as usize]
             {
                 best = l;
             }
             if r < self.heap.len()
-                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+                && self.activity[self.heap[r] as usize] > self.activity[self.heap[best] as usize]
             {
                 best = r;
             }
@@ -121,48 +169,71 @@ impl ActivityHeap {
 mod tests {
     use super::*;
 
+    fn heap_with(activities: &[f64]) -> ActivityHeap {
+        let mut h = ActivityHeap::new();
+        h.grow(activities.len());
+        h.activity.copy_from_slice(activities);
+        for v in 0..activities.len() {
+            h.insert(v);
+        }
+        h
+    }
+
     #[test]
     fn pops_in_activity_order() {
-        let activity = vec![0.5, 3.0, 1.0, 2.0];
-        let mut h = ActivityHeap::new();
-        for v in 0..4 {
-            h.insert(v, &activity);
-        }
+        let mut h = heap_with(&[0.5, 3.0, 1.0, 2.0]);
         assert_eq!(h.len(), 4);
-        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity)).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max()).collect();
         assert_eq!(order, vec![1, 3, 2, 0]);
         assert!(h.is_empty());
     }
 
     #[test]
     fn insert_is_idempotent() {
-        let activity = vec![1.0; 3];
         let mut h = ActivityHeap::new();
-        h.insert(1, &activity);
-        h.insert(1, &activity);
+        h.insert(1);
+        h.insert(1);
         assert_eq!(h.len(), 1);
     }
 
     #[test]
-    fn bumped_reorders() {
-        let mut activity = vec![1.0, 2.0, 3.0];
-        let mut h = ActivityHeap::new();
-        for v in 0..3 {
-            h.insert(v, &activity);
-        }
-        activity[0] = 10.0;
-        h.bumped(0, &activity);
-        assert_eq!(h.pop_max(&activity), Some(0));
+    fn bump_reorders() {
+        let mut h = heap_with(&[1.0, 2.0, 3.0]);
+        h.inc = 10.0;
+        h.bump(0);
+        assert_eq!(h.pop_max(), Some(0));
+    }
+
+    #[test]
+    fn decay_grows_later_bumps() {
+        let mut h = heap_with(&[0.0, 0.0]);
+        h.bump(0);
+        h.decay(0.5);
+        h.bump(1);
+        assert!(h.activity(1) > h.activity(0), "post-decay bump outweighs pre-decay bump");
+        assert_eq!(h.pop_max(), Some(1));
+    }
+
+    #[test]
+    fn bump_rescales_near_overflow() {
+        let mut h = heap_with(&[0.0, 1.0]);
+        h.inc = RESCALE_LIMIT * 0.5;
+        h.bump(0);
+        h.bump(0);
+        h.bump(0);
+        assert!(h.activity(0) <= RESCALE_LIMIT);
+        assert!(h.activity(0).is_finite() && h.inc.is_finite());
+        // Relative order survives the rescale.
+        assert_eq!(h.pop_max(), Some(0));
     }
 
     #[test]
     fn contains_tracks_membership() {
-        let activity = vec![1.0, 1.0];
         let mut h = ActivityHeap::new();
         assert!(!h.contains(0));
-        h.insert(0, &activity);
+        h.insert(0);
         assert!(h.contains(0));
-        h.pop_max(&activity);
+        h.pop_max();
         assert!(!h.contains(0));
     }
 
@@ -179,11 +250,8 @@ mod tests {
         };
         for n in [1usize, 2, 7, 50, 255] {
             let activity: Vec<f64> = (0..n).map(|_| next()).collect();
-            let mut h = ActivityHeap::new();
-            for v in 0..n {
-                h.insert(v, &activity);
-            }
-            let mut popped: Vec<f64> = std::iter::from_fn(|| h.pop_max(&activity))
+            let mut h = heap_with(&activity);
+            let mut popped: Vec<f64> = std::iter::from_fn(|| h.pop_max())
                 .map(|v| activity[v])
                 .collect();
             let mut sorted = activity.clone();

@@ -1,0 +1,110 @@
+//! The frozen reference solver's VSIDS heap, exactly as it was before
+//! [`crate::heap`] was refactored to own the activity array.
+//!
+//! `sat::reference` is the differential-testing oracle and must not
+//! change behavior, so it keeps this externally-keyed heap: the caller
+//! owns `activity: Vec<f64>` and passes it into every operation.
+
+/// Binary max-heap keyed by an external activity array.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ActivityHeap {
+    heap: Vec<u32>,
+    /// `pos[v]` = index of v in `heap`, or `NONE` when absent.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl ActivityHeap {
+    pub fn new() -> Self {
+        ActivityHeap::default()
+    }
+
+    /// Grows the position map to cover `n` variables.
+    pub fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, NONE);
+        }
+    }
+
+    pub fn contains(&self, v: usize) -> bool {
+        self.pos.get(v).is_some_and(|&p| p != NONE)
+    }
+
+    /// Inserts variable `v` (no-op if present).
+    pub fn insert(&mut self, v: usize, activity: &[f64]) {
+        self.grow(v + 1);
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v as u32);
+        self.pos[v] = i as u32;
+        self.sift_up(i, activity);
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn bumped(&mut self, v: usize, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v) {
+            if p != NONE {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}

@@ -52,6 +52,7 @@
 mod arena;
 mod budget;
 mod heap;
+mod heap_ref;
 mod luby;
 pub mod proof;
 pub mod reference;

@@ -19,7 +19,7 @@
 use cnf::{CnfFormula, Lit, Var};
 
 use crate::budget::{Budget, DEADLINE_CHECK_INTERVAL};
-use crate::heap::ActivityHeap;
+use crate::heap_ref::ActivityHeap;
 use crate::luby::luby;
 use crate::proof::{Proof, ProofStep};
 use crate::stats::SolverStats;

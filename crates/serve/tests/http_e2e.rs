@@ -164,6 +164,56 @@ fn sql_counters_flow_to_the_metrics_endpoint() {
     server.shutdown().expect("graceful shutdown");
 }
 
+/// Extracts one counter's value from the Prometheus exposition.
+/// `name` includes labels when the metric has them.
+fn metric_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("{name} missing from metrics:\n{metrics}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} is not an integer counter"))
+}
+
+#[test]
+fn solver_tier_counters_flow_to_metrics_and_are_monotone() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    const SOLVER_COUNTERS: [&str; 6] = [
+        "webssari_sat_binary_propagations_total",
+        "webssari_sat_glue_restarts_total",
+        "webssari_sat_inprocessing_removed_total",
+        "webssari_sat_glue_tier_total{tier=\"core\"}",
+        "webssari_sat_glue_tier_total{tier=\"mid\"}",
+        "webssari_sat_glue_tier_total{tier=\"local\"}",
+    ];
+
+    assert_eq!(status_of(&post(addr, "/verify?file=m1.php", "", SQLI)), 200);
+    let first = get(addr, "/metrics");
+    assert_eq!(status_of(&first), 200);
+    let before: Vec<u64> = SOLVER_COUNTERS
+        .iter()
+        .map(|n| metric_value(&first, n))
+        .collect();
+
+    // A second, distinct file misses the cache, so the engine runs the
+    // solver again: every counter is monotone across the two scrapes.
+    let other = "<?php $x = $_GET['b']; echo $x; $y = 'safe'; mysql_query($y);";
+    assert_eq!(
+        status_of(&post(addr, "/verify?file=m2.php", "", other)),
+        200,
+    );
+    let second = get(addr, "/metrics");
+    for (name, prev) in SOLVER_COUNTERS.iter().zip(before) {
+        let now = metric_value(&second, name);
+        assert!(now >= prev, "{name} went backwards: {prev} -> {now}");
+    }
+
+    server.shutdown().expect("graceful shutdown");
+}
+
 #[test]
 fn exhausted_budget_returns_well_formed_timeout_json() {
     let server = start(ServerConfig::default());
