@@ -234,7 +234,7 @@ mod tests {
         let vars = names(&ai, &cs[0].vars);
         assert!(vars.contains(&"b".to_owned()));
         assert!(vars.contains(&"a".to_owned()));
-        assert!(vars.contains(&"_GET".to_owned()));
+        assert!(vars.contains(&"_GET[x]".to_owned()));
         assert!(!vars.contains(&"c".to_owned()), "{vars:?}");
     }
 

@@ -28,6 +28,8 @@ pub mod sarif;
 pub mod screen;
 
 pub use cone::{cones, slice, AssertCone};
-pub use lint::{lint, lint_file, Diagnostic, Severity, RULES};
+pub use lint::{lint, lint_file, Diagnostic, FlowStep, Severity, RULES};
 pub use sarif::{to_sarif, to_sarif_json, SARIF_SCHEMA};
-pub use screen::{screen, DischargeProof, Discharged, ScreenResult};
+pub use screen::{
+    screen, screen_two_stage, DischargeProof, Discharged, FlowScreenResult, ScreenResult,
+};

@@ -9,14 +9,22 @@
 //! | `tainted-include` | error | a dynamic `include`/`require` path carries taint |
 //! | `dead-sanitizer` | warning | a sanitizer call whose result never reaches any sink |
 //! | `unreachable-after-stop` | warning | code after `exit`/top-level `return` in the same block |
+//! | `flow-unreachable-sink` | warning | a sink no execution reaches (every path exits first) |
 //! | `recursion-cutoff-approximation` | note | a call degraded by the inlining depth cutoff |
+//!
+//! The `dead-sanitizer` and `flow-unreachable-sink` rules are verdicts
+//! of the sparse dataflow tier (SSA def-use liveness and stop-respecting
+//! CFG reachability), and every taint finding carries the tier's
+//! def-use witness as [`Diagnostic::steps`] — the source-to-sink chain
+//! SARIF renders as a `codeFlow`.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use taint_lattice::Lattice;
 use typestate::TsResult;
+use webssari_dataflow::{BlockCmd, Def, DefId, FlowResult, SsaProgram};
 use webssari_ir::{
-    is_store_cell, store_cell_key, AiCmd, AiProgram, AssertId, AssertKind, FProgram, Site, VarId,
+    is_store_cell, store_cell_key, AiCmd, AiProgram, AssertId, AssertKind, FProgram, Site,
 };
 
 /// Diagnostic severity, mirroring SARIF's `level`.
@@ -42,15 +50,26 @@ impl Severity {
 }
 
 /// Every rule id the lint pass can emit, in stable order.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "unsanitized-sink",
     "sql-concat-injection",
     "stored-taint-flow",
     "tainted-include",
     "dead-sanitizer",
     "unreachable-after-stop",
+    "flow-unreachable-sink",
     "recursion-cutoff-approximation",
 ];
+
+/// One step of a def-use taint witness: a definition on the chain from
+/// the taint source to the flagged sink, in source-to-sink order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowStep {
+    /// The variable defined at this step.
+    pub var: String,
+    /// Where the definition happened.
+    pub site: Site,
+}
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,6 +82,9 @@ pub struct Diagnostic {
     pub message: String,
     /// Where the finding points.
     pub site: Site,
+    /// The dataflow tier's def-use witness for taint findings
+    /// (source-to-sink); empty for rules without a flow.
+    pub steps: Vec<FlowStep>,
 }
 
 impl Diagnostic {
@@ -89,11 +111,14 @@ pub fn lint(
     f: &FProgram,
     ai: &AiProgram,
     ts: &TsResult,
-    _lattice: &impl Lattice,
+    lattice: &impl Lattice,
 ) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    taint_rules(ai, ts, &mut out);
-    dead_sanitizers(ai, &mut out);
+    let ssa = SsaProgram::build(ai);
+    let flow = webssari_dataflow::analyze(&ssa, lattice);
+    taint_rules(ai, ts, &ssa, &flow, lattice, &mut out);
+    dead_sanitizers(ai, &ssa, &mut out);
+    flow_unreachable_sinks(&ssa, &mut out);
     unreachable_after_stop(&ai.cmds, &mut out);
     for site in &f.recursion_cutoffs {
         out.push(Diagnostic {
@@ -105,6 +130,7 @@ pub fn lint(
                 site.snippet
             ),
             site: site.clone(),
+            steps: Vec::new(),
         });
     }
     out.sort_by(|a, b| {
@@ -137,9 +163,45 @@ pub fn lint_file(
     Ok(lint(&f, &ai, &ts, lattice))
 }
 
+/// The dataflow tier's def-use witness for one flagged assertion, as
+/// renderable steps in source-to-sink order. Empty when the flow tier
+/// has no dirty chain for the assertion (it and TS agree on verdicts,
+/// so this only happens for asserts outside the SSA walk).
+fn witness_steps(
+    ai: &AiProgram,
+    ssa: &SsaProgram,
+    flow: &FlowResult,
+    lattice: &impl Lattice,
+    id: AssertId,
+) -> Vec<FlowStep> {
+    let Some(idx) = ssa.asserts.iter().position(|a| a.id == id) else {
+        return Vec::new();
+    };
+    if flow.verdicts[idx].clean {
+        return Vec::new();
+    }
+    webssari_dataflow::witness(ssa, flow, lattice, idx)
+        .into_iter()
+        .filter_map(|w| {
+            Some(FlowStep {
+                var: ai.vars.name(w.var).to_owned(),
+                site: w.site?,
+            })
+        })
+        .collect()
+}
+
 /// `unsanitized-sink`, `sql-concat-injection`, `stored-taint-flow`, and
-/// `tainted-include` from the TS symptoms.
-fn taint_rules(ai: &AiProgram, ts: &TsResult, out: &mut Vec<Diagnostic>) {
+/// `tainted-include` from the TS symptoms, each carrying the flow
+/// tier's def-use witness.
+fn taint_rules(
+    ai: &AiProgram,
+    ts: &TsResult,
+    ssa: &SsaProgram,
+    flow: &FlowResult,
+    lattice: &impl Lattice,
+    out: &mut Vec<Diagnostic>,
+) {
     let mut kinds: BTreeMap<AssertId, &AssertKind> = BTreeMap::new();
     for (c, _) in ai.assertions() {
         if let AiCmd::Assert { id, kind, .. } = c {
@@ -197,11 +259,13 @@ fn taint_rules(ai: &AiProgram, ts: &TsResult, out: &mut Vec<Diagnostic>) {
                 ),
             )
         };
+        let steps = witness_steps(ai, ssa, flow, lattice, e.assert_id);
         out.push(Diagnostic {
             rule,
             severity: Severity::Error,
             message,
             site: e.site.clone(),
+            steps: steps.clone(),
         });
         if let Some(keys) = store_keys.get(&e.assert_id) {
             out.push(Diagnostic {
@@ -213,53 +277,104 @@ fn taint_rules(ai: &AiProgram, ts: &TsResult, out: &mut Vec<Diagnostic>) {
                     keys.join("`, `"),
                 ),
                 site: e.site.clone(),
+                steps,
             });
         }
     }
 }
 
-/// `dead-sanitizer`: a sanitizer temp whose value is not in the backward
-/// closure of any assertion — its result never reaches a sink.
-fn dead_sanitizers(ai: &AiProgram, out: &mut Vec<Diagnostic>) {
-    let mut sink_cone: BTreeSet<VarId> = BTreeSet::new();
-    for cone in crate::cone::cones(ai) {
-        sink_cone.extend(cone.vars.iter().copied());
+/// `dead-sanitizer`: a sanitizer temp whose SSA definition reaches no
+/// assertion through the def-use chains — its result never influences
+/// any sink. Unlike the old cone-based check this is flow-sensitive: a
+/// sanitized value that is overwritten before the sink is dead even
+/// though the overwritten variable itself flows on.
+fn dead_sanitizers(ai: &AiProgram, ssa: &SsaProgram, out: &mut Vec<Diagnostic>) {
+    // Backward liveness: seed with the definitions assertions read,
+    // close over operand edges.
+    let mut live = vec![false; ssa.defs.len()];
+    let mut work: Vec<DefId> = Vec::new();
+    for a in &ssa.asserts {
+        for (_, d) in &a.uses {
+            if !live[d.idx()] {
+                live[d.idx()] = true;
+                work.push(*d);
+            }
+        }
     }
-    check_sanitizer_temps(&ai.cmds, ai, &sink_cone, out);
+    while let Some(d) = work.pop() {
+        for op in ssa.defs[d.idx()].operands() {
+            if !live[op.idx()] {
+                live[op.idx()] = true;
+                work.push(*op);
+            }
+        }
+    }
+    for (i, def) in ssa.defs.iter().enumerate() {
+        let Def::Assign { var, site, .. } = def else {
+            continue;
+        };
+        let name = ai.vars.name(*var);
+        if let Some(func) = name.split("#san").next().filter(|_| name.contains("#san")) {
+            if !live[i] {
+                out.push(Diagnostic {
+                    rule: "dead-sanitizer",
+                    severity: Severity::Warning,
+                    message: format!(
+                        "result of {func}() never reaches any sensitive output channel"
+                    ),
+                    site: site.clone(),
+                    steps: Vec::new(),
+                });
+            }
+        }
+    }
 }
 
-fn check_sanitizer_temps(
-    cmds: &[AiCmd],
-    ai: &AiProgram,
-    sink_cone: &BTreeSet<VarId>,
-    out: &mut Vec<Diagnostic>,
-) {
-    for c in cmds {
-        match c {
-            AiCmd::Assign { var, site, .. } => {
-                let name = ai.vars.name(*var);
-                if let Some(func) = name.split("#san").next().filter(|_| name.contains("#san")) {
-                    if !sink_cone.contains(var) {
-                        out.push(Diagnostic {
-                            rule: "dead-sanitizer",
-                            severity: Severity::Warning,
-                            message: format!(
-                                "result of {func}() never reaches any sensitive output channel"
-                            ),
-                            site: site.clone(),
-                        });
-                    }
+/// `flow-unreachable-sink`: an assertion no execution reaches because
+/// every path to it passes a `stop` first. Stop-respecting forward
+/// reachability over the SSA CFG (block indices are topological, so one
+/// forward sweep suffices). Lint-only: the verifier still checks these
+/// assertions — Figure 5 encodes `stop` as the constraint `true` — so
+/// this rule never discharges anything.
+fn flow_unreachable_sinks(ssa: &SsaProgram, out: &mut Vec<Diagnostic>) {
+    let mut entered = vec![false; ssa.blocks.len()];
+    if let Some(e) = entered.first_mut() {
+        *e = true;
+    }
+    let mut reachable = vec![false; ssa.asserts.len()];
+    for (b, block) in ssa.blocks.iter().enumerate() {
+        if !entered[b] {
+            continue;
+        }
+        let mut stopped = false;
+        for c in &block.cmds {
+            match c {
+                BlockCmd::Stop(_) => {
+                    stopped = true;
+                    break;
                 }
+                BlockCmd::Assert(i) => reachable[*i] = true,
+                BlockCmd::Assign(_) => {}
             }
-            AiCmd::If {
-                then_cmds,
-                else_cmds,
-                ..
-            } => {
-                check_sanitizer_temps(then_cmds, ai, sink_cone, out);
-                check_sanitizer_temps(else_cmds, ai, sink_cone, out);
+        }
+        if !stopped {
+            for s in &block.succs {
+                entered[s.idx()] = true;
             }
-            _ => {}
+        }
+    }
+    for (i, a) in ssa.asserts.iter().enumerate() {
+        if !reachable[i] {
+            out.push(Diagnostic {
+                rule: "flow-unreachable-sink",
+                severity: Severity::Warning,
+                message: format!(
+                    "{}() sink is unreachable: every path to it exits first",
+                    a.func
+                ),
+                site: a.site.clone(),
+                steps: Vec::new(),
+            });
         }
     }
 }
@@ -287,6 +402,7 @@ fn unreachable_after_stop(cmds: &[AiCmd], out: &mut Vec<Diagnostic>) {
                 severity: Severity::Warning,
                 message: format!("unreachable code after exit/return: `{}`", site.snippet),
                 site: site.clone(),
+                steps: Vec::new(),
             });
             // One diagnostic per stop suffices; deeper commands in the
             // same dead region would only repeat it.
@@ -370,14 +486,69 @@ mod tests {
     }
 
     #[test]
+    fn flow_sensitively_killed_sanitizer_is_dead() {
+        // Syntactically the sanitizer's variable reaches the sink, but
+        // flow-sensitively the re-taint kills the sanitized incarnation
+        // before any use: the SSA liveness verdict flags it, and the
+        // sink still fires.
+        let diags = lint_src("<?php $x = htmlspecialchars($_GET['q']); $x = $_GET['q']; echo $x;");
+        let rs = rules(&diags);
+        assert!(rs.contains(&"dead-sanitizer"), "{diags:?}");
+        assert!(rs.contains(&"unsanitized-sink"), "{diags:?}");
+    }
+
+    #[test]
+    fn taint_diagnostics_carry_a_def_use_witness() {
+        let diags = lint_src("<?php\n$a = $_GET['q'];\n$b = $a;\necho $b;\n");
+        let d = diags
+            .iter()
+            .find(|d| d.rule == "unsanitized-sink")
+            .expect("sink finding");
+        let vars: Vec<&str> = d.steps.iter().map(|s| s.var.as_str()).collect();
+        // Source-to-sink order: the keyed channel first, the variable
+        // feeding the sink last.
+        assert!(!vars.is_empty(), "{diags:?}");
+        assert_eq!(vars.first(), Some(&"_GET[q]"), "{vars:?}");
+        assert_eq!(vars.last(), Some(&"b"), "{vars:?}");
+        // Step sites are real source locations, in nondecreasing line
+        // order for this straight-line program.
+        assert!(d.steps.windows(2).all(|w| w[0].site.line <= w[1].site.line));
+    }
+
+    #[test]
+    fn sink_behind_unconditional_exit_is_flow_unreachable() {
+        let diags = lint_src("<?php $x = $_GET['q']; exit; mysql_query($x);");
+        let d = diags
+            .iter()
+            .find(|d| d.rule == "flow-unreachable-sink")
+            .expect("unreachable-sink finding");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("mysql_query"), "{}", d.message);
+    }
+
+    #[test]
+    fn conditionally_reachable_sink_is_not_flagged_unreachable() {
+        // Only one arm exits, so a path to the sink survives.
+        let diags = lint_src("<?php $x = $_GET['q']; if ($c) { exit; } echo $x;");
+        assert!(
+            !rules(&diags).contains(&"flow-unreachable-sink"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
     fn unreachable_after_stop_points_at_dead_code() {
         let diags = lint_src("<?php exit; echo $x;");
         // The echo after exit is unreachable; the AI still checks it
-        // (Figure 5 semantics), so the unsanitized-sink also fires when
-        // $x is tainted — here $x is unassigned (⊥), so only the
-        // unreachable warning remains.
-        assert_eq!(rules(&diags), vec!["unreachable-after-stop"]);
-        assert_eq!(diags[0].severity, Severity::Warning);
+        // (Figure 5 semantics), so the unsanitized-sink would also fire
+        // when $x is tainted — here $x is unassigned (⊥), so the two
+        // reachability warnings remain: the syntactic one for the dead
+        // statement and the flow one for the dead sink.
+        assert_eq!(
+            rules(&diags),
+            vec!["flow-unreachable-sink", "unreachable-after-stop"]
+        );
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
     }
 
     #[test]

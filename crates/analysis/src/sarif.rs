@@ -4,11 +4,15 @@
 //! model), emitting the minimal valid subset editors and CI annotators
 //! consume: `$schema`/`version`, one run with a tool driver carrying
 //! the full rule table, and one `result` per diagnostic with `ruleId`,
-//! `level`, `message.text`, and a physical location.
+//! `level`, `message.text`, and a physical location. Diagnostics that
+//! carry a def-use witness ([`Diagnostic::steps`]) additionally get a
+//! `codeFlows` entry — one `threadFlow` whose locations trace the
+//! taint from source to sink — which SARIF viewers render as a
+//! step-through path.
 
 use jsonio::Value;
 
-use crate::lint::{Diagnostic, RULES};
+use crate::lint::{Diagnostic, FlowStep, RULES};
 
 /// The SARIF schema URI embedded in every report.
 pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
@@ -27,6 +31,9 @@ fn rule_description(rule: &str) -> &'static str {
         }
         "tainted-include" => "A dynamic include/require path may be attacker-controlled.",
         "dead-sanitizer" => "A sanitizer's result never reaches any sensitive output channel.",
+        "flow-unreachable-sink" => {
+            "A sensitive output channel is unreachable: every path to it exits first."
+        }
         "unreachable-after-stop" => "Code after exit/return in the same block never executes.",
         "recursion-cutoff-approximation" => {
             "A call degraded to the join-of-arguments approximation at the inlining depth cutoff."
@@ -77,10 +84,47 @@ pub fn to_sarif_json(diags: &[Diagnostic]) -> String {
     to_sarif(diags).to_json()
 }
 
-fn result(d: &Diagnostic) -> Value {
+/// A `physicalLocation` object for a site.
+fn physical_location(site: &webssari_ir::Site) -> Value {
     // SARIF regions are 1-based; synthetic sites carry line 0.
-    let line = u64::from(d.site.line.max(1));
+    let line = u64::from(site.line.max(1));
     Value::obj(vec![
+        (
+            "artifactLocation",
+            Value::obj(vec![("uri", Value::str(site.file.clone()))]),
+        ),
+        ("region", Value::obj(vec![("startLine", Value::Num(line))])),
+    ])
+}
+
+/// The `codeFlows` array for a diagnostic's def-use witness: one code
+/// flow with one thread flow whose locations are the witness steps in
+/// source-to-sink order, each annotated with the variable it flows
+/// through.
+fn code_flows(steps: &[FlowStep]) -> Value {
+    let locations = steps
+        .iter()
+        .map(|s| {
+            Value::obj(vec![(
+                "location",
+                Value::obj(vec![
+                    ("physicalLocation", physical_location(&s.site)),
+                    (
+                        "message",
+                        Value::obj(vec![("text", Value::str(format!("${}", s.var)))]),
+                    ),
+                ]),
+            )])
+        })
+        .collect();
+    Value::Arr(vec![Value::obj(vec![(
+        "threadFlows",
+        Value::Arr(vec![Value::obj(vec![("locations", Value::Arr(locations))])]),
+    )])])
+}
+
+fn result(d: &Diagnostic) -> Value {
+    let mut fields = vec![
         ("ruleId", Value::str(d.rule)),
         ("level", Value::str(d.severity.as_str())),
         (
@@ -91,16 +135,14 @@ fn result(d: &Diagnostic) -> Value {
             "locations",
             Value::Arr(vec![Value::obj(vec![(
                 "physicalLocation",
-                Value::obj(vec![
-                    (
-                        "artifactLocation",
-                        Value::obj(vec![("uri", Value::str(d.site.file.clone()))]),
-                    ),
-                    ("region", Value::obj(vec![("startLine", Value::Num(line))])),
-                ]),
+                physical_location(&d.site),
             )])]),
         ),
-    ])
+    ];
+    if !d.steps.is_empty() {
+        fields.push(("codeFlows", code_flows(&d.steps)));
+    }
+    Value::obj(fields)
 }
 
 #[cfg(test)]
@@ -118,12 +160,23 @@ mod tests {
                 severity: Severity::Error,
                 message: "tainted data may reach echo() via $x".to_owned(),
                 site: Site::new("a.php", 3, Span::new(10, 20), "echo $x;"),
+                steps: vec![
+                    FlowStep {
+                        var: "_GET[q]".to_owned(),
+                        site: Site::new("a.php", 2, Span::new(0, 9), "$x = $_GET['q'];"),
+                    },
+                    FlowStep {
+                        var: "x".to_owned(),
+                        site: Site::new("a.php", 3, Span::new(10, 20), "echo $x;"),
+                    },
+                ],
             },
             Diagnostic {
                 rule: "recursion-cutoff-approximation",
                 severity: Severity::Note,
                 message: "call degrades".to_owned(),
                 site: Site::synthetic("a.php", "r($x)"),
+                steps: Vec::new(),
             },
         ]
     }
@@ -168,21 +221,30 @@ mod tests {
         assert_eq!(start, Some(1));
     }
 
+    fn step() -> impl Strategy<Value = FlowStep> {
+        (".{1,12}", ".{1,20}", 0u32..100, ".{0,30}").prop_map(|(var, file, line, snippet)| {
+            FlowStep {
+                var,
+                site: Site::new(file, line, Span::new(0, 0), &snippet),
+            }
+        })
+    }
+
     fn diag() -> impl Strategy<Value = Diagnostic> {
         (
-            0usize..RULES.len(),
-            0usize..3,
-            ".{0,40}",
-            ".{1,20}",
-            0u32..100,
-            ".{0,30}",
+            (0usize..RULES.len(), 0usize..3, ".{0,40}"),
+            (".{1,20}", 0u32..100, ".{0,30}"),
+            proptest::collection::vec(step(), 0..4),
         )
-            .prop_map(|(rule, sev, message, file, line, snippet)| Diagnostic {
-                rule: RULES[rule],
-                severity: [Severity::Error, Severity::Warning, Severity::Note][sev],
-                message,
-                site: Site::new(file, line, Span::new(0, 0), &snippet),
-            })
+            .prop_map(
+                |((rule, sev, message), (file, line, snippet), steps)| Diagnostic {
+                    rule: RULES[rule],
+                    severity: [Severity::Error, Severity::Warning, Severity::Note][sev],
+                    message,
+                    site: Site::new(file, line, Span::new(0, 0), &snippet),
+                    steps,
+                },
+            )
     }
 
     proptest! {
@@ -219,7 +281,67 @@ mod tests {
                     .and_then(Value::as_u64)
                     .unwrap();
                 prop_assert!(start >= 1);
+                // codeFlows mirror the witness: present exactly when the
+                // diagnostic carries steps, one threadFlow location per
+                // step, each with a physical location and startLine >= 1.
+                match r.get("codeFlows") {
+                    None => prop_assert!(d.steps.is_empty()),
+                    Some(flows) => {
+                        prop_assert!(!d.steps.is_empty());
+                        let flow = &flows.as_arr().unwrap()[0];
+                        let thread = &flow.get("threadFlows").and_then(Value::as_arr).unwrap()[0];
+                        let locs = thread.get("locations").and_then(Value::as_arr).unwrap();
+                        prop_assert_eq!(locs.len(), d.steps.len());
+                        for (loc, s) in locs.iter().zip(&d.steps) {
+                            let l = loc.get("location").unwrap();
+                            let uri = l
+                                .get("physicalLocation")
+                                .and_then(|p| p.get("artifactLocation"))
+                                .and_then(|a| a.get("uri"))
+                                .and_then(Value::as_str)
+                                .unwrap();
+                            prop_assert_eq!(uri, s.site.file.as_str());
+                            let start = l
+                                .get("physicalLocation")
+                                .and_then(|p| p.get("region"))
+                                .and_then(|r| r.get("startLine"))
+                                .and_then(Value::as_u64)
+                                .unwrap();
+                            prop_assert!(start >= 1);
+                            let text = l
+                                .get("message")
+                                .and_then(|m| m.get("text"))
+                                .and_then(Value::as_str)
+                                .unwrap();
+                            let want = format!("${}", s.var);
+                            prop_assert_eq!(text, want.as_str());
+                        }
+                    }
+                }
             }
         }
+    }
+
+    #[test]
+    fn taint_results_carry_a_source_to_sink_code_flow() {
+        let doc = to_sarif(&sample());
+        let run = &doc.get("runs").and_then(Value::as_arr).unwrap()[0];
+        let results = run.get("results").and_then(Value::as_arr).unwrap();
+        let flows = results[0].get("codeFlows").and_then(Value::as_arr).unwrap();
+        let locs = flows[0]
+            .get("threadFlows")
+            .and_then(Value::as_arr)
+            .and_then(|t| t[0].get("locations"))
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(locs.len(), 2);
+        let first_msg = locs[0]
+            .get("location")
+            .and_then(|l| l.get("message"))
+            .and_then(|m| m.get("text"))
+            .and_then(Value::as_str);
+        assert_eq!(first_msg, Some("$_GET[q]"));
+        // The step-less note has no codeFlows at all.
+        assert!(results[1].get("codeFlows").is_none());
     }
 }

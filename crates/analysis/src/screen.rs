@@ -33,9 +33,18 @@ pub enum DischargeProof {
     /// cone assignment's constant base already satisfies the bound, so
     /// no path can violate regardless of control flow.
     TaintFreeCone,
+    /// The sparse flow-sensitive analysis proved every SSA reaching
+    /// definition at the assertion within the bound — the strongest
+    /// evidence for cones that *do* see taint (the taint is killed or
+    /// sanitized on every path before the sink).
+    FlowClean,
     /// The cone does see taint, but the typestate join-merge state at
     /// the assertion satisfies the bound — an over-approximation of
-    /// every path, hence no violating path exists.
+    /// every path, hence no violating path exists. With the flow tier
+    /// enabled this remains only as a defensive fallback: the flow
+    /// verdict computes the same join at merges, so every
+    /// typestate-clean assertion is expected to upgrade to
+    /// [`DischargeProof::FlowClean`].
     TypestateClean,
 }
 
@@ -44,6 +53,7 @@ impl DischargeProof {
     pub fn as_str(&self) -> &'static str {
         match self {
             DischargeProof::TaintFreeCone => "taint-free-cone",
+            DischargeProof::FlowClean => "flow-clean",
             DischargeProof::TypestateClean => "typestate-clean",
         }
     }
@@ -140,6 +150,88 @@ pub fn screen(ai: &AiProgram, ts: &TsResult, lattice: &impl Lattice) -> ScreenRe
         surviving: surviving.len(),
         sliced,
         cones: all_cones,
+    }
+}
+
+/// Outcome of the two-stage screening: cone slicing + the sparse
+/// flow-sensitive dataflow tier.
+#[derive(Clone, Debug)]
+pub struct FlowScreenResult {
+    /// The first-stage result with proof tags upgraded: discharged
+    /// assertions the flow analysis independently proves clean carry
+    /// [`DischargeProof::FlowClean`].
+    pub screen: ScreenResult,
+    /// The sliced program further refined by the flow tier: SSA
+    /// definitions reaching no surviving assertion are dropped and
+    /// all-paths-constant assignments are folded to constants. Per-path
+    /// assertion valuations are unchanged, so this is what the BMC
+    /// should encode.
+    pub refined: AiProgram,
+    /// Assertions discharged with the `flow-clean` proof.
+    pub flow_discharged: u64,
+    /// φ definitions placed building the full program's SSA.
+    pub ssa_phis: u64,
+    /// Dead definitions dropped from the sliced program.
+    pub dead_defs_dropped: u64,
+    /// Constant assignments folded in the sliced program.
+    pub consts_folded: u64,
+}
+
+/// Two-stage screening: run [`screen`], then the sparse flow-sensitive
+/// tier — upgrade discharge proofs with flow verdicts and refine the
+/// sliced program (dead-definition elimination + constant folding)
+/// before it reaches the encoder.
+///
+/// # Why the refinement is report-invisible
+///
+/// The flow tier never changes *which* assertions are discharged — on
+/// this loop-free AI the flow verdict coincides with the typestate
+/// verdict (both compute the join at merges and kill-by-redefinition),
+/// so stage two only re-attributes proofs and shrinks the CNF. The
+/// refined program keeps the `If` skeleton, every `BranchId`,
+/// `num_branches`, and all surviving assertions, and per-path assertion
+/// valuations are preserved (see `webssari_dataflow::refine`), so
+/// verdicts, counterexample sets, and fix plans stay bit-identical.
+pub fn screen_two_stage(ai: &AiProgram, ts: &TsResult, lattice: &impl Lattice) -> FlowScreenResult {
+    let mut first = screen(ai, ts, lattice);
+
+    let ssa = webssari_dataflow::SsaProgram::build(ai);
+    let flow = webssari_dataflow::analyze(&ssa, lattice);
+    let flow_clean: HashSet<AssertId> = flow
+        .verdicts
+        .iter()
+        .filter(|v| v.clean)
+        .map(|v| v.id)
+        .collect();
+    #[cfg(debug_assertions)]
+    {
+        let ts_dirty: HashSet<AssertId> = ts.errors.iter().map(|e| e.assert_id).collect();
+        for v in &flow.verdicts {
+            debug_assert_eq!(
+                !v.clean,
+                ts_dirty.contains(&v.id),
+                "flow verdict must agree with typestate on this loop-free AI (assert {:?})",
+                v.id
+            );
+        }
+    }
+
+    let mut flow_discharged = 0u64;
+    for d in &mut first.discharged {
+        if d.proof == DischargeProof::TypestateClean && flow_clean.contains(&d.id) {
+            d.proof = DischargeProof::FlowClean;
+            flow_discharged += 1;
+        }
+    }
+
+    let (refined, rstats) = webssari_dataflow::refine(&first.sliced, lattice);
+    FlowScreenResult {
+        screen: first,
+        refined,
+        flow_discharged,
+        ssa_phis: ssa.num_phis as u64,
+        dead_defs_dropped: rstats.dead_defs_dropped,
+        consts_folded: rstats.consts_folded,
     }
 }
 
@@ -262,6 +354,72 @@ mod tests {
         };
         assert_eq!(key(&full), key(&sliced));
         assert!(sliced.stats.cnf_vars < full.stats.cnf_vars);
+    }
+
+    fn screened_two_stage(src: &str) -> (AiProgram, FlowScreenResult) {
+        let ai = ai_of(src);
+        let l = TwoPoint::new();
+        let ts = analyze(&ai, &l);
+        let s = screen_two_stage(&ai, &ts, &l);
+        (ai, s)
+    }
+
+    #[test]
+    fn killed_taint_upgrades_to_flow_clean() {
+        // Cone-blind: the cone of $x contains $_GET, so taint-free-cone
+        // cannot prove it; the flow tier can.
+        let (_, s) = screened_two_stage("<?php $x = $_GET['q']; $x = 'safe'; echo $x;");
+        assert_eq!(s.screen.discharged.len(), 1);
+        assert_eq!(s.screen.discharged[0].proof, DischargeProof::FlowClean);
+        assert_eq!(s.flow_discharged, 1);
+    }
+
+    #[test]
+    fn taint_free_cone_keeps_its_stronger_tag() {
+        let (_, s) = screened_two_stage("<?php $x = 'hello'; echo $x;");
+        assert_eq!(s.screen.discharged[0].proof, DischargeProof::TaintFreeCone);
+        assert_eq!(s.flow_discharged, 0);
+    }
+
+    #[test]
+    fn two_stage_refinement_preserves_counterexamples() {
+        // The first two defs of $x are killed by `$x = 'ok'` on every
+        // path, but the flow-insensitive cone keeps them ($x is the
+        // checked variable) — only the flow tier can drop them.
+        let src = "<?php if ($p) { $x = $_GET['d']; } else { $x = 'd'; } \
+                   $x = 'ok'; if ($a) { $x = $_GET['p']; } echo $x;";
+        let (ai, s) = screened_two_stage(src);
+        assert_eq!(s.screen.surviving, 1);
+        assert!(
+            s.dead_defs_dropped >= 2,
+            "killed branch defs must be dropped, got {}",
+            s.dead_defs_dropped
+        );
+        let full = xbmc::Xbmc::new(&ai).check_all();
+        let refined = xbmc::Xbmc::new(&s.refined).check_all();
+        let key = |r: &xbmc::CheckResult| {
+            r.counterexamples
+                .iter()
+                .map(|c| (c.assert_id, c.branches.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&full), key(&refined));
+        // Strictly smaller formula than the cone-only slice.
+        let sliced = xbmc::Xbmc::new(&s.screen.sliced).check_all();
+        assert!(refined.stats.cnf_clauses < sliced.stats.cnf_clauses);
+    }
+
+    #[test]
+    fn phi_merge_both_arms_sanitized_is_flow_clean() {
+        let src = "<?php if ($c) { $x = htmlspecialchars($_GET['a']); } \
+                   else { $x = 'lit'; } echo $x;";
+        let (_, s) = screened_two_stage(src);
+        assert!(s.ssa_phis >= 1);
+        assert_eq!(s.screen.discharged.len(), 1);
+        assert!(matches!(
+            s.screen.discharged[0].proof,
+            DischargeProof::FlowClean | DischargeProof::TaintFreeCone
+        ));
     }
 
     #[test]

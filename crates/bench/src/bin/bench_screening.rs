@@ -40,24 +40,35 @@ fn main() -> ExitCode {
     let suite = screening::run_suite(fast);
     for p in &suite.projects {
         println!(
-            "{:<24} {:>3} file(s) {:>4} assert(s) {:>4} discharged  \
-             CNF {:>6}→{:<6}  raw {:>9.3?}  screened {:>9.3?}",
+            "{:<24} {:>3} file(s) {:>4} assert(s) {:>4} discharged ({:>3} flow)  \
+             CNF {:>6}→{:<6}→{:<6}  raw {:>9.3?}  screened {:>9.3?}  flow {:>9.3?}",
             p.name,
             p.files,
             p.assertions,
             p.discharged,
+            p.flow_discharged,
             p.full_cnf_vars,
             p.sliced_cnf_vars,
+            p.flow_cnf_vars,
             p.full_wall,
             p.screened_wall,
+            p.flow_wall,
         );
     }
     println!(
-        "discharged {:.2}% of assertions; CNF vars -{:.2}%, clauses -{:.2}%; speedup {:.2}x",
+        "discharged {:.2}% of assertions ({} flow-clean); CNF vars -{:.2}%, clauses -{:.2}%; \
+         speedup {:.2}x",
         suite.discharge_pct_x100() as f64 / 100.0,
+        suite.flow_discharged_total(),
         suite.cnf_var_reduction_pct_x100() as f64 / 100.0,
         suite.cnf_clause_reduction_pct_x100() as f64 / 100.0,
         suite.speedup_x100() as f64 / 100.0,
+    );
+    println!(
+        "flow tier: CNF vars -{:.2}%, clauses -{:.2}%; speedup {:.2}x",
+        suite.flow_cnf_var_reduction_pct_x100() as f64 / 100.0,
+        suite.flow_cnf_clause_reduction_pct_x100() as f64 / 100.0,
+        suite.flow_speedup_x100() as f64 / 100.0,
     );
 
     let doc = suite.to_json().to_json();

@@ -309,10 +309,8 @@ mod tests {
         // The reachable maximum itself is attainable: lowering the
         // final state constraint by one flips the verdict.
         let mut reachable = CnfFormula::new();
-        let target_clauses = f.num_clauses() - {
-            let width = usize::BITS as usize - (2usize * 8 + 1).leading_zeros() as usize;
-            width
-        };
+        let width = usize::BITS as usize - (2usize * 8 + 1).leading_zeros() as usize;
+        let target_clauses = f.num_clauses() - width;
         for (i, c) in f.clauses().iter().enumerate() {
             if i < target_clauses {
                 reachable.add_clause(c.clone());
@@ -358,4 +356,3 @@ mod tests {
         assert!(table.contains("Total"));
     }
 }
-

@@ -9,17 +9,22 @@
 //! * **screened** — static discharge, cone-of-influence slice, then
 //!   BMC over the slice only (skipped entirely when every assertion
 //!   discharges), with traces re-replayed on the full program. The
-//!   typestate result both tiers consume is computed outside the timed
+//!   typestate result all tiers consume is computed outside the timed
 //!   region: the verifier needs it for the report whether or not
 //!   screening is on, so it is not part of screening's marginal cost.
+//! * **flow** — the two-stage tier: static discharge with flow-clean
+//!   re-attribution, then BMC over the *refined* slice (dead
+//!   definitions dropped, constants folded). Its encoding must be
+//!   strictly smaller than the cone-only slice across the corpus.
 //!
 //! The suite records the discharge fraction, the CNF variable/clause
-//! reduction the slice buys, and the wall-clock delta — and, for the CI
-//! smoke job, per-project deterministic outcomes (assertion counts,
-//! discharge counts, and an order-independent counterexample
-//! fingerprint) that a committed `BENCH_screen.json` must reproduce.
-//! Both pipelines' counterexample sets are asserted identical on every
-//! file, so the benchmark doubles as a corpus-scale equivalence check.
+//! reduction each tier buys, and the wall-clock deltas — and, for the
+//! CI smoke job, per-project deterministic outcomes (assertion counts,
+//! discharge counts, flow re-attribution counts, and an
+//! order-independent counterexample fingerprint) that a committed
+//! `BENCH_screen.json` must reproduce. All three pipelines'
+//! counterexample sets are asserted identical on every file, so the
+//! benchmark doubles as a corpus-scale equivalence check.
 
 use std::time::{Duration, Instant};
 
@@ -49,10 +54,20 @@ pub struct ProjectResult {
     pub sliced_cnf_vars: u64,
     /// CNF clauses when encoding only the slices.
     pub sliced_cnf_clauses: u64,
+    /// Assertions whose discharge proof the flow tier re-attributed to
+    /// `flow-clean`.
+    pub flow_discharged: usize,
+    /// CNF variables when encoding the flow-refined slices.
+    pub flow_cnf_vars: u64,
+    /// CNF clauses when encoding the flow-refined slices.
+    pub flow_cnf_clauses: u64,
     /// Wall time of the raw pipeline.
     pub full_wall: Duration,
     /// Wall time of the screened pipeline (screen + BMC on the slice).
     pub screened_wall: Duration,
+    /// Wall time of the flow pipeline (two-stage screen + BMC on the
+    /// refined slice).
+    pub flow_wall: Duration,
     /// Counterexamples found (identical in both pipelines).
     pub counterexamples: usize,
     /// Order-independent FNV-1a fingerprint of the counterexample set
@@ -118,6 +133,47 @@ impl SuiteResult {
         full_us * 100 / screened_us.max(1)
     }
 
+    /// `(flow_vars, flow_clauses, flow_us, flow_discharged)` totals for
+    /// the flow pipeline.
+    fn flow_totals(&self) -> (u64, u64, u64, u64) {
+        let mut t = (0u64, 0u64, 0u64, 0u64);
+        for p in &self.projects {
+            t.0 += p.flow_cnf_vars;
+            t.1 += p.flow_cnf_clauses;
+            t.2 += p.flow_wall.as_micros() as u64;
+            t.3 += p.flow_discharged as u64;
+        }
+        t
+    }
+
+    /// CNF variables removed by the flow-refined slice, as a percentage
+    /// ×100 of the full encoding.
+    pub fn flow_cnf_var_reduction_pct_x100(&self) -> u64 {
+        let (_, _, full, ..) = self.totals();
+        let (flow, ..) = self.flow_totals();
+        pct_x100(full.saturating_sub(flow), full)
+    }
+
+    /// CNF clauses removed by the flow-refined slice, as a percentage
+    /// ×100 of the full encoding.
+    pub fn flow_cnf_clause_reduction_pct_x100(&self) -> u64 {
+        let full = self.totals().4;
+        let (_, flow, ..) = self.flow_totals();
+        pct_x100(full.saturating_sub(flow), full)
+    }
+
+    /// `full_wall / flow_wall`, scaled by 100.
+    pub fn flow_speedup_x100(&self) -> u64 {
+        let (.., full_us, _) = self.totals();
+        let (_, _, flow_us, _) = self.flow_totals();
+        full_us * 100 / flow_us.max(1)
+    }
+
+    /// Total flow-clean re-attributions across the corpus.
+    pub fn flow_discharged_total(&self) -> u64 {
+        self.flow_totals().3
+    }
+
     /// Serializes the suite to the `BENCH_screen.json` document.
     pub fn to_json(&self) -> Value {
         let projects = self
@@ -133,18 +189,22 @@ impl SuiteResult {
                     ("full_cnf_clauses", Value::Num(p.full_cnf_clauses)),
                     ("sliced_cnf_vars", Value::Num(p.sliced_cnf_vars)),
                     ("sliced_cnf_clauses", Value::Num(p.sliced_cnf_clauses)),
+                    ("flow_discharged", Value::Num(p.flow_discharged as u64)),
+                    ("flow_cnf_vars", Value::Num(p.flow_cnf_vars)),
+                    ("flow_cnf_clauses", Value::Num(p.flow_cnf_clauses)),
                     ("full_wall_us", Value::Num(p.full_wall.as_micros() as u64)),
                     (
                         "screened_wall_us",
                         Value::Num(p.screened_wall.as_micros() as u64),
                     ),
+                    ("flow_wall_us", Value::Num(p.flow_wall.as_micros() as u64)),
                     ("counterexamples", Value::Num(p.counterexamples as u64)),
                     ("fingerprint", Value::str(format!("{:016x}", p.fingerprint))),
                 ])
             })
             .collect();
         Value::obj(vec![
-            ("schema", Value::str("bench_screen/v1")),
+            ("schema", Value::str("bench_screen/v2")),
             ("mode", Value::str(self.mode)),
             (
                 "summary",
@@ -159,6 +219,16 @@ impl SuiteResult {
                         Value::Num(self.cnf_clause_reduction_pct_x100()),
                     ),
                     ("speedup_x100", Value::Num(self.speedup_x100())),
+                    (
+                        "flow_cnf_var_reduction_pct_x100",
+                        Value::Num(self.flow_cnf_var_reduction_pct_x100()),
+                    ),
+                    (
+                        "flow_cnf_clause_reduction_pct_x100",
+                        Value::Num(self.flow_cnf_clause_reduction_pct_x100()),
+                    ),
+                    ("flow_speedup_x100", Value::Num(self.flow_speedup_x100())),
+                    ("flow_discharged", Value::Num(self.flow_discharged_total())),
                 ]),
             ),
             ("projects", Value::Arr(projects)),
@@ -191,6 +261,7 @@ impl SuiteResult {
             for (field, current) in [
                 ("assertions", p.assertions as u64),
                 ("discharged", p.discharged as u64),
+                ("flow_discharged", p.flow_discharged as u64),
                 ("counterexamples", p.counterexamples as u64),
             ] {
                 let committed_n = c.get(field).and_then(Value::as_u64).unwrap_or(u64::MAX);
@@ -217,6 +288,29 @@ impl SuiteResult {
             .unwrap_or(0);
         if committed_discharge == 0 {
             return Err("committed baseline discharges nothing — screening is vacuous".into());
+        }
+        if committed_discharge < 4500 {
+            return Err(format!(
+                "committed baseline discharges only {:.2}% statically — below the 45% target",
+                committed_discharge as f64 / 100.0
+            ));
+        }
+        // The flow tier must buy a *strictly* smaller encoding than the
+        // cone-only slice on this run (dead-definition elimination and
+        // constant folding are its whole point), and must re-attribute
+        // a nonzero number of proofs.
+        let sliced_clauses = self.totals().5;
+        let (_, flow_clauses, ..) = self.flow_totals();
+        if sliced_clauses > 0 && flow_clauses >= sliced_clauses {
+            return Err(format!(
+                "flow-refined encoding ({flow_clauses} clauses) is not strictly smaller than \
+                 the cone-only slice ({sliced_clauses} clauses) — the flow tier is vacuous"
+            ));
+        }
+        if self.flow_discharged_total() == 0 {
+            return Err(
+                "flow tier re-attributed no discharge proofs — flow-clean is vacuous".into(),
+            );
         }
         Ok(())
     }
@@ -287,6 +381,30 @@ fn screened_check(
     (result, discharged)
 }
 
+/// The two-stage flow pipeline, exactly as `webssari-core` runs it with
+/// the flow tier on: static discharge with flow-clean re-attribution,
+/// then BMC over the refined (dead-defs-dropped, consts-folded) slice,
+/// with traces re-replayed on the full program. Returns the merged
+/// result and the flow-clean re-attribution count.
+fn flow_check(
+    ai: &AiProgram,
+    ts: &typestate::TsResult,
+    lattice: &TwoPoint,
+) -> (CheckResult, usize) {
+    let flow = webssari_analysis::screen_two_stage(ai, ts, lattice);
+    let discharged = flow.screen.discharged.len();
+    let mut result = if flow.screen.all_discharged() {
+        CheckResult::default()
+    } else {
+        Xbmc::new(&flow.refined).check_all()
+    };
+    result.checked_assertions += discharged;
+    for cx in &mut result.counterexamples {
+        cx.trace = xbmc::replay_trace(ai, &cx.branches, cx.assert_id);
+    }
+    (result, flow.flow_discharged as usize)
+}
+
 /// Measures one project: every file through both pipelines, best-of-
 /// `reps` wall times, deterministic outcomes asserted equal between the
 /// pipelines on every rep.
@@ -309,8 +427,10 @@ fn measure_project(
     // Deterministic outcomes and CNF sizes, measured once.
     let mut assertions = 0usize;
     let mut discharged_total = 0usize;
+    let mut flow_discharged_total = 0usize;
     let mut full_sizes = (0u64, 0u64);
     let mut sliced_sizes = (0u64, 0u64);
+    let mut flow_sizes = (0u64, 0u64);
     let mut cxs: Vec<(usize, u32, Vec<bool>)> = Vec::new();
     for (idx, (ai, ts)) in programs.iter().enumerate() {
         assertions += ai.num_assertions();
@@ -320,11 +440,19 @@ fn measure_project(
             full.counterexamples, screened.counterexamples,
             "{name}: screening changed the counterexample set"
         );
+        let (flowed, flow_discharged) = flow_check(ai, ts, &lattice);
+        assert_eq!(
+            full.counterexamples, flowed.counterexamples,
+            "{name}: the flow tier changed the counterexample set"
+        );
         discharged_total += discharged;
+        flow_discharged_total += flow_discharged;
         full_sizes.0 += full.stats.cnf_vars as u64;
         full_sizes.1 += full.stats.cnf_clauses as u64;
         sliced_sizes.0 += screened.stats.cnf_vars as u64;
         sliced_sizes.1 += screened.stats.cnf_clauses as u64;
+        flow_sizes.0 += flowed.stats.cnf_vars as u64;
+        flow_sizes.1 += flowed.stats.cnf_clauses as u64;
         cxs.extend(
             full.counterexamples
                 .iter()
@@ -335,6 +463,7 @@ fn measure_project(
     // Wall times: best of `reps` end-to-end sweeps per pipeline.
     let mut full_wall: Option<Duration> = None;
     let mut screened_wall: Option<Duration> = None;
+    let mut flow_wall: Option<Duration> = None;
     for _ in 0..reps {
         let t0 = Instant::now();
         for (ai, _) in &programs {
@@ -352,6 +481,14 @@ fn measure_project(
         if screened_wall.is_none_or(|best| s < best) {
             screened_wall = Some(s);
         }
+        let t2 = Instant::now();
+        for (ai, ts) in &programs {
+            let _ = flow_check(ai, ts, &lattice);
+        }
+        let w = t2.elapsed();
+        if flow_wall.is_none_or(|best| w < best) {
+            flow_wall = Some(w);
+        }
     }
 
     let counterexamples = cxs.len();
@@ -364,8 +501,12 @@ fn measure_project(
         full_cnf_clauses: full_sizes.1,
         sliced_cnf_vars: sliced_sizes.0,
         sliced_cnf_clauses: sliced_sizes.1,
+        flow_discharged: flow_discharged_total,
+        flow_cnf_vars: flow_sizes.0,
+        flow_cnf_clauses: flow_sizes.1,
         full_wall: full_wall.expect("reps >= 1"),
         screened_wall: screened_wall.expect("reps >= 1"),
+        flow_wall: flow_wall.expect("reps >= 1"),
         counterexamples,
         fingerprint: fingerprint(&mut cxs),
     }
@@ -445,13 +586,17 @@ mod tests {
                 name: "proj-a".into(),
                 files: 2,
                 assertions: 8,
-                discharged: 3,
+                discharged: 4,
                 full_cnf_vars: 400,
                 full_cnf_clauses: 900,
                 sliced_cnf_vars: 300,
                 sliced_cnf_clauses: 700,
+                flow_discharged: 2,
+                flow_cnf_vars: 280,
+                flow_cnf_clauses: 600,
                 full_wall: Duration::from_micros(4000),
                 screened_wall: Duration::from_micros(2500),
+                flow_wall: Duration::from_micros(2000),
                 counterexamples: 5,
                 fingerprint: 0xABCD,
             }],
@@ -461,9 +606,13 @@ mod tests {
     #[test]
     fn summary_percentages_are_scaled_integers() {
         let suite = synthetic_suite();
-        assert_eq!(suite.discharge_pct_x100(), 3750); // 3/8 = 37.50 %
+        assert_eq!(suite.discharge_pct_x100(), 5000); // 4/8 = 50.00 %
         assert_eq!(suite.cnf_var_reduction_pct_x100(), 2500); // 100/400
         assert_eq!(suite.speedup_x100(), 160); // 4000/2500
+        assert_eq!(suite.flow_cnf_var_reduction_pct_x100(), 3000); // 120/400
+        assert_eq!(suite.flow_cnf_clause_reduction_pct_x100(), 3333); // 300/900
+        assert_eq!(suite.flow_speedup_x100(), 200); // 4000/2000
+        assert_eq!(suite.flow_discharged_total(), 2);
     }
 
     #[test]
@@ -480,9 +629,14 @@ mod tests {
             .check_against(&jsonio::parse(&slower).unwrap())
             .expect("wall times are not compared");
         // Discharge counts may not.
-        let drifted = text.replace("\"discharged\":3", "\"discharged\":2");
+        let drifted = text.replace("\"discharged\":4", "\"discharged\":2");
         assert!(suite
             .check_against(&jsonio::parse(&drifted).unwrap())
+            .is_err());
+        // Nor flow re-attribution counts.
+        let flow_drifted = text.replace("\"flow_discharged\":2,", "\"flow_discharged\":1,");
+        assert!(suite
+            .check_against(&jsonio::parse(&flow_drifted).unwrap())
             .is_err());
         // Nor fingerprints.
         let tampered = text.replace("000000000000abcd", "0000000000000000");
@@ -497,6 +651,32 @@ mod tests {
         suite.projects[0].discharged = 0;
         let committed = jsonio::parse(&suite.to_json().to_json()).unwrap();
         assert!(suite.check_against(&committed).is_err());
+    }
+
+    #[test]
+    fn check_rejects_a_baseline_below_the_discharge_target() {
+        let mut suite = synthetic_suite();
+        suite.projects[0].discharged = 3; // 37.50 % < 45 %
+        let committed = jsonio::parse(&suite.to_json().to_json()).unwrap();
+        let err = suite.check_against(&committed).unwrap_err();
+        assert!(err.contains("45%"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_a_flow_tier_that_buys_nothing() {
+        // Equal clause counts: the refinement did not strictly shrink
+        // the encoding.
+        let mut suite = synthetic_suite();
+        suite.projects[0].flow_cnf_clauses = suite.projects[0].sliced_cnf_clauses;
+        let committed = jsonio::parse(&suite.to_json().to_json()).unwrap();
+        let err = suite.check_against(&committed).unwrap_err();
+        assert!(err.contains("strictly smaller"), "{err}");
+        // Zero re-attributions: flow-clean never fired.
+        let mut suite = synthetic_suite();
+        suite.projects[0].flow_discharged = 0;
+        let committed = jsonio::parse(&suite.to_json().to_json()).unwrap();
+        let err = suite.check_against(&committed).unwrap_err();
+        assert!(err.contains("re-attributed"), "{err}");
     }
 
     #[test]
@@ -517,5 +697,34 @@ mod tests {
         assert!(r.discharged >= 1, "the sanitized file must discharge");
         assert_eq!(r.counterexamples, 1);
         assert!(r.sliced_cnf_vars < r.full_cnf_vars);
+        assert!(r.flow_cnf_clauses <= r.sliced_cnf_clauses);
+    }
+
+    #[test]
+    fn flow_pipeline_strictly_shrinks_a_dead_def_cone() {
+        // The sink's cone variable carries a branch-dependent dead
+        // definition the flow tier drops (along with the branch's merge
+        // clauses); cone-only slicing must keep it.
+        let files = vec![(
+            "dead.php".to_owned(),
+            "<?php\nif ($c) { $x = $_GET['a']; } else { $x = 'lit'; }\n\
+             $x = $_GET['x'];\nmysql_query($x);\n\
+             $tk = $_GET['tk'];\n$tk = 'safe';\necho $tk;\n"
+                .to_owned(),
+        )];
+        let r = measure_project("dead-def", &files, &Prelude::standard(), 1);
+        // The dead branch is in the sink's cone, so enumeration
+        // quantifies over it: one counterexample per branch value.
+        assert_eq!(r.counterexamples, 2);
+        assert!(
+            r.flow_cnf_clauses < r.sliced_cnf_clauses,
+            "flow {} vs sliced {}",
+            r.flow_cnf_clauses,
+            r.sliced_cnf_clauses
+        );
+        assert!(
+            r.flow_discharged >= 1,
+            "the killed-taint echo must re-attribute to flow-clean"
+        );
     }
 }

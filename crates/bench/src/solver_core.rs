@@ -695,8 +695,15 @@ pub fn run_suite(fast: bool) -> SuiteResult {
         conflict_formulas.push(("pigeonhole_9x8".into(), crate::pigeonhole(9, 8)));
         conflict_formulas.push(("bmc_counter_48".into(), crate::bmc_counter(48)));
         conflict_formulas.push(("bmc_counter_64".into(), crate::bmc_counter(64)));
-        for (vars, seed) in [(150, 1u64), (150, 8), (175, 6), (175, 7), (200, 2), (200, 4), (200, 5)]
-        {
+        for (vars, seed) in [
+            (150, 1u64),
+            (150, 8),
+            (175, 6),
+            (175, 7),
+            (200, 2),
+            (200, 4),
+            (200, 5),
+        ] {
             let clauses = (vars as f64 * 4.26) as usize;
             conflict_formulas.push((
                 format!("random3sat_{vars}v_r426_s{seed}"),

@@ -134,6 +134,19 @@ pub struct XbmcStats {
     /// Violated assertions whose error trace flows through a store
     /// cell — second-order (stored) taint (filled by `webssari-core`).
     pub second_order_flows_found: u64,
+    /// Assertions discharged by the flow-sensitive SSA tier with a
+    /// `flow-clean` proof (filled by the two-stage screening tier in
+    /// `webssari-core`; always 0 for a bare check).
+    pub flow_discharged: u64,
+    /// φ-functions placed while building the pruned SSA form of the
+    /// checked program (filled by `webssari-core`).
+    pub ssa_phis: u64,
+    /// Interprocedural function summaries computed bottom-up over the
+    /// call graph (filled by `webssari-core`).
+    pub summaries_computed: u64,
+    /// Call-site clones materialized for taint-polymorphic callees
+    /// (filled by `webssari-core`).
+    pub contexts_cloned: u64,
 }
 
 impl XbmcStats {

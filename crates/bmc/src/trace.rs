@@ -280,7 +280,7 @@ mod tests {
         // UIC init of $_GET, then the two program assignments.
         assert_eq!(steps.len(), 3);
         assert_eq!(steps[0].copy_of, None); // _GET := const ⊤, not a copy
-        let get = ai.vars.lookup("_GET").unwrap();
+        let get = ai.vars.lookup("_GET[x]").unwrap();
         let a = ai.vars.lookup("a").unwrap();
         assert_eq!(steps[1].copy_of, Some(get)); // $a := $_GET
         assert_eq!(steps[2].copy_of, Some(a)); // $b := $a

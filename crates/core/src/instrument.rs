@@ -40,10 +40,16 @@ pub struct Instrumentation {
 
 impl Instrumentation {
     fn render_line(&self) -> String {
-        format!(
-            "${v} = webssari_sanitize(${v}); // WebSSARI runtime guard",
-            v = self.var
-        )
+        // Keyed channel variables (`_GET[sid]`) render as the PHP
+        // element access they came from, with the key re-quoted.
+        let v = match self.var.split_once('[') {
+            Some((base, key)) => {
+                let key = key.trim_end_matches(']');
+                format!("{base}['{key}']")
+            }
+            None => self.var.clone(),
+        };
+        format!("${v} = webssari_sanitize(${v}); // WebSSARI runtime guard")
     }
 }
 
@@ -296,8 +302,9 @@ mod tests {
         let report = report_of(src);
         let (patched, guards) = instrument_bmc(src, &report);
         assert_eq!(guards.len(), 1);
-        assert_eq!(guards[0].var, "_GET");
+        assert_eq!(guards[0].var, "_GET[m]");
         assert!(guards[0].wrap.is_none());
+        assert!(patched.contains("$_GET['m'] = webssari_sanitize($_GET['m']);"));
         let after = Verifier::new().verify_source(&patched, "f.php").unwrap();
         assert!(after.is_safe(), "patched:\n{patched}");
     }

@@ -516,23 +516,41 @@ impl Verifier {
             // The wall-clock allowance starts now, per file.
             check_options.budget = Some(budget);
         }
-        // Tier 1: static screening. Assertions the TS pass proves clean
-        // are discharged before encoding; the survivors are sliced to
-        // their cones of influence. Certification needs the full
-        // encoding (certificates refer to the whole formula), so it
-        // bypasses screening.
+        // Tiers 1+2: static screening. Assertions the TS pass proves
+        // clean are discharged before encoding (the flow-sensitive SSA
+        // tier upgrades their proofs to `flow-clean` where it can
+        // independently confirm them); the survivors are sliced to
+        // their cones of influence and refined — flow-dead definitions
+        // dropped, all-paths constants folded. Certification needs the
+        // full encoding (certificates refer to the whole formula), so
+        // it bypasses screening.
         let screening = !self.no_screen && !check_options.certify;
         let mut bmc = if screening {
-            let screened = webssari_analysis::screen(&ai, &ts, lattice);
+            let flow = webssari_analysis::screen_two_stage(&ai, &ts, lattice);
+            let screened = &flow.screen;
             let discharged = screened.discharged.len();
             let mut result = if screened.all_discharged() {
                 // Every assertion was proven statically: no SAT work.
                 xbmc::CheckResult::default()
             } else {
-                Xbmc::with_options(&screened.sliced, check_options.clone()).check_all_with(lattice)
+                Xbmc::with_options(&flow.refined, check_options.clone()).check_all_with(lattice)
             };
             result.checked_assertions += discharged;
             result.stats.assertions_discharged = discharged as u64;
+            result.stats.flow_discharged = flow.flow_discharged;
+            result.stats.ssa_phis = flow.ssa_phis;
+            // Interprocedural context: bottom-up summaries over the
+            // source call graph, cloned one level at taint-polymorphic
+            // call sites. Shares the recursion cutoff with the filter's
+            // inliner so both layers widen at the same depth.
+            let sums = webssari_dataflow::compute_summaries(
+                program,
+                &self.prelude,
+                lattice,
+                self.filter_options.max_inline_depth,
+            );
+            result.stats.summaries_computed = sums.summaries_computed;
+            result.stats.contexts_cloned = sums.contexts_cloned;
             if discharged > 0 && check_options.encoder == xbmc::EncoderKind::Renaming {
                 // How much CNF the slice saved, measured against
                 // encoding the full program with the same encoder. The
@@ -943,6 +961,35 @@ echo htmlspecialchars($_GET['msg']);
             .unwrap();
         assert!(report.bmc.stats.cnf_vars < plain.bmc.stats.cnf_vars);
         assert_eq!(plain.bmc.stats.cnf_vars_saved, 0);
+    }
+
+    #[test]
+    fn flow_tier_counters_reach_the_report() {
+        // A killed taint (`$x` reassigned before the sink) is exactly
+        // what the flow tier proves: its discharge carries the
+        // flow-clean tag and the dead first definition refines away.
+        // The helper call exercises the interprocedural summaries.
+        let src = "<?php function wrap($v) { return $v; } \
+                   if ($c) { $x = $_GET['a']; } $x = 'ok'; echo wrap($x); \
+                   if ($d) { $m = 'a'; } else { $m = 'b'; } echo $m; \
+                   $y = $_GET['b']; echo $y;";
+        let report = Verifier::new().verify_source(src, "f.php").unwrap();
+        assert!(report.bmc.stats.flow_discharged >= 1);
+        assert!(report.bmc.stats.ssa_phis >= 1);
+        assert!(report.bmc.stats.summaries_computed >= 1);
+        let plain = VerifierBuilder::new()
+            .screen(false)
+            .build()
+            .verify_source(src, "f.php")
+            .unwrap();
+        assert_eq!(plain.bmc.stats.flow_discharged, 0);
+        assert_eq!(plain.bmc.stats.ssa_phis, 0);
+        assert_eq!(plain.bmc.stats.summaries_computed, 0);
+        assert_eq!(
+            report.bmc.counterexamples.len(),
+            plain.bmc.counterexamples.len()
+        );
+        assert_eq!(report.render_text(), plain.render_text());
     }
 
     #[test]

@@ -71,12 +71,14 @@ pub fn generate_project(profile: &ProjectProfile) -> GeneratedProject {
         let mut body = String::from("<?php\ninclude 'lib.php';\n");
         // Leading safe filler (straight-line only).
         body.push_str(&safe_filler_straight(&mut rng, page));
-        for &g in group_ids {
-            body.push_str(&render_group(g, symptoms[g], &mut rng));
+        body.push_str(&flow_filler_straight(page));
+        for (idx, &g) in group_ids.iter().enumerate() {
+            body.push_str(&render_group(g, symptoms[g], &mut rng, idx == 0));
         }
         // Trailing filler may use branches and loops — after the sinks,
         // so it cannot enlarge any assertion's path set.
         body.push_str(&safe_filler_branchy(&mut rng, page));
+        body.push_str(&flow_filler_merged(page));
         if !group_ids.is_empty() {
             expected_vulnerable_files += 1;
         }
@@ -213,8 +215,24 @@ function quote_int($v) {
 
 /// One vulnerability group: a root-cause read plus `symptoms` sinks
 /// whose arguments chain back to it.
-fn render_group(g: usize, symptoms: usize, rng: &mut StdRng) -> String {
+fn render_group(g: usize, symptoms: usize, rng: &mut StdRng, dead_prologue: bool) -> String {
     let mut out = String::new();
+    // Dead prologue (first group of a page only): a branch-dependent
+    // placeholder binding of the group root that the real read below
+    // immediately kills on both paths. Flow-insensitive cone slicing
+    // must keep it (it assigns a cone variable of the surviving sink,
+    // so the branch's merge clauses survive too); the flow tier's
+    // dead-definition elimination drops both arms, so the refined
+    // encoding is strictly smaller than the cone-only slice. Verdicts
+    // are unchanged, and because counterexample enumeration quantifies
+    // over the program-order *prefix* of branch decisions, one leading
+    // branch per page only doubles that page's enumeration — a
+    // per-group prologue would compound exponentially.
+    if dead_prologue {
+        out.push_str(&format!(
+            "if ($stale{g}) {{ $src{g} = $_GET['stale{g}']; }} else {{ $src{g} = 'pending{g}'; }}\n"
+        ));
+    }
     // Root-cause variants. All bind the group root `$src{g}`.
     match rng.random_range(0..5u32) {
         0 => out.push_str(&format!("$src{g} = $_GET['k{g}'];\n")),
@@ -242,6 +260,43 @@ fn render_group(g: usize, symptoms: usize, rng: &mut StdRng) -> String {
             // Direct echo of the root.
             _ => out.push_str(&format!("echo 'row: ', $src{g};\n")),
         }
+    }
+    out
+}
+
+/// Straight-line flow-clean code: each block reads a tainted channel
+/// and then *kills* it with a constant before the sink, so the sink is
+/// clean flow-sensitively (and, since the typestate is path-composed
+/// the same way, statically discharged). Deterministic — no RNG — so it
+/// adds a fixed number of passing assertions per page that exercise the
+/// sparse tier's kill-by-redefinition path.
+fn flow_filler_straight(page: usize) -> String {
+    let mut out = String::new();
+    for i in 0..7 {
+        out.push_str(&format!(
+            "$tk_{page}_{i} = $_GET['tk{i}'];\n\
+             $tk_{page}_{i} = 'fallback{i}';\n\
+             echo $tk_{page}_{i};\n"
+        ));
+    }
+    out
+}
+
+/// Branch-merging flow-clean code, placed after all sinks: both arms
+/// bind the variable (one sanitized read, one constant), so the join
+/// φ is clean and the echo discharges. Exercises φ placement and the
+/// sparse analysis at merges. Uses the builtin sanitizer (not the
+/// library's `esc`) so the blocks stay clean even when a page is
+/// analyzed standalone, without `lib.php` resolved — the mode the
+/// screening bench measures.
+fn flow_filler_merged(page: usize) -> String {
+    let mut out = String::new();
+    for i in 0..5 {
+        out.push_str(&format!(
+            "if ($fsel_{page}_{i}) {{ $fm_{page}_{i} = htmlspecialchars($_GET['fm{i}']); }} \
+             else {{ $fm_{page}_{i} = 'default{i}'; }}\n\
+             echo $fm_{page}_{i};\n"
+        ));
     }
     out
 }

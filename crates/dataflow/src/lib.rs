@@ -1,0 +1,115 @@
+//! Sparse interprocedural dataflow tier for the WebSSARI xBMC pipeline.
+//!
+//! The cone slicer (PR 4) screens assertions flow-*insensitively*: a
+//! variable's dependency cone joins every assignment that ever touches
+//! it, so a tainted-then-killed variable still looks tainted. This
+//! crate adds the flow-sensitive tier on top:
+//!
+//! 1. [`ssa`] lowers the loop-free AI into pruned SSA form — basic
+//!    blocks over the branch skeleton, dominance-frontier φ placement,
+//!    stack-based renaming — preserving every `BranchId` and
+//!    `num_branches` so cube enumeration downstream is untouched.
+//! 2. [`analysis`] runs a sparse worklist analysis over the def-use
+//!    chains with a product lattice of taint × constantness ×
+//!    sanitizer-state, yielding per-assertion flow verdicts and
+//!    def-use taint witnesses.
+//! 3. [`refine`] folds the facts back into the program the encoder
+//!    sees: definitions reaching no assertion use are dropped and
+//!    all-paths-constant assignments become dependency-free constants —
+//!    both transformations preserve per-path assertion valuations, so
+//!    reports stay bit-identical.
+//! 4. [`summaries`] computes bottom-up, context-insensitive function
+//!    summaries over the call graph (Tarjan SCCs, recursion fixpoint
+//!    widening soundly to ⊤ at the cutoff) with 1-level call-site
+//!    cloning for taint-polymorphic functions.
+//!
+//! `crates/analysis` stitches these into the two-stage screening used
+//! by the core verifier; see `screen_two_stage` there.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod refine;
+pub mod ssa;
+pub mod summaries;
+
+pub use analysis::{analyze, witness, AssertVerdict, FlowResult, FlowValue, WitnessStep};
+pub use refine::{refine, refine_with, RefineStats};
+pub use ssa::{AssertUse, Block, BlockCmd, BlockId, CmdId, Def, DefId, SsaProgram, UserRef};
+pub use summaries::{compute_summaries, FuncSummary, SumVal, SummaryResult};
+
+#[cfg(test)]
+mod tests {
+    use php_front::parse_source;
+    use taint_lattice::{Lattice, TwoPoint};
+    use webssari_ir::{abstract_interpret, filter_program, AiProgram, FilterOptions, Prelude};
+
+    use crate::ssa::SsaProgram;
+
+    pub(crate) fn ai_of(src: &str) -> AiProgram {
+        let program = parse_source(src).expect("parse");
+        let f = filter_program(
+            &program,
+            src,
+            "t.php",
+            &Prelude::standard(),
+            &FilterOptions::default(),
+        );
+        abstract_interpret(&f)
+    }
+
+    #[test]
+    fn end_to_end_kill_is_flow_clean() {
+        // Cone-blind case: $x is tainted then killed; the flow verdict
+        // must be clean while the cone still contains the taint.
+        let ai = ai_of("<?php $x = $_GET['a']; $x = 'safe'; echo $x;");
+        let l = TwoPoint::new();
+        let ssa = SsaProgram::build(&ai);
+        ssa.validate().expect("well-formed SSA");
+        let flow = crate::analyze(&ssa, &l);
+        assert_eq!(flow.verdicts.len(), 1);
+        assert!(flow.verdicts[0].clean, "killed taint is flow-clean");
+    }
+
+    #[test]
+    fn end_to_end_branchy_taint_is_dirty_with_witness() {
+        let ai = ai_of("<?php $x = 'a'; if ($c) { $x = $_GET['q']; } echo $x;");
+        let l = TwoPoint::new();
+        let ssa = SsaProgram::build(&ai);
+        ssa.validate().expect("well-formed SSA");
+        assert!(ssa.num_phis >= 1, "merge needs a phi");
+        let flow = crate::analyze(&ssa, &l);
+        assert!(!flow.verdicts[0].clean);
+        let steps = crate::witness(&ssa, &flow, &l, 0);
+        assert!(!steps.is_empty());
+        // The final step carries the taint that reaches the sink.
+        let last = steps.last().unwrap();
+        assert!(!l.leq(last.taint, l.bottom()));
+    }
+
+    #[test]
+    fn refine_drops_flow_dead_definition() {
+        // The first assignment to $x is killed on every path before the
+        // echo; refine must drop it while keeping the branch skeleton.
+        let ai = ai_of(
+            "<?php if ($p) { $x = $_GET['d']; } else { $x = 'd'; } \
+             $x = 'safe'; $y = $_GET['q']; echo $y;",
+        );
+        let l = TwoPoint::new();
+        let (refined, stats) = crate::refine(&ai, &l);
+        assert!(stats.dead_defs_dropped >= 2, "both arm defs are dead");
+        assert_eq!(refined.num_branches, ai.num_branches);
+        assert_eq!(refined.num_assertions(), ai.num_assertions());
+        // Per-path valuations are unchanged where it matters.
+        for bits in 0..2u32 {
+            let branches = vec![bits == 1];
+            let before = webssari_ir::ai::reference::run_path(&ai, &l, &branches, false);
+            let after = webssari_ir::ai::reference::run_path(&refined, &l, &branches, false);
+            let key = |vs: &[webssari_ir::ai::reference::Violation]| {
+                vs.iter().map(|v| v.assert_id).collect::<Vec<_>>()
+            };
+            assert_eq!(key(&before), key(&after));
+        }
+    }
+}

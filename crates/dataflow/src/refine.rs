@@ -1,0 +1,204 @@
+//! Program refinement from flow facts: dead-definition elimination and
+//! constant folding ahead of CNF encoding.
+//!
+//! The cone slicer (PR 4) keeps every assignment whose variable is in
+//! the flow-insensitive dependency cone of a surviving assertion. The
+//! SSA view is strictly finer: an assignment whose *definition* reaches
+//! no assertion use — because a later assignment kills it on every path
+//! that matters — can be dropped even when its variable is in the cone.
+//! [`refine`] removes those, and rewrites live assignments whose value
+//! is the same constant on every path (`konst = Some(k)` in the flow
+//! analysis) to dependency-free constant assignments, which the
+//! renaming encoder then pins without allocating clauses.
+//!
+//! # Bit-identity
+//!
+//! `refine` preserves the `If` skeleton, every `BranchId`,
+//! `num_branches`, all assertions, and every `Stop` — only `Assign`
+//! commands are dropped or rewritten. Soundness of a drop: if on some
+//! path the dropped definition bound the value read by an assertion,
+//! that use's reaching-definition chain would contain it (a φ argument
+//! along the merge path), making it live — a contradiction. Soundness
+//! of a fold: `konst = Some(k)` means the right-hand side evaluates to
+//! exactly `k` on every path reaching the command, so replacing it with
+//! the constant `k` changes no path valuation. Hence per-path assertion
+//! valuations — and with them verdicts, counterexample sets, and fix
+//! plans — are unchanged.
+
+use std::collections::HashSet;
+
+use taint_lattice::Lattice;
+use webssari_ir::{AiCmd, AiProgram};
+
+use crate::analysis::{self, FlowResult};
+use crate::ssa::{CmdId, Def, DefId, SsaProgram};
+
+/// What [`refine`] did to the program.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Assignments dropped because their definition reaches no
+    /// assertion use.
+    pub dead_defs_dropped: u64,
+    /// Live assignments rewritten to dependency-free constants.
+    pub consts_folded: u64,
+    /// φ definitions placed while building the SSA.
+    pub ssa_phis: u64,
+}
+
+/// Refines `ai` using an already-built SSA and flow result.
+pub fn refine_with(
+    ai: &AiProgram,
+    ssa: &SsaProgram,
+    flow: &FlowResult,
+    lattice: &impl Lattice,
+) -> (AiProgram, RefineStats) {
+    // Backward liveness over def-use edges: a definition is live iff an
+    // assertion use reaches it transitively (through assign operands
+    // and φ arguments).
+    let mut live = vec![false; ssa.defs.len()];
+    let mut work: Vec<DefId> = Vec::new();
+    for a in &ssa.asserts {
+        for &(_, d) in &a.uses {
+            if !live[d.0 as usize] {
+                live[d.0 as usize] = true;
+                work.push(d);
+            }
+        }
+    }
+    while let Some(d) = work.pop() {
+        // A folded constant keeps no operands, so its operands do not
+        // stay live on its account.
+        let folded = matches!(ssa.defs[d.0 as usize], Def::Assign { .. })
+            && flow.values[d.0 as usize].konst.is_some();
+        if folded {
+            continue;
+        }
+        for &op in ssa.defs[d.0 as usize].operands() {
+            if !live[op.0 as usize] {
+                live[op.0 as usize] = true;
+                work.push(op);
+            }
+        }
+    }
+
+    // Map live assign definitions back to their commands.
+    let mut live_cmds: HashSet<CmdId> = HashSet::new();
+    let mut const_cmds: HashSet<CmdId> = HashSet::new();
+    for (i, d) in ssa.defs.iter().enumerate() {
+        if let Def::Assign { cmd, .. } = d {
+            if live[i] {
+                live_cmds.insert(*cmd);
+                if flow.values[i].konst.is_some() {
+                    const_cmds.insert(*cmd);
+                }
+            }
+        }
+    }
+
+    let mut stats = RefineStats {
+        ssa_phis: ssa.num_phis as u64,
+        ..RefineStats::default()
+    };
+
+    // Rebuild the command tree with the same pre-order numbering the
+    // SSA builder used, so CmdIds line up.
+    struct Rewriter<'a> {
+        next: u32,
+        live_cmds: &'a HashSet<CmdId>,
+        const_cmds: &'a HashSet<CmdId>,
+        konst_of: &'a dyn Fn(CmdId) -> Option<taint_lattice::Elem>,
+        stats: &'a mut RefineStats,
+    }
+    impl Rewriter<'_> {
+        fn go(&mut self, cmds: &[AiCmd]) -> Vec<AiCmd> {
+            let mut out = Vec::with_capacity(cmds.len());
+            for c in cmds {
+                let id = CmdId(self.next);
+                self.next += 1;
+                match c {
+                    AiCmd::Assign {
+                        var,
+                        base,
+                        deps,
+                        mask,
+                        site,
+                    } => {
+                        if !self.live_cmds.contains(&id) {
+                            self.stats.dead_defs_dropped += 1;
+                            continue;
+                        }
+                        if self.const_cmds.contains(&id) {
+                            let k = (self.konst_of)(id).expect("const cmd has konst");
+                            let already = deps.is_empty() && mask.is_none() && *base == k;
+                            if !already {
+                                self.stats.consts_folded += 1;
+                                out.push(AiCmd::Assign {
+                                    var: *var,
+                                    base: k,
+                                    deps: Vec::new(),
+                                    mask: None,
+                                    site: site.clone(),
+                                });
+                                continue;
+                            }
+                        }
+                        out.push(c.clone());
+                    }
+                    AiCmd::If {
+                        branch,
+                        then_cmds,
+                        else_cmds,
+                        site,
+                    } => {
+                        let t = self.go(then_cmds);
+                        let e = self.go(else_cmds);
+                        out.push(AiCmd::If {
+                            branch: *branch,
+                            then_cmds: t,
+                            else_cmds: e,
+                            site: site.clone(),
+                        });
+                    }
+                    AiCmd::Assert { .. } | AiCmd::Stop { .. } => out.push(c.clone()),
+                }
+            }
+            out
+        }
+    }
+
+    // konst lookup by command id (each Assign command yields exactly
+    // one SSA definition).
+    let mut konst_by_cmd: Vec<(CmdId, Option<taint_lattice::Elem>)> = Vec::new();
+    for (i, d) in ssa.defs.iter().enumerate() {
+        if let Def::Assign { cmd, .. } = d {
+            konst_by_cmd.push((*cmd, flow.values[i].konst));
+        }
+    }
+    konst_by_cmd.sort_by_key(|&(c, _)| c);
+    let konst_of = move |cmd: CmdId| -> Option<taint_lattice::Elem> {
+        konst_by_cmd
+            .binary_search_by_key(&cmd, |&(c, _)| c)
+            .ok()
+            .and_then(|i| konst_by_cmd[i].1)
+    };
+
+    let _ = lattice; // lattice fixed by the flow result; kept for signature symmetry
+    let mut rewriter = Rewriter {
+        next: 0,
+        live_cmds: &live_cmds,
+        const_cmds: &const_cmds,
+        konst_of: &konst_of,
+        stats: &mut stats,
+    };
+    let cmds = rewriter.go(&ai.cmds);
+    let refined = AiProgram::from_parts(ai.vars.clone(), cmds, ai.num_branches);
+    (refined, stats)
+}
+
+/// Builds the SSA, runs the flow analysis, and refines `ai` in one
+/// call.
+pub fn refine(ai: &AiProgram, lattice: &impl Lattice) -> (AiProgram, RefineStats) {
+    let ssa = SsaProgram::build(ai);
+    let flow = analysis::analyze(&ssa, lattice);
+    refine_with(ai, &ssa, &flow, lattice)
+}

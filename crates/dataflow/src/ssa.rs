@@ -1,0 +1,907 @@
+//! Pruned SSA construction over the AI branch skeleton.
+//!
+//! The abstract interpretation is a loop-free tree of nondeterministic
+//! selections (`AiCmd::If`), which makes its control-flow graph a
+//! series-parallel DAG: one entry block, a fork per selection, a join
+//! block where the arms meet. This module lowers that tree into SSA
+//! form the textbook way — blocks, iterative dominators on reverse
+//! post-order, dominance frontiers, φ placement at the iterated
+//! frontier of each variable's definition blocks (pruned to variables
+//! that are live across a block boundary), and stack-based renaming
+//! down the dominator tree — so the sparse analysis in
+//! [`crate::analysis`] can walk def-use edges instead of re-joining
+//! whole environments.
+//!
+//! Branch identities are deliberately *not* encoded in the SSA: the
+//! construction never renumbers or drops `BranchId`s, and a φ's
+//! arguments stay in predecessor order, so everything derived from the
+//! SSA (dead-definition elimination in [`crate::refine`], screening
+//! verdicts) preserves the branch skeleton the cube enumerator blocks
+//! over.
+
+use std::collections::{BTreeSet, HashMap};
+
+use taint_lattice::Elem;
+use webssari_ir::{AiCmd, AiProgram, AssertId, Site, VarId};
+
+/// Index of one command in the AI tree, assigned in pre-order (an `If`
+/// numbers itself, then its then-arm, then its else-arm). The numbering
+/// is a pure function of the tree shape, so a second walk over the same
+/// program — e.g. the rewriter in [`crate::refine`] — reproduces it
+/// exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CmdId(pub u32);
+
+/// Index of one basic block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block index, for indexing [`SsaProgram::blocks`].
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of one SSA definition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DefId(pub u32);
+
+impl DefId {
+    /// The definition index, for indexing [`SsaProgram::defs`].
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One SSA definition: the implicit `⊥` incarnation every variable has
+/// at program entry, an assignment, or a φ at a join block.
+#[derive(Clone, Debug)]
+pub enum Def {
+    /// Incarnation 0: every variable starts at `⊥` (paper §3.2 — the
+    /// encoder pins the same constant).
+    Entry {
+        /// The variable.
+        var: VarId,
+    },
+    /// `t_var = (base ⊔ ⊔ deps) ⊓ mask` at one `AiCmd::Assign`.
+    Assign {
+        /// Pre-order id of the originating command.
+        cmd: CmdId,
+        /// The assigned variable.
+        var: VarId,
+        /// Block holding the command.
+        block: BlockId,
+        /// Position of the command within its block.
+        pos: usize,
+        /// Constant part of the right-hand side.
+        base: Elem,
+        /// SSA operands: the reaching definition of each dependency.
+        deps: Vec<DefId>,
+        /// Sanitizer mask, if any.
+        mask: Option<Elem>,
+        /// Source location.
+        site: Site,
+    },
+    /// A φ merging one definition per predecessor at a join block.
+    Phi {
+        /// The merged variable.
+        var: VarId,
+        /// The join block.
+        block: BlockId,
+        /// One reaching definition per predecessor, in predecessor
+        /// order.
+        args: Vec<DefId>,
+    },
+}
+
+impl Def {
+    /// The variable this definition defines.
+    pub fn var(&self) -> VarId {
+        match self {
+            Def::Entry { var } | Def::Assign { var, .. } | Def::Phi { var, .. } => *var,
+        }
+    }
+
+    /// The SSA operands read by this definition.
+    pub fn operands(&self) -> &[DefId] {
+        match self {
+            Def::Entry { .. } => &[],
+            Def::Assign { deps, .. } => deps,
+            Def::Phi { args, .. } => args,
+        }
+    }
+}
+
+/// One assertion with its uses resolved to reaching definitions.
+#[derive(Clone, Debug)]
+pub struct AssertUse {
+    /// Pre-order id of the assert command.
+    pub cmd: CmdId,
+    /// The assertion id (program order).
+    pub id: AssertId,
+    /// Block holding the assert.
+    pub block: BlockId,
+    /// Position of the assert within its block.
+    pub pos: usize,
+    /// `(checked variable, reaching definition)` per checked variable.
+    pub uses: Vec<(VarId, DefId)>,
+    /// Bound `τ_r`.
+    pub bound: Elem,
+    /// Strict (`<`) or non-strict (`≤`) check.
+    pub strict: bool,
+    /// The SOC name.
+    pub func: String,
+    /// Source location.
+    pub site: Site,
+}
+
+/// Something that reads an SSA definition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UserRef {
+    /// Another definition (an assign operand or φ argument).
+    Def(DefId),
+    /// An assertion (index into [`SsaProgram::asserts`]).
+    Assert(usize),
+}
+
+/// One basic block of the series-parallel CFG.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+    /// φ definitions placed at this block's entry.
+    pub phis: Vec<DefId>,
+    /// Straight-line commands, in order.
+    pub cmds: Vec<BlockCmd>,
+}
+
+/// A straight-line command inside a block.
+#[derive(Clone, Copy, Debug)]
+pub enum BlockCmd {
+    /// An assignment; resolves to one [`Def::Assign`].
+    Assign(DefId),
+    /// An assertion; resolves to one [`AssertUse`].
+    Assert(usize),
+    /// `stop` — constraint `true` in the AI (Figure 5), kept so the
+    /// lint pass can compute stop-respecting reachability.
+    Stop(CmdId),
+}
+
+/// The SSA form of one [`AiProgram`].
+#[derive(Clone, Debug)]
+pub struct SsaProgram {
+    /// Basic blocks; block 0 is the entry, and block indices are a
+    /// topological order of the (acyclic) CFG.
+    pub blocks: Vec<Block>,
+    /// All definitions.
+    pub defs: Vec<Def>,
+    /// All assertions, in program order.
+    pub asserts: Vec<AssertUse>,
+    /// Def-use chains: `users[d]` lists everything reading definition
+    /// `d`, in construction order.
+    pub users: Vec<Vec<UserRef>>,
+    /// Immediate dominator of each block (entry maps to itself).
+    pub idom: Vec<BlockId>,
+    /// Number of φ definitions placed.
+    pub num_phis: usize,
+    /// Entry definition of each variable, by variable index.
+    pub entry_defs: Vec<DefId>,
+}
+
+impl SsaProgram {
+    /// Builds pruned SSA for `ai`. Assertions come out sorted by
+    /// [`AssertId`], i.e. in program order.
+    pub fn build(ai: &AiProgram) -> SsaProgram {
+        let mut p = Builder::new(ai).run();
+        p.sort_asserts();
+        p
+    }
+
+    /// Whether block `a` dominates block `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let up = self.idom[cur.idx()];
+            if up == cur {
+                return cur == a;
+            }
+            cur = up;
+        }
+    }
+
+    /// The block and in-block position a definition becomes available
+    /// at: φs at position 0 of their block, assigns just after their
+    /// command, entry definitions before everything.
+    fn def_point(&self, d: DefId) -> (BlockId, usize) {
+        match &self.defs[d.idx()] {
+            Def::Entry { .. } => (BlockId(0), 0),
+            Def::Assign { block, pos, .. } => (*block, pos + 1),
+            Def::Phi { block, .. } => (*block, 0),
+        }
+    }
+
+    /// Checks SSA well-formedness: every use is dominated by its
+    /// definition (same-block uses must come after the definition, φ
+    /// arguments must be available at the end of the matching
+    /// predecessor), φ arity matches predecessor counts, and every
+    /// variable has exactly one entry definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, d) in self.defs.iter().enumerate() {
+            match d {
+                Def::Entry { .. } => {}
+                Def::Assign {
+                    block, pos, deps, ..
+                } => {
+                    for &op in deps {
+                        self.check_use(op, *block, *pos, &format!("assign def {i}"))?;
+                    }
+                }
+                Def::Phi { block, args, .. } => {
+                    let preds = &self.blocks[block.idx()].preds;
+                    if args.len() != preds.len() {
+                        return Err(format!(
+                            "phi def {i} has {} args for {} preds",
+                            args.len(),
+                            preds.len()
+                        ));
+                    }
+                    for (arg, &p) in args.iter().zip(preds) {
+                        // The argument must be available at the end of
+                        // the matching predecessor: its block dominates
+                        // that predecessor.
+                        let (db, _) = self.def_point(*arg);
+                        if !self.dominates(db, p) {
+                            return Err(format!(
+                                "phi def {i}: arg def in block {} does not dominate pred {}",
+                                db.0, p.0
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (ai, a) in self.asserts.iter().enumerate() {
+            for &(_, op) in &a.uses {
+                self.check_use(op, a.block, a.pos, &format!("assert {ai}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_use(&self, op: DefId, block: BlockId, pos: usize, what: &str) -> Result<(), String> {
+        let (db, dpos) = self.def_point(op);
+        if db == block {
+            if dpos > pos {
+                return Err(format!(
+                    "{what}: use at ({}, {pos}) precedes its def at ({}, {dpos})",
+                    block.0, db.0
+                ));
+            }
+            return Ok(());
+        }
+        if !self.dominates(db, block) {
+            return Err(format!(
+                "{what}: def block {} does not dominate use block {}",
+                db.0, block.0
+            ));
+        }
+        Ok(())
+    }
+}
+
+struct Builder<'a> {
+    ai: &'a AiProgram,
+    blocks: Vec<Block>,
+    defs: Vec<Def>,
+    asserts: Vec<AssertUse>,
+    next_cmd: u32,
+    /// Flat straight-line facts per block, pre-renaming: what each
+    /// block assigns/asserts, needed for φ placement before renaming.
+    raw: Vec<Vec<RawCmd>>,
+}
+
+#[derive(Clone, Debug)]
+enum RawCmd {
+    Assign {
+        cmd: CmdId,
+        var: VarId,
+        base: Elem,
+        deps: Vec<VarId>,
+        mask: Option<Elem>,
+        site: Site,
+    },
+    Assert {
+        cmd: CmdId,
+        id: AssertId,
+        vars: Vec<VarId>,
+        bound: Elem,
+        strict: bool,
+        func: String,
+        site: Site,
+    },
+    Stop(CmdId),
+}
+
+impl<'a> Builder<'a> {
+    fn new(ai: &'a AiProgram) -> Self {
+        Builder {
+            ai,
+            blocks: vec![Block::default()],
+            defs: Vec::new(),
+            asserts: Vec::new(),
+            next_cmd: 0,
+            raw: vec![Vec::new()],
+        }
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::default());
+        self.raw.push(Vec::new());
+        id
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        self.blocks[from.idx()].succs.push(to);
+        self.blocks[to.idx()].preds.push(from);
+    }
+
+    fn cmd_id(&mut self) -> CmdId {
+        let id = CmdId(self.next_cmd);
+        self.next_cmd += 1;
+        id
+    }
+
+    /// Lowers a command sequence into blocks starting at `cur`; returns
+    /// the block control falls out of.
+    fn lower(&mut self, cmds: &[AiCmd], mut cur: BlockId) -> BlockId {
+        for c in cmds {
+            let id = self.cmd_id();
+            match c {
+                AiCmd::Assign {
+                    var,
+                    base,
+                    deps,
+                    mask,
+                    site,
+                } => self.raw[cur.idx()].push(RawCmd::Assign {
+                    cmd: id,
+                    var: *var,
+                    base: *base,
+                    deps: deps.clone(),
+                    mask: *mask,
+                    site: site.clone(),
+                }),
+                AiCmd::Assert {
+                    id: aid,
+                    vars,
+                    bound,
+                    strict,
+                    func,
+                    site,
+                    ..
+                } => self.raw[cur.idx()].push(RawCmd::Assert {
+                    cmd: id,
+                    id: *aid,
+                    vars: vars.clone(),
+                    bound: *bound,
+                    strict: *strict,
+                    func: func.clone(),
+                    site: site.clone(),
+                }),
+                AiCmd::Stop { .. } => self.raw[cur.idx()].push(RawCmd::Stop(id)),
+                AiCmd::If {
+                    then_cmds,
+                    else_cmds,
+                    ..
+                } => {
+                    let t_entry = self.new_block();
+                    let e_entry = self.new_block();
+                    self.edge(cur, t_entry);
+                    self.edge(cur, e_entry);
+                    let t_exit = self.lower(then_cmds, t_entry);
+                    let e_exit = self.lower(else_cmds, e_entry);
+                    let join = self.new_block();
+                    self.edge(t_exit, join);
+                    self.edge(e_exit, join);
+                    cur = join;
+                }
+            }
+        }
+        cur
+    }
+
+    /// Iterative dominators (Cooper–Harvey–Kennedy). Block creation
+    /// order is already topological for this series-parallel CFG, so it
+    /// doubles as the reverse post-order.
+    fn dominators(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0));
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while a.0 > b.0 {
+                    a = idom[a.idx()].expect("processed");
+                }
+                while b.0 > a.0 {
+                    b = idom[b.idx()].expect("processed");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..n {
+                let mut new = None;
+                for &p in &self.blocks[b].preds {
+                    if idom[p.idx()].is_none() {
+                        continue;
+                    }
+                    new = Some(match new {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(new) = new {
+                    if idom[b] != Some(new) {
+                        idom[b] = Some(new);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        idom.into_iter()
+            .map(|d| d.expect("all blocks reachable"))
+            .collect()
+    }
+
+    /// Dominance frontiers of each block.
+    fn frontiers(&self, idom: &[BlockId]) -> Vec<Vec<BlockId>> {
+        let mut df: Vec<BTreeSet<BlockId>> = vec![BTreeSet::new(); self.blocks.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            if block.preds.len() < 2 {
+                continue;
+            }
+            for &p in &block.preds {
+                let mut runner = p;
+                while runner != idom[b] {
+                    df[runner.idx()].insert(BlockId(b as u32));
+                    runner = idom[runner.idx()];
+                }
+            }
+        }
+        df.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+
+    fn run(mut self) -> SsaProgram {
+        let cmds = self.ai.cmds.clone();
+        let _exit = self.lower(&cmds, BlockId(0));
+        let idom = self.dominators();
+        let df = self.frontiers(&idom);
+
+        // Pruning: place φs only for variables live across a block
+        // boundary — the "globals" of Briggs' semi-pruned form (read in
+        // some block before any local definition). Block-local
+        // temporaries never get a φ.
+        let nvars = self.ai.vars.len();
+        let mut global = vec![false; nvars];
+        let mut def_blocks: Vec<BTreeSet<BlockId>> = vec![BTreeSet::new(); nvars];
+        for (b, raw) in self.raw.iter().enumerate() {
+            let mut killed: BTreeSet<VarId> = BTreeSet::new();
+            for c in raw {
+                match c {
+                    RawCmd::Assign { var, deps, .. } => {
+                        for d in deps {
+                            if !killed.contains(d) {
+                                global[d.index()] = true;
+                            }
+                        }
+                        killed.insert(*var);
+                        def_blocks[var.index()].insert(BlockId(b as u32));
+                    }
+                    RawCmd::Assert { vars, .. } => {
+                        for v in vars {
+                            if !killed.contains(v) {
+                                global[v.index()] = true;
+                            }
+                        }
+                    }
+                    RawCmd::Stop(_) => {}
+                }
+            }
+        }
+
+        // Entry definitions: incarnation 0 = ⊥ for every variable, so
+        // every φ argument and upward-exposed use has a definition.
+        let mut entry_defs = Vec::with_capacity(nvars);
+        for v in self.ai.vars.iter() {
+            let d = DefId(self.defs.len() as u32);
+            self.defs.push(Def::Entry { var: v });
+            entry_defs.push(d);
+        }
+
+        // φ placement at the iterated dominance frontier of each global
+        // variable's definition blocks. Every variable also has its
+        // entry definition in block 0, which contributes nothing to any
+        // frontier (block 0 dominates everything).
+        let mut num_phis = 0usize;
+        for v in self.ai.vars.iter() {
+            if !global[v.index()] {
+                continue;
+            }
+            let mut work: Vec<BlockId> = def_blocks[v.index()].iter().copied().collect();
+            let mut placed: BTreeSet<BlockId> = BTreeSet::new();
+            while let Some(b) = work.pop() {
+                for &f in &df[b.idx()] {
+                    if placed.insert(f) {
+                        let d = DefId(self.defs.len() as u32);
+                        self.defs.push(Def::Phi {
+                            var: v,
+                            block: f,
+                            args: Vec::new(),
+                        });
+                        self.blocks[f.idx()].phis.push(d);
+                        num_phis += 1;
+                        if !def_blocks[v.index()].contains(&f) {
+                            work.push(f);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Renaming: walk the dominator tree with one definition stack
+        // per variable. Block index order is topological, so children
+        // of the dominator tree can be visited by an explicit stack.
+        let mut dom_children: Vec<Vec<BlockId>> = vec![Vec::new(); self.blocks.len()];
+        for b in 1..self.blocks.len() {
+            dom_children[idom[b].idx()].push(BlockId(b as u32));
+        }
+        let mut stacks: Vec<Vec<DefId>> = entry_defs.iter().map(|&d| vec![d]).collect();
+        let raw = std::mem::take(&mut self.raw);
+        self.rename(BlockId(0), &dom_children, &mut stacks, &raw);
+
+        // Def-use chains.
+        let mut users: Vec<Vec<UserRef>> = vec![Vec::new(); self.defs.len()];
+        for (i, d) in self.defs.iter().enumerate() {
+            for &op in d.operands() {
+                users[op.idx()].push(UserRef::Def(DefId(i as u32)));
+            }
+        }
+        for (i, a) in self.asserts.iter().enumerate() {
+            for &(_, op) in &a.uses {
+                users[op.idx()].push(UserRef::Assert(i));
+            }
+        }
+
+        SsaProgram {
+            blocks: self.blocks,
+            defs: self.defs,
+            asserts: self.asserts,
+            users,
+            idom,
+            num_phis,
+            entry_defs,
+        }
+    }
+
+    fn rename(
+        &mut self,
+        b: BlockId,
+        dom_children: &[Vec<BlockId>],
+        stacks: &mut [Vec<DefId>],
+        raw: &[Vec<RawCmd>],
+    ) {
+        let mut pushed: Vec<VarId> = Vec::new();
+        for &phi in &self.blocks[b.idx()].phis.clone() {
+            let var = self.defs[phi.idx()].var();
+            stacks[var.index()].push(phi);
+            pushed.push(var);
+        }
+        for (pos, c) in raw[b.idx()].iter().enumerate() {
+            match c {
+                RawCmd::Assign {
+                    cmd,
+                    var,
+                    base,
+                    deps,
+                    mask,
+                    site,
+                } => {
+                    let ops: Vec<DefId> = deps
+                        .iter()
+                        .map(|d| *stacks[d.index()].last().expect("entry def"))
+                        .collect();
+                    let d = DefId(self.defs.len() as u32);
+                    self.defs.push(Def::Assign {
+                        cmd: *cmd,
+                        var: *var,
+                        block: b,
+                        pos,
+                        base: *base,
+                        deps: ops,
+                        mask: *mask,
+                        site: site.clone(),
+                    });
+                    self.blocks[b.idx()].cmds.push(BlockCmd::Assign(d));
+                    stacks[var.index()].push(d);
+                    pushed.push(*var);
+                }
+                RawCmd::Assert {
+                    cmd,
+                    id,
+                    vars,
+                    bound,
+                    strict,
+                    func,
+                    site,
+                } => {
+                    let uses: Vec<(VarId, DefId)> = vars
+                        .iter()
+                        .map(|v| (*v, *stacks[v.index()].last().expect("entry def")))
+                        .collect();
+                    let idx = self.asserts.len();
+                    self.asserts.push(AssertUse {
+                        cmd: *cmd,
+                        id: *id,
+                        block: b,
+                        pos,
+                        uses,
+                        bound: *bound,
+                        strict: *strict,
+                        func: func.clone(),
+                        site: site.clone(),
+                    });
+                    self.blocks[b.idx()].cmds.push(BlockCmd::Assert(idx));
+                }
+                RawCmd::Stop(cmd) => {
+                    self.blocks[b.idx()].cmds.push(BlockCmd::Stop(*cmd));
+                }
+            }
+        }
+        // Fill successor φ arguments from this block's live stacks.
+        for &s in &self.blocks[b.idx()].succs.clone() {
+            let pred_pos = self.blocks[s.idx()]
+                .preds
+                .iter()
+                .position(|&p| p == b)
+                .expect("edge recorded");
+            for &phi in &self.blocks[s.idx()].phis.clone() {
+                let var = self.defs[phi.idx()].var();
+                let reaching = *stacks[var.index()].last().expect("entry def");
+                if let Def::Phi { args, .. } = &mut self.defs[phi.idx()] {
+                    while args.len() < pred_pos + 1 {
+                        args.push(DefId(u32::MAX));
+                    }
+                    args[pred_pos] = reaching;
+                }
+            }
+        }
+        for &child in &dom_children[b.idx()] {
+            self.rename(child, dom_children, stacks, raw);
+        }
+        for v in pushed {
+            stacks[v.index()].pop();
+        }
+    }
+}
+
+// `asserts` are collected during renaming, which walks the dominator
+// tree rather than program order; sort back by assertion id so callers
+// can index verdicts by program order.
+impl SsaProgram {
+    pub(crate) fn sort_asserts(&mut self) {
+        let mut order: Vec<usize> = (0..self.asserts.len()).collect();
+        order.sort_by_key(|&i| self.asserts[i].id);
+        let remap: HashMap<usize, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let mut asserts = std::mem::take(&mut self.asserts);
+        let mut sorted: Vec<Option<AssertUse>> = (0..asserts.len()).map(|_| None).collect();
+        for (old, a) in asserts.drain(..).enumerate() {
+            sorted[remap[&old]] = Some(a);
+        }
+        self.asserts = sorted.into_iter().map(|a| a.expect("permuted")).collect();
+        for us in &mut self.users {
+            for u in us.iter_mut() {
+                if let UserRef::Assert(i) = u {
+                    *i = remap[i];
+                }
+            }
+        }
+        for block in &mut self.blocks {
+            for c in &mut block.cmds {
+                if let BlockCmd::Assert(i) = c {
+                    *i = remap[i];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use taint_lattice::{Lattice, TwoPoint};
+    use webssari_ir::{AiCmd, AiProgram, AssertId, BranchId, Site, VarTable};
+
+    use super::*;
+
+    fn site() -> Site {
+        Site::synthetic("t.php", "test")
+    }
+
+    fn assign(var: VarId, base: Elem, deps: Vec<VarId>, mask: Option<Elem>) -> AiCmd {
+        AiCmd::Assign {
+            var,
+            base,
+            deps,
+            mask,
+            site: site(),
+        }
+    }
+
+    fn assert_cmd(id: u32, vars: Vec<VarId>) -> AiCmd {
+        AiCmd::Assert {
+            id: AssertId(id),
+            vars,
+            bound: TwoPoint::TAINTED,
+            strict: true,
+            func: "echo".into(),
+            kind: webssari_ir::AssertKind::Soc,
+            site: site(),
+        }
+    }
+
+    #[test]
+    fn straight_line_has_no_phis() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let l = TwoPoint::new();
+        let cmds = vec![
+            assign(x, l.top(), vec![], None),
+            assign(x, l.bottom(), vec![], None),
+            assert_cmd(0, vec![x]),
+        ];
+        let ai = AiProgram::from_parts(vars, cmds, 0);
+        let ssa = SsaProgram::build(&ai);
+        ssa.validate().expect("well-formed");
+        assert_eq!(ssa.num_phis, 0);
+        assert_eq!(ssa.blocks.len(), 1);
+        // The assert reads the *second* definition of x.
+        let (_, d) = ssa.asserts[0].uses[0];
+        match &ssa.defs[d.0 as usize] {
+            Def::Assign { base, .. } => assert_eq!(*base, l.bottom()),
+            other => panic!("expected assign def, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diamond_places_one_phi_per_merged_var() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let l = TwoPoint::new();
+        let cmds = vec![
+            AiCmd::If {
+                branch: BranchId(0),
+                then_cmds: vec![assign(x, l.top(), vec![], None)],
+                else_cmds: vec![assign(x, l.bottom(), vec![], None)],
+                site: site(),
+            },
+            assert_cmd(0, vec![x]),
+        ];
+        let ai = AiProgram::from_parts(vars, cmds, 1);
+        let ssa = SsaProgram::build(&ai);
+        ssa.validate().expect("well-formed");
+        assert_eq!(ssa.num_phis, 1);
+        let (_, d) = ssa.asserts[0].uses[0];
+        match &ssa.defs[d.0 as usize] {
+            Def::Phi { args, .. } => assert_eq!(args.len(), 2),
+            other => panic!("expected phi def at the join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_temporary_gets_no_phi() {
+        // y is block-local in both arms; only x is live across the merge.
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let y = vars.intern("y");
+        let l = TwoPoint::new();
+        let arm = |b: Elem| {
+            vec![
+                assign(y, b, vec![], None),
+                assign(x, l.bottom(), vec![y], None),
+            ]
+        };
+        let cmds = vec![
+            AiCmd::If {
+                branch: BranchId(0),
+                then_cmds: arm(l.top()),
+                else_cmds: arm(l.bottom()),
+                site: site(),
+            },
+            assert_cmd(0, vec![x]),
+        ];
+        let ai = AiProgram::from_parts(vars, cmds, 1);
+        let ssa = SsaProgram::build(&ai);
+        ssa.validate().expect("well-formed");
+        let phi_vars: Vec<VarId> = ssa
+            .defs
+            .iter()
+            .filter_map(|d| match d {
+                Def::Phi { var, .. } => Some(*var),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phi_vars, vec![x], "semi-pruned form skips the local");
+    }
+
+    #[test]
+    fn nested_selections_validate_and_sort_asserts() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let l = TwoPoint::new();
+        let cmds = vec![
+            assign(x, l.top(), vec![], None),
+            AiCmd::If {
+                branch: BranchId(0),
+                then_cmds: vec![
+                    assert_cmd(0, vec![x]),
+                    AiCmd::If {
+                        branch: BranchId(1),
+                        then_cmds: vec![assign(x, l.bottom(), vec![], None)],
+                        else_cmds: vec![],
+                        site: site(),
+                    },
+                    assert_cmd(1, vec![x]),
+                ],
+                else_cmds: vec![assert_cmd(2, vec![x])],
+                site: site(),
+            },
+            assert_cmd(3, vec![x]),
+        ];
+        let ai = AiProgram::from_parts(vars, cmds, 2);
+        let ssa = SsaProgram::build(&ai);
+        ssa.validate().expect("well-formed");
+        let ids: Vec<u32> = ssa.asserts.iter().map(|a| a.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "asserts sorted to program order");
+    }
+
+    #[test]
+    fn def_use_chains_are_inverse_of_operands() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let y = vars.intern("y");
+        let l = TwoPoint::new();
+        let cmds = vec![
+            assign(x, l.top(), vec![], None),
+            assign(y, l.bottom(), vec![x], None),
+            assert_cmd(0, vec![y]),
+        ];
+        let ai = AiProgram::from_parts(vars, cmds, 0);
+        let ssa = SsaProgram::build(&ai);
+        for (i, d) in ssa.defs.iter().enumerate() {
+            for &op in d.operands() {
+                assert!(ssa.users[op.idx()].contains(&UserRef::Def(DefId(i as u32))));
+            }
+        }
+        for (i, a) in ssa.asserts.iter().enumerate() {
+            for &(_, op) in &a.uses {
+                assert!(ssa.users[op.idx()].contains(&UserRef::Assert(i)));
+            }
+        }
+    }
+}

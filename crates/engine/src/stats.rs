@@ -52,6 +52,10 @@ struct Counters {
     cube_assignments: AtomicU64,
     sql_assertions_checked: AtomicU64,
     second_order_flows_found: AtomicU64,
+    flow_discharged: AtomicU64,
+    ssa_phis: AtomicU64,
+    summaries_computed: AtomicU64,
+    contexts_cloned: AtomicU64,
 }
 
 /// One point-in-time read of [`EngineStats`]. Individual fields are
@@ -121,6 +125,15 @@ pub struct EngineSnapshot {
     /// Violated assertions whose counterexample trace reads a
     /// cross-request store cell (second-order flows).
     pub second_order_flows_found: u64,
+    /// Assertions discharged by the flow-sensitive SSA tier with a
+    /// `flow-clean` proof.
+    pub flow_discharged: u64,
+    /// φ-functions placed building pruned SSA across verified files.
+    pub ssa_phis: u64,
+    /// Interprocedural function summaries computed bottom-up.
+    pub summaries_computed: u64,
+    /// Call-site clones materialized for taint-polymorphic callees.
+    pub contexts_cloned: u64,
 }
 
 impl EngineSnapshot {
@@ -183,6 +196,10 @@ impl EngineStats {
             cube_assignments: load(&c.cube_assignments),
             sql_assertions_checked: load(&c.sql_assertions_checked),
             second_order_flows_found: load(&c.second_order_flows_found),
+            flow_discharged: load(&c.flow_discharged),
+            ssa_phis: load(&c.ssa_phis),
+            summaries_computed: load(&c.summaries_computed),
+            contexts_cloned: load(&c.contexts_cloned),
         }
     }
 
@@ -273,6 +290,16 @@ impl EngineStats {
             self.inner
                 .second_order_flows_found
                 .fetch_add(s.second_order_flows_found, Ordering::Relaxed);
+            self.inner
+                .flow_discharged
+                .fetch_add(s.flow_discharged, Ordering::Relaxed);
+            self.inner.ssa_phis.fetch_add(s.ssa_phis, Ordering::Relaxed);
+            self.inner
+                .summaries_computed
+                .fetch_add(s.summaries_computed, Ordering::Relaxed);
+            self.inner
+                .contexts_cloned
+                .fetch_add(s.contexts_cloned, Ordering::Relaxed);
         }
     }
 

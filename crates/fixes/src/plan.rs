@@ -287,7 +287,7 @@ $b = $_GET['b']; echo $b;
         // Without exclusion the chain reaches the channel itself.
         let full = replacement_set(&cx.trace, b);
         let full_names: Vec<&str> = full.iter().map(|v| ai.vars.name(*v)).collect();
-        assert_eq!(full_names, vec!["b", "a", "sid", "_GET"]);
+        assert_eq!(full_names, vec!["b", "a", "sid", "_GET[sid]"]);
     }
 
     #[test]

@@ -437,6 +437,29 @@ impl Filter<'_> {
         }
     }
 
+    /// The keyed channel name (`_GET[sid]`) of a literal-indexed
+    /// superglobal access, if the expression is one. Computed indexes
+    /// fall back to the whole-channel read.
+    fn keyed_superglobal(&self, base: &Expr, index: Option<&Expr>) -> Option<String> {
+        let Expr::Var(name) = base else { return None };
+        if !self.prelude.is_superglobal(name) {
+            return None;
+        }
+        let key = index?.literal_key()?;
+        Some(format!("{name}[{key}]"))
+    }
+
+    /// The channel name an interpolated array read (`"$_GET[sid]"`)
+    /// resolves to: superglobal bases become keyed channels, everything
+    /// else stays attributed to the base variable.
+    fn interp_array_name(&self, var: &str, index: &str) -> String {
+        if self.prelude.is_superglobal(var) {
+            format!("{var}[{index}]")
+        } else {
+            var.to_owned()
+        }
+    }
+
     fn var_read(&mut self, scope: &Scope, name: &str) -> FExpr {
         if let Some(level) = self.prelude.superglobal_level(name) {
             // Superglobals are global in every scope and carry the UIC
@@ -489,8 +512,12 @@ impl Filter<'_> {
                 for p in parts {
                     match p {
                         StrPart::Lit(s) => out.push(TplPart::Lit(s.clone())),
-                        StrPart::Var(v) | StrPart::ArrayVar { var: v, .. } => {
+                        StrPart::Var(v) => {
                             out.push(TplPart::Hole(self.template_var(scope, v)));
+                        }
+                        StrPart::ArrayVar { var, index } => {
+                            let name = self.interp_array_name(var, index);
+                            out.push(TplPart::Hole(self.template_var(scope, &name)));
                         }
                     }
                 }
@@ -517,11 +544,17 @@ impl Filter<'_> {
                 }
             }
             // An indexed read (`$_POST['msg']`) is one concatenated-in
-            // value attributed to the base variable.
-            Expr::ArrayAccess { base, .. } => match base.as_ref() {
-                Expr::Var(name) => Some(vec![TplPart::Hole(self.template_var(scope, name))]),
-                _ => None,
-            },
+            // value — attributed to the keyed channel when the index is
+            // literal and the base is a superglobal, else to the base.
+            Expr::ArrayAccess { base, index } => {
+                if let Some(keyed) = self.keyed_superglobal(base, index.as_deref()) {
+                    return Some(vec![TplPart::Hole(self.template_var(scope, &keyed))]);
+                }
+                match base.as_ref() {
+                    Expr::Var(name) => Some(vec![TplPart::Hole(self.template_var(scope, name))]),
+                    _ => None,
+                }
+            }
             _ => None,
         }
     }
@@ -605,6 +638,13 @@ impl Filter<'_> {
         match e {
             Expr::Var(name) => self.var_read(scope, name),
             Expr::ArrayAccess { base, index } => {
+                // A literal-keyed superglobal read (`$_GET['sid']`) is a
+                // first-class channel: each key gets its own variable
+                // (`_GET[sid]`) initialized at the channel's level, so
+                // fix plans and witnesses name the exact parameter.
+                if let Some(keyed) = self.keyed_superglobal(base, index.as_deref()) {
+                    return self.var_read(scope, &keyed);
+                }
                 if let Some(i) = index {
                     // Evaluate the index for side effects only; index
                     // taint does not flow into the retrieved value.
@@ -618,8 +658,10 @@ impl Filter<'_> {
                 for p in parts {
                     match p {
                         StrPart::Lit(_) => {}
-                        StrPart::Var(v) | StrPart::ArrayVar { var: v, .. } => {
-                            joined.push(self.var_read(scope, v));
+                        StrPart::Var(v) => joined.push(self.var_read(scope, v)),
+                        StrPart::ArrayVar { var, index } => {
+                            let name = self.interp_array_name(var, index);
+                            joined.push(self.var_read(scope, &name));
                         }
                     }
                 }
@@ -742,8 +784,24 @@ impl Filter<'_> {
                     return v; // unresolvable target: value still flows
                 };
                 let root = root.to_owned();
-                let var = self.resolve(scope, &root);
-                let weak = !matches!(op, AssignOp::Assign) || !matches!(target, LValue::Var(_));
+                let mut var = self.resolve(scope, &root);
+                let mut weak = !matches!(op, AssignOp::Assign) || !matches!(target, LValue::Var(_));
+                if let LValue::ArrayElem {
+                    var: base,
+                    index: Some(i),
+                } = target
+                {
+                    if self.prelude.is_superglobal(base) {
+                        if let Some(key) = i.literal_key() {
+                            // `$_GET['a'] = e` overwrites exactly the
+                            // keyed channel — a strong update of the
+                            // channel variable (the instrumentor's
+                            // channel guards rely on this).
+                            var = self.out.vars.intern(&format!("{base}[{key}]"));
+                            weak = !matches!(op, AssignOp::Assign);
+                        }
+                    }
+                }
                 // Track query templates through string-building
                 // assignments, and bind a SELECT handle produced while
                 // lowering the value to the assigned variable.
@@ -1435,7 +1493,7 @@ mod tests {
         let p = filter("<?php $sid = $_GET['sid'];");
         // The channel variable is initialized by a synthetic UIC
         // postcondition at program start…
-        let inits = assigns_to(&p, "_GET");
+        let inits = assigns_to(&p, "_GET[sid]");
         assert_eq!(inits.len(), 1);
         match inits[0] {
             FCmd::Assign { expr, site, .. } => {
@@ -1445,14 +1503,30 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(matches!(&p.cmds[0], FCmd::Assign { .. }));
-        // …and the program variable copies from it.
+        // …and the program variable copies from it. The bare `_GET`
+        // channel is never materialized: only the key that was read.
         match assigns_to(&p, "sid")[0] {
             FCmd::Assign { expr, .. } => {
-                let get = p.vars.lookup("_GET").unwrap();
+                let get = p.vars.lookup("_GET[sid]").unwrap();
                 assert_eq!(expr, &FExpr::Var(get));
             }
             other => panic!("unexpected {other:?}"),
         }
+        assert!(p.vars.lookup("_GET").is_none());
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_channels() {
+        let p = filter(
+            "<?php $a = $_GET['a']; $b = $_GET['b']; $c = $_POST['a']; \
+             $d = $_GET[$k]; $q = \"x=$_COOKIE[tok]\"; echo $q;",
+        );
+        // One channel per (superglobal, literal key)…
+        for name in ["_GET[a]", "_GET[b]", "_POST[a]", "_COOKIE[tok]"] {
+            assert_eq!(assigns_to(&p, name).len(), 1, "{name}");
+        }
+        // …while a computed index degrades to the whole-channel read.
+        assert_eq!(assigns_to(&p, "_GET").len(), 1);
     }
 
     #[test]
@@ -1579,7 +1653,7 @@ mod tests {
         assert_eq!(binds.len(), 1);
         match binds[0] {
             FCmd::Assign { expr, site, .. } => {
-                let get = p.vars.lookup("_GET").unwrap();
+                let get = p.vars.lookup("_GET[x]").unwrap();
                 assert_eq!(expr, &FExpr::Var(get));
                 // Parameter bindings carry the call site, not a
                 // synthetic location.
@@ -1625,7 +1699,7 @@ mod tests {
         match find_soc(&p.cmds).expect("one soc") {
             FCmd::Soc { func, args, .. } => {
                 assert_eq!(func, "include");
-                assert_eq!(args, &vec![p.vars.lookup("_GET").unwrap()]);
+                assert_eq!(args, &vec![p.vars.lookup("_GET[page]").unwrap()]);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -295,14 +295,19 @@ impl Prelude {
     }
 
     /// The taint level assigned to reading superglobal `name`, if it is
-    /// one.
+    /// one. Keyed channel reads (`_GET[id]`) resolve through their base
+    /// superglobal: every key of a request channel carries the
+    /// channel's level.
     pub fn superglobal_level(&self, name: &str) -> Option<Elem> {
-        self.superglobals.get(name).copied()
+        let base = name.split('[').next().unwrap_or(name);
+        self.superglobals.get(base).copied()
     }
 
-    /// Whether `name` is a superglobal / legacy request global.
+    /// Whether `name` is a superglobal / legacy request global, or a
+    /// keyed read of one (`_POST[msg]`).
     pub fn is_superglobal(&self, name: &str) -> bool {
-        self.superglobals.contains_key(name)
+        let base = name.split('[').next().unwrap_or(name);
+        self.superglobals.contains_key(base)
     }
 
     /// Registers a custom UIC.
@@ -543,6 +548,15 @@ mod tests {
         assert!(p.is_superglobal("HTTP_REFERER"));
         assert!(!p.is_superglobal("_get"));
         assert!(!p.is_superglobal("sid"));
+    }
+
+    #[test]
+    fn keyed_channel_reads_resolve_through_their_base() {
+        let p = Prelude::standard();
+        assert!(p.is_superglobal("_GET[sid]"));
+        assert_eq!(p.superglobal_level("_POST[msg]"), Some(p.top()));
+        assert!(!p.is_superglobal("row[id]"));
+        assert_eq!(p.superglobal_level("row[id]"), None);
     }
 
     #[test]

@@ -490,6 +490,27 @@ impl Expr {
             Expr::IntLit(_) | Expr::FloatLit(_) | Expr::BoolLit(_) | Expr::NullLit => {}
         }
     }
+
+    /// The literal key text of an array index expression, when it is a
+    /// compile-time constant — the cases where a keyed superglobal read
+    /// (`$_GET['sid']`, `$argv[0]`) names one distinct request channel.
+    /// Interpolated strings and computed indexes return `None`.
+    pub fn literal_key(&self) -> Option<String> {
+        match self {
+            Expr::StringLit(parts) => {
+                let mut text = String::new();
+                for p in parts {
+                    match p {
+                        StrPart::Lit(s) => text.push_str(s),
+                        StrPart::Var(_) | StrPart::ArrayVar { .. } => return None,
+                    }
+                }
+                Some(text)
+            }
+            Expr::IntLit(n) => Some(n.to_string()),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -507,6 +528,16 @@ mod tests {
             },
         ]);
         assert_eq!(e.read_vars(), vec!["sid".to_owned(), "row".to_owned()]);
+    }
+
+    #[test]
+    fn literal_keys_of_constant_indexes() {
+        let lit = Expr::StringLit(vec![StrPart::Lit("sid".into())]);
+        assert_eq!(lit.literal_key(), Some("sid".to_owned()));
+        assert_eq!(Expr::IntLit(0).literal_key(), Some("0".to_owned()));
+        let interpolated = Expr::StringLit(vec![StrPart::Var("k".into())]);
+        assert_eq!(interpolated.literal_key(), None);
+        assert_eq!(Expr::Var("k".into()).literal_key(), None);
     }
 
     #[test]

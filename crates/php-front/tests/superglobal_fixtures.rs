@@ -1,0 +1,83 @@
+//! Parser fixtures for the request superglobals: one example file per
+//! entry point under `examples/php/`, each of which must parse into an
+//! AST whose superglobal read is a literal-keyed array access.
+
+use php_front::ast::{Expr, Stmt};
+use php_front::parse_source;
+
+fn fixture(name: &str) -> php_front::ast::Program {
+    let path = format!("{}/../../examples/php/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse_source(&src).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+/// Every array access of `base` in the program, as `(base, literal key)`.
+fn keyed_reads(program: &php_front::ast::Program) -> Vec<(String, String)> {
+    fn walk_expr(e: &Expr, out: &mut Vec<(String, String)>) {
+        if let Expr::ArrayAccess { base, index } = e {
+            if let (Expr::Var(name), Some(i)) = (base.as_ref(), index.as_deref()) {
+                if let Some(key) = i.literal_key() {
+                    out.push((name.clone(), key));
+                }
+            }
+        }
+        match e {
+            Expr::ArrayAccess { base, index } => {
+                walk_expr(base, out);
+                if let Some(i) = index {
+                    walk_expr(i, out);
+                }
+            }
+            Expr::Binary { left, right, .. } => {
+                walk_expr(left, out);
+                walk_expr(right, out);
+            }
+            Expr::Call { args, .. } => args.iter().for_each(|a| walk_expr(a, out)),
+            Expr::Assign { value, .. } => walk_expr(value, out),
+            _ => {}
+        }
+    }
+    fn walk_stmt(s: &Stmt, out: &mut Vec<(String, String)>) {
+        match s {
+            Stmt::Expr(e, _) => walk_expr(e, out),
+            Stmt::Echo(es, _) => es.iter().for_each(|e| walk_expr(e, out)),
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    program.stmts.iter().for_each(|s| walk_stmt(s, &mut out));
+    out
+}
+
+#[test]
+fn get_fixture_reads_a_keyed_get_channel() {
+    let reads = keyed_reads(&fixture("source_get.php"));
+    assert!(reads.contains(&("_GET".into(), "sid".into())), "{reads:?}");
+}
+
+#[test]
+fn post_fixture_reads_a_keyed_post_channel() {
+    let reads = keyed_reads(&fixture("source_post.php"));
+    assert!(
+        reads.contains(&("_POST".into(), "message".into())),
+        "{reads:?}"
+    );
+}
+
+#[test]
+fn cookie_fixture_reads_a_keyed_cookie_channel() {
+    let reads = keyed_reads(&fixture("source_cookie.php"));
+    assert!(
+        reads.contains(&("_COOKIE".into(), "tracker".into())),
+        "{reads:?}"
+    );
+}
+
+#[test]
+fn server_fixture_reads_a_keyed_server_channel() {
+    let reads = keyed_reads(&fixture("source_server.php"));
+    assert!(
+        reads.contains(&("_SERVER".into(), "HTTP_USER_AGENT".into())),
+        "{reads:?}"
+    );
+}

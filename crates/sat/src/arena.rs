@@ -60,7 +60,10 @@ impl ClauseRef {
     #[inline]
     pub(crate) fn binary(other: Lit) -> ClauseRef {
         let code = other.code() as u32;
-        debug_assert!(code < BINARY_TAG, "literal code exceeds binary-reason range");
+        debug_assert!(
+            code < BINARY_TAG,
+            "literal code exceeds binary-reason range"
+        );
         ClauseRef(code | BINARY_TAG)
     }
 
@@ -92,7 +95,10 @@ impl ClauseArena {
     pub(crate) fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2, "unit and empty clauses never attach");
         let at = u32::try_from(self.data.len()).expect("clause arena exceeds u32 offsets");
-        debug_assert!(at & BINARY_TAG == 0, "clause arena exceeds binary-tag offset range");
+        debug_assert!(
+            at & BINARY_TAG == 0,
+            "clause arena exceeds binary-tag offset range"
+        );
         let header = ((lits.len() as u32) << LEN_SHIFT) | if learnt { LEARNT } else { 0 };
         self.data.reserve(HEADER_WORDS + lits.len());
         self.data.push(header);

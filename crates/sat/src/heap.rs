@@ -210,7 +210,10 @@ mod tests {
         h.bump(0);
         h.decay(0.5);
         h.bump(1);
-        assert!(h.activity(1) > h.activity(0), "post-decay bump outweighs pre-decay bump");
+        assert!(
+            h.activity(1) > h.activity(0),
+            "post-decay bump outweighs pre-decay bump"
+        );
         assert_eq!(h.pop_max(), Some(1));
     }
 

@@ -2082,7 +2082,9 @@ mod tests {
         assert!(s.stats().inprocessing_rounds > 0, "interval 1 must fire");
         let proof = s.take_proof().expect("recording was on");
         assert!(proof.proves_unsat());
-        proof.verify_refutation(&f).expect("proof with inprocessing deletions checks");
+        proof
+            .verify_refutation(&f)
+            .expect("proof with inprocessing deletions checks");
     }
 
     #[test]
@@ -2097,7 +2099,10 @@ mod tests {
         let before = s.num_clauses();
         s.force_inprocess();
         assert!(s.stats().subsumed_clauses >= 1, "superset clause deleted");
-        assert!(s.stats().strengthened_clauses >= 1, "self-subsumption fired");
+        assert!(
+            s.stats().strengthened_clauses >= 1,
+            "self-subsumption fired"
+        );
         assert!(s.num_clauses() < before);
         assert!(s.solve().is_sat());
     }
@@ -2144,8 +2149,7 @@ mod tests {
         s.force_reduce();
         let st = *s.stats();
         assert!(
-            st.tier_core_size + st.tier_mid_size + st.tier_local_size > 0
-                || st.learnt_clauses == 0
+            st.tier_core_size + st.tier_mid_size + st.tier_local_size > 0 || st.learnt_clauses == 0
         );
         assert!(s.solve().is_unsat());
     }

@@ -127,10 +127,12 @@ mod tests {
 
     #[test]
     fn inprocessing_removed_sums_categories() {
-        let mut s = SolverStats::default();
-        s.subsumed_clauses = 3;
-        s.strengthened_clauses = 2;
-        s.vivified_clauses = 1;
+        let s = SolverStats {
+            subsumed_clauses: 3,
+            strengthened_clauses: 2,
+            vivified_clauses: 1,
+            ..SolverStats::default()
+        };
         assert_eq!(s.inprocessing_removed(), 6);
     }
 }

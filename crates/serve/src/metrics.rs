@@ -449,6 +449,22 @@ impl ServerMetrics {
             "webssari_engine_second_order_flows_total {}",
             engine.second_order_flows_found,
         );
+        metric(
+            &mut out,
+            "webssari_engine_flow_total",
+            "counter",
+            "Flow-sensitive SSA tier activity: flow-clean discharges, \
+             phi functions placed, interprocedural summaries computed, \
+             and polymorphic call-site clones.",
+        );
+        for (kind, count) in [
+            ("flow_discharged", engine.flow_discharged),
+            ("ssa_phis", engine.ssa_phis),
+            ("summaries_computed", engine.summaries_computed),
+            ("contexts_cloned", engine.contexts_cloned),
+        ] {
+            let _ = writeln!(out, "webssari_engine_flow_total{{kind=\"{kind}\"}} {count}",);
+        }
         out
     }
 }
@@ -507,6 +523,10 @@ mod tests {
             cube_assignments: 19,
             sql_assertions_checked: 4,
             second_order_flows_found: 2,
+            flow_discharged: 9,
+            ssa_phis: 13,
+            summaries_computed: 3,
+            contexts_cloned: 8,
             ..EngineSnapshot::default()
         };
         let text = m.render_prometheus(&snap, 0, 4);
@@ -524,6 +544,10 @@ mod tests {
         assert!(text.contains("webssari_engine_enumeration_total{kind=\"cube_assignments\"} 19"));
         assert!(text.contains("webssari_engine_sql_assertions_total 4"));
         assert!(text.contains("webssari_engine_second_order_flows_total 2"));
+        assert!(text.contains("webssari_engine_flow_total{kind=\"flow_discharged\"} 9"));
+        assert!(text.contains("webssari_engine_flow_total{kind=\"ssa_phis\"} 13"));
+        assert!(text.contains("webssari_engine_flow_total{kind=\"summaries_computed\"} 3"));
+        assert!(text.contains("webssari_engine_flow_total{kind=\"contexts_cloned\"} 8"));
         // Every exposed line is HELP, TYPE, or a sample.
         for line in text.lines() {
             assert!(

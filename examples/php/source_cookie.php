@@ -1,0 +1,6 @@
+<?php
+// $_COOKIE entry point: cookie values are attacker-controlled exactly
+// like query parameters. The tracking token is echoed raw — an
+// error-level finding rooted at `_COOKIE[tracker]`.
+$tracker = $_COOKIE['tracker'];
+echo "<img src='/pixel?id=$tracker'>";

@@ -1,0 +1,6 @@
+<?php
+// $_GET entry point: each literal key is its own request channel, so
+// the report names the exact parameter (`_GET[sid]`) rather than the
+// whole array. The unsanitized echo is an error-level finding.
+$sid = $_GET['sid'];
+echo "session: $sid";

@@ -1,0 +1,6 @@
+<?php
+// $_POST entry point: the message body flows into an INSERT without
+// sanitization — an error-level `sql-concat-injection`, rooted at the
+// `_POST[message]` channel.
+$message = $_POST['message'];
+mysql_query("INSERT INTO tickets VALUES ('$message')");

@@ -1,0 +1,7 @@
+<?php
+// $_SERVER entry point: request-derived server fields (user agent,
+// referer, path info) are tainted. The user agent reaches both a log
+// echo and a query; only the echo through htmlspecialchars is clean.
+$agent = $_SERVER['HTTP_USER_AGENT'];
+echo htmlspecialchars($agent);
+mysql_query("INSERT INTO visits VALUES ('$agent')");

@@ -1,0 +1,6 @@
+<?php
+// Maintenance guard: the page aborts unconditionally, so the query
+// below is dead code — lint flags it as a flow-unreachable sink.
+$id = $_GET['id'];
+exit;
+mysql_query("SELECT * FROM maintenance WHERE id=$id");
