@@ -12,9 +12,33 @@
 //! Only conclusive outcomes are cached: a `Timeout` summary reflects
 //! the budget, not the program, and a retry with more headroom must
 //! actually re-solve.
+//!
+//! ## Eviction
+//!
+//! A long-lived daemon cannot let the warm cache grow without bound.
+//! [`CacheCaps`] bounds the entry count and the (approximate,
+//! serialized-JSON) byte footprint; when an insert pushes past either
+//! cap the least-recently-*used* entries are evicted — both lookups
+//! and inserts refresh recency, so a steadily re-verified hot set
+//! survives cold scans. Eviction only ever costs future speed: an
+//! evicted file is simply re-verified on its next appearance. Because
+//! [`Cache::save`] serializes the *live* in-memory entries, a flush
+//! after eviction compacts the on-disk file for free — dropped entries
+//! are never rewritten.
+//!
+//! ## Sharding
+//!
+//! [`CacheShards`] splits one logical cache into N independent shards
+//! selected by content key, each behind its own lock. Engine workers
+//! are pinned to shards, so under concurrent `/verify` traffic hot
+//! entries never bounce between threads and lookups on distinct files
+//! never contend on a single mutex. Shard choice is invisible in every
+//! report: it decides which lock a lookup takes, never what the lookup
+//! returns.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use jsonio::{parse, Value};
 use webssari_core::json::{summary_from_value, summary_to_value};
@@ -28,6 +52,48 @@ const FORMAT_VERSION: u64 = 1;
 /// File name used inside the cache directory.
 pub const CACHE_FILE_NAME: &str = "webssari-cache.json";
 
+/// Size caps for one cache (or one logical sharded cache). `None`
+/// means unlimited. Caps are excluded from the configuration
+/// fingerprint by design: they decide what stays *warm*, never what a
+/// verdict *is*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCaps {
+    /// Maximum number of cached entries.
+    pub max_entries: Option<usize>,
+    /// Maximum approximate byte footprint (serialized-entry bytes).
+    pub max_bytes: Option<usize>,
+}
+
+impl CacheCaps {
+    /// No caps: the cache grows without bound (the pre-eviction
+    /// behavior, still the default for one-shot batch runs).
+    pub fn unlimited() -> Self {
+        CacheCaps::default()
+    }
+
+    /// Whether either cap is set.
+    pub fn is_bounded(&self) -> bool {
+        self.max_entries.is_some() || self.max_bytes.is_some()
+    }
+
+    /// Splits a global cap across `n` shards: shard `i` receives the
+    /// floor share plus one unit of the remainder, so the shard caps
+    /// sum exactly to the global cap.
+    fn split(&self, n: usize, i: usize) -> CacheCaps {
+        fn share(total: Option<usize>, n: usize, i: usize) -> Option<usize> {
+            total.map(|t| {
+                let base = t / n;
+                let extra = usize::from(i < t % n);
+                (base + extra).max(1)
+            })
+        }
+        CacheCaps {
+            max_entries: share(self.max_entries, n, i),
+            max_bytes: share(self.max_bytes, n, i),
+        }
+    }
+}
+
 /// One cached verification result.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CacheEntry {
@@ -35,6 +101,11 @@ pub struct CacheEntry {
     pub content_key: u64,
     /// The cached per-file summary.
     pub summary: FileSummary,
+    /// Recency stamp; larger means used more recently. Not persisted —
+    /// a reloaded cache starts with fresh, insertion-ordered recency.
+    last_used: u64,
+    /// Approximate serialized size, fixed at insert time.
+    approx_bytes: usize,
 }
 
 /// An in-memory cache bound to one configuration fingerprint.
@@ -42,14 +113,31 @@ pub struct CacheEntry {
 pub struct Cache {
     fingerprint: String,
     entries: BTreeMap<String, CacheEntry>,
+    caps: CacheCaps,
+    /// `recency stamp → file name`, the eviction order. Invariant: one
+    /// entry per cached file, stamps unique (the tick only moves up).
+    recency: BTreeMap<u64, String>,
+    tick: u64,
+    total_bytes: usize,
+    evictions: u64,
 }
 
 impl Cache {
-    /// An empty cache for the given fingerprint.
+    /// An empty, uncapped cache for the given fingerprint.
     pub fn empty(fingerprint: String) -> Self {
+        Cache::empty_with_caps(fingerprint, CacheCaps::unlimited())
+    }
+
+    /// An empty cache with eviction caps.
+    pub fn empty_with_caps(fingerprint: String, caps: CacheCaps) -> Self {
         Cache {
             fingerprint,
             entries: BTreeMap::new(),
+            caps,
+            recency: BTreeMap::new(),
+            tick: 0,
+            total_bytes: 0,
+            evictions: 0,
         }
     }
 
@@ -57,31 +145,47 @@ impl Cache {
     /// file is missing, unreadable, corrupt, or was written under a
     /// different configuration fingerprint or format version.
     pub fn load(dir: &Path, fingerprint: &str) -> Self {
-        let mut cache = Cache::empty(fingerprint.to_owned());
+        Cache::load_with_caps(dir, fingerprint, CacheCaps::unlimited())
+    }
+
+    /// Like [`Cache::load`], with eviction caps applied immediately —
+    /// a persisted cache larger than the caps is trimmed on load (in
+    /// file-name order, since on-disk recency is not persisted).
+    pub fn load_with_caps(dir: &Path, fingerprint: &str, caps: CacheCaps) -> Self {
+        let mut cache = Cache::empty_with_caps(fingerprint.to_owned(), caps);
         let Ok(text) = std::fs::read_to_string(dir.join(CACHE_FILE_NAME)) else {
             return cache;
         };
-        let Some(root) = parse(&text) else {
-            return cache;
-        };
-        if root.get("version").and_then(Value::as_u64) != Some(FORMAT_VERSION)
-            || root.get("fingerprint").and_then(Value::as_str) != Some(fingerprint)
-        {
-            return cache;
-        }
-        let Some(entries) = root.get("entries").and_then(Value::as_arr) else {
-            return cache;
-        };
-        for entry in entries {
-            let Some((file, parsed)) = entry_from_value(entry) else {
-                continue;
-            };
-            cache.entries.insert(file, parsed);
-        }
+        cache.absorb_json(&text);
         cache
     }
 
-    /// Writes the cache into `dir` (created if missing).
+    /// Folds a serialized cache document into this cache (used by both
+    /// plain loads and shard partitioning). Entries under a different
+    /// fingerprint or format version are ignored wholesale.
+    fn absorb_json(&mut self, text: &str) {
+        let Some(root) = parse(text) else {
+            return;
+        };
+        if root.get("version").and_then(Value::as_u64) != Some(FORMAT_VERSION)
+            || root.get("fingerprint").and_then(Value::as_str) != Some(self.fingerprint.as_str())
+        {
+            return;
+        }
+        let Some(entries) = root.get("entries").and_then(Value::as_arr) else {
+            return;
+        };
+        for entry in entries {
+            let Some((content_key, summary)) = entry_from_value(entry) else {
+                continue;
+            };
+            self.insert(content_key, summary);
+        }
+    }
+
+    /// Writes the cache into `dir` (created if missing). Only live
+    /// entries are serialized, so a save after eviction *compacts* the
+    /// on-disk file: evicted entries are dropped, not rewritten.
     ///
     /// # Errors
     ///
@@ -99,6 +203,11 @@ impl Cache {
         &self.fingerprint
     }
 
+    /// The eviction caps.
+    pub fn caps(&self) -> CacheCaps {
+        self.caps
+    }
+
     /// Number of cached files.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -109,31 +218,96 @@ impl Cache {
         self.entries.is_empty()
     }
 
-    /// Returns the cached summary for `file` when its content key
-    /// matches, i.e. neither the file nor (for include-bearing files)
-    /// the source set changed since the summary was computed.
-    pub fn lookup(&self, file: &str, content_key: u64) -> Option<&FileSummary> {
-        let entry = self.entries.get(file)?;
-        (entry.content_key == content_key).then_some(&entry.summary)
+    /// Approximate byte footprint of the cached entries.
+    pub fn approx_bytes(&self) -> usize {
+        self.total_bytes
     }
 
-    /// Records a conclusive verification result. `Timeout` and
-    /// `ParseError` summaries are rejected — they describe the run,
-    /// not the program.
-    pub fn insert(&mut self, content_key: u64, summary: FileSummary) {
+    /// Entries evicted by the size caps since this cache was created.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Returns the cached summary for `file` when its content key
+    /// matches, i.e. neither the file nor (for include-bearing files)
+    /// the source set changed since the summary was computed. A hit
+    /// refreshes the entry's recency.
+    pub fn lookup(&mut self, file: &str, content_key: u64) -> Option<&FileSummary> {
+        let tick = self.next_tick();
+        let entry = self.entries.get_mut(file)?;
+        if entry.content_key != content_key {
+            return None;
+        }
+        self.recency.remove(&entry.last_used);
+        entry.last_used = tick;
+        self.recency.insert(tick, file.to_owned());
+        Some(&entry.summary)
+    }
+
+    /// Records a conclusive verification result, evicting
+    /// least-recently-used entries if a cap is exceeded. Returns how
+    /// many entries were evicted. `Timeout` and `ParseError` summaries
+    /// are rejected — they describe the run, not the program.
+    pub fn insert(&mut self, content_key: u64, summary: FileSummary) -> u64 {
         if matches!(
             summary.outcome,
             FileOutcome::Timeout | FileOutcome::ParseError
         ) {
-            return;
+            return 0;
         }
-        self.entries.insert(
-            summary.file.clone(),
-            CacheEntry {
-                content_key,
-                summary,
-            },
-        );
+        let tick = self.next_tick();
+        let approx_bytes = entry_to_value(&summary.file, content_key, &summary)
+            .to_json()
+            .len();
+        let file = summary.file.clone();
+        let entry = CacheEntry {
+            content_key,
+            summary,
+            last_used: tick,
+            approx_bytes,
+        };
+        if let Some(old) = self.entries.insert(file.clone(), entry) {
+            self.recency.remove(&old.last_used);
+            self.total_bytes -= old.approx_bytes;
+        }
+        self.recency.insert(tick, file);
+        self.total_bytes += approx_bytes;
+        self.enforce_caps()
+    }
+
+    /// Evicts LRU entries until both caps hold. The newest entry is
+    /// evictable too (a single entry larger than `max_bytes` leaves
+    /// the cache empty rather than permanently over cap).
+    fn enforce_caps(&mut self) -> u64 {
+        let mut evicted = 0u64;
+        loop {
+            let over_entries = self
+                .caps
+                .max_entries
+                .is_some_and(|cap| self.entries.len() > cap);
+            let over_bytes = self
+                .caps
+                .max_bytes
+                .is_some_and(|cap| self.total_bytes > cap);
+            if !(over_entries || over_bytes) {
+                break;
+            }
+            let Some((&stamp, _)) = self.recency.iter().next() else {
+                break;
+            };
+            let file = self.recency.remove(&stamp).expect("stamp just observed");
+            if let Some(old) = self.entries.remove(&file) {
+                self.total_bytes -= old.approx_bytes;
+            }
+            evicted += 1;
+        }
+        self.evictions += evicted;
+        evicted
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
     }
 
     /// Serializes the cache (version, fingerprint, entries in file-name
@@ -142,13 +316,7 @@ impl Cache {
         let entries: Vec<Value> = self
             .entries
             .iter()
-            .map(|(file, entry)| {
-                Value::obj(vec![
-                    ("file", Value::str(file.clone())),
-                    ("content_key", Value::str(hash::to_hex(entry.content_key))),
-                    ("summary", summary_to_value(&entry.summary)),
-                ])
-            })
+            .map(|(file, entry)| entry_to_value(file, entry.content_key, &entry.summary))
             .collect();
         Value::obj(vec![
             ("version", Value::Num(FORMAT_VERSION)),
@@ -159,21 +327,169 @@ impl Cache {
     }
 }
 
-fn entry_from_value(value: &Value) -> Option<(String, CacheEntry)> {
-    let file = value.get("file")?.as_str()?.to_owned();
+fn entry_to_value(file: &str, content_key: u64, summary: &FileSummary) -> Value {
+    Value::obj(vec![
+        ("file", Value::str(file.to_owned())),
+        ("content_key", Value::str(hash::to_hex(content_key))),
+        ("summary", summary_to_value(summary)),
+    ])
+}
+
+fn entry_from_value(value: &Value) -> Option<(u64, FileSummary)> {
+    let file = value.get("file")?.as_str()?;
     let content_key = hash::from_hex(value.get("content_key")?.as_str()?)?;
     let summary = summary_from_value(value.get("summary")?)?;
     // A summary whose file name disagrees with its key is corrupt.
     if summary.file != file {
         return None;
     }
-    Some((
-        file,
-        CacheEntry {
-            content_key,
-            summary,
-        },
-    ))
+    Some((content_key, summary))
+}
+
+/// One logical cache split across N independently locked shards
+/// selected by content key. See the module docs.
+#[derive(Debug)]
+pub struct CacheShards {
+    shards: Vec<Mutex<Cache>>,
+}
+
+impl CacheShards {
+    /// `n` empty shards (at least 1) splitting `caps` between them.
+    pub fn new(n: usize, fingerprint: &str, caps: CacheCaps) -> Self {
+        let n = n.max(1);
+        CacheShards {
+            shards: (0..n)
+                .map(|i| {
+                    Mutex::new(Cache::empty_with_caps(
+                        fingerprint.to_owned(),
+                        caps.split(n, i),
+                    ))
+                })
+                .collect(),
+        }
+    }
+
+    /// Loads the single persisted cache file from `dir` and partitions
+    /// its entries across `n` shards by content key.
+    pub fn load(dir: &Path, n: usize, fingerprint: &str, caps: CacheCaps) -> Self {
+        let shards = CacheShards::new(n, fingerprint, caps);
+        let Ok(text) = std::fs::read_to_string(dir.join(CACHE_FILE_NAME)) else {
+            return shards;
+        };
+        let Some(root) = parse(&text) else {
+            return shards;
+        };
+        if root.get("version").and_then(Value::as_u64) != Some(FORMAT_VERSION)
+            || root.get("fingerprint").and_then(Value::as_str) != Some(fingerprint)
+        {
+            return shards;
+        }
+        let Some(entries) = root.get("entries").and_then(Value::as_arr) else {
+            return shards;
+        };
+        for entry in entries {
+            let Some((content_key, summary)) = entry_from_value(entry) else {
+                continue;
+            };
+            shards.insert(content_key, summary);
+        }
+        shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a content key routes to.
+    pub fn shard_of(&self, content_key: u64) -> usize {
+        // The content key is an FNV-1a style hash, so the low bits are
+        // already well mixed; a plain modulus spreads files evenly.
+        (content_key % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up `file` in its shard, cloning the summary out so the
+    /// shard lock is held only for the lookup itself.
+    pub fn lookup(&self, file: &str, content_key: u64) -> Option<FileSummary> {
+        self.shard(self.shard_of(content_key))
+            .lookup(file, content_key)
+            .cloned()
+    }
+
+    /// Inserts into the owning shard; returns how many entries the
+    /// shard evicted to stay under its caps.
+    pub fn insert(&self, content_key: u64, summary: FileSummary) -> u64 {
+        self.shard(self.shard_of(content_key))
+            .insert(content_key, summary)
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries in one shard (gauge fodder).
+    pub fn shard_len(&self, i: usize) -> usize {
+        lock(&self.shards[i]).len()
+    }
+
+    /// Approximate byte footprint across shards.
+    pub fn approx_bytes(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).approx_bytes()).sum()
+    }
+
+    /// Total evictions across shards since creation.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| lock(s).evictions()).sum()
+    }
+
+    /// Merges every shard and writes one deterministic cache file —
+    /// the same format [`Cache::save`] writes and [`CacheShards::load`]
+    /// partitions back, so shard count can change between runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        // File-name order across all shards keeps the merged document
+        // byte-stable regardless of shard count or access history.
+        let mut merged: BTreeMap<String, (u64, FileSummary)> = BTreeMap::new();
+        let mut fingerprint = String::new();
+        for shard in &self.shards {
+            let shard = lock(shard);
+            fingerprint = shard.fingerprint().to_owned();
+            for (file, entry) in &shard.entries {
+                merged.insert(file.clone(), (entry.content_key, entry.summary.clone()));
+            }
+        }
+        let entries: Vec<Value> = merged
+            .iter()
+            .map(|(file, (key, summary))| entry_to_value(file, *key, summary))
+            .collect();
+        let doc = Value::obj(vec![
+            ("version", Value::Num(FORMAT_VERSION)),
+            ("fingerprint", Value::str(fingerprint)),
+            ("entries", Value::Arr(entries)),
+        ])
+        .to_json();
+        let path = dir.join(CACHE_FILE_NAME);
+        std::fs::write(&path, doc)?;
+        Ok(path)
+    }
+
+    fn shard(&self, i: usize) -> MutexGuard<'_, Cache> {
+        lock(&self.shards[i])
+    }
+}
+
+fn lock(shard: &Mutex<Cache>) -> MutexGuard<'_, Cache> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -235,7 +551,7 @@ mod tests {
         cache.insert(9, sample_summary("b.php", FileOutcome::Vulnerable));
         cache.save(&dir).unwrap();
 
-        let loaded = Cache::load(&dir, "fp v1");
+        let mut loaded = Cache::load(&dir, "fp v1");
         assert_eq!(loaded.len(), 2);
         assert_eq!(
             loaded.lookup("a.php", 7).map(|s| s.outcome),
@@ -271,5 +587,148 @@ mod tests {
         b.insert(2, sample_summary("a.php", FileOutcome::Verified));
         b.insert(1, sample_summary("z.php", FileOutcome::Verified));
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn entry_cap_evicts_least_recently_used() {
+        let caps = CacheCaps {
+            max_entries: Some(2),
+            max_bytes: None,
+        };
+        let mut cache = Cache::empty_with_caps("fp".to_owned(), caps);
+        assert_eq!(
+            cache.insert(1, sample_summary("a.php", FileOutcome::Verified)),
+            0
+        );
+        assert_eq!(
+            cache.insert(2, sample_summary("b.php", FileOutcome::Verified)),
+            0
+        );
+        // Touch a.php so b.php becomes the LRU victim.
+        assert!(cache.lookup("a.php", 1).is_some());
+        assert_eq!(
+            cache.insert(3, sample_summary("c.php", FileOutcome::Verified)),
+            1
+        );
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("a.php", 1).is_some());
+        assert!(cache.lookup("b.php", 2).is_none(), "LRU entry evicted");
+        assert!(cache.lookup("c.php", 3).is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn byte_cap_evicts_and_save_compacts() {
+        let one_entry = {
+            let mut probe = Cache::empty("fp".to_owned());
+            probe.insert(1, sample_summary("a.php", FileOutcome::Verified));
+            probe.approx_bytes()
+        };
+        let caps = CacheCaps {
+            max_entries: None,
+            // Room for two entries, not three.
+            max_bytes: Some(one_entry * 2 + one_entry / 2),
+        };
+        let mut cache = Cache::empty_with_caps("fp".to_owned(), caps);
+        cache.insert(1, sample_summary("a.php", FileOutcome::Verified));
+        cache.insert(2, sample_summary("b.php", FileOutcome::Verified));
+        let evicted = cache.insert(3, sample_summary("c.php", FileOutcome::Verified));
+        assert!(evicted >= 1, "byte cap must evict");
+        assert!(cache.approx_bytes() <= caps.max_bytes.unwrap());
+
+        // The flushed file holds exactly the live entries (compaction).
+        let dir = std::env::temp_dir().join(format!(
+            "webssari-cache-compact-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        cache.save(&dir).unwrap();
+        let mut reloaded = Cache::load(&dir, "fp");
+        assert_eq!(reloaded.len(), cache.len());
+        assert!(
+            reloaded.lookup("a.php", 1).is_none(),
+            "evicted entry rewritten to disk"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reinserting_a_file_replaces_without_eviction() {
+        let caps = CacheCaps {
+            max_entries: Some(1),
+            max_bytes: None,
+        };
+        let mut cache = Cache::empty_with_caps("fp".to_owned(), caps);
+        cache.insert(1, sample_summary("a.php", FileOutcome::Verified));
+        // Same file, new contents: replacement, not growth.
+        assert_eq!(
+            cache.insert(9, sample_summary("a.php", FileOutcome::Vulnerable)),
+            0
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup("a.php", 9).is_some());
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn shards_route_consistently_and_merge_on_save() {
+        let shards = CacheShards::new(4, "fp", CacheCaps::unlimited());
+        for i in 0..20u64 {
+            let key = 0x9E3779B97F4A7C15u64.wrapping_mul(i + 1);
+            shards.insert(
+                key,
+                sample_summary(&format!("f{i}.php"), FileOutcome::Verified),
+            );
+        }
+        assert_eq!(shards.len(), 20);
+        // Every file is findable through the routing shard.
+        for i in 0..20u64 {
+            let key = 0x9E3779B97F4A7C15u64.wrapping_mul(i + 1);
+            assert!(shards.lookup(&format!("f{i}.php"), key).is_some());
+        }
+        // More than one shard is populated (keys are well mixed).
+        let populated = (0..4).filter(|&i| shards.shard_len(i) > 0).count();
+        assert!(populated > 1, "all keys landed in one shard");
+
+        let dir = std::env::temp_dir().join(format!(
+            "webssari-cache-shards-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        shards.save(&dir).unwrap();
+        // A different shard count repartitions the same entries.
+        let reloaded = CacheShards::load(&dir, 3, "fp", CacheCaps::unlimited());
+        assert_eq!(reloaded.len(), 20);
+        // And the merged file equals what a single-shard save writes.
+        let single = CacheShards::load(&dir, 1, "fp", CacheCaps::unlimited());
+        let again = std::env::temp_dir().join(format!(
+            "webssari-cache-shards2-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        single.save(&again).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join(CACHE_FILE_NAME)).unwrap(),
+            std::fs::read_to_string(again.join(CACHE_FILE_NAME)).unwrap(),
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&again).unwrap();
+    }
+
+    #[test]
+    fn shard_caps_sum_to_the_global_cap() {
+        let caps = CacheCaps {
+            max_entries: Some(10),
+            max_bytes: Some(1003),
+        };
+        let shards = CacheShards::new(4, "fp", caps);
+        let entry_sum: usize = (0..4)
+            .map(|i| lock(&shards.shards[i]).caps().max_entries.unwrap())
+            .sum();
+        let byte_sum: usize = (0..4)
+            .map(|i| lock(&shards.shards[i]).caps().max_bytes.unwrap())
+            .sum();
+        assert_eq!(entry_sum, 10);
+        assert_eq!(byte_sum, 1003);
     }
 }

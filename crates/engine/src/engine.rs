@@ -2,13 +2,13 @@
 //! jobs, an incremental cache, per-job solve budgets, and metrics.
 
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use php_front::SourceSet;
 use webssari_core::{FileOutcome, FileReport, FileSummary, SolveBudget, Verifier, VerifyError};
 
-use crate::cache::Cache;
+use crate::cache::{CacheCaps, CacheShards};
 use crate::handle::EngineHandle;
 use crate::hash;
 use crate::metrics::{EngineMetrics, FileMetrics};
@@ -38,6 +38,8 @@ pub struct EngineBuilder {
     verifier: Verifier,
     workers: usize,
     cache_dir: Option<PathBuf>,
+    cache_caps: CacheCaps,
+    cache_shards: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -47,6 +49,8 @@ impl EngineBuilder {
             verifier: Verifier::new(),
             workers: 1,
             cache_dir: None,
+            cache_caps: CacheCaps::unlimited(),
+            cache_shards: None,
         }
     }
 
@@ -74,12 +78,40 @@ impl EngineBuilder {
         self
     }
 
+    /// Caps the warm cache at `n` entries; least-recently-used entries
+    /// are evicted past the cap (unlimited by default).
+    #[must_use]
+    pub fn cache_max_entries(mut self, n: usize) -> Self {
+        self.cache_caps.max_entries = Some(n);
+        self
+    }
+
+    /// Caps the warm cache's approximate byte footprint (serialized
+    /// entry bytes); LRU eviction past the cap (unlimited by default).
+    #[must_use]
+    pub fn cache_max_bytes(mut self, bytes: usize) -> Self {
+        self.cache_caps.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Number of independent cache shards (default: the worker count).
+    /// Shard choice only decides lock placement — reports are
+    /// identical for any shard count.
+    #[must_use]
+    pub fn cache_shards(mut self, n: usize) -> Self {
+        self.cache_shards = Some(n.max(1));
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Engine {
+        let workers = self.workers.max(1);
         Engine {
             verifier: self.verifier,
-            workers: self.workers,
+            workers,
             cache_dir: self.cache_dir,
+            cache_caps: self.cache_caps,
+            cache_shards: self.cache_shards.unwrap_or(workers),
         }
     }
 }
@@ -90,6 +122,8 @@ pub struct Engine {
     pub(crate) verifier: Verifier,
     pub(crate) workers: usize,
     pub(crate) cache_dir: Option<PathBuf>,
+    pub(crate) cache_caps: CacheCaps,
+    pub(crate) cache_shards: usize,
 }
 
 /// One file's result in an [`EngineReport`].
@@ -266,15 +300,23 @@ impl Engine {
         report
     }
 
-    /// The shared run pipeline: serves hits from `cache`, verifies the
-    /// rest on the worker pool, folds fresh results back into `cache`,
-    /// and bumps `stats` live as each job completes. Does *not* persist
-    /// the cache — that is the caller's (handle's) decision.
+    /// The shared run pipeline: serves hits from the sharded `cache`,
+    /// verifies the rest on the worker pool, folds fresh results back
+    /// into `cache`, and bumps `stats` live as each job completes. Does
+    /// *not* persist the cache — that is the caller's (handle's)
+    /// decision.
+    ///
+    /// Jobs are pinned to workers by cache shard (`shard % workers`),
+    /// so under concurrent batches a given file's cache entry is always
+    /// written by the same worker thread and shard locks never see
+    /// cross-worker contention on inserts. Pinning only changes
+    /// scheduling; slots are assembled in file-name order, so reports
+    /// stay byte-identical to the sequential path.
     pub(crate) fn run_shared(
         &self,
         sources: &SourceSet,
         budget: Option<SolveBudget>,
-        cache: &Mutex<Cache>,
+        cache: &CacheShards,
         stats: &EngineStats,
     ) -> EngineReport {
         let started = Instant::now();
@@ -311,72 +353,72 @@ impl Engine {
             })
             .collect();
 
-        // Serve cache hits on this thread; queue the rest. The lock is
-        // held only for the lookups, so concurrent batches overlap.
+        // Serve cache hits on this thread; queue the rest. Each lookup
+        // takes only its own shard's lock, so concurrent batches (and
+        // the single-file `/verify` fast path) overlap freely.
         let mut slots: Vec<Option<Slot>> = Vec::with_capacity(names.len());
         slots.resize_with(names.len(), || None);
         let mut jobs: Vec<Job> = Vec::new();
-        {
-            let cache = cache.lock().unwrap_or_else(PoisonError::into_inner);
-            for (index, (name, key)) in names.iter().enumerate() {
-                if let Some(summary) = cache.lookup(name, *key) {
-                    stats.record_cache_hit(summary);
-                    slots[index] = Some(Slot::Hit(summary.clone()));
-                } else {
-                    jobs.push((index, name.clone(), *key));
-                }
+        for (index, (name, key)) in names.iter().enumerate() {
+            if let Some(summary) = cache.lookup(name, *key) {
+                stats.record_cache_hit(&summary);
+                slots[index] = Some(Slot::Hit(summary));
+            } else {
+                jobs.push((index, name.clone(), *key));
             }
         }
 
-        if !jobs.is_empty() {
-            let workers = self.workers.min(jobs.len());
-            let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
-            let (done_tx, done_rx) = crossbeam::channel::unbounded::<JobDone>();
-            for job in jobs {
-                job_tx.send(job).expect("queue is open");
+        let run_job = |worker: usize, (index, file, content_key): Job| {
+            let picked = Instant::now();
+            stats.job_started();
+            let result = verifier.verify_file(sources, &file);
+            let duration = picked.elapsed();
+            // Live counters move the moment the job is done, not when
+            // the batch is assembled — a snapshot mid-batch sees them.
+            match &result {
+                Ok(report) => stats.record_fresh(report.outcome, duration, Some(&report.bmc.stats)),
+                Err(_) => stats.record_fresh(FileOutcome::ParseError, duration, None),
             }
-            drop(job_tx);
-            let verifier = &verifier;
+            stats.job_finished();
+            JobDone {
+                index,
+                file,
+                content_key,
+                worker,
+                queue_wait: picked.duration_since(started),
+                duration,
+                result,
+            }
+        };
+
+        if jobs.len() == 1 {
+            // Single-job fast path — the common `/verify` shape. Run
+            // inline: no scoped threads, no channels, no scheduler.
+            let done = run_job(0, jobs.pop().expect("one job"));
+            let index = done.index;
+            slots[index] = Some(Slot::Fresh(Box::new(done)));
+        } else if !jobs.is_empty() {
+            let workers = self.workers.min(jobs.len());
+            // Pin each job to the worker owning its cache shard; the
+            // per-worker lists preserve submission (file-name) order.
+            let mut lanes: Vec<Vec<Job>> = vec![Vec::new(); workers];
+            for job in jobs {
+                let lane = cache.shard_of(job.2) % workers;
+                lanes[lane].push(job);
+            }
+            let (done_tx, done_rx) = crossbeam::channel::unbounded::<JobDone>();
+            let run_job = &run_job;
             crossbeam::scope(|s| {
-                for worker in 0..workers {
-                    let job_rx = job_rx.clone();
+                for (worker, lane) in lanes.into_iter().enumerate() {
                     let done_tx = done_tx.clone();
                     s.spawn(move |_| {
-                        for (index, file, content_key) in job_rx.iter() {
-                            let picked = Instant::now();
-                            stats.job_started();
-                            let result = verifier.verify_file(sources, &file);
-                            let duration = picked.elapsed();
-                            // Live counters move the moment the job is
-                            // done, not when the batch is assembled —
-                            // a snapshot mid-batch sees them.
-                            match &result {
-                                Ok(report) => stats.record_fresh(
-                                    report.outcome,
-                                    duration,
-                                    Some(&report.bmc.stats),
-                                ),
-                                Err(_) => {
-                                    stats.record_fresh(FileOutcome::ParseError, duration, None)
-                                }
-                            }
-                            stats.job_finished();
-                            let done = JobDone {
-                                index,
-                                file,
-                                content_key,
-                                worker,
-                                queue_wait: picked.duration_since(started),
-                                duration,
-                                result,
-                            };
-                            if done_tx.send(done).is_err() {
+                        for job in lane {
+                            if done_tx.send(run_job(worker, job)).is_err() {
                                 break;
                             }
                         }
                     });
                 }
-                drop(job_rx);
                 drop(done_tx);
                 for done in done_rx.iter() {
                     let index = done.index;
@@ -386,12 +428,58 @@ impl Engine {
             .expect("engine worker panicked");
         }
 
-        let report = {
-            let mut cache = cache.lock().unwrap_or_else(PoisonError::into_inner);
-            self.assemble(started, names, slots, &mut cache)
-        };
+        let report = self.assemble(started, names, slots, cache, stats);
         stats.batch_completed();
         report
+    }
+
+    /// Serves a single-file set entirely from the warm cache, or
+    /// returns `None` — with no counters touched — when the file is
+    /// not cached (the caller then goes through [`Engine::run_shared`]
+    /// as usual). The lookup is atomic, so there is no
+    /// check-then-verify race: either the entry exists and the report
+    /// is assembled from it, or the full pipeline runs.
+    ///
+    /// The report is bit-identical to what `run_shared` produces for
+    /// the same all-hit run; the only difference is that the batch
+    /// verifier setup (store summary, budget re-arm) is skipped, since
+    /// an all-hit batch never invokes the verifier. This is the
+    /// serving tier's warm `/verify` path: a bounded cache lookup that
+    /// is cheap enough to answer inline, without a worker dispatch.
+    pub(crate) fn run_cached_shared(
+        &self,
+        sources: &SourceSet,
+        cache: &CacheShards,
+        stats: &EngineStats,
+    ) -> Option<EngineReport> {
+        if sources.len() != 1 {
+            return None;
+        }
+        let started = Instant::now();
+        // Same content-key derivation as `run_shared`.
+        let set_hash = sources.iter().fold(0u64, |h, (name, src)| {
+            hash::combine(h, content_hash(name, src))
+        });
+        let names: Vec<(String, u64)> = sources
+            .iter()
+            .map(|(name, src)| {
+                let own = content_hash(name, src);
+                let key = if depends_on_set(src) {
+                    hash::combine(own, set_hash)
+                } else {
+                    own
+                };
+                (name.to_owned(), key)
+            })
+            .collect();
+        let (name, key) = (&names[0].0, names[0].1);
+        let summary = cache.lookup(name, key)?;
+        stats.batch_started();
+        stats.record_cache_hit(&summary);
+        let slots = vec![Some(Slot::Hit(summary))];
+        let report = self.assemble(started, names, slots, cache, stats);
+        stats.batch_completed();
+        Some(report)
     }
 
     /// Folds filled slots into the final report and updates the
@@ -401,7 +489,8 @@ impl Engine {
         started: Instant,
         names: Vec<(String, u64)>,
         slots: Vec<Option<Slot>>,
-        cache: &mut Cache,
+        cache: &CacheShards,
+        stats: &EngineStats,
     ) -> EngineReport {
         let mut report = EngineReport::default();
         let mut file_metrics = Vec::with_capacity(names.len());
@@ -441,7 +530,10 @@ impl Engine {
                     match done.result {
                         Ok(file_report) => {
                             let summary = file_report.summary();
-                            cache.insert(done.content_key, summary.clone());
+                            let evicted = cache.insert(done.content_key, summary.clone());
+                            if evicted > 0 {
+                                stats.record_evictions(evicted);
+                            }
                             let stats = &file_report.bmc.stats;
                             file_metrics.push(FileMetrics {
                                 file: done.file,

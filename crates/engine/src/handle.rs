@@ -22,12 +22,11 @@
 //! [`run`]: EngineHandle::run
 
 use std::path::PathBuf;
-use std::sync::{Mutex, PoisonError};
 
 use php_front::SourceSet;
 use webssari_core::SolveBudget;
 
-use crate::cache::Cache;
+use crate::cache::CacheShards;
 use crate::engine::{Engine, EngineReport};
 use crate::stats::{EngineSnapshot, EngineStats};
 
@@ -35,21 +34,24 @@ use crate::stats::{EngineSnapshot, EngineStats};
 #[derive(Debug)]
 pub struct EngineHandle {
     engine: Engine,
-    cache: Mutex<Cache>,
+    cache: CacheShards,
     stats: EngineStats,
 }
 
 impl EngineHandle {
-    /// Wraps an engine, loading its persistent cache (if any) once.
+    /// Wraps an engine, loading its persistent cache (if any) once and
+    /// partitioning it across the engine's cache shards.
     pub fn new(engine: Engine) -> Self {
         let fingerprint = engine.fingerprint();
+        let shards = engine.cache_shards;
+        let caps = engine.cache_caps;
         let cache = match engine.cache_dir() {
-            Some(dir) => Cache::load(dir, &fingerprint),
-            None => Cache::empty(fingerprint),
+            Some(dir) => CacheShards::load(dir, shards, &fingerprint, caps),
+            None => CacheShards::new(shards, &fingerprint, caps),
         };
         EngineHandle {
             engine,
-            cache: Mutex::new(cache),
+            cache,
             stats: EngineStats::new(),
         }
     }
@@ -72,10 +74,13 @@ impl EngineHandle {
 
     /// Number of results currently held in the warm cache.
     pub fn cached_files(&self) -> usize {
-        self.cache
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        self.cache.len()
+    }
+
+    /// The sharded warm cache (gauge fodder for monitoring endpoints:
+    /// per-shard entry counts, byte footprint, eviction totals).
+    pub fn cache(&self) -> &CacheShards {
+        &self.cache
     }
 
     /// Verifies a source set through the warm cache and worker pool.
@@ -98,6 +103,17 @@ impl EngineHandle {
             .run_shared(sources, budget, &self.cache, &self.stats)
     }
 
+    /// Serves a single-file set straight from the warm cache. Returns
+    /// `None` — without touching any counter — when the set has more
+    /// than one file or its result is not cached; the caller should
+    /// then fall back to [`EngineHandle::run`]. On a hit the report is
+    /// bit-identical to what a full run would produce, and the hit is
+    /// recorded in the live counters exactly as usual.
+    pub fn try_run_cached(&self, sources: &SourceSet) -> Option<EngineReport> {
+        self.engine
+            .run_cached_shared(sources, &self.cache, &self.stats)
+    }
+
     /// Persists the warm cache into the engine's cache directory.
     /// Returns the written path, or `Ok(None)` when the engine has no
     /// cache directory configured.
@@ -110,11 +126,7 @@ impl EngineHandle {
         let Some(dir) = self.engine.cache_dir() else {
             return Ok(None);
         };
-        self.cache
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .save(dir)
-            .map(Some)
+        self.cache.save(dir).map(Some)
     }
 }
 
@@ -193,6 +205,38 @@ mod tests {
         assert_eq!(full.timeout_files(), 0);
         assert_eq!(full.vulnerable_files(), 1);
         assert!(handle.snapshot().files_timeout >= 1);
+    }
+
+    #[test]
+    fn try_run_cached_serves_only_warm_single_files() {
+        let handle = EngineBuilder::new().workers(2).build().into_handle();
+        let mut single = SourceSet::new();
+        single.add_file("safe.php", "<?php $a = 'x'; echo $a;");
+        // Cold: declines without touching any counter.
+        assert!(handle.try_run_cached(&single).is_none());
+        assert_eq!(handle.snapshot().batches_started, 0);
+        assert_eq!(handle.snapshot().cache_misses, 0);
+
+        handle.run(&single);
+        let fast = handle.try_run_cached(&single).expect("warm after a run");
+        assert!(fast.files[0].from_cache);
+        // Bit-identical to the full warm path.
+        let full = handle.run(&single);
+        assert_eq!(fast.render_text(), full.render_text());
+
+        // Multi-file sets always decline, even fully warm.
+        let set = small_set();
+        handle.run(&set);
+        assert!(handle.try_run_cached(&set).is_none());
+
+        let snap = handle.snapshot();
+        assert_eq!(snap.batches_started, 4);
+        assert_eq!(snap.batches_completed, 4);
+        // Fast-path hits count exactly like worker-path hits: one from
+        // try_run_cached, one from the rerun, one for safe.php inside
+        // the two-file set (same name and content, same key).
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_misses, 2);
     }
 
     #[test]

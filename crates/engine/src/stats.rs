@@ -28,6 +28,7 @@ struct Counters {
     jobs_in_flight: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
     files_verified: AtomicU64,
     files_vulnerable: AtomicU64,
     files_timeout: AtomicU64,
@@ -73,6 +74,8 @@ pub struct EngineSnapshot {
     pub cache_hits: u64,
     /// Files that had to be verified.
     pub cache_misses: u64,
+    /// Entries the LRU caps evicted from the warm cache.
+    pub cache_evictions: u64,
     /// Files served with outcome `verified`.
     pub files_verified: u64,
     /// Files served with outcome `vulnerable`.
@@ -172,6 +175,7 @@ impl EngineStats {
             jobs_in_flight: load(&c.jobs_in_flight),
             cache_hits: load(&c.cache_hits),
             cache_misses: load(&c.cache_misses),
+            cache_evictions: load(&c.cache_evictions),
             files_verified: load(&c.files_verified),
             files_vulnerable: load(&c.files_vulnerable),
             files_timeout: load(&c.files_timeout),
@@ -217,6 +221,10 @@ impl EngineStats {
 
     pub(crate) fn job_finished(&self) {
         self.inner.jobs_in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_evictions(&self, n: u64) {
+        self.inner.cache_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn record_cache_hit(&self, summary: &FileSummary) {

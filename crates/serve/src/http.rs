@@ -6,6 +6,14 @@
 //! hostile: request lines, headers, and bodies are all size-capped,
 //! malformed input maps to a typed [`RequestError`] (never a panic),
 //! and chunked transfer encoding is rejected up front.
+//!
+//! The core parser is *incremental*: [`try_parse`] inspects a byte
+//! buffer and either yields a complete request plus the number of
+//! bytes it consumed, asks for more bytes, or fails terminally. The
+//! event loop feeds it from nonblocking reads (bytes can arrive
+//! fragmented at any boundary); the blocking [`read_request`] used by
+//! the legacy threaded server is a thin pull loop over the same
+//! parser, so both paths accept exactly the same language.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -44,6 +52,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body.
     pub body: Vec<u8>,
+    /// HTTP minor version: 1 for `HTTP/1.1`, 0 for `HTTP/1.0`.
+    pub minor_version: u8,
 }
 
 impl Request {
@@ -62,6 +72,25 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`,
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    /// `Connection` is treated as a comma-separated token list.
+    pub fn keep_alive(&self) -> bool {
+        if let Some(value) = self.header("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return false;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    return true;
+                }
+            }
+        }
+        self.minor_version >= 1
     }
 }
 
@@ -125,29 +154,29 @@ impl fmt::Display for RequestError {
     }
 }
 
-/// Reads and parses one request from `stream` under `limits`.
+/// Attempts to parse one complete request from the front of `buf`.
+///
+/// * `Ok(Some((request, consumed)))` — a full request; the caller
+///   drains `consumed` bytes (any remainder is the next pipelined
+///   request).
+/// * `Ok(None)` — the bytes so far are a valid prefix; read more.
+/// * `Err(_)` — the prefix can never become a valid request; answer
+///   with [`RequestError::status`] and close.
+///
+/// The parser is pure: feeding it the same buffer twice is free of
+/// side effects, so callers may re-invoke it on every read.
 ///
 /// # Errors
 ///
-/// Returns a [`RequestError`] describing the first violation; the
-/// caller should answer with [`RequestError::status`] and close the
-/// connection.
-pub fn read_request(stream: &mut impl Read, limits: &Limits) -> Result<Request, RequestError> {
-    // Accumulate until the blank line that ends the head, capped.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
+/// Returns a [`RequestError`] describing the first violation.
+pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>, RequestError> {
+    let Some(head_end) = find_head_end(buf) else {
+        // No terminator yet; a head that is already over the cap can
+        // never recover.
         if buf.len() > limits.max_head_bytes {
             return Err(RequestError::HeadTooLarge);
         }
-        let n = stream.read(&mut chunk).map_err(RequestError::Io)?;
-        if n == 0 {
-            return Err(RequestError::Truncated);
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(None);
     };
     if head_end > limits.max_head_bytes {
         return Err(RequestError::HeadTooLarge);
@@ -156,7 +185,7 @@ pub fn read_request(stream: &mut impl Read, limits: &Limits) -> Result<Request, 
     let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| RequestError::BadHeader)?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().ok_or(RequestError::BadRequestLine)?;
-    let (method, path, query) = parse_request_line(request_line)?;
+    let (method, path, query, minor_version) = parse_request_line(request_line)?;
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -174,6 +203,7 @@ pub fn read_request(stream: &mut impl Read, limits: &Limits) -> Result<Request, 
         query,
         headers,
         body: Vec::new(),
+        minor_version,
     };
 
     if let Some(te) = request.header("transfer-encoding") {
@@ -197,24 +227,39 @@ pub fn read_request(stream: &mut impl Read, limits: &Limits) -> Result<Request, 
         return Err(RequestError::BodyTooLarge(limits.max_body_bytes));
     }
 
-    // Bytes already read past the head belong to the body.
-    let mut body = buf.split_off(head_end + 4);
-    drop(buf);
-    if body.len() > content_length {
-        // Pipelined extra bytes are ignored: the daemon is
-        // connection-per-request (`Connection: close`).
-        body.truncate(content_length);
+    let body_start = head_end + 4;
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return Ok(None);
     }
-    while body.len() < content_length {
-        let want = (content_length - body.len()).min(chunk.len());
-        let n = stream.read(&mut chunk[..want]).map_err(RequestError::Io)?;
+    request.body = buf[body_start..consumed].to_vec();
+    Ok(Some((request, consumed)))
+}
+
+/// Reads and parses one request from `stream` under `limits` — the
+/// blocking pull loop over [`try_parse`] the legacy threaded server
+/// uses. Bytes past the first complete request (pipelined extras) are
+/// read but ignored, matching that server's one-request-per-connection
+/// contract.
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] describing the first violation; the
+/// caller should answer with [`RequestError::status`] and close the
+/// connection.
+pub fn read_request(stream: &mut impl Read, limits: &Limits) -> Result<Request, RequestError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some((request, _consumed)) = try_parse(&buf, limits)? {
+            return Ok(request);
+        }
+        let n = stream.read(&mut chunk).map_err(RequestError::Io)?;
         if n == 0 {
             return Err(RequestError::Truncated);
         }
-        body.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(&chunk[..n]);
     }
-    request.body = body;
-    Ok(request)
 }
 
 /// Byte offset of the `\r\n\r\n` head terminator, if present.
@@ -222,8 +267,8 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// `(method, decoded path, decoded query pairs)`.
-type RequestLine = (String, String, Vec<(String, String)>);
+/// `(method, decoded path, decoded query pairs, HTTP minor version)`.
+type RequestLine = (String, String, Vec<(String, String)>, u8);
 
 fn parse_request_line(line: &str) -> Result<RequestLine, RequestError> {
     let mut parts = line.split(' ');
@@ -236,9 +281,11 @@ fn parse_request_line(line: &str) -> Result<RequestLine, RequestError> {
     if !method.bytes().all(|b| b.is_ascii_uppercase()) {
         return Err(RequestError::BadRequestLine);
     }
-    if !(version == "HTTP/1.1" || version == "HTTP/1.0") {
-        return Err(RequestError::BadRequestLine);
-    }
+    let minor_version = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        _ => return Err(RequestError::BadRequestLine),
+    };
     if !target.starts_with('/') {
         return Err(RequestError::BadRequestLine);
     }
@@ -256,7 +303,7 @@ fn parse_request_line(line: &str) -> Result<RequestLine, RequestError> {
             query.push((k, v));
         }
     }
-    Ok((method.to_owned(), path, query))
+    Ok((method.to_owned(), path, query, minor_version))
 }
 
 fn parse_header_line(line: &str) -> Result<(String, String), RequestError> {
@@ -363,6 +410,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             411 => "Length Required",
             413 => "Payload Too Large",
             429 => "Too Many Requests",
@@ -374,12 +422,10 @@ impl Response {
         }
     }
 
-    /// Serializes the response (HTTP/1.1, `Connection: close`).
-    ///
-    /// # Errors
-    ///
-    /// Propagates transport errors.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+    /// Serializes the full response to wire bytes, with
+    /// `Connection: keep-alive` or `Connection: close` per the flag
+    /// (always announced explicitly so HTTP/1.0 clients see it too).
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
         for (name, value) in &self.headers {
             head.push_str(name);
@@ -388,9 +434,24 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
-        head.push_str("Connection: close\r\n\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serializes the response with `Connection: close` — the legacy
+    /// threaded server's one-response-per-connection wire format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.serialize(false))?;
         w.flush()
     }
 }
@@ -491,6 +552,70 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\nok"));
+    }
+
+    #[test]
+    fn try_parse_asks_for_more_until_complete() {
+        let raw = b"POST /verify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let limits = Limits::default();
+        // Every strict prefix is "need more bytes", never an error.
+        for end in 0..raw.len() {
+            assert!(
+                try_parse(&raw[..end], &limits).unwrap().is_none(),
+                "prefix of {end} bytes should be incomplete"
+            );
+        }
+        let (req, consumed) = try_parse(raw, &limits).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.minor_version, 1);
+    }
+
+    #[test]
+    fn try_parse_leaves_pipelined_bytes_unconsumed() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let limits = Limits::default();
+        let (first, consumed) = try_parse(raw, &limits).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        let (second, rest) = try_parse(&raw[consumed..], &limits).unwrap().unwrap();
+        assert_eq!(second.path, "/metrics");
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn keep_alive_follows_version_defaults_and_connection_header() {
+        let limits = Limits::default();
+        let ka = |raw: &[u8]| try_parse(raw, &limits).unwrap().unwrap().0.keep_alive();
+        assert!(ka(b"GET / HTTP/1.1\r\n\r\n"), "1.1 defaults to keep-alive");
+        assert!(!ka(b"GET / HTTP/1.0\r\n\r\n"), "1.0 defaults to close");
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"));
+        assert!(ka(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+        assert!(ka(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
+        assert!(!ka(
+            b"GET / HTTP/1.1\r\nConnection: close, keep-alive\r\n\r\n"
+        ));
+    }
+
+    #[test]
+    fn serialize_announces_the_connection_decision() {
+        let resp = Response::text(200, "ok");
+        let keep = String::from_utf8(resp.serialize(true)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        let close = String::from_utf8(resp.serialize(false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+        assert_eq!(resp.reason(), "OK");
+        assert_eq!(Response::new(408).reason(), "Request Timeout");
+    }
+
+    #[test]
+    fn oversized_head_without_terminator_fails_early() {
+        let limits = Limits {
+            max_head_bytes: 32,
+            ..Limits::default()
+        };
+        let raw = vec![b'A'; 64];
+        assert_eq!(try_parse(&raw, &limits).unwrap_err().status(), 431);
     }
 
     #[test]

@@ -16,49 +16,88 @@
 //! * `GET /healthz` — liveness.
 //! * `GET /metrics` — Prometheus text exposition.
 //!
+//! ## Serving modes
+//!
+//! The default [`ServeMode::EventLoop`] (unix only) multiplexes every
+//! connection on one `poll(2)`-driven thread: HTTP/1.1 keep-alive with
+//! pipelining, per-connection read/idle deadlines, and per-shard
+//! dispatch queues feeding a worker pool. The legacy
+//! [`ServeMode::Threaded`] mode — one connection per pop of a bounded
+//! queue, one request per connection — remains as a baseline and as
+//! the non-unix fallback.
+//!
 //! ## Robustness
 //!
-//! * the accept queue is bounded; at capacity new connections get
-//!   `429` with `Retry-After` immediately (load shedding, not
-//!   buffering);
+//! * dispatch queues are bounded; at capacity requests are shed with
+//!   `429` + `Retry-After` immediately (load shedding, not buffering);
 //! * every request runs under a [`SolveBudget`] deadline — a stuck
 //!   solve degrades to a well-formed `"timeout"` JSON outcome, never a
 //!   hung connection;
-//! * request heads and bodies are size-capped ([`Limits`]);
+//! * request heads and bodies are size-capped ([`Limits`]); partial
+//!   requests are held to a read deadline (slowloris → `408`), idle
+//!   keep-alive connections to a longer idle deadline;
 //! * SIGTERM/SIGINT flip a flag ([`shutdown_requested`]); shutdown
-//!   stops accepting, drains queued work, and flushes the cache.
+//!   stops accepting, closes idle keep-alive connections, finishes
+//!   in-flight requests, and flushes the cache.
 //!
 //! [`SolveBudget`]: webssari_core::SolveBudget
 
 #![warn(missing_docs)]
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use webssari_engine::{Engine, EngineHandle};
 
+#[cfg(unix)]
+mod event_loop;
 mod http;
 mod metrics;
+#[cfg(unix)]
+mod poll;
 mod queue;
 mod router;
 mod server;
 mod signals;
 
-pub use http::{read_request, Limits, Request, RequestError, Response};
-pub use metrics::{route_label, ServerMetrics, ROUTES};
+pub use http::{read_request, try_parse, Limits, Request, RequestError, Response};
+pub use metrics::{route_label, ServerMetrics, LATENCY_BUCKETS, ROUTES};
 pub use queue::{BoundedQueue, PushError};
 pub use router::route;
 pub use server::{Server, ServerHandle};
 pub use signals::{install as install_signal_handlers, request_shutdown, shutdown_requested};
+
+/// Which connection-handling core the daemon runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One `poll(2)`-driven event-loop thread owning every socket;
+    /// keep-alive, pipelining, deadlines, per-shard dispatch. Unix
+    /// only (falls back to [`ServeMode::Threaded`] elsewhere).
+    EventLoop,
+    /// The legacy thread-pool core: blocking sockets popped off one
+    /// bounded queue, one request per connection.
+    Threaded,
+}
+
+impl ServeMode {
+    /// The best mode this platform supports.
+    pub fn default_for_platform() -> Self {
+        if cfg!(unix) {
+            ServeMode::EventLoop
+        } else {
+            ServeMode::Threaded
+        }
+    }
+}
 
 /// How the daemon listens and protects itself.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:8077` (`:0` picks a free port).
     pub addr: String,
-    /// Concurrent HTTP worker threads.
+    /// Concurrent HTTP worker threads (dispatch shards in event mode).
     pub http_workers: usize,
-    /// Bounded connection-queue depth; beyond it requests are shed
-    /// with `429`.
+    /// Bounded dispatch-queue depth; beyond it requests are shed with
+    /// `429`. In event mode the depth is split across worker shards.
     pub queue_depth: usize,
     /// Default per-request solve deadline; `None` means unlimited.
     /// Clients may lower (never raise) it per request via the
@@ -66,6 +105,14 @@ pub struct ServerConfig {
     pub request_budget: Option<Duration>,
     /// Maximum accepted request-body size in bytes.
     pub max_body_bytes: usize,
+    /// Connection-handling core to run.
+    pub mode: ServeMode,
+    /// Event mode: how long a started request may dribble in before
+    /// the connection is answered `408` (slowloris defense).
+    pub read_timeout: Duration,
+    /// Event mode: how long an idle keep-alive connection is kept
+    /// before being closed.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +123,9 @@ impl Default for ServerConfig {
             queue_depth: 64,
             request_budget: Some(Duration::from_secs(30)),
             max_body_bytes: 1024 * 1024,
+            mode: ServeMode::default_for_platform(),
+            read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -88,18 +138,44 @@ impl ServerConfig {
             ..Limits::default()
         }
     }
+
+    /// The mode actually run on this platform (event loop degrades to
+    /// threaded off unix).
+    pub fn effective_mode(&self) -> ServeMode {
+        if cfg!(unix) {
+            self.mode
+        } else {
+            ServeMode::Threaded
+        }
+    }
+}
+
+/// A parsed request in flight between the event loop and a worker.
+#[derive(Debug)]
+pub struct QueuedRequest {
+    /// Correlates the finished response back to its connection.
+    pub token: u64,
+    /// The parsed request.
+    pub request: Request,
+    /// When the request was parsed off the wire (queue wait starts
+    /// here, so `/metrics` latency includes dispatch delay).
+    pub accepted: Instant,
 }
 
 /// Everything a request handler can reach: the warm engine handle,
-/// server counters, the bounded connection queue, and the config.
+/// server counters, the dispatch queues, and the config.
 #[derive(Debug)]
 pub struct AppState {
     /// The long-lived engine: warm cache + live counters.
     pub engine: EngineHandle,
     /// HTTP-side counters for `/metrics`.
     pub metrics: ServerMetrics,
-    /// The bounded accept queue (its depth is exported as a gauge).
+    /// Threaded mode: the bounded accept queue (its depth is exported
+    /// as a gauge). Unused (capacity 1, empty) in event mode.
     pub queue: BoundedQueue<std::net::TcpStream>,
+    /// Event mode: one bounded request queue per worker shard.
+    /// Empty in threaded mode.
+    pub shard_queues: Vec<BoundedQueue<QueuedRequest>>,
     /// The server configuration.
     pub config: ServerConfig,
 }
@@ -108,11 +184,29 @@ impl AppState {
     /// Builds the state for one daemon instance, converting the engine
     /// into a long-lived handle (cache loaded once, here).
     pub fn new(config: ServerConfig, engine: Engine) -> Self {
+        let workers = config.http_workers.max(1);
+        let (accept_depth, shard_queues) = match config.effective_mode() {
+            ServeMode::Threaded => (config.queue_depth, Vec::new()),
+            ServeMode::EventLoop => {
+                let per_shard = (config.queue_depth / workers).max(1);
+                (
+                    1,
+                    (0..workers).map(|_| BoundedQueue::new(per_shard)).collect(),
+                )
+            }
+        };
         AppState {
             engine: engine.into_handle(),
             metrics: ServerMetrics::new(),
-            queue: BoundedQueue::new(config.queue_depth),
+            queue: BoundedQueue::new(accept_depth),
+            shard_queues,
             config,
         }
+    }
+
+    /// Current depth of each dispatch shard (event mode; empty in
+    /// threaded mode). Exported per shard on `/metrics`.
+    pub fn shard_depths(&self) -> Vec<usize> {
+        self.shard_queues.iter().map(BoundedQueue::len).collect()
     }
 }

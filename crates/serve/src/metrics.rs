@@ -19,6 +19,36 @@ use webssari_engine::EngineSnapshot;
 /// cardinality.
 pub const ROUTES: [&str; 5] = ["/verify", "/batch", "/healthz", "/metrics", "other"];
 
+/// Fixed histogram bucket bounds (seconds) for request latency. The
+/// implicit `+Inf` bucket is appended at render time. Fixed bounds
+/// keep scrapes comparable across restarts and across instances.
+pub const LATENCY_BUCKETS: [f64; 12] = [
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Cumulative observation counts for one route's latency histogram.
+#[derive(Debug, Default, Clone)]
+struct Histogram {
+    /// Observations `<=` each bound in [`LATENCY_BUCKETS`]
+    /// (non-cumulative here; summed at render time).
+    buckets: [u64; LATENCY_BUCKETS.len()],
+    /// Observations past the largest bound (`+Inf` only).
+    overflow: u64,
+    count: u64,
+    sum_micros: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, seconds: f64, micros: u64) {
+        match LATENCY_BUCKETS.iter().position(|b| seconds <= *b) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
+    }
+}
+
 /// Normalizes a request path to one of [`ROUTES`].
 pub fn route_label(path: &str) -> &'static str {
     ROUTES
@@ -35,10 +65,14 @@ pub struct ServerMetrics {
     connections_total: AtomicU64,
     rejected_total: AtomicU64,
     in_flight: AtomicU64,
+    /// Event mode: currently open connections (set by the event loop).
+    connections_open: AtomicU64,
+    /// Event mode: open connections idle between keep-alive requests.
+    connections_idle: AtomicU64,
     /// `(route, status) -> count`.
     requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
-    /// `route -> (count, total micros)`.
-    latency: Mutex<BTreeMap<&'static str, (u64, u64)>>,
+    /// `route -> latency histogram`.
+    latency: Mutex<BTreeMap<&'static str, Histogram>>,
 }
 
 impl ServerMetrics {
@@ -49,6 +83,8 @@ impl ServerMetrics {
             connections_total: AtomicU64::new(0),
             rejected_total: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_idle: AtomicU64::new(0),
             requests: Mutex::new(BTreeMap::new()),
             latency: Mutex::new(BTreeMap::new()),
         }
@@ -69,6 +105,13 @@ impl ServerMetrics {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Event mode: publishes the connection-set gauges (open sockets
+    /// and how many of them sit idle between keep-alive requests).
+    pub fn set_connection_gauges(&self, open: u64, idle: u64) {
+        self.connections_open.store(open, Ordering::Relaxed);
+        self.connections_idle.store(idle, Ordering::Relaxed);
+    }
+
     /// Records one finished request.
     pub fn record(&self, route: &'static str, status: u16, elapsed: Duration) {
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -80,9 +123,10 @@ impl ServerMetrics {
             .or_insert(0) += 1;
         let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
         let mut latency = self.latency.lock().unwrap_or_else(PoisonError::into_inner);
-        let entry = latency.entry(route).or_insert((0, 0));
-        entry.0 += 1;
-        entry.1 = entry.1.saturating_add(micros);
+        latency
+            .entry(route)
+            .or_default()
+            .observe(elapsed.as_secs_f64(), micros);
     }
 
     /// Requests finished with the given status, summed over routes.
@@ -97,11 +141,14 @@ impl ServerMetrics {
     }
 
     /// Renders everything as Prometheus text exposition format 0.0.4.
+    /// `shard_depths` is one entry per event-mode dispatch shard
+    /// (empty in threaded mode).
     pub fn render_prometheus(
         &self,
         engine: &EngineSnapshot,
         queue_depth: usize,
         queue_capacity: usize,
+        shard_depths: &[usize],
     ) -> String {
         fn metric(out: &mut String, name: &str, kind: &str, help: &str) {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -163,20 +210,36 @@ impl ServerMetrics {
         metric(
             &mut out,
             "webssari_http_request_duration_seconds",
-            "summary",
-            "Request handling latency by route.",
+            "histogram",
+            "Request handling latency by route (fixed buckets).",
         );
         {
             let latency = self.latency.lock().unwrap_or_else(PoisonError::into_inner);
-            for (route, (count, micros)) in latency.iter() {
+            for (route, hist) in latency.iter() {
+                let mut cumulative = 0u64;
+                for (bound, count) in LATENCY_BUCKETS.iter().zip(hist.buckets.iter()) {
+                    cumulative += count;
+                    let _ = writeln!(
+                        out,
+                        "webssari_http_request_duration_seconds_bucket\
+                         {{path=\"{route}\",le=\"{bound}\"}} {cumulative}",
+                    );
+                }
                 let _ = writeln!(
                     out,
-                    "webssari_http_request_duration_seconds_sum{{path=\"{route}\"}} {:.6}",
-                    *micros as f64 / 1e6,
+                    "webssari_http_request_duration_seconds_bucket\
+                     {{path=\"{route}\",le=\"+Inf\"}} {}",
+                    cumulative + hist.overflow,
                 );
                 let _ = writeln!(
                     out,
-                    "webssari_http_request_duration_seconds_count{{path=\"{route}\"}} {count}",
+                    "webssari_http_request_duration_seconds_sum{{path=\"{route}\"}} {:.6}",
+                    hist.sum_micros as f64 / 1e6,
+                );
+                let _ = writeln!(
+                    out,
+                    "webssari_http_request_duration_seconds_count{{path=\"{route}\"}} {}",
+                    hist.count,
                 );
             }
         }
@@ -191,6 +254,29 @@ impl ServerMetrics {
             out,
             "webssari_http_requests_in_flight {}",
             self.in_flight.load(Ordering::Relaxed),
+        );
+
+        metric(
+            &mut out,
+            "webssari_http_connections_open",
+            "gauge",
+            "Connections currently held by the event loop.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_http_connections_open {}",
+            self.connections_open.load(Ordering::Relaxed),
+        );
+        metric(
+            &mut out,
+            "webssari_http_connections_idle",
+            "gauge",
+            "Open keep-alive connections idle between requests.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_http_connections_idle {}",
+            self.connections_idle.load(Ordering::Relaxed),
         );
 
         metric(
@@ -218,6 +304,21 @@ impl ServerMetrics {
             "webssari_queue_rejected_total {}",
             self.rejected_total.load(Ordering::Relaxed),
         );
+
+        if !shard_depths.is_empty() {
+            metric(
+                &mut out,
+                "webssari_shard_queue_depth",
+                "gauge",
+                "Requests waiting in each event-mode dispatch shard.",
+            );
+            for (shard, depth) in shard_depths.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "webssari_shard_queue_depth{{shard=\"{shard}\"}} {depth}",
+                );
+            }
+        }
 
         metric(
             &mut out,
@@ -269,6 +370,17 @@ impl ServerMetrics {
             out,
             "webssari_engine_cache_misses_total {}",
             engine.cache_misses,
+        );
+        metric(
+            &mut out,
+            "webssari_engine_cache_evictions_total",
+            "counter",
+            "Warm-cache entries evicted to honor the LRU size caps.",
+        );
+        let _ = writeln!(
+            out,
+            "webssari_engine_cache_evictions_total {}",
+            engine.cache_evictions,
         );
         metric(
             &mut out,
@@ -495,16 +607,59 @@ mod tests {
         m.request_started();
         m.record("/verify", 400, Duration::from_millis(1));
         m.record_rejected();
-        let text = m.render_prometheus(&EngineSnapshot::default(), 2, 8);
+        m.set_connection_gauges(5, 3);
+        let text = m.render_prometheus(&EngineSnapshot::default(), 2, 8, &[1, 0]);
         assert!(text.contains("webssari_http_connections_total 1"));
         assert!(text.contains("webssari_http_requests_total{path=\"/verify\",status=\"200\"} 1"));
         assert!(text.contains("webssari_http_requests_total{path=\"/verify\",status=\"400\"} 1"));
         assert!(text.contains("webssari_http_request_duration_seconds_count{path=\"/verify\"} 2"));
         assert!(text.contains("webssari_http_requests_in_flight 0"));
+        assert!(text.contains("webssari_http_connections_open 5"));
+        assert!(text.contains("webssari_http_connections_idle 3"));
         assert!(text.contains("webssari_queue_depth 2"));
         assert!(text.contains("webssari_queue_capacity 8"));
         assert!(text.contains("webssari_queue_rejected_total 1"));
+        assert!(text.contains("webssari_shard_queue_depth{shard=\"0\"} 1"));
+        assert!(text.contains("webssari_shard_queue_depth{shard=\"1\"} 0"));
         assert_eq!(m.requests_with_status(200), 1);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_cumulative_and_monotone() {
+        let m = ServerMetrics::new();
+        m.request_started();
+        m.record("/verify", 200, Duration::from_millis(3)); // <= 0.005
+        m.request_started();
+        m.record("/verify", 200, Duration::from_millis(40)); // <= 0.05
+        m.request_started();
+        m.record("/verify", 200, Duration::from_secs(60)); // +Inf only
+        let text = m.render_prometheus(&EngineSnapshot::default(), 0, 1, &[]);
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| {
+                l.starts_with("webssari_http_request_duration_seconds_bucket{path=\"/verify\"")
+            })
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(
+            counts.len(),
+            LATENCY_BUCKETS.len() + 1,
+            "one line per bucket + +Inf"
+        );
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative bucket counts must be monotone: {counts:?}",
+        );
+        assert_eq!(*counts.last().unwrap(), 3, "+Inf bucket equals the count");
+        assert!(text.contains(
+            "webssari_http_request_duration_seconds_bucket{path=\"/verify\",le=\"0.005\"} 1"
+        ));
+        assert!(text.contains(
+            "webssari_http_request_duration_seconds_bucket{path=\"/verify\",le=\"0.05\"} 2"
+        ));
+        assert!(text.contains("webssari_http_request_duration_seconds_count{path=\"/verify\"} 3"));
+        // No shard gauges when no shards were passed.
+        assert!(!text.contains("webssari_shard_queue_depth"));
     }
 
     #[test]
@@ -513,6 +668,7 @@ mod tests {
         let snap = EngineSnapshot {
             cache_hits: 3,
             cache_misses: 1,
+            cache_evictions: 2,
             files_vulnerable: 1,
             sat_calls: 7,
             pre_units_fixed: 11,
@@ -529,8 +685,9 @@ mod tests {
             contexts_cloned: 8,
             ..EngineSnapshot::default()
         };
-        let text = m.render_prometheus(&snap, 0, 4);
+        let text = m.render_prometheus(&snap, 0, 4, &[]);
         assert!(text.contains("webssari_engine_cache_hits_total 3"));
+        assert!(text.contains("webssari_engine_cache_evictions_total 2"));
         assert!(text.contains("webssari_engine_cache_hit_ratio 0.75"));
         assert!(text.contains("webssari_engine_files_total{outcome=\"vulnerable\"} 1"));
         assert!(text.contains("webssari_engine_solver_events_total{kind=\"calls\"} 7"));

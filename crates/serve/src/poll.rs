@@ -1,0 +1,156 @@
+//! A thin `poll(2)` wrapper without a libc crate.
+//!
+//! Same zero-new-deps style as [`signals`](crate::signals): libc is
+//! always linked on the unix targets we serve from, so the daemon
+//! declares the one syscall wrapper it needs. The event loop hands
+//! [`poll_fds`] the listener, its wake channel, and every live
+//! connection, and blocks until one is ready or the earliest deadline
+//! expires — no sleep-polling anywhere.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Readable data (or a closed peer) is available.
+pub const POLLIN: i16 = 0x001;
+/// The descriptor accepts writes without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (`revents` only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (`revents` only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid descriptor (`revents` only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set — byte-compatible with `struct pollfd`,
+/// whose layout (`int fd; short events; short revents;`) is identical
+/// across the unix platforms we target.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` and/or `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled in by [`poll_fds`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A poll entry for `fd` watching `events`.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the descriptor has data (or an error/hangup the caller
+    /// must observe by reading).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Whether the descriptor accepts writes (or has failed, which the
+    /// caller must observe by writing).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+// `nfds_t` is `unsigned long` on Linux and `unsigned int` on the BSDs
+// (including macOS); both are the register width the kernel expects.
+#[cfg(target_os = "linux")]
+type NfdsT = std::os::raw::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = u32;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: std::os::raw::c_int) -> std::os::raw::c_int;
+}
+
+/// Blocks until at least one descriptor is ready or `timeout` elapses
+/// (`None` blocks indefinitely). Returns the number of ready
+/// descriptors; `Ok(0)` on timeout *and* on `EINTR`, so a signal
+/// arriving mid-poll lets the caller re-check its stop flag instead of
+/// surfacing as an error.
+///
+/// # Errors
+///
+/// Propagates `poll(2)` failures other than `EINTR`.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: i32 = match timeout {
+        None => -1,
+        // Round up so a sub-millisecond deadline does not spin.
+        Some(d) => i32::try_from(d.as_millis())
+            .unwrap_or(i32::MAX)
+            .max(i32::from(!d.is_zero())),
+    };
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of
+    // `#[repr(C)]` pollfd-layout structs; the kernel writes only the
+    // `revents` fields within its bounds.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        return Ok(0);
+    }
+    Err(err)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    use super::*;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn times_out_when_nothing_is_ready() {
+        let (_a, b) = pair();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn reports_readability_after_a_write() {
+        let (mut a, b) = pair();
+        a.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn an_idle_socket_is_immediately_writable() {
+        let (a, _b) = pair();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+    }
+
+    #[test]
+    fn a_closed_peer_reads_as_ready() {
+        let (a, b) = pair();
+        drop(a);
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable(), "EOF must wake the poller");
+    }
+}

@@ -52,10 +52,12 @@ fn healthz(state: &AppState) -> Response {
 
 fn metrics(state: &AppState) -> Response {
     let snapshot = state.engine.snapshot();
-    let text =
-        state
-            .metrics
-            .render_prometheus(&snapshot, state.queue.len(), state.queue.capacity());
+    let text = state.metrics.render_prometheus(
+        &snapshot,
+        state.queue.len(),
+        state.queue.capacity(),
+        &state.shard_depths(),
+    );
     Response::new(200)
         .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
         .with_body(text.into_bytes())
@@ -76,6 +78,14 @@ fn verify(state: &AppState, req: &Request) -> Response {
     let mut set = SourceSet::new();
     set.add_file(file, source);
     let report = state.engine.run_with_budget(&set, budget);
+    verify_report_response(&report)
+}
+
+/// The shared `/verify` response tail: one report in, one response
+/// out. Both the worker path ([`verify`]) and the event loop's warm
+/// fast path ([`try_verify_cached`]) end here, so a cached answer is
+/// byte-identical to a freshly dispatched one.
+fn verify_report_response(report: &EngineReport) -> Response {
     if let Some((name, error)) = report.failed_files.first() {
         return Response::json(
             200,
@@ -89,7 +99,32 @@ fn verify(state: &AppState, req: &Request) -> Response {
     let Some(result) = report.files.first() else {
         return Response::error(500, "engine returned no result");
     };
-    Response::json(200, &file_result_value(result, Some(&report)))
+    Response::json(200, &file_result_value(result, Some(report)))
+}
+
+/// Answers a `POST /verify` straight from the engine's warm cache, or
+/// returns `None` when anything — wrong method, malformed body or
+/// budget header, cache miss — needs the full worker path. Only clean
+/// cache hits are answered here, so the event loop can call this
+/// inline: the work is one bounded cache lookup plus serialization,
+/// never a verification.
+pub(crate) fn try_verify_cached(state: &AppState, req: &Request) -> Option<Response> {
+    if req.path != "/verify" || req.method != "POST" {
+        return None;
+    }
+    let source = std::str::from_utf8(&req.body).ok()?;
+    if source.trim().is_empty() {
+        return None;
+    }
+    // A malformed budget header must 400 through the worker path.
+    if effective_budget(state, req).is_err() {
+        return None;
+    }
+    let file = req.query_param("file").unwrap_or("request.php").to_owned();
+    let mut set = SourceSet::new();
+    set.add_file(file, source);
+    let report = state.engine.try_run_cached(&set)?;
+    Some(verify_report_response(&report))
 }
 
 fn batch(state: &AppState, req: &Request) -> Response {
@@ -240,6 +275,7 @@ mysql_query($query);
             query: Vec::new(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
+            minor_version: 1,
         }
     }
 
@@ -376,6 +412,45 @@ mysql_query($query);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("webssari_engine_cache_misses_total 1"));
         assert!(text.contains("webssari_engine_files_total{outcome=\"vulnerable\"} 1"));
-        assert!(text.contains("webssari_queue_capacity 64"));
+        assert!(text.contains("webssari_engine_cache_evictions_total 0"));
+        // Event mode: one depth gauge per dispatch shard.
+        for shard in 0..state.shard_queues.len() {
+            assert!(text.contains(&format!(
+                "webssari_shard_queue_depth{{shard=\"{shard}\"}} 0"
+            )));
+        }
+    }
+
+    /// Body bytes minus the volatile `wall_ms` tail.
+    fn strip_wall(body: &[u8]) -> String {
+        let text = std::str::from_utf8(body).unwrap();
+        let cut = text.rfind(",\"wall_ms\"").expect("wall_ms field");
+        text[..cut].to_owned()
+    }
+
+    #[test]
+    fn warm_fast_path_matches_the_worker_path_byte_for_byte() {
+        let state = state();
+        let mut req = request("POST", "/verify", SQLI);
+        req.query.push(("file".to_owned(), "index.php".to_owned()));
+        // Cold: nothing cached, the fast path must decline.
+        assert!(try_verify_cached(&state, &req).is_none());
+        let (_, first) = route(&state, &req);
+        assert_eq!(first.status, 200);
+        // Warm: the fast path answers; a worker-path rerun of the same
+        // request must produce the same bytes (modulo wall_ms).
+        let fast = try_verify_cached(&state, &req).expect("cached after first run");
+        let (_, slow) = route(&state, &req);
+        assert_eq!(fast.status, 200);
+        assert_eq!(strip_wall(&fast.body), strip_wall(&slow.body));
+        let v = body_json(&fast);
+        assert_eq!(v.get("from_cache"), Some(&Value::Bool(true)));
+        // A malformed budget header needs the worker path's 400, so
+        // the fast path declines even though the result is cached.
+        let mut bad = request("POST", "/verify", SQLI);
+        bad.query.push(("file".to_owned(), "index.php".to_owned()));
+        bad.headers
+            .push(("x-webssari-budget-ms".to_owned(), "soon".to_owned()));
+        assert!(try_verify_cached(&state, &bad).is_none());
     }
 }

@@ -1,19 +1,32 @@
-//! The listener: accept loop, HTTP worker pool, graceful shutdown.
+//! The listener front end: starts whichever serving core the config
+//! picks and owns graceful shutdown.
 //!
-//! One thread accepts connections (non-blocking, polling the stop
-//! flag) and pushes them onto the bounded queue; when the queue is
-//! full the connection is answered `429` + `Retry-After` right there
-//! and closed — load is shed at the door, before any parsing.
-//! `http_workers` threads pop connections and serve one request each
-//! (`Connection: close`; the daemon trades keep-alive for strictly
+//! [`ServeMode::EventLoop`] (the unix default) hands the listener to
+//! [`event_loop`](crate::event_loop): one `poll(2)`-driven thread owns
+//! every socket — the listener is part of the poll set, so there is no
+//! sleep-polling anywhere — and per-shard worker threads run the
+//! router. Keep-alive, pipelining, and per-connection deadlines live
+//! there.
+//!
+//! [`ServeMode::Threaded`] is the legacy core kept as a measured
+//! baseline (and the non-unix fallback): one thread accepts and pushes
+//! blocking sockets onto the bounded queue; when the queue is full the
+//! connection is answered `429` + `Retry-After` right there and closed
+//! — load is shed at the door, before any parsing. `http_workers`
+//! threads pop connections and serve one request each
+//! (`Connection: close`; this mode trades keep-alive for strictly
 //! bounded state per connection).
 //!
-//! [`ServerHandle::shutdown`] flips the stop flag: the accept thread
-//! exits (dropping the listener, so new connects are refused at the
-//! OS level) and closes the queue; workers drain what was already
-//! accepted, then exit; finally the warm cache is flushed to disk.
+//! [`ServerHandle::shutdown`] flips the stop flag (and, in event mode,
+//! writes a wake byte so a sleeping poll notices immediately): new
+//! connects are refused at the OS level, idle keep-alive connections
+//! close, in-flight requests finish, and finally the warm cache is
+//! flushed to disk.
+//!
+//! [`ServeMode::EventLoop`]: crate::ServeMode::EventLoop
+//! [`ServeMode::Threaded`]: crate::ServeMode::Threaded
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,19 +39,21 @@ use webssari_engine::Engine;
 use crate::http::{read_request, Response};
 use crate::queue::PushError;
 use crate::router::route;
-use crate::{AppState, ServerConfig};
+use crate::{AppState, ServeMode, ServerConfig};
 
-/// How long the accept loop sleeps between polls of the stop flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-/// Per-connection socket timeouts: a peer that stalls mid-request (or
-/// stops reading the response) cannot pin a worker forever.
+/// Threaded mode: how long the accept loop waits for a connection
+/// before re-checking the stop flag.
+const ACCEPT_WAIT: Duration = Duration::from_millis(100);
+/// Per-connection socket timeouts (threaded mode): a peer that stalls
+/// mid-request (or stops reading the response) cannot pin a worker
+/// forever.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Builds and starts daemon instances.
 pub struct Server;
 
 impl Server {
-    /// Binds `config.addr` and starts the accept loop and worker pool.
+    /// Binds `config.addr` and starts the configured serving core.
     /// Returns once the socket is listening; serving continues on
     /// background threads until [`ServerHandle::shutdown`].
     ///
@@ -47,40 +62,83 @@ impl Server {
     /// Propagates bind/configuration failures.
     pub fn start(config: ServerConfig, engine: Engine) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(AppState::new(config, engine));
         let stop = Arc::new(AtomicBool::new(false));
 
-        let mut threads = Vec::new();
-        for i in 0..state.config.http_workers.max(1) {
-            let state = Arc::clone(&state);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(stream) = state.queue.pop() {
-                            handle_connection(&state, stream);
-                        }
-                    })?,
-            );
-        }
-        {
-            let state = Arc::clone(&state);
-            let stop = Arc::clone(&stop);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("serve-accept".to_owned())
-                    .spawn(move || accept_loop(listener, &state, &stop))?,
-            );
-        }
+        let (threads, wake) = match state.config.effective_mode() {
+            #[cfg(unix)]
+            ServeMode::EventLoop => {
+                let (threads, wake) =
+                    crate::event_loop::spawn(listener, Arc::clone(&state), Arc::clone(&stop))?;
+                (threads, Some(wake))
+            }
+            #[cfg(not(unix))]
+            ServeMode::EventLoop => unreachable!("effective_mode degrades off unix"),
+            ServeMode::Threaded => {
+                let threads = start_threaded(listener, &state, &stop)?;
+                (threads, None)
+            }
+        };
         Ok(ServerHandle {
             addr,
             state,
             stop,
             threads,
+            wake,
         })
     }
+}
+
+/// Spawns the legacy worker pool + accept thread.
+fn start_threaded(
+    listener: TcpListener,
+    state: &Arc<AppState>,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<Vec<JoinHandle<()>>> {
+    listener.set_nonblocking(true)?;
+    let mut threads = Vec::new();
+    for i in 0..state.config.http_workers.max(1) {
+        let state = Arc::clone(state);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || {
+                    while let Some(stream) = state.queue.pop() {
+                        handle_connection(&state, stream);
+                    }
+                })?,
+        );
+    }
+    {
+        let state = Arc::clone(state);
+        let stop = Arc::clone(stop);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".to_owned())
+                .spawn(move || accept_loop(listener, &state, &stop))?,
+        );
+    }
+    Ok(threads)
+}
+
+/// Threaded mode: waits for the listener to become readable (a pending
+/// connection) or the timeout to pass. On unix this parks in `poll(2)`
+/// — no sleep loop; elsewhere it degrades to a plain sleep.
+fn wait_for_accept(listener: &TcpListener) {
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+
+        use crate::poll::{poll_fds, PollFd, POLLIN};
+
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let _ = poll_fds(&mut fds, Some(ACCEPT_WAIT));
+    }
+    #[cfg(not(unix))]
+    let _ = listener;
+    #[cfg(not(unix))]
+    std::thread::sleep(ACCEPT_WAIT);
 }
 
 fn accept_loop(listener: TcpListener, state: &AppState, stop: &AtomicBool) {
@@ -98,8 +156,8 @@ fn accept_loop(listener: TcpListener, state: &AppState, stop: &AtomicBool) {
                     }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => wait_for_accept(&listener),
+            Err(_) => wait_for_accept(&listener),
         }
     }
     // Dropping the listener here closes the socket: new connects are
@@ -163,6 +221,8 @@ pub struct ServerHandle {
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    /// Event mode: wake writer to interrupt a sleeping poll.
+    wake: Option<TcpStream>,
 }
 
 impl ServerHandle {
@@ -177,9 +237,10 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Graceful shutdown: stop accepting, drain accepted connections,
-    /// join every thread, then flush the warm cache. Returns the cache
-    /// file path when persistence is configured.
+    /// Graceful shutdown: stop accepting, close idle connections,
+    /// finish in-flight requests, join every thread, then flush the
+    /// warm cache. Returns the cache file path when persistence is
+    /// configured.
     ///
     /// # Errors
     ///
@@ -187,6 +248,9 @@ impl ServerHandle {
     /// fail).
     pub fn shutdown(self) -> io::Result<Option<PathBuf>> {
         self.stop.store(true, Ordering::SeqCst);
+        if let Some(wake) = &self.wake {
+            let _ = (&*wake).write(&[1u8]);
+        }
         for t in self.threads {
             let _ = t.join();
         }

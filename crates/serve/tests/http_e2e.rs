@@ -1,7 +1,8 @@
 //! End-to-end smoke tests over real sockets: start the daemon on an
 //! ephemeral port, speak raw HTTP/1.1 through `TcpStream`, and check
-//! the full loop — routing, verification, warm cache, load shedding,
-//! budgets, and graceful shutdown with a cache flush.
+//! the full loop — routing, verification, warm cache, keep-alive and
+//! pipelining, deadlines, load shedding, budgets, and graceful
+//! shutdown with a cache flush.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -9,7 +10,7 @@ use std::time::Duration;
 
 use jsonio::Value;
 use webssari_engine::EngineBuilder;
-use webssari_serve::{Server, ServerConfig, ServerHandle};
+use webssari_serve::{ServeMode, Server, ServerConfig, ServerHandle};
 
 /// The README's vulnerable quickstart snippet.
 const SQLI: &str = r#"<?php
@@ -24,8 +25,9 @@ fn start(config: ServerConfig) -> ServerHandle {
     Server::start(config, EngineBuilder::new().workers(2).build()).expect("bind ephemeral port")
 }
 
-/// Sends raw bytes, reads the whole response (the server always sends
-/// `Connection: close`).
+/// Sends raw bytes, reads the whole response to EOF. The request must
+/// carry `Connection: close` (or be an error the server answers with
+/// one) or this blocks until the idle deadline.
 fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -40,7 +42,7 @@ fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
 fn get(addr: SocketAddr, path: &str) -> String {
     send_raw(
         addr,
-        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
     )
 }
 
@@ -48,11 +50,42 @@ fn post(addr: SocketAddr, path: &str, extra_headers: &str, body: &str) -> String
     send_raw(
         addr,
         format!(
-            "POST {path} HTTP/1.1\r\nHost: t\r\n{extra_headers}Content-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+             {extra_headers}Content-Length: {}\r\n\r\n{body}",
             body.len(),
         )
         .as_bytes(),
     )
+}
+
+/// Reads exactly one framed HTTP response off a persistent connection
+/// (head to `\r\n\r\n`, then `Content-Length` body bytes).
+fn read_framed(stream: &mut TcpStream) -> String {
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(i) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "EOF before response head finished");
+        bytes.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&bytes[..head_end]).to_string();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .expect("response has a Content-Length");
+    while bytes.len() < head_end + content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "EOF mid-body");
+        bytes.extend_from_slice(&chunk[..n]);
+    }
+    String::from_utf8_lossy(&bytes[..head_end + content_length]).to_string()
 }
 
 fn status_of(response: &str) -> u16 {
@@ -233,9 +266,12 @@ fn exhausted_budget_returns_well_formed_timeout_json() {
 
 #[test]
 fn full_queue_sheds_with_429_and_retry_after() {
+    // The legacy threaded core: idle connections pin its workers, so
+    // two of them are enough to fill the depth-1 queue.
     let server = start(ServerConfig {
         http_workers: 1,
         queue_depth: 1,
+        mode: ServeMode::Threaded,
         ..ServerConfig::default()
     });
     let addr = server.local_addr();
@@ -334,4 +370,246 @@ fn shutdown_flushes_the_cache_and_a_restart_rewarms_it() {
     assert_eq!(v.get("outcome").and_then(Value::as_str), Some("vulnerable"));
     server.shutdown().expect("graceful shutdown");
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    for i in 0..3 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let response = read_framed(&mut stream);
+        assert_eq!(status_of(&response), 200, "request {i}");
+        assert!(
+            response.contains("Connection: keep-alive\r\n"),
+            "HTTP/1.1 without Connection: close stays open: {response:?}",
+        );
+    }
+    drop(stream);
+
+    let state = std::sync::Arc::clone(server.state());
+    server.shutdown().expect("graceful shutdown");
+    // All three requests shared one accepted connection.
+    assert_eq!(state.metrics.requests_with_status(200), 3);
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Two back-to-back requests in a single write; the second is a
+    // POST so mixing up response order would be obvious.
+    let batch = format!(
+        "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+         POST /verify?file=p.php HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{SQLI}",
+        SQLI.len(),
+    );
+    stream.write_all(batch.as_bytes()).unwrap();
+
+    let first = read_framed(&mut stream);
+    assert_eq!(status_of(&first), 200);
+    assert_eq!(
+        json_of(&first).get("status").and_then(Value::as_str),
+        Some("ok"),
+        "first response answers the first (healthz) request",
+    );
+    let second = read_framed(&mut stream);
+    assert_eq!(status_of(&second), 200);
+    assert_eq!(
+        json_of(&second).get("outcome").and_then(Value::as_str),
+        Some("vulnerable"),
+        "second response answers the pipelined verify",
+    );
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn http_10_defaults_to_close_unless_keep_alive_is_asked_for() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Plain HTTP/1.0: answered, then closed (read_to_string sees EOF).
+    let response = send_raw(addr, b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&response), 200);
+    assert!(response.contains("Connection: close\r\n"));
+
+    // HTTP/1.0 with an explicit keep-alive: the connection survives a
+    // second request.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\nConnection: keep-alive\r\n\r\n")
+        .unwrap();
+    let first = read_framed(&mut stream);
+    assert_eq!(status_of(&first), 200);
+    assert!(first.contains("Connection: keep-alive\r\n"));
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\nConnection: keep-alive\r\n\r\n")
+        .unwrap();
+    assert_eq!(status_of(&read_framed(&mut stream)), 200);
+
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed_at_the_idle_deadline() {
+    let server = start(ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    assert_eq!(status_of(&read_framed(&mut stream)), 200);
+
+    // Stay silent past the idle deadline: the server closes (EOF),
+    // with no 408 or other bytes — the request was never started.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("EOF, not a timeout");
+    assert!(
+        rest.is_empty(),
+        "idle close must be silent, got {:?}",
+        String::from_utf8_lossy(&rest),
+    );
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn half_sent_requests_get_408_at_the_read_deadline() {
+    let server = start(ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Start a request and stall (slowloris).
+    stream.write_all(b"GET /healthz HTT").unwrap();
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("408 then close");
+    assert_eq!(status_of(&response), 408);
+    assert!(response.contains("Connection: close\r\n"));
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn shutdown_closes_idle_keep_alive_connections_promptly() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Two established keep-alive connections sitting idle.
+    let mut idle1 = TcpStream::connect(addr).expect("connect");
+    let mut idle2 = TcpStream::connect(addr).expect("connect");
+    for stream in [&mut idle1, &mut idle2] {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        assert_eq!(status_of(&read_framed(stream)), 200);
+    }
+
+    // Graceful shutdown must not wait out the 30s idle deadline.
+    let begin = std::time::Instant::now();
+    server.shutdown().expect("graceful shutdown");
+    assert!(
+        begin.elapsed() < Duration::from_secs(5),
+        "drain stalled on idle keep-alive connections: {:?}",
+        begin.elapsed(),
+    );
+    // Both idle peers see EOF.
+    for stream in [&mut idle1, &mut idle2] {
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("EOF after shutdown");
+        assert!(rest.is_empty());
+    }
+}
+
+#[test]
+fn latency_histogram_buckets_are_monotone_end_to_end() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    for _ in 0..5 {
+        assert_eq!(status_of(&get(addr, "/healthz")), 200);
+    }
+    assert_eq!(status_of(&post(addr, "/verify?file=h.php", "", SQLI)), 200);
+
+    let metrics = get(addr, "/metrics");
+    let mut paths_seen = 0;
+    for path in ["/healthz", "/verify"] {
+        let prefix = format!("webssari_http_request_duration_seconds_bucket{{path=\"{path}\",le=");
+        let counts: Vec<u64> = metrics
+            .lines()
+            .filter(|l| l.starts_with(&prefix))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!counts.is_empty(), "no histogram for {path}:\n{metrics}");
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "{path} buckets must be cumulative-monotone: {counts:?}",
+        );
+        let count_line = format!(
+            "webssari_http_request_duration_seconds_count{{path=\"{path}\"}} {}",
+            counts.last().unwrap(),
+        );
+        assert!(
+            metrics.contains(&count_line),
+            "+Inf bucket must equal _count for {path}",
+        );
+        paths_seen += 1;
+    }
+    assert_eq!(paths_seen, 2);
+    server.shutdown().expect("graceful shutdown");
+}
+
+#[test]
+fn warm_responses_are_identical_across_serve_modes() {
+    // The event loop answers warm `/verify` hits inline; the threaded
+    // mode goes through the worker path. Same request, same bytes.
+    let mut bodies = Vec::new();
+    for mode in [ServeMode::Threaded, ServeMode::default_for_platform()] {
+        let server = start(ServerConfig {
+            mode,
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        let cold = post(addr, "/verify?file=same.php", "", SQLI);
+        assert_eq!(status_of(&cold), 200);
+        let warm = post(addr, "/verify?file=same.php", "", SQLI);
+        assert_eq!(status_of(&warm), 200);
+        let v = json_of(&warm);
+        assert_eq!(v.get("from_cache"), Some(&Value::Bool(true)));
+        let body = body_of(&warm);
+        let cut = body.rfind(",\"wall_ms\"").expect("wall_ms field");
+        bodies.push(body[..cut].to_owned());
+        server.shutdown().expect("graceful shutdown");
+    }
+    assert_eq!(bodies[0], bodies[1]);
 }

@@ -6,7 +6,7 @@
 use std::io::Cursor;
 
 use proptest::prelude::*;
-use webssari_serve::{read_request, Limits, RequestError};
+use webssari_serve::{read_request, try_parse, Limits, RequestError};
 
 fn parse(bytes: &[u8]) -> Result<webssari_serve::Request, RequestError> {
     read_request(&mut Cursor::new(bytes.to_vec()), &Limits::default())
@@ -79,6 +79,73 @@ proptest! {
         prop_assert_eq!(req.method.as_str(), "POST");
         prop_assert_eq!(req.path.as_str(), path.as_str());
         prop_assert_eq!(req.body.as_slice(), body.as_bytes());
+    }
+
+    /// The incremental parser must be insensitive to how the network
+    /// fragments the byte stream: feeding any split of two pipelined
+    /// requests chunk by chunk yields exactly the same two requests,
+    /// with every incomplete prefix answered `None` (never an error).
+    #[test]
+    fn fragmentation_never_changes_the_parse(
+        body in "[ -~]{0,80}",
+        path in "/[a-z]{1,10}",
+        cuts in prop::collection::vec(1usize..40, 0..8),
+    ) {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}\
+             GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n",
+            body.len(),
+        );
+        let raw = raw.as_bytes();
+        let limits = Limits::default();
+
+        // Reference parse over the whole buffer.
+        let (first_ref, consumed_ref) = try_parse(raw, &limits)
+            .expect("well-formed")
+            .expect("complete");
+        let (second_ref, rest_ref) = try_parse(&raw[consumed_ref..], &limits)
+            .expect("well-formed")
+            .expect("complete");
+        prop_assert_eq!(consumed_ref + rest_ref, raw.len());
+
+        // Incremental parse: deliver the stream in arbitrary chunks,
+        // re-invoking try_parse after every delivery like the event
+        // loop does.
+        let mut boundaries: Vec<usize> = cuts
+            .iter()
+            .scan(0usize, |pos, step| {
+                *pos += step;
+                Some(*pos)
+            })
+            .take_while(|b| *b < raw.len())
+            .collect();
+        boundaries.push(raw.len());
+
+        let mut buf: Vec<u8> = Vec::new();
+        let mut fed = 0usize;
+        let mut parsed = Vec::new();
+        for boundary in boundaries {
+            buf.extend_from_slice(&raw[fed..boundary]);
+            fed = boundary;
+            loop {
+                match try_parse(&buf, &limits) {
+                    Ok(Some((req, consumed))) => {
+                        buf.drain(..consumed);
+                        parsed.push(req);
+                    }
+                    Ok(None) => break,
+                    Err(e) => prop_assert!(false, "prefix errored: {e:?}"),
+                }
+            }
+        }
+        prop_assert!(buf.is_empty(), "undrained bytes: {buf:?}");
+        prop_assert_eq!(parsed.len(), 2);
+        prop_assert_eq!(&parsed[0].method, &first_ref.method);
+        prop_assert_eq!(&parsed[0].path, &first_ref.path);
+        prop_assert_eq!(&parsed[0].body, &first_ref.body);
+        prop_assert_eq!(&parsed[1].method, &second_ref.method);
+        prop_assert_eq!(&parsed[1].path, &second_ref.path);
+        prop_assert!(parsed[1].body.is_empty());
     }
 }
 

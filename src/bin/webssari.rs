@@ -55,6 +55,9 @@ USAGE:
     webssari stages <file.php>
     webssari serve  [--addr HOST:PORT] [--jobs N] [--cache-dir DIR]
                     [--queue-depth N] [--request-budget-ms MS]
+                    [--cache-max-entries N] [--cache-max-mb N]
+                    [--read-timeout-ms MS] [--idle-timeout-ms MS]
+                    [--threaded]
 
 COMMANDS:
     verify   Check every .php file; print grouped reports with
@@ -120,7 +123,19 @@ DAEMON (serve):
     --request-budget-ms MS Per-request solve deadline — exceeding it
                            yields a JSON \"timeout\" outcome, never a hung
                            connection (default 30000; 0 = unlimited).
-    --max-body-kb N        Request body cap in KiB (default 1024).";
+    --max-body-kb N        Request body cap in KiB (default 1024).
+    --cache-max-entries N  LRU cap on warm-cache entries; least recently
+                           used results are evicted past it (default:
+                           unlimited).
+    --cache-max-mb N       LRU cap on the warm cache's approximate size
+                           in MiB (default: unlimited).
+    --read-timeout-ms MS   Close connections that dribble a partial
+                           request for this long without completing it
+                           (default 10000; event loop only).
+    --idle-timeout-ms MS   Close idle keep-alive connections after this
+                           long (default 30000; event loop only).
+    --threaded             Use the legacy thread-per-connection core
+                           instead of the keep-alive event loop.";
 
 struct CommonOptions {
     paths: Vec<PathBuf>,
@@ -688,6 +703,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut config = ServerConfig::default();
     let mut jobs = 2usize;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut cache_max_entries: Option<usize> = None;
+    let mut cache_max_bytes: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -718,6 +735,27 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Some(Ok(n)) if n >= 1 => config.max_body_bytes = n * 1024,
                 _ => return fail("--max-body-kb needs a positive integer"),
             },
+            "--cache-max-entries" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => cache_max_entries = Some(n),
+                _ => return fail("--cache-max-entries needs a positive integer"),
+            },
+            "--cache-max-mb" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => cache_max_bytes = Some(n * 1024 * 1024),
+                _ => return fail("--cache-max-mb needs a positive integer"),
+            },
+            "--read-timeout-ms" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(ms)) if ms >= 1 => {
+                    config.read_timeout = std::time::Duration::from_millis(ms);
+                }
+                _ => return fail("--read-timeout-ms needs milliseconds"),
+            },
+            "--idle-timeout-ms" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(ms)) if ms >= 1 => {
+                    config.idle_timeout = std::time::Duration::from_millis(ms);
+                }
+                _ => return fail("--idle-timeout-ms needs milliseconds"),
+            },
+            "--threaded" => config.mode = webssari::serve::ServeMode::Threaded,
             other => return fail(&format!("unknown serve option {other:?}")),
         }
     }
@@ -725,6 +763,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut builder = EngineBuilder::new().workers(jobs);
     if let Some(dir) = &cache_dir {
         builder = builder.cache_dir(dir);
+    }
+    if let Some(n) = cache_max_entries {
+        builder = builder.cache_max_entries(n);
+    }
+    if let Some(b) = cache_max_bytes {
+        builder = builder.cache_max_bytes(b);
     }
 
     webssari::serve::install_signal_handlers();
